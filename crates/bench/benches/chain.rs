@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the chain layer: block import throughput and
+//! fork-choice evaluation on large trees (the "fork choice" ablation of
+//! DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_chain::{best_tip, BlockTree, Chain, NullMachine};
+use dcs_crypto::{Address, Hash256};
+use dcs_primitives::{
+    AccountTx, Block, BlockHeader, ChainConfig, ForkChoice, Seal, Transaction,
+};
+use std::hint::black_box;
+
+fn block_with_txs(parent: Hash256, height: u64, n_txs: usize) -> Block {
+    let txs: Vec<Transaction> = (0..n_txs)
+        .map(|i| {
+            Transaction::Account(AccountTx::transfer(
+                Address::from_index(height * 1_000 + i as u64),
+                Address::from_index(1),
+                1,
+                0,
+            ))
+        })
+        .collect();
+    Block::new(
+        BlockHeader::new(parent, height, height, Address::from_index(9), Seal::None),
+        txs,
+    )
+}
+
+fn bench_import(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_import");
+    group.sample_size(20);
+    for n_txs in [10usize, 100, 500] {
+        group.bench_with_input(BenchmarkId::new("block", n_txs), &n_txs, |b, &n_txs| {
+            b.iter_with_setup(
+                || {
+                    let cfg = ChainConfig::hyperledger_like();
+                    let genesis = dcs_chain::genesis_block(&cfg);
+                    let block = block_with_txs(genesis.hash(), 1, n_txs);
+                    (Chain::new(genesis, cfg, NullMachine), block)
+                },
+                |(mut chain, block)| {
+                    chain.import(black_box(block)).unwrap();
+                    black_box(chain.height())
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Builds a bushy tree: a main chain of `depth` with a sibling at every
+/// height — the worst realistic shape for fork-choice scans.
+fn bushy_tree(depth: u64) -> BlockTree {
+    let cfg = ChainConfig::bitcoin_like();
+    let genesis = dcs_chain::genesis_block(&cfg);
+    let mut tree = BlockTree::new(genesis.clone());
+    let mut parent = genesis;
+    for h in 1..=depth {
+        let main = block_with_txs(parent.hash(), h, 0);
+        let uncle = Block::new(
+            BlockHeader::new(parent.hash(), h, h + 500_000, Address::from_index(2), Seal::None),
+            vec![],
+        );
+        tree.insert(main.clone()).unwrap();
+        tree.insert(uncle).unwrap();
+        parent = main;
+    }
+    tree
+}
+
+fn bench_fork_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fork_choice");
+    group.sample_size(20);
+    for depth in [100u64, 1_000] {
+        let tree = bushy_tree(depth);
+        for rule in [ForkChoice::LongestChain, ForkChoice::HeaviestWork, ForkChoice::Ghost] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{rule:?}"), depth),
+                &tree,
+                |b, tree| b.iter(|| best_tip(black_box(tree), rule)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_import, bench_fork_choice);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for consensus machinery: real PoW grinding at low
+//! difficulty, attack-race simulation, and whole-network simulation steps
+//! per wall-clock second (the simulator's own throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_consensus::attack::simulate_double_spend;
+use dcs_consensus::pow::mine_real;
+use dcs_crypto::{Address, Hash256};
+use dcs_ledger::builders;
+use dcs_primitives::{BlockHeader, ConsensusKind, Seal};
+use dcs_sim::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_real_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pow_mine_real");
+    group.sample_size(20);
+    for difficulty in [16u64, 256, 4_096] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(difficulty),
+            &difficulty,
+            |b, &difficulty| {
+                let mut nonce = 0u64;
+                b.iter(|| {
+                    let header = BlockHeader::new(
+                        Hash256::ZERO,
+                        1,
+                        nonce, // vary the header so each iteration regrind
+                        Address::from_index(1),
+                        Seal::None,
+                    );
+                    nonce += 1;
+                    black_box(mine_real(header, difficulty, 0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_attack_sim(c: &mut Criterion) {
+    c.bench_function("attack/double_spend_10k_trials", |b| {
+        b.iter(|| black_box(simulate_double_spend(0.3, 6, 10_000, 60, 42)))
+    });
+}
+
+fn bench_network_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_sim");
+    group.sample_size(10);
+    // One simulated hour of an 8-peer PoW network, no transactions: the
+    // simulator's raw event throughput.
+    group.bench_function("pow_8_peers_1h", |b| {
+        b.iter(|| {
+            let mut params = builders::PowParams::default();
+            params.nodes = 8;
+            params.chain.consensus = ConsensusKind::ProofOfWork {
+                initial_difficulty: 8_000 * 60,
+                retarget_window: 0,
+                target_interval_us: 60_000_000,
+            };
+            let mut runner = builders::build_pow(&params, 1);
+            runner.run_until(SimTime::ZERO + SimDuration::from_secs(3_600));
+            black_box(runner.nodes()[0].core.chain.height())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_mining, bench_attack_sim, bench_network_sim);
+criterion_main!(benches);

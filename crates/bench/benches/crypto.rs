@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the cryptographic substrate: SHA-256
+//! throughput, Merkle tree construction and proving, and the WOTS+Merkle
+//! signature scheme (the "signature scheme w trade-off" ablation from
+//! DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcs_crypto::{sha256, Hash256, KeyPair, MerkleTree};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1_024, 65_536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for leaves in [16usize, 256, 4_096] {
+        let hashes: Vec<Hash256> =
+            (0..leaves).map(|i| sha256(&(i as u64).to_le_bytes())).collect();
+        group.bench_with_input(
+            BenchmarkId::new("build", leaves),
+            &hashes,
+            |b, hashes| b.iter(|| MerkleTree::from_leaves(black_box(hashes.clone()))),
+        );
+        let tree = MerkleTree::from_leaves(hashes.clone());
+        group.bench_with_input(BenchmarkId::new("prove", leaves), &tree, |b, tree| {
+            b.iter(|| tree.prove(black_box(leaves / 2)).unwrap())
+        });
+        let proof = tree.prove(leaves / 2).unwrap();
+        let root = tree.root();
+        let leaf = hashes[leaves / 2];
+        group.bench_with_input(
+            BenchmarkId::new("verify", leaves),
+            &proof,
+            |b, proof| b.iter(|| proof.verify(black_box(&leaf), black_box(&root))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wots");
+    group.sample_size(20);
+    // Key generation cost grows with 2^height — the capacity/size ablation.
+    for height in [2u8, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("keygen", height), &height, |b, &h| {
+            b.iter(|| KeyPair::generate(black_box([7u8; 32]), h))
+        });
+    }
+    let msg = sha256(b"benchmark message");
+    let kp = KeyPair::generate([7u8; 32], 4);
+    group.bench_function("sign", |b| {
+        b.iter(|| kp.sign_with_index(black_box(&msg), 0).unwrap())
+    });
+    let sig = kp.sign_with_index(&msg, 0).unwrap();
+    let pk = kp.public_key();
+    group.bench_function("verify", |b| b.iter(|| pk.verify(black_box(&msg), black_box(&sig))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_merkle, bench_signatures);
+criterion_main!(benches);

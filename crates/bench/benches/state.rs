@@ -1,0 +1,93 @@
+//! Criterion benchmarks for the data layer: the authenticated Merkle map
+//! against a plain `HashMap` baseline (the "state structure" ablation from
+//! DESIGN.md §5 — what the root hash costs), plus account-db operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_crypto::Address;
+use dcs_state::{AccountDb, MerkleMap};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
+    (i.to_le_bytes().to_vec(), (i * 7).to_le_bytes().to_vec())
+}
+
+fn bench_merkle_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_map");
+    group.sample_size(20);
+    for n in [1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("insert_all", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = MerkleMap::new();
+                for i in 0..n {
+                    let (k, v) = kv(i);
+                    m.insert(k, v);
+                }
+                black_box(m.root())
+            })
+        });
+        // Ablation baseline: the same inserts into a plain HashMap measure
+        // the price of authentication.
+        group.bench_with_input(BenchmarkId::new("hashmap_baseline", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+                for i in 0..n {
+                    let (k, v) = kv(i);
+                    m.insert(k, v);
+                }
+                black_box(m.len())
+            })
+        });
+        let map: MerkleMap = (0..n).map(kv).collect();
+        group.bench_with_input(BenchmarkId::new("get", n), &map, |b, map| {
+            let (k, _) = kv(n / 2);
+            b.iter(|| map.get(black_box(&k)))
+        });
+        group.bench_with_input(BenchmarkId::new("prove", n), &map, |b, map| {
+            let (k, _) = kv(n / 2);
+            b.iter(|| map.prove(black_box(&k)).unwrap())
+        });
+        let (k, _) = kv(n / 2);
+        let proof = map.prove(&k).unwrap();
+        let root = map.root();
+        group.bench_with_input(BenchmarkId::new("verify_proof", n), &proof, |b, proof| {
+            b.iter(|| proof.verify(black_box(&root)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_account_db(c: &mut Criterion) {
+    let mut group = c.benchmark_group("account_db");
+    group.sample_size(20);
+    group.bench_function("transfer_1k_accounts", |b| {
+        b.iter(|| {
+            let mut db = AccountDb::new();
+            for i in 0..1_000u64 {
+                db.credit(&Address::from_index(i), 1_000);
+            }
+            for i in 0..1_000u64 {
+                db.transfer(&Address::from_index(i), &Address::from_index((i + 1) % 1_000), 10)
+                    .unwrap();
+            }
+            black_box(db.root())
+        })
+    });
+    group.bench_function("snapshot_rollback", |b| {
+        let mut db = AccountDb::new();
+        for i in 0..1_000u64 {
+            db.credit(&Address::from_index(i), 1_000);
+        }
+        b.iter(|| {
+            let snap = db.snapshot();
+            for i in 0..100u64 {
+                db.transfer(&Address::from_index(i), &Address::from_index(i + 1), 1).unwrap();
+            }
+            db.rollback(snap);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_merkle_map, bench_account_db);
+criterion_main!(benches);

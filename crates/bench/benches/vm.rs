@@ -1,0 +1,101 @@
+//! Criterion benchmarks for the contract layer: VM dispatch, storage
+//! opcodes, and end-to-end transaction execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcs_contracts::{assemble, exec, stdlib, vm::ExecEnv, Vm};
+use dcs_crypto::{Address, Hash256};
+use dcs_primitives::{AccountTx, GasSchedule};
+use dcs_state::AccountDb;
+use std::hint::black_box;
+
+fn bench_vm_loop(c: &mut Criterion) {
+    // A counting loop: 1000 iterations of arithmetic + jump.
+    // Stack discipline: `sub` computes (below − top), so counting down is
+    // just `push 1; sub`.
+    let code = assemble(
+        "push 1000
+         :loop
+         jumpdest
+         push 1
+         sub
+         dup 0
+         push @loop
+         swap 0
+         jumpi
+         stop",
+    )
+    .unwrap();
+    let schedule = GasSchedule::default();
+    c.bench_function("vm/loop_1000", |b| {
+        b.iter(|| {
+            let mut db = AccountDb::new();
+            let mut env = ExecEnv {
+                db: &mut db,
+                contract: Address::from_index(1),
+                caller: Address::from_index(2),
+                callvalue: 0,
+                input: &[],
+                timestamp_us: 0,
+                height: 0,
+            };
+            Vm::new(&schedule, 10_000_000).run(black_box(&code), &mut env).unwrap()
+        })
+    });
+}
+
+fn bench_token_ops(c: &mut Criterion) {
+    let schedule = GasSchedule::default();
+    let alice = Address::from_index(1);
+    let bob = Address::from_index(2);
+    let ctx = exec::BlockCtx { proposer: Address::from_index(9), timestamp_us: 0, height: 1 };
+
+    c.bench_function("vm/token_transfer_tx", |b| {
+        b.iter_with_setup(
+            || {
+                let mut db = AccountDb::new();
+                db.credit(&alice, 10_000_000_000);
+                let deploy = AccountTx::deploy(alice, stdlib::token(), 0, 10_000_000);
+                let token = deploy.contract_address();
+                exec::execute_tx(&mut db, &deploy, Hash256::ZERO, &ctx, &schedule);
+                let mint = AccountTx::call(
+                    alice,
+                    token,
+                    stdlib::token_mint_input(1_000_000),
+                    0,
+                    1,
+                    1_000_000,
+                );
+                exec::execute_tx(&mut db, &mint, Hash256::ZERO, &ctx, &schedule);
+                (db, token)
+            },
+            |(mut db, token)| {
+                let tx = AccountTx::call(
+                    alice,
+                    token,
+                    stdlib::token_transfer_input(&bob, 5),
+                    0,
+                    2,
+                    1_000_000,
+                );
+                black_box(exec::execute_tx(&mut db, &tx, Hash256::ZERO, &ctx, &schedule))
+            },
+        )
+    });
+
+    c.bench_function("vm/greeter_query", |b| {
+        let mut db = AccountDb::new();
+        db.set_code(&Address::from_index(5), stdlib::greeter());
+        b.iter(|| {
+            exec::query(
+                &mut db,
+                &Address::from_index(5),
+                &alice,
+                black_box(&stdlib::greeter_say_input()),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_vm_loop, bench_token_ops);
+criterion_main!(benches);

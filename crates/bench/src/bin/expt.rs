@@ -1,0 +1,42 @@
+//! The experiment driver: regenerates every table in EXPERIMENTS.md.
+//!
+//! Usage:
+//!   expt                 # run everything at quick scale
+//!   expt --full          # run everything at publication scale
+//!   expt e1 e4 --full    # run selected experiments
+//!
+//! Run with `--release`; the consensus sweeps simulate hours of network
+//! time.
+
+use dcs_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if selected.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        for id in &selected {
+            assert!(
+                experiments::ALL.contains(id),
+                "unknown experiment {id:?}; known: {:?}",
+                experiments::ALL
+            );
+        }
+        selected
+    };
+    println!(
+        "dcs-ledger experiment harness — scale: {:?}, experiments: {:?}",
+        scale, ids
+    );
+    for id in ids {
+        let start = std::time::Instant::now();
+        experiments::run(id, scale);
+        println!("[{id} completed in {:.1?} wall-clock]", start.elapsed());
+    }
+}

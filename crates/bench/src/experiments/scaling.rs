@@ -1,0 +1,236 @@
+//! Scalability experiments: E7 (sharding), E8 (payment channels), E10
+//! (light clients / bootstrap).
+
+use crate::table::Table;
+use crate::Scale;
+use dcs_chain::{Chain, NullMachine};
+use dcs_crypto::{Address, Hash256, MerkleTree};
+use dcs_primitives::{AccountTx, Block, BlockHeader, ChainConfig, Seal, Transaction};
+use dcs_scale::channels::ChannelNetwork;
+use dcs_scale::light::LightClient;
+use dcs_scale::sharding::{ShardedLedger, Transfer};
+use dcs_sim::Rng;
+
+/// E7: throughput scales with shard count, degraded by cross-shard traffic
+/// (§5.4, \[38\]).
+pub fn e7_sharding(scale: Scale) {
+    println!("\nE7 — sharding: speedup vs shard count and cross-shard fraction");
+    println!("Paper claim: \"the performance of the system can be improved by introducing");
+    println!("parallelism, such as sharding\" (§5.4). Speedup = sequential block slots /");
+    println!("max per-shard slots; block capacity 100 tx.\n");
+    let n_txs = scale.pick(2_000usize, 20_000);
+    let accounts: Vec<Address> = (0..500).map(Address::from_index).collect();
+    let alloc: Vec<(Address, u64)> = accounts.iter().map(|a| (*a, 1_000_000)).collect();
+    let mut rng = Rng::seed_from(7);
+    let transfers: Vec<Transfer> = (0..n_txs)
+        .map(|_| Transfer {
+            from: accounts[rng.below(500) as usize],
+            to: accounts[rng.below(500) as usize],
+            value: 1,
+        })
+        .collect();
+
+    let mut table = Table::new(&[
+        "shards",
+        "cross-shard",
+        "parallel slots",
+        "total slots",
+        "speedup",
+    ]);
+    for k in [1usize, 2, 4, 8, 16] {
+        let mut ledger = ShardedLedger::new(k, 100, &alloc);
+        ledger.fund_mint_pools(u64::MAX / 4);
+        for t in &transfers {
+            ledger.submit(*t);
+        }
+        ledger.seal_all();
+        let stats = ledger.stats();
+        table.row(vec![
+            format!("{k}"),
+            format!(
+                "{:.0}%",
+                100.0 * stats.cross_shard as f64
+                    / (stats.cross_shard + stats.intra_shard) as f64
+            ),
+            format!("{}", stats.parallel_slots),
+            format!("{}", stats.total_slots),
+            format!("{:.2}x", ledger.speedup()),
+        ]);
+    }
+    println!("{table}");
+
+    // Cross-shard fraction sweep at k=8: locality is what sharding sells.
+    let mut sweep = Table::new(&["target cross fraction", "speedup (k=8)"]);
+    for &target in &[0.0f64, 0.25, 0.5, 1.0] {
+        let k = 8;
+        let mut ledger = ShardedLedger::new(k, 100, &alloc);
+        ledger.fund_mint_pools(u64::MAX / 4);
+        let mut rng = Rng::seed_from(77);
+        // Bucket accounts by home shard for locality control.
+        let mut by_shard: Vec<Vec<Address>> = vec![Vec::new(); k];
+        for a in &accounts {
+            by_shard[ShardedLedger::home_shard(a, k)].push(*a);
+        }
+        for _ in 0..n_txs {
+            let from = accounts[rng.below(500) as usize];
+            let home = ShardedLedger::home_shard(&from, k);
+            let to = if rng.chance(target) {
+                // Force cross-shard.
+                let other = (home + 1 + rng.below(k as u64 - 1) as usize) % k;
+                by_shard[other][rng.below(by_shard[other].len() as u64) as usize]
+            } else {
+                by_shard[home][rng.below(by_shard[home].len() as u64) as usize]
+            };
+            ledger.submit(Transfer { from, to, value: 1 });
+        }
+        ledger.seal_all();
+        sweep.row(vec![format!("{:.0}%", target * 100.0), format!("{:.2}x", ledger.speedup())]);
+    }
+    println!("{sweep}");
+    println!("Expected shape: near-linear speedup for local traffic, eroding as the");
+    println!("cross-shard fraction rises (each crossing costs a slot on both shards).");
+}
+
+/// E8: payment channels offload the chain (§5.4, \[30\]).
+pub fn e8_payment_channels(scale: Scale) {
+    println!("\nE8 — off-chain payment channels vs on-chain transfers");
+    println!("Paper claim: \"offload transactions outside the blockchain, as in the");
+    println!("Lightning network\" (§5.2/§5.4). Hub-and-spoke network, real WOTS-signed");
+    println!("channel updates, every payment routed.\n");
+    let payments = scale.pick(300u64, 2_000);
+    let key_height = scale.pick(10u8, 13);
+
+    let mut net = ChannelNetwork::new(10);
+    let spokes: Vec<Address> =
+        (0..6).map(|i| net.add_party([i + 1; 32], key_height, 10_000_000)).collect();
+    let hub = net.add_party([99u8; 32], key_height, 100_000_000);
+    for &s in &spokes {
+        net.open_channel(hub, s, 2_000_000, 200_000).unwrap();
+    }
+    let mut rng = Rng::seed_from(8);
+    let mut routed = 0u64;
+    let mut hops = 0usize;
+    for _ in 0..payments {
+        let from = spokes[rng.below(6) as usize];
+        let to = spokes[rng.below(6) as usize];
+        if from == to {
+            continue;
+        }
+        if let Ok(h) = net.pay(from, to, 1 + rng.below(50)) {
+            routed += 1;
+            hops += h;
+        }
+    }
+    for id in 0..6 {
+        net.cooperative_close(id).unwrap();
+    }
+
+    let mut table = Table::new(&["strategy", "payments", "on-chain txs", "payments per on-chain tx"]);
+    table.row(vec![
+        "on-chain transfers".into(),
+        format!("{routed}"),
+        format!("{routed}"),
+        "1.0".into(),
+    ]);
+    table.row(vec![
+        "payment channels".into(),
+        format!("{routed}"),
+        format!("{}", net.onchain_txs),
+        format!("{:.1}", routed as f64 / net.onchain_txs as f64),
+    ]);
+    println!("{table}");
+    println!(
+        "(mean route length {:.2} hops; {} off-chain signed updates)",
+        hops as f64 / routed as f64,
+        net.offchain_updates
+    );
+    println!("Expected shape: on-chain cost collapses from N to ~(channels + closes),");
+    println!("so the per-payment chain footprint shrinks with volume.");
+}
+
+fn build_chain(blocks: u64, txs_per_block: usize) -> Chain<NullMachine> {
+    let cfg = ChainConfig::bitcoin_like();
+    let genesis = dcs_chain::genesis_block(&cfg);
+    let mut chain = Chain::new(genesis, cfg, NullMachine);
+    for h in 1..=blocks {
+        let txs: Vec<Transaction> = (0..txs_per_block)
+            .map(|i| {
+                Transaction::Account(AccountTx::transfer(
+                    Address::from_index(h * 1_000 + i as u64),
+                    Address::from_index(1),
+                    h,
+                    0,
+                ))
+            })
+            .collect();
+        let header = BlockHeader::new(
+            chain.tip_hash(),
+            h,
+            h * 1_000_000,
+            Address::from_index(9),
+            Seal::Work { nonce: h, difficulty: 1 },
+        );
+        chain.import(Block::new(header, txs)).expect("valid");
+    }
+    chain
+}
+
+/// E10: light clients verify without downloading the ledger (§2.2), and
+/// checkpoints fix the ever-growing bootstrap cost (§5.4).
+pub fn e10_light_clients(scale: Scale) {
+    println!("\nE10 — download cost: full node vs SPV vs checkpoint bootstrap");
+    println!("Paper claim: Merkle proofs give \"fast lookups of transaction inclusion for");
+    println!("lightweight clients\" (§2.2); bootstrap needs better than \"a full download of");
+    println!("the blockchain\" (§5.4). 20 tx/block.\n");
+    let lengths: &[u64] = if scale == Scale::Quick { &[100, 500] } else { &[100, 1_000, 4_000] };
+    let mut table = Table::new(&[
+        "chain length",
+        "full download",
+        "SPV (headers+proof)",
+        "checkpoint (last 100)",
+        "SPV saving",
+    ]);
+    for &blocks in lengths {
+        let chain = build_chain(blocks, 20);
+        let full_bytes: u64 = chain.canonical()[1..]
+            .iter()
+            .map(|h| chain.tree().get(h).unwrap().block.encoded_len() as u64)
+            .sum();
+
+        // SPV from genesis: all headers + one inclusion proof.
+        let header = |height: u64| {
+            chain
+                .tree()
+                .get(&chain.canonical_at(height).unwrap())
+                .unwrap()
+                .block
+                .header
+                .clone()
+        };
+        let headers: Vec<_> = (1..=blocks).map(header).collect();
+        let mut spv = LightClient::new(header(0));
+        spv.sync(&headers).expect("headers link");
+        let target = blocks / 2;
+        let block = &chain.tree().get(&chain.canonical_at(target).unwrap()).unwrap().block;
+        let leaves: Vec<Hash256> = block.txs.iter().map(Transaction::id).collect();
+        let proof = MerkleTree::from_leaves(leaves.clone()).prove(3).unwrap();
+        assert!(spv.verify_inclusion(&leaves[3], target, &proof).unwrap());
+
+        // Checkpoint: trust a recent header, sync the last 100 only.
+        let cp_base = blocks.saturating_sub(100);
+        let mut checkpoint = LightClient::from_checkpoint(header(cp_base));
+        let recent: Vec<_> = (cp_base + 1..=blocks).map(header).collect();
+        checkpoint.sync(&recent).expect("headers link");
+
+        table.row(vec![
+            format!("{blocks}"),
+            format!("{:.2} MB", full_bytes as f64 / 1e6),
+            format!("{:.3} MB", spv.bytes_downloaded as f64 / 1e6),
+            format!("{:.4} MB", checkpoint.bytes_downloaded as f64 / 1e6),
+            format!("{:.0}x", full_bytes as f64 / spv.bytes_downloaded as f64),
+        ]);
+    }
+    println!("{table}");
+    println!("Expected shape: SPV cost is the ~constant-factor header chain; checkpoint");
+    println!("cost is flat in chain length — full download grows linearly and dwarfs both.");
+}

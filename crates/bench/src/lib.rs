@@ -1,0 +1,32 @@
+//! The experiment harness: one function per experiment in DESIGN.md's
+//! index (E1–E14 plus the F2 figure demo), each regenerating the table that
+//! backs one of the paper's quantitative claims. The `expt` binary drives
+//! them; EXPERIMENTS.md records paper-vs-measured.
+//!
+//! Every experiment takes a [`Scale`] so CI can smoke-test the full harness
+//! quickly while `expt --full` produces the publication-scale numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-experiment: for CI and iteration.
+    Quick,
+    /// The numbers recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Scales an integer parameter down in quick mode.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! The chain manager: owns the block tree, a fork-choice rule, and an
+//! application [`StateMachine`], and keeps the machine's state exactly in
+//! sync with the currently selected branch — reverting and re-applying
+//! blocks across reorgs. This is the component that delivers the paper's
+//! consistency property ("the blockchain data should be exactly identical at
+//! all peers", §2.7): every peer running the same rule over the same block
+//! set lands on the same canonical chain and state root.
+
+use crate::forkchoice::best_tip_with;
+use crate::store::BlockTree;
+use crate::ChainError;
+use dcs_crypto::Hash256;
+use dcs_primitives::{Block, ChainConfig, Receipt};
+use std::collections::HashSet;
+
+/// The application layer beneath the chain: applies blocks to mutable state
+/// and can revert them. This is the platform's equivalent of the ABCI
+/// interface the paper cites for blockchain middleware (§5.2, \[29\]).
+pub trait StateMachine: core::fmt::Debug {
+    /// Opaque undo token for one applied block.
+    type Undo: core::fmt::Debug;
+
+    /// Applies all transactions of `block`, returning receipts and an undo
+    /// token.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason if any transaction is invalid; the machine
+    /// must be left unchanged in that case.
+    fn apply_block(&mut self, block: &Block) -> Result<(Vec<Receipt>, Self::Undo), String>;
+
+    /// Reverts a previously applied block given its undo token. Undo tokens
+    /// are always presented in exact LIFO order.
+    fn revert_block(&mut self, undo: Self::Undo);
+
+    /// The authenticated root of the current state, compared against header
+    /// commitments when they are present.
+    fn state_root(&self) -> Hash256;
+}
+
+/// A state machine that accepts everything and keeps no state; used for
+/// consensus-only experiments where transaction semantics don't matter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMachine;
+
+impl StateMachine for NullMachine {
+    type Undo = ();
+
+    fn apply_block(&mut self, block: &Block) -> Result<(Vec<Receipt>, ()), String> {
+        Ok((block.txs.iter().map(|tx| Receipt::success(tx.id())).collect(), ()))
+    }
+
+    fn revert_block(&mut self, _undo: ()) {}
+
+    fn state_root(&self) -> Hash256 {
+        Hash256::ZERO
+    }
+}
+
+/// What happened as a result of importing a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainEvent {
+    /// The canonical chain grew by exactly this block.
+    Extended {
+        /// Hash of the new tip.
+        block: Hash256,
+    },
+    /// The canonical chain switched branches.
+    Reorg {
+        /// Blocks reverted from the old branch.
+        reverted: u64,
+        /// Blocks applied from the new branch.
+        applied: u64,
+        /// New tip hash.
+        new_tip: Hash256,
+    },
+    /// The block joined a non-canonical branch (a "stale"/"uncle" block).
+    SideChain {
+        /// Hash of the side-chain block.
+        block: Hash256,
+    },
+    /// The block's parent is unknown; it waits in the orphan pool.
+    Orphaned,
+}
+
+/// Cumulative consistency statistics — the raw material of experiments E2,
+/// E4, and E13.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainStats {
+    /// Branch switches observed.
+    pub reorgs: u64,
+    /// Deepest revert observed.
+    pub max_reorg_depth: u64,
+    /// Total blocks reverted across all reorgs.
+    pub blocks_reverted: u64,
+    /// Blocks that failed state validation.
+    pub invalid_blocks: u64,
+    /// Histogram of revert depths: `reorg_depth_hist[d]` counts reorgs that
+    /// reverted exactly `d` blocks (depth ≥ 15 lands in the last bucket).
+    pub reorg_depth_hist: [u64; 16],
+}
+
+/// The chain manager. See the crate docs for an example.
+#[derive(Debug)]
+pub struct Chain<M: StateMachine> {
+    tree: BlockTree,
+    config: ChainConfig,
+    machine: M,
+    canonical: Vec<Hash256>,
+    undos: Vec<M::Undo>,
+    receipts: Vec<(Hash256, Vec<Receipt>)>,
+    invalid: HashSet<Hash256>,
+    stats: ChainStats,
+    /// When true, `Seal::Work` headers must actually hash below their
+    /// difficulty target (real grinding; used by low-difficulty tests).
+    pub check_pow_hash: bool,
+    /// When true, blocks exceeding the local `block_tx_limit` are rejected —
+    /// the node-version-dependent rule behind hard forks (§3.1).
+    pub enforce_block_limit: bool,
+}
+
+impl<M: StateMachine> Chain<M> {
+    /// Creates a chain at `genesis` with the given config and machine.
+    pub fn new(genesis: Block, config: ChainConfig, machine: M) -> Self {
+        let gh = genesis.hash();
+        Chain {
+            tree: BlockTree::new(genesis),
+            config,
+            machine,
+            canonical: vec![gh],
+            undos: Vec::new(),
+            receipts: Vec::new(),
+            invalid: HashSet::new(),
+            stats: ChainStats::default(),
+            check_pow_hash: false,
+            enforce_block_limit: false,
+        }
+    }
+
+    /// The underlying block tree.
+    pub fn tree(&self) -> &BlockTree {
+        &self.tree
+    }
+
+    /// The chain configuration.
+    pub fn config(&self) -> &ChainConfig {
+        &self.config
+    }
+
+    /// The application state machine.
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Mutable access to the application state machine (read-only queries
+    /// that need `&mut` internally, test setup).
+    pub fn machine_mut(&mut self) -> &mut M {
+        &mut self.machine
+    }
+
+    /// Current tip hash.
+    pub fn tip_hash(&self) -> Hash256 {
+        *self.canonical.last().expect("canonical never empty")
+    }
+
+    /// Current tip block.
+    pub fn tip(&self) -> &Block {
+        &self.tree.get(&self.tip_hash()).expect("tip stored").block
+    }
+
+    /// Height of the canonical tip.
+    pub fn height(&self) -> u64 {
+        self.canonical.len() as u64 - 1
+    }
+
+    /// The canonical hash at `height`, if within the chain.
+    pub fn canonical_at(&self, height: u64) -> Option<Hash256> {
+        self.canonical.get(height as usize).copied()
+    }
+
+    /// The full canonical chain, genesis first.
+    pub fn canonical(&self) -> &[Hash256] {
+        &self.canonical
+    }
+
+    /// True if `hash` is on the canonical chain.
+    pub fn is_canonical(&self, hash: &Hash256) -> bool {
+        self.tree
+            .get(hash)
+            .is_some_and(|sb| self.canonical_at(sb.block.header.height) == Some(*hash))
+    }
+
+    /// Consistency statistics so far.
+    pub fn stats(&self) -> ChainStats {
+        self.stats
+    }
+
+    /// Blocks in the tree that are not on the canonical chain (the paper's
+    /// "branches"; Ethereum's uncles). Orphans are not counted.
+    pub fn stale_blocks(&self) -> u64 {
+        self.tree.len() as u64 - self.canonical.len() as u64
+    }
+
+    /// Receipts for every canonical block applied so far, in application
+    /// order, drained by the caller (the middleware event bus consumes
+    /// these).
+    pub fn drain_receipts(&mut self) -> Vec<(Hash256, Vec<Receipt>)> {
+        std::mem::take(&mut self.receipts)
+    }
+
+    fn check_seal(&self, block: &Block) -> Result<(), ChainError> {
+        if self.check_pow_hash && !block.header.meets_pow_target() {
+            return Err(ChainError::BadSeal(
+                "header hash does not meet its difficulty target".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Node-local consensus-rule validation. This is where hard forks live
+    /// (paper §3.1: "hard forks when new versions of blockchain code are
+    /// incompatible with previous ones"): a node running an older rule set
+    /// (e.g. a smaller `block_tx_limit`, cf. Segwit2x \[42\]) rejects blocks
+    /// its peers accept, and the user base divides.
+    fn check_rules(&self, block: &Block) -> Result<(), ChainError> {
+        if self.enforce_block_limit && block.txs.len() > self.config.block_tx_limit + 1 {
+            // +1: the coinbase rides on top of the client-tx limit.
+            return Err(ChainError::BadTransaction(format!(
+                "block carries {} transactions, local rule allows {}",
+                block.txs.len(),
+                self.config.block_tx_limit + 1
+            )));
+        }
+        Ok(())
+    }
+
+    /// Imports a block: stores it, recomputes fork choice, and applies or
+    /// reorgs the state machine as needed.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors ([`ChainError::Duplicate`], bad height/root/seal).
+    /// `UnknownParent` is *not* an error here — the block is parked and
+    /// [`ChainEvent::Orphaned`] is returned.
+    pub fn import(&mut self, block: Block) -> Result<ChainEvent, ChainError> {
+        self.check_seal(&block)?;
+        self.check_rules(&block)?;
+        let inserted = self.tree.insert_or_orphan(block)?;
+        if inserted.is_empty() {
+            return Ok(ChainEvent::Orphaned);
+        }
+        let old_tip = self.tip_hash();
+        let event = self.update_head()?;
+        // If nothing changed, the imported block landed on a side branch.
+        Ok(match event {
+            Some(ev) => ev,
+            None => {
+                debug_assert_eq!(self.tip_hash(), old_tip);
+                ChainEvent::SideChain { block: inserted[0] }
+            }
+        })
+    }
+
+    /// Recomputes the best tip and moves the state machine onto it.
+    /// Returns `None` if the head did not move.
+    fn update_head(&mut self) -> Result<Option<ChainEvent>, ChainError> {
+        loop {
+            let invalid = &self.invalid;
+            let tree = &self.tree;
+            let new_tip = best_tip_with(tree, self.config.fork_choice, |h| {
+                // A tip is viable if no block on its path back to the first
+                // known-canonical ancestor is invalid.
+                let mut cur = *h;
+                loop {
+                    if invalid.contains(&cur) {
+                        return false;
+                    }
+                    let sb = tree.get(&cur).expect("tip path stored");
+                    if sb.block.header.height == 0 {
+                        return true;
+                    }
+                    cur = sb.block.header.parent;
+                }
+            });
+            let old_tip = self.tip_hash();
+            if new_tip == old_tip {
+                return Ok(None);
+            }
+            let ancestor = self.tree.common_ancestor(&old_tip, &new_tip);
+            let anc_height = self.tree.get(&ancestor).expect("ancestor stored").block.header.height;
+
+            // Revert the old branch down to the ancestor.
+            let mut reverted = 0u64;
+            while self.height() > anc_height {
+                self.canonical.pop();
+                let undo = self.undos.pop().expect("one undo per canonical block");
+                self.machine.revert_block(undo);
+                reverted += 1;
+            }
+
+            // Apply the new branch upward from the ancestor.
+            let mut to_apply = Vec::new();
+            let mut cur = new_tip;
+            while cur != ancestor {
+                to_apply.push(cur);
+                cur = self.tree.get(&cur).expect("path stored").block.header.parent;
+            }
+            to_apply.reverse();
+
+            let mut applied = 0u64;
+            let mut failure: Option<Hash256> = None;
+            for hash in &to_apply {
+                let block = self.tree.get(hash).expect("path stored").block.clone();
+                match self.machine.apply_block(&block) {
+                    Ok((receipts, undo)) => {
+                        // Verify the header's state commitment when present.
+                        if block.header.state_root != Hash256::ZERO
+                            && self.machine.state_root() != block.header.state_root
+                        {
+                            self.machine.revert_block(undo);
+                            failure = Some(*hash);
+                            break;
+                        }
+                        self.canonical.push(*hash);
+                        self.undos.push(undo);
+                        self.receipts.push((*hash, receipts));
+                        applied += 1;
+                    }
+                    Err(_reason) => {
+                        failure = Some(*hash);
+                        break;
+                    }
+                }
+            }
+
+            if let Some(bad) = failure {
+                // Poison the failing block, roll everything back to the
+                // ancestor, restore the old branch, and retry fork choice.
+                self.invalid.insert(bad);
+                self.stats.invalid_blocks += 1;
+                while self.height() > anc_height {
+                    self.canonical.pop();
+                    let undo = self.undos.pop().expect("undo per block");
+                    self.machine.revert_block(undo);
+                }
+                // Restore the old branch exactly as it was.
+                let mut old_branch = Vec::new();
+                let mut cur = old_tip;
+                while cur != ancestor {
+                    old_branch.push(cur);
+                    cur = self.tree.get(&cur).expect("old path stored").block.header.parent;
+                }
+                old_branch.reverse();
+                for hash in old_branch {
+                    let block = self.tree.get(&hash).expect("old path stored").block.clone();
+                    let (receipts, undo) = self
+                        .machine
+                        .apply_block(&block)
+                        .map_err(ChainError::BadTransaction)?;
+                    let _ = receipts; // already delivered the first time
+                    self.canonical.push(hash);
+                    self.undos.push(undo);
+                }
+                continue; // re-run fork choice without the poisoned block
+            }
+
+            let event = if reverted == 0 && applied == 1 {
+                ChainEvent::Extended { block: new_tip }
+            } else {
+                self.stats.reorgs += 1;
+                self.stats.max_reorg_depth = self.stats.max_reorg_depth.max(reverted);
+                self.stats.blocks_reverted += reverted;
+                self.stats.reorg_depth_hist[(reverted as usize).min(15)] += 1;
+                ChainEvent::Reorg { reverted, applied, new_tip }
+            };
+            return Ok(Some(event));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_crypto::Address;
+    use dcs_primitives::{AccountTx, BlockHeader, Seal, Transaction};
+
+    fn cfg() -> ChainConfig {
+        ChainConfig::bitcoin_like()
+    }
+
+    fn child(parent: &Block, salt: u64) -> Block {
+        Block::new(
+            BlockHeader::new(
+                parent.hash(),
+                parent.header.height + 1,
+                salt,
+                Address::from_index(salt),
+                Seal::None,
+            ),
+            vec![],
+        )
+    }
+
+    fn new_chain() -> (Chain<NullMachine>, Block) {
+        let g = crate::genesis_block(&cfg());
+        (Chain::new(g.clone(), cfg(), NullMachine), g)
+    }
+
+    #[test]
+    fn extension_and_receipts() {
+        let (mut chain, g) = new_chain();
+        let b1 = child(&g, 1);
+        let ev = chain.import(b1.clone()).unwrap();
+        assert_eq!(ev, ChainEvent::Extended { block: b1.hash() });
+        assert_eq!(chain.height(), 1);
+        assert_eq!(chain.tip_hash(), b1.hash());
+        let receipts = chain.drain_receipts();
+        assert_eq!(receipts.len(), 1);
+        assert_eq!(receipts[0].0, b1.hash());
+        assert!(chain.drain_receipts().is_empty(), "drained");
+    }
+
+    #[test]
+    fn side_chain_then_reorg() {
+        let (mut chain, g) = new_chain();
+        let a1 = child(&g, 1);
+        let b1 = child(&g, 10);
+        let b2 = child(&b1, 11);
+        chain.import(a1.clone()).unwrap();
+        let ev = chain.import(b1.clone()).unwrap();
+        assert_eq!(ev, ChainEvent::SideChain { block: b1.hash() });
+        assert_eq!(chain.tip_hash(), a1.hash());
+
+        // b2 makes the b-branch longer → reorg of depth 1.
+        let ev = chain.import(b2.clone()).unwrap();
+        assert_eq!(ev, ChainEvent::Reorg { reverted: 1, applied: 2, new_tip: b2.hash() });
+        assert_eq!(chain.canonical(), &[g.hash(), b1.hash(), b2.hash()]);
+        assert_eq!(chain.stats().reorgs, 1);
+        assert_eq!(chain.stats().max_reorg_depth, 1);
+        assert_eq!(chain.stale_blocks(), 1); // a1
+        assert!(chain.is_canonical(&b1.hash()));
+        assert!(!chain.is_canonical(&a1.hash()));
+    }
+
+    #[test]
+    fn orphan_import_then_connect() {
+        let (mut chain, g) = new_chain();
+        let b1 = child(&g, 1);
+        let b2 = child(&b1, 2);
+        assert_eq!(chain.import(b2.clone()).unwrap(), ChainEvent::Orphaned);
+        assert_eq!(chain.height(), 0);
+        let ev = chain.import(b1.clone()).unwrap();
+        // b1 connects and pulls in b2 → head jumps two blocks.
+        assert!(matches!(ev, ChainEvent::Reorg { reverted: 0, applied: 2, .. }));
+        assert_eq!(chain.tip_hash(), b2.hash());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let (mut chain, g) = new_chain();
+        let b1 = child(&g, 1);
+        chain.import(b1.clone()).unwrap();
+        assert_eq!(chain.import(b1), Err(ChainError::Duplicate));
+    }
+
+    /// A state machine that rejects blocks containing any account tx whose
+    /// value is 666, to exercise the invalid-branch recovery path.
+    #[derive(Debug, Default)]
+    struct Picky {
+        applied: Vec<Hash256>,
+    }
+
+    impl StateMachine for Picky {
+        type Undo = Hash256;
+
+        fn apply_block(&mut self, block: &Block) -> Result<(Vec<Receipt>, Hash256), String> {
+            for tx in &block.txs {
+                if let Transaction::Account(a) = tx {
+                    if a.value == 666 {
+                        return Err("cursed value".into());
+                    }
+                }
+            }
+            let h = block.hash();
+            self.applied.push(h);
+            Ok((vec![], h))
+        }
+
+        fn revert_block(&mut self, undo: Hash256) {
+            assert_eq!(self.applied.pop(), Some(undo), "LIFO revert order");
+        }
+
+        fn state_root(&self) -> Hash256 {
+            Hash256::ZERO
+        }
+    }
+
+    #[test]
+    fn invalid_branch_is_poisoned_and_old_branch_restored() {
+        let g = crate::genesis_block(&cfg());
+        let mut chain = Chain::new(g.clone(), cfg(), Picky::default());
+        let a1 = child(&g, 1);
+        chain.import(a1.clone()).unwrap();
+
+        // Build a longer branch whose middle block is invalid.
+        let b1 = child(&g, 10);
+        let cursed = Transaction::Account(AccountTx::transfer(
+            Address::from_index(1),
+            Address::from_index(2),
+            666,
+            0,
+        ));
+        let b2 = Block::new(
+            BlockHeader::new(b1.hash(), 2, 11, Address::from_index(11), Seal::None),
+            vec![cursed],
+        );
+        let b3 = child(&b2, 12);
+
+        chain.import(b1.clone()).unwrap();
+        chain.import(b2.clone()).unwrap();
+        let _ = chain.import(b3.clone()).unwrap();
+
+        // The cursed branch must not win; a1 remains the tip.
+        assert_eq!(chain.tip_hash(), a1.hash());
+        assert_eq!(chain.stats().invalid_blocks, 1);
+        assert_eq!(chain.machine().applied, vec![a1.hash()]);
+    }
+
+    #[test]
+    fn pow_hash_check_enforced_when_enabled() {
+        let g = crate::genesis_block(&cfg());
+        let mut chain = Chain::new(g.clone(), cfg(), NullMachine);
+        chain.check_pow_hash = true;
+        // A block claiming 16 difficulty bits without grinding will
+        // essentially always fail the check.
+        let block = Block::new(
+            BlockHeader::new(
+                g.hash(),
+                1,
+                1,
+                Address::ZERO,
+                Seal::Work { nonce: 12345, difficulty: 1 << 16 },
+            ),
+            vec![],
+        );
+        assert!(matches!(chain.import(block), Err(ChainError::BadSeal(_))));
+    }
+
+    #[test]
+    fn ghost_rule_reorgs_toward_heavy_subtree() {
+        let g = crate::genesis_block(&cfg());
+        let mut config = cfg();
+        config.fork_choice = dcs_primitives::ForkChoice::Ghost;
+        let mut chain = Chain::new(g.clone(), config, NullMachine);
+        let a1 = child(&g, 1);
+        let a2 = child(&a1, 2);
+        let b1 = child(&g, 10);
+        let u1 = child(&b1, 11);
+        let u2 = child(&b1, 12);
+        let u3 = child(&b1, 13);
+        chain.import(a1.clone()).unwrap();
+        chain.import(a2.clone()).unwrap();
+        chain.import(b1.clone()).unwrap();
+        assert_eq!(chain.tip_hash(), a2.hash());
+        chain.import(u1.clone()).unwrap();
+        chain.import(u2.clone()).unwrap();
+        chain.import(u3.clone()).unwrap();
+        // Subtree under b1 now has 4 blocks vs 2 under a1 → GHOST switches.
+        let tip = chain.tip_hash();
+        assert!(
+            [u1.hash(), u2.hash(), u3.hash()].contains(&tip),
+            "tip should be inside the b-subtree"
+        );
+        assert_eq!(tip, u1.hash(), "first-seen tie-break among uncles");
+    }
+}

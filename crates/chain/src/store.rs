@@ -1,0 +1,348 @@
+//! The block tree: every valid block ever seen, indexed by hash, with
+//! parent/child links, cumulative work, and an orphan pool for blocks that
+//! arrive before their parents (routine under gossip reordering).
+
+use crate::ChainError;
+use dcs_crypto::Hash256;
+use dcs_primitives::Block;
+use std::collections::HashMap;
+
+/// A block plus the tree metadata maintained for it.
+#[derive(Debug, Clone)]
+pub struct StoredBlock {
+    /// The block itself.
+    pub block: Block,
+    /// Sum of `header.work()` from genesis to this block.
+    pub total_work: u128,
+    /// Hashes of known children.
+    pub children: Vec<Hash256>,
+    /// Import order (used for first-seen tie-breaking, as Bitcoin does).
+    pub arrival: u64,
+}
+
+/// An in-memory tree of blocks rooted at genesis.
+#[derive(Debug, Clone)]
+pub struct BlockTree {
+    blocks: HashMap<Hash256, StoredBlock>,
+    genesis: Hash256,
+    orphans: HashMap<Hash256, Vec<Block>>, // parent hash → waiting blocks
+    arrivals: u64,
+}
+
+impl BlockTree {
+    /// Creates a tree holding only `genesis`.
+    pub fn new(genesis: Block) -> Self {
+        let gh = genesis.hash();
+        let mut blocks = HashMap::new();
+        blocks.insert(
+            gh,
+            StoredBlock { total_work: genesis.header.work(), block: genesis, children: Vec::new(), arrival: 0 },
+        );
+        BlockTree { blocks, genesis: gh, orphans: HashMap::new(), arrivals: 1 }
+    }
+
+    /// The genesis hash.
+    pub fn genesis(&self) -> Hash256 {
+        self.genesis
+    }
+
+    /// Total blocks stored (excluding orphans awaiting parents).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Always false: a tree at least contains genesis.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of blocks parked in the orphan pool.
+    pub fn orphan_count(&self) -> usize {
+        self.orphans.values().map(Vec::len).sum()
+    }
+
+    /// Looks up a stored block by hash.
+    pub fn get(&self, hash: &Hash256) -> Option<&StoredBlock> {
+        self.blocks.get(hash)
+    }
+
+    /// True if the block is in the tree.
+    pub fn contains(&self, hash: &Hash256) -> bool {
+        self.blocks.contains_key(hash)
+    }
+
+    /// Inserts a block whose parent is present, after structural checks
+    /// (height linkage and transaction root). Returns the hashes of any
+    /// orphans that became connectable and were inserted as a result.
+    ///
+    /// # Errors
+    ///
+    /// * [`ChainError::UnknownParent`] — caller should use
+    ///   [`BlockTree::insert_or_orphan`] under gossip.
+    /// * [`ChainError::Duplicate`], [`ChainError::BadHeight`],
+    ///   [`ChainError::BadTxRoot`].
+    pub fn insert(&mut self, block: Block) -> Result<Hash256, ChainError> {
+        let hash = block.hash();
+        if self.blocks.contains_key(&hash) {
+            return Err(ChainError::Duplicate);
+        }
+        let parent = self
+            .blocks
+            .get(&block.header.parent)
+            .ok_or(ChainError::UnknownParent(block.header.parent))?;
+        let expected = parent.block.header.height + 1;
+        if block.header.height != expected {
+            return Err(ChainError::BadHeight { got: block.header.height, expected });
+        }
+        if !block.verify_tx_root() {
+            return Err(ChainError::BadTxRoot);
+        }
+        let total_work = parent.total_work + block.header.work();
+        let parent_hash = block.header.parent;
+        let arrival = self.arrivals;
+        self.arrivals += 1;
+        self.blocks
+            .insert(hash, StoredBlock { block, total_work, children: Vec::new(), arrival });
+        self.blocks
+            .get_mut(&parent_hash)
+            .expect("parent checked above")
+            .children
+            .push(hash);
+        Ok(hash)
+    }
+
+    /// Inserts a block, parking it as an orphan if the parent is missing.
+    /// Returns all hashes actually inserted (the block plus any orphans it
+    /// unblocked), in insertion order; empty if the block was orphaned.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors other than `UnknownParent` are returned as-is.
+    pub fn insert_or_orphan(&mut self, block: Block) -> Result<Vec<Hash256>, ChainError> {
+        if !self.blocks.contains_key(&block.header.parent) {
+            self.orphans.entry(block.header.parent).or_default().push(block);
+            return Ok(vec![]);
+        }
+        let hash = self.insert(block)?;
+        let mut inserted = vec![hash];
+        let mut frontier = vec![hash];
+        while let Some(parent) = frontier.pop() {
+            if let Some(waiting) = self.orphans.remove(&parent) {
+                for orphan in waiting {
+                    if let Ok(h) = self.insert(orphan) {
+                        inserted.push(h);
+                        frontier.push(h);
+                    }
+                }
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// The path of hashes from genesis to `tip`, inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tip` is not in the tree.
+    pub fn path_from_genesis(&self, tip: &Hash256) -> Vec<Hash256> {
+        let mut path = vec![*tip];
+        let mut cur = *tip;
+        while cur != self.genesis {
+            cur = self.blocks[&cur].block.header.parent;
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Lowest common ancestor of two blocks in the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either hash is not in the tree.
+    pub fn common_ancestor(&self, a: &Hash256, b: &Hash256) -> Hash256 {
+        let mut a = *a;
+        let mut b = *b;
+        while self.blocks[&a].block.header.height > self.blocks[&b].block.header.height {
+            a = self.blocks[&a].block.header.parent;
+        }
+        while self.blocks[&b].block.header.height > self.blocks[&a].block.header.height {
+            b = self.blocks[&b].block.header.parent;
+        }
+        while a != b {
+            a = self.blocks[&a].block.header.parent;
+            b = self.blocks[&b].block.header.parent;
+        }
+        a
+    }
+
+    /// Iterates over all stored blocks in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredBlock> {
+        self.blocks.values()
+    }
+
+    /// Leaf blocks (no children): the candidate tips.
+    pub fn tips(&self) -> Vec<Hash256> {
+        self.blocks
+            .iter()
+            .filter(|(_, sb)| sb.children.is_empty())
+            .map(|(h, _)| *h)
+            .collect()
+    }
+
+    /// Number of blocks in the subtree rooted at `hash` (inclusive); the
+    /// weight used by GHOST.
+    pub fn subtree_size(&self, hash: &Hash256) -> u64 {
+        let mut count = 0;
+        let mut stack = vec![*hash];
+        while let Some(h) = stack.pop() {
+            count += 1;
+            stack.extend(&self.blocks[&h].children);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_crypto::Address;
+    use dcs_primitives::{BlockHeader, ChainConfig, Seal};
+
+    fn genesis() -> Block {
+        crate::genesis_block(&ChainConfig::bitcoin_like())
+    }
+
+    fn child_of(parent: &Block, salt: u64) -> Block {
+        Block::new(
+            BlockHeader::new(
+                parent.hash(),
+                parent.header.height + 1,
+                salt,
+                Address::from_index(salt),
+                Seal::None,
+            ),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let b1 = child_of(&g, 1);
+        let h1 = tree.insert(b1.clone()).unwrap();
+        assert_eq!(h1, b1.hash());
+        assert!(tree.contains(&h1));
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.get(&h1).unwrap().block, b1);
+        assert_eq!(tree.get(&tree.genesis()).unwrap().children, vec![h1]);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let b1 = child_of(&g, 1);
+        tree.insert(b1.clone()).unwrap();
+        assert_eq!(tree.insert(b1), Err(ChainError::Duplicate));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let b1 = child_of(&g, 1);
+        let b2 = child_of(&b1, 2); // parent not inserted
+        assert!(matches!(tree.insert(b2), Err(ChainError::UnknownParent(_))));
+    }
+
+    #[test]
+    fn bad_height_rejected() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let mut b1 = child_of(&g, 1);
+        b1.header.height = 5;
+        assert_eq!(
+            tree.insert(b1),
+            Err(ChainError::BadHeight { got: 5, expected: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_tx_root_rejected() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let mut b1 = child_of(&g, 1);
+        b1.header.tx_root = dcs_crypto::sha256(b"lies");
+        assert_eq!(tree.insert(b1), Err(ChainError::BadTxRoot));
+    }
+
+    #[test]
+    fn total_work_accumulates() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let mut b1 = child_of(&g, 1);
+        b1.header.seal = Seal::Work { nonce: 0, difficulty: 1024 };
+        let b1 = Block::new(b1.header, vec![]);
+        let h1 = tree.insert(b1.clone()).unwrap();
+        assert_eq!(tree.get(&h1).unwrap().total_work, 1 + 1024);
+    }
+
+    #[test]
+    fn path_and_common_ancestor() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let a1 = child_of(&g, 1);
+        let a2 = child_of(&a1, 2);
+        let b1 = child_of(&g, 10);
+        let b2 = child_of(&b1, 11);
+        for b in [&a1, &a2, &b1, &b2] {
+            tree.insert(b.clone()).unwrap();
+        }
+        assert_eq!(
+            tree.path_from_genesis(&a2.hash()),
+            vec![g.hash(), a1.hash(), a2.hash()]
+        );
+        assert_eq!(tree.common_ancestor(&a2.hash(), &b2.hash()), g.hash());
+        assert_eq!(tree.common_ancestor(&a2.hash(), &a1.hash()), a1.hash());
+        assert_eq!(tree.common_ancestor(&a2.hash(), &a2.hash()), a2.hash());
+    }
+
+    #[test]
+    fn orphans_connect_when_parent_arrives() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let b1 = child_of(&g, 1);
+        let b2 = child_of(&b1, 2);
+        let b3 = child_of(&b2, 3);
+        // Deliver out of order: 3, 2, then 1.
+        assert_eq!(tree.insert_or_orphan(b3.clone()).unwrap(), vec![]);
+        assert_eq!(tree.insert_or_orphan(b2.clone()).unwrap(), vec![]);
+        assert_eq!(tree.orphan_count(), 2);
+        let inserted = tree.insert_or_orphan(b1.clone()).unwrap();
+        assert_eq!(inserted, vec![b1.hash(), b2.hash(), b3.hash()]);
+        assert_eq!(tree.orphan_count(), 0);
+        assert_eq!(tree.len(), 4);
+    }
+
+    #[test]
+    fn tips_and_subtree_size() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let a1 = child_of(&g, 1);
+        let a2 = child_of(&a1, 2);
+        let b1 = child_of(&g, 10);
+        for b in [&a1, &a2, &b1] {
+            tree.insert(b.clone()).unwrap();
+        }
+        let mut tips = tree.tips();
+        tips.sort();
+        let mut expect = vec![a2.hash(), b1.hash()];
+        expect.sort();
+        assert_eq!(tips, expect);
+        assert_eq!(tree.subtree_size(&g.hash()), 4);
+        assert_eq!(tree.subtree_size(&a1.hash()), 2);
+        assert_eq!(tree.subtree_size(&b1.hash()), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the chain layer: arbitrary block trees must
+//! leave the chain manager in a consistent state — the canonical chain is
+//! a valid path, fork choice is insensitive to delivery order (up to
+//! first-seen tie-breaking), and reorgs never corrupt state.
+
+use dcs_chain::{Chain, NullMachine};
+use dcs_crypto::Address;
+use dcs_primitives::{Block, BlockHeader, ChainConfig, ForkChoice, Seal, Transaction};
+use proptest::prelude::*;
+
+/// Builds a random tree description: each entry is (parent index into the
+/// list of already-created blocks, salt).
+fn arb_tree(max: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((any::<usize>(), any::<u64>()), 1..max)
+}
+
+fn make_blocks(spec: &[(usize, u64)], genesis: &Block) -> Vec<Block> {
+    let mut blocks: Vec<Block> = vec![genesis.clone()];
+    for (parent_raw, salt) in spec {
+        let parent = &blocks[parent_raw % blocks.len()];
+        let block = Block::new(
+            BlockHeader::new(
+                parent.hash(),
+                parent.header.height + 1,
+                *salt,
+                Address::from_index(*salt % 16),
+                Seal::Work { nonce: *salt, difficulty: 1 + salt % 1_000 },
+            ),
+            vec![Transaction::Coinbase {
+                to: Address::from_index(*salt % 16),
+                value: 1,
+                height: parent.header.height + 1,
+            }],
+        );
+        blocks.push(block);
+    }
+    blocks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn canonical_chain_is_always_a_valid_path(
+        spec in arb_tree(40),
+        rule_pick in 0usize..3,
+    ) {
+        let rule = [ForkChoice::LongestChain, ForkChoice::HeaviestWork, ForkChoice::Ghost][rule_pick];
+        let mut cfg = ChainConfig::bitcoin_like();
+        cfg.fork_choice = rule;
+        let genesis = dcs_chain::genesis_block(&cfg);
+        let blocks = make_blocks(&spec, &genesis);
+        let mut chain = Chain::new(genesis.clone(), cfg, NullMachine);
+        for b in &blocks[1..] {
+            let _ = chain.import(b.clone()); // duplicates allowed to error
+        }
+        // Invariant 1: canonical[i] links to canonical[i-1].
+        let canonical = chain.canonical().to_vec();
+        prop_assert_eq!(canonical[0], genesis.hash());
+        for w in canonical.windows(2) {
+            let child = &chain.tree().get(&w[1]).unwrap().block;
+            prop_assert_eq!(child.header.parent, w[0]);
+        }
+        // Invariant 2: heights are consecutive.
+        for (h, hash) in canonical.iter().enumerate() {
+            prop_assert_eq!(chain.tree().get(hash).unwrap().block.header.height, h as u64);
+            prop_assert!(chain.is_canonical(hash));
+        }
+        // Invariant 3: the tip is a leaf under the rule's own scoring (no
+        // canonical child exists beyond it).
+        prop_assert_eq!(*canonical.last().unwrap(), chain.tip_hash());
+    }
+
+    #[test]
+    fn delivery_order_does_not_change_the_final_tip_score(
+        spec in arb_tree(30),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Different delivery orders may pick different first-seen
+        // tie-break winners, but the *score* of the selected tip (height
+        // for longest-chain) must match.
+        let cfg = ChainConfig::bitcoin_like();
+        let genesis = dcs_chain::genesis_block(&cfg);
+        let blocks = make_blocks(&spec, &genesis);
+
+        let run = |order: &[Block]| {
+            let mut chain = Chain::new(genesis.clone(), cfg.clone(), NullMachine);
+            for b in order {
+                let _ = chain.import(b.clone());
+            }
+            chain.height()
+        };
+        let in_order = run(&blocks[1..]);
+
+        let mut shuffled: Vec<Block> = blocks[1..].to_vec();
+        let mut rng = dcs_sim::Rng::seed_from(shuffle_seed);
+        rng.shuffle(&mut shuffled);
+        let out_of_order = run(&shuffled);
+        prop_assert_eq!(in_order, out_of_order);
+    }
+
+    #[test]
+    fn stats_are_consistent(spec in arb_tree(40)) {
+        let cfg = ChainConfig::bitcoin_like();
+        let genesis = dcs_chain::genesis_block(&cfg);
+        let blocks = make_blocks(&spec, &genesis);
+        let mut chain = Chain::new(genesis, cfg, NullMachine);
+        for b in &blocks[1..] {
+            let _ = chain.import(b.clone());
+        }
+        let stats = chain.stats();
+        let hist_total: u64 = stats.reorg_depth_hist.iter().sum();
+        prop_assert_eq!(hist_total, stats.reorgs);
+        prop_assert!(stats.max_reorg_depth <= stats.blocks_reverted);
+        prop_assert_eq!(
+            chain.stale_blocks(),
+            chain.tree().len() as u64 - chain.canonical().len() as u64
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! 51%-attack analysis (§2.2, §2.4): the paper grounds immutability in the
+//! claim that rewriting history "takes an attacker a large volume of
+//! computational resources (e.g., more than 51% of the entire network)".
+//! This module quantifies that claim two ways — Nakamoto's analytical
+//! formula and a Monte Carlo race simulation — compared head-to-head in
+//! experiments E6 and E13.
+
+use dcs_sim::Rng;
+
+/// Nakamoto's closed-form probability that an attacker controlling fraction
+/// `q` of hash power eventually rewrites a transaction buried under `z`
+/// confirmations (Bitcoin whitepaper, §11).
+///
+/// Returns 1.0 when `q >= 0.5` (the attacker always wins eventually).
+///
+/// # Panics
+///
+/// Panics if `q` is not in `[0, 1]`.
+pub fn nakamoto_success_probability(q: f64, z: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "attacker share must be in [0,1], got {q}");
+    if q <= 0.0 {
+        return 0.0;
+    }
+    if q >= 0.5 {
+        return 1.0;
+    }
+    let p = 1.0 - q;
+    let lambda = z as f64 * q / p;
+    let mut sum = 0.0;
+    let mut poisson = (-lambda).exp(); // P(k=0)
+    for k in 0..=z {
+        let catch_up = 1.0 - (q / p).powi((z - k) as i32);
+        sum += poisson * catch_up;
+        poisson *= lambda / (k as f64 + 1.0);
+    }
+    (1.0 - sum).clamp(0.0, 1.0)
+}
+
+/// Outcome of a Monte Carlo double-spend race.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaceResult {
+    /// Fraction of trials where the attacker's private chain overtook the
+    /// honest chain.
+    pub success_rate: f64,
+    /// Mean attacker lead/deficit when the race was decided.
+    pub mean_blocks_to_decide: f64,
+}
+
+/// Simulates the private-mining race under Nakamoto's model: the attacker
+/// forks at the parent of the block holding the victim transaction, the
+/// merchant waits until that block has `z` confirmations (z honest blocks
+/// including it), and the attacker keeps mining privately until *catching
+/// up* (Nakamoto counts reaching a tie as success, since the attacker can
+/// then release and win the race with its next block) or falling
+/// `give_up_deficit` blocks behind.
+///
+/// Each new block belongs to the attacker with probability `q` — the
+/// standard memoryless model of competing Poisson miners.
+pub fn simulate_double_spend(
+    q: f64,
+    z: u32,
+    trials: u32,
+    give_up_deficit: i64,
+    seed: u64,
+) -> RaceResult {
+    assert!((0.0..=1.0).contains(&q), "attacker share must be in [0,1], got {q}");
+    let mut rng = Rng::seed_from(seed);
+    let mut successes = 0u32;
+    let mut total_blocks = 0u64;
+    for _ in 0..trials {
+        // Lead = attacker chain length minus honest chain length, measured
+        // from the fork point. Both start at the fork, so lead starts at 0.
+        let mut lead: i64 = 0;
+        let mut honest_blocks = 0u32;
+        let mut blocks = 0u64;
+        let decided = loop {
+            blocks += 1;
+            if rng.chance(q) {
+                lead += 1;
+            } else {
+                lead -= 1;
+                honest_blocks += 1;
+            }
+            // Merchant accepts once the honest chain holds z confirmations;
+            // from then on, the attacker succeeds on catching up (tie).
+            if honest_blocks >= z && lead >= 0 {
+                break true;
+            }
+            if lead <= -give_up_deficit {
+                break false;
+            }
+        };
+        if decided {
+            successes += 1;
+        }
+        total_blocks += blocks;
+    }
+    RaceResult {
+        success_rate: f64::from(successes) / f64::from(trials),
+        mean_blocks_to_decide: total_blocks as f64 / f64::from(trials),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_boundaries() {
+        assert_eq!(nakamoto_success_probability(0.0, 6), 0.0);
+        assert_eq!(nakamoto_success_probability(0.5, 6), 1.0);
+        assert_eq!(nakamoto_success_probability(0.9, 1), 1.0);
+    }
+
+    #[test]
+    fn analytic_matches_whitepaper_table() {
+        // Nakamoto's published values: q=0.1, z=5 → 0.0009137;
+        // q=0.3, z=5 → 0.1773523.
+        let p_q10_z5 = nakamoto_success_probability(0.1, 5);
+        assert!((p_q10_z5 - 0.0009137).abs() < 0.0001, "{p_q10_z5}");
+        let p_q30_z5 = nakamoto_success_probability(0.3, 5);
+        assert!((p_q30_z5 - 0.1773523).abs() < 0.001, "{p_q30_z5}");
+        // q=0.1, z=0 → 1.0 (unconfirmed txs are trivially reversible).
+        assert!((nakamoto_success_probability(0.1, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_confirmations_monotonically_safer() {
+        let mut last = 1.1;
+        for z in 0..10 {
+            let p = nakamoto_success_probability(0.25, z);
+            assert!(p < last, "z={z}: {p} !< {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn simulation_tracks_analytic_formula() {
+        for (q, z) in [(0.1, 2), (0.2, 3), (0.3, 4)] {
+            let analytic = nakamoto_success_probability(q, z);
+            let sim = simulate_double_spend(q, z, 20_000, 60, 42);
+            assert!(
+                (sim.success_rate - analytic).abs() < 0.02,
+                "q={q} z={z}: sim {} vs analytic {analytic}",
+                sim.success_rate
+            );
+        }
+    }
+
+    #[test]
+    fn majority_attacker_always_wins_in_simulation() {
+        let sim = simulate_double_spend(0.6, 3, 2_000, 200, 7);
+        assert!(sim.success_rate > 0.98, "got {}", sim.success_rate);
+    }
+
+    #[test]
+    fn tiny_attacker_almost_never_wins() {
+        let sim = simulate_double_spend(0.05, 6, 5_000, 40, 9);
+        assert!(sim.success_rate < 0.001, "got {}", sim.success_rate);
+    }
+}

@@ -1,0 +1,130 @@
+//! Difficulty retargeting: the mechanism behind the paper's observation that
+//! Bitcoin "does not yield increased performance despite the increase in
+//! \[hash\] power" (§2.7) — as miners add power, difficulty rises to pin the
+//! block interval, so throughput stays flat. Experiment E1 demonstrates this.
+
+use dcs_chain::StateMachine;
+use dcs_primitives::Seal;
+
+/// Bitcoin-style bounds on a single retarget step.
+const MAX_ADJUST: f64 = 4.0;
+
+/// The difficulty the *next* block must carry, derived deterministically from
+/// the canonical chain: every `window` blocks, scale the previous difficulty
+/// by `target_interval / observed_interval`, clamped to a factor of 4 per
+/// step (as Bitcoin does).
+pub fn next_difficulty<M: StateMachine>(
+    chain: &dcs_chain::Chain<M>,
+    initial: u64,
+    window: u64,
+    target_interval_us: u64,
+) -> u64 {
+    if window == 0 {
+        return initial.max(1);
+    }
+    let next_height = chain.height() + 1;
+    // Block h belongs to era (h-1)/window: the first `window` blocks use the
+    // initial difficulty, and each later era reads the timestamps of the
+    // previous era's boundary blocks (which are guaranteed to exist).
+    let era = (next_height - 1) / window;
+    if era == 0 {
+        return initial.max(1);
+    }
+    // The era boundary blocks: heights (era-1)*window and era*window.
+    let hi = era * window;
+    let lo = hi - window;
+    let (Some(hi_hash), Some(lo_hash)) = (chain.canonical_at(hi), chain.canonical_at(lo)) else {
+        return initial.max(1);
+    };
+    let hi_hdr = &chain.tree().get(&hi_hash).expect("canonical stored").block.header;
+    let lo_hdr = &chain.tree().get(&lo_hash).expect("canonical stored").block.header;
+    let prev_difficulty = match hi_hdr.seal {
+        Seal::Work { difficulty, .. } => difficulty.max(1),
+        _ => initial.max(1),
+    };
+    let observed_us = hi_hdr.timestamp_us.saturating_sub(lo_hdr.timestamp_us).max(1);
+    let target_total = target_interval_us.saturating_mul(window).max(1);
+    let ratio = (target_total as f64 / observed_us as f64).clamp(1.0 / MAX_ADJUST, MAX_ADJUST);
+    ((prev_difficulty as f64 * ratio).round() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_chain::{Chain, NullMachine};
+    use dcs_crypto::Address;
+    use dcs_primitives::{Block, BlockHeader, ChainConfig, Seal};
+
+    fn chain_with_intervals(interval_us: u64, count: u64, difficulty: u64) -> Chain<NullMachine> {
+        let cfg = ChainConfig::bitcoin_like();
+        let genesis = dcs_chain::genesis_block(&cfg);
+        let mut chain = Chain::new(genesis, cfg, NullMachine);
+        for h in 1..=count {
+            let parent = chain.tip_hash();
+            let block = Block::new(
+                BlockHeader::new(
+                    parent,
+                    h,
+                    h * interval_us,
+                    Address::from_index(h),
+                    Seal::Work { nonce: h, difficulty },
+                ),
+                vec![],
+            );
+            chain.import(block).unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn first_era_uses_initial() {
+        let chain = chain_with_intervals(1_000_000, 3, 500);
+        assert_eq!(next_difficulty(&chain, 1000, 8, 600_000_000), 1000);
+    }
+
+    #[test]
+    fn window_zero_disables_retargeting() {
+        let chain = chain_with_intervals(1_000_000, 20, 500);
+        assert_eq!(next_difficulty(&chain, 1000, 0, 1), 1000);
+    }
+
+    #[test]
+    fn too_fast_blocks_raise_difficulty() {
+        // Target 10 s, observed 1 s per block → ratio 10, clamped to 4.
+        let chain = chain_with_intervals(1_000_000, 8, 1000);
+        let d = next_difficulty(&chain, 1000, 8, 10_000_000);
+        assert_eq!(d, 4000, "clamped to 4x");
+    }
+
+    #[test]
+    fn too_slow_blocks_lower_difficulty() {
+        // Target 1 s, observed 2 s per block → ratio 0.5.
+        let chain = chain_with_intervals(2_000_000, 8, 1000);
+        let d = next_difficulty(&chain, 1000, 8, 1_000_000);
+        assert_eq!(d, 500);
+    }
+
+    #[test]
+    fn on_target_blocks_keep_difficulty() {
+        let chain = chain_with_intervals(1_000_000, 8, 1000);
+        let d = next_difficulty(&chain, 1000, 8, 1_000_000);
+        assert_eq!(d, 1000);
+    }
+
+    #[test]
+    fn difficulty_is_stable_within_an_era() {
+        // Heights 8..15 all read the same boundary blocks.
+        let chain = chain_with_intervals(2_000_000, 12, 1000);
+        let d_at_12 = next_difficulty(&chain, 1000, 8, 1_000_000);
+        let chain15 = chain_with_intervals(2_000_000, 15, 1000);
+        let d_at_15 = next_difficulty(&chain15, 1000, 8, 1_000_000);
+        assert_eq!(d_at_12, d_at_15);
+        assert_eq!(d_at_12, 500, "halved for double-target intervals");
+    }
+
+    #[test]
+    fn never_returns_zero() {
+        let chain = chain_with_intervals(u32::MAX as u64, 8, 1);
+        assert!(next_difficulty(&chain, 1, 8, 1) >= 1);
+    }
+}

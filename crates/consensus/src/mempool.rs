@@ -1,0 +1,169 @@
+//! The transaction pool: pending client transactions awaiting inclusion
+//! (§2.4: "transactions are submitted by client users ... which are then
+//! pooled into blocks"). FIFO ordering with a capacity bound; duplicates by
+//! transaction id are rejected.
+
+use dcs_crypto::Hash256;
+use dcs_primitives::Transaction;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// A bounded FIFO transaction pool.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_consensus::Mempool;
+/// use dcs_primitives::{AccountTx, Transaction};
+/// use dcs_crypto::Address;
+/// use std::sync::Arc;
+///
+/// let mut pool = Mempool::new(100);
+/// let tx = Arc::new(Transaction::Account(AccountTx::transfer(
+///     Address::from_index(1), Address::from_index(2), 5, 0,
+/// )));
+/// assert!(pool.insert(tx.clone()));
+/// assert!(!pool.insert(tx), "duplicates rejected");
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mempool {
+    txs: HashMap<Hash256, Arc<Transaction>>,
+    order: VecDeque<Hash256>,
+    capacity: usize,
+}
+
+impl Mempool {
+    /// Creates a pool bounded at `capacity` transactions.
+    pub fn new(capacity: usize) -> Self {
+        Mempool { txs: HashMap::new(), order: VecDeque::new(), capacity }
+    }
+
+    /// Pending transaction count.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// True when no transactions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// True if the pool holds `id`.
+    pub fn contains(&self, id: &Hash256) -> bool {
+        self.txs.contains_key(id)
+    }
+
+    /// Adds a transaction; returns false if it is a duplicate or the pool is
+    /// full.
+    pub fn insert(&mut self, tx: Arc<Transaction>) -> bool {
+        if self.txs.len() >= self.capacity {
+            return false;
+        }
+        let id = tx.id();
+        if self.txs.contains_key(&id) {
+            return false;
+        }
+        self.order.push_back(id);
+        self.txs.insert(id, tx);
+        true
+    }
+
+    /// Removes a transaction (it was included in a block).
+    pub fn remove(&mut self, id: &Hash256) -> Option<Arc<Transaction>> {
+        // `order` is lazily compacted in `select`.
+        self.txs.remove(id)
+    }
+
+    /// Selects up to `limit` transactions in FIFO order, skipping any whose
+    /// id is in `exclude` (already on the canonical chain). The pool is not
+    /// modified — selected transactions leave the pool only when a block
+    /// containing them commits.
+    pub fn select(&mut self, limit: usize, exclude: &HashSet<Hash256>) -> Vec<Transaction> {
+        // Compact the order queue of ids no longer present.
+        self.order.retain(|id| self.txs.contains_key(id));
+        self.order
+            .iter()
+            .filter(|id| !exclude.contains(*id))
+            .take(limit)
+            .map(|id| (*self.txs[id]).clone())
+            .collect()
+    }
+
+    /// Drops every transaction whose id is in `ids` (a committed block).
+    pub fn remove_all<'a>(&mut self, ids: impl IntoIterator<Item = &'a Hash256>) {
+        for id in ids {
+            self.txs.remove(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_crypto::Address;
+    use dcs_primitives::AccountTx;
+
+    fn tx(n: u64) -> Arc<Transaction> {
+        Arc::new(Transaction::Account(AccountTx::transfer(
+            Address::from_index(n),
+            Address::from_index(n + 1),
+            n,
+            0,
+        )))
+    }
+
+    #[test]
+    fn fifo_selection() {
+        let mut pool = Mempool::new(10);
+        let t1 = tx(1);
+        let t2 = tx(2);
+        let t3 = tx(3);
+        for t in [&t1, &t2, &t3] {
+            assert!(pool.insert(t.clone()));
+        }
+        let selected = pool.select(2, &HashSet::new());
+        assert_eq!(selected.len(), 2);
+        assert_eq!(selected[0].id(), t1.id());
+        assert_eq!(selected[1].id(), t2.id());
+        // Selection does not remove.
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn exclusion_skips_included() {
+        let mut pool = Mempool::new(10);
+        let t1 = tx(1);
+        let t2 = tx(2);
+        pool.insert(t1.clone());
+        pool.insert(t2.clone());
+        let exclude: HashSet<_> = [t1.id()].into_iter().collect();
+        let selected = pool.select(10, &exclude);
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].id(), t2.id());
+    }
+
+    #[test]
+    fn capacity_bound() {
+        let mut pool = Mempool::new(2);
+        assert!(pool.insert(tx(1)));
+        assert!(pool.insert(tx(2)));
+        assert!(!pool.insert(tx(3)), "full pool rejects");
+        pool.remove(&tx(1).id());
+        assert!(pool.insert(tx(3)), "space freed");
+    }
+
+    #[test]
+    fn remove_all() {
+        let mut pool = Mempool::new(10);
+        let ts: Vec<_> = (0..5).map(tx).collect();
+        for t in &ts {
+            pool.insert(t.clone());
+        }
+        let ids: Vec<Hash256> = ts[..3].iter().map(|t| t.id()).collect();
+        pool.remove_all(ids.iter());
+        assert_eq!(pool.len(), 2);
+        let selected = pool.select(10, &HashSet::new());
+        assert_eq!(selected.len(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! The peer core shared by every consensus protocol: a [`Chain`] replica, a
+//! [`Mempool`], gossip dedup tables, block assembly, and the bookkeeping
+//! that returns reverted transactions to the pool after reorgs. Individual
+//! protocols (`pow`, `pos`, …) wrap a `NodeCore` and add their proposal
+//! logic.
+
+use crate::mempool::Mempool;
+use crate::{wire_size, WireMsg};
+use dcs_chain::{Chain, ChainEvent, StateMachine};
+use dcs_crypto::{Address, Hash256};
+use dcs_net::{Ctx, Gossiper, NodeId};
+use dcs_primitives::{Block, BlockHeader, ChainConfig, Seal, Transaction};
+use dcs_sim::SimTime;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Shared per-peer machinery.
+#[derive(Debug)]
+pub struct NodeCore<M: StateMachine> {
+    /// This peer's network identity.
+    pub id: NodeId,
+    /// This peer's reward address.
+    pub address: Address,
+    /// The local chain replica.
+    pub chain: Chain<M>,
+    /// Pending client transactions.
+    pub mempool: Mempool,
+    /// Blocks produced by this peer.
+    pub blocks_produced: u64,
+    seen: Gossiper,
+    included: HashSet<Hash256>,
+}
+
+impl<M: StateMachine> NodeCore<M> {
+    /// Builds a peer core over a fresh chain replica.
+    pub fn new(id: NodeId, address: Address, genesis: Block, config: ChainConfig, machine: M) -> Self {
+        NodeCore {
+            id,
+            address,
+            chain: Chain::new(genesis, config, machine),
+            mempool: Mempool::new(100_000),
+            blocks_produced: 0,
+            seen: Gossiper::new(),
+            included: HashSet::new(),
+        }
+    }
+
+    /// Transaction ids currently on this peer's canonical chain.
+    pub fn included(&self) -> &HashSet<Hash256> {
+        &self.included
+    }
+
+    /// Handles an incoming (or self-produced) block: dedup, re-gossip,
+    /// import, mempool/included maintenance. `from` is `None` for blocks
+    /// this peer produced itself. Returns the chain event if the block was
+    /// new and imported.
+    pub fn handle_block(
+        &mut self,
+        block: Arc<Block>,
+        from: Option<NodeId>,
+        ctx: &mut Ctx<'_, WireMsg>,
+    ) -> Option<ChainEvent> {
+        let hash = block.hash();
+        if !self.seen.first_sight(hash) {
+            return None;
+        }
+        let msg = WireMsg::Block(block.clone());
+        let size = wire_size(&msg);
+        match from {
+            Some(sender) => ctx.broadcast_except(sender, msg, size),
+            None => ctx.broadcast(msg, size),
+        }
+        let old_tip = self.chain.tip_hash();
+        let parent = block.header.parent;
+        let event = self.chain.import((*block).clone()).ok()?;
+        if let (ChainEvent::Orphaned, Some(sender)) = (&event, from) {
+            // Missing ancestry (e.g. after a healed partition): walk it back
+            // one hop at a time from whoever showed us the descendant.
+            let req = WireMsg::BlockRequest(parent);
+            let size = wire_size(&req);
+            ctx.send(sender, req, size);
+        }
+        self.after_event(&event, old_tip);
+        Some(event)
+    }
+
+    /// Serves a sync request: if we hold `hash`, send the block straight
+    /// back to the asker.
+    pub fn handle_block_request(
+        &mut self,
+        hash: Hash256,
+        from: NodeId,
+        ctx: &mut Ctx<'_, WireMsg>,
+    ) {
+        if let Some(stored) = self.chain.tree().get(&hash) {
+            let msg = WireMsg::Block(Arc::new(stored.block.clone()));
+            let size = wire_size(&msg);
+            ctx.send(from, msg, size);
+        }
+    }
+
+    /// Handles an incoming (or locally submitted) transaction: dedup,
+    /// re-gossip, mempool insertion. Returns true if the tx was new.
+    pub fn handle_tx(
+        &mut self,
+        tx: Arc<Transaction>,
+        from: Option<NodeId>,
+        ctx: &mut Ctx<'_, WireMsg>,
+    ) -> bool {
+        let id = tx.id();
+        if !self.seen.first_sight(id) {
+            return false;
+        }
+        let msg = WireMsg::Tx(tx.clone());
+        let size = wire_size(&msg);
+        match from {
+            Some(sender) => ctx.broadcast_except(sender, msg, size),
+            None => ctx.broadcast(msg, size),
+        }
+        if !self.included.contains(&id) {
+            self.mempool.insert(tx);
+        }
+        true
+    }
+
+    fn after_event(&mut self, event: &ChainEvent, old_tip: Hash256) {
+        match event {
+            ChainEvent::Extended { block } => {
+                self.note_included(block);
+            }
+            ChainEvent::Reorg { reverted, .. } => {
+                // Collect transactions from the abandoned branch so they can
+                // return to the mempool if the new branch lacks them.
+                let mut abandoned: Vec<Arc<Transaction>> = Vec::new();
+                let mut cur = old_tip;
+                for _ in 0..*reverted {
+                    let sb = self.chain.tree().get(&cur).expect("old branch stored");
+                    for tx in &sb.block.txs {
+                        if !matches!(tx, Transaction::Coinbase { .. }) {
+                            abandoned.push(Arc::new(tx.clone()));
+                        }
+                    }
+                    cur = sb.block.header.parent;
+                }
+                // Rebuild the included set from the new canonical chain.
+                self.included.clear();
+                let canonical: Vec<Hash256> = self.chain.canonical().to_vec();
+                for h in canonical {
+                    let hash = h;
+                    self.note_included(&hash);
+                }
+                for tx in abandoned {
+                    let id = tx.id();
+                    if !self.included.contains(&id) {
+                        self.mempool.insert(tx);
+                    }
+                }
+            }
+            ChainEvent::SideChain { .. } | ChainEvent::Orphaned => {}
+        }
+    }
+
+    fn note_included(&mut self, block_hash: &Hash256) {
+        let ids: Vec<Hash256> = self
+            .chain
+            .tree()
+            .get(block_hash)
+            .expect("canonical block stored")
+            .block
+            .txs
+            .iter()
+            .map(Transaction::id)
+            .collect();
+        self.mempool.remove_all(ids.iter());
+        self.included.extend(ids);
+    }
+
+    /// Assembles a new block on the current tip: selects mempool
+    /// transactions, prepends a coinbase claiming the block reward plus
+    /// offered fees, and stamps the given seal and time.
+    pub fn build_block(&mut self, seal: Seal, now: SimTime) -> Arc<Block> {
+        self.build_block_with(seal, now, true)
+    }
+
+    /// Like [`NodeCore::build_block`], but can skip mempool transactions
+    /// entirely (`include_txs = false`) — Bitcoin-NG key blocks carry only
+    /// their coinbase.
+    pub fn build_block_with(&mut self, seal: Seal, now: SimTime, include_txs: bool) -> Arc<Block> {
+        let parent = self.chain.tip_hash();
+        let height = self.chain.height() + 1;
+        let limit = self.chain.config().block_tx_limit;
+        let mut txs = if include_txs {
+            let included = &self.included;
+            self.mempool.select(limit.saturating_sub(1), included)
+        } else {
+            Vec::new()
+        };
+        let fees: u64 = txs.iter().map(Transaction::offered_fee).sum();
+        let reward = self.chain.config().block_reward;
+        let mut body = Vec::with_capacity(txs.len() + 1);
+        body.push(Transaction::Coinbase { to: self.address, value: reward + fees, height });
+        body.append(&mut txs);
+        let header = BlockHeader::new(parent, height, now.as_micros(), self.address, seal);
+        self.blocks_produced += 1;
+        Arc::new(Block::new(header, body))
+    }
+
+    /// Transactions committed on the canonical chain (excluding coinbases) —
+    /// the numerator of every throughput metric.
+    pub fn committed_tx_count(&self) -> u64 {
+        self.chain
+            .canonical()
+            .iter()
+            .map(|h| {
+                self.chain
+                    .tree()
+                    .get(h)
+                    .expect("canonical stored")
+                    .block
+                    .txs
+                    .iter()
+                    .filter(|t| !matches!(t, Transaction::Coinbase { .. }))
+                    .count() as u64
+            })
+            .sum()
+    }
+}

@@ -1,0 +1,393 @@
+//! A two-pass assembler for the VM, so the standard contracts read as
+//! mnemonics instead of byte soup.
+//!
+//! Syntax: one instruction per line; `;` starts a comment; `:name` defines a
+//! label. `push` accepts decimal, `0x` hex (≤ 8 bytes), `@label` (the
+//! label's code offset), or a double-quoted string ≤ 32 bytes (left-aligned
+//! word). `dup N` / `swap N` take a depth immediate (0 = top).
+//!
+//! # Examples
+//!
+//! ```
+//! use dcs_contracts::assemble;
+//!
+//! let code = assemble(
+//!     "push @end\n\
+//!      jump\n\
+//!      :end\n\
+//!      jumpdest\n\
+//!      stop",
+//! ).unwrap();
+//! assert!(!code.is_empty());
+//! ```
+
+use crate::vm::{Op, Word};
+use std::collections::HashMap;
+
+/// Assembly errors, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// Unknown instruction mnemonic.
+    UnknownMnemonic {
+        /// Offending line.
+        line: usize,
+        /// The mnemonic text.
+        text: String,
+    },
+    /// A `push`/`dup`/`swap` operand could not be parsed.
+    BadOperand {
+        /// Offending line.
+        line: usize,
+        /// The operand text.
+        text: String,
+    },
+    /// A `@label` reference with no matching `:label`.
+    UnknownLabel {
+        /// Offending line.
+        line: usize,
+        /// The label name.
+        label: String,
+    },
+    /// The same label defined twice.
+    DuplicateLabel {
+        /// Offending line.
+        line: usize,
+        /// The label name.
+        label: String,
+    },
+    /// Instruction missing its required operand.
+    MissingOperand {
+        /// Offending line.
+        line: usize,
+    },
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic { line, text } => {
+                write!(f, "line {line}: unknown mnemonic {text:?}")
+            }
+            AsmError::BadOperand { line, text } => write!(f, "line {line}: bad operand {text:?}"),
+            AsmError::UnknownLabel { line, label } => {
+                write!(f, "line {line}: unknown label {label:?}")
+            }
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label {label:?}")
+            }
+            AsmError::MissingOperand { line } => write!(f, "line {line}: missing operand"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Op(Op),
+    Imm(u8),
+    PushSmall(u8),
+    PushWide(u64),
+    PushWord(Word),
+    PushLabel(String, usize), // label, line
+    Label(String, usize),
+}
+
+impl Item {
+    fn size(&self) -> usize {
+        match self {
+            Item::Op(_) => 1,
+            Item::Imm(_) => 1,
+            Item::PushSmall(_) => 2,
+            Item::PushWide(_) => 9,
+            Item::PushWord(_) => 33,
+            Item::PushLabel(..) => 9,
+            Item::Label(..) => 0,
+        }
+    }
+}
+
+fn simple_op(m: &str) -> Option<Op> {
+    use Op::*;
+    Some(match m {
+        "stop" => Stop,
+        "add" => Add,
+        "sub" => Sub,
+        "mul" => Mul,
+        "div" => Div,
+        "mod" => Mod,
+        "lt" => Lt,
+        "gt" => Gt,
+        "eq" => Eq,
+        "iszero" => IsZero,
+        "and" => And,
+        "or" => Or,
+        "xor" => Xor,
+        "not" => Not,
+        "sha256" => Sha256,
+        "address" => Address,
+        "caller" => Caller,
+        "callvalue" => CallValue,
+        "calldatasize" => CallDataSize,
+        "calldataload" => CallDataLoad,
+        "timestamp" => Timestamp,
+        "height" => Height,
+        "balance" => Balance,
+        "pop" => Pop,
+        "jump" => Jump,
+        "jumpi" => JumpI,
+        "jumpdest" => JumpDest,
+        "mload" => MLoad,
+        "mstore" => MStore,
+        "mstore8" => MStore8,
+        "msize" => MSize,
+        "sload" => Sload,
+        "sstore" => Sstore,
+        "log0" => Log0,
+        "log1" => Log1,
+        "log2" => Log2,
+        "transfer" => Transfer,
+        "return" => Return,
+        "revert" => Revert,
+        _ => return None,
+    })
+}
+
+/// Assembles source text into VM bytecode.
+///
+/// # Errors
+///
+/// Any [`AsmError`] with the offending line number.
+pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
+    let mut items: Vec<Item> = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_prefix(':') {
+            items.push(Item::Label(label.trim().to_string(), line_no));
+            continue;
+        }
+        let mut parts = line.splitn(2, char::is_whitespace);
+        let mnemonic = parts.next().expect("non-empty line");
+        let operand = parts.next().map(str::trim);
+        match mnemonic {
+            "push" => {
+                let text = operand.ok_or(AsmError::MissingOperand { line: line_no })?;
+                if let Some(label) = text.strip_prefix('@') {
+                    items.push(Item::PushLabel(label.to_string(), line_no));
+                } else if text.starts_with('"') && text.ends_with('"') && text.len() >= 2 {
+                    let s = &text[1..text.len() - 1];
+                    if s.len() > 32 {
+                        return Err(AsmError::BadOperand { line: line_no, text: text.into() });
+                    }
+                    items.push(Item::PushWord(Word::from_str_padded(s)));
+                } else if let Some(hex) = text.strip_prefix("0x") {
+                    if hex.is_empty() || hex.len() > 64 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                        return Err(AsmError::BadOperand { line: line_no, text: text.into() });
+                    }
+                    if hex.len() <= 16 {
+                        let value = u64::from_str_radix(hex, 16)
+                            .expect("validated hex digits");
+                        if value < 256 {
+                            items.push(Item::PushSmall(value as u8));
+                        } else {
+                            items.push(Item::PushWide(value));
+                        }
+                    } else {
+                        // Wide literal (addresses, hashes): a right-aligned
+                        // 32-byte word.
+                        let mut word = [0u8; 32];
+                        let padded = format!("{hex:0>64}");
+                        for (i, chunk) in padded.as_bytes().chunks_exact(2).enumerate() {
+                            let s = std::str::from_utf8(chunk).expect("ascii hex");
+                            word[i] = u8::from_str_radix(s, 16).expect("validated hex digits");
+                        }
+                        items.push(Item::PushWord(Word(word)));
+                    }
+                } else {
+                    let value = text
+                        .parse::<u64>()
+                        .map_err(|_| AsmError::BadOperand { line: line_no, text: text.into() })?;
+                    if value < 256 {
+                        items.push(Item::PushSmall(value as u8));
+                    } else {
+                        items.push(Item::PushWide(value));
+                    }
+                }
+            }
+            "dup" | "swap" => {
+                let text = operand.ok_or(AsmError::MissingOperand { line: line_no })?;
+                let n: u8 = text
+                    .parse()
+                    .map_err(|_| AsmError::BadOperand { line: line_no, text: text.into() })?;
+                items.push(Item::Op(if mnemonic == "dup" { Op::Dup } else { Op::Swap }));
+                items.push(Item::Imm(n));
+            }
+            _ => {
+                let op = simple_op(mnemonic).ok_or(AsmError::UnknownMnemonic {
+                    line: line_no,
+                    text: mnemonic.into(),
+                })?;
+                items.push(Item::Op(op));
+            }
+        }
+    }
+
+    // Pass 1: label positions.
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    let mut pc = 0u64;
+    for item in &items {
+        if let Item::Label(name, line) = item {
+            if labels.insert(name.clone(), pc).is_some() {
+                return Err(AsmError::DuplicateLabel { line: *line, label: name.clone() });
+            }
+        }
+        pc += item.size() as u64;
+    }
+
+    // Pass 2: emit.
+    let mut code = Vec::with_capacity(pc as usize);
+    for item in items {
+        match item {
+            Item::Label(..) => {}
+            Item::Op(op) => code.push(op as u8),
+            Item::Imm(b) => code.push(b),
+            Item::PushSmall(v) => {
+                code.push(Op::Push1 as u8);
+                code.push(v);
+            }
+            Item::PushWide(v) => {
+                code.push(Op::Push8 as u8);
+                code.extend(v.to_be_bytes());
+            }
+            Item::PushWord(w) => {
+                code.push(Op::Push32 as u8);
+                code.extend(w.0);
+            }
+            Item::PushLabel(name, line) => {
+                let target = *labels
+                    .get(&name)
+                    .ok_or(AsmError::UnknownLabel { line, label: name.clone() })?;
+                code.push(Op::Push8 as u8);
+                code.extend(target.to_be_bytes());
+            }
+        }
+    }
+    Ok(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_simple_ops() {
+        let code = assemble("push 1\npush 2\nadd\nstop").unwrap();
+        assert_eq!(
+            code,
+            vec![Op::Push1 as u8, 1, Op::Push1 as u8, 2, Op::Add as u8, Op::Stop as u8]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let code = assemble("; header\n\n  push 1 ; inline\nstop\n").unwrap();
+        assert_eq!(code, vec![Op::Push1 as u8, 1, Op::Stop as u8]);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let code = assemble(
+            ":top\njumpdest\npush @end\njump\npush @top\njump\n:end\njumpdest\nstop",
+        )
+        .unwrap();
+        // :top at 0; :end at 0(label)+1(jumpdest)+9+1+9+1 = 21.
+        assert_eq!(&code[1..10], &[Op::Push8 as u8, 0, 0, 0, 0, 0, 0, 0, 21]);
+        assert_eq!(&code[11..20], &[Op::Push8 as u8, 0, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn push_forms() {
+        let code = assemble("push 0x10\npush 300\npush \"hi\"").unwrap();
+        assert_eq!(code[0], Op::Push1 as u8);
+        assert_eq!(code[1], 0x10);
+        assert_eq!(code[2], Op::Push8 as u8);
+        assert_eq!(code[2..11], [Op::Push8 as u8, 0, 0, 0, 0, 0, 0, 1, 44]);
+        assert_eq!(code[11], Op::Push32 as u8);
+        assert_eq!(&code[12..14], b"hi");
+    }
+
+    #[test]
+    fn wide_hex_pushes_full_word_right_aligned() {
+        let code = assemble("push 0xaabbccddeeff00112233445566778899aabbccdd").unwrap();
+        assert_eq!(code[0], Op::Push32 as u8);
+        // 20 bytes right-aligned in the 32-byte immediate.
+        assert!(code[1..13].iter().all(|&b| b == 0));
+        assert_eq!(code[13], 0xaa);
+        assert_eq!(code[32], 0xdd);
+    }
+
+    #[test]
+    fn dup_swap_immediates() {
+        let code = assemble("dup 3\nswap 1").unwrap();
+        assert_eq!(code, vec![Op::Dup as u8, 3, Op::Swap as u8, 1]);
+    }
+
+    #[test]
+    fn errors_reported_with_lines() {
+        assert_eq!(
+            assemble("frobnicate"),
+            Err(AsmError::UnknownMnemonic { line: 1, text: "frobnicate".into() })
+        );
+        assert_eq!(assemble("push"), Err(AsmError::MissingOperand { line: 1 }));
+        assert_eq!(
+            assemble("push zzz"),
+            Err(AsmError::BadOperand { line: 1, text: "zzz".into() })
+        );
+        assert_eq!(
+            assemble("push @nowhere"),
+            Err(AsmError::UnknownLabel { line: 1, label: "nowhere".into() })
+        );
+        assert_eq!(
+            assemble(":a\n:a"),
+            Err(AsmError::DuplicateLabel { line: 2, label: "a".into() })
+        );
+    }
+
+    #[test]
+    fn assembled_code_runs() {
+        use crate::vm::{ExecEnv, Vm};
+        use dcs_primitives::GasSchedule;
+        use dcs_state::AccountDb;
+
+        // Compute 6*7 and return it.
+        let code = assemble(
+            "push 6\n\
+             push 7\n\
+             mul\n\
+             push 0\n\
+             swap 0\n\
+             mstore\n\
+             push 0\n\
+             push 32\n\
+             return",
+        )
+        .unwrap();
+        let schedule = GasSchedule::default();
+        let mut db = AccountDb::new();
+        let mut env = ExecEnv {
+            db: &mut db,
+            contract: dcs_crypto::Address::from_index(1),
+            caller: dcs_crypto::Address::from_index(2),
+            callvalue: 0,
+            input: &[],
+            timestamp_us: 0,
+            height: 0,
+        };
+        let out = Vm::new(&schedule, 10_000).run(&code, &mut env).unwrap();
+        assert_eq!(Word(out.data.try_into().unwrap()).as_u64(), 42);
+    }
+}

@@ -1,0 +1,454 @@
+//! Static contract verification (§5.3 of the paper: "there is a need to
+//! develop validation tools which can formally analyze smart contracts for
+//! bugs and incorrect behavior ... prior to deployment in a live
+//! blockchain, as there are financial repercussions for incorrectly
+//! executed contracts").
+//!
+//! [`analyze`] abstractly interprets the bytecode: it explores every
+//! control-flow path with an *abstract stack* (constants from `push` are
+//! tracked, every other result is ⊤), memoizing visited `(pc, stack)`
+//! states so loops converge. It proves, before deployment:
+//!
+//! * no undecodable opcodes or truncated immediates on any reachable path,
+//! * no possible stack underflow,
+//! * no jump to a non-`jumpdest` target (targets are resolved through the
+//!   abstract stack, so the assembler's `push @label … jumpi` idiom
+//!   resolves exactly),
+//! * execution cannot fall off the end of the code,
+//! * and it reports unreachable (dead) code offsets.
+
+use crate::vm::Op;
+use std::collections::HashSet;
+
+/// A deployment-blocking defect found by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Defect {
+    /// A reachable byte is not a valid opcode.
+    BadOpcode {
+        /// Code offset.
+        pc: usize,
+        /// The byte.
+        byte: u8,
+    },
+    /// An immediate operand runs past the end of the code.
+    TruncatedImmediate {
+        /// Code offset of the instruction.
+        pc: usize,
+    },
+    /// Some execution path pops more values than the stack holds.
+    StackUnderflow {
+        /// Code offset where the underflow occurs.
+        pc: usize,
+        /// Values the instruction needs.
+        needs: usize,
+        /// Stack depth on the offending path.
+        depth: usize,
+    },
+    /// A provable jump target is not a `jumpdest`.
+    BadJumpTarget {
+        /// Code offset of the jump.
+        pc: usize,
+        /// The provably-taken target.
+        target: usize,
+    },
+    /// Execution can run past the final instruction (no `stop`/`return`/
+    /// `revert` on some path).
+    FallsOffEnd,
+}
+
+impl core::fmt::Display for Defect {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Defect::BadOpcode { pc, byte } => write!(f, "pc {pc}: invalid opcode 0x{byte:02x}"),
+            Defect::TruncatedImmediate { pc } => {
+                write!(f, "pc {pc}: immediate operand past end of code")
+            }
+            Defect::StackUnderflow { pc, needs, depth } => {
+                write!(f, "pc {pc}: needs {needs} stack values, has only {depth}")
+            }
+            Defect::BadJumpTarget { pc, target } => {
+                write!(f, "pc {pc}: jump to non-jumpdest offset {target}")
+            }
+            Defect::FallsOffEnd => write!(f, "execution can fall off the end of the code"),
+        }
+    }
+}
+
+/// The analyzer's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Deployment-blocking defects, in discovery order.
+    pub defects: Vec<Defect>,
+    /// Offsets of instructions never reachable from entry (informational —
+    /// wasted deploy gas, or a sign of assembler bugs).
+    pub unreachable: Vec<usize>,
+    /// False when the state budget was exhausted before full coverage
+    /// (defects found so far are still real; absence of defects is then
+    /// not a proof).
+    pub complete: bool,
+}
+
+impl Report {
+    /// True when the contract is proven safe to deploy.
+    pub fn is_clean(&self) -> bool {
+        self.defects.is_empty() && self.complete
+    }
+}
+
+/// Abstract value: a known constant (low 64 bits) or ⊤.
+type AVal = Option<u64>;
+
+/// Stack effect (pops, pushes) and immediate size of an opcode.
+fn effect(op: Op) -> (usize, usize, usize) {
+    use Op::*;
+    match op {
+        Stop => (0, 0, 0),
+        Add | Sub | Mul | Div | Mod | Lt | Gt | Eq | And | Or | Xor => (2, 1, 0),
+        IsZero | Not => (1, 1, 0),
+        Sha256 => (2, 1, 0),
+        Address | Caller | CallValue | CallDataSize | Timestamp | Height | MSize => (0, 1, 0),
+        CallDataLoad | Balance | Sload | MLoad => (1, 1, 0),
+        Pop => (1, 0, 0),
+        Push32 => (0, 1, 32),
+        Push8 => (0, 1, 8),
+        Push1 => (0, 1, 1),
+        Dup => (0, 1, 1),
+        Swap => (0, 0, 1),
+        Jump => (1, 0, 0),
+        JumpI => (2, 0, 0),
+        JumpDest => (0, 0, 0),
+        MStore | MStore8 => (2, 0, 0),
+        Sstore => (2, 0, 0),
+        Log0 => (2, 0, 0),
+        Log1 => (3, 0, 0),
+        Log2 => (4, 0, 0),
+        Transfer => (2, 0, 0),
+        Return | Revert => (2, 0, 0),
+    }
+}
+
+/// Upper bound on explored abstract states (guards adversarial inputs).
+const STATE_BUDGET: usize = 100_000;
+
+/// Statically analyzes `code`. See the module docs for the properties
+/// checked.
+pub fn analyze(code: &[u8]) -> Report {
+    let mut defects: Vec<Defect> = Vec::new();
+    let push_defect = |defects: &mut Vec<Defect>, d: Defect| {
+        if !defects.contains(&d) {
+            defects.push(d);
+        }
+    };
+    if code.is_empty() {
+        return Report {
+            defects: vec![Defect::FallsOffEnd],
+            unreachable: Vec::new(),
+            complete: true,
+        };
+    }
+
+    // Valid jumpdest map (same immediate-skip rules as the VM).
+    let mut is_dest = vec![false; code.len()];
+    {
+        let mut pc = 0;
+        while pc < code.len() {
+            match Op::from_byte(code[pc]) {
+                Some(Op::JumpDest) => {
+                    is_dest[pc] = true;
+                    pc += 1;
+                }
+                Some(op) => pc += 1 + effect(op).2,
+                None => pc += 1,
+            }
+        }
+    }
+
+    let mut visited: HashSet<(usize, Vec<AVal>)> = HashSet::new();
+    let mut reached_pc: HashSet<usize> = HashSet::new();
+    let mut worklist: Vec<(usize, Vec<AVal>)> = vec![(0, Vec::new())];
+    let mut complete = true;
+
+    while let Some((pc, mut stack)) = worklist.pop() {
+        if visited.len() > STATE_BUDGET {
+            complete = false;
+            break;
+        }
+        if pc >= code.len() {
+            push_defect(&mut defects, Defect::FallsOffEnd);
+            continue;
+        }
+        if !visited.insert((pc, stack.clone())) {
+            continue; // converged: this exact abstract state was explored
+        }
+        reached_pc.insert(pc);
+
+        let Some(op) = Op::from_byte(code[pc]) else {
+            push_defect(&mut defects, Defect::BadOpcode { pc, byte: code[pc] });
+            continue;
+        };
+        let (pops, pushes, imm) = effect(op);
+        if pc + 1 + imm > code.len() {
+            push_defect(&mut defects, Defect::TruncatedImmediate { pc });
+            continue;
+        }
+        let needs = match op {
+            Op::Dup => code[pc + 1] as usize + 1,
+            Op::Swap => code[pc + 1] as usize + 2,
+            _ => pops,
+        };
+        if stack.len() < needs {
+            push_defect(
+                &mut defects,
+                Defect::StackUnderflow { pc, needs, depth: stack.len() },
+            );
+            continue; // this path is dead at runtime
+        }
+        let next_pc = pc + 1 + imm;
+
+        match op {
+            Op::Stop | Op::Return | Op::Revert => {}
+            Op::Push1 => {
+                stack.push(Some(u64::from(code[pc + 1])));
+                worklist.push((next_pc, stack));
+            }
+            Op::Push8 => {
+                let v = u64::from_be_bytes(code[pc + 1..pc + 9].try_into().expect("8 bytes"));
+                stack.push(Some(v));
+                worklist.push((next_pc, stack));
+            }
+            Op::Push32 => {
+                let word = &code[pc + 1..pc + 33];
+                let v = word[..24]
+                    .iter()
+                    .all(|&b| b == 0)
+                    .then(|| u64::from_be_bytes(word[24..].try_into().expect("8 bytes")));
+                stack.push(v);
+                worklist.push((next_pc, stack));
+            }
+            Op::Dup => {
+                let n = code[pc + 1] as usize;
+                let v = stack[stack.len() - 1 - n];
+                stack.push(v);
+                worklist.push((next_pc, stack));
+            }
+            Op::Swap => {
+                let n = code[pc + 1] as usize;
+                let top = stack.len() - 1;
+                stack.swap(top, top - n - 1);
+                worklist.push((next_pc, stack));
+            }
+            Op::Jump | Op::JumpI => {
+                let (dst, _cond) = if op == Op::Jump {
+                    (stack.pop().expect("checked needs"), None)
+                } else {
+                    let cond = stack.pop().expect("checked needs");
+                    (stack.pop().expect("checked needs"), Some(cond))
+                };
+                match dst {
+                    Some(t) => {
+                        let t = t as usize;
+                        if is_dest.get(t).copied().unwrap_or(false) {
+                            worklist.push((t, stack.clone()));
+                        } else {
+                            push_defect(&mut defects, Defect::BadJumpTarget { pc, target: t });
+                        }
+                    }
+                    None => {
+                        // Unknown target: conservatively flow to every
+                        // jumpdest (the memoized states keep this finite).
+                        for (t, &d) in is_dest.iter().enumerate() {
+                            if d {
+                                worklist.push((t, stack.clone()));
+                            }
+                        }
+                    }
+                }
+                if op == Op::JumpI {
+                    worklist.push((next_pc, stack)); // fall-through arm
+                }
+            }
+            _ => {
+                for _ in 0..pops {
+                    stack.pop();
+                }
+                for _ in 0..pushes {
+                    stack.push(None); // results of computation are ⊤
+                }
+                if stack.len() > 1024 {
+                    // Runtime would throw StackOverflow; treat the path as
+                    // terminated rather than exploring unbounded growth.
+                    continue;
+                }
+                worklist.push((next_pc, stack));
+            }
+        }
+    }
+
+    // Unreachable instruction offsets (skipping immediates).
+    let mut unreachable = Vec::new();
+    let mut pc = 0;
+    while pc < code.len() {
+        let imm = Op::from_byte(code[pc]).map_or(0, |op| effect(op).2);
+        if complete && !reached_pc.contains(&pc) {
+            unreachable.push(pc);
+        }
+        pc += 1 + imm;
+    }
+    Report { defects, unreachable, complete }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn stdlib_contracts_are_clean() {
+        for (name, code) in [
+            ("greeter", crate::stdlib::greeter()),
+            ("counter", crate::stdlib::counter()),
+            ("token", crate::stdlib::token()),
+            ("notary", crate::stdlib::notary()),
+            ("escrow", crate::stdlib::escrow()),
+            ("trade_registry", crate::stdlib::trade_registry()),
+            ("crowdfund", crate::stdlib::crowdfund()),
+        ] {
+            let report = analyze(&code);
+            assert!(report.is_clean(), "{name}: {:?}", report.defects);
+            assert!(report.unreachable.is_empty(), "{name} has dead code");
+        }
+    }
+
+    #[test]
+    fn detects_stack_underflow() {
+        let code = assemble("push 1\nadd\nstop").unwrap();
+        let report = analyze(&code);
+        assert!(matches!(
+            report.defects[0],
+            Defect::StackUnderflow { needs: 2, depth: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn detects_bad_jump_target() {
+        let code = assemble("push 3\njump\nstop").unwrap(); // 3 is not a jumpdest
+        let report = analyze(&code);
+        assert!(report
+            .defects
+            .iter()
+            .any(|d| matches!(d, Defect::BadJumpTarget { target: 3, .. })));
+    }
+
+    #[test]
+    fn resolves_targets_through_the_dispatcher_idiom() {
+        // Target pushed several instructions before the jumpi — the abstract
+        // stack carries it through eq/calldataload.
+        let code = assemble(
+            "push @handler
+             push 0
+             calldataload
+             push 1
+             eq
+             jumpi
+             stop
+             :handler
+             jumpdest
+             stop",
+        )
+        .unwrap();
+        let report = analyze(&code);
+        assert!(report.is_clean(), "{:?}", report.defects);
+        assert!(report.unreachable.is_empty());
+    }
+
+    #[test]
+    fn detects_falling_off_the_end() {
+        let code = assemble("push 1\npop").unwrap(); // no stop
+        let report = analyze(&code);
+        assert!(report.defects.contains(&Defect::FallsOffEnd));
+    }
+
+    #[test]
+    fn detects_bad_opcode() {
+        let report = analyze(&[0xee]);
+        assert!(matches!(report.defects[0], Defect::BadOpcode { pc: 0, byte: 0xee }));
+    }
+
+    #[test]
+    fn detects_truncated_immediate() {
+        let report = analyze(&[crate::vm::Op::Push8 as u8, 1, 2]);
+        assert!(matches!(report.defects[0], Defect::TruncatedImmediate { pc: 0 }));
+    }
+
+    #[test]
+    fn finds_unreachable_code() {
+        let code = assemble("push @end\njump\npush 1\npop\n:end\njumpdest\nstop").unwrap();
+        let report = analyze(&code);
+        assert!(report.defects.is_empty(), "{:?}", report.defects);
+        assert!(!report.unreachable.is_empty(), "the skipped push/pop is dead");
+    }
+
+    #[test]
+    fn conditional_paths_both_analyzed() {
+        // jumpi: one arm underflows, the other is fine — must be caught.
+        let code = assemble(
+            "push @safe
+             push 1
+             jumpi
+             add
+             stop
+             :safe
+             jumpdest
+             stop",
+        )
+        .unwrap();
+        let report = analyze(&code);
+        assert!(report
+            .defects
+            .iter()
+            .any(|d| matches!(d, Defect::StackUnderflow { .. })));
+    }
+
+    #[test]
+    fn empty_code_falls_off() {
+        assert!(!analyze(&[]).is_clean());
+    }
+
+    #[test]
+    fn loops_terminate_the_analysis() {
+        // A counting loop with an unknown-at-analysis trip count: converges
+        // because the abstract state recurs.
+        let code = assemble(
+            "push 0
+             calldataload
+             :loop
+             jumpdest
+             push 1
+             sub
+             dup 0
+             push @loop
+             swap 0
+             jumpi
+             pop
+             stop",
+        )
+        .unwrap();
+        let report = analyze(&code);
+        assert!(report.is_clean(), "{:?}", report.defects);
+    }
+
+    #[test]
+    fn fuzzed_bytecode_never_hangs_the_analyzer() {
+        // Adversarial-ish: lots of unknown jumps; the budget must hold.
+        let mut rng = 0x12345u64;
+        for _ in 0..50 {
+            let code: Vec<u8> = (0..200)
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (rng >> 33) as u8
+                })
+                .collect();
+            let _ = analyze(&code); // must return, clean or not
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! A canonical, deterministic binary codec.
+//!
+//! Everything that is hashed or signed in the platform is first encoded with
+//! this codec, guaranteeing one unique byte representation per value (serde
+//! formats do not promise this). Integers are little-endian fixed width;
+//! variable-length sequences are prefixed with a `u32` length.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcs_crypto::codec::{decode_all, Encode};
+//!
+//! let v: Vec<u64> = vec![1, 2, 3];
+//! let bytes = v.encoded();
+//! assert_eq!(decode_all::<Vec<u64>>(&bytes).unwrap(), v);
+//! ```
+
+/// Error returned when decoding malformed or truncated bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEnd,
+    /// A length prefix exceeded the remaining input (or a sanity bound).
+    BadLength(u64),
+    /// An enum discriminant byte was not recognized.
+    BadTag(u8),
+    /// Bytes were left over after `decode_all` finished.
+    TrailingBytes(usize),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            DecodeError::BadLength(n) => write!(f, "length prefix {n} exceeds input"),
+            DecodeError::BadTag(t) => write!(f, "unrecognized tag byte {t}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Types with a canonical binary encoding.
+pub trait Encode {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Types decodable from the canonical binary encoding.
+pub trait Decode: Sized {
+    /// Reads one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the input is truncated or malformed.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Decodes exactly one value, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Fails if the value is malformed or the input has leftover bytes.
+pub fn decode_all<T: Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let v = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(v)
+}
+
+/// A cursor over a byte slice used by [`Decode`] implementations.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `bytes` starting at offset 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Consumes and returns `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consumes `N` bytes into a fixed array.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] if fewer than `N` bytes remain.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
+}
+
+macro_rules! impl_codec_int {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                let n = core::mem::size_of::<$t>();
+                let s = r.take(n)?;
+                Ok(<$t>::from_le_bytes(s.try_into().expect("exact size")))
+            }
+        }
+    )*};
+}
+
+impl_codec_int!(u8, u16, u32, u64, u128, i64);
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+fn encode_len(len: usize, out: &mut Vec<u8>) {
+    (len as u32).encode(out);
+}
+
+fn decode_len(r: &mut Reader<'_>) -> Result<usize, DecodeError> {
+    let len = u32::decode(r)? as usize;
+    if len > r.remaining() {
+        // Each element is at least one byte, so any honest length fits.
+        return Err(DecodeError::BadLength(len as u64));
+    }
+    Ok(len)
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = decode_len(r)?;
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = decode_len(r)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<const N: usize> Encode for [u8; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+}
+
+impl<const N: usize> Decode for [u8; N] {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.take_array::<N>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trips() {
+        let mut out = Vec::new();
+        0xdead_beefu32.encode(&mut out);
+        7u8.encode(&mut out);
+        u64::MAX.encode(&mut out);
+        (-42i64).encode(&mut out);
+        let mut r = Reader::new(&out);
+        assert_eq!(u32::decode(&mut r).unwrap(), 0xdead_beef);
+        assert_eq!(u8::decode(&mut r).unwrap(), 7);
+        assert_eq!(u64::decode(&mut r).unwrap(), u64::MAX);
+        assert_eq!(i64::decode(&mut r).unwrap(), -42);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn vec_and_string_round_trip() {
+        let v = vec!["alpha".to_string(), "".to_string(), "γδ".to_string()];
+        assert_eq!(decode_all::<Vec<String>>(&v.encoded()).unwrap(), v);
+    }
+
+    #[test]
+    fn option_round_trip() {
+        let some: Option<u64> = Some(9);
+        let none: Option<u64> = None;
+        assert_eq!(decode_all::<Option<u64>>(&some.encoded()).unwrap(), some);
+        assert_eq!(decode_all::<Option<u64>>(&none.encoded()).unwrap(), none);
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        let bytes = 1234u64.encoded();
+        let mut r = Reader::new(&bytes[..7]);
+        assert_eq!(u64::decode(&mut r), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 5u8.encoded();
+        bytes.push(0);
+        assert_eq!(decode_all::<u8>(&bytes), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // Claims 2^31 elements with a 4-byte body: must fail fast, not OOM.
+        let mut bytes = Vec::new();
+        (1u32 << 31).encode(&mut bytes);
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(
+            decode_all::<Vec<u8>>(&bytes),
+            Err(DecodeError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn bad_bool_tag_rejected() {
+        assert_eq!(decode_all::<bool>(&[2]), Err(DecodeError::BadTag(2)));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        assert_eq!(v.encoded(), v.encoded());
+    }
+}

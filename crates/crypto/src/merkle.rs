@@ -1,0 +1,263 @@
+//! Merkle trees and inclusion proofs.
+//!
+//! Block bodies commit to their transactions through a Merkle root (paper
+//! §2.2, Fig. 2), enabling the Simple Payment Verification protocol for
+//! lightweight clients: a client holding only block headers can verify that a
+//! transaction is included given an `O(log n)` [`MerkleProof`].
+//!
+//! Interior nodes are domain-separated from leaves (prefix byte `0x01`) so a
+//! leaf value can never be reinterpreted as an interior node (second-preimage
+//! hardening). Odd levels duplicate the last node, as in Bitcoin.
+
+use crate::codec::{Decode, DecodeError, Encode, Reader};
+use crate::hash::Hash256;
+use crate::sha256::Sha256;
+use serde::{Deserialize, Serialize};
+
+const NODE_PREFIX: u8 = 0x01;
+
+/// Hashes two child digests into their parent node.
+pub fn merkle_node(left: &Hash256, right: &Hash256) -> Hash256 {
+    let mut ctx = Sha256::new();
+    ctx.update(&[NODE_PREFIX]);
+    ctx.update(left.as_ref());
+    ctx.update(right.as_ref());
+    ctx.finalize()
+}
+
+/// Computes just the root of a list of leaf digests without materializing the
+/// tree. The root of an empty list is [`Hash256::ZERO`].
+pub fn merkle_root(leaves: &[Hash256]) -> Hash256 {
+    if leaves.is_empty() {
+        return Hash256::ZERO;
+    }
+    let mut level: Vec<Hash256> = leaves.to_vec();
+    while level.len() > 1 {
+        if level.len() % 2 == 1 {
+            level.push(*level.last().expect("non-empty level"));
+        }
+        level = level
+            .chunks_exact(2)
+            .map(|pair| merkle_node(&pair[0], &pair[1]))
+            .collect();
+    }
+    level[0]
+}
+
+/// A fully materialized Merkle tree supporting proof generation.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_crypto::{sha256, MerkleTree};
+///
+/// let leaves: Vec<_> = (0u8..5).map(|i| sha256(&[i])).collect();
+/// let tree = MerkleTree::from_leaves(leaves.clone());
+/// for (i, leaf) in leaves.iter().enumerate() {
+///     let proof = tree.prove(i).unwrap();
+///     assert!(proof.verify(leaf, &tree.root()));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    // levels[0] is the (padded) leaf level; the last level is the root.
+    levels: Vec<Vec<Hash256>>,
+    leaf_count: usize,
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaf digests.
+    pub fn from_leaves(leaves: Vec<Hash256>) -> Self {
+        let leaf_count = leaves.len();
+        if leaves.is_empty() {
+            return MerkleTree { levels: vec![vec![Hash256::ZERO]], leaf_count };
+        }
+        let mut levels = vec![leaves];
+        while levels.last().expect("at least one level").len() > 1 {
+            let prev = levels.last_mut().expect("at least one level");
+            if prev.len() % 2 == 1 {
+                prev.push(*prev.last().expect("non-empty level"));
+            }
+            let next: Vec<Hash256> = prev
+                .chunks_exact(2)
+                .map(|pair| merkle_node(&pair[0], &pair[1]))
+                .collect();
+            levels.push(next);
+        }
+        MerkleTree { levels, leaf_count }
+    }
+
+    /// The root digest committing to all leaves.
+    pub fn root(&self) -> Hash256 {
+        self.levels.last().expect("at least one level")[0]
+    }
+
+    /// The number of leaves the tree was built over (before padding).
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Produces an inclusion proof for the leaf at `index`, or `None` if the
+    /// index is out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaf_count {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = if i % 2 == 0 {
+                // Padded levels always have the right sibling present.
+                level.get(i + 1).copied().unwrap_or(level[i])
+            } else {
+                level[i - 1]
+            };
+            siblings.push(sibling);
+            i /= 2;
+        }
+        Some(MerkleProof { index: index as u64, siblings })
+    }
+}
+
+/// An `O(log n)` proof that a leaf is included under a Merkle root.
+///
+/// This is the object a light client downloads instead of a full block
+/// (paper §2.2: "fast lookups of transaction inclusion for lightweight
+/// clients").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleProof {
+    index: u64,
+    siblings: Vec<Hash256>,
+}
+
+impl MerkleProof {
+    /// The leaf position this proof speaks for.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The sibling digests from leaf level to just below the root.
+    pub fn siblings(&self) -> &[Hash256] {
+        &self.siblings
+    }
+
+    /// Size of the proof in bytes when encoded (used by experiment E10 to
+    /// compare SPV download cost against full blocks).
+    pub fn encoded_len(&self) -> usize {
+        self.encoded().len()
+    }
+
+    /// Checks that `leaf` hashes up to `root` along this proof's path.
+    pub fn verify(&self, leaf: &Hash256, root: &Hash256) -> bool {
+        let mut acc = *leaf;
+        let mut i = self.index;
+        for sibling in &self.siblings {
+            acc = if i % 2 == 0 {
+                merkle_node(&acc, sibling)
+            } else {
+                merkle_node(sibling, &acc)
+            };
+            i /= 2;
+        }
+        acc == *root
+    }
+}
+
+impl Encode for MerkleProof {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.index.encode(out);
+        self.siblings.encode(out);
+    }
+}
+
+impl Decode for MerkleProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(MerkleProof { index: u64::decode(r)?, siblings: Vec::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256;
+
+    fn leaves(n: usize) -> Vec<Hash256> {
+        (0..n).map(|i| sha256(&(i as u64).to_be_bytes())).collect()
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root() {
+        assert_eq!(merkle_root(&[]), Hash256::ZERO);
+        let t = MerkleTree::from_leaves(vec![]);
+        assert_eq!(t.root(), Hash256::ZERO);
+        assert!(t.prove(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = leaves(1);
+        assert_eq!(merkle_root(&l), l[0]);
+    }
+
+    #[test]
+    fn tree_root_matches_streaming_root() {
+        for n in 1..=33 {
+            let l = leaves(n);
+            assert_eq!(MerkleTree::from_leaves(l.clone()).root(), merkle_root(&l), "n={n}");
+        }
+    }
+
+    #[test]
+    fn proofs_verify_for_all_indices_and_sizes() {
+        for n in 1..=17 {
+            let l = leaves(n);
+            let t = MerkleTree::from_leaves(l.clone());
+            for (i, leaf) in l.iter().enumerate() {
+                let p = t.prove(i).expect("index in range");
+                assert!(p.verify(leaf, &t.root()), "n={n} i={i}");
+            }
+            assert!(t.prove(n).is_none());
+        }
+    }
+
+    #[test]
+    fn proof_rejects_wrong_leaf_and_wrong_root() {
+        let l = leaves(8);
+        let t = MerkleTree::from_leaves(l.clone());
+        let p = t.prove(3).unwrap();
+        assert!(!p.verify(&l[4], &t.root()));
+        assert!(!p.verify(&l[3], &sha256(b"not the root")));
+    }
+
+    #[test]
+    fn proof_rejects_tampered_sibling() {
+        let l = leaves(8);
+        let t = MerkleTree::from_leaves(l.clone());
+        let mut p = t.prove(2).unwrap();
+        p.siblings[1] = sha256(b"tampered");
+        assert!(!p.verify(&l[2], &t.root()));
+    }
+
+    #[test]
+    fn domain_separation_differs_from_plain_concat() {
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        assert_ne!(merkle_node(&a, &b), crate::sha256_concat(a.as_ref(), b.as_ref()));
+    }
+
+    #[test]
+    fn order_matters() {
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        assert_ne!(merkle_node(&a, &b), merkle_node(&b, &a));
+    }
+
+    #[test]
+    fn proof_codec_round_trip() {
+        let l = leaves(10);
+        let t = MerkleTree::from_leaves(l);
+        let p = t.prove(7).unwrap();
+        let decoded = crate::codec::decode_all::<MerkleProof>(&p.encoded()).unwrap();
+        assert_eq!(decoded, p);
+    }
+}

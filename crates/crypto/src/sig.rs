@@ -1,0 +1,397 @@
+//! Hash-based digital signatures: Winternitz one-time signatures (WOTS)
+//! composed into many-time keys with a Merkle tree (an XMSS-style scheme).
+//!
+//! The platform needs real signatures so transaction authenticity is
+//! cryptographically enforced, but the approved dependency set has no
+//! elliptic-curve crate — so we build signatures from the one primitive we
+//! already trust: SHA-256. WOTS+Merkle is the classical construction
+//! (Merkle 1979) and is secure assuming SHA-256 is one-way.
+//!
+//! A [`KeyPair`] generated with height `h` can produce `2^h` signatures; each
+//! [`Signature`] carries the one-time key index, the WOTS chain values, and
+//! the Merkle authentication path back to the [`PublicKey`] root.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcs_crypto::{sha256, KeyPair};
+//!
+//! let mut kp = KeyPair::generate([7u8; 32], 2); // 4 one-time keys
+//! let msg = sha256(b"pay bob 10");
+//! let sig = kp.sign(&msg).unwrap();
+//! assert!(kp.public_key().verify(&msg, &sig));
+//! ```
+
+use crate::codec::{Decode, DecodeError, Encode, Reader};
+use crate::hash::{Address, Hash256};
+use crate::sha256::Sha256;
+use crate::CryptoError;
+use serde::{Deserialize, Serialize};
+
+/// Winternitz parameter: digits are 4 bits, chains have length 16.
+const W_BITS: u32 = 4;
+const W: u32 = 1 << W_BITS;
+/// 256-bit digests yield 64 message digits.
+const LEN1: usize = 64;
+/// Checksum max is 64 * 15 = 960 < 16^3, so 3 checksum digits.
+const LEN2: usize = 3;
+/// Total chains per one-time key.
+const LEN: usize = LEN1 + LEN2;
+
+fn prf(seed: &[u8; 32], tag: &[u8], a: u32, b: u32) -> Hash256 {
+    let mut ctx = Sha256::new();
+    ctx.update(seed);
+    ctx.update(tag);
+    ctx.update(&a.to_le_bytes());
+    ctx.update(&b.to_le_bytes());
+    ctx.finalize()
+}
+
+/// Applies the WOTS chain function `steps` times.
+fn chain(mut x: Hash256, steps: u32) -> Hash256 {
+    for _ in 0..steps {
+        let mut ctx = Sha256::new();
+        ctx.update(&[0x03]); // domain separation from merkle/leaf hashing
+        ctx.update(x.as_ref());
+        x = ctx.finalize();
+    }
+    x
+}
+
+/// Splits a digest into the 67 base-16 digits (64 message + 3 checksum).
+fn digits(msg: &Hash256) -> [u8; LEN] {
+    let mut out = [0u8; LEN];
+    for (i, byte) in msg.as_bytes().iter().enumerate() {
+        out[2 * i] = byte >> 4;
+        out[2 * i + 1] = byte & 0x0f;
+    }
+    let checksum: u32 = out[..LEN1].iter().map(|&d| W - 1 - u32::from(d)).sum();
+    out[LEN1] = ((checksum >> 8) & 0x0f) as u8;
+    out[LEN1 + 1] = ((checksum >> 4) & 0x0f) as u8;
+    out[LEN1 + 2] = (checksum & 0x0f) as u8;
+    out
+}
+
+/// Hashes a full WOTS public key (67 chain ends) into one leaf digest.
+fn compress_ots_pk(ends: &[Hash256; LEN]) -> Hash256 {
+    let mut ctx = Sha256::new();
+    ctx.update(&[0x04]);
+    for e in ends.iter() {
+        ctx.update(e.as_ref());
+    }
+    ctx.finalize()
+}
+
+/// The verifying half of a [`KeyPair`]: the Merkle root over all one-time
+/// public keys, plus the tree height.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey {
+    root: Hash256,
+    height: u8,
+}
+
+impl PublicKey {
+    /// The Merkle root committing to every one-time key.
+    pub fn root(&self) -> Hash256 {
+        self.root
+    }
+
+    /// The ledger address derived from this key.
+    pub fn address(&self) -> Address {
+        Address::from_hash(&self.root)
+    }
+
+    /// Verifies `sig` over the message digest `msg`.
+    ///
+    /// Returns `false` for any forgery: wrong message, reused-but-altered
+    /// index, tampered chain values, or a bad authentication path.
+    pub fn verify(&self, msg: &Hash256, sig: &Signature) -> bool {
+        if sig.auth_path.len() != self.height as usize {
+            return false;
+        }
+        if u64::from(sig.index) >= (1u64 << self.height) {
+            return false;
+        }
+        let d = digits(msg);
+        let mut ends = [Hash256::ZERO; LEN];
+        for i in 0..LEN {
+            ends[i] = chain(sig.chain_values[i], W - 1 - u32::from(d[i]));
+        }
+        let mut acc = compress_ots_pk(&ends);
+        let mut idx = sig.index;
+        for sibling in &sig.auth_path {
+            acc = if idx % 2 == 0 {
+                crate::merkle::merkle_node(&acc, sibling)
+            } else {
+                crate::merkle::merkle_node(sibling, &acc)
+            };
+            idx /= 2;
+        }
+        acc == self.root
+    }
+}
+
+/// A many-time signing key: a seed expanding to `2^height` WOTS keys under a
+/// Merkle root. Signing is stateful — each call consumes the next one-time
+/// key.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    seed: [u8; 32],
+    height: u8,
+    next_index: u32,
+    leaves: Vec<Hash256>,
+    tree: crate::merkle::MerkleTree,
+}
+
+impl KeyPair {
+    /// Generates a key pair from a seed. `height` ≤ 16; capacity is
+    /// `2^height` signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height > 16` (the key would take minutes to generate).
+    pub fn generate(seed: [u8; 32], height: u8) -> Self {
+        assert!(height <= 16, "key height {height} too large (max 16)");
+        let n = 1u32 << height;
+        let leaves: Vec<Hash256> = (0..n).map(|j| Self::ots_leaf(&seed, j)).collect();
+        let tree = crate::merkle::MerkleTree::from_leaves(leaves.clone());
+        KeyPair { seed, height, next_index: 0, leaves, tree }
+    }
+
+    fn ots_leaf(seed: &[u8; 32], ots_index: u32) -> Hash256 {
+        let mut ends = [Hash256::ZERO; LEN];
+        for (i, end) in ends.iter_mut().enumerate() {
+            let sk = prf(seed, b"wots", ots_index, i as u32);
+            *end = chain(sk, W - 1);
+        }
+        compress_ots_pk(&ends)
+    }
+
+    /// The verifying key.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey { root: self.tree.root(), height: self.height }
+    }
+
+    /// The ledger address of this key.
+    pub fn address(&self) -> Address {
+        self.public_key().address()
+    }
+
+    /// Total one-time keys this pair was generated with.
+    pub fn capacity(&self) -> u32 {
+        1u32 << self.height
+    }
+
+    /// One-time keys not yet consumed by [`KeyPair::sign`].
+    pub fn remaining(&self) -> u32 {
+        self.capacity() - self.next_index
+    }
+
+    /// Signs the message digest `msg` with the next unused one-time key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::KeyExhausted`] once all `2^height` one-time
+    /// keys have been used; reusing a WOTS key leaks the secret.
+    pub fn sign(&mut self, msg: &Hash256) -> Result<Signature, CryptoError> {
+        let index = self.next_index;
+        let sig = self.sign_with_index(msg, index)?;
+        self.next_index += 1;
+        Ok(sig)
+    }
+
+    /// Signs with an explicit one-time key index, without advancing the
+    /// internal counter. Callers must never sign two distinct messages with
+    /// the same index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::KeyExhausted`] if `index` is out of range.
+    pub fn sign_with_index(&self, msg: &Hash256, index: u32) -> Result<Signature, CryptoError> {
+        if index >= self.capacity() {
+            return Err(CryptoError::KeyExhausted { index, capacity: self.capacity() });
+        }
+        let d = digits(msg);
+        let mut chain_values = Vec::with_capacity(LEN);
+        for (i, &di) in d.iter().enumerate() {
+            let sk = prf(&self.seed, b"wots", index, i as u32);
+            chain_values.push(chain(sk, u32::from(di)));
+        }
+        let proof = self
+            .tree
+            .prove(index as usize)
+            .expect("index < capacity implies a valid leaf");
+        debug_assert_eq!(self.leaves[index as usize], Self::ots_leaf(&self.seed, index));
+        Ok(Signature {
+            index,
+            chain_values,
+            auth_path: proof.siblings().to_vec(),
+        })
+    }
+}
+
+/// A WOTS+Merkle signature: one-time key index, 67 chain values, and the
+/// authentication path to the public root. Roughly 2.2 KiB encoded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    index: u32,
+    chain_values: Vec<Hash256>,
+    auth_path: Vec<Hash256>,
+}
+
+impl Signature {
+    /// The one-time key index used.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Encoded size in bytes; used in size/throughput experiments.
+    pub fn encoded_len(&self) -> usize {
+        self.encoded().len()
+    }
+}
+
+impl Encode for Signature {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.index.encode(out);
+        self.chain_values.encode(out);
+        self.auth_path.encode(out);
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Signature {
+            index: u32::decode(r)?,
+            chain_values: Vec::decode(r)?,
+            auth_path: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PublicKey {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.root.encode(out);
+        self.height.encode(out);
+    }
+}
+
+impl Decode for PublicKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(PublicKey { root: Hash256::decode(r)?, height: u8::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256;
+
+    fn keypair() -> KeyPair {
+        KeyPair::generate([1u8; 32], 2)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut kp = keypair();
+        let msg = sha256(b"message");
+        let sig = kp.sign(&msg).unwrap();
+        assert!(kp.public_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut kp = keypair();
+        let sig = kp.sign(&sha256(b"m1")).unwrap();
+        assert!(!kp.public_key().verify(&sha256(b"m2"), &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut kp1 = keypair();
+        let kp2 = KeyPair::generate([2u8; 32], 2);
+        let msg = sha256(b"m");
+        let sig = kp1.sign(&msg).unwrap();
+        assert!(!kp2.public_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn all_one_time_keys_usable_then_exhausted() {
+        let mut kp = keypair();
+        let msg = sha256(b"m");
+        for i in 0..kp.capacity() {
+            let sig = kp.sign(&msg).unwrap();
+            assert_eq!(sig.index(), i);
+            assert!(kp.public_key().verify(&msg, &sig));
+        }
+        assert!(matches!(
+            kp.sign(&msg),
+            Err(CryptoError::KeyExhausted { index: 4, capacity: 4 })
+        ));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut kp = keypair();
+        let msg = sha256(b"m");
+        let good = kp.sign(&msg).unwrap();
+
+        let mut bad = good.clone();
+        bad.index = (bad.index + 1) % kp.capacity();
+        assert!(!kp.public_key().verify(&msg, &bad));
+
+        let mut bad = good.clone();
+        bad.chain_values[0] = sha256(b"tamper");
+        assert!(!kp.public_key().verify(&msg, &bad));
+
+        let mut bad = good.clone();
+        bad.auth_path[0] = sha256(b"tamper");
+        assert!(!kp.public_key().verify(&msg, &bad));
+
+        let mut bad = good;
+        bad.auth_path.pop();
+        assert!(!kp.public_key().verify(&msg, &bad));
+    }
+
+    #[test]
+    fn out_of_range_index_rejected_by_verify() {
+        let mut kp = keypair();
+        let msg = sha256(b"m");
+        let mut sig = kp.sign(&msg).unwrap();
+        sig.index = 1000;
+        assert!(!kp.public_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn signature_codec_round_trip() {
+        let mut kp = keypair();
+        let msg = sha256(b"m");
+        let sig = kp.sign(&msg).unwrap();
+        let decoded =
+            crate::codec::decode_all::<Signature>(&sig.encoded()).unwrap();
+        assert_eq!(decoded, sig);
+        assert!(kp.public_key().verify(&msg, &decoded));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = KeyPair::generate([9u8; 32], 3);
+        let b = KeyPair::generate([9u8; 32], 3);
+        assert_eq!(a.public_key(), b.public_key());
+        let c = KeyPair::generate([10u8; 32], 3);
+        assert_ne!(a.public_key(), c.public_key());
+    }
+
+    #[test]
+    fn checksum_prevents_digit_increase_forgery() {
+        // Raising any message digit requires lowering the checksum digits,
+        // which would require inverting the chain function. Sanity-check the
+        // digit/checksum arithmetic directly.
+        let msg = sha256(b"x");
+        let d = digits(&msg);
+        let sum: u32 = d[..LEN1].iter().map(|&x| W - 1 - u32::from(x)).sum();
+        let encoded =
+            (u32::from(d[LEN1]) << 8) | (u32::from(d[LEN1 + 1]) << 4) | u32::from(d[LEN1 + 2]);
+        assert_eq!(sum, encoded);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the cryptographic substrate: codec round-trips,
+//! Merkle proof soundness/completeness, streaming-hash equivalence, and
+//! signature correctness over arbitrary inputs.
+
+use dcs_crypto::codec::{decode_all, Encode};
+use dcs_crypto::{sha256, Hash256, KeyPair, MerkleProof, MerkleTree, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut ctx = Sha256::new();
+        ctx.update(&data[..split]);
+        ctx.update(&data[split..]);
+        prop_assert_eq!(ctx.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha256_is_injective_in_practice(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                       b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_vecs(v in proptest::collection::vec(any::<u64>(), 0..64)) {
+        prop_assert_eq!(decode_all::<Vec<u64>>(&v.encoded()).unwrap(), v);
+    }
+
+    #[test]
+    fn codec_round_trips_strings(s in "\\PC{0,64}") {
+        prop_assert_eq!(decode_all::<String>(&s.encoded()).unwrap(), s);
+    }
+
+    #[test]
+    fn codec_round_trips_nested(v in proptest::collection::vec((any::<u32>(), "\\PC{0,16}"), 0..16)) {
+        prop_assert_eq!(decode_all::<Vec<(u32, String)>>(&v.encoded()).unwrap(), v);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Totality: arbitrary input decodes or errors, never panics.
+        let _ = decode_all::<Vec<String>>(&bytes);
+        let _ = decode_all::<Hash256>(&bytes);
+        let _ = decode_all::<MerkleProof>(&bytes);
+        let _ = decode_all::<(u64, Option<bool>)>(&bytes);
+    }
+
+    #[test]
+    fn merkle_proofs_complete_and_sound(n in 1usize..40, probe in 0usize..40) {
+        let leaves: Vec<Hash256> = (0..n).map(|i| sha256(&[i as u8])).collect();
+        let tree = MerkleTree::from_leaves(leaves.clone());
+        let root = tree.root();
+        let idx = probe % n;
+        // Completeness: every leaf proves.
+        let proof = tree.prove(idx).unwrap();
+        prop_assert!(proof.verify(&leaves[idx], &root));
+        // Soundness: the proof binds to its own leaf only.
+        for (j, other) in leaves.iter().enumerate() {
+            if j != idx {
+                prop_assert!(!proof.verify(other, &root));
+            }
+        }
+    }
+
+    #[test]
+    fn merkle_root_is_content_sensitive(n in 2usize..32, flip in 0usize..32) {
+        let leaves: Vec<Hash256> = (0..n).map(|i| sha256(&[i as u8])).collect();
+        let mut tampered = leaves.clone();
+        let i = flip % n;
+        tampered[i] = sha256(b"tampered");
+        prop_assert_ne!(
+            MerkleTree::from_leaves(leaves).root(),
+            MerkleTree::from_leaves(tampered).root()
+        );
+    }
+}
+
+proptest! {
+    // Signatures are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn signatures_verify_and_bind(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut kp = KeyPair::generate(seed, 1);
+        let digest = sha256(&msg);
+        let sig = kp.sign(&digest).unwrap();
+        prop_assert!(kp.public_key().verify(&digest, &sig));
+        // Binding: a different message fails.
+        let mut other = msg.clone();
+        other[0] ^= 1;
+        prop_assert!(!kp.public_key().verify(&sha256(&other), &sig));
+    }
+}

@@ -1,0 +1,58 @@
+//! The `dcs-ledger` platform: the paper's distributed ledger (Fig. 1) as a
+//! configurable, simulatable system — "blockchain + P2P network + consensus"
+//! with every consensus family of §2.4 pluggable, plus the workload
+//! generation and metric collection behind the DCS experiments (§2.7).
+//!
+//! This is the crate downstream users interact with:
+//!
+//! * [`builders`] — construct a whole simulated network for any consensus
+//!   family in one call.
+//! * [`workload`] — client transaction generators (the "users not actively
+//!   involved in the ledger" of §2.4).
+//! * [`metrics`] — the DCS measurement suite: throughput and latency
+//!   (scalability), fork/reorg rates and replica agreement (consistency),
+//!   Gini and Nakamoto coefficients over proposer power (decentralization).
+//! * [`profile`] — named DCS presets: `DC` (Bitcoin-like, Ethereum-like),
+//!   `CS` (Hyperledger-like), `DS` (fast PoW that sacrifices consistency).
+//!
+//! # Examples
+//!
+//! Run a 12-peer Bitcoin-like proof-of-work network for two simulated hours
+//! and measure it:
+//!
+//! ```
+//! use dcs_ledger::{builders, metrics, workload::Workload};
+//! use dcs_sim::SimDuration;
+//!
+//! let mut cfg = builders::PowParams::default();
+//! cfg.nodes = 12;
+//! cfg.chain.consensus = dcs_primitives::ConsensusKind::ProofOfWork {
+//!     initial_difficulty: 1_000_000,
+//!     retarget_window: 0,
+//!     target_interval_us: 60_000_000,
+//! };
+//! let mut runner = builders::build_pow(&cfg, 42);
+//! let submitted = Workload::transfers(5.0, SimDuration::from_secs(600), 100)
+//!     .inject(runner.net_mut(), 7);
+//! runner.run_until(dcs_sim::SimTime::ZERO + SimDuration::from_secs(700));
+//! let result = metrics::collect(runner.nodes(), &submitted, SimDuration::from_secs(700));
+//! assert!(result.total_blocks > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod metrics;
+pub mod profile;
+pub mod traits;
+pub mod workload;
+
+pub use builders::{
+    build_ng, build_ordering, build_pbft, build_poet, build_pos, build_pow, NgParams,
+    OrderingParams, PbftParams, PoetParams, PosParams, PowParams,
+};
+pub use metrics::{collect, SimResult};
+pub use profile::Profile;
+pub use traits::LedgerNode;
+pub use workload::Workload;

@@ -1,0 +1,168 @@
+//! The DCS measurement suite (§2.7): given a finished simulation, quantify
+//!
+//! * **Scalability** — committed throughput (tps), commit latency;
+//! * **Consistency** — stale-block rate, reorg count/depth, replica
+//!   agreement;
+//! * **Decentralization** — Gini and Nakamoto coefficients over who
+//!   actually produced the canonical chain.
+
+use crate::traits::LedgerNode;
+use dcs_crypto::Hash256;
+use dcs_primitives::Transaction;
+use dcs_sim::{gini, nakamoto_coefficient, SimDuration, SimTime, Summary};
+use std::collections::HashMap;
+
+/// Everything measured from one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Simulated horizon used for rate computation.
+    pub horizon: SimDuration,
+    /// Transactions on the reference node's canonical chain (no coinbases).
+    pub committed_txs: u64,
+    /// Committed transactions per simulated second.
+    pub tps: f64,
+    /// Submit→commit latency of committed transactions (seconds).
+    pub latency: Summary,
+    /// Canonical chain length (blocks, excluding genesis).
+    pub canonical_blocks: u64,
+    /// All blocks the reference node ever saw.
+    pub total_blocks: u64,
+    /// Blocks off the canonical chain (stale/uncle blocks).
+    pub stale_blocks: u64,
+    /// Stale fraction: stale / total non-genesis blocks.
+    pub stale_rate: f64,
+    /// Mean canonical inter-block time (seconds).
+    pub mean_block_interval: f64,
+    /// Branch switches observed by the reference node.
+    pub reorgs: u64,
+    /// Deepest revert observed.
+    pub max_reorg_depth: u64,
+    /// True when all replicas agree on the chain up to the confirmation
+    /// depth.
+    pub replicas_agree: bool,
+    /// Canonical blocks produced per peer.
+    pub proposer_counts: Vec<u64>,
+    /// Gini coefficient over `proposer_counts` (0 = equal).
+    pub proposer_gini: f64,
+    /// Nakamoto coefficient over `proposer_counts` (higher = more
+    /// decentralized).
+    pub nakamoto: usize,
+    /// Total consensus work expended (hash attempts or lottery draws).
+    pub work_expended: f64,
+    /// Work per committed canonical block.
+    pub work_per_block: f64,
+}
+
+impl core::fmt::Display for SimResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "tps={:.2} lat_mean={:.2}s blocks={} stale={:.1}% reorgs={} agree={} gini={:.2} nakamoto={}",
+            self.tps,
+            self.latency.mean(),
+            self.canonical_blocks,
+            self.stale_rate * 100.0,
+            self.reorgs,
+            self.replicas_agree,
+            self.proposer_gini,
+            self.nakamoto,
+        )
+    }
+}
+
+/// Collects a [`SimResult`] from the finished nodes. `submitted` maps
+/// transaction ids to submission instants (from `Workload::inject`);
+/// `horizon` is the denominator for throughput.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty.
+pub fn collect<P: LedgerNode>(
+    nodes: &[P],
+    submitted: &HashMap<Hash256, SimTime>,
+    horizon: SimDuration,
+) -> SimResult {
+    assert!(!nodes.is_empty(), "need at least one node to measure");
+    let reference = nodes[0].core();
+    let chain = &reference.chain;
+
+    // Throughput + latency + proposer census over the canonical chain.
+    let mut committed_txs = 0u64;
+    let mut latency = Summary::new();
+    let mut proposer_counts = vec![0u64; nodes.len()];
+    let mut timestamps = Vec::new();
+    let address_to_index: HashMap<_, _> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.core().address, i))
+        .collect();
+    for hash in chain.canonical().iter().skip(1) {
+        let block = &chain.tree().get(hash).expect("canonical stored").block;
+        timestamps.push(block.header.timestamp_us);
+        if let Some(&i) = address_to_index.get(&block.header.proposer) {
+            proposer_counts[i] += 1;
+        }
+        let commit_time = SimTime::from_micros(block.header.timestamp_us);
+        for tx in &block.txs {
+            if matches!(tx, Transaction::Coinbase { .. }) {
+                continue;
+            }
+            committed_txs += 1;
+            if let Some(&sub) = submitted.get(&tx.id()) {
+                latency.record(commit_time.saturating_since(sub).as_secs_f64());
+            }
+        }
+    }
+
+    let canonical_blocks = chain.canonical().len() as u64 - 1;
+    let total_blocks = chain.tree().len() as u64 - 1;
+    let stale_blocks = total_blocks - canonical_blocks;
+    let stale_rate = if total_blocks == 0 {
+        0.0
+    } else {
+        stale_blocks as f64 / total_blocks as f64
+    };
+    let mean_block_interval = if timestamps.len() >= 2 {
+        (timestamps[timestamps.len() - 1] - timestamps[0]) as f64
+            / 1_000_000.0
+            / (timestamps.len() - 1) as f64
+    } else {
+        0.0
+    };
+
+    // Agreement: every replica's canonical block at the reference's
+    // confirmed height must match.
+    let confirmation = chain.config().confirmation_depth;
+    let min_height = nodes
+        .iter()
+        .map(|n| n.core().chain.height())
+        .min()
+        .expect("non-empty");
+    let check_height = min_height.saturating_sub(confirmation);
+    let reference_block = chain.canonical_at(check_height);
+    let replicas_agree = nodes
+        .iter()
+        .all(|n| n.core().chain.canonical_at(check_height) == reference_block);
+
+    let work_expended: f64 = nodes.iter().map(LedgerNode::work_expended).sum();
+    let stats = chain.stats();
+    SimResult {
+        horizon,
+        committed_txs,
+        tps: committed_txs as f64 / horizon.as_secs_f64().max(1e-9),
+        latency,
+        canonical_blocks,
+        total_blocks,
+        stale_blocks,
+        stale_rate,
+        mean_block_interval,
+        reorgs: stats.reorgs,
+        max_reorg_depth: stats.max_reorg_depth,
+        replicas_agree,
+        proposer_gini: gini(&proposer_counts),
+        nakamoto: nakamoto_coefficient(&proposer_counts),
+        proposer_counts,
+        work_expended,
+        work_per_block: work_expended / canonical_blocks.max(1) as f64,
+    }
+}

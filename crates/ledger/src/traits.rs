@@ -1,0 +1,103 @@
+//! The [`LedgerNode`] abstraction: uniform access to the peer core of every
+//! consensus protocol, so metrics and experiments are written once.
+
+use dcs_chain::{NullMachine, StateMachine};
+use dcs_consensus::{
+    ng::NgNode, node::NodeCore, ordering::OrderingNode, pbft::PbftNode, poet::PoetNode,
+    pos::PosNode, pow::PowNode, WireMsg,
+};
+use dcs_net::Protocol;
+
+/// A consensus peer whose chain/mempool core can be inspected uniformly.
+pub trait LedgerNode: Protocol<Msg = WireMsg> {
+    /// The application state machine type.
+    type Machine: StateMachine;
+
+    /// Read access to the peer core.
+    fn core(&self) -> &NodeCore<Self::Machine>;
+
+    /// Mutable access to the peer core.
+    fn core_mut(&mut self) -> &mut NodeCore<Self::Machine>;
+
+    /// Simulated hash attempts (or analogous consensus work) expended.
+    fn work_expended(&self) -> f64 {
+        0.0
+    }
+}
+
+impl<M: StateMachine> LedgerNode for PowNode<M> {
+    type Machine = M;
+    fn core(&self) -> &NodeCore<M> {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut NodeCore<M> {
+        &mut self.core
+    }
+    fn work_expended(&self) -> f64 {
+        self.work_expended
+    }
+}
+
+impl<M: StateMachine> LedgerNode for PosNode<M> {
+    type Machine = M;
+    fn core(&self) -> &NodeCore<M> {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut NodeCore<M> {
+        &mut self.core
+    }
+    fn work_expended(&self) -> f64 {
+        // One lottery hash per slot.
+        self.lotteries_evaluated as f64
+    }
+}
+
+impl<M: StateMachine> LedgerNode for PoetNode<M> {
+    type Machine = M;
+    fn core(&self) -> &NodeCore<M> {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut NodeCore<M> {
+        &mut self.core
+    }
+    fn work_expended(&self) -> f64 {
+        // One TEE wait request per proposal opportunity.
+        self.waits_drawn as f64
+    }
+}
+
+impl<M: StateMachine> LedgerNode for OrderingNode<M> {
+    type Machine = M;
+    fn core(&self) -> &NodeCore<M> {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut NodeCore<M> {
+        &mut self.core
+    }
+}
+
+impl<M: StateMachine> LedgerNode for PbftNode<M> {
+    type Machine = M;
+    fn core(&self) -> &NodeCore<M> {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut NodeCore<M> {
+        &mut self.core
+    }
+}
+
+impl<M: StateMachine> LedgerNode for NgNode<M> {
+    type Machine = M;
+    fn core(&self) -> &NodeCore<M> {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut NodeCore<M> {
+        &mut self.core
+    }
+    fn work_expended(&self) -> f64 {
+        self.work_expended
+    }
+}
+
+/// Re-exported for convenience: the no-op state machine.
+pub type Null = NullMachine;

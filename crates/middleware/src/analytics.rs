@@ -1,0 +1,107 @@
+//! Chain analytics (§5.2 lists "analytics" among the middleware services):
+//! extract activity, utilization, and fee statistics from a chain replica —
+//! the read side of the data layer.
+
+use dcs_chain::{Chain, StateMachine};
+use dcs_crypto::Address;
+use dcs_primitives::Transaction;
+use std::collections::HashMap;
+
+/// Aggregate statistics over the canonical chain.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChainReport {
+    /// Canonical blocks (excluding genesis).
+    pub blocks: u64,
+    /// Committed non-coinbase transactions.
+    pub transactions: u64,
+    /// Total value moved by plain transfers.
+    pub value_transferred: u128,
+    /// Total fees offered (gas limit × price over account txs).
+    pub fees_offered: u128,
+    /// Mean transactions per block.
+    pub mean_block_utilization: f64,
+    /// Transactions sent per address.
+    pub activity_by_sender: HashMap<Address, u64>,
+    /// Blocks proposed per address.
+    pub blocks_by_proposer: HashMap<Address, u64>,
+}
+
+/// Scans the canonical chain and produces a [`ChainReport`].
+pub fn analyze<M: StateMachine>(chain: &Chain<M>) -> ChainReport {
+    let mut report = ChainReport::default();
+    for hash in chain.canonical().iter().skip(1) {
+        let block = &chain.tree().get(hash).expect("canonical stored").block;
+        report.blocks += 1;
+        *report.blocks_by_proposer.entry(block.header.proposer).or_insert(0) += 1;
+        for tx in &block.txs {
+            match tx {
+                Transaction::Coinbase { .. } => {}
+                Transaction::Account(a) => {
+                    report.transactions += 1;
+                    report.value_transferred += u128::from(a.value);
+                    report.fees_offered += u128::from(a.gas_limit) * u128::from(a.gas_price);
+                    *report.activity_by_sender.entry(a.from).or_insert(0) += 1;
+                }
+                Transaction::Utxo(u) => {
+                    report.transactions += 1;
+                    report.value_transferred += u128::from(u.output_value());
+                }
+            }
+        }
+    }
+    if report.blocks > 0 {
+        report.mean_block_utilization = report.transactions as f64 / report.blocks as f64;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_chain::NullMachine;
+    use dcs_primitives::{AccountTx, Block, BlockHeader, ChainConfig, Seal};
+
+    #[test]
+    fn report_counts_all_dimensions() {
+        let cfg = ChainConfig::hyperledger_like();
+        let genesis = dcs_chain::genesis_block(&cfg);
+        let mut chain = Chain::new(genesis.clone(), cfg, NullMachine);
+        let alice = Address::from_index(1);
+        let bob = Address::from_index(2);
+        let proposer = Address::from_index(9);
+
+        let mut parent = genesis.hash();
+        for h in 1..=3u64 {
+            let txs = vec![
+                Transaction::Coinbase { to: proposer, value: 10, height: h },
+                Transaction::Account(AccountTx::transfer(alice, bob, 100, h)),
+                Transaction::Account(AccountTx::transfer(bob, alice, 50, h)),
+            ];
+            let block = Block::new(
+                BlockHeader::new(parent, h, h, proposer, Seal::None),
+                txs,
+            );
+            parent = block.hash();
+            chain.import(block).unwrap();
+        }
+
+        let report = analyze(&chain);
+        assert_eq!(report.blocks, 3);
+        assert_eq!(report.transactions, 6);
+        assert_eq!(report.value_transferred, 3 * 150);
+        assert_eq!(report.activity_by_sender[&alice], 3);
+        assert_eq!(report.activity_by_sender[&bob], 3);
+        assert_eq!(report.blocks_by_proposer[&proposer], 3);
+        assert_eq!(report.mean_block_utilization, 2.0);
+        assert!(report.fees_offered > 0);
+    }
+
+    #[test]
+    fn empty_chain_reports_zeroes() {
+        let cfg = ChainConfig::hyperledger_like();
+        let genesis = dcs_chain::genesis_block(&cfg);
+        let chain = Chain::new(genesis, cfg, NullMachine);
+        let report = analyze(&chain);
+        assert_eq!(report, ChainReport::default());
+    }
+}

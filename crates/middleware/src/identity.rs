@@ -1,0 +1,182 @@
+//! Identity management (§5.2): the membership service of a permissioned
+//! ledger. A [`CertificateAuthority`] signs member public keys into
+//! [`MembershipCert`]s; peers verify certificates against the CA's public
+//! key and consult the [`Registry`] for revocations. This is what makes a
+//! "private ledger \[that\] restricts access to a set of machines" (§2.1)
+//! enforceable.
+
+use dcs_crypto::codec::Encode;
+use dcs_crypto::{sha256, Address, CryptoError, KeyPair, PublicKey, Signature};
+use std::collections::HashSet;
+
+/// Roles a member can hold in the consortium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// May submit transactions only.
+    Client,
+    /// Maintains the ledger and validates blocks.
+    Peer,
+    /// May order/propose blocks.
+    Orderer,
+}
+
+impl Role {
+    fn tag(self) -> u8 {
+        match self {
+            Role::Client => 0,
+            Role::Peer => 1,
+            Role::Orderer => 2,
+        }
+    }
+}
+
+/// A certificate: the CA's signature over (member key, role, serial).
+#[derive(Debug, Clone)]
+pub struct MembershipCert {
+    /// The member's public key.
+    pub member: PublicKey,
+    /// Granted role.
+    pub role: Role,
+    /// Unique serial (used for revocation).
+    pub serial: u64,
+    /// CA signature over the certificate body.
+    pub signature: Signature,
+}
+
+impl MembershipCert {
+    fn body_hash(member: &PublicKey, role: Role, serial: u64) -> dcs_crypto::Hash256 {
+        let mut bytes = member.encoded();
+        bytes.push(role.tag());
+        bytes.extend_from_slice(&serial.to_le_bytes());
+        sha256(&bytes)
+    }
+
+    /// The member's ledger address.
+    pub fn address(&self) -> Address {
+        self.member.address()
+    }
+}
+
+/// The consortium's certificate authority.
+#[derive(Debug)]
+pub struct CertificateAuthority {
+    keypair: KeyPair,
+    next_serial: u64,
+}
+
+impl CertificateAuthority {
+    /// Creates a CA from a seed. `height` bounds how many certificates it
+    /// can ever issue (`2^height`).
+    pub fn new(seed: [u8; 32], height: u8) -> Self {
+        CertificateAuthority { keypair: KeyPair::generate(seed, height), next_serial: 0 }
+    }
+
+    /// The key peers verify certificates against.
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public_key()
+    }
+
+    /// Issues a certificate for `member` with `role`.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::KeyExhausted`] once the CA's one-time keys run out.
+    pub fn issue(&mut self, member: PublicKey, role: Role) -> Result<MembershipCert, CryptoError> {
+        let serial = self.next_serial;
+        let digest = MembershipCert::body_hash(&member, role, serial);
+        let signature = self.keypair.sign(&digest)?;
+        self.next_serial += 1;
+        Ok(MembershipCert { member, role, serial, signature })
+    }
+}
+
+/// The membership registry a peer consults: CA key + revocation list.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    ca: PublicKey,
+    revoked: HashSet<u64>,
+}
+
+impl Registry {
+    /// A registry trusting the given CA.
+    pub fn new(ca: PublicKey) -> Self {
+        Registry { ca, revoked: HashSet::new() }
+    }
+
+    /// Revokes a certificate by serial.
+    pub fn revoke(&mut self, serial: u64) {
+        self.revoked.insert(serial);
+    }
+
+    /// Checks a certificate: CA signature valid, not revoked, role
+    /// sufficient.
+    pub fn verify(&self, cert: &MembershipCert, required: Role) -> bool {
+        if self.revoked.contains(&cert.serial) {
+            return false;
+        }
+        // Role lattice: Orderer ⊃ Peer ⊃ Client.
+        if cert.role.tag() < required.tag() {
+            return false;
+        }
+        let digest = MembershipCert::body_hash(&cert.member, cert.role, cert.serial);
+        self.ca.verify(&digest, &cert.signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member_key(i: u8) -> PublicKey {
+        KeyPair::generate([i; 32], 1).public_key()
+    }
+
+    #[test]
+    fn issued_certificates_verify() {
+        let mut ca = CertificateAuthority::new([1u8; 32], 3);
+        let registry = Registry::new(ca.public_key());
+        let cert = ca.issue(member_key(5), Role::Peer).unwrap();
+        assert!(registry.verify(&cert, Role::Peer));
+        assert!(registry.verify(&cert, Role::Client), "peer role implies client");
+        assert!(!registry.verify(&cert, Role::Orderer), "peer may not order");
+    }
+
+    #[test]
+    fn forged_certificates_rejected() {
+        let ca = CertificateAuthority::new([1u8; 32], 3);
+        let mut rogue_ca = CertificateAuthority::new([66u8; 32], 3);
+        let registry = Registry::new(ca.public_key());
+        let forged = rogue_ca.issue(member_key(5), Role::Orderer).unwrap();
+        assert!(!registry.verify(&forged, Role::Client));
+    }
+
+    #[test]
+    fn tampered_role_rejected() {
+        let mut ca = CertificateAuthority::new([1u8; 32], 3);
+        let registry = Registry::new(ca.public_key());
+        let mut cert = ca.issue(member_key(5), Role::Client).unwrap();
+        cert.role = Role::Orderer; // escalate without re-signing
+        assert!(!registry.verify(&cert, Role::Orderer));
+    }
+
+    #[test]
+    fn revocation() {
+        let mut ca = CertificateAuthority::new([1u8; 32], 3);
+        let mut registry = Registry::new(ca.public_key());
+        let cert = ca.issue(member_key(5), Role::Peer).unwrap();
+        assert!(registry.verify(&cert, Role::Peer));
+        registry.revoke(cert.serial);
+        assert!(!registry.verify(&cert, Role::Peer));
+    }
+
+    #[test]
+    fn ca_exhausts_gracefully() {
+        let mut ca = CertificateAuthority::new([1u8; 32], 1); // 2 certs max
+        ca.issue(member_key(1), Role::Client).unwrap();
+        ca.issue(member_key(2), Role::Client).unwrap();
+        assert!(matches!(
+            ca.issue(member_key(3), Role::Client),
+            Err(CryptoError::KeyExhausted { .. })
+        ));
+    }
+}

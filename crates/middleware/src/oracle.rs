@@ -1,0 +1,182 @@
+//! Data integration with the physical world (§5.2): "real-life sensors can
+//! be tampered with or produce inaccurate readings, which must be taken into
+//! account when stored on the blockchain". A [`Sensor`] observes a ground
+//! truth process with configurable noise, drift, and tampering; an
+//! [`Oracle`] aggregates a quorum of sensors with a median (robust to up to
+//! half faulty) and emits the value as an on-chain data transaction.
+
+use dcs_crypto::Address;
+use dcs_primitives::{AccountTx, Transaction, TxPayload};
+use dcs_sim::Rng;
+
+/// Fault/noise model of one sensor.
+#[derive(Debug, Clone, Copy)]
+pub struct SensorConfig {
+    /// Standard deviation of zero-mean Gaussian measurement noise.
+    pub noise_std: f64,
+    /// Per-reading additive drift (mis-calibration).
+    pub drift_per_reading: f64,
+    /// If set, the sensor is compromised and always reports this value.
+    pub tampered_value: Option<f64>,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig { noise_std: 0.5, drift_per_reading: 0.0, tampered_value: None }
+    }
+}
+
+/// A simulated physical sensor.
+#[derive(Debug, Clone)]
+pub struct Sensor {
+    config: SensorConfig,
+    accumulated_drift: f64,
+}
+
+impl Sensor {
+    /// Creates a sensor with the given fault model.
+    pub fn new(config: SensorConfig) -> Self {
+        Sensor { config, accumulated_drift: 0.0 }
+    }
+
+    /// Observes the ground-truth `actual` value.
+    pub fn read(&mut self, actual: f64, rng: &mut Rng) -> f64 {
+        if let Some(v) = self.config.tampered_value {
+            return v;
+        }
+        self.accumulated_drift += self.config.drift_per_reading;
+        actual + self.accumulated_drift + rng.normal() * self.config.noise_std
+    }
+}
+
+/// Aggregates sensor readings and anchors them on-chain.
+#[derive(Debug)]
+pub struct Oracle {
+    sensors: Vec<Sensor>,
+    account: Address,
+    nonce: u64,
+}
+
+impl Oracle {
+    /// An oracle over the given sensor fleet, submitting from `account`.
+    pub fn new(sensors: Vec<Sensor>, account: Address) -> Self {
+        Oracle { sensors, account, nonce: 0 }
+    }
+
+    /// One measurement round: every sensor reads, the median wins.
+    /// The median tolerates strictly fewer than half tampered/broken
+    /// sensors — the robustness the paper asks data integration to provide.
+    pub fn measure(&mut self, actual: f64, rng: &mut Rng) -> f64 {
+        let mut readings: Vec<f64> =
+            self.sensors.iter_mut().map(|s| s.read(actual, rng)).collect();
+        readings.sort_by(|a, b| a.partial_cmp(b).expect("no NaN readings"));
+        let n = readings.len();
+        if n % 2 == 1 {
+            readings[n / 2]
+        } else {
+            (readings[n / 2 - 1] + readings[n / 2]) / 2.0
+        }
+    }
+
+    /// Wraps an aggregated value as a data-anchoring transaction
+    /// (generation-3.0 telemetry committed to the ledger).
+    pub fn anchor_tx(&mut self, value: f64, timestamp_us: u64) -> Transaction {
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&value.to_le_bytes());
+        payload.extend_from_slice(&timestamp_us.to_le_bytes());
+        let mut tx = AccountTx::transfer(self.account, Address::ZERO, 0, self.nonce);
+        self.nonce += 1;
+        tx.payload = TxPayload::Data(payload);
+        Transaction::Account(tx)
+    }
+
+    /// Parses a value anchored by [`Oracle::anchor_tx`].
+    pub fn parse_anchor(tx: &Transaction) -> Option<(f64, u64)> {
+        let Transaction::Account(a) = tx else { return None };
+        let TxPayload::Data(d) = &a.payload else { return None };
+        if d.len() != 16 {
+            return None;
+        }
+        let value = f64::from_le_bytes(d[..8].try_into().ok()?);
+        let ts = u64::from_le_bytes(d[8..].try_into().ok()?);
+        Some((value, ts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_sensors_track_truth() {
+        let sensors = (0..5).map(|_| Sensor::new(SensorConfig::default())).collect();
+        let mut oracle = Oracle::new(sensors, Address::from_index(1));
+        let mut rng = Rng::seed_from(1);
+        let mut err_sum = 0.0;
+        for i in 0..200 {
+            let actual = 20.0 + (i as f64 * 0.1).sin();
+            err_sum += (oracle.measure(actual, &mut rng) - actual).abs();
+        }
+        assert!(err_sum / 200.0 < 0.5, "mean error {}", err_sum / 200.0);
+    }
+
+    #[test]
+    fn median_defeats_minority_tampering() {
+        // 2 of 5 sensors report an adversarial 1000.0; the median ignores it.
+        let mut sensors: Vec<Sensor> =
+            (0..3).map(|_| Sensor::new(SensorConfig::default())).collect();
+        for _ in 0..2 {
+            sensors.push(Sensor::new(SensorConfig {
+                tampered_value: Some(1000.0),
+                ..SensorConfig::default()
+            }));
+        }
+        let mut oracle = Oracle::new(sensors, Address::from_index(1));
+        let mut rng = Rng::seed_from(2);
+        let value = oracle.measure(20.0, &mut rng);
+        assert!((value - 20.0).abs() < 3.0, "tamper-resistant median, got {value}");
+    }
+
+    #[test]
+    fn majority_tampering_wins_as_expected() {
+        // 3 of 5 tampered: the median is captured — the threat model's edge.
+        let mut sensors: Vec<Sensor> =
+            (0..2).map(|_| Sensor::new(SensorConfig::default())).collect();
+        for _ in 0..3 {
+            sensors.push(Sensor::new(SensorConfig {
+                tampered_value: Some(1000.0),
+                ..SensorConfig::default()
+            }));
+        }
+        let mut oracle = Oracle::new(sensors, Address::from_index(1));
+        let value = oracle.measure(20.0, &mut Rng::seed_from(3));
+        assert!(value > 900.0);
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        let mut s = Sensor::new(SensorConfig {
+            noise_std: 0.0,
+            drift_per_reading: 0.1,
+            tampered_value: None,
+        });
+        let mut rng = Rng::seed_from(4);
+        let mut last = 0.0;
+        for _ in 0..10 {
+            last = s.read(5.0, &mut rng);
+        }
+        assert!((last - 6.0).abs() < 1e-9, "10 readings × 0.1 drift, got {last}");
+    }
+
+    #[test]
+    fn anchor_round_trip() {
+        let mut oracle = Oracle::new(vec![], Address::from_index(1));
+        let tx = oracle.anchor_tx(23.5, 1_000_000);
+        let (v, t) = Oracle::parse_anchor(&tx).unwrap();
+        assert_eq!(v, 23.5);
+        assert_eq!(t, 1_000_000);
+        // Nonces advance per anchor.
+        let tx2 = oracle.anchor_tx(24.0, 2_000_000);
+        assert_ne!(tx.id(), tx2.id());
+    }
+}

@@ -1,0 +1,299 @@
+//! The modeling layer (§4.2 of the paper): "modeling approaches are
+//! required to express workflows ... these models allow for existing and
+//! new applications to be expressed so as to permit blockchain
+//! integration."
+//!
+//! A [`Workflow`] is a BPMN-flavoured finite-state process — states,
+//! transitions, and per-transition authorized roles (the paper's Fig. 3
+//! modeling pane: Production → Shipping → Validation → Agreement …).
+//! [`Workflow::compile`] lowers it to contract bytecode for the platform
+//! VM, so the *model is the contract*: the chain enforces that only the
+//! authorized party can fire each transition, from the right source state,
+//! emitting an event per step.
+//!
+//! Contract ABI (selector word at offset 0):
+//! * selector 0 — `state()`: returns the current state index (free query).
+//! * selector 1+t — fire transition `t`; reverts unless the caller is the
+//!   transition's authorized address and the workflow sits in its source
+//!   state.
+
+use dcs_contracts::asm::{assemble, AsmError};
+use dcs_contracts::stdlib::input_with;
+use dcs_crypto::Address;
+
+/// A transition of the process model.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Human-readable label (e.g. "ship", "approve").
+    pub name: String,
+    /// Source state index.
+    pub from: u32,
+    /// Destination state index.
+    pub to: u32,
+    /// The only address allowed to fire this transition.
+    pub actor: Address,
+}
+
+/// A finite-state workflow model.
+#[derive(Debug, Clone)]
+pub struct Workflow {
+    /// State names; index 0 is the initial state.
+    pub states: Vec<String>,
+    /// The transitions.
+    pub transitions: Vec<Transition>,
+}
+
+/// Errors from workflow validation/compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// A transition references a state index out of range.
+    BadState {
+        /// The transition's name.
+        transition: String,
+        /// The offending state index.
+        state: u32,
+    },
+    /// The model has no states.
+    Empty,
+    /// Internal: generated assembly failed to assemble.
+    Codegen(AsmError),
+}
+
+impl core::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WorkflowError::BadState { transition, state } => {
+                write!(f, "transition {transition:?} references unknown state {state}")
+            }
+            WorkflowError::Empty => write!(f, "workflow has no states"),
+            WorkflowError::Codegen(e) => write!(f, "code generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl Workflow {
+    /// Validates the model: every transition's endpoints exist.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkflowError::Empty`] or [`WorkflowError::BadState`].
+    pub fn validate(&self) -> Result<(), WorkflowError> {
+        if self.states.is_empty() {
+            return Err(WorkflowError::Empty);
+        }
+        let n = self.states.len() as u32;
+        for t in &self.transitions {
+            for state in [t.from, t.to] {
+                if state >= n {
+                    return Err(WorkflowError::BadState {
+                        transition: t.name.clone(),
+                        state,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the model to VM bytecode (see the module docs for the ABI).
+    ///
+    /// # Errors
+    ///
+    /// Validation errors; codegen errors cannot occur for valid models.
+    pub fn compile(&self) -> Result<Vec<u8>, WorkflowError> {
+        self.validate()?;
+        let mut src = String::new();
+        // Dispatcher: selector 1+t → :t<t>.
+        for (t, _) in self.transitions.iter().enumerate() {
+            src.push_str(&format!(
+                "push @t{t}\npush 0\ncalldataload\npush {}\neq\njumpi\n",
+                t + 1
+            ));
+        }
+        // Default: state() — return storage slot 0.
+        src.push_str("push 0\nsload\npush 0\nswap 0\nmstore\npush 0\npush 32\nreturn\n");
+        for (t, tr) in self.transitions.iter().enumerate() {
+            src.push_str(&format!(":t{t}\njumpdest\n"));
+            // require caller == actor
+            src.push_str(&format!(
+                "push 0x{}\ncaller\neq\niszero\npush @fail\nswap 0\njumpi\n",
+                hex20(&tr.actor)
+            ));
+            // require state == from
+            src.push_str(&format!(
+                "push 0\nsload\npush {}\neq\niszero\npush @fail\nswap 0\njumpi\n",
+                tr.from
+            ));
+            // state = to; emit an event carrying the transition index.
+            src.push_str(&format!("push 0\npush {}\nsstore\n", tr.to));
+            src.push_str(&format!("push 0\npush 0\npush {}\nlog1\nstop\n", t + 1));
+        }
+        src.push_str(":fail\njumpdest\npush 0\npush 0\nrevert\n");
+        assemble(&src).map_err(WorkflowError::Codegen)
+    }
+
+    /// Call input that fires transition `t` (by index).
+    pub fn fire_input(&self, t: usize) -> Vec<u8> {
+        input_with(t as u8 + 1, &[])
+    }
+
+    /// Call input for the free `state()` query.
+    pub fn state_input(&self) -> Vec<u8> {
+        input_with(0, &[])
+    }
+}
+
+/// The `push 0x…` operand for a full 20-byte address: the assembler's wide
+/// hex form emits a right-aligned 32-byte word, matching the layout the
+/// `caller` opcode pushes.
+fn hex20(addr: &Address) -> String {
+    addr.as_bytes().iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_contracts::exec::{self, BlockCtx};
+    use dcs_contracts::Word;
+    use dcs_primitives::{AccountTx, GasSchedule};
+    use dcs_state::AccountDb;
+
+    fn shipment_workflow(producer: Address, shipper: Address, retailer: Address) -> Workflow {
+        Workflow {
+            states: vec![
+                "Production".into(),
+                "Shipping".into(),
+                "Validation".into(),
+                "Agreement".into(),
+            ],
+            transitions: vec![
+                Transition { name: "ship".into(), from: 0, to: 1, actor: producer },
+                Transition { name: "deliver".into(), from: 1, to: 2, actor: shipper },
+                Transition { name: "approve".into(), from: 2, to: 3, actor: retailer },
+            ],
+        }
+    }
+
+    struct Deployed {
+        db: AccountDb,
+        contract: Address,
+        schedule: GasSchedule,
+        nonces: std::collections::HashMap<Address, u64>,
+    }
+
+    impl Deployed {
+        fn new(wf: &Workflow, actors: &[Address]) -> Self {
+            let mut db = AccountDb::new();
+            for a in actors {
+                db.credit(a, 1_000_000_000);
+            }
+            let code = wf.compile().expect("compiles");
+            // The compiled model passes the platform's own §5.3 verifier.
+            let report = dcs_contracts::verify::analyze(&code);
+            assert!(report.is_clean(), "compiled workflow defective: {:?}", report.defects);
+            let deploy = AccountTx::deploy(actors[0], code, 0, 10_000_000);
+            let contract = deploy.contract_address();
+            let schedule = GasSchedule::default();
+            let r = exec::execute_tx(&mut db, &deploy, dcs_crypto::Hash256::ZERO, &Self::ctx(), &schedule);
+            assert!(r.status.is_success());
+            let mut nonces = std::collections::HashMap::new();
+            nonces.insert(actors[0], 1u64);
+            Deployed { db, contract, schedule, nonces }
+        }
+
+        fn ctx() -> BlockCtx {
+            BlockCtx { proposer: Address::from_index(999), timestamp_us: 0, height: 1 }
+        }
+
+        fn fire(&mut self, wf: &Workflow, who: Address, t: usize) -> bool {
+            let nonce = self.nonces.entry(who).or_insert(0);
+            let tx = AccountTx::call(who, self.contract, wf.fire_input(t), 0, *nonce, 1_000_000);
+            *nonce += 1;
+            exec::execute_tx(&mut self.db, &tx, dcs_crypto::Hash256::ZERO, &Self::ctx(), &self.schedule)
+                .status
+                .is_success()
+        }
+
+        fn state(&mut self, wf: &Workflow) -> u64 {
+            let out = exec::query(&mut self.db, &self.contract, &Address::ZERO, &wf.state_input())
+                .expect("state query");
+            Word(out.try_into().expect("one word")).as_u64()
+        }
+    }
+
+    fn actors() -> (Address, Address, Address) {
+        (Address::from_index(1), Address::from_index(2), Address::from_index(3))
+    }
+
+    #[test]
+    fn happy_path_walks_the_model() {
+        let (p, s, r) = actors();
+        let wf = shipment_workflow(p, s, r);
+        let mut d = Deployed::new(&wf, &[p, s, r]);
+        assert_eq!(d.state(&wf), 0);
+        assert!(d.fire(&wf, p, 0), "producer ships");
+        assert_eq!(d.state(&wf), 1);
+        assert!(d.fire(&wf, s, 1), "shipper delivers");
+        assert_eq!(d.state(&wf), 2);
+        assert!(d.fire(&wf, r, 2), "retailer approves");
+        assert_eq!(d.state(&wf), 3);
+    }
+
+    #[test]
+    fn wrong_actor_rejected() {
+        let (p, s, r) = actors();
+        let wf = shipment_workflow(p, s, r);
+        let mut d = Deployed::new(&wf, &[p, s, r]);
+        assert!(!d.fire(&wf, s, 0), "only the producer may ship");
+        assert_eq!(d.state(&wf), 0, "state unchanged");
+    }
+
+    #[test]
+    fn out_of_order_transition_rejected() {
+        let (p, s, r) = actors();
+        let wf = shipment_workflow(p, s, r);
+        let mut d = Deployed::new(&wf, &[p, s, r]);
+        assert!(!d.fire(&wf, s, 1), "cannot deliver before shipping");
+        assert!(!d.fire(&wf, r, 2), "cannot approve from Production");
+        assert!(d.fire(&wf, p, 0));
+        assert!(!d.fire(&wf, p, 0), "cannot ship twice");
+    }
+
+    #[test]
+    fn validation_catches_bad_models() {
+        let wf = Workflow { states: vec![], transitions: vec![] };
+        assert_eq!(wf.validate(), Err(WorkflowError::Empty));
+        let wf = Workflow {
+            states: vec!["a".into()],
+            transitions: vec![Transition {
+                name: "t".into(),
+                from: 0,
+                to: 5,
+                actor: Address::ZERO,
+            }],
+        };
+        assert!(matches!(wf.validate(), Err(WorkflowError::BadState { state: 5, .. })));
+    }
+
+    #[test]
+    fn transitions_emit_events() {
+        let (p, s, r) = actors();
+        let wf = shipment_workflow(p, s, r);
+        let mut d = Deployed::new(&wf, &[p, s, r]);
+        let nonce = d.nonces.entry(p).or_insert(0);
+        let tx = AccountTx::call(p, d.contract, wf.fire_input(0), 0, *nonce, 1_000_000);
+        *nonce += 1;
+        let receipt = exec::execute_tx(
+            &mut d.db,
+            &tx,
+            dcs_crypto::Hash256::ZERO,
+            &Deployed::ctx(),
+            &d.schedule,
+        );
+        assert!(receipt.status.is_success());
+        assert_eq!(receipt.logs.len(), 1);
+        assert_eq!(receipt.logs[0].topics, vec![Word::from_u64(1).as_hash()]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Gossip dissemination support (§2.3: "gossiping is employed to broadcast
+//! data, such as new transactions and blocks, among the peers").
+//!
+//! The [`Gossiper`] tracks which item ids a peer has already seen so flood
+//! gossip terminates: on first sight a node forwards to its neighbors
+//! (except the sender); repeats are dropped.
+
+use dcs_crypto::Hash256;
+use std::collections::HashSet;
+
+/// Per-peer gossip deduplication state.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_net::Gossiper;
+/// use dcs_crypto::sha256;
+///
+/// let mut g = Gossiper::new();
+/// let id = sha256(b"block 7");
+/// assert!(g.first_sight(id), "new item: forward it");
+/// assert!(!g.first_sight(id), "repeat: drop it");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gossiper {
+    seen: HashSet<Hash256>,
+}
+
+impl Gossiper {
+    /// Creates an empty dedup table.
+    pub fn new() -> Self {
+        Gossiper::default()
+    }
+
+    /// Records `id` as seen; returns `true` exactly once per id — the signal
+    /// to process and re-forward.
+    pub fn first_sight(&mut self, id: Hash256) -> bool {
+        self.seen.insert(id)
+    }
+
+    /// True if `id` has been seen before.
+    pub fn has_seen(&self, id: &Hash256) -> bool {
+        self.seen.contains(id)
+    }
+
+    /// Number of distinct items seen.
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_crypto::sha256;
+
+    #[test]
+    fn dedup_semantics() {
+        let mut g = Gossiper::new();
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        assert!(!g.has_seen(&a));
+        assert!(g.first_sight(a));
+        assert!(g.has_seen(&a));
+        assert!(!g.first_sight(a));
+        assert!(g.first_sight(b));
+        assert_eq!(g.seen_count(), 2);
+    }
+}

@@ -1,0 +1,276 @@
+//! The message fabric: point-to-point sends over the overlay with sampled
+//! latency, probabilistic loss, partitions, and bandwidth accounting, all
+//! scheduled on the deterministic event queue.
+
+use crate::latency::LatencyModel;
+use crate::topology::{self, Topology};
+use crate::NodeId;
+use dcs_sim::{EventId, Rng, SimDuration, SimTime, Simulation};
+
+/// Network construction parameters.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Number of peers.
+    pub nodes: usize,
+    /// Overlay shape.
+    pub topology: Topology,
+    /// Per-hop latency model.
+    pub latency: LatencyModel,
+    /// Probability each message is silently lost.
+    pub drop_probability: f64,
+    /// If set, add `size / bandwidth` serialization delay per message.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            nodes: 16,
+            topology: Topology::KRegular { k: 4 },
+            latency: LatencyModel::wan(),
+            drop_probability: 0.0,
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+}
+
+/// Counters the experiments report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the fabric.
+    pub sent: u64,
+    /// Messages delivered to their destination.
+    pub delivered: u64,
+    /// Messages lost to `drop_probability`.
+    pub dropped: u64,
+    /// Messages blocked by a partition.
+    pub partitioned: u64,
+    /// Total payload bytes sent.
+    pub bytes_sent: u64,
+}
+
+/// Internal queue events.
+#[derive(Debug)]
+pub(crate) enum NetEvent<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, tag: u64 },
+}
+
+/// The simulated network: overlay + event queue.
+#[derive(Debug)]
+pub struct Network<M> {
+    pub(crate) sim: Simulation<NetEvent<M>>,
+    adjacency: Vec<Vec<NodeId>>,
+    latency: LatencyModel,
+    drop_probability: f64,
+    bandwidth: Option<u64>,
+    groups: Vec<u32>,
+    rng: Rng,
+    stats: NetStats,
+}
+
+impl<M> Network<M> {
+    /// Builds the network; the overlay wiring is derived from `seed`.
+    pub fn new(cfg: NetConfig, seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let adjacency = topology::build(cfg.topology, cfg.nodes, &mut rng);
+        Network {
+            sim: Simulation::new(),
+            adjacency,
+            latency: cfg.latency,
+            drop_probability: cfg.drop_probability,
+            bandwidth: cfg.bandwidth_bytes_per_sec,
+            groups: vec![0; cfg.nodes],
+            rng,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Number of peers.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The overlay neighbors of `node`.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.0]
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Fabric statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Borrow the fabric RNG (nodes fork child RNGs from it).
+    pub fn rng_mut(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Splits the network: nodes keep messages only within their group.
+    /// `groups[i]` is node `i`'s side. Panics if the length mismatches.
+    pub fn set_partition(&mut self, groups: Vec<u32>) {
+        assert_eq!(groups.len(), self.node_count(), "one group per node");
+        self.groups = groups;
+    }
+
+    /// Heals all partitions.
+    pub fn heal_partition(&mut self) {
+        self.groups = vec![0; self.node_count()];
+    }
+
+    /// Sends `msg` of `size` bytes from `from` to `to`, subject to loss and
+    /// partitions. Delivery is scheduled after sampled latency (plus
+    /// serialization delay when bandwidth is modeled).
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, size: usize) {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += size as u64;
+        if self.groups[from.0] != self.groups[to.0] {
+            self.stats.partitioned += 1;
+            return;
+        }
+        if self.drop_probability > 0.0 && self.rng.chance(self.drop_probability) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let mut delay = self.latency.sample(&mut self.rng);
+        if let Some(bw) = self.bandwidth {
+            let ser = SimDuration::from_secs_f64(size as f64 / bw as f64);
+            delay = delay + ser;
+        }
+        self.sim.schedule(delay, NetEvent::Deliver { from, to, msg });
+    }
+
+    /// Injects a message to `node` at an absolute time, bypassing topology,
+    /// loss, and latency — how simulated *clients* (who are not overlay
+    /// peers) deliver transactions to their point-of-contact peer. The
+    /// message appears to come from the node itself.
+    pub fn inject(&mut self, at: SimTime, node: NodeId, msg: M) {
+        self.stats.sent += 1;
+        self.sim
+            .schedule_at(at, NetEvent::Deliver { from: node, to: node, msg });
+    }
+
+    /// Schedules a timer for `node`; the tag is returned to the protocol.
+    pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) -> EventId {
+        self.sim.schedule(delay, NetEvent::Timer { node, tag })
+    }
+
+    /// Cancels a pending timer.
+    pub fn cancel_timer(&mut self, id: EventId) {
+        self.sim.cancel(id);
+    }
+
+    pub(crate) fn pop(&mut self, deadline: Option<SimTime>) -> Option<(SimTime, NetEvent<M>)> {
+        let ev = match deadline {
+            Some(d) => self.sim.next_before(d),
+            None => self.sim.next(),
+        };
+        if let Some((_, NetEvent::Deliver { .. })) = &ev {
+            self.stats.delivered += 1;
+        }
+        ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network<&'static str> {
+        Network::new(
+            NetConfig {
+                nodes: 4,
+                topology: Topology::Complete,
+                latency: LatencyModel::Constant(SimDuration::from_millis(10)),
+                drop_probability: 0.0,
+                bandwidth_bytes_per_sec: None,
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn send_delivers_after_latency() {
+        let mut net = tiny();
+        net.send(NodeId(0), NodeId(1), "hi", 100);
+        let (t, ev) = net.pop(None).unwrap();
+        assert_eq!(t.as_millis(), 10);
+        match ev {
+            NetEvent::Deliver { from, to, msg } => {
+                assert_eq!((from, to, msg), (NodeId(0), NodeId(1), "hi"));
+            }
+            _ => panic!("expected delivery"),
+        }
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.stats().bytes_sent, 100);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut net = tiny();
+        net.set_partition(vec![0, 0, 1, 1]);
+        net.send(NodeId(0), NodeId(2), "blocked", 10);
+        net.send(NodeId(0), NodeId(1), "ok", 10);
+        assert_eq!(net.stats().partitioned, 1);
+        let (_, ev) = net.pop(None).unwrap();
+        assert!(matches!(ev, NetEvent::Deliver { msg: "ok", .. }));
+        assert!(net.pop(None).is_none());
+
+        net.heal_partition();
+        net.send(NodeId(0), NodeId(2), "now ok", 10);
+        assert!(net.pop(None).is_some());
+    }
+
+    #[test]
+    fn drops_are_probabilistic_and_counted() {
+        let mut net = Network::<u32>::new(
+            NetConfig {
+                nodes: 2,
+                topology: Topology::Complete,
+                latency: LatencyModel::Constant(SimDuration::ZERO),
+                drop_probability: 0.5,
+                bandwidth_bytes_per_sec: None,
+            },
+            7,
+        );
+        for i in 0..1000 {
+            net.send(NodeId(0), NodeId(1), i, 1);
+        }
+        let dropped = net.stats().dropped;
+        assert!(dropped > 350 && dropped < 650, "dropped {dropped}");
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        let mut net = Network::<&'static str>::new(
+            NetConfig {
+                nodes: 2,
+                topology: Topology::Complete,
+                latency: LatencyModel::Constant(SimDuration::from_millis(10)),
+                drop_probability: 0.0,
+                bandwidth_bytes_per_sec: Some(1_000_000), // 1 MB/s
+            },
+            1,
+        );
+        // 500 KB message → 0.5 s serialization + 10 ms latency.
+        net.send(NodeId(0), NodeId(1), "big", 500_000);
+        let (t, _) = net.pop(None).unwrap();
+        assert_eq!(t.as_millis(), 510);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let mut net = tiny();
+        let id = net.set_timer(NodeId(2), SimDuration::from_millis(5), 77);
+        net.set_timer(NodeId(3), SimDuration::from_millis(6), 88);
+        net.cancel_timer(id);
+        let (_, ev) = net.pop(None).unwrap();
+        assert!(matches!(ev, NetEvent::Timer { node: NodeId(3), tag: 88 }));
+        assert!(net.pop(None).is_none());
+    }
+}

@@ -1,0 +1,379 @@
+//! Blocks and headers (Fig. 2 of the paper): each header carries the parent
+//! hash (the chain link), a Merkle root over the transactions, a state root,
+//! and a consensus [`Seal`] proving the proposer's right to extend the chain.
+
+use crate::transaction::Transaction;
+use crate::Amount;
+use dcs_crypto::codec::{Decode, DecodeError, Encode, Reader};
+use dcs_crypto::{merkle, sha256, Address, Hash256};
+use serde::{Deserialize, Serialize};
+
+/// The consensus proof attached to a header. One variant per protocol family
+/// the paper surveys (§2.4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Seal {
+    /// No seal: genesis blocks and unit tests.
+    None,
+    /// Proof-of-Work: a nonce and the difficulty — the expected number of
+    /// hash attempts needed, i.e. a valid header hash must satisfy
+    /// `hash.prefix_u64() <= u64::MAX / difficulty`. Also the per-block
+    /// "work" accumulated by heaviest-chain rules.
+    Work {
+        /// Mining nonce.
+        nonce: u64,
+        /// Expected hash attempts (≥ 1).
+        difficulty: u64,
+    },
+    /// Proof-of-Stake: the slot number and the proposer's lottery proof.
+    Stake {
+        /// Slot index since genesis.
+        slot: u64,
+        /// Verifiable lottery draw binding proposer, slot, and parent.
+        proof: Hash256,
+    },
+    /// Proof-of-Elapsed-Time: the waited duration in microseconds, attested
+    /// by a (simulated) trusted execution environment.
+    ElapsedTime {
+        /// Microseconds waited before proposing.
+        wait_us: u64,
+    },
+    /// Leader-based ordering (Hyperledger-style ordering service or PBFT):
+    /// the view/epoch and sequence number assigned by the orderer.
+    Authority {
+        /// Leader election epoch.
+        view: u64,
+        /// Sequence within the view.
+        sequence: u64,
+        /// Number of commit votes backing the block (PBFT quorum size; 1 for
+        /// a solo orderer).
+        votes: u32,
+    },
+    /// Bitcoin-NG microblock: signed by the current key-block leader.
+    Micro {
+        /// Hash of the key block that elected the issuing leader.
+        key_block: Hash256,
+        /// Microblock sequence under that key block.
+        sequence: u64,
+    },
+}
+
+/// A block header: everything needed to verify chain linkage and data
+/// integrity without downloading the body (the light-client contract, §2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockHeader {
+    /// Hash of the parent header ([`Hash256::ZERO`] for genesis).
+    pub parent: Hash256,
+    /// Distance from genesis.
+    pub height: u64,
+    /// Proposal time, microseconds of simulated time.
+    pub timestamp_us: u64,
+    /// Merkle root over the body's transaction ids.
+    pub tx_root: Hash256,
+    /// Root of the authenticated state after executing this block.
+    pub state_root: Hash256,
+    /// The proposing peer's reward address.
+    pub proposer: Address,
+    /// Consensus proof.
+    pub seal: Seal,
+}
+
+impl BlockHeader {
+    /// Creates a header with empty roots (filled in by block assembly).
+    pub fn new(
+        parent: Hash256,
+        height: u64,
+        timestamp_us: u64,
+        proposer: Address,
+        seal: Seal,
+    ) -> Self {
+        BlockHeader {
+            parent,
+            height,
+            timestamp_us,
+            tx_root: Hash256::ZERO,
+            state_root: Hash256::ZERO,
+            proposer,
+            seal,
+        }
+    }
+
+    /// The block hash: SHA-256 of the canonical header encoding.
+    pub fn hash(&self) -> Hash256 {
+        sha256(&self.encoded())
+    }
+
+    /// The amount of expected work this header's seal represents (the PoW
+    /// difficulty; 1 otherwise). Summed by heaviest-chain fork choice.
+    pub fn work(&self) -> u128 {
+        match self.seal {
+            Seal::Work { difficulty, .. } => u128::from(difficulty.max(1)),
+            _ => 1,
+        }
+    }
+
+    /// Whether a `Seal::Work` header's hash actually meets its difficulty
+    /// target: the first 8 bytes, read as an integer, must fall below
+    /// `u64::MAX / difficulty`. Non-PoW seals trivially pass.
+    pub fn meets_pow_target(&self) -> bool {
+        match self.seal {
+            Seal::Work { difficulty, .. } => {
+                self.hash().prefix_u64() <= u64::MAX / difficulty.max(1)
+            }
+            _ => true,
+        }
+    }
+}
+
+/// A full block: header plus transaction body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The sealed header.
+    pub header: BlockHeader,
+    /// Ordered transactions.
+    pub txs: Vec<Transaction>,
+}
+
+impl Block {
+    /// Assembles a block, computing and committing the transaction Merkle
+    /// root into the header.
+    pub fn new(mut header: BlockHeader, txs: Vec<Transaction>) -> Self {
+        header.tx_root = Self::compute_tx_root(&txs);
+        Block { header, txs }
+    }
+
+    /// The block hash (hash of the header).
+    pub fn hash(&self) -> Hash256 {
+        self.header.hash()
+    }
+
+    /// Merkle root over the transaction ids.
+    pub fn compute_tx_root(txs: &[Transaction]) -> Hash256 {
+        let leaves: Vec<Hash256> = txs.iter().map(Transaction::id).collect();
+        merkle::merkle_root(&leaves)
+    }
+
+    /// Checks that the header's `tx_root` matches the body.
+    pub fn verify_tx_root(&self) -> bool {
+        self.header.tx_root == Self::compute_tx_root(&self.txs)
+    }
+
+    /// Total fees offered by the body's transactions.
+    pub fn offered_fees(&self) -> Amount {
+        self.txs.iter().map(Transaction::offered_fee).sum()
+    }
+
+    /// Encoded size in bytes (drives bandwidth accounting and the E10
+    /// full-download-vs-SPV comparison).
+    pub fn encoded_len(&self) -> usize {
+        self.encoded().len()
+    }
+}
+
+impl Encode for Seal {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Seal::None => out.push(0),
+            Seal::Work { nonce, difficulty } => {
+                out.push(1);
+                nonce.encode(out);
+                difficulty.encode(out);
+            }
+            Seal::Stake { slot, proof } => {
+                out.push(2);
+                slot.encode(out);
+                proof.encode(out);
+            }
+            Seal::ElapsedTime { wait_us } => {
+                out.push(3);
+                wait_us.encode(out);
+            }
+            Seal::Authority { view, sequence, votes } => {
+                out.push(4);
+                view.encode(out);
+                sequence.encode(out);
+                votes.encode(out);
+            }
+            Seal::Micro { key_block, sequence } => {
+                out.push(5);
+                key_block.encode(out);
+                sequence.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Seal {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Seal::None),
+            1 => Ok(Seal::Work { nonce: u64::decode(r)?, difficulty: u64::decode(r)? }),
+            2 => Ok(Seal::Stake { slot: u64::decode(r)?, proof: Hash256::decode(r)? }),
+            3 => Ok(Seal::ElapsedTime { wait_us: u64::decode(r)? }),
+            4 => Ok(Seal::Authority {
+                view: u64::decode(r)?,
+                sequence: u64::decode(r)?,
+                votes: u32::decode(r)?,
+            }),
+            5 => Ok(Seal::Micro { key_block: Hash256::decode(r)?, sequence: u64::decode(r)? }),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+impl Encode for BlockHeader {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.parent.encode(out);
+        self.height.encode(out);
+        self.timestamp_us.encode(out);
+        self.tx_root.encode(out);
+        self.state_root.encode(out);
+        self.proposer.encode(out);
+        self.seal.encode(out);
+    }
+}
+
+impl Decode for BlockHeader {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(BlockHeader {
+            parent: Hash256::decode(r)?,
+            height: u64::decode(r)?,
+            timestamp_us: u64::decode(r)?,
+            tx_root: Hash256::decode(r)?,
+            state_root: Hash256::decode(r)?,
+            proposer: Address::decode(r)?,
+            seal: Seal::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Block {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.header.encode(out);
+        self.txs.encode(out);
+    }
+}
+
+impl Decode for Block {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Block { header: BlockHeader::decode(r)?, txs: Vec::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::AccountTx;
+    use dcs_crypto::codec::decode_all;
+
+    fn tx(n: u64) -> Transaction {
+        Transaction::Account(AccountTx::transfer(
+            Address::from_index(n),
+            Address::from_index(n + 1),
+            n,
+            0,
+        ))
+    }
+
+    fn block(n_txs: u64) -> Block {
+        Block::new(
+            BlockHeader::new(Hash256::ZERO, 1, 1_000, Address::from_index(0), Seal::None),
+            (0..n_txs).map(tx).collect(),
+        )
+    }
+
+    #[test]
+    fn new_commits_tx_root() {
+        let b = block(3);
+        assert!(b.verify_tx_root());
+        assert_ne!(b.header.tx_root, Hash256::ZERO);
+    }
+
+    #[test]
+    fn empty_block_has_zero_tx_root() {
+        let b = block(0);
+        assert!(b.verify_tx_root());
+        assert_eq!(b.header.tx_root, Hash256::ZERO);
+    }
+
+    #[test]
+    fn tampering_with_body_breaks_root() {
+        let mut b = block(3);
+        b.txs.push(tx(99));
+        assert!(!b.verify_tx_root());
+    }
+
+    #[test]
+    fn hash_changes_with_any_header_field() {
+        let base = block(1);
+        let h = base.hash();
+        let mut b = base.clone();
+        b.header.height += 1;
+        assert_ne!(b.hash(), h);
+        let mut b = base.clone();
+        b.header.timestamp_us += 1;
+        assert_ne!(b.hash(), h);
+        let mut b = base.clone();
+        b.header.parent = dcs_crypto::sha256(b"other");
+        assert_ne!(b.hash(), h);
+        let mut b = base;
+        b.header.seal = Seal::Work { nonce: 1, difficulty: 16 };
+        assert_ne!(b.hash(), h);
+    }
+
+    #[test]
+    fn seal_work_is_difficulty() {
+        let mk = |d| BlockHeader::new(
+            Hash256::ZERO,
+            0,
+            0,
+            Address::ZERO,
+            Seal::Work { nonce: 0, difficulty: d },
+        );
+        assert_eq!(mk(1024).work(), 1024);
+        assert_eq!(mk(0).work(), 1, "difficulty 0 clamps to 1");
+        let plain = BlockHeader::new(Hash256::ZERO, 0, 0, Address::ZERO, Seal::None);
+        assert_eq!(plain.work(), 1);
+    }
+
+    #[test]
+    fn pow_target_check() {
+        // Difficulty 1 accepts any hash; a huge difficulty essentially never.
+        let easy = BlockHeader::new(
+            Hash256::ZERO, 0, 0, Address::ZERO,
+            Seal::Work { nonce: 5, difficulty: 1 },
+        );
+        assert!(easy.meets_pow_target());
+        let hard = BlockHeader::new(
+            Hash256::ZERO, 0, 0, Address::ZERO,
+            Seal::Work { nonce: 5, difficulty: u64::MAX },
+        );
+        assert!(!hard.meets_pow_target());
+        let none = BlockHeader::new(Hash256::ZERO, 0, 0, Address::ZERO, Seal::None);
+        assert!(none.meets_pow_target());
+    }
+
+    #[test]
+    fn codec_round_trips_all_seals() {
+        let seals = vec![
+            Seal::None,
+            Seal::Work { nonce: 42, difficulty: 1 << 20 },
+            Seal::Stake { slot: 7, proof: dcs_crypto::sha256(b"p") },
+            Seal::ElapsedTime { wait_us: 123_456 },
+            Seal::Authority { view: 2, sequence: 19, votes: 7 },
+            Seal::Micro { key_block: dcs_crypto::sha256(b"k"), sequence: 3 },
+        ];
+        for seal in seals {
+            let mut b = block(2);
+            b.header.seal = seal;
+            let decoded = decode_all::<Block>(&b.encoded()).unwrap();
+            assert_eq!(decoded, b);
+            assert_eq!(decoded.hash(), b.hash());
+        }
+    }
+
+    #[test]
+    fn offered_fees_sum_over_account_txs() {
+        let b = block(3);
+        assert_eq!(b.offered_fees(), 3 * 21_000);
+    }
+}

@@ -1,0 +1,101 @@
+//! The gas schedule (§2.5): per-operation costs charged during contract
+//! execution and paid to the block proposer. Constant (read-only) calls are
+//! free when executed off-chain — mirroring the paper's Solidity example
+//! where `say()` "does not cost gas to execute, since it only reads existing
+//! information".
+
+use crate::Amount;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation gas costs. The defaults loosely track Ethereum's relative
+/// magnitudes: storage writes are ~100× arithmetic, storage reads ~10×.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GasSchedule {
+    /// Flat cost charged to every transaction (intrinsic gas).
+    pub tx_base: Amount,
+    /// Cost per byte of transaction payload data.
+    pub tx_data_byte: Amount,
+    /// Stack/arithmetic/control-flow opcodes.
+    pub op_base: Amount,
+    /// Reading a contract storage slot.
+    pub storage_read: Amount,
+    /// Writing a contract storage slot.
+    pub storage_write: Amount,
+    /// Emitting a log entry, plus per-byte data cost.
+    pub log_base: Amount,
+    /// Per byte of log data.
+    pub log_byte: Amount,
+    /// Hashing (per invocation).
+    pub hash: Amount,
+    /// Deploying a contract, per byte of code stored on-chain.
+    pub deploy_byte: Amount,
+    /// Transferring value out of a contract.
+    pub transfer: Amount,
+}
+
+impl Default for GasSchedule {
+    fn default() -> Self {
+        GasSchedule {
+            tx_base: 21_000,
+            tx_data_byte: 16,
+            op_base: 3,
+            storage_read: 200,
+            storage_write: 5_000,
+            log_base: 375,
+            log_byte: 8,
+            hash: 30,
+            deploy_byte: 200,
+            transfer: 9_000,
+        }
+    }
+}
+
+impl GasSchedule {
+    /// A free schedule for permissioned deployments that meter by policy
+    /// rather than payment (Hyperledger-style, §2.4).
+    pub fn free() -> Self {
+        GasSchedule {
+            tx_base: 0,
+            tx_data_byte: 0,
+            op_base: 0,
+            storage_read: 0,
+            storage_write: 0,
+            log_base: 0,
+            log_byte: 0,
+            hash: 0,
+            deploy_byte: 0,
+            transfer: 0,
+        }
+    }
+
+    /// Intrinsic cost of a transaction with `data_len` bytes of payload.
+    pub fn intrinsic(&self, data_len: usize) -> Amount {
+        self.tx_base + self.tx_data_byte * data_len as Amount
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_relative_magnitudes() {
+        let g = GasSchedule::default();
+        assert!(g.storage_write > 10 * g.storage_read);
+        assert!(g.storage_read > 10 * g.op_base);
+    }
+
+    #[test]
+    fn intrinsic_scales_with_data() {
+        let g = GasSchedule::default();
+        assert_eq!(g.intrinsic(0), 21_000);
+        assert_eq!(g.intrinsic(100), 21_000 + 1600);
+    }
+
+    #[test]
+    fn free_schedule_is_zero() {
+        let g = GasSchedule::free();
+        assert_eq!(g.intrinsic(1000), 0);
+        assert_eq!(g.storage_write, 0);
+    }
+}

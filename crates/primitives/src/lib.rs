@@ -1,0 +1,43 @@
+//! Core ledger data types shared across the platform: transactions in both
+//! the UTXO model (blockchain generation 1.0, §3.1 of the paper) and the
+//! account model with contract payloads (generation 2.0, §3.2), block headers
+//! and bodies with Merkle transaction roots (Fig. 2), execution receipts with
+//! event logs, the gas schedule (§2.5), and chain configuration.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcs_primitives::{AccountTx, Block, BlockHeader, Seal, Transaction, TxPayload};
+//! use dcs_crypto::{Address, Hash256};
+//!
+//! let tx = Transaction::Account(AccountTx::transfer(
+//!     Address::from_index(1),
+//!     Address::from_index(2),
+//!     50,
+//!     0,
+//! ));
+//! let block = Block::new(
+//!     BlockHeader::new(Hash256::ZERO, 1, 0, Address::from_index(9), Seal::None),
+//!     vec![tx],
+//! );
+//! assert!(block.verify_tx_root());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod config;
+pub mod gas;
+pub mod receipt;
+pub mod transaction;
+
+pub use block::{Block, BlockHeader, Seal};
+pub use config::{ChainConfig, ConsensusKind, ForkChoice};
+pub use gas::GasSchedule;
+pub use receipt::{LogEntry, Receipt, TxStatus};
+pub use transaction::{AccountTx, Transaction, TxAuth, TxIn, TxOut, TxPayload, UtxoTx};
+
+/// Monetary amounts and gas quantities. The unit is the smallest indivisible
+/// token ("wei"-like); 64 bits comfortably covers simulated economies.
+pub type Amount = u64;

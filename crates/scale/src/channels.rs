@@ -1,0 +1,602 @@
+//! Off-chain payment channels (§5.4, \[30\] — the Lightning network): two
+//! parties lock funds on-chain once, then exchange dual-signed balance
+//! updates off-chain at arbitrary rate, settling on-chain only at close.
+//! Multi-hop payments route through a [`ChannelNetwork`] with HTLCs, so
+//! parties without a direct channel still pay each other with **zero**
+//! on-chain transactions — the offloading experiment E8 measures.
+//!
+//! Disputes use the standard scheme: a unilateral close publishes the
+//! closer's latest dual-signed state and opens a dispute window during
+//! which the counterparty may publish a *newer* dual-signed state, which
+//! wins.
+
+use dcs_crypto::codec::Encode;
+use dcs_crypto::{sha256, Address, Hash256, KeyPair, PublicKey, Signature};
+use dcs_primitives::Amount;
+use dcs_state::AccountDb;
+use std::collections::HashMap;
+
+/// A dual-signed channel state: the `seq`-th balance split of the channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelState {
+    /// The channel this state belongs to.
+    pub channel_id: u64,
+    /// Monotonic sequence number; higher wins disputes.
+    pub seq: u64,
+    /// Balance of the `a` side.
+    pub balance_a: Amount,
+    /// Balance of the `b` side.
+    pub balance_b: Amount,
+}
+
+impl ChannelState {
+    /// The digest both parties sign.
+    pub fn digest(&self) -> Hash256 {
+        let mut bytes = Vec::with_capacity(32);
+        self.channel_id.encode(&mut bytes);
+        self.seq.encode(&mut bytes);
+        self.balance_a.encode(&mut bytes);
+        self.balance_b.encode(&mut bytes);
+        sha256(&bytes)
+    }
+}
+
+/// Errors from channel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// A signature over the state failed verification.
+    BadSignature,
+    /// State update rejected (stale seq or balance mismatch).
+    BadState(String),
+    /// The channel is not in the phase required for this operation.
+    WrongPhase,
+    /// Routing failed: no path with enough capacity.
+    NoRoute,
+    /// Unknown party or channel.
+    Unknown,
+    /// Signing failed (one-time keys exhausted).
+    Crypto(dcs_crypto::CryptoError),
+}
+
+impl core::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ChannelError::BadSignature => write!(f, "bad state signature"),
+            ChannelError::BadState(m) => write!(f, "bad state: {m}"),
+            ChannelError::WrongPhase => write!(f, "operation invalid in this channel phase"),
+            ChannelError::NoRoute => write!(f, "no route with sufficient capacity"),
+            ChannelError::Unknown => write!(f, "unknown party or channel"),
+            ChannelError::Crypto(e) => write!(f, "crypto failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Channel lifecycle phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Phase {
+    /// Funds locked, updates flowing.
+    Open,
+    /// A unilateral close was published; the dispute window is running.
+    Disputed {
+        /// The published state (so far winning).
+        state: ChannelState,
+        /// Ledger height at which the window closes.
+        deadline: u64,
+    },
+    /// Settled on-chain.
+    Closed,
+}
+
+/// A two-party payment channel.
+#[derive(Debug)]
+pub struct PaymentChannel {
+    /// Channel id.
+    pub id: u64,
+    /// The `a` party's address.
+    pub a: Address,
+    /// The `b` party's address.
+    pub b: Address,
+    key_a: PublicKey,
+    key_b: PublicKey,
+    /// Latest accepted dual-signed state.
+    pub state: ChannelState,
+    /// Lifecycle phase.
+    pub phase: Phase,
+}
+
+impl PaymentChannel {
+    /// Total locked capacity.
+    pub fn capacity(&self) -> Amount {
+        self.state.balance_a + self.state.balance_b
+    }
+
+    /// Verifies and applies a dual-signed state update.
+    ///
+    /// # Errors
+    ///
+    /// Stale sequence, altered capacity, or bad signatures.
+    pub fn apply_update(
+        &mut self,
+        state: ChannelState,
+        sig_a: &Signature,
+        sig_b: &Signature,
+    ) -> Result<(), ChannelError> {
+        if self.phase != Phase::Open {
+            return Err(ChannelError::WrongPhase);
+        }
+        if state.channel_id != self.id {
+            return Err(ChannelError::BadState("wrong channel id".into()));
+        }
+        if state.seq <= self.state.seq {
+            return Err(ChannelError::BadState(format!(
+                "stale seq {} (current {})",
+                state.seq, self.state.seq
+            )));
+        }
+        if state.balance_a + state.balance_b != self.capacity() {
+            return Err(ChannelError::BadState("capacity changed".into()));
+        }
+        let digest = state.digest();
+        if !self.key_a.verify(&digest, sig_a) || !self.key_b.verify(&digest, sig_b) {
+            return Err(ChannelError::BadSignature);
+        }
+        self.state = state;
+        Ok(())
+    }
+}
+
+/// The whole channel network: parties (with their signing keys, since this
+/// simulates all of them), channels, and the settlement ledger.
+#[derive(Debug)]
+pub struct ChannelNetwork {
+    parties: HashMap<Address, KeyPair>,
+    channels: Vec<PaymentChannel>,
+    ledger: AccountDb,
+    height: u64,
+    dispute_window: u64,
+    /// On-chain transactions consumed (opens, closes, disputes) — the E8
+    /// numerator.
+    pub onchain_txs: u64,
+    /// Off-chain state updates exchanged.
+    pub offchain_updates: u64,
+    /// Completed payments.
+    pub payments: u64,
+}
+
+impl ChannelNetwork {
+    /// An empty network with the given dispute window (in ledger heights).
+    pub fn new(dispute_window: u64) -> Self {
+        ChannelNetwork {
+            parties: HashMap::new(),
+            channels: Vec::new(),
+            ledger: AccountDb::new(),
+            height: 0,
+            dispute_window,
+            onchain_txs: 0,
+            offchain_updates: 0,
+            payments: 0,
+        }
+    }
+
+    /// Registers a party with on-chain funds; returns its address.
+    /// `key_height` bounds its lifetime signature count at `2^key_height`.
+    pub fn add_party(&mut self, seed: [u8; 32], key_height: u8, funds: Amount) -> Address {
+        let kp = KeyPair::generate(seed, key_height);
+        let addr = kp.address();
+        self.ledger.credit(&addr, funds);
+        self.parties.insert(addr, kp);
+        addr
+    }
+
+    /// On-chain balance of a party.
+    pub fn onchain_balance(&self, addr: &Address) -> Amount {
+        self.ledger.balance(addr)
+    }
+
+    /// Advances the settlement ledger height (time passing on-chain).
+    pub fn advance_height(&mut self, blocks: u64) {
+        self.height += blocks;
+    }
+
+    /// Opens a channel funded `fund_a` + `fund_b` (one on-chain tx).
+    ///
+    /// # Errors
+    ///
+    /// Unknown parties or insufficient on-chain funds.
+    pub fn open_channel(
+        &mut self,
+        a: Address,
+        b: Address,
+        fund_a: Amount,
+        fund_b: Amount,
+    ) -> Result<u64, ChannelError> {
+        let key_a = self.parties.get(&a).ok_or(ChannelError::Unknown)?.public_key();
+        let key_b = self.parties.get(&b).ok_or(ChannelError::Unknown)?.public_key();
+        self.ledger
+            .debit(&a, fund_a)
+            .and_then(|()| self.ledger.debit(&b, fund_b))
+            .map_err(|e| ChannelError::BadState(e.to_string()))?;
+        let id = self.channels.len() as u64;
+        self.onchain_txs += 1;
+        self.channels.push(PaymentChannel {
+            id,
+            a,
+            b,
+            key_a,
+            key_b,
+            state: ChannelState { channel_id: id, seq: 0, balance_a: fund_a, balance_b: fund_b },
+            phase: Phase::Open,
+        });
+        Ok(id)
+    }
+
+    fn sign_state(&mut self, who: &Address, state: &ChannelState) -> Result<Signature, ChannelError> {
+        self.parties
+            .get_mut(who)
+            .ok_or(ChannelError::Unknown)?
+            .sign(&state.digest())
+            .map_err(ChannelError::Crypto)
+    }
+
+    /// One direct off-chain payment over an open channel (no on-chain tx).
+    ///
+    /// # Errors
+    ///
+    /// Insufficient channel balance or signature/phase errors.
+    pub fn channel_pay(
+        &mut self,
+        channel_id: u64,
+        from: Address,
+        amount: Amount,
+    ) -> Result<(), ChannelError> {
+        let (a, b, mut new_state) = {
+            let ch = self.channels.get(channel_id as usize).ok_or(ChannelError::Unknown)?;
+            (ch.a, ch.b, ch.state.clone())
+        };
+        new_state.seq += 1;
+        if from == a {
+            if new_state.balance_a < amount {
+                return Err(ChannelError::BadState("insufficient channel balance".into()));
+            }
+            new_state.balance_a -= amount;
+            new_state.balance_b += amount;
+        } else if from == b {
+            if new_state.balance_b < amount {
+                return Err(ChannelError::BadState("insufficient channel balance".into()));
+            }
+            new_state.balance_b -= amount;
+            new_state.balance_a += amount;
+        } else {
+            return Err(ChannelError::Unknown);
+        }
+        let sig_a = self.sign_state(&a, &new_state)?;
+        let sig_b = self.sign_state(&b, &new_state)?;
+        let ch = self.channels.get_mut(channel_id as usize).expect("checked above");
+        ch.apply_update(new_state, &sig_a, &sig_b)?;
+        self.offchain_updates += 1;
+        self.payments += 1;
+        Ok(())
+    }
+
+    /// Cooperative close: both parties settle the latest state on-chain
+    /// (one on-chain tx).
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::WrongPhase`] if not open.
+    pub fn cooperative_close(&mut self, channel_id: u64) -> Result<(), ChannelError> {
+        let ch = self.channels.get_mut(channel_id as usize).ok_or(ChannelError::Unknown)?;
+        if ch.phase != Phase::Open {
+            return Err(ChannelError::WrongPhase);
+        }
+        self.ledger.credit(&ch.a, ch.state.balance_a);
+        self.ledger.credit(&ch.b, ch.state.balance_b);
+        ch.phase = Phase::Closed;
+        self.onchain_txs += 1;
+        Ok(())
+    }
+
+    /// Unilateral close: publish a dual-signed state and start the dispute
+    /// window (one on-chain tx).
+    ///
+    /// # Errors
+    ///
+    /// Signature or phase errors.
+    pub fn unilateral_close(
+        &mut self,
+        channel_id: u64,
+        state: ChannelState,
+        sig_a: &Signature,
+        sig_b: &Signature,
+    ) -> Result<(), ChannelError> {
+        let deadline = self.height + self.dispute_window;
+        let ch = self.channels.get_mut(channel_id as usize).ok_or(ChannelError::Unknown)?;
+        if ch.phase != Phase::Open {
+            return Err(ChannelError::WrongPhase);
+        }
+        let digest = state.digest();
+        if !ch.key_a.verify(&digest, sig_a) || !ch.key_b.verify(&digest, sig_b) {
+            return Err(ChannelError::BadSignature);
+        }
+        if state.channel_id != ch.id || state.balance_a + state.balance_b != ch.capacity() {
+            return Err(ChannelError::BadState("invalid published state".into()));
+        }
+        ch.phase = Phase::Disputed { state, deadline };
+        self.onchain_txs += 1;
+        Ok(())
+    }
+
+    /// Challenge a disputed close with a newer dual-signed state (one
+    /// on-chain tx).
+    ///
+    /// # Errors
+    ///
+    /// Not newer, window expired, or signature errors.
+    pub fn challenge(
+        &mut self,
+        channel_id: u64,
+        newer: ChannelState,
+        sig_a: &Signature,
+        sig_b: &Signature,
+    ) -> Result<(), ChannelError> {
+        let height = self.height;
+        let ch = self.channels.get_mut(channel_id as usize).ok_or(ChannelError::Unknown)?;
+        let Phase::Disputed { state, deadline } = &ch.phase else {
+            return Err(ChannelError::WrongPhase);
+        };
+        if height > *deadline {
+            return Err(ChannelError::BadState("dispute window expired".into()));
+        }
+        if newer.seq <= state.seq {
+            return Err(ChannelError::BadState("challenge is not newer".into()));
+        }
+        let digest = newer.digest();
+        if !ch.key_a.verify(&digest, sig_a) || !ch.key_b.verify(&digest, sig_b) {
+            return Err(ChannelError::BadSignature);
+        }
+        if newer.balance_a + newer.balance_b != ch.capacity() {
+            return Err(ChannelError::BadState("capacity changed".into()));
+        }
+        let deadline = *deadline;
+        ch.phase = Phase::Disputed { state: newer, deadline };
+        self.onchain_txs += 1;
+        Ok(())
+    }
+
+    /// Finalizes a disputed close after its window (one on-chain tx).
+    ///
+    /// # Errors
+    ///
+    /// Window still open or wrong phase.
+    pub fn finalize_close(&mut self, channel_id: u64) -> Result<(), ChannelError> {
+        let height = self.height;
+        let ch = self.channels.get_mut(channel_id as usize).ok_or(ChannelError::Unknown)?;
+        let Phase::Disputed { state, deadline } = &ch.phase else {
+            return Err(ChannelError::WrongPhase);
+        };
+        if height <= *deadline {
+            return Err(ChannelError::BadState("dispute window still open".into()));
+        }
+        let (pa, pb) = (state.balance_a, state.balance_b);
+        self.ledger.credit(&ch.a, pa);
+        self.ledger.credit(&ch.b, pb);
+        ch.phase = Phase::Closed;
+        self.onchain_txs += 1;
+        Ok(())
+    }
+
+    /// Finds a route of open channels from `from` to `to` with directional
+    /// capacity ≥ `amount` on every hop (breadth-first, fewest hops).
+    pub fn find_route(&self, from: Address, to: Address, amount: Amount) -> Option<Vec<u64>> {
+        let mut visited: HashMap<Address, (Address, u64)> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            if cur == to {
+                // Reconstruct channel path.
+                let mut path = Vec::new();
+                let mut node = to;
+                while node != from {
+                    let (prev, ch) = visited[&node];
+                    path.push(ch);
+                    node = prev;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for ch in &self.channels {
+                if ch.phase != Phase::Open {
+                    continue;
+                }
+                let next = if ch.a == cur && ch.state.balance_a >= amount {
+                    ch.b
+                } else if ch.b == cur && ch.state.balance_b >= amount {
+                    ch.a
+                } else {
+                    continue;
+                };
+                if next != from && !visited.contains_key(&next) {
+                    visited.insert(next, (cur, ch.id));
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// A multi-hop payment: routes HTLC-style through intermediate
+    /// channels. All hops settle atomically once the recipient reveals the
+    /// preimage — entirely off-chain.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::NoRoute`] or per-hop update failures.
+    pub fn pay(&mut self, from: Address, to: Address, amount: Amount) -> Result<usize, ChannelError> {
+        let route = self.find_route(from, to, amount).ok_or(ChannelError::NoRoute)?;
+        // The recipient's preimage reveal triggers hop-by-hop settlement —
+        // in this simulation all parties are honest, so settle directly.
+        let mut sender = from;
+        for &ch_id in &route {
+            let counterparty = {
+                let ch = &self.channels[ch_id as usize];
+                if ch.a == sender { ch.b } else { ch.a }
+            };
+            self.channel_pay(ch_id, sender, amount)?;
+            self.payments -= 1; // channel_pay counted a payment per hop
+            sender = counterparty;
+        }
+        self.payments += 1;
+        Ok(route.len())
+    }
+
+    /// Access to a channel (for inspection in tests/benches).
+    pub fn channel(&self, id: u64) -> Option<&PaymentChannel> {
+        self.channels.get(id as usize)
+    }
+
+    /// The dual-signed current state of a channel (utility for unilateral
+    /// close flows).
+    ///
+    /// # Errors
+    ///
+    /// Unknown channel or exhausted signing keys.
+    pub fn signed_current_state(
+        &mut self,
+        channel_id: u64,
+    ) -> Result<(ChannelState, Signature, Signature), ChannelError> {
+        let (a, b, state) = {
+            let ch = self.channels.get(channel_id as usize).ok_or(ChannelError::Unknown)?;
+            (ch.a, ch.b, ch.state.clone())
+        };
+        let sig_a = self.sign_state(&a, &state)?;
+        let sig_b = self.sign_state(&b, &state)?;
+        Ok((state, sig_a, sig_b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network_with_parties(n: u8) -> (ChannelNetwork, Vec<Address>) {
+        let mut net = ChannelNetwork::new(10);
+        let parties: Vec<Address> = (0..n)
+            .map(|i| net.add_party([i + 1; 32], 6, 100_000))
+            .collect();
+        (net, parties)
+    }
+
+    #[test]
+    fn open_pay_cooperative_close() {
+        let (mut net, p) = network_with_parties(2);
+        let (a, b) = (p[0], p[1]);
+        let ch = net.open_channel(a, b, 10_000, 5_000).unwrap();
+        assert_eq!(net.onchain_balance(&a), 90_000);
+
+        for _ in 0..20 {
+            net.channel_pay(ch, a, 100).unwrap();
+        }
+        net.channel_pay(ch, b, 500).unwrap();
+        let state = &net.channel(ch).unwrap().state;
+        assert_eq!(state.balance_a, 10_000 - 2_000 + 500);
+        assert_eq!(state.balance_b, 5_000 + 2_000 - 500);
+
+        net.cooperative_close(ch).unwrap();
+        assert_eq!(net.onchain_balance(&a), 90_000 + 8_500);
+        assert_eq!(net.onchain_balance(&b), 95_000 + 6_500);
+        // 21 payments, 2 on-chain txs total — the E8 offloading claim.
+        assert_eq!(net.onchain_txs, 2);
+        assert_eq!(net.offchain_updates, 21);
+    }
+
+    #[test]
+    fn stale_update_rejected() {
+        let (mut net, p) = network_with_parties(2);
+        let ch = net.open_channel(p[0], p[1], 1_000, 1_000).unwrap();
+        net.channel_pay(ch, p[0], 10).unwrap();
+        // Replay the same (now stale) state.
+        let (state, sa, sb) = net.signed_current_state(ch).unwrap();
+        let stale = ChannelState { seq: state.seq, ..state };
+        let err = net.channels[ch as usize].apply_update(stale, &sa, &sb).unwrap_err();
+        assert!(matches!(err, ChannelError::BadState(_)));
+    }
+
+    #[test]
+    fn unilateral_close_with_stale_state_is_challenged() {
+        let (mut net, p) = network_with_parties(2);
+        let (a, b) = (p[0], p[1]);
+        let ch = net.open_channel(a, b, 10_000, 0).unwrap();
+        // a pays b 4000 over time; a keeps the old (richer-for-a) state.
+        let (old_state, old_sa, old_sb) = net.signed_current_state(ch).unwrap();
+        for _ in 0..4 {
+            net.channel_pay(ch, a, 1_000).unwrap();
+        }
+        let (new_state, new_sa, new_sb) = net.signed_current_state(ch).unwrap();
+
+        // a tries to cheat with the stale state.
+        net.unilateral_close(ch, old_state, &old_sa, &old_sb).unwrap();
+        // b challenges inside the window with the newer state.
+        net.challenge(ch, new_state, &new_sa, &new_sb).unwrap();
+        net.advance_height(11);
+        net.finalize_close(ch).unwrap();
+        assert_eq!(net.onchain_balance(&b), 100_000 + 4_000, "the newer state won");
+    }
+
+    #[test]
+    fn finalize_respects_dispute_window() {
+        let (mut net, p) = network_with_parties(2);
+        let ch = net.open_channel(p[0], p[1], 1_000, 1_000).unwrap();
+        let (state, sa, sb) = net.signed_current_state(ch).unwrap();
+        net.unilateral_close(ch, state, &sa, &sb).unwrap();
+        assert!(matches!(net.finalize_close(ch), Err(ChannelError::BadState(_))));
+        net.advance_height(11);
+        net.finalize_close(ch).unwrap();
+    }
+
+    #[test]
+    fn multi_hop_routing() {
+        // a — b — c — d line; a pays d through two intermediaries.
+        let (mut net, p) = network_with_parties(4);
+        let (a, b, c, d) = (p[0], p[1], p[2], p[3]);
+        net.open_channel(a, b, 5_000, 5_000).unwrap();
+        net.open_channel(b, c, 5_000, 5_000).unwrap();
+        net.open_channel(c, d, 5_000, 5_000).unwrap();
+
+        let onchain_before = net.onchain_txs;
+        let hops = net.pay(a, d, 700).unwrap();
+        assert_eq!(hops, 3);
+        assert_eq!(net.onchain_txs, onchain_before, "routing is fully off-chain");
+        // d's channel balance with c grew.
+        let ch_cd = net.channel(2).unwrap();
+        assert_eq!(ch_cd.state.balance_b, 5_700);
+        // Intermediaries are net flat.
+        let ch_ab = net.channel(0).unwrap();
+        let ch_bc = net.channel(1).unwrap();
+        let b_total = ch_ab.state.balance_b + ch_bc.state.balance_a;
+        assert_eq!(b_total, 10_000);
+    }
+
+    #[test]
+    fn routing_respects_capacity() {
+        let (mut net, p) = network_with_parties(3);
+        let (a, b, c) = (p[0], p[1], p[2]);
+        net.open_channel(a, b, 100, 0).unwrap();
+        net.open_channel(b, c, 5_000, 0).unwrap();
+        // a→c needs 500 through the a—b hop which only has 100.
+        assert_eq!(net.pay(a, c, 500), Err(ChannelError::NoRoute));
+        assert!(net.pay(a, c, 50).is_ok());
+    }
+
+    #[test]
+    fn route_prefers_fewest_hops() {
+        let (mut net, p) = network_with_parties(4);
+        let (a, b, c, d) = (p[0], p[1], p[2], p[3]);
+        net.open_channel(a, b, 1_000, 1_000).unwrap();
+        net.open_channel(b, c, 1_000, 1_000).unwrap();
+        net.open_channel(c, d, 1_000, 1_000).unwrap();
+        net.open_channel(a, d, 1_000, 1_000).unwrap(); // direct channel
+        let route = net.find_route(a, d, 100).unwrap();
+        assert_eq!(route.len(), 1, "direct channel beats the 3-hop path");
+    }
+}

@@ -1,0 +1,28 @@
+//! Scalable system innovations (§5.4 of the paper): "the performance of the
+//! system can be improved by introducing parallelism, such as sharding and
+//! side-chains", plus offloading "transactions outside the blockchain, as in
+//! the Lightning network", and the light-client/bootstrap problem.
+//!
+//! * [`sharding`] — hash-partitioned account shards with two-phase
+//!   cross-shard transfers (experiment E7).
+//! * [`channels`] — off-chain payment channels with signed state updates,
+//!   cooperative/unilateral close with dispute window, and multi-hop HTLC
+//!   routing over a channel graph (experiment E8).
+//! * [`sidechain`] — a two-way peg: lock on the main chain, mint on the
+//!   side chain against an SPV inclusion proof, burn to withdraw.
+//! * [`light`] — SPV light clients: header-only sync, Merkle transaction
+//!   proofs, checkpoint bootstrap, and the download-size accounting of
+//!   experiment E10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channels;
+pub mod light;
+pub mod sharding;
+pub mod sidechain;
+
+pub use channels::{ChannelNetwork, PaymentChannel};
+pub use light::LightClient;
+pub use sharding::ShardedLedger;
+pub use sidechain::PeggedSidechain;

@@ -1,0 +1,289 @@
+//! Light clients (§2.2: Merkle trees "provide fast lookups of transaction
+//! inclusion for lightweight clients, who do not possess a full copy of the
+//! ledger" — Bitcoin's Simple Payment Verification). A [`LightClient`]
+//! holds headers only, verifies chain linkage (and PoW targets when real
+//! mining is in use), checks transaction inclusion with Merkle proofs, and
+//! can bootstrap from a checkpoint instead of genesis (§5.4's bootstrap
+//! problem). Every byte downloaded is accounted — the E10 measurand.
+
+use dcs_crypto::codec::Encode;
+use dcs_crypto::{Hash256, MerkleProof};
+use dcs_primitives::BlockHeader;
+
+/// Errors from light-client operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LightError {
+    /// A header does not link to its predecessor.
+    BrokenLink {
+        /// The offending header's height.
+        height: u64,
+    },
+    /// A header's height is not parent height + 1.
+    BadHeight {
+        /// Expected height.
+        expected: u64,
+        /// Got height.
+        got: u64,
+    },
+    /// A PoW header hash misses its difficulty target.
+    BadPow {
+        /// The offending height.
+        height: u64,
+    },
+    /// Queried a height the client has no header for.
+    UnknownHeight(u64),
+}
+
+impl core::fmt::Display for LightError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LightError::BrokenLink { height } => write!(f, "header {height} does not link"),
+            LightError::BadHeight { expected, got } => {
+                write!(f, "bad height {got}, expected {expected}")
+            }
+            LightError::BadPow { height } => write!(f, "header {height} misses its PoW target"),
+            LightError::UnknownHeight(h) => write!(f, "no header at height {h}"),
+        }
+    }
+}
+
+impl std::error::Error for LightError {}
+
+/// A header-only chain client.
+#[derive(Debug)]
+pub struct LightClient {
+    headers: Vec<BlockHeader>,
+    /// Height of `headers[0]`.
+    base_height: u64,
+    /// Verify `Seal::Work` targets (on for real-mined chains, off for
+    /// simulated solve-time chains; see DESIGN.md substitution).
+    pub check_pow: bool,
+    /// Total bytes this client has downloaded (headers + proofs).
+    pub bytes_downloaded: u64,
+}
+
+impl LightClient {
+    /// A client starting from a trusted genesis header.
+    pub fn new(genesis: BlockHeader) -> Self {
+        let mut c = LightClient {
+            headers: Vec::new(),
+            base_height: genesis.height,
+            check_pow: false,
+            bytes_downloaded: 0,
+        };
+        c.bytes_downloaded += genesis.encoded().len() as u64;
+        c.headers.push(genesis);
+        c
+    }
+
+    /// Bootstraps from a trusted checkpoint header at any height — the
+    /// fast-sync answer to "a full download of the blockchain ... will
+    /// continue to grow over time" (§5.4).
+    pub fn from_checkpoint(checkpoint: BlockHeader) -> Self {
+        Self::new(checkpoint)
+    }
+
+    /// Height of the latest synced header.
+    pub fn tip_height(&self) -> u64 {
+        self.base_height + self.headers.len() as u64 - 1
+    }
+
+    /// The synced header at `height`, if held.
+    pub fn header_at(&self, height: u64) -> Option<&BlockHeader> {
+        height
+            .checked_sub(self.base_height)
+            .and_then(|i| self.headers.get(i as usize))
+    }
+
+    /// Verifies and appends a run of consecutive headers.
+    ///
+    /// # Errors
+    ///
+    /// Linkage, height, or PoW errors; headers before the first failure are
+    /// kept.
+    pub fn sync(&mut self, headers: &[BlockHeader]) -> Result<(), LightError> {
+        for header in headers {
+            let tip = self.headers.last().expect("client always holds >= 1 header");
+            if header.parent != tip.hash() {
+                return Err(LightError::BrokenLink { height: header.height });
+            }
+            let expected = tip.height + 1;
+            if header.height != expected {
+                return Err(LightError::BadHeight { expected, got: header.height });
+            }
+            if self.check_pow && !header.meets_pow_target() {
+                return Err(LightError::BadPow { height: header.height });
+            }
+            self.bytes_downloaded += header.encoded().len() as u64;
+            self.headers.push(header.clone());
+        }
+        Ok(())
+    }
+
+    /// SPV check: is transaction `tx_id` included in the block at `height`?
+    /// Accounts the proof's download size.
+    ///
+    /// # Errors
+    ///
+    /// [`LightError::UnknownHeight`] if the header is not synced.
+    pub fn verify_inclusion(
+        &mut self,
+        tx_id: &Hash256,
+        height: u64,
+        proof: &MerkleProof,
+    ) -> Result<bool, LightError> {
+        let header = self
+            .header_at(height)
+            .ok_or(LightError::UnknownHeight(height))?
+            .clone();
+        self.bytes_downloaded += proof.encoded_len() as u64;
+        Ok(proof.verify(tx_id, &header.tx_root))
+    }
+
+    /// Confirmations of the block at `height` (0 if it is the tip).
+    pub fn confirmations(&self, height: u64) -> Option<u64> {
+        (height <= self.tip_height() && height >= self.base_height)
+            .then(|| self.tip_height() - height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_chain::{Chain, NullMachine};
+    use dcs_crypto::{Address, MerkleTree};
+    use dcs_primitives::{AccountTx, Block, ChainConfig, Seal, Transaction};
+
+    /// Builds a real chain with a few txs per block and returns it.
+    fn build_chain(blocks: u64) -> Chain<NullMachine> {
+        let cfg = ChainConfig::bitcoin_like();
+        let genesis = dcs_chain::genesis_block(&cfg);
+        let mut chain = Chain::new(genesis, cfg, NullMachine);
+        for h in 1..=blocks {
+            let txs: Vec<Transaction> = (0..4)
+                .map(|i| {
+                    Transaction::Account(AccountTx::transfer(
+                        Address::from_index(h * 10 + i),
+                        Address::from_index(1),
+                        h,
+                        0,
+                    ))
+                })
+                .collect();
+            let header = BlockHeader::new(
+                chain.tip_hash(),
+                h,
+                h * 1_000,
+                Address::from_index(9),
+                Seal::None,
+            );
+            chain.import(Block::new(header, txs)).unwrap();
+        }
+        chain
+    }
+
+    fn headers_of(chain: &Chain<NullMachine>, from: u64) -> Vec<BlockHeader> {
+        chain.canonical()[from as usize..]
+            .iter()
+            .map(|h| chain.tree().get(h).unwrap().block.header.clone())
+            .collect()
+    }
+
+    #[test]
+    fn sync_and_spv_verify() {
+        let chain = build_chain(20);
+        let genesis_header = chain.tree().get(&chain.canonical_at(0).unwrap()).unwrap().block.header.clone();
+        let mut client = LightClient::new(genesis_header);
+        client.sync(&headers_of(&chain, 1)).unwrap();
+        assert_eq!(client.tip_height(), 20);
+
+        // Prove a tx from block 7.
+        let block = &chain.tree().get(&chain.canonical_at(7).unwrap()).unwrap().block;
+        let leaves: Vec<Hash256> = block.txs.iter().map(Transaction::id).collect();
+        let tree = MerkleTree::from_leaves(leaves.clone());
+        let proof = tree.prove(2).unwrap();
+        assert!(client.verify_inclusion(&leaves[2], 7, &proof).unwrap());
+        // A different tx fails against the same proof.
+        assert!(!client.verify_inclusion(&leaves[3], 7, &proof).unwrap());
+        assert_eq!(client.confirmations(7), Some(13));
+    }
+
+    #[test]
+    fn broken_link_rejected() {
+        let chain = build_chain(5);
+        let genesis_header = chain.tree().get(&chain.canonical_at(0).unwrap()).unwrap().block.header.clone();
+        let mut client = LightClient::new(genesis_header);
+        let mut headers = headers_of(&chain, 1);
+        headers[2].parent = dcs_crypto::sha256(b"severed");
+        let err = client.sync(&headers).unwrap_err();
+        assert!(matches!(err, LightError::BrokenLink { height: 3 }));
+        assert_eq!(client.tip_height(), 2, "prefix before the break was kept");
+    }
+
+    #[test]
+    fn checkpoint_bootstrap_downloads_less() {
+        let chain = build_chain(50);
+        let g = chain.tree().get(&chain.canonical_at(0).unwrap()).unwrap().block.header.clone();
+        let cp = chain.tree().get(&chain.canonical_at(40).unwrap()).unwrap().block.header.clone();
+
+        let mut from_genesis = LightClient::new(g);
+        from_genesis.sync(&headers_of(&chain, 1)).unwrap();
+
+        let mut from_checkpoint = LightClient::from_checkpoint(cp);
+        from_checkpoint.sync(&headers_of(&chain, 41)).unwrap();
+
+        assert_eq!(from_genesis.tip_height(), from_checkpoint.tip_height());
+        assert!(
+            from_checkpoint.bytes_downloaded < from_genesis.bytes_downloaded / 4,
+            "checkpoint sync: {} vs full header sync: {}",
+            from_checkpoint.bytes_downloaded,
+            from_genesis.bytes_downloaded
+        );
+    }
+
+    #[test]
+    fn spv_is_cheaper_than_full_blocks() {
+        // The E10 comparison in miniature: headers + one proof ≪ full chain.
+        let chain = build_chain(30);
+        let full_bytes: u64 = chain.canonical()[1..]
+            .iter()
+            .map(|h| chain.tree().get(h).unwrap().block.encoded_len() as u64)
+            .sum();
+        let g = chain.tree().get(&chain.canonical_at(0).unwrap()).unwrap().block.header.clone();
+        let mut client = LightClient::new(g);
+        client.sync(&headers_of(&chain, 1)).unwrap();
+        let block = &chain.tree().get(&chain.canonical_at(15).unwrap()).unwrap().block;
+        let leaves: Vec<Hash256> = block.txs.iter().map(Transaction::id).collect();
+        let proof = MerkleTree::from_leaves(leaves.clone()).prove(0).unwrap();
+        client.verify_inclusion(&leaves[0], 15, &proof).unwrap();
+        assert!(
+            client.bytes_downloaded < full_bytes / 2,
+            "SPV {} bytes vs full {} bytes",
+            client.bytes_downloaded,
+            full_bytes
+        );
+    }
+
+    #[test]
+    fn pow_check_enforced_when_enabled() {
+        use dcs_primitives::BlockHeader;
+        let cfg = ChainConfig::bitcoin_like();
+        let genesis = dcs_chain::genesis_block(&cfg);
+        let mut client = LightClient::new(genesis.header.clone());
+        client.check_pow = true;
+
+        // A structurally valid but unmined header must be rejected.
+        let fake = BlockHeader {
+            tx_root: Hash256::ZERO,
+            state_root: Hash256::ZERO,
+            ..BlockHeader::new(
+                genesis.hash(),
+                1,
+                1,
+                Address::ZERO,
+                Seal::Work { nonce: 1, difficulty: 1 << 20 },
+            )
+        };
+        assert!(matches!(client.sync(&[fake]), Err(LightError::BadPow { height: 1 })));
+    }
+}

@@ -1,0 +1,367 @@
+//! Sharding (§5.4, \[38\]): accounts are hash-partitioned across `k` shard
+//! chains that seal blocks independently — the throughput of the system
+//! scales with the shard count, degraded by the fraction of cross-shard
+//! traffic, which needs a two-phase (lock → mint) protocol with receipts.
+//!
+//! The ledger here is sequentially simulated, but block *slots* are
+//! accounted per shard, so "parallel time" = the maximum slots any one
+//! shard consumed — the quantity experiment E7 sweeps.
+
+use dcs_chain::Chain;
+use dcs_contracts::AccountMachine;
+use dcs_crypto::{sha256, Address};
+use dcs_primitives::{
+    AccountTx, Amount, Block, BlockHeader, ChainConfig, GasSchedule, Seal, Transaction,
+};
+use std::collections::HashMap;
+
+/// A transfer request routed through the sharded ledger.
+#[derive(Debug, Clone, Copy)]
+pub struct Transfer {
+    /// Sender.
+    pub from: Address,
+    /// Recipient.
+    pub to: Address,
+    /// Amount.
+    pub value: Amount,
+}
+
+/// Outcome statistics of processing a batch (the E7 measurands).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Transfers that stayed within one shard.
+    pub intra_shard: u64,
+    /// Transfers that crossed shards (each costs two block slots).
+    pub cross_shard: u64,
+    /// Max block slots consumed by any single shard ("parallel time").
+    pub parallel_slots: u64,
+    /// Total block slots consumed across all shards ("total work").
+    pub total_slots: u64,
+}
+
+/// An account ledger partitioned over `k` shard chains.
+#[derive(Debug)]
+pub struct ShardedLedger {
+    shards: Vec<Chain<AccountMachine>>,
+    pending: Vec<Vec<Transaction>>,
+    nonces: HashMap<Address, u64>,
+    block_tx_limit: usize,
+    slots_used: Vec<u64>,
+    stats: ShardStats,
+}
+
+impl ShardedLedger {
+    /// Creates `k` shards, each with the free gas schedule, and funds the
+    /// given accounts on their home shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, block_tx_limit: usize, alloc: &[(Address, Amount)]) -> Self {
+        assert!(k > 0, "need at least one shard");
+        let shards = (0..k)
+            .map(|i| {
+                let mut config = ChainConfig::hyperledger_like();
+                config.chain_id = 5_000 + i as u32;
+                config.block_tx_limit = block_tx_limit;
+                let genesis = dcs_chain::genesis_block(&config);
+                let mut machine = AccountMachine::new();
+                machine.schedule = GasSchedule::free();
+                for (addr, amount) in alloc {
+                    if Self::home_shard(addr, k) == i {
+                        machine.db.credit(addr, *amount);
+                    }
+                }
+                machine.db.clear_journal();
+                Chain::new(genesis, config, machine)
+            })
+            .collect();
+        ShardedLedger {
+            shards,
+            pending: vec![Vec::new(); k],
+            nonces: HashMap::new(),
+            block_tx_limit,
+            slots_used: vec![0; k],
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Which shard owns an address: the hash partition of §5.4's data layer.
+    pub fn home_shard(addr: &Address, k: usize) -> usize {
+        (sha256(addr.as_bytes()).prefix_u64() % k as u64) as usize
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Balance of an account (read from its home shard).
+    pub fn balance(&self, addr: &Address) -> Amount {
+        let shard = Self::home_shard(addr, self.shards.len());
+        self.shards[shard].machine().db.balance(addr)
+    }
+
+    fn transfer_tx(&mut self, from: Address, to: Address, value: Amount) -> Transaction {
+        let nonce = self.nonces.entry(from).or_insert(0);
+        let mut tx = AccountTx::transfer(from, to, value, *nonce);
+        *nonce += 1;
+        tx.gas_limit = 0;
+        tx.gas_price = 0;
+        Transaction::Account(tx)
+    }
+
+    /// Routes one transfer. Intra-shard transfers queue one transaction;
+    /// cross-shard transfers queue the *lock* (burn) on the source shard
+    /// and the *mint* on the destination shard — the two-phase pattern.
+    pub fn submit(&mut self, t: Transfer) {
+        let k = self.shards.len();
+        let src = Self::home_shard(&t.from, k);
+        let dst = Self::home_shard(&t.to, k);
+        if src == dst {
+            self.stats.intra_shard += 1;
+            let tx = self.transfer_tx(t.from, t.to, t.value);
+            self.pending[src].push(tx);
+        } else {
+            self.stats.cross_shard += 1;
+            // Phase 1: lock/burn on the source shard (send to the bridge).
+            let bridge = Self::bridge_address(src, dst);
+            let lock = self.transfer_tx(t.from, bridge, t.value);
+            self.pending[src].push(lock);
+            // Phase 2: mint on the destination shard, backed by the lock
+            // receipt (the bridge account is pre-funded as the mint pool).
+            let mint = self.transfer_tx(Self::mint_pool(dst), t.to, t.value);
+            self.pending[dst].push(mint);
+        }
+    }
+
+    /// The escrow address absorbing cross-shard locks between two shards.
+    pub fn bridge_address(src: usize, dst: usize) -> Address {
+        let mut bytes = b"shard-bridge".to_vec();
+        bytes.extend_from_slice(&(src as u32).to_le_bytes());
+        bytes.extend_from_slice(&(dst as u32).to_le_bytes());
+        Address::from_hash(&sha256(&bytes))
+    }
+
+    /// The mint pool of a shard (pre-funded so mints always succeed; a real
+    /// deployment verifies the lock receipt instead).
+    pub fn mint_pool(shard: usize) -> Address {
+        let mut bytes = b"shard-mint-pool".to_vec();
+        bytes.extend_from_slice(&(shard as u32).to_le_bytes());
+        Address::from_hash(&sha256(&bytes))
+    }
+
+    /// Pre-funds every shard's mint pool (call once before cross-shard
+    /// traffic).
+    pub fn fund_mint_pools(&mut self, amount: Amount) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.machine_mut().db.credit(&Self::mint_pool(i), amount);
+            shard.machine_mut().db.clear_journal();
+        }
+    }
+
+    /// Seals every shard's pending transactions into as many blocks as
+    /// needed, updating the slot accounting.
+    pub fn seal_all(&mut self) {
+        for shard in 0..self.shards.len() {
+            let mut txs = std::mem::take(&mut self.pending[shard]);
+            while !txs.is_empty() {
+                let take = txs.len().min(self.block_tx_limit);
+                let batch: Vec<Transaction> = txs.drain(..take).collect();
+                let chain = &mut self.shards[shard];
+                let header = BlockHeader::new(
+                    chain.tip_hash(),
+                    chain.height() + 1,
+                    chain.height() + 1,
+                    Address::ZERO,
+                    Seal::Authority {
+                        view: 0,
+                        sequence: chain.height() + 1,
+                        votes: 1,
+                    },
+                );
+                chain
+                    .import(Block::new(header, batch))
+                    .expect("sequencer blocks are valid");
+                self.slots_used[shard] += 1;
+            }
+        }
+        self.stats.parallel_slots = self.slots_used.iter().copied().max().unwrap_or(0);
+        self.stats.total_slots = self.slots_used.iter().sum();
+    }
+
+    /// Processing statistics.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// The speedup over a single chain with the same block size: sequential
+    /// slots the traffic would have needed, divided by the parallel slots
+    /// the shards actually consumed. A single chain needs just one
+    /// transaction per transfer (no lock/mint split), which is exactly why
+    /// cross-shard traffic erodes the speedup: each crossing costs the
+    /// sharded system two slots' worth of work that the monolith does in
+    /// one.
+    pub fn speedup(&self) -> f64 {
+        if self.stats.parallel_slots == 0 {
+            return 1.0;
+        }
+        let total_transfers = self.stats.intra_shard + self.stats.cross_shard;
+        let sequential_slots = total_transfers.div_ceil(self.block_tx_limit as u64);
+        sequential_slots as f64 / self.stats.parallel_slots as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_sim::Rng;
+
+    fn addrs(n: u64) -> Vec<Address> {
+        (0..n).map(Address::from_index).collect()
+    }
+
+    fn ledger(k: usize, accounts: &[Address]) -> ShardedLedger {
+        let alloc: Vec<(Address, Amount)> = accounts.iter().map(|a| (*a, 1_000_000)).collect();
+        let mut l = ShardedLedger::new(k, 100, &alloc);
+        l.fund_mint_pools(1_000_000_000);
+        l
+    }
+
+    #[test]
+    fn partition_is_stable_and_covers_all_shards() {
+        let k = 4;
+        let mut seen = vec![false; k];
+        for a in addrs(200) {
+            let s = ShardedLedger::home_shard(&a, k);
+            assert_eq!(s, ShardedLedger::home_shard(&a, k));
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "200 accounts hit all 4 shards");
+    }
+
+    #[test]
+    fn intra_shard_transfer_moves_balance() {
+        let accounts = addrs(50);
+        let mut l = ledger(4, &accounts);
+        // Find two accounts on the same shard.
+        let a = accounts[0];
+        let b = *accounts[1..]
+            .iter()
+            .find(|x| ShardedLedger::home_shard(x, 4) == ShardedLedger::home_shard(&a, 4))
+            .expect("some pair shares a shard");
+        l.submit(Transfer { from: a, to: b, value: 500 });
+        l.seal_all();
+        assert_eq!(l.balance(&a), 1_000_000 - 500);
+        assert_eq!(l.balance(&b), 1_000_000 + 500);
+        assert_eq!(l.stats().intra_shard, 1);
+        assert_eq!(l.stats().cross_shard, 0);
+    }
+
+    #[test]
+    fn cross_shard_transfer_locks_and_mints() {
+        let accounts = addrs(50);
+        let mut l = ledger(4, &accounts);
+        let a = accounts[0];
+        let b = *accounts[1..]
+            .iter()
+            .find(|x| ShardedLedger::home_shard(x, 4) != ShardedLedger::home_shard(&a, 4))
+            .expect("some pair crosses shards");
+        l.submit(Transfer { from: a, to: b, value: 700 });
+        l.seal_all();
+        assert_eq!(l.balance(&a), 1_000_000 - 700);
+        assert_eq!(l.balance(&b), 1_000_000 + 700);
+        assert_eq!(l.stats().cross_shard, 1);
+        // The lock sits in the bridge escrow on the source shard.
+        let src = ShardedLedger::home_shard(&a, 4);
+        let dst = ShardedLedger::home_shard(&b, 4);
+        let bridge = ShardedLedger::bridge_address(src, dst);
+        assert_eq!(l.shards[src].machine().db.balance(&bridge), 700);
+    }
+
+    #[test]
+    fn sharding_speeds_up_partitionable_traffic() {
+        // 1000 random transfers over 200 accounts: 8 shards should beat 1.
+        let accounts = addrs(200);
+        let mut rng = Rng::seed_from(1);
+        let transfers: Vec<Transfer> = (0..1_000)
+            .map(|_| Transfer {
+                from: accounts[rng.below(200) as usize],
+                to: accounts[rng.below(200) as usize],
+                value: 1,
+            })
+            .collect();
+        let run = |k: usize| {
+            let mut l = ledger(k, &accounts);
+            for t in &transfers {
+                l.submit(*t);
+            }
+            l.seal_all();
+            l
+        };
+        let single = run(1);
+        let sharded = run(8);
+        assert!(
+            (single.speedup() - 1.0).abs() < 1e-9,
+            "one shard is the baseline, got {}",
+            single.speedup()
+        );
+        assert!(
+            sharded.speedup() > 2.0,
+            "8 shards should speed up ≥2x, got {:.2}",
+            sharded.speedup()
+        );
+        // Conservation: total balances match across both runs.
+        let total = |l: &ShardedLedger| -> u128 {
+            accounts.iter().map(|a| u128::from(l.balance(a))).sum()
+        };
+        assert_eq!(total(&single), total(&sharded));
+    }
+
+    #[test]
+    fn cross_shard_fraction_erodes_speedup() {
+        // All-cross traffic (2 slots per transfer) vs all-intra.
+        let accounts = addrs(100);
+        let (intra, cross): (Vec<Address>, Vec<Address>) = {
+            let shard0: Vec<Address> = accounts
+                .iter()
+                .copied()
+                .filter(|a| ShardedLedger::home_shard(a, 2) == 0)
+                .collect();
+            let shard1: Vec<Address> = accounts
+                .iter()
+                .copied()
+                .filter(|a| ShardedLedger::home_shard(a, 2) == 1)
+                .collect();
+            (shard0, shard1)
+        };
+        assert!(intra.len() >= 2 && cross.len() >= 2);
+
+        let mut all_intra = ledger(2, &accounts);
+        for i in 0..200 {
+            all_intra.submit(Transfer {
+                from: intra[i % intra.len()],
+                to: intra[(i + 1) % intra.len()],
+                value: 1,
+            });
+        }
+        all_intra.seal_all();
+
+        let mut all_cross = ledger(2, &accounts);
+        for i in 0..200 {
+            all_cross.submit(Transfer {
+                from: intra[i % intra.len()],
+                to: cross[i % cross.len()],
+                value: 1,
+            });
+        }
+        all_cross.seal_all();
+
+        assert!(
+            all_cross.stats().total_slots > all_intra.stats().total_slots,
+            "cross-shard traffic costs more total slots ({} vs {})",
+            all_cross.stats().total_slots,
+            all_intra.stats().total_slots
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Side-chains with a two-way peg (§5.4, \[39\]): value locks on the main
+//! chain and mints on a side chain against an **SPV proof** of the lock
+//! transaction's inclusion — the side chain's bridge runs a [`LightClient`]
+//! of the main chain, so no trusted third party vouches for deposits.
+//! Burning on the side chain unlocks the escrow back on the main chain.
+
+use crate::light::LightClient;
+use dcs_chain::Chain;
+use dcs_contracts::AccountMachine;
+use dcs_crypto::{sha256, Address, Hash256, MerkleTree};
+use dcs_primitives::{
+    AccountTx, Amount, Block, BlockHeader, ChainConfig, GasSchedule, Seal, Transaction,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Errors from peg operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PegError {
+    /// The SPV proof did not verify against the synced main-chain header.
+    BadProof,
+    /// The lock transaction was already pegged in (replay).
+    AlreadyPegged(Hash256),
+    /// The referenced transaction is not a lock to the bridge.
+    NotALock,
+    /// The burn transaction was already pegged out.
+    AlreadyBurned(Hash256),
+    /// A transfer failed.
+    Transfer(String),
+    /// The bridge's light client has not synced the relevant header.
+    HeaderMissing(u64),
+}
+
+impl core::fmt::Display for PegError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PegError::BadProof => write!(f, "SPV proof failed"),
+            PegError::AlreadyPegged(h) => write!(f, "lock {h} already pegged in"),
+            PegError::NotALock => write!(f, "transaction is not a bridge lock"),
+            PegError::AlreadyBurned(h) => write!(f, "burn {h} already pegged out"),
+            PegError::Transfer(e) => write!(f, "transfer failed: {e}"),
+            PegError::HeaderMissing(h) => write!(f, "main header {h} not synced"),
+        }
+    }
+}
+
+impl std::error::Error for PegError {}
+
+/// A main chain plus a pegged side chain.
+#[derive(Debug)]
+pub struct PeggedSidechain {
+    /// The main ("parent") chain.
+    pub main: Chain<AccountMachine>,
+    /// The side chain.
+    pub side: Chain<AccountMachine>,
+    bridge_client: LightClient,
+    pegged_in: HashSet<Hash256>,
+    pegged_out: HashSet<Hash256>,
+    main_nonces: HashMap<Address, u64>,
+    side_nonces: HashMap<Address, u64>,
+    minted_total: Amount,
+    burned_total: Amount,
+}
+
+/// The escrow address locking pegged funds on the main chain.
+pub fn bridge_address() -> Address {
+    Address::from_hash(&sha256(b"two-way-peg-bridge"))
+}
+
+/// The burn address on the side chain.
+pub fn burn_address() -> Address {
+    Address::from_hash(&sha256(b"side-chain-burn"))
+}
+
+impl PeggedSidechain {
+    /// Creates the pair of chains; `alloc` funds main-chain accounts.
+    pub fn new(alloc: &[(Address, Amount)]) -> Self {
+        let mut main_cfg = ChainConfig::hyperledger_like();
+        main_cfg.chain_id = 100;
+        let mut side_cfg = ChainConfig::hyperledger_like();
+        side_cfg.chain_id = 200;
+        let main_genesis = dcs_chain::genesis_block(&main_cfg);
+        let side_genesis = dcs_chain::genesis_block(&side_cfg);
+        let mut main_machine = AccountMachine::with_alloc(alloc);
+        main_machine.schedule = GasSchedule::free();
+        let mut side_machine = AccountMachine::new();
+        side_machine.schedule = GasSchedule::free();
+        let bridge_client = LightClient::new(main_genesis.header.clone());
+        PeggedSidechain {
+            main: Chain::new(main_genesis, main_cfg, main_machine),
+            side: Chain::new(side_genesis, side_cfg, side_machine),
+            bridge_client,
+            pegged_in: HashSet::new(),
+            pegged_out: HashSet::new(),
+            main_nonces: HashMap::new(),
+            side_nonces: HashMap::new(),
+            minted_total: 0,
+            burned_total: 0,
+        }
+    }
+
+    fn next_main_nonce(&mut self, who: &Address) -> u64 {
+        let e = self.main_nonces.entry(*who).or_insert(0);
+        let n = *e;
+        *e += 1;
+        n
+    }
+
+    fn next_side_nonce(&mut self, who: &Address) -> u64 {
+        let e = self.side_nonces.entry(*who).or_insert(0);
+        let n = *e;
+        *e += 1;
+        n
+    }
+
+    fn seal(chain: &mut Chain<AccountMachine>, txs: Vec<Transaction>) -> Block {
+        let header = BlockHeader::new(
+            chain.tip_hash(),
+            chain.height() + 1,
+            chain.height() + 1,
+            Address::ZERO,
+            Seal::Authority { view: 0, sequence: chain.height() + 1, votes: 1 },
+        );
+        let block = Block::new(header, txs);
+        chain.import(block.clone()).expect("sequencer blocks are valid");
+        block
+    }
+
+    /// Step 1 of peg-in: the user locks `amount` to the bridge escrow on
+    /// the main chain. Returns the lock transaction and its block height.
+    ///
+    /// # Errors
+    ///
+    /// [`PegError::Transfer`] if the user lacks funds.
+    pub fn lock_on_main(&mut self, user: Address, amount: Amount) -> Result<(Transaction, u64), PegError> {
+        if self.main.machine().db.balance(&user) < amount {
+            return Err(PegError::Transfer("insufficient main-chain balance".into()));
+        }
+        let nonce = self.next_main_nonce(&user);
+        let mut tx = AccountTx::transfer(user, bridge_address(), amount, nonce);
+        tx.gas_limit = 0;
+        tx.gas_price = 0;
+        let tx = Transaction::Account(tx);
+        let block = Self::seal(&mut self.main, vec![tx.clone()]);
+        // The bridge's light client follows the main chain.
+        self.bridge_client.sync(&[block.header.clone()]).expect("sequencer headers link");
+        Ok((tx, block.header.height))
+    }
+
+    /// Step 2 of peg-in: present the lock tx with an SPV proof; the bridge
+    /// verifies it against its light client and mints on the side chain.
+    ///
+    /// # Errors
+    ///
+    /// Bad proofs, replays, non-lock transactions, unsynced headers.
+    pub fn peg_in(
+        &mut self,
+        lock_tx: &Transaction,
+        height: u64,
+        proof: &dcs_crypto::MerkleProof,
+    ) -> Result<(), PegError> {
+        let tx_id = lock_tx.id();
+        if self.pegged_in.contains(&tx_id) {
+            return Err(PegError::AlreadyPegged(tx_id));
+        }
+        let Transaction::Account(acct) = lock_tx else { return Err(PegError::NotALock) };
+        if acct.to != Some(bridge_address()) || acct.value == 0 {
+            return Err(PegError::NotALock);
+        }
+        let header =
+            self.bridge_client.header_at(height).ok_or(PegError::HeaderMissing(height))?;
+        if !proof.verify(&tx_id, &header.tx_root) {
+            return Err(PegError::BadProof);
+        }
+        self.pegged_in.insert(tx_id);
+        // Mint on the side chain: a coinbase creates the pegged supply.
+        let mint = Transaction::Coinbase {
+            to: acct.from,
+            value: acct.value,
+            height: self.side.height() + 1,
+        };
+        Self::seal(&mut self.side, vec![mint]);
+        self.minted_total += acct.value;
+        Ok(())
+    }
+
+    /// Convenience: full peg-in (lock, prove, mint) in one call.
+    ///
+    /// # Errors
+    ///
+    /// Any peg error.
+    pub fn deposit(&mut self, user: Address, amount: Amount) -> Result<(), PegError> {
+        let (tx, height) = self.lock_on_main(user, amount)?;
+        let proof = self.prove_on_main(&tx.id(), height).ok_or(PegError::BadProof)?;
+        self.peg_in(&tx, height, &proof)
+    }
+
+    /// Builds an SPV proof for a main-chain transaction.
+    pub fn prove_on_main(&self, tx_id: &Hash256, height: u64) -> Option<dcs_crypto::MerkleProof> {
+        let hash = self.main.canonical_at(height)?;
+        let block = &self.main.tree().get(&hash)?.block;
+        let leaves: Vec<Hash256> = block.txs.iter().map(Transaction::id).collect();
+        let index = leaves.iter().position(|l| l == tx_id)?;
+        MerkleTree::from_leaves(leaves).prove(index)
+    }
+
+    /// Peg-out: the user burns side-chain funds; the bridge releases the
+    /// escrow on the main chain.
+    ///
+    /// # Errors
+    ///
+    /// Insufficient side balance or replayed burns.
+    pub fn withdraw(&mut self, user: Address, amount: Amount) -> Result<(), PegError> {
+        if self.side.machine().db.balance(&user) < amount {
+            return Err(PegError::Transfer("insufficient side-chain balance".into()));
+        }
+        let nonce = self.next_side_nonce(&user);
+        let mut burn = AccountTx::transfer(user, burn_address(), amount, nonce);
+        burn.gas_limit = 0;
+        burn.gas_price = 0;
+        let burn = Transaction::Account(burn);
+        let burn_id = burn.id();
+        if self.pegged_out.contains(&burn_id) {
+            return Err(PegError::AlreadyBurned(burn_id));
+        }
+        Self::seal(&mut self.side, vec![burn]);
+        self.pegged_out.insert(burn_id);
+        self.burned_total += amount;
+
+        // Release escrow on the main chain.
+        let nonce = self.next_main_nonce(&bridge_address());
+        let mut release = AccountTx::transfer(bridge_address(), user, amount, nonce);
+        release.gas_limit = 0;
+        release.gas_price = 0;
+        let block = Self::seal(&mut self.main, vec![Transaction::Account(release)]);
+        self.bridge_client.sync(&[block.header.clone()]).expect("sequencer headers link");
+        Ok(())
+    }
+
+    /// Peg invariant: main-chain escrow equals the side chain's circulating
+    /// (minted − burned) supply — no value is created or destroyed by the
+    /// bridge.
+    pub fn peg_balanced(&self) -> bool {
+        let escrow = self.main.machine().db.balance(&bridge_address());
+        escrow == self.minted_total - self.burned_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user() -> Address {
+        Address::from_index(1)
+    }
+
+    fn setup() -> PeggedSidechain {
+        PeggedSidechain::new(&[(user(), 10_000)])
+    }
+
+    #[test]
+    fn deposit_mints_on_side() {
+        let mut peg = setup();
+        peg.deposit(user(), 4_000).unwrap();
+        assert_eq!(peg.main.machine().db.balance(&user()), 6_000);
+        assert_eq!(peg.main.machine().db.balance(&bridge_address()), 4_000);
+        assert_eq!(peg.side.machine().db.balance(&user()), 4_000);
+    }
+
+    #[test]
+    fn replayed_peg_in_rejected() {
+        let mut peg = setup();
+        let (tx, height) = peg.lock_on_main(user(), 1_000).unwrap();
+        let proof = peg.prove_on_main(&tx.id(), height).unwrap();
+        peg.peg_in(&tx, height, &proof).unwrap();
+        assert_eq!(
+            peg.peg_in(&tx, height, &proof),
+            Err(PegError::AlreadyPegged(tx.id()))
+        );
+        assert_eq!(peg.side.machine().db.balance(&user()), 1_000, "minted once");
+    }
+
+    #[test]
+    fn forged_proof_rejected() {
+        let mut peg = setup();
+        let (tx, height) = peg.lock_on_main(user(), 1_000).unwrap();
+        let (_tx2, height2) = peg.lock_on_main(user(), 500).unwrap();
+        let proof = peg.prove_on_main(&tx.id(), height).unwrap();
+        // Presenting the lock against the *wrong block's* header fails:
+        // the proof does not connect tx to that block's Merkle root.
+        assert_eq!(peg.peg_in(&tx, height2, &proof), Err(PegError::BadProof));
+    }
+
+    #[test]
+    fn non_lock_tx_rejected() {
+        let mut peg = setup();
+        // A transfer to someone other than the bridge cannot peg in.
+        let nonce = peg.next_main_nonce(&user());
+        let mut tx = AccountTx::transfer(user(), Address::from_index(2), 100, nonce);
+        tx.gas_limit = 0;
+        tx.gas_price = 0;
+        let tx = Transaction::Account(tx);
+        let block = PeggedSidechain::seal(&mut peg.main, vec![tx.clone()]);
+        peg.bridge_client.sync(&[block.header.clone()]).unwrap();
+        let proof = peg.prove_on_main(&tx.id(), block.header.height).unwrap();
+        assert_eq!(
+            peg.peg_in(&tx, block.header.height, &proof),
+            Err(PegError::NotALock)
+        );
+    }
+
+    #[test]
+    fn round_trip_returns_funds() {
+        let mut peg = setup();
+        peg.deposit(user(), 3_000).unwrap();
+        assert!(peg.peg_balanced());
+        peg.withdraw(user(), 3_000).unwrap();
+        assert!(peg.peg_balanced());
+        assert_eq!(peg.main.machine().db.balance(&user()), 10_000);
+        assert_eq!(peg.main.machine().db.balance(&bridge_address()), 0);
+        assert_eq!(peg.side.machine().db.balance(&user()), 0);
+        assert_eq!(peg.side.machine().db.balance(&burn_address()), 3_000);
+    }
+
+    #[test]
+    fn cannot_withdraw_more_than_side_balance() {
+        let mut peg = setup();
+        peg.deposit(user(), 1_000).unwrap();
+        assert!(matches!(peg.withdraw(user(), 2_000), Err(PegError::Transfer(_))));
+    }
+}

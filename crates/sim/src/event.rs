@@ -1,0 +1,217 @@
+//! The discrete-event queue driving every simulation.
+//!
+//! Events are ordered by `(time, insertion sequence)`, so simultaneous events
+//! fire in the order they were scheduled — the core of the determinism
+//! contract. Scheduled events can be cancelled by [`EventId`] (used for
+//! consensus timers that are superseded, e.g. PBFT view-change timeouts).
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A handle to a scheduled event, usable with [`Simulation::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A discrete-event simulation: a clock plus a pending-event queue.
+///
+/// The driver loop is intentionally simple: callers pop events with
+/// [`Simulation::next`] (which advances the clock) and dispatch them however
+/// they like. See `dcs-ledger`'s network runner for the full pattern.
+#[derive(Debug)]
+pub struct Simulation<E> {
+    queue: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Schedules `event` at an absolute instant. Instants in the past fire
+    /// "now" (the clock never moves backwards).
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventId {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Entry { time, seq, event }));
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that already
+    /// fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    /// Returns `None` when the queue is drained.
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.queue.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.time;
+            self.processed += 1;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Pops the next event only if it fires at or before `deadline`.
+    pub fn next_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let peek_time = self.queue.peek().map(|Reverse(e)| (e.time, e.seq))?;
+            if peek_time.0 > deadline {
+                return None;
+            }
+            let Reverse(entry) = self.queue.pop().expect("peeked entry exists");
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.time;
+            self.processed += 1;
+            return Some((entry.time, entry.event));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimDuration::from_secs(3), 'c');
+        sim.schedule(SimDuration::from_secs(1), 'a');
+        sim.schedule(SimDuration::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| sim.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut sim = Simulation::new();
+        for i in 0..10 {
+            sim.schedule(SimDuration::from_secs(1), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| sim.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim = Simulation::new();
+        let keep = sim.schedule(SimDuration::from_secs(1), "keep");
+        let drop1 = sim.schedule(SimDuration::from_secs(2), "drop");
+        let _ = keep;
+        sim.cancel(drop1);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.next().map(|(_, e)| e), Some("keep"));
+        assert_eq!(sim.next(), None);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut sim = Simulation::new();
+        let id = sim.schedule(SimDuration::ZERO, 1u8);
+        assert!(sim.next().is_some());
+        sim.cancel(id);
+        sim.schedule(SimDuration::ZERO, 2u8);
+        assert_eq!(sim.next().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimDuration::from_secs(5), ());
+        sim.next();
+        sim.schedule_at(SimTime::ZERO, ());
+        let (t, _) = sim.next().unwrap();
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn next_before_respects_deadline() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimDuration::from_secs(1), 1);
+        sim.schedule(SimDuration::from_secs(10), 2);
+        let cutoff = SimTime::ZERO + SimDuration::from_secs(5);
+        assert_eq!(sim.next_before(cutoff).map(|(_, e)| e), Some(1));
+        assert_eq!(sim.next_before(cutoff), None);
+        assert_eq!(sim.next().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn processed_counts_delivered_only() {
+        let mut sim = Simulation::new();
+        let a = sim.schedule(SimDuration::ZERO, ());
+        sim.schedule(SimDuration::ZERO, ());
+        sim.cancel(a);
+        while sim.next().is_some() {}
+        assert_eq!(sim.processed(), 1);
+    }
+}

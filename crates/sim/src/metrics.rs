@@ -1,0 +1,260 @@
+//! Statistics collectors for experiments: summary statistics, log-bucketed
+//! histograms, and the decentralization measures used by the DCS experiments
+//! (Gini coefficient and Nakamoto coefficient over block-producer power).
+
+/// Online summary of a stream of `f64` samples, retaining the samples for
+/// exact percentile queries (experiments are small enough that this is fine).
+///
+/// # Examples
+///
+/// ```
+/// use dcs_sim::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation; 0 for fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|x| (x - m).powi(2)).sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Exact percentile `p` in `[0, 100]`; 0 when empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        // Linear interpolation between closest ranks.
+        let pos = p.clamp(0.0, 100.0) / 100.0 * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+    }
+
+    /// Convenience: the median.
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+/// A histogram with logarithmic buckets (powers of two), suitable for
+/// latency distributions spanning microseconds to minutes.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records an integer sample (e.g. microseconds).
+    pub fn record(&mut self, v: u64) {
+        let b = 64 - v.leading_zeros() as usize; // bucket = bit length
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate quantile: upper bound of the bucket containing the
+    /// `q`-quantile sample (q in `[0,1]`).
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return if b == 0 { 0 } else { (1u64 << b) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Gini coefficient of a distribution of non-negative "power" values
+/// (0 = perfectly equal, →1 = concentrated). The paper's decentralization
+/// axis is quantified with this plus [`nakamoto_coefficient`].
+///
+/// Returns 0 for empty input or all-zero weights.
+pub fn gini(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<u64> = values.to_vec();
+    v.sort_unstable();
+    let n = v.len() as f64;
+    let total: f64 = v.iter().map(|&x| x as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// Nakamoto coefficient: the minimum number of parties whose combined power
+/// exceeds half the total — the size of the smallest coalition that can
+/// censor or rewrite the chain (cf. the paper's 51% attack discussion, §2.4).
+///
+/// Returns 0 for empty input or all-zero weights.
+pub fn nakamoto_coefficient(values: &[u64]) -> usize {
+    let total: u128 = values.iter().map(|&v| u128::from(v)).sum();
+    if total == 0 {
+        return 0;
+    }
+    let mut v: Vec<u64> = values.to_vec();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    let mut acc: u128 = 0;
+    for (i, &x) in v.iter().enumerate() {
+        acc += u128::from(x);
+        if acc * 2 > total {
+            return i + 1;
+        }
+    }
+    v.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.count(), 0);
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.median(), 2.5);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn summary_stddev() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert!((s.stddev() - 2.138).abs() < 0.01, "{}", s.stddev());
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_upper_bound(0.5);
+        assert!(p50 >= 499 && p50 <= 1023, "p50 bucket bound {p50}");
+        assert_eq!(h.quantile_upper_bound(0.0), 0);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12, "equal shares → 0");
+        let concentrated = gini(&[0, 0, 0, 100]);
+        assert!(concentrated > 0.74, "one holder → high gini, got {concentrated}");
+        let mid = gini(&[1, 2, 3, 4]);
+        assert!(mid > 0.0 && mid < concentrated);
+    }
+
+    #[test]
+    fn nakamoto_coefficient_cases() {
+        assert_eq!(nakamoto_coefficient(&[]), 0);
+        assert_eq!(nakamoto_coefficient(&[0, 0]), 0);
+        // One party with 60% of power can attack alone.
+        assert_eq!(nakamoto_coefficient(&[60, 20, 20]), 1);
+        // Four equal parties: any three needed for majority.
+        assert_eq!(nakamoto_coefficient(&[25, 25, 25, 25]), 3);
+        // 51% exactly: one party suffices only above half.
+        assert_eq!(nakamoto_coefficient(&[51, 49]), 1);
+        assert_eq!(nakamoto_coefficient(&[50, 50]), 2);
+    }
+}

@@ -1,0 +1,507 @@
+//! A canonical binary Merkle trie: an authenticated key→value map whose root
+//! hash is a pure function of its contents (independent of insertion order),
+//! with `O(log n)` inclusion proofs.
+//!
+//! Keys are routed by the bits of their SHA-256, so the trie is balanced in
+//! expectation without rotations. The structure is kept canonical — every
+//! branch has at least two leaves below it, and removals collapse chains — so
+//! two maps with equal contents always have equal roots, which is what makes
+//! the root usable as the header `state_root`.
+
+use dcs_crypto::codec::{Decode, DecodeError, Encode, Reader};
+use dcs_crypto::{sha256, Hash256, Sha256};
+use serde::{Deserialize, Serialize};
+
+fn leaf_hash(key_hash: &Hash256, value: &[u8]) -> Hash256 {
+    let mut ctx = Sha256::new();
+    ctx.update(&[0x10]);
+    ctx.update(key_hash.as_ref());
+    ctx.update(sha256(value).as_ref());
+    ctx.finalize()
+}
+
+fn branch_hash(left: &Hash256, right: &Hash256) -> Hash256 {
+    let mut ctx = Sha256::new();
+    ctx.update(&[0x11]);
+    ctx.update(left.as_ref());
+    ctx.update(right.as_ref());
+    ctx.finalize()
+}
+
+/// Extracts bit `i` (0 = most significant) of a key hash.
+fn bit(h: &Hash256, i: usize) -> bool {
+    (h.as_bytes()[i / 8] >> (7 - i % 8)) & 1 == 1
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { key_hash: Hash256, key: Vec<u8>, value: Vec<u8>, hash: Hash256 },
+    Branch { left: Option<Box<Node>>, right: Option<Box<Node>>, hash: Hash256 },
+}
+
+impl Node {
+    fn hash(&self) -> Hash256 {
+        match self {
+            Node::Leaf { hash, .. } | Node::Branch { hash, .. } => *hash,
+        }
+    }
+
+    fn child_hash(child: &Option<Box<Node>>) -> Hash256 {
+        child.as_ref().map_or(Hash256::ZERO, |n| n.hash())
+    }
+
+    fn rehash(&mut self) {
+        if let Node::Branch { left, right, hash } = self {
+            *hash = branch_hash(&Self::child_hash(left), &Self::child_hash(right));
+        }
+    }
+}
+
+/// An authenticated map with a Merkle root and inclusion proofs.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_state::MerkleMap;
+///
+/// let mut m = MerkleMap::new();
+/// m.insert(b"k".to_vec(), b"v1".to_vec());
+/// let r1 = m.root();
+/// m.insert(b"k".to_vec(), b"v2".to_vec());
+/// assert_ne!(m.root(), r1);
+/// assert_eq!(m.get(b"k"), Some(&b"v2"[..]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MerkleMap {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl MerkleMap {
+    /// Creates an empty map (root = [`Hash256::ZERO`]).
+    pub fn new() -> Self {
+        MerkleMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The root digest committing to the full contents.
+    pub fn root(&self) -> Hash256 {
+        Node::child_hash(&self.root)
+    }
+
+    /// Looks up the value stored under `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        let kh = sha256(key);
+        let mut node = self.root.as_deref()?;
+        let mut depth = 0;
+        loop {
+            match node {
+                Node::Leaf { key_hash, value, .. } => {
+                    return (*key_hash == kh).then_some(value.as_slice());
+                }
+                Node::Branch { left, right, .. } => {
+                    let child = if bit(&kh, depth) { right } else { left };
+                    node = child.as_deref()?;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Inserts or replaces; returns the previous value if any.
+    pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) -> Option<Vec<u8>> {
+        let kh = sha256(&key);
+        let (node, old) = Self::insert_at(self.root.take(), kh, key, value, 0);
+        self.root = Some(node);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_at(
+        node: Option<Box<Node>>,
+        kh: Hash256,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        depth: usize,
+    ) -> (Box<Node>, Option<Vec<u8>>) {
+        match node {
+            None => {
+                let hash = leaf_hash(&kh, &value);
+                (Box::new(Node::Leaf { key_hash: kh, key, value, hash }), None)
+            }
+            Some(mut boxed) => match &mut *boxed {
+                Node::Leaf { key_hash, value: old_value, hash, .. } if *key_hash == kh => {
+                    let old = std::mem::replace(old_value, value);
+                    *hash = leaf_hash(&kh, old_value);
+                    (boxed, Some(old))
+                }
+                Node::Leaf { key_hash, .. } => {
+                    // Split: push the existing leaf down until the paths of
+                    // the two key hashes diverge.
+                    let existing_bit = bit(key_hash, depth);
+                    let new_bit = bit(&kh, depth);
+                    let mut branch =
+                        Node::Branch { left: None, right: None, hash: Hash256::ZERO };
+                    if existing_bit == new_bit {
+                        let (child, _) = Self::insert_at(Some(boxed), kh, key, value, depth + 1);
+                        if let Node::Branch { left, right, .. } = &mut branch {
+                            *(if new_bit { right } else { left }) = Some(child);
+                        }
+                    } else if let Node::Branch { left, right, .. } = &mut branch {
+                        let new_hash = leaf_hash(&kh, &value);
+                        let new_leaf =
+                            Box::new(Node::Leaf { key_hash: kh, key, value, hash: new_hash });
+                        if new_bit {
+                            *right = Some(new_leaf);
+                            *left = Some(boxed);
+                        } else {
+                            *left = Some(new_leaf);
+                            *right = Some(boxed);
+                        }
+                    }
+                    branch.rehash();
+                    (Box::new(branch), None)
+                }
+                Node::Branch { left, right, .. } => {
+                    let slot = if bit(&kh, depth) { right } else { left };
+                    let (child, old) = Self::insert_at(slot.take(), kh, key, value, depth + 1);
+                    *slot = Some(child);
+                    boxed.rehash();
+                    (boxed, old)
+                }
+            },
+        }
+    }
+
+    /// Removes `key`, returning its value if present. Collapses now-unary
+    /// branches to keep the structure (and root) canonical.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        let kh = sha256(key);
+        let (node, old) = Self::remove_at(self.root.take(), &kh, 0);
+        self.root = node;
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    fn remove_at(
+        node: Option<Box<Node>>,
+        kh: &Hash256,
+        depth: usize,
+    ) -> (Option<Box<Node>>, Option<Vec<u8>>) {
+        match node {
+            None => (None, None),
+            Some(mut boxed) => match &mut *boxed {
+                Node::Leaf { key_hash, .. } => {
+                    if key_hash == kh {
+                        if let Node::Leaf { value, .. } = *boxed {
+                            (None, Some(value))
+                        } else {
+                            unreachable!("matched leaf above")
+                        }
+                    } else {
+                        (Some(boxed), None)
+                    }
+                }
+                Node::Branch { left, right, .. } => {
+                    let go_right = bit(kh, depth);
+                    let slot = if go_right { &mut *right } else { &mut *left };
+                    let (child, old) = Self::remove_at(slot.take(), kh, depth + 1);
+                    *slot = child;
+                    if old.is_none() {
+                        return (Some(boxed), None);
+                    }
+                    // Canonicalize: a branch left with a single *leaf* child
+                    // collapses to that leaf (the leaf rises to the
+                    // shallowest depth where its path is unique). A single
+                    // *branch* child stays put — its subtree's leaves still
+                    // diverge at their original depths, so the unary chain
+                    // above them is part of the canonical shape.
+                    let lone_leaf = match (&left, &right) {
+                        (Some(l), None) if matches!(&**l, Node::Leaf { .. }) => left.take(),
+                        (None, Some(r)) if matches!(&**r, Node::Leaf { .. }) => right.take(),
+                        _ => None,
+                    };
+                    if let Some(leaf) = lone_leaf {
+                        return (Some(leaf), old);
+                    }
+                    boxed.rehash();
+                    (Some(boxed), old)
+                }
+            },
+        }
+    }
+
+    /// Produces an inclusion proof for `key`, or `None` if absent.
+    pub fn prove(&self, key: &[u8]) -> Option<MapProof> {
+        let kh = sha256(key);
+        let mut node = self.root.as_deref()?;
+        let mut depth = 0;
+        let mut siblings = Vec::new();
+        loop {
+            match node {
+                Node::Leaf { key_hash, value, .. } => {
+                    if *key_hash != kh {
+                        return None;
+                    }
+                    siblings.reverse(); // leaf-upward order for verification
+                    return Some(MapProof {
+                        key: key.to_vec(),
+                        value: value.clone(),
+                        siblings,
+                    });
+                }
+                Node::Branch { left, right, .. } => {
+                    let (child, sibling) = if bit(&kh, depth) {
+                        (right, Node::child_hash(left))
+                    } else {
+                        (left, Node::child_hash(right))
+                    };
+                    siblings.push(sibling);
+                    node = child.as_deref()?;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Iterates over all `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        let mut stack: Vec<&Node> = Vec::new();
+        if let Some(root) = self.root.as_deref() {
+            stack.push(root);
+        }
+        std::iter::from_fn(move || loop {
+            let node = stack.pop()?;
+            match node {
+                Node::Leaf { key, value, .. } => return Some((key.as_slice(), value.as_slice())),
+                Node::Branch { left, right, .. } => {
+                    if let Some(l) = left.as_deref() {
+                        stack.push(l);
+                    }
+                    if let Some(r) = right.as_deref() {
+                        stack.push(r);
+                    }
+                }
+            }
+        })
+    }
+}
+
+impl FromIterator<(Vec<u8>, Vec<u8>)> for MerkleMap {
+    fn from_iter<I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>>(iter: I) -> Self {
+        let mut m = MerkleMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// An inclusion proof binding a key/value pair to a [`MerkleMap`] root.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapProof {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    /// Sibling hashes from the leaf's parent up to the root.
+    siblings: Vec<Hash256>,
+}
+
+impl MapProof {
+    /// The proven key.
+    pub fn key(&self) -> &[u8] {
+        &self.key
+    }
+
+    /// The proven value.
+    pub fn value(&self) -> &[u8] {
+        &self.value
+    }
+
+    /// Encoded byte length (for E10 download-size accounting).
+    pub fn encoded_len(&self) -> usize {
+        self.encoded().len()
+    }
+
+    /// Verifies the proof against a state root.
+    pub fn verify(&self, root: &Hash256) -> bool {
+        let kh = sha256(&self.key);
+        let mut acc = leaf_hash(&kh, &self.value);
+        let depth = self.siblings.len();
+        for (i, sibling) in self.siblings.iter().enumerate() {
+            // Sibling i sits at depth (depth - 1 - i); the key's bit at that
+            // depth decides which side our accumulator is on.
+            let d = depth - 1 - i;
+            acc = if bit(&kh, d) {
+                branch_hash(sibling, &acc)
+            } else {
+                branch_hash(&acc, sibling)
+            };
+        }
+        acc == *root
+    }
+}
+
+impl Encode for MapProof {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.key.encode(out);
+        self.value.encode(out);
+        self.siblings.encode(out);
+    }
+}
+
+impl Decode for MapProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(MapProof {
+            key: Vec::decode(r)?,
+            value: Vec::decode(r)?,
+            siblings: Vec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
+        (format!("key-{i}").into_bytes(), format!("value-{i}").into_bytes())
+    }
+
+    #[test]
+    fn empty_map() {
+        let m = MerkleMap::new();
+        assert_eq!(m.root(), Hash256::ZERO);
+        assert!(m.is_empty());
+        assert_eq!(m.get(b"missing"), None);
+        assert!(m.prove(b"missing").is_none());
+    }
+
+    #[test]
+    fn insert_get_update_remove() {
+        let mut m = MerkleMap::new();
+        assert_eq!(m.insert(b"a".to_vec(), b"1".to_vec()), None);
+        assert_eq!(m.insert(b"a".to_vec(), b"2".to_vec()), Some(b"1".to_vec()));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(b"a"), Some(&b"2"[..]));
+        assert_eq!(m.remove(b"a"), Some(b"2".to_vec()));
+        assert_eq!(m.remove(b"a"), None);
+        assert!(m.is_empty());
+        assert_eq!(m.root(), Hash256::ZERO);
+    }
+
+    #[test]
+    fn root_is_content_addressed_not_order_addressed() {
+        let pairs: Vec<_> = (0..50).map(kv).collect();
+        let forward: MerkleMap = pairs.clone().into_iter().collect();
+        let backward: MerkleMap = pairs.clone().into_iter().rev().collect();
+        assert_eq!(forward.root(), backward.root());
+
+        // Insert-then-remove returns to the same root.
+        let mut m: MerkleMap = pairs.clone().into_iter().collect();
+        let base = m.root();
+        m.insert(b"extra".to_vec(), b"x".to_vec());
+        assert_ne!(m.root(), base);
+        m.remove(b"extra");
+        assert_eq!(m.root(), base);
+    }
+
+    #[test]
+    fn roots_differ_for_different_contents() {
+        let a: MerkleMap = (0..10).map(kv).collect();
+        let mut b: MerkleMap = (0..10).map(kv).collect();
+        b.insert(b"key-3".to_vec(), b"tampered".to_vec());
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn proofs_verify_and_bind() {
+        let m: MerkleMap = (0..100).map(kv).collect();
+        let root = m.root();
+        for i in (0..100).step_by(7) {
+            let (k, v) = kv(i);
+            let p = m.prove(&k).expect("present key");
+            assert_eq!(p.key(), &k[..]);
+            assert_eq!(p.value(), &v[..]);
+            assert!(p.verify(&root));
+            assert!(!p.verify(&sha256(b"wrong root")));
+        }
+    }
+
+    #[test]
+    fn tampered_proof_fails() {
+        let m: MerkleMap = (0..20).map(kv).collect();
+        let (k, _) = kv(5);
+        let root = m.root();
+        let mut p = m.prove(&k).unwrap();
+        p.value = b"forged".to_vec();
+        assert!(!p.verify(&root));
+        let mut p2 = m.prove(&k).unwrap();
+        if !p2.siblings.is_empty() {
+            p2.siblings[0] = sha256(b"forged sibling");
+            assert!(!p2.verify(&root));
+        }
+    }
+
+    #[test]
+    fn iter_visits_everything_once() {
+        let m: MerkleMap = (0..37).map(kv).collect();
+        let mut keys: Vec<Vec<u8>> = m.iter().map(|(k, _)| k.to_vec()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 37);
+        assert_eq!(m.len(), 37);
+    }
+
+    #[test]
+    fn removal_collapses_to_canonical_structure() {
+        // Build {a}, then {a,b}, then remove b: root must equal the {a} root.
+        let mut only_a = MerkleMap::new();
+        only_a.insert(b"a".to_vec(), b"1".to_vec());
+        let root_a = only_a.root();
+
+        let mut m = MerkleMap::new();
+        m.insert(b"a".to_vec(), b"1".to_vec());
+        for i in 0..20 {
+            let (k, v) = kv(i);
+            m.insert(k, v);
+        }
+        for i in 0..20 {
+            let (k, _) = kv(i);
+            m.remove(&k);
+        }
+        assert_eq!(m.root(), root_a);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn proof_codec_round_trip() {
+        let m: MerkleMap = (0..10).map(kv).collect();
+        let (k, _) = kv(4);
+        let p = m.prove(&k).unwrap();
+        let d = dcs_crypto::codec::decode_all::<MapProof>(&p.encoded()).unwrap();
+        assert_eq!(d, p);
+        assert!(d.verify(&m.root()));
+    }
+
+    #[test]
+    fn large_map_stays_logarithmic() {
+        let m: MerkleMap = (0..2000).map(kv).collect();
+        let (k, _) = kv(1234);
+        let p = m.prove(&k).unwrap();
+        // Expected depth ~ log2(2000) ≈ 11; allow generous slack.
+        assert!(p.siblings.len() < 40, "depth {}", p.siblings.len());
+    }
+}

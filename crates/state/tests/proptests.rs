@@ -1,0 +1,151 @@
+//! Property-based tests for the data layer: the Merkle map against a
+//! `HashMap` reference model (same contents ⇒ same answers, same root
+//! regardless of history), UTXO value conservation, and journal rollback
+//! exactness.
+
+use dcs_crypto::{Address, Hash256};
+use dcs_primitives::{Transaction, TxIn, TxOut, UtxoTx};
+use dcs_state::{AccountDb, MerkleMap, UtxoSet};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u8, u16),
+    Remove(u8),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        any::<u8>().prop_map(MapOp::Remove),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn merkle_map_matches_hashmap_model(ops in proptest::collection::vec(map_op(), 0..200)) {
+        let mut map = MerkleMap::new();
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let key = vec![*k];
+                    let value = v.to_le_bytes().to_vec();
+                    prop_assert_eq!(map.insert(key.clone(), value.clone()), model.insert(key, value));
+                }
+                MapOp::Remove(k) => {
+                    let key = vec![*k];
+                    prop_assert_eq!(map.remove(&key), model.remove(&key));
+                }
+            }
+        }
+        prop_assert_eq!(map.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(map.get(k), Some(v.as_slice()));
+        }
+        // Root is a pure function of content: rebuild from the model in
+        // (arbitrary) iteration order and compare.
+        let rebuilt: MerkleMap = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(map.root(), rebuilt.root());
+        // All proofs verify.
+        for k in model.keys() {
+            let proof = map.prove(k).unwrap();
+            prop_assert!(proof.verify(&map.root()));
+        }
+    }
+
+    #[test]
+    fn utxo_transfers_conserve_value(splits in proptest::collection::vec(1u64..100, 1..20)) {
+        let mut set = UtxoSet::new();
+        let owner = Address::from_index(1);
+        let total: u64 = 1_000_000;
+        let mut op = set.mint(owner, total);
+        // Chain of transfers, each splitting off `s` and keeping the change.
+        let mut remaining = total;
+        for (i, s) in splits.iter().enumerate() {
+            let spend = Transaction::Utxo(UtxoTx {
+                inputs: vec![TxIn { prev_tx: op.tx, index: op.index, auth: None }],
+                outputs: vec![
+                    TxOut { value: *s, recipient: Address::from_index(100 + i as u64) },
+                    TxOut { value: remaining - s, recipient: owner },
+                ],
+            });
+            let (fee, _) = set.apply(&spend).unwrap();
+            prop_assert_eq!(fee, 0);
+            remaining -= s;
+            op = dcs_state::OutPoint { tx: spend.id(), index: 1 };
+        }
+        // Total value across all owners unchanged.
+        let sum: u64 = (0..140u64)
+            .map(|i| set.balance_of(&Address::from_index(i)))
+            .sum();
+        prop_assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn account_db_rollback_is_exact(
+        credits in proptest::collection::vec((0u64..20, 1u64..1_000), 1..40),
+        transfers in proptest::collection::vec((0u64..20, 0u64..20, 1u64..100), 0..40),
+    ) {
+        let mut db = AccountDb::new();
+        for (who, amount) in &credits {
+            db.credit(&Address::from_index(*who), *amount);
+        }
+        db.clear_journal();
+        let root_before = db.root();
+        let balances_before: Vec<u64> =
+            (0..20u64).map(|i| db.balance(&Address::from_index(i))).collect();
+
+        let snap = db.snapshot();
+        for (from, to, amount) in &transfers {
+            // Failures are fine; they must not corrupt the journal.
+            let _ = db.transfer(&Address::from_index(*from), &Address::from_index(*to), *amount);
+            db.bump_nonce(&Address::from_index(*from));
+        }
+        db.rollback(snap);
+        prop_assert_eq!(db.root(), root_before);
+        for (i, expected) in balances_before.iter().enumerate() {
+            prop_assert_eq!(db.balance(&Address::from_index(i as u64)), *expected);
+            prop_assert_eq!(db.nonce(&Address::from_index(i as u64)), 0);
+        }
+    }
+
+    #[test]
+    fn account_transfers_conserve_total(
+        transfers in proptest::collection::vec((0u64..10, 0u64..10, 1u64..500), 0..60),
+    ) {
+        let mut db = AccountDb::new();
+        for i in 0..10u64 {
+            db.credit(&Address::from_index(i), 10_000);
+        }
+        for (from, to, amount) in &transfers {
+            let _ = db.transfer(&Address::from_index(*from), &Address::from_index(*to), *amount);
+        }
+        let total: u64 = (0..10u64).map(|i| db.balance(&Address::from_index(i))).sum();
+        prop_assert_eq!(total, 100_000);
+    }
+
+    #[test]
+    fn storage_slots_are_independent(
+        writes in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..40),
+    ) {
+        let mut db = AccountDb::new();
+        let contract = Address::from_index(7);
+        let mut model: HashMap<u8, u8> = HashMap::new();
+        for (slot, value) in &writes {
+            let key = dcs_crypto::sha256(&[*slot]);
+            db.set_storage(&contract, &key, Some(vec![*value]));
+            model.insert(*slot, *value);
+        }
+        for (slot, value) in &model {
+            let key = dcs_crypto::sha256(&[*slot]);
+            prop_assert_eq!(db.storage(&contract, &key), Some(&[*value][..]));
+        }
+        // A different contract's storage is untouched.
+        let other = Address::from_index(8);
+        let some_key = dcs_crypto::sha256(&[writes[0].0]);
+        prop_assert_eq!(db.storage(&other, &some_key), None);
+        let _ = Hash256::ZERO;
+    }
+}

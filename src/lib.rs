@@ -1,0 +1,22 @@
+//! Umbrella crate for the **dcs-ledger platform** — a Rust reproduction of
+//! *Towards Dependable, Scalable, and Pervasive Distributed Ledgers with
+//! Blockchains* (Zhang & Jacobsen, ICDCS 2018).
+//!
+//! Re-exports every layer of the blockchain stack (Fig. 3 of the paper).
+//! See the individual crates for full documentation, `examples/` for
+//! runnable walkthroughs, and `crates/bench` for the experiment harness.
+
+#![forbid(unsafe_code)]
+
+pub use dcs_chain as chain;
+pub use dcs_consensus as consensus;
+pub use dcs_contracts as contracts;
+pub use dcs_crypto as crypto;
+pub use dcs_ledger as ledger;
+pub use dcs_middleware as middleware;
+pub use dcs_net as net;
+pub use dcs_primitives as primitives;
+pub use dcs_privacy as privacy;
+pub use dcs_scale as scale;
+pub use dcs_sim as sim;
+pub use dcs_state as state;

@@ -1,0 +1,233 @@
+//! Whole-stack integration tests: scenarios that cut across four or more
+//! crates at once — contracts executing on consensus networks, witness
+//! verification under gossip, the middleware pipeline fed by a live chain,
+//! and the PoET-cheating security concern the paper cites ([41]).
+
+use dcs_chain::StateMachine;
+use dcs_consensus::pos::{PosNode, StakeTable};
+use dcs_consensus::WireMsg;
+use dcs_contracts::{exec, stdlib, AccountMachine, Word};
+use dcs_crypto::{Address, KeyPair};
+use dcs_ledger::{builders, collect, LedgerNode};
+use dcs_middleware::{EventBus, EventFilter};
+use dcs_net::{LatencyModel, NetConfig, NodeId, Runner, Topology};
+use dcs_primitives::{
+    AccountTx, ChainConfig, ConsensusKind, GasSchedule, Transaction, TxAuth,
+};
+use dcs_sim::{SimDuration, SimTime};
+use std::sync::Arc;
+
+fn at(secs: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(secs)
+}
+
+/// A full generation-2.0 deployment: a PoS validator network whose state
+/// machine executes real contract transactions, with the event bus consuming
+/// receipts at the end — Fig. 3's stack, live.
+#[test]
+fn contracts_execute_on_a_pos_network() {
+    let alice = Address::from_index(1_000);
+    let n = 6;
+    let chain_cfg = ChainConfig {
+        consensus: ConsensusKind::ProofOfStake { slot_us: 2_000_000 },
+        gas: GasSchedule::default(),
+        ..ChainConfig::ethereum_like()
+    };
+    let stake_table = StakeTable::new(
+        (0..n).map(|i| Address::from_index(i as u64)).collect(),
+        vec![100; n],
+        chain_cfg.chain_id,
+    );
+    let genesis = dcs_chain::genesis_block(&chain_cfg);
+    let net = NetConfig {
+        nodes: n,
+        topology: Topology::Complete,
+        latency: LatencyModel::lan(),
+        drop_probability: 0.0,
+        bandwidth_bytes_per_sec: None,
+    };
+    let mut runner = Runner::new(net, 5, |id: NodeId| {
+        PosNode::new(
+            id,
+            genesis.clone(),
+            chain_cfg.clone(),
+            AccountMachine::with_alloc(&[(alice, 10_000_000_000)]),
+            stake_table.clone(),
+            id.0,
+        )
+    });
+
+    // Client transactions: deploy the token, mint, transfer.
+    let deploy = AccountTx::deploy(alice, stdlib::token(), 0, 10_000_000);
+    let token = deploy.contract_address();
+    let txs = vec![
+        Transaction::Account(deploy),
+        Transaction::Account(AccountTx::call(
+            alice,
+            token,
+            stdlib::token_mint_input(5_000),
+            0,
+            1,
+            1_000_000,
+        )),
+        Transaction::Account(AccountTx::call(
+            alice,
+            token,
+            stdlib::token_transfer_input(&Address::from_index(2_000), 1_200),
+            0,
+            2,
+            1_000_000,
+        )),
+    ];
+    for (i, tx) in txs.into_iter().enumerate() {
+        runner
+            .net_mut()
+            .inject(at(i as u64 * 5), NodeId(0), WireMsg::Tx(Arc::new(tx)));
+    }
+    // Stop mid-slot (slots fire on even seconds) so the last proposal has
+    // propagated to every replica before we compare.
+    runner.run_until(at(121));
+
+    // Every validator executed the same contracts to the same state root.
+    let roots: Vec<_> = runner
+        .nodes()
+        .iter()
+        .map(|node| node.core().chain.machine().state_root())
+        .collect();
+    assert!(roots.windows(2).all(|w| w[0] == w[1]), "replicated execution diverged");
+
+    // And the token balance is queryable on any replica.
+    let machine = runner.node_mut(NodeId(3)).core.chain.machine_mut();
+    let out = exec::query(
+        &mut machine.db,
+        &token,
+        &alice,
+        &stdlib::token_balance_input(&Address::from_index(2_000)),
+    )
+    .expect("query runs");
+    assert_eq!(Word(out.try_into().expect("one word")).as_u64(), 1_200);
+
+    // Middleware: feed one replica's receipts through the event bus.
+    let mut bus = EventBus::new();
+    let sub = bus.subscribe(EventFilter::contract(token));
+    let receipts = runner.node_mut(NodeId(0)).core.chain.drain_receipts();
+    for (block, rs) in &receipts {
+        bus.publish_block(*block, rs);
+    }
+    let events = bus.drain(sub);
+    assert!(!events.is_empty(), "token transfer emitted an event");
+}
+
+/// Witness verification under gossip: an ordering-service ledger that
+/// demands signatures accepts a properly signed transfer and (as a Failed
+/// receipt economy) the state never moves for forged value.
+#[test]
+fn signed_transactions_verified_across_the_network() {
+    let mut alice_keys = KeyPair::generate([42u8; 32], 3);
+    let alice = alice_keys.address();
+    let bob = Address::from_index(7);
+
+    let chain_cfg = ChainConfig {
+        gas: GasSchedule::free(),
+        ..ChainConfig::hyperledger_like()
+    };
+    let genesis = dcs_chain::genesis_block(&chain_cfg);
+    let net = NetConfig {
+        nodes: 4,
+        topology: Topology::Complete,
+        latency: LatencyModel::lan(),
+        drop_probability: 0.0,
+        bandwidth_bytes_per_sec: None,
+    };
+    let mut runner = Runner::new(net, 9, |id: NodeId| {
+        let mut machine = AccountMachine::with_alloc(&[(alice, 1_000_000)]);
+        machine.schedule = GasSchedule::free();
+        machine.verify_signatures = true;
+        dcs_consensus::ordering::OrderingNode::new(
+            id,
+            Address::from_index(id.0 as u64),
+            genesis.clone(),
+            chain_cfg.clone(),
+            machine,
+            4,
+        )
+    });
+
+    // A signed transfer commits.
+    let mut tx = AccountTx::transfer(alice, bob, 250, 0);
+    tx.gas_limit = 0;
+    tx.gas_price = 0;
+    let unsigned = Transaction::Account(tx.clone());
+    let sig = alice_keys.sign(&unsigned.signing_hash()).unwrap();
+    tx.auth = Some(TxAuth { pubkey: alice_keys.public_key(), signature: sig });
+    runner
+        .net_mut()
+        .inject(at(1), NodeId(2), WireMsg::Tx(Arc::new(Transaction::Account(tx))));
+    runner.run_until(at(30));
+    for node in runner.nodes() {
+        assert_eq!(node.core().chain.machine().db.balance(&bob), 250, "signed tx applied");
+    }
+
+    // An unsigned transfer poisons its block: state never moves.
+    let mut forged = AccountTx::transfer(alice, bob, 999, 1);
+    forged.gas_limit = 0;
+    forged.gas_price = 0;
+    runner
+        .net_mut()
+        .inject(at(31), NodeId(1), WireMsg::Tx(Arc::new(Transaction::Account(forged))));
+    runner.run_until(at(60));
+    for node in runner.nodes() {
+        assert_eq!(node.core().chain.machine().db.balance(&bob), 250, "forgery rejected");
+    }
+}
+
+/// The PoET security concern ([41]): a compromised enclave that shortens
+/// its waits wins a disproportionate share of blocks — decentralization
+/// quietly collapses even though the protocol "works".
+#[test]
+fn poet_cheater_captures_block_production() {
+    let mut params = builders::PoetParams::default();
+    params.nodes = 8;
+    params.chain.consensus = ConsensusKind::ProofOfElapsedTime { mean_wait_us: 8 * 5_000_000 };
+    // Node 0's enclave draws waits 4x shorter than honest peers.
+    params.cheat_factors = vec![0.25, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+    let mut runner = builders::build_poet(&params, 99);
+    runner.run_until(at(1_500));
+    let result = collect(runner.nodes(), &std::collections::HashMap::new(), SimDuration::from_secs(1_500));
+
+    let cheater_share =
+        result.proposer_counts[0] as f64 / result.canonical_blocks.max(1) as f64;
+    // An honest peer would hold 1/8 = 12.5%; a 4x cheater converges to
+    // 4/(4+7) ≈ 36%.
+    assert!(
+        cheater_share > 0.25,
+        "cheater should dominate production, got {cheater_share:.2}"
+    );
+    assert!(
+        result.nakamoto <= 3,
+        "decentralization collapses: nakamoto {}",
+        result.nakamoto
+    );
+    assert!(result.replicas_agree, "the chain itself still converges");
+}
+
+/// Analytics over a live simulated network: the middleware report matches
+/// the metric suite's counts.
+#[test]
+fn analytics_agree_with_metrics() {
+    let mut params = builders::OrderingParams::default();
+    params.nodes = 4;
+    let mut runner = builders::build_ordering(&params, 3);
+    let submitted = dcs_ledger::workload::Workload::transfers(
+        50.0,
+        SimDuration::from_secs(10),
+        20,
+    )
+    .inject(runner.net_mut(), 1);
+    runner.run_until(at(30));
+    let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(10));
+    let report = dcs_middleware::analytics::analyze(&runner.nodes()[0].core().chain);
+    assert_eq!(report.transactions, result.committed_txs);
+    assert_eq!(report.blocks, result.canonical_blocks);
+    assert!(report.mean_block_utilization > 0.0);
+}
