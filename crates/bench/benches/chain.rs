@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcs_chain::{best_tip, BlockTree, Chain, NullMachine};
 use dcs_crypto::{Address, Hash256};
-use dcs_primitives::{
-    AccountTx, Block, BlockHeader, ChainConfig, ForkChoice, Seal, Transaction,
-};
+use dcs_primitives::{AccountTx, Block, BlockHeader, ChainConfig, ForkChoice, Seal, Transaction};
 use std::hint::black_box;
 
 fn block_with_txs(parent: Hash256, height: u64, n_txs: usize) -> Block {
@@ -59,7 +57,13 @@ fn bushy_tree(depth: u64) -> BlockTree {
     for h in 1..=depth {
         let main = block_with_txs(parent.hash(), h, 0);
         let uncle = Block::new(
-            BlockHeader::new(parent.hash(), h, h + 500_000, Address::from_index(2), Seal::None),
+            BlockHeader::new(
+                parent.hash(),
+                h,
+                h + 500_000,
+                Address::from_index(2),
+                Seal::None,
+            ),
             vec![],
         );
         tree.insert(main.clone()).unwrap();
@@ -74,7 +78,11 @@ fn bench_fork_choice(c: &mut Criterion) {
     group.sample_size(20);
     for depth in [100u64, 1_000] {
         let tree = bushy_tree(depth);
-        for rule in [ForkChoice::LongestChain, ForkChoice::HeaviestWork, ForkChoice::Ghost] {
+        for rule in [
+            ForkChoice::LongestChain,
+            ForkChoice::HeaviestWork,
+            ForkChoice::Ghost,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{rule:?}"), depth),
                 &tree,

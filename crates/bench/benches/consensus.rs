@@ -65,5 +65,10 @@ fn bench_network_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_real_mining, bench_attack_sim, bench_network_sim);
+criterion_group!(
+    benches,
+    bench_real_mining,
+    bench_attack_sim,
+    bench_network_sim
+);
 criterion_main!(benches);

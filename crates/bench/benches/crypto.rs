@@ -3,8 +3,8 @@
 //! signature scheme (the "signature scheme w trade-off" ablation from
 //! DESIGN.md §5).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dcs_crypto::{sha256, Hash256, KeyPair, MerkleTree};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use dcs_crypto::{sha256, Hash256, KeyPair, MerkleTree, Signature, VerifyPool};
 use std::hint::black_box;
 
 fn bench_sha256(c: &mut Criterion) {
@@ -22,13 +22,18 @@ fn bench_sha256(c: &mut Criterion) {
 fn bench_merkle(c: &mut Criterion) {
     let mut group = c.benchmark_group("merkle");
     for leaves in [16usize, 256, 4_096] {
-        let hashes: Vec<Hash256> =
-            (0..leaves).map(|i| sha256(&(i as u64).to_le_bytes())).collect();
-        group.bench_with_input(
-            BenchmarkId::new("build", leaves),
-            &hashes,
-            |b, hashes| b.iter(|| MerkleTree::from_leaves(black_box(hashes.clone()))),
-        );
+        let hashes: Vec<Hash256> = (0..leaves)
+            .map(|i| sha256(&(i as u64).to_le_bytes()))
+            .collect();
+        // `from_leaves` consumes its input, so each iteration needs a fresh
+        // Vec; iter_batched keeps that clone out of the timed window.
+        group.bench_with_input(BenchmarkId::new("build", leaves), &hashes, |b, hashes| {
+            b.iter_batched(
+                || hashes.clone(),
+                |owned| MerkleTree::from_leaves(black_box(owned)),
+                BatchSize::SmallInput,
+            )
+        });
         let tree = MerkleTree::from_leaves(hashes.clone());
         group.bench_with_input(BenchmarkId::new("prove", leaves), &tree, |b, tree| {
             b.iter(|| tree.prove(black_box(leaves / 2)).unwrap())
@@ -36,11 +41,67 @@ fn bench_merkle(c: &mut Criterion) {
         let proof = tree.prove(leaves / 2).unwrap();
         let root = tree.root();
         let leaf = hashes[leaves / 2];
+        group.bench_with_input(BenchmarkId::new("verify", leaves), &proof, |b, proof| {
+            b.iter(|| proof.verify(black_box(&leaf), black_box(&root)))
+        });
+    }
+    group.finish();
+}
+
+/// Serial vs parallel Merkle builds at identical inputs: the `threads/1`
+/// rows ARE the serial code path (a one-thread pool maps inline), so any
+/// spread between rows is pure parallel speedup. On a single-core host the
+/// rows should be near-identical — that is the honest result.
+fn bench_merkle_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_parallel");
+    let leaves = 16_384usize;
+    let hashes: Vec<Hash256> = (0..leaves)
+        .map(|i| sha256(&(i as u64).to_le_bytes()))
+        .collect();
+    group.throughput(Throughput::Elements(leaves as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let pool = VerifyPool::new(threads);
         group.bench_with_input(
-            BenchmarkId::new("verify", leaves),
-            &proof,
-            |b, proof| b.iter(|| proof.verify(black_box(&leaf), black_box(&root))),
+            BenchmarkId::new("root/threads", threads),
+            &hashes,
+            |b, hashes| b.iter(|| dcs_crypto::merkle_root_with(black_box(hashes), &pool)),
         );
+        group.bench_with_input(
+            BenchmarkId::new("build/threads", threads),
+            &hashes,
+            |b, hashes| {
+                b.iter_batched(
+                    || hashes.clone(),
+                    |owned| MerkleTree::from_leaves_with(black_box(owned), &pool),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Serial vs parallel signature-batch verification — the block-witness
+/// workload the verification pipeline exists for.
+fn bench_verify_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_batch");
+    group.sample_size(10);
+    let batch = 16usize;
+    let mut kp = KeyPair::generate([7u8; 32], 4);
+    let pk = kp.public_key();
+    let items: Vec<(dcs_crypto::PublicKey, Hash256, Signature)> = (0..batch)
+        .map(|i| {
+            let msg = sha256(&(i as u64).to_le_bytes());
+            let sig = kp.sign(&msg).expect("capacity 16");
+            (pk, msg, sig)
+        })
+        .collect();
+    group.throughput(Throughput::Elements(batch as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let pool = VerifyPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &items, |b, items| {
+            b.iter(|| pool.verify_batch(black_box(items)))
+        });
     }
     group.finish();
 }
@@ -61,9 +122,18 @@ fn bench_signatures(c: &mut Criterion) {
     });
     let sig = kp.sign_with_index(&msg, 0).unwrap();
     let pk = kp.public_key();
-    group.bench_function("verify", |b| b.iter(|| pk.verify(black_box(&msg), black_box(&sig))));
+    group.bench_function("verify", |b| {
+        b.iter(|| pk.verify(black_box(&msg), black_box(&sig)))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_sha256, bench_merkle, bench_signatures);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_merkle,
+    bench_merkle_parallel,
+    bench_verify_batch,
+    bench_signatures
+);
 criterion_main!(benches);

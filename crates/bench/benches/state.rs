@@ -67,8 +67,12 @@ fn bench_account_db(c: &mut Criterion) {
                 db.credit(&Address::from_index(i), 1_000);
             }
             for i in 0..1_000u64 {
-                db.transfer(&Address::from_index(i), &Address::from_index((i + 1) % 1_000), 10)
-                    .unwrap();
+                db.transfer(
+                    &Address::from_index(i),
+                    &Address::from_index((i + 1) % 1_000),
+                    10,
+                )
+                .unwrap();
             }
             black_box(db.root())
         })
@@ -81,7 +85,8 @@ fn bench_account_db(c: &mut Criterion) {
         b.iter(|| {
             let snap = db.snapshot();
             for i in 0..100u64 {
-                db.transfer(&Address::from_index(i), &Address::from_index(i + 1), 1).unwrap();
+                db.transfer(&Address::from_index(i), &Address::from_index(i + 1), 1)
+                    .unwrap();
             }
             db.rollback(snap);
         })

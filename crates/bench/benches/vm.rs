@@ -38,7 +38,9 @@ fn bench_vm_loop(c: &mut Criterion) {
                 timestamp_us: 0,
                 height: 0,
             };
-            Vm::new(&schedule, 10_000_000).run(black_box(&code), &mut env).unwrap()
+            Vm::new(&schedule, 10_000_000)
+                .run(black_box(&code), &mut env)
+                .unwrap()
         })
     });
 }
@@ -47,7 +49,11 @@ fn bench_token_ops(c: &mut Criterion) {
     let schedule = GasSchedule::default();
     let alice = Address::from_index(1);
     let bob = Address::from_index(2);
-    let ctx = exec::BlockCtx { proposer: Address::from_index(9), timestamp_us: 0, height: 1 };
+    let ctx = exec::BlockCtx {
+        proposer: Address::from_index(9),
+        timestamp_us: 0,
+        height: 1,
+    };
 
     c.bench_function("vm/token_transfer_tx", |b| {
         b.iter_with_setup(
@@ -77,7 +83,13 @@ fn bench_token_ops(c: &mut Criterion) {
                     2,
                     1_000_000,
                 );
-                black_box(exec::execute_tx(&mut db, &tx, Hash256::ZERO, &ctx, &schedule))
+                black_box(exec::execute_tx(
+                    &mut db,
+                    &tx,
+                    Hash256::ZERO,
+                    &ctx,
+                    &schedule,
+                ))
             },
         )
     });

@@ -12,7 +12,11 @@ use dcs_bench::{experiments, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

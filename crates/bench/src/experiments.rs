@@ -10,7 +10,7 @@ use crate::Scale;
 
 /// All experiment ids, in presentation order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
     "f2",
 ];
 
@@ -35,6 +35,7 @@ pub fn run(id: &str, scale: Scale) {
         "e12" => consensus::e12_private_vs_public(scale),
         "e13" => security::e13_reorg_depth(scale),
         "e14" => security::e14_multichannel_swap(scale),
+        "e15" => scaling::e15_verify_pipeline(scale),
         "f2" => apps::f2_block_structure(),
         other => panic!("unknown experiment id {other:?}"),
     }

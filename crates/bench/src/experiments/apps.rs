@@ -4,9 +4,7 @@
 use crate::table::Table;
 use dcs_contracts::{exec, stdlib, AccountMachine, Word};
 use dcs_crypto::{sha256, Address, Hash256, MerkleTree};
-use dcs_primitives::{
-    AccountTx, Block, BlockHeader, GasSchedule, Seal, Transaction, TxPayload,
-};
+use dcs_primitives::{AccountTx, Block, BlockHeader, GasSchedule, Seal, Transaction, TxPayload};
 
 /// E11: per-operation gas — writes cost, reads are free, fees go to the
 /// proposer (§2.5's Solidity example, measured).
@@ -19,20 +17,25 @@ pub fn e11_gas_costs() {
     let alice = Address::from_index(1);
     let bob = Address::from_index(2);
     let proposer = Address::from_index(999);
-    let ctx = exec::BlockCtx { proposer, timestamp_us: 0, height: 1 };
+    let ctx = exec::BlockCtx {
+        proposer,
+        timestamp_us: 0,
+        height: 1,
+    };
     let mut machine = AccountMachine::with_alloc(&[(alice, 10_000_000_000)]);
     let db = &mut machine.db;
     let mut nonce = 0u64;
     let mut table = Table::new(&["operation", "status", "gas used", "fee to proposer"]);
 
-    let run = |db: &mut dcs_state::AccountDb,
-                   name: &str,
-                   tx: AccountTx,
-                   table: &mut Table| {
+    let run = |db: &mut dcs_state::AccountDb, name: &str, tx: AccountTx, table: &mut Table| {
         let r = exec::execute_tx(db, &tx, Hash256::ZERO, &ctx, &schedule);
         table.row(vec![
             name.into(),
-            if r.status.is_success() { "ok".into() } else { "failed".into() },
+            if r.status.is_success() {
+                "ok".into()
+            } else {
+                "failed".into()
+            },
             format!("{}", r.gas_used),
             format!("{}", r.fee_paid),
         ]);
@@ -40,26 +43,152 @@ pub fn e11_gas_costs() {
     };
 
     // Plain transfer.
-    run(db, "plain transfer", AccountTx::transfer(alice, bob, 100, { nonce += 1; nonce - 1 }), &mut table);
+    run(
+        db,
+        "plain transfer",
+        AccountTx::transfer(alice, bob, 100, {
+            nonce += 1;
+            nonce - 1
+        }),
+        &mut table,
+    );
     // Deployments.
-    let greeter = run(db, "deploy greeter", AccountTx::deploy(alice, stdlib::greeter(), { nonce += 1; nonce - 1 }, 10_000_000), &mut table);
-    let token = run(db, "deploy token", AccountTx::deploy(alice, stdlib::token(), { nonce += 1; nonce - 1 }, 10_000_000), &mut table);
-    let notary = run(db, "deploy notary", AccountTx::deploy(alice, stdlib::notary(), { nonce += 1; nonce - 1 }, 10_000_000), &mut table);
+    let greeter = run(
+        db,
+        "deploy greeter",
+        AccountTx::deploy(
+            alice,
+            stdlib::greeter(),
+            {
+                nonce += 1;
+                nonce - 1
+            },
+            10_000_000,
+        ),
+        &mut table,
+    );
+    let token = run(
+        db,
+        "deploy token",
+        AccountTx::deploy(
+            alice,
+            stdlib::token(),
+            {
+                nonce += 1;
+                nonce - 1
+            },
+            10_000_000,
+        ),
+        &mut table,
+    );
+    let notary = run(
+        db,
+        "deploy notary",
+        AccountTx::deploy(
+            alice,
+            stdlib::notary(),
+            {
+                nonce += 1;
+                nonce - 1
+            },
+            10_000_000,
+        ),
+        &mut table,
+    );
     // Calls.
-    run(db, "greeter.setGreeting (1 sstore + log)", AccountTx::call(alice, greeter, stdlib::greeter_set_input("hello"), 0, { nonce += 1; nonce - 1 }, 1_000_000), &mut table);
-    run(db, "token.mint (1 sload + 1 sstore)", AccountTx::call(alice, token, stdlib::token_mint_input(100_000), 0, { nonce += 1; nonce - 1 }, 1_000_000), &mut table);
-    run(db, "token.transfer (3 sload + 2 sstore)", AccountTx::call(alice, token, stdlib::token_transfer_input(&bob, 10), 0, { nonce += 1; nonce - 1 }, 1_000_000), &mut table);
-    run(db, "notary.register", AccountTx::call(alice, notary, stdlib::notary_register_input(&sha256(b"deed")), 0, { nonce += 1; nonce - 1 }, 1_000_000), &mut table);
+    run(
+        db,
+        "greeter.setGreeting (1 sstore + log)",
+        AccountTx::call(
+            alice,
+            greeter,
+            stdlib::greeter_set_input("hello"),
+            0,
+            {
+                nonce += 1;
+                nonce - 1
+            },
+            1_000_000,
+        ),
+        &mut table,
+    );
+    run(
+        db,
+        "token.mint (1 sload + 1 sstore)",
+        AccountTx::call(
+            alice,
+            token,
+            stdlib::token_mint_input(100_000),
+            0,
+            {
+                nonce += 1;
+                nonce - 1
+            },
+            1_000_000,
+        ),
+        &mut table,
+    );
+    run(
+        db,
+        "token.transfer (3 sload + 2 sstore)",
+        AccountTx::call(
+            alice,
+            token,
+            stdlib::token_transfer_input(&bob, 10),
+            0,
+            {
+                nonce += 1;
+                nonce - 1
+            },
+            1_000_000,
+        ),
+        &mut table,
+    );
+    run(
+        db,
+        "notary.register",
+        AccountTx::call(
+            alice,
+            notary,
+            stdlib::notary_register_input(&sha256(b"deed")),
+            0,
+            {
+                nonce += 1;
+                nonce - 1
+            },
+            1_000_000,
+        ),
+        &mut table,
+    );
     // A reverting call still burns its gas.
-    run(db, "notary.register duplicate (reverts)", AccountTx::call(alice, notary, stdlib::notary_register_input(&sha256(b"deed")), 0, { nonce += 1; nonce - 1 }, 1_000_000), &mut table);
+    run(
+        db,
+        "notary.register duplicate (reverts)",
+        AccountTx::call(
+            alice,
+            notary,
+            stdlib::notary_register_input(&sha256(b"deed")),
+            0,
+            {
+                nonce += 1;
+                nonce - 1
+            },
+            1_000_000,
+        ),
+        &mut table,
+    );
     // Data anchoring: priced per byte.
-    let mut anchor = AccountTx::transfer(alice, Address::ZERO, 0, { nonce += 1; nonce - 1 });
+    let mut anchor = AccountTx::transfer(alice, Address::ZERO, 0, {
+        nonce += 1;
+        nonce - 1
+    });
     anchor.payload = TxPayload::Data(vec![0u8; 256]);
     anchor.gas_limit = 100_000;
     run(db, "anchor 256 B of data", anchor, &mut table);
 
     // The free read (§2.5's `say()`).
-    let greeting = exec::query(db, &greeter, &alice, &stdlib::greeter_say_input()).expect("say runs");
+    let greeting =
+        exec::query(db, &greeter, &alice, &stdlib::greeter_say_input()).expect("say runs");
     table.row(vec![
         "greeter.say() — constant, off-chain".into(),
         "ok".into(),
@@ -95,7 +224,10 @@ pub fn f2_block_structure() {
         42,
         1_000_000,
         Address::from_index(7),
-        Seal::Work { nonce: 0xdead_beef, difficulty: 1 << 20 },
+        Seal::Work {
+            nonce: 0xdead_beef,
+            difficulty: 1 << 20,
+        },
     );
     let block = Block::new(header, txs);
 

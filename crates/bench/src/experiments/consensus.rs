@@ -3,6 +3,11 @@
 //! throughput), E4 (the DCS matrix), E5 (work per block), E12 (private vs
 //! public crossover).
 
+// Experiment parameter blocks override defaults field-by-field — including
+// nested fields, which struct-update syntax cannot express — so keep the one
+// idiom throughout instead of mixing literal and assignment forms.
+#![allow(clippy::field_reassign_with_default)]
+
 use crate::table::Table;
 use crate::Scale;
 use dcs_ledger::{builders, collect, workload::Workload, LedgerNode, SimResult};
@@ -46,7 +51,9 @@ fn late_window<P: LedgerNode>(nodes: &[P], window: u64) -> (f64, f64) {
 pub fn e1_pow_throughput_vs_hashpower(scale: Scale) {
     println!("\nE1 — PoW throughput vs total hash power (retargeting on)");
     println!("Paper claim: Bitcoin stays at 1 block/10 min and ~7 tps no matter how much");
-    println!("hash power joins (§2.7). Scaled here to a 60 s target, capacity 420 tx/block → 7 tps.\n");
+    println!(
+        "hash power joins (§2.7). Scaled here to a 60 s target, capacity 420 tx/block → 7 tps.\n"
+    );
     let duration = scale.pick(2_000, 20_000);
     // Exponential inter-block times are noisy: average over a wide window
     // of settled blocks at full scale.
@@ -246,7 +253,9 @@ pub fn e4_dcs_matrix(scale: Scale) {
     {
         let mut params = builders::PosParams::default();
         params.nodes = 16;
-        params.chain.consensus = ConsensusKind::ProofOfStake { slot_us: 10_000_000 };
+        params.chain.consensus = ConsensusKind::ProofOfStake {
+            slot_us: 10_000_000,
+        };
         let mut runner = builders::build_pos(&params, 13);
         let submitted = Workload::transfers(10.0, horizon, 200).inject(runner.net_mut(), 3);
         runner.run_until(at(duration + 60));
@@ -257,8 +266,9 @@ pub fn e4_dcs_matrix(scale: Scale) {
     {
         let mut params = builders::PoetParams::default();
         params.nodes = 16;
-        params.chain.consensus =
-            ConsensusKind::ProofOfElapsedTime { mean_wait_us: 16 * 10_000_000 };
+        params.chain.consensus = ConsensusKind::ProofOfElapsedTime {
+            mean_wait_us: 16 * 10_000_000,
+        };
         let mut runner = builders::build_poet(&params, 14);
         let submitted = Workload::transfers(10.0, horizon, 200).inject(runner.net_mut(), 4);
         runner.run_until(at(duration + 60));
@@ -329,7 +339,9 @@ pub fn e5_work_per_block(scale: Scale) {
     {
         let mut params = builders::PosParams::default();
         params.nodes = 8;
-        params.chain.consensus = ConsensusKind::ProofOfStake { slot_us: 60_000_000 };
+        params.chain.consensus = ConsensusKind::ProofOfStake {
+            slot_us: 60_000_000,
+        };
         let mut runner = builders::build_pos(&params, 22);
         runner.run_until(at(duration));
         let r = collect(runner.nodes(), &std::collections::HashMap::new(), horizon);
@@ -345,8 +357,9 @@ pub fn e5_work_per_block(scale: Scale) {
     {
         let mut params = builders::PoetParams::default();
         params.nodes = 8;
-        params.chain.consensus =
-            ConsensusKind::ProofOfElapsedTime { mean_wait_us: 8 * 60_000_000 };
+        params.chain.consensus = ConsensusKind::ProofOfElapsedTime {
+            mean_wait_us: 8 * 60_000_000,
+        };
         let mut runner = builders::build_poet(&params, 23);
         runner.run_until(at(duration));
         let r = collect(runner.nodes(), &std::collections::HashMap::new(), horizon);
@@ -371,9 +384,7 @@ pub fn e12_private_vs_public(scale: Scale) {
     println!("limited decentralization\" (§2.1). Load 50 tps.\n");
     let duration = scale.pick(60u64, 120);
     let horizon = SimDuration::from_secs(duration);
-    let mut table = Table::new(&[
-        "n", "engine", "committed (tps)", "mean latency", "nakamoto",
-    ]);
+    let mut table = Table::new(&["n", "engine", "committed (tps)", "mean latency", "nakamoto"]);
     for n in [4usize, 7, 10, 16] {
         // PBFT.
         {

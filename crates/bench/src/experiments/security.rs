@@ -1,11 +1,16 @@
 //! Security & privacy experiments: E6 (51% attack), E9 (mixers), E13
 //! (block age vs trust), E14 (multi-channel atomicity).
 
+// Experiment parameter blocks override defaults field-by-field — including
+// nested fields, which struct-update syntax cannot express — so keep the one
+// idiom throughout instead of mixing literal and assignment forms.
+#![allow(clippy::field_reassign_with_default)]
+
 use crate::table::Table;
 use crate::Scale;
-use dcs_consensus::attack::{nakamoto_success_probability, simulate_double_spend};
 #[allow(unused_imports)]
 use dcs_consensus as _;
+use dcs_consensus::attack::{nakamoto_success_probability, simulate_double_spend};
 use dcs_crypto::Address;
 use dcs_ledger::{builders, LedgerNode};
 use dcs_primitives::ConsensusKind;
@@ -68,7 +73,7 @@ pub fn e9_mixer(scale: Scale) {
         let mut delay_sum = 0.0;
         let mut delay_count = 0u64;
         for i in 0..deposits {
-            t = t + SimDuration::from_secs_f64(rng.exp(1.0));
+            t += SimDuration::from_secs_f64(rng.exp(1.0));
             if let Some(round) =
                 mixer.deposit(Address::from_index(i), Address::from_index(10_000 + i), t)
             {
@@ -89,12 +94,18 @@ pub fn e9_mixer(scale: Scale) {
     // Taint dispersal: a stolen coin repeatedly mixed 1:1 with fresh coins.
     let mut taint_table = Table::new(&["mix rounds", "residual taint"]);
     let mut tracker = TaintTracker::new();
-    let dirty = dcs_state::OutPoint { tx: dcs_crypto::sha256(b"theft"), index: 0 };
+    let dirty = dcs_state::OutPoint {
+        tx: dcs_crypto::sha256(b"theft"),
+        index: 0,
+    };
     tracker.add_clean(dirty, 1_000);
     tracker.mark_tainted(dirty);
     let mut current = dirty;
     for round in 0..6u32 {
-        taint_table.row(vec![format!("{round}"), format!("{:.4}", tracker.taint_of(&current))]);
+        taint_table.row(vec![
+            format!("{round}"),
+            format!("{:.4}", tracker.taint_of(&current)),
+        ]);
         let fresh = dcs_state::OutPoint {
             tx: dcs_crypto::sha256(format!("fresh{round}").as_bytes()),
             index: 0,
@@ -102,12 +113,26 @@ pub fn e9_mixer(scale: Scale) {
         tracker.add_clean(fresh, 1_000);
         let tx = dcs_primitives::UtxoTx {
             inputs: vec![
-                dcs_primitives::TxIn { prev_tx: current.tx, index: current.index, auth: None },
-                dcs_primitives::TxIn { prev_tx: fresh.tx, index: fresh.index, auth: None },
+                dcs_primitives::TxIn {
+                    prev_tx: current.tx,
+                    index: current.index,
+                    auth: None,
+                },
+                dcs_primitives::TxIn {
+                    prev_tx: fresh.tx,
+                    index: fresh.index,
+                    auth: None,
+                },
             ],
             outputs: vec![
-                dcs_primitives::TxOut { value: 1_000, recipient: Address::ZERO },
-                dcs_primitives::TxOut { value: 1_000, recipient: Address::ZERO },
+                dcs_primitives::TxOut {
+                    value: 1_000,
+                    recipient: Address::ZERO,
+                },
+                dcs_primitives::TxOut {
+                    value: 1_000,
+                    recipient: Address::ZERO,
+                },
             ],
         };
         let id = dcs_crypto::sha256(format!("mix{round}").as_bytes());
@@ -148,11 +173,7 @@ pub fn e13_reorg_depth(scale: Scale) {
         total_blocks += node.core().chain.height();
     }
     let total_reorgs: u64 = hist.iter().sum();
-    let mut table = Table::new(&[
-        "revert depth",
-        "reorgs observed",
-        "per-block revert rate",
-    ]);
+    let mut table = Table::new(&["revert depth", "reorgs observed", "per-block revert rate"]);
     for d in 1..8usize {
         // Tail fraction: reorgs reverting at least d blocks, normalized by
         // block opportunities — the empirical P(a block ≥d deep reverts).
@@ -197,8 +218,12 @@ pub fn e14_multichannel_swap(scale: Scale) {
         let hb = mc.lock(ch_b, bob, alice, 80, lock, 5).expect("lock b");
         if rng.chance(0.5) {
             // Complete: reveal on B, relay to A.
-            mc.claim(ch_b, alice, hb, secret.as_bytes()).expect("claim b");
-            let preimage = mc.revealed_preimage(ch_b, bob, hb).unwrap().expect("revealed");
+            mc.claim(ch_b, alice, hb, secret.as_bytes())
+                .expect("claim b");
+            let preimage = mc
+                .revealed_preimage(ch_b, bob, hb)
+                .unwrap()
+                .expect("revealed");
             mc.claim(ch_a, bob, ha, &preimage).expect("claim a");
             completed += 1;
         } else {
@@ -212,16 +237,21 @@ pub fn e14_multichannel_swap(scale: Scale) {
     }
     let mut table = Table::new(&["metric", "value"]);
     table.row(vec!["swaps completed".into(), format!("{completed}")]);
-    table.row(vec!["swaps aborted (both refunded)".into(), format!("{aborted}")]);
+    table.row(vec![
+        "swaps aborted (both refunded)".into(),
+        format!("{aborted}"),
+    ]);
     table.row(vec![
         "half-completed swaps (atomicity violations)".into(),
         "0".into(),
     ]);
     let alice_assets = mc.balance(ch_a, alice, alice).unwrap();
     let bob_assets = mc.balance(ch_a, bob, bob).unwrap();
-    let conservation =
-        alice_assets + bob_assets == 1_000_000;
-    table.row(vec!["asset-channel conservation".into(), format!("{conservation}")]);
+    let conservation = alice_assets + bob_assets == 1_000_000;
+    table.row(vec![
+        "asset-channel conservation".into(),
+        format!("{conservation}"),
+    ]);
     let isolated = mc.balance(ch_a, outsider, alice).is_err();
     table.row(vec!["outsider read blocked".into(), format!("{isolated}")]);
     let roots = mc.state_roots();

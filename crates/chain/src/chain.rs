@@ -9,9 +9,10 @@
 use crate::forkchoice::best_tip_with;
 use crate::store::BlockTree;
 use crate::ChainError;
-use dcs_crypto::Hash256;
-use dcs_primitives::{Block, ChainConfig, Receipt};
+use dcs_crypto::{merkle_root_with, Hash256, VerifyPipeline};
+use dcs_primitives::{Block, ChainConfig, Receipt, Transaction};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// The application layer beneath the chain: applies blocks to mutable state
 /// and can revert them. This is the platform's equivalent of the ABCI
@@ -47,7 +48,14 @@ impl StateMachine for NullMachine {
     type Undo = ();
 
     fn apply_block(&mut self, block: &Block) -> Result<(Vec<Receipt>, ()), String> {
-        Ok((block.txs.iter().map(|tx| Receipt::success(tx.id())).collect(), ()))
+        Ok((
+            block
+                .txs
+                .iter()
+                .map(|tx| Receipt::success(tx.id()))
+                .collect(),
+            (),
+        ))
     }
 
     fn revert_block(&mut self, _undo: ()) {}
@@ -111,6 +119,7 @@ pub struct Chain<M: StateMachine> {
     receipts: Vec<(Hash256, Vec<Receipt>)>,
     invalid: HashSet<Hash256>,
     stats: ChainStats,
+    pipeline: Option<Arc<VerifyPipeline>>,
     /// When true, `Seal::Work` headers must actually hash below their
     /// difficulty target (real grinding; used by low-difficulty tests).
     pub check_pow_hash: bool,
@@ -132,9 +141,32 @@ impl<M: StateMachine> Chain<M> {
             receipts: Vec::new(),
             invalid: HashSet::new(),
             stats: ChainStats::default(),
+            pipeline: None,
             check_pow_hash: false,
             enforce_block_limit: false,
         }
+    }
+
+    /// Routes the per-import body check (transaction ids + Merkle root)
+    /// through a verification pipeline: ids are computed on the pipeline's
+    /// worker pool and the root via parallel level hashing. The accepted
+    /// block set is unchanged — the same root comparison gates the same
+    /// [`ChainError::BadTxRoot`] — and the tree's serial recomputation is
+    /// skipped so each body is hashed exactly once.
+    pub fn with_pipeline(mut self, pipeline: Arc<VerifyPipeline>) -> Self {
+        self.set_pipeline(pipeline);
+        self
+    }
+
+    /// See [`Chain::with_pipeline`].
+    pub fn set_pipeline(&mut self, pipeline: Arc<VerifyPipeline>) {
+        self.pipeline = Some(pipeline);
+        self.tree.check_tx_roots = false;
+    }
+
+    /// The verification pipeline, if one is attached.
+    pub fn pipeline(&self) -> Option<&Arc<VerifyPipeline>> {
+        self.pipeline.as_ref()
     }
 
     /// The underlying block tree.
@@ -234,6 +266,21 @@ impl<M: StateMachine> Chain<M> {
         Ok(())
     }
 
+    /// Parallel replacement for the tree's serial transaction-root check,
+    /// active when a pipeline is attached: ids fan out over the worker pool
+    /// and the Merkle levels hash in parallel. Bit-identical decision to
+    /// `Block::verify_tx_root`.
+    fn check_body(&self, block: &Block) -> Result<(), ChainError> {
+        let Some(pipeline) = &self.pipeline else {
+            return Ok(()); // BlockTree::insert performs the serial check
+        };
+        let ids = pipeline.pool().map(&block.txs, Transaction::id);
+        if merkle_root_with(&ids, pipeline.pool()) != block.header.tx_root {
+            return Err(ChainError::BadTxRoot);
+        }
+        Ok(())
+    }
+
     /// Imports a block: stores it, recomputes fork choice, and applies or
     /// reorgs the state machine as needed.
     ///
@@ -245,6 +292,7 @@ impl<M: StateMachine> Chain<M> {
     pub fn import(&mut self, block: Block) -> Result<ChainEvent, ChainError> {
         self.check_seal(&block)?;
         self.check_rules(&block)?;
+        self.check_body(&block)?;
         let inserted = self.tree.insert_or_orphan(block)?;
         if inserted.is_empty() {
             return Ok(ChainEvent::Orphaned);
@@ -287,7 +335,13 @@ impl<M: StateMachine> Chain<M> {
                 return Ok(None);
             }
             let ancestor = self.tree.common_ancestor(&old_tip, &new_tip);
-            let anc_height = self.tree.get(&ancestor).expect("ancestor stored").block.header.height;
+            let anc_height = self
+                .tree
+                .get(&ancestor)
+                .expect("ancestor stored")
+                .block
+                .header
+                .height;
 
             // Revert the old branch down to the ancestor.
             let mut reverted = 0u64;
@@ -303,7 +357,13 @@ impl<M: StateMachine> Chain<M> {
             let mut cur = new_tip;
             while cur != ancestor {
                 to_apply.push(cur);
-                cur = self.tree.get(&cur).expect("path stored").block.header.parent;
+                cur = self
+                    .tree
+                    .get(&cur)
+                    .expect("path stored")
+                    .block
+                    .header
+                    .parent;
             }
             to_apply.reverse();
 
@@ -348,7 +408,13 @@ impl<M: StateMachine> Chain<M> {
                 let mut cur = old_tip;
                 while cur != ancestor {
                     old_branch.push(cur);
-                    cur = self.tree.get(&cur).expect("old path stored").block.header.parent;
+                    cur = self
+                        .tree
+                        .get(&cur)
+                        .expect("old path stored")
+                        .block
+                        .header
+                        .parent;
                 }
                 old_branch.reverse();
                 for hash in old_branch {
@@ -371,7 +437,11 @@ impl<M: StateMachine> Chain<M> {
                 self.stats.max_reorg_depth = self.stats.max_reorg_depth.max(reverted);
                 self.stats.blocks_reverted += reverted;
                 self.stats.reorg_depth_hist[(reverted as usize).min(15)] += 1;
-                ChainEvent::Reorg { reverted, applied, new_tip }
+                ChainEvent::Reorg {
+                    reverted,
+                    applied,
+                    new_tip,
+                }
             };
             return Ok(Some(event));
         }
@@ -433,7 +503,14 @@ mod tests {
 
         // b2 makes the b-branch longer → reorg of depth 1.
         let ev = chain.import(b2.clone()).unwrap();
-        assert_eq!(ev, ChainEvent::Reorg { reverted: 1, applied: 2, new_tip: b2.hash() });
+        assert_eq!(
+            ev,
+            ChainEvent::Reorg {
+                reverted: 1,
+                applied: 2,
+                new_tip: b2.hash()
+            }
+        );
         assert_eq!(chain.canonical(), &[g.hash(), b1.hash(), b2.hash()]);
         assert_eq!(chain.stats().reorgs, 1);
         assert_eq!(chain.stats().max_reorg_depth, 1);
@@ -451,7 +528,14 @@ mod tests {
         assert_eq!(chain.height(), 0);
         let ev = chain.import(b1.clone()).unwrap();
         // b1 connects and pulls in b2 → head jumps two blocks.
-        assert!(matches!(ev, ChainEvent::Reorg { reverted: 0, applied: 2, .. }));
+        assert!(matches!(
+            ev,
+            ChainEvent::Reorg {
+                reverted: 0,
+                applied: 2,
+                ..
+            }
+        ));
         assert_eq!(chain.tip_hash(), b2.hash());
     }
 
@@ -527,6 +611,67 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_body_check_matches_serial_decisions() {
+        // Serial chain and pipelined chain must accept and reject the same
+        // blocks, and land on identical canonical chains.
+        let g = crate::genesis_block(&cfg());
+        let mut serial = Chain::new(g.clone(), cfg(), NullMachine);
+        let mut piped = Chain::new(g.clone(), cfg(), NullMachine)
+            .with_pipeline(std::sync::Arc::new(VerifyPipeline::new(4, 0)));
+
+        let tx = |v| {
+            Transaction::Account(AccountTx::transfer(
+                Address::from_index(1),
+                Address::from_index(2),
+                v,
+                0,
+            ))
+        };
+        let b1 = Block::new(
+            BlockHeader::new(g.hash(), 1, 1, Address::from_index(1), Seal::None),
+            (0..10).map(tx).collect(),
+        );
+        assert_eq!(
+            serial.import(b1.clone()).unwrap(),
+            piped.import(b1.clone()).unwrap()
+        );
+
+        // A body/header mismatch is rejected by both, with the same error.
+        let mut tampered = Block::new(
+            BlockHeader::new(b1.hash(), 2, 2, Address::from_index(2), Seal::None),
+            (10..14).map(tx).collect(),
+        );
+        tampered.txs.push(tx(99)); // body no longer matches the committed root
+        assert_eq!(serial.import(tampered.clone()), Err(ChainError::BadTxRoot));
+        assert_eq!(piped.import(tampered), Err(ChainError::BadTxRoot));
+
+        let b2 = Block::new(
+            BlockHeader::new(b1.hash(), 2, 2, Address::from_index(2), Seal::None),
+            (10..14).map(tx).collect(),
+        );
+        serial.import(b2.clone()).unwrap();
+        piped.import(b2).unwrap();
+        assert_eq!(serial.canonical(), piped.canonical());
+    }
+
+    #[test]
+    fn pipelined_chain_rejects_tampered_orphan_at_import() {
+        // With a pipeline the body check runs at import even for orphans.
+        let g = crate::genesis_block(&cfg());
+        let mut chain = Chain::new(g.clone(), cfg(), NullMachine)
+            .with_pipeline(std::sync::Arc::new(VerifyPipeline::serial()));
+        let b1 = child(&g, 1);
+        let mut orphan = child(&b1, 2);
+        orphan.txs.push(Transaction::Account(AccountTx::transfer(
+            Address::from_index(1),
+            Address::from_index(2),
+            5,
+            0,
+        )));
+        assert_eq!(chain.import(orphan), Err(ChainError::BadTxRoot));
+    }
+
+    #[test]
     fn pow_hash_check_enforced_when_enabled() {
         let g = crate::genesis_block(&cfg());
         let mut chain = Chain::new(g.clone(), cfg(), NullMachine);
@@ -539,7 +684,10 @@ mod tests {
                 1,
                 1,
                 Address::ZERO,
-                Seal::Work { nonce: 12345, difficulty: 1 << 16 },
+                Seal::Work {
+                    nonce: 12345,
+                    difficulty: 1 << 16,
+                },
             ),
             vec![],
         );

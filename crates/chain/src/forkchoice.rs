@@ -72,8 +72,7 @@ fn extremal_tip(
     // Every leaf is non-viable (e.g. the only extension of the chain failed
     // validation): pick the best *interior* viable block instead — the
     // chain must never abandon already-valid history.
-    pick_best(&mut tree.iter().map(|sb| sb.block.hash()))
-        .unwrap_or_else(|| tree.genesis())
+    pick_best(&mut tree.iter().map(|sb| sb.block.hash())).unwrap_or_else(|| tree.genesis())
 }
 
 /// GHOST: starting from genesis, repeatedly step into the child whose
@@ -144,7 +143,10 @@ mod tests {
                 parent.header.height + 1,
                 salt,
                 Address::from_index(salt),
-                Seal::Work { nonce: salt, difficulty },
+                Seal::Work {
+                    nonce: salt,
+                    difficulty,
+                },
             ),
             vec![],
         )
@@ -178,7 +180,11 @@ mod tests {
     #[test]
     fn genesis_only_tree_returns_genesis() {
         let tree = BlockTree::new(genesis());
-        for rule in [ForkChoice::LongestChain, ForkChoice::HeaviestWork, ForkChoice::Ghost] {
+        for rule in [
+            ForkChoice::LongestChain,
+            ForkChoice::HeaviestWork,
+            ForkChoice::Ghost,
+        ] {
             assert_eq!(best_tip(&tree, rule), tree.genesis());
         }
     }
@@ -225,7 +231,11 @@ mod tests {
         tree.insert(first.clone()).unwrap();
         tree.insert(second.clone()).unwrap();
         // Equal height, equal work, equal subtree size → first arrival wins.
-        for rule in [ForkChoice::LongestChain, ForkChoice::HeaviestWork, ForkChoice::Ghost] {
+        for rule in [
+            ForkChoice::LongestChain,
+            ForkChoice::HeaviestWork,
+            ForkChoice::Ghost,
+        ] {
             assert_eq!(best_tip(&tree, rule), first.hash(), "{rule:?}");
         }
     }

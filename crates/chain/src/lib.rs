@@ -90,13 +90,7 @@ impl std::error::Error for ChainError {}
 /// Builds the deterministic genesis block for a configuration.
 pub fn genesis_block(cfg: &ChainConfig) -> Block {
     Block::new(
-        BlockHeader::new(
-            dcs_crypto::Hash256::ZERO,
-            0,
-            0,
-            Address::ZERO,
-            Seal::None,
-        ),
+        BlockHeader::new(dcs_crypto::Hash256::ZERO, 0, 0, Address::ZERO, Seal::None),
         vec![dcs_primitives::Transaction::Coinbase {
             to: Address::ZERO,
             value: 0,

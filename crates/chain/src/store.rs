@@ -27,6 +27,11 @@ pub struct BlockTree {
     genesis: Hash256,
     orphans: HashMap<Hash256, Vec<Block>>, // parent hash → waiting blocks
     arrivals: u64,
+    /// When false, [`BlockTree::insert`] skips its serial transaction-root
+    /// recomputation. Only [`Chain`](crate::Chain) flips this, after taking
+    /// over the check with a parallel verification pipeline — every block
+    /// still has its root verified exactly once.
+    pub check_tx_roots: bool,
 }
 
 impl BlockTree {
@@ -36,9 +41,20 @@ impl BlockTree {
         let mut blocks = HashMap::new();
         blocks.insert(
             gh,
-            StoredBlock { total_work: genesis.header.work(), block: genesis, children: Vec::new(), arrival: 0 },
+            StoredBlock {
+                total_work: genesis.header.work(),
+                block: genesis,
+                children: Vec::new(),
+                arrival: 0,
+            },
         );
-        BlockTree { blocks, genesis: gh, orphans: HashMap::new(), arrivals: 1 }
+        BlockTree {
+            blocks,
+            genesis: gh,
+            orphans: HashMap::new(),
+            arrivals: 1,
+            check_tx_roots: true,
+        }
     }
 
     /// The genesis hash.
@@ -92,17 +108,27 @@ impl BlockTree {
             .ok_or(ChainError::UnknownParent(block.header.parent))?;
         let expected = parent.block.header.height + 1;
         if block.header.height != expected {
-            return Err(ChainError::BadHeight { got: block.header.height, expected });
+            return Err(ChainError::BadHeight {
+                got: block.header.height,
+                expected,
+            });
         }
-        if !block.verify_tx_root() {
+        if self.check_tx_roots && !block.verify_tx_root() {
             return Err(ChainError::BadTxRoot);
         }
         let total_work = parent.total_work + block.header.work();
         let parent_hash = block.header.parent;
         let arrival = self.arrivals;
         self.arrivals += 1;
-        self.blocks
-            .insert(hash, StoredBlock { block, total_work, children: Vec::new(), arrival });
+        self.blocks.insert(
+            hash,
+            StoredBlock {
+                block,
+                total_work,
+                children: Vec::new(),
+                arrival,
+            },
+        );
         self.blocks
             .get_mut(&parent_hash)
             .expect("parent checked above")
@@ -120,7 +146,10 @@ impl BlockTree {
     /// Structural errors other than `UnknownParent` are returned as-is.
     pub fn insert_or_orphan(&mut self, block: Block) -> Result<Vec<Hash256>, ChainError> {
         if !self.blocks.contains_key(&block.header.parent) {
-            self.orphans.entry(block.header.parent).or_default().push(block);
+            self.orphans
+                .entry(block.header.parent)
+                .or_default()
+                .push(block);
             return Ok(vec![]);
         }
         let hash = self.insert(block)?;
@@ -265,7 +294,10 @@ mod tests {
         b1.header.height = 5;
         assert_eq!(
             tree.insert(b1),
-            Err(ChainError::BadHeight { got: 5, expected: 1 })
+            Err(ChainError::BadHeight {
+                got: 5,
+                expected: 1
+            })
         );
     }
 
@@ -283,7 +315,10 @@ mod tests {
         let g = genesis();
         let mut tree = BlockTree::new(g.clone());
         let mut b1 = child_of(&g, 1);
-        b1.header.seal = Seal::Work { nonce: 0, difficulty: 1024 };
+        b1.header.seal = Seal::Work {
+            nonce: 0,
+            difficulty: 1024,
+        };
         let b1 = Block::new(b1.header, vec![]);
         let h1 = tree.insert(b1.clone()).unwrap();
         assert_eq!(tree.get(&h1).unwrap().total_work, 1 + 1024);

@@ -24,7 +24,10 @@ fn make_blocks(spec: &[(usize, u64)], genesis: &Block) -> Vec<Block> {
                 parent.header.height + 1,
                 *salt,
                 Address::from_index(*salt % 16),
-                Seal::Work { nonce: *salt, difficulty: 1 + salt % 1_000 },
+                Seal::Work {
+                    nonce: *salt,
+                    difficulty: 1 + salt % 1_000,
+                },
             ),
             vec![Transaction::Coinbase {
                 to: Address::from_index(*salt % 16),

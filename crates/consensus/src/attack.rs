@@ -17,7 +17,10 @@ use dcs_sim::Rng;
 ///
 /// Panics if `q` is not in `[0, 1]`.
 pub fn nakamoto_success_probability(q: f64, z: u32) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "attacker share must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "attacker share must be in [0,1], got {q}"
+    );
     if q <= 0.0 {
         return 0.0;
     }
@@ -63,7 +66,10 @@ pub fn simulate_double_spend(
     give_up_deficit: i64,
     seed: u64,
 ) -> RaceResult {
-    assert!((0.0..=1.0).contains(&q), "attacker share must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "attacker share must be in [0,1], got {q}"
+    );
     let mut rng = Rng::seed_from(seed);
     let mut successes = 0u32;
     let mut total_blocks = 0u64;

@@ -36,13 +36,26 @@ pub fn next_difficulty<M: StateMachine>(
     let (Some(hi_hash), Some(lo_hash)) = (chain.canonical_at(hi), chain.canonical_at(lo)) else {
         return initial.max(1);
     };
-    let hi_hdr = &chain.tree().get(&hi_hash).expect("canonical stored").block.header;
-    let lo_hdr = &chain.tree().get(&lo_hash).expect("canonical stored").block.header;
+    let hi_hdr = &chain
+        .tree()
+        .get(&hi_hash)
+        .expect("canonical stored")
+        .block
+        .header;
+    let lo_hdr = &chain
+        .tree()
+        .get(&lo_hash)
+        .expect("canonical stored")
+        .block
+        .header;
     let prev_difficulty = match hi_hdr.seal {
         Seal::Work { difficulty, .. } => difficulty.max(1),
         _ => initial.max(1),
     };
-    let observed_us = hi_hdr.timestamp_us.saturating_sub(lo_hdr.timestamp_us).max(1);
+    let observed_us = hi_hdr
+        .timestamp_us
+        .saturating_sub(lo_hdr.timestamp_us)
+        .max(1);
     let target_total = target_interval_us.saturating_mul(window).max(1);
     let ratio = (target_total as f64 / observed_us as f64).clamp(1.0 / MAX_ADJUST, MAX_ADJUST);
     ((prev_difficulty as f64 * ratio).round() as u64).max(1)
@@ -67,7 +80,10 @@ mod tests {
                     h,
                     h * interval_us,
                     Address::from_index(h),
-                    Seal::Work { nonce: h, difficulty },
+                    Seal::Work {
+                        nonce: h,
+                        difficulty,
+                    },
                 ),
                 vec![],
             );

@@ -77,7 +77,11 @@ pub fn approx_tx_size(tx: &Transaction) -> usize {
     match tx {
         Transaction::Coinbase { .. } => 45,
         Transaction::Utxo(u) => {
-            40 + u.inputs.iter().map(|i| 40 + if i.auth.is_some() { 2_300 } else { 0 }).sum::<usize>()
+            40 + u
+                .inputs
+                .iter()
+                .map(|i| 40 + if i.auth.is_some() { 2_300 } else { 0 })
+                .sum::<usize>()
                 + u.outputs.len() * 28
         }
         Transaction::Account(a) => {
@@ -126,7 +130,11 @@ mod tests {
 
     #[test]
     fn gossip_ids_match_content_hashes() {
-        let tx = Arc::new(Transaction::Coinbase { to: Address::ZERO, value: 1, height: 0 });
+        let tx = Arc::new(Transaction::Coinbase {
+            to: Address::ZERO,
+            value: 1,
+            height: 0,
+        });
         assert_eq!(gossip_id(&WireMsg::Tx(tx.clone())), Some(tx.id()));
     }
 }

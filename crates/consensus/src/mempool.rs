@@ -3,7 +3,7 @@
 //! pooled into blocks"). FIFO ordering with a capacity bound; duplicates by
 //! transaction id are rejected.
 
-use dcs_crypto::Hash256;
+use dcs_crypto::{Hash256, VerifyItem, VerifyPipeline};
 use dcs_primitives::Transaction;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -31,12 +31,72 @@ pub struct Mempool {
     txs: HashMap<Hash256, Arc<Transaction>>,
     order: VecDeque<Hash256>,
     capacity: usize,
+    admission: Option<Arc<VerifyPipeline>>,
+    rejected_invalid: u64,
 }
 
 impl Mempool {
     /// Creates a pool bounded at `capacity` transactions.
     pub fn new(capacity: usize) -> Self {
-        Mempool { txs: HashMap::new(), order: VecDeque::new(), capacity }
+        Mempool {
+            txs: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            admission: None,
+            rejected_invalid: 0,
+        }
+    }
+
+    /// A pool that verifies witness signatures at admission through
+    /// `pipeline`. Forged signatures are rejected at the door, and — because
+    /// verdicts land in the pipeline's shared signature cache — a block
+    /// built from this pool connects without re-verifying any admitted
+    /// signature: block prevalidation hits the cache instead.
+    pub fn with_admission(capacity: usize, pipeline: Arc<VerifyPipeline>) -> Self {
+        let mut pool = Mempool::new(capacity);
+        pool.admission = Some(pipeline);
+        pool
+    }
+
+    /// The admission pipeline, if one is configured.
+    pub fn admission(&self) -> Option<&Arc<VerifyPipeline>> {
+        self.admission.as_ref()
+    }
+
+    /// Transactions rejected at admission for carrying a bad witness.
+    pub fn rejected_invalid(&self) -> u64 {
+        self.rejected_invalid
+    }
+
+    /// Checks every witness the transaction carries through the admission
+    /// pipeline (warming the signature cache). Unsigned transactions pass —
+    /// whether signatures are *required* is the state machine's policy;
+    /// admission only refuses signatures that are present and wrong.
+    fn admit(&self, tx: &Transaction) -> bool {
+        let Some(pipeline) = &self.admission else {
+            return true;
+        };
+        let signing_hash = tx.signing_hash();
+        let mut items: Vec<VerifyItem<'_>> = Vec::new();
+        match tx {
+            Transaction::Utxo(utx) => {
+                for input in &utx.inputs {
+                    if let Some(auth) = &input.auth {
+                        items.push((&auth.pubkey, &signing_hash, &auth.signature));
+                    }
+                }
+            }
+            Transaction::Account(acct) => {
+                if let Some(auth) = &acct.auth {
+                    if auth.pubkey.address() != acct.from {
+                        return false;
+                    }
+                    items.push((&auth.pubkey, &signing_hash, &auth.signature));
+                }
+            }
+            Transaction::Coinbase { .. } => {}
+        }
+        items.is_empty() || !pipeline.verify_batch_refs(&items).contains(&false)
     }
 
     /// Pending transaction count.
@@ -54,14 +114,18 @@ impl Mempool {
         self.txs.contains_key(id)
     }
 
-    /// Adds a transaction; returns false if it is a duplicate or the pool is
-    /// full.
+    /// Adds a transaction; returns false if it is a duplicate, the pool is
+    /// full, or (with an admission pipeline) it carries a forged witness.
     pub fn insert(&mut self, tx: Arc<Transaction>) -> bool {
         if self.txs.len() >= self.capacity {
             return false;
         }
         let id = tx.id();
         if self.txs.contains_key(&id) {
+            return false;
+        }
+        if !self.admit(&tx) {
+            self.rejected_invalid += 1;
             return false;
         }
         self.order.push_back(id);
@@ -151,6 +215,85 @@ mod tests {
         assert!(!pool.insert(tx(3)), "full pool rejects");
         pool.remove(&tx(1).id());
         assert!(pool.insert(tx(3)), "space freed");
+    }
+
+    #[test]
+    fn admission_rejects_forged_and_warms_cache_for_block_connect() {
+        use dcs_primitives::{TxAuth, TxIn, TxOut, UtxoTx};
+        use dcs_state::UtxoSet;
+
+        let mut kp = dcs_crypto::KeyPair::generate([21u8; 32], 3);
+        let addr = kp.address();
+        let mut set = UtxoSet::with_witness_verification();
+        let op = set.mint(addr, 100);
+
+        let pipeline = Arc::new(VerifyPipeline::new(2, 4096));
+        let mut pool = Mempool::with_admission(16, Arc::clone(&pipeline));
+
+        // A well-signed spend is admitted (and its verdict cached)...
+        let mut utx = UtxoTx {
+            inputs: vec![TxIn {
+                prev_tx: op.tx,
+                index: op.index,
+                auth: None,
+            }],
+            outputs: vec![TxOut {
+                value: 100,
+                recipient: addr,
+            }],
+        };
+        let signing = Transaction::Utxo(utx.clone()).signing_hash();
+        let sig = kp.sign(&signing).unwrap();
+        utx.inputs[0].auth = Some(TxAuth {
+            pubkey: kp.public_key(),
+            signature: sig,
+        });
+        let good = Transaction::Utxo(utx.clone());
+        assert!(pool.insert(Arc::new(good.clone())));
+
+        // ...a forged one is refused at the door.
+        let mut forged_utx = utx;
+        forged_utx.inputs[0].auth.as_mut().unwrap().signature =
+            kp.sign(&dcs_crypto::sha256(b"other")).unwrap();
+        assert!(!pool.insert(Arc::new(Transaction::Utxo(forged_utx))));
+        assert_eq!(pool.rejected_invalid(), 1);
+        assert_eq!(pool.len(), 1);
+
+        // Mempool → block flow: the block containing the admitted tx
+        // prevalidates entirely from the cache — hits, no new misses.
+        let body = pool.select(10, &HashSet::new());
+        let before = pipeline.stats().cache.unwrap();
+        assert_eq!(UtxoSet::prevalidate_witnesses(&body, &pipeline), Ok(1));
+        let after = pipeline.stats().cache.unwrap();
+        assert!(
+            after.hits > before.hits,
+            "block connect must hit the warm cache"
+        );
+        assert_eq!(after.misses, before.misses, "no signature re-verified");
+        set.apply_prevalidated(&good).unwrap();
+        assert_eq!(set.balance_of(&addr), 100);
+    }
+
+    #[test]
+    fn admission_rejects_account_witness_key_mismatch() {
+        use dcs_primitives::{AccountTx, TxAuth};
+        let mut kp = dcs_crypto::KeyPair::generate([22u8; 32], 2);
+        let pipeline = Arc::new(VerifyPipeline::new(1, 64));
+        let mut pool = Mempool::with_admission(16, pipeline);
+
+        // Signature is genuine but the key is not the claimed sender's.
+        let mut acct = AccountTx::transfer(Address::from_index(42), Address::from_index(2), 5, 0);
+        let signing = Transaction::Account(acct.clone()).signing_hash();
+        let sig = kp.sign(&signing).unwrap();
+        acct.auth = Some(TxAuth {
+            pubkey: kp.public_key(),
+            signature: sig,
+        });
+        assert!(!pool.insert(Arc::new(Transaction::Account(acct))));
+        assert_eq!(pool.rejected_invalid(), 1);
+
+        // Unsigned transactions still pass (simulation mode).
+        assert!(pool.insert(tx(1)));
     }
 
     #[test]

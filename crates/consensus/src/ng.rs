@@ -49,7 +49,11 @@ impl<M: StateMachine> NgNode<M> {
         hash_power: f64,
     ) -> Self {
         assert!(hash_power > 0.0, "hash power must be positive");
-        let ConsensusKind::BitcoinNg { key_difficulty, micro_interval_us, .. } = config.consensus
+        let ConsensusKind::BitcoinNg {
+            key_difficulty,
+            micro_interval_us,
+            ..
+        } = config.consensus
         else {
             panic!("NgNode requires a BitcoinNg consensus config")
         };
@@ -70,7 +74,14 @@ impl<M: StateMachine> NgNode<M> {
     /// current leader. Falls back to genesis (no leader) if none.
     pub fn current_leader(&self) -> Option<(Hash256, Address)> {
         for hash in self.core.chain.canonical().iter().rev() {
-            let hdr = &self.core.chain.tree().get(hash).expect("canonical stored").block.header;
+            let hdr = &self
+                .core
+                .chain
+                .tree()
+                .get(hash)
+                .expect("canonical stored")
+                .block
+                .header;
             if matches!(hdr.seal, Seal::Work { .. }) {
                 return Some((*hash, hdr.proposer));
             }
@@ -79,7 +90,8 @@ impl<M: StateMachine> NgNode<M> {
     }
 
     fn i_am_leader(&self) -> bool {
-        self.current_leader().is_some_and(|(_, addr)| addr == self.core.address)
+        self.current_leader()
+            .is_some_and(|(_, addr)| addr == self.core.address)
     }
 
     fn settle_work(&mut self, now: SimTime) {
@@ -93,7 +105,10 @@ impl<M: StateMachine> NgNode<M> {
         self.mining_epoch += 1;
         let mean_secs = self.key_difficulty as f64 / self.hash_power;
         let solve = ctx.rng.exp(mean_secs);
-        ctx.set_timer(SimDuration::from_secs_f64(solve), TAG_MINE | self.mining_epoch);
+        ctx.set_timer(
+            SimDuration::from_secs_f64(solve),
+            TAG_MINE | self.mining_epoch,
+        );
     }
 
     fn maybe_start_leading(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
@@ -121,7 +136,10 @@ impl<M: StateMachine> Protocol for NgNode<M> {
             WireMsg::Block(block) => {
                 let is_key = matches!(block.header.seal, Seal::Work { .. });
                 if let Some(event) = self.core.handle_block(block, Some(from), ctx) {
-                    if matches!(event, ChainEvent::Extended { .. } | ChainEvent::Reorg { .. }) {
+                    if matches!(
+                        event,
+                        ChainEvent::Extended { .. } | ChainEvent::Reorg { .. }
+                    ) {
                         if is_key {
                             // New leader epoch: restart mining, and take over
                             // microblock production if the new key block is
@@ -168,7 +186,10 @@ impl<M: StateMachine> Protocol for NgNode<M> {
                 let (key_block, _) = self.current_leader().expect("leader exists");
                 self.micro_seq += 1;
                 if !self.core.mempool.is_empty() {
-                    let seal = Seal::Micro { key_block, sequence: self.micro_seq };
+                    let seal = Seal::Micro {
+                        key_block,
+                        sequence: self.micro_seq,
+                    };
                     let block = self.core.build_block(seal, ctx.now);
                     self.core.handle_block(block, None, ctx);
                 }

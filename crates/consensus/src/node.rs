@@ -33,7 +33,13 @@ pub struct NodeCore<M: StateMachine> {
 
 impl<M: StateMachine> NodeCore<M> {
     /// Builds a peer core over a fresh chain replica.
-    pub fn new(id: NodeId, address: Address, genesis: Block, config: ChainConfig, machine: M) -> Self {
+    pub fn new(
+        id: NodeId,
+        address: Address,
+        genesis: Block,
+        config: ChainConfig,
+        machine: M,
+    ) -> Self {
         NodeCore {
             id,
             address,
@@ -198,7 +204,11 @@ impl<M: StateMachine> NodeCore<M> {
         let fees: u64 = txs.iter().map(Transaction::offered_fee).sum();
         let reward = self.chain.config().block_reward;
         let mut body = Vec::with_capacity(txs.len() + 1);
-        body.push(Transaction::Coinbase { to: self.address, value: reward + fees, height });
+        body.push(Transaction::Coinbase {
+            to: self.address,
+            value: reward + fees,
+            height,
+        });
         body.append(&mut txs);
         let header = BlockHeader::new(parent, height, now.as_micros(), self.address, seal);
         self.blocks_produced += 1;

@@ -41,8 +41,11 @@ impl<M: StateMachine> OrderingNode<M> {
         machine: M,
         node_count: usize,
     ) -> Self {
-        let ConsensusKind::Ordering { batch_size, batch_timeout_us, rotate_every } =
-            config.consensus
+        let ConsensusKind::Ordering {
+            batch_size,
+            batch_timeout_us,
+            rotate_every,
+        } = config.consensus
         else {
             panic!("OrderingNode requires an Ordering consensus config")
         };
@@ -57,10 +60,10 @@ impl<M: StateMachine> OrderingNode<M> {
 
     /// Which peer orders the block at `height`.
     pub fn orderer_for_height(&self, height: u64) -> NodeId {
-        if self.rotate_every == 0 {
-            NodeId(0)
-        } else {
-            NodeId(((height / self.rotate_every) % self.node_count as u64) as usize)
+        match height.checked_div(self.rotate_every) {
+            // rotate_every == 0 means a fixed orderer.
+            None => NodeId(0),
+            Some(turn) => NodeId((turn % self.node_count as u64) as usize),
         }
     }
 
@@ -82,7 +85,11 @@ impl<M: StateMachine> OrderingNode<M> {
         }
         if pending >= self.batch_size || force {
             let height = self.core.chain.height() + 1;
-            let seal = Seal::Authority { view: 0, sequence: height, votes: 1 };
+            let seal = Seal::Authority {
+                view: 0,
+                sequence: height,
+                votes: 1,
+            };
             let block = self.core.build_block(seal, ctx.now);
             self.core.handle_block(block, None, ctx);
             // Immediately try again: a backlog larger than one batch should

@@ -103,7 +103,11 @@ impl<M: StateMachine> PbftNode<M> {
         n: usize,
     ) -> Self {
         assert!(n >= 4, "PBFT needs at least 4 replicas, got {n}");
-        let ConsensusKind::Pbft { batch_timeout_us, view_timeout_us, .. } = config.consensus
+        let ConsensusKind::Pbft {
+            batch_timeout_us,
+            view_timeout_us,
+            ..
+        } = config.consensus
         else {
             panic!("PbftNode requires a Pbft consensus config")
         };
@@ -165,7 +169,11 @@ impl<M: StateMachine> PbftNode<M> {
             return;
         }
         let seq = self.next_seq();
-        let seal = Seal::Authority { view: self.view, sequence: seq, votes: self.quorum() as u32 };
+        let seal = Seal::Authority {
+            view: self.view,
+            sequence: seq,
+            votes: self.quorum() as u32,
+        };
         let block = self.core.build_block(seal, ctx.now);
         self.in_flight = Some(seq);
         // The leader is its own first prepare voter.
@@ -174,7 +182,14 @@ impl<M: StateMachine> PbftNode<M> {
         entry.candidate = Some(block.clone());
         entry.prepares.insert(self.core.id);
         entry.sent_prepare = true;
-        self.send_all(PbftMsg::PrePrepare { view: self.view, seq, block }, ctx);
+        self.send_all(
+            PbftMsg::PrePrepare {
+                view: self.view,
+                seq,
+                block,
+            },
+            ctx,
+        );
         let view = self.view;
         self.send_all(PbftMsg::Prepare { view, seq, digest }, ctx);
         self.check_quorums(seq, ctx);
@@ -183,8 +198,12 @@ impl<M: StateMachine> PbftNode<M> {
     fn check_quorums(&mut self, seq: u64, ctx: &mut Ctx<'_, WireMsg>) {
         let quorum = self.quorum();
         let view = self.view;
-        let Some(entry) = self.state.get_mut(&seq) else { return };
-        let Some(block) = entry.candidate.clone() else { return };
+        let Some(entry) = self.state.get_mut(&seq) else {
+            return;
+        };
+        let Some(block) = entry.candidate.clone() else {
+            return;
+        };
         let digest = block.hash();
 
         if entry.prepares.len() >= quorum && !entry.sent_commit {
@@ -193,7 +212,9 @@ impl<M: StateMachine> PbftNode<M> {
             self.send_all(PbftMsg::Commit { view, seq, digest }, ctx);
         }
 
-        let Some(entry) = self.state.get_mut(&seq) else { return };
+        let Some(entry) = self.state.get_mut(&seq) else {
+            return;
+        };
         if entry.commits.len() >= quorum && seq == self.next_seq() {
             // Commit-time linkage check: the proposal must extend our tip
             // (it always does under an honest leader; a stale cross-view

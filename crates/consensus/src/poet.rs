@@ -35,7 +35,13 @@ impl<M: StateMachine> PoetNode<M> {
     /// # Panics
     ///
     /// Panics if the config is not `ProofOfElapsedTime`.
-    pub fn new(id: NodeId, address: Address, genesis: Block, config: ChainConfig, machine: M) -> Self {
+    pub fn new(
+        id: NodeId,
+        address: Address,
+        genesis: Block,
+        config: ChainConfig,
+        machine: M,
+    ) -> Self {
         let ConsensusKind::ProofOfElapsedTime { mean_wait_us } = config.consensus else {
             panic!("PoetNode requires a ProofOfElapsedTime consensus config")
         };
@@ -72,7 +78,10 @@ impl<M: StateMachine> Protocol for PoetNode<M> {
         match msg {
             WireMsg::Block(block) => {
                 if let Some(event) = self.core.handle_block(block, Some(from), ctx) {
-                    if matches!(event, ChainEvent::Extended { .. } | ChainEvent::Reorg { .. }) {
+                    if matches!(
+                        event,
+                        ChainEvent::Extended { .. } | ChainEvent::Reorg { .. }
+                    ) {
                         self.restart_wait(ctx);
                     }
                 }

@@ -29,8 +29,15 @@ impl StakeTable {
     /// Panics if lengths differ or total stake is zero.
     pub fn new(addresses: Vec<Address>, stakes: Vec<u64>, chain_id: u32) -> Self {
         assert_eq!(addresses.len(), stakes.len(), "one stake per validator");
-        assert!(stakes.iter().sum::<u64>() > 0, "total stake must be positive");
-        StakeTable { addresses, stakes, chain_id }
+        assert!(
+            stakes.iter().sum::<u64>() > 0,
+            "total stake must be positive"
+        );
+        StakeTable {
+            addresses,
+            stakes,
+            chain_id,
+        }
     }
 
     /// Number of validators.
@@ -68,7 +75,9 @@ impl StakeTable {
 
     /// Verifies a stake seal: right slot leader, right proof.
     pub fn verify_seal(&self, proposer: &Address, seal: &Seal) -> bool {
-        let Seal::Stake { slot, proof } = seal else { return false };
+        let Seal::Stake { slot, proof } = seal else {
+            return false;
+        };
         let leader = self.slot_leader(*slot);
         self.addresses[leader] == *proposer && *proof == self.slot_proof(*slot, proposer)
     }
@@ -199,16 +208,25 @@ mod tests {
         let slot = 5;
         let leader = t.slot_leader(slot);
         let proposer = Address::from_index(leader as u64);
-        let good = Seal::Stake { slot, proof: t.slot_proof(slot, &proposer) };
+        let good = Seal::Stake {
+            slot,
+            proof: t.slot_proof(slot, &proposer),
+        };
         assert!(t.verify_seal(&proposer, &good));
 
         // Wrong proposer.
         let imposter = Address::from_index(((leader + 1) % 4) as u64);
-        let forged = Seal::Stake { slot, proof: t.slot_proof(slot, &imposter) };
+        let forged = Seal::Stake {
+            slot,
+            proof: t.slot_proof(slot, &imposter),
+        };
         assert!(!t.verify_seal(&imposter, &forged));
 
         // Wrong proof.
-        let bad_proof = Seal::Stake { slot, proof: dcs_crypto::sha256(b"junk") };
+        let bad_proof = Seal::Stake {
+            slot,
+            proof: dcs_crypto::sha256(b"junk"),
+        };
         assert!(!t.verify_seal(&proposer, &bad_proof));
 
         // Wrong seal kind.

@@ -108,7 +108,10 @@ impl<M: StateMachine> Protocol for PowNode<M> {
                 if let Some(event) = self.core.handle_block(block, Some(from), ctx) {
                     // Mining restarts whenever the tip moves (the miner must
                     // build on the new best block).
-                    if matches!(event, ChainEvent::Extended { .. } | ChainEvent::Reorg { .. }) {
+                    if matches!(
+                        event,
+                        ChainEvent::Extended { .. } | ChainEvent::Reorg { .. }
+                    ) {
                         self.restart_mining(ctx);
                     }
                 }
@@ -129,7 +132,10 @@ impl<M: StateMachine> Protocol for PowNode<M> {
         }
         // Block found.
         let difficulty = self.current_difficulty();
-        let seal = Seal::Work { nonce: ctx.rng.next_u64(), difficulty };
+        let seal = Seal::Work {
+            nonce: ctx.rng.next_u64(),
+            difficulty,
+        };
         let block = self.core.build_block(seal, ctx.now);
         self.core.handle_block(block, None, ctx);
         self.restart_mining(ctx);
@@ -180,7 +186,10 @@ mod tests {
         // probability it still passes is ~2^-16.
         let harder = BlockHeader {
             seal: match mined.seal {
-                Seal::Work { nonce, .. } => Seal::Work { nonce, difficulty: 16 << 16 },
+                Seal::Work { nonce, .. } => Seal::Work {
+                    nonce,
+                    difficulty: 16 << 16,
+                },
                 _ => unreachable!(),
             },
             ..mined

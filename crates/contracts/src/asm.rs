@@ -181,16 +181,24 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
                 } else if text.starts_with('"') && text.ends_with('"') && text.len() >= 2 {
                     let s = &text[1..text.len() - 1];
                     if s.len() > 32 {
-                        return Err(AsmError::BadOperand { line: line_no, text: text.into() });
+                        return Err(AsmError::BadOperand {
+                            line: line_no,
+                            text: text.into(),
+                        });
                     }
                     items.push(Item::PushWord(Word::from_str_padded(s)));
                 } else if let Some(hex) = text.strip_prefix("0x") {
-                    if hex.is_empty() || hex.len() > 64 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
-                        return Err(AsmError::BadOperand { line: line_no, text: text.into() });
+                    if hex.is_empty()
+                        || hex.len() > 64
+                        || !hex.bytes().all(|b| b.is_ascii_hexdigit())
+                    {
+                        return Err(AsmError::BadOperand {
+                            line: line_no,
+                            text: text.into(),
+                        });
                     }
                     if hex.len() <= 16 {
-                        let value = u64::from_str_radix(hex, 16)
-                            .expect("validated hex digits");
+                        let value = u64::from_str_radix(hex, 16).expect("validated hex digits");
                         if value < 256 {
                             items.push(Item::PushSmall(value as u8));
                         } else {
@@ -208,9 +216,10 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
                         items.push(Item::PushWord(Word(word)));
                     }
                 } else {
-                    let value = text
-                        .parse::<u64>()
-                        .map_err(|_| AsmError::BadOperand { line: line_no, text: text.into() })?;
+                    let value = text.parse::<u64>().map_err(|_| AsmError::BadOperand {
+                        line: line_no,
+                        text: text.into(),
+                    })?;
                     if value < 256 {
                         items.push(Item::PushSmall(value as u8));
                     } else {
@@ -220,9 +229,10 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
             }
             "dup" | "swap" => {
                 let text = operand.ok_or(AsmError::MissingOperand { line: line_no })?;
-                let n: u8 = text
-                    .parse()
-                    .map_err(|_| AsmError::BadOperand { line: line_no, text: text.into() })?;
+                let n: u8 = text.parse().map_err(|_| AsmError::BadOperand {
+                    line: line_no,
+                    text: text.into(),
+                })?;
                 items.push(Item::Op(if mnemonic == "dup" { Op::Dup } else { Op::Swap }));
                 items.push(Item::Imm(n));
             }
@@ -242,7 +252,10 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
     for item in &items {
         if let Item::Label(name, line) = item {
             if labels.insert(name.clone(), pc).is_some() {
-                return Err(AsmError::DuplicateLabel { line: *line, label: name.clone() });
+                return Err(AsmError::DuplicateLabel {
+                    line: *line,
+                    label: name.clone(),
+                });
             }
         }
         pc += item.size() as u64;
@@ -268,9 +281,10 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
                 code.extend(w.0);
             }
             Item::PushLabel(name, line) => {
-                let target = *labels
-                    .get(&name)
-                    .ok_or(AsmError::UnknownLabel { line, label: name.clone() })?;
+                let target = *labels.get(&name).ok_or(AsmError::UnknownLabel {
+                    line,
+                    label: name.clone(),
+                })?;
                 code.push(Op::Push8 as u8);
                 code.extend(target.to_be_bytes());
             }
@@ -288,7 +302,14 @@ mod tests {
         let code = assemble("push 1\npush 2\nadd\nstop").unwrap();
         assert_eq!(
             code,
-            vec![Op::Push1 as u8, 1, Op::Push1 as u8, 2, Op::Add as u8, Op::Stop as u8]
+            vec![
+                Op::Push1 as u8,
+                1,
+                Op::Push1 as u8,
+                2,
+                Op::Add as u8,
+                Op::Stop as u8
+            ]
         );
     }
 
@@ -300,10 +321,9 @@ mod tests {
 
     #[test]
     fn labels_resolve_forward_and_backward() {
-        let code = assemble(
-            ":top\njumpdest\npush @end\njump\npush @top\njump\n:end\njumpdest\nstop",
-        )
-        .unwrap();
+        let code =
+            assemble(":top\njumpdest\npush @end\njump\npush @top\njump\n:end\njumpdest\nstop")
+                .unwrap();
         // :top at 0; :end at 0(label)+1(jumpdest)+9+1+9+1 = 21.
         assert_eq!(&code[1..10], &[Op::Push8 as u8, 0, 0, 0, 0, 0, 0, 0, 21]);
         assert_eq!(&code[11..20], &[Op::Push8 as u8, 0, 0, 0, 0, 0, 0, 0, 0]);
@@ -340,20 +360,32 @@ mod tests {
     fn errors_reported_with_lines() {
         assert_eq!(
             assemble("frobnicate"),
-            Err(AsmError::UnknownMnemonic { line: 1, text: "frobnicate".into() })
+            Err(AsmError::UnknownMnemonic {
+                line: 1,
+                text: "frobnicate".into()
+            })
         );
         assert_eq!(assemble("push"), Err(AsmError::MissingOperand { line: 1 }));
         assert_eq!(
             assemble("push zzz"),
-            Err(AsmError::BadOperand { line: 1, text: "zzz".into() })
+            Err(AsmError::BadOperand {
+                line: 1,
+                text: "zzz".into()
+            })
         );
         assert_eq!(
             assemble("push @nowhere"),
-            Err(AsmError::UnknownLabel { line: 1, label: "nowhere".into() })
+            Err(AsmError::UnknownLabel {
+                line: 1,
+                label: "nowhere".into()
+            })
         );
         assert_eq!(
             assemble(":a\n:a"),
-            Err(AsmError::DuplicateLabel { line: 2, label: "a".into() })
+            Err(AsmError::DuplicateLabel {
+                line: 2,
+                label: "a".into()
+            })
         );
     }
 

@@ -6,9 +6,7 @@
 
 use crate::vm::{ExecEnv, Vm, VmError};
 use dcs_crypto::{Address, Hash256};
-use dcs_primitives::{
-    AccountTx, Amount, GasSchedule, Receipt, Transaction, TxPayload, TxStatus,
-};
+use dcs_primitives::{AccountTx, Amount, GasSchedule, Receipt, Transaction, TxPayload, TxStatus};
 use dcs_state::AccountDb;
 
 /// Block-context parameters for execution.
@@ -52,7 +50,9 @@ pub fn execute_tx(
             format!("bad nonce: expected {expected_nonce}, got {}", tx.nonce),
         );
     }
-    let upfront = tx.value.saturating_add(tx.gas_limit.saturating_mul(tx.gas_price));
+    let upfront = tx
+        .value
+        .saturating_add(tx.gas_limit.saturating_mul(tx.gas_price));
     if db.balance(&tx.from) < upfront {
         return Receipt::failed(tx_id, "insufficient balance for value + gas");
     }
@@ -116,8 +116,7 @@ pub fn execute_tx(
                                 Ok(())
                             }
                             Err(e) => {
-                                gas_used =
-                                    gas_used.saturating_add(vm.gas_used()).min(tx.gas_limit);
+                                gas_used = gas_used.saturating_add(vm.gas_used()).min(tx.gas_limit);
                                 Err(e.to_string())
                             }
                         }
@@ -145,7 +144,13 @@ pub fn execute_tx(
     db.credit(&tx.from, refund);
     db.credit(&ctx.proposer, fee);
 
-    Receipt { tx_id, status, gas_used, fee_paid: fee, logs }
+    Receipt {
+        tx_id,
+        status,
+        gas_used,
+        fee_paid: fee,
+        logs,
+    }
 }
 
 /// Verifies a transaction witness. Returns an error string for
@@ -163,6 +168,47 @@ pub fn verify_witness(tx: &Transaction) -> Result<(), String> {
         return Err("witness signature invalid".into());
     }
     Ok(())
+}
+
+/// Batch equivalent of [`verify_witness`] over a whole block body: the
+/// stateless witness checks (key/sender match, signature validity) for every
+/// account transaction run through `pipeline` — in parallel, and through its
+/// signature cache. Accepts exactly the bodies the serial loop accepts, and
+/// rejects with the same message the serial loop would produce first.
+///
+/// Returns the number of signatures checked.
+///
+/// # Errors
+///
+/// The first (in block order) witness problem, as a block-invalidating
+/// error string.
+pub fn prevalidate_witnesses(
+    txs: &[Transaction],
+    pipeline: &dcs_crypto::VerifyPipeline,
+) -> Result<usize, String> {
+    let mut hashes = Vec::new();
+    let mut refs = Vec::new();
+    for tx in txs {
+        let Transaction::Account(acct) = tx else {
+            continue;
+        };
+        let auth = acct.auth.as_ref().ok_or("missing witness")?;
+        if auth.pubkey.address() != acct.from {
+            return Err("witness key does not match sender".into());
+        }
+        hashes.push(tx.signing_hash());
+        refs.push(auth);
+    }
+    let items: Vec<dcs_crypto::VerifyItem<'_>> = refs
+        .iter()
+        .zip(&hashes)
+        .map(|(auth, hash)| (&auth.pubkey, hash, &auth.signature))
+        .collect();
+    let verdicts = pipeline.verify_batch_refs(&items);
+    if verdicts.contains(&false) {
+        return Err("witness signature invalid".into());
+    }
+    Ok(items.len())
 }
 
 /// Executes a read-only contract call: runs the VM against the current
@@ -208,7 +254,11 @@ mod tests {
     use dcs_primitives::TxAuth;
 
     fn ctx() -> BlockCtx {
-        BlockCtx { proposer: Address::from_index(100), timestamp_us: 1_000, height: 3 }
+        BlockCtx {
+            proposer: Address::from_index(100),
+            timestamp_us: 1_000,
+            height: 3,
+        }
     }
 
     fn fund(db: &mut AccountDb, addr: &Address, amount: Amount) {
@@ -252,7 +302,10 @@ mod tests {
         fund(&mut db, &alice, 1_000); // can't cover 21k gas
         let tx = AccountTx::transfer(alice, Address::from_index(2), 10, 0);
         let r = execute_tx(&mut db, &tx, Hash256::ZERO, &ctx(), &GasSchedule::default());
-        assert_eq!(r.status, TxStatus::Failed("insufficient balance for value + gas".into()));
+        assert_eq!(
+            r.status,
+            TxStatus::Failed("insufficient balance for value + gas".into())
+        );
     }
 
     #[test]
@@ -263,7 +316,13 @@ mod tests {
         let code = crate::stdlib::greeter();
         let deploy = AccountTx::deploy(alice, code, 0, 1_000_000);
         let contract = deploy.contract_address();
-        let r = execute_tx(&mut db, &deploy, Hash256::ZERO, &ctx(), &GasSchedule::default());
+        let r = execute_tx(
+            &mut db,
+            &deploy,
+            Hash256::ZERO,
+            &ctx(),
+            &GasSchedule::default(),
+        );
         assert!(r.status.is_success(), "{:?}", r.status);
         assert!(db.code(&contract).is_some());
 
@@ -276,7 +335,13 @@ mod tests {
             1,
             1_000_000,
         );
-        let r = execute_tx(&mut db, &set, Hash256::ZERO, &ctx(), &GasSchedule::default());
+        let r = execute_tx(
+            &mut db,
+            &set,
+            Hash256::ZERO,
+            &ctx(),
+            &GasSchedule::default(),
+        );
         assert!(r.status.is_success(), "{:?}", r.status);
         assert!(
             r.gas_used > 21_000 + GasSchedule::default().storage_write,
@@ -286,7 +351,13 @@ mod tests {
         assert_eq!(r.logs.len(), 1, "setGreeting emits an event");
 
         // say() via free query — the paper's "constant" function.
-        let out = query(&mut db, &contract, &alice, &crate::stdlib::greeter_say_input()).unwrap();
+        let out = query(
+            &mut db,
+            &contract,
+            &alice,
+            &crate::stdlib::greeter_say_input(),
+        )
+        .unwrap();
         assert_eq!(
             crate::vm::Word(out.try_into().expect("32 bytes")).to_trimmed_string(),
             "hello world"
@@ -302,11 +373,23 @@ mod tests {
         let code = crate::assemble("push 0\npush 0\nrevert").unwrap();
         let deploy = AccountTx::deploy(alice, code, 0, 1_000_000);
         let contract = deploy.contract_address();
-        execute_tx(&mut db, &deploy, Hash256::ZERO, &ctx(), &GasSchedule::default());
+        execute_tx(
+            &mut db,
+            &deploy,
+            Hash256::ZERO,
+            &ctx(),
+            &GasSchedule::default(),
+        );
 
         let balance_before = db.balance(&alice);
         let call = AccountTx::call(alice, contract, vec![], 500, 1, 100_000);
-        let r = execute_tx(&mut db, &call, Hash256::ZERO, &ctx(), &GasSchedule::default());
+        let r = execute_tx(
+            &mut db,
+            &call,
+            Hash256::ZERO,
+            &ctx(),
+            &GasSchedule::default(),
+        );
         assert!(!r.status.is_success());
         // Value came back; gas did not.
         assert_eq!(db.balance(&alice), balance_before - r.fee_paid);
@@ -322,10 +405,22 @@ mod tests {
         let loop_code = crate::assemble(":top\njumpdest\npush @top\njump").unwrap();
         let deploy = AccountTx::deploy(alice, loop_code, 0, 1_000_000);
         let contract = deploy.contract_address();
-        execute_tx(&mut db, &deploy, Hash256::ZERO, &ctx(), &GasSchedule::default());
+        execute_tx(
+            &mut db,
+            &deploy,
+            Hash256::ZERO,
+            &ctx(),
+            &GasSchedule::default(),
+        );
 
         let call = AccountTx::call(alice, contract, vec![], 0, 1, 30_000);
-        let r = execute_tx(&mut db, &call, Hash256::ZERO, &ctx(), &GasSchedule::default());
+        let r = execute_tx(
+            &mut db,
+            &call,
+            Hash256::ZERO,
+            &ctx(),
+            &GasSchedule::default(),
+        );
         assert!(!r.status.is_success());
         assert_eq!(r.gas_used, 30_000, "never exceeds the limit");
     }
@@ -337,7 +432,13 @@ mod tests {
         let bob = Address::from_index(2);
         fund(&mut db, &alice, 10_000_000);
         let call = AccountTx::call(alice, bob, vec![1, 2, 3], 700, 0, 50_000);
-        let r = execute_tx(&mut db, &call, Hash256::ZERO, &ctx(), &GasSchedule::default());
+        let r = execute_tx(
+            &mut db,
+            &call,
+            Hash256::ZERO,
+            &ctx(),
+            &GasSchedule::default(),
+        );
         assert!(r.status.is_success());
         assert_eq!(db.balance(&bob), 700);
     }
@@ -351,7 +452,10 @@ mod tests {
 
         let h = unsigned.signing_hash();
         let sig = kp.sign(&h).unwrap();
-        acct.auth = Some(TxAuth { pubkey: kp.public_key(), signature: sig });
+        acct.auth = Some(TxAuth {
+            pubkey: kp.public_key(),
+            signature: sig,
+        });
         let signed = Transaction::Account(acct.clone());
         assert!(verify_witness(&signed).is_ok());
 

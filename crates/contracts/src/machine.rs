@@ -4,11 +4,12 @@
 //! generation-1.0 blocks over the UTXO set. Both support exact reorg
 //! rollback via undo logs.
 
-use crate::exec::{execute_tx, verify_witness, BlockCtx};
+use crate::exec::{execute_tx, prevalidate_witnesses, verify_witness, BlockCtx};
 use dcs_chain::StateMachine;
-use dcs_crypto::{Address, Hash256};
+use dcs_crypto::{Address, Hash256, VerifyPipeline};
 use dcs_primitives::{Amount, Block, GasSchedule, Receipt, Transaction};
 use dcs_state::{AccountDb, AccountUndo, UtxoSet, UtxoUndo};
+use std::sync::Arc;
 
 /// The account-model state machine (generations 2.0/3.0).
 #[derive(Debug, Default)]
@@ -19,6 +20,7 @@ pub struct AccountMachine {
     pub schedule: GasSchedule,
     /// Whether witnesses are demanded and verified (block-invalidating).
     pub verify_signatures: bool,
+    pipeline: Option<Arc<VerifyPipeline>>,
 }
 
 impl AccountMachine {
@@ -36,12 +38,36 @@ impl AccountMachine {
         m.db.clear_journal();
         m
     }
+
+    /// Routes witness verification through a shared verification pipeline:
+    /// all witnesses of a block are batch-verified (in parallel, through the
+    /// signature cache) before the serial execution loop. State transitions
+    /// are unchanged — the pipeline accepts and rejects exactly the blocks
+    /// the serial path does.
+    pub fn with_pipeline(mut self, pipeline: Arc<VerifyPipeline>) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// The verification pipeline, if one is attached.
+    pub fn pipeline(&self) -> Option<&Arc<VerifyPipeline>> {
+        self.pipeline.as_ref()
+    }
 }
 
 impl StateMachine for AccountMachine {
     type Undo = AccountUndo;
 
     fn apply_block(&mut self, block: &Block) -> Result<(Vec<Receipt>, AccountUndo), String> {
+        // Stateless prevalidation: batch-verify every witness up front so the
+        // serial execution loop below never touches a signature.
+        let prevalidated = match (self.verify_signatures, &self.pipeline) {
+            (true, Some(pipeline)) => {
+                prevalidate_witnesses(&block.txs, pipeline)?;
+                true
+            }
+            _ => false,
+        };
         let snapshot = self.db.snapshot();
         let ctx = BlockCtx {
             proposer: block.header.proposer,
@@ -56,13 +82,19 @@ impl StateMachine for AccountMachine {
                     receipts.push(Receipt::success(tx.id()));
                 }
                 Transaction::Account(acct) => {
-                    if self.verify_signatures {
+                    if self.verify_signatures && !prevalidated {
                         if let Err(e) = verify_witness(tx) {
                             self.db.rollback(snapshot);
                             return Err(e);
                         }
                     }
-                    receipts.push(execute_tx(&mut self.db, acct, tx.id(), &ctx, &self.schedule));
+                    receipts.push(execute_tx(
+                        &mut self.db,
+                        acct,
+                        tx.id(),
+                        &ctx,
+                        &self.schedule,
+                    ));
                 }
                 Transaction::Utxo(_) => {
                     self.db.rollback(snapshot);
@@ -87,6 +119,7 @@ impl StateMachine for AccountMachine {
 pub struct UtxoMachine {
     /// The unspent-output set.
     pub set: UtxoSet,
+    pipeline: Option<Arc<VerifyPipeline>>,
 }
 
 impl UtxoMachine {
@@ -104,12 +137,48 @@ impl UtxoMachine {
         }
         m
     }
+
+    /// A machine over `set` (typically
+    /// [`UtxoSet::with_witness_verification`]).
+    pub fn over(set: UtxoSet) -> Self {
+        UtxoMachine {
+            set,
+            pipeline: None,
+        }
+    }
+
+    /// Routes witness verification through a shared verification pipeline:
+    /// block signatures are batch-verified statelessly before the serial
+    /// apply loop, which then skips per-input signature re-verification.
+    /// Stateful checks (existence, ownership, balance) and state roots are
+    /// unchanged for any thread count.
+    pub fn with_pipeline(mut self, pipeline: Arc<VerifyPipeline>) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// The verification pipeline, if one is attached.
+    pub fn pipeline(&self) -> Option<&Arc<VerifyPipeline>> {
+        self.pipeline.as_ref()
+    }
 }
 
 impl StateMachine for UtxoMachine {
     type Undo = Vec<UtxoUndo>;
 
     fn apply_block(&mut self, block: &Block) -> Result<(Vec<Receipt>, Vec<UtxoUndo>), String> {
+        // Phase 1 (stateless, parallel): batch-verify every witness
+        // signature in the body through the pipeline. Existence/ownership/
+        // balance checks cannot run here — an input may be created by an
+        // earlier transaction of this very block — so they stay serial.
+        let prevalidated = match &self.pipeline {
+            Some(pipeline) if self.set.verifies_witnesses() => {
+                UtxoSet::prevalidate_witnesses(&block.txs, pipeline).map_err(|e| e.to_string())?;
+                true
+            }
+            _ => false,
+        };
+        // Phase 2 (stateful, serial, deterministic): apply in block order.
         let mut undos = Vec::with_capacity(block.txs.len());
         let mut receipts = Vec::with_capacity(block.txs.len());
         for tx in &block.txs {
@@ -119,7 +188,12 @@ impl StateMachine for UtxoMachine {
                 }
                 return Err("account transaction in a UTXO ledger".into());
             }
-            match self.set.apply(tx) {
+            let applied = if prevalidated {
+                self.set.apply_prevalidated(tx)
+            } else {
+                self.set.apply(tx)
+            };
+            match applied {
                 Ok((fee, undo)) => {
                     undos.push(undo);
                     let mut r = Receipt::success(tx.id());
@@ -168,7 +242,11 @@ mod tests {
         let root0 = m.state_root();
 
         let txs = vec![
-            Transaction::Coinbase { to: Address::from_index(99), value: 50, height: 1 },
+            Transaction::Coinbase {
+                to: Address::from_index(99),
+                value: 50,
+                height: 1,
+            },
             Transaction::Account(AccountTx::transfer(alice, bob, 500, 0)),
         ];
         let block = block_with(Hash256::ZERO, 1, txs);
@@ -191,7 +269,10 @@ mod tests {
         let block = block_with(
             Hash256::ZERO,
             1,
-            vec![Transaction::Utxo(UtxoTx { inputs: vec![], outputs: vec![] })],
+            vec![Transaction::Utxo(UtxoTx {
+                inputs: vec![],
+                outputs: vec![],
+            })],
         );
         let root = m.state_root();
         assert!(m.apply_block(&block).is_err());
@@ -206,7 +287,12 @@ mod tests {
         let block = block_with(
             Hash256::ZERO,
             1,
-            vec![Transaction::Account(AccountTx::transfer(alice, Address::from_index(2), 1, 0))],
+            vec![Transaction::Account(AccountTx::transfer(
+                alice,
+                Address::from_index(2),
+                1,
+                0,
+            ))],
         );
         let err = m.apply_block(&block).unwrap_err();
         assert!(err.contains("witness"), "{err}");
@@ -237,8 +323,15 @@ mod tests {
         let op = m.set.outpoints_of(&alice)[0];
 
         let spend = Transaction::Utxo(UtxoTx {
-            inputs: vec![TxIn { prev_tx: op.tx, index: op.index, auth: None }],
-            outputs: vec![TxOut { value: 90, recipient: bob }],
+            inputs: vec![TxIn {
+                prev_tx: op.tx,
+                index: op.index,
+                auth: None,
+            }],
+            outputs: vec![TxOut {
+                value: 90,
+                recipient: bob,
+            }],
         });
         let block = block_with(Hash256::ZERO, 1, vec![spend]);
         let (receipts, undo) = m.apply_block(&block).unwrap();
@@ -257,17 +350,172 @@ mod tests {
         let root0 = m.state_root();
         let op = m.set.outpoints_of(&alice)[0];
         let good = Transaction::Utxo(UtxoTx {
-            inputs: vec![TxIn { prev_tx: op.tx, index: op.index, auth: None }],
-            outputs: vec![TxOut { value: 100, recipient: alice }],
+            inputs: vec![TxIn {
+                prev_tx: op.tx,
+                index: op.index,
+                auth: None,
+            }],
+            outputs: vec![TxOut {
+                value: 100,
+                recipient: alice,
+            }],
         });
         // Double spend of the same outpoint: invalid.
         let bad = Transaction::Utxo(UtxoTx {
-            inputs: vec![TxIn { prev_tx: op.tx, index: op.index, auth: None }],
-            outputs: vec![TxOut { value: 100, recipient: alice }],
+            inputs: vec![TxIn {
+                prev_tx: op.tx,
+                index: op.index,
+                auth: None,
+            }],
+            outputs: vec![TxOut {
+                value: 100,
+                recipient: alice,
+            }],
         });
         let block = block_with(Hash256::ZERO, 1, vec![good, bad]);
         assert!(m.apply_block(&block).is_err());
         assert_eq!(m.state_root(), root0, "partial application rolled back");
+    }
+
+    #[test]
+    fn pipelined_utxo_machine_matches_serial_state_root() {
+        use dcs_primitives::TxAuth;
+        let mut kp = dcs_crypto::KeyPair::generate([11u8; 32], 3);
+        let addr = kp.address();
+
+        // Two machines over identical witness-verifying genesis states.
+        let mut genesis = UtxoSet::with_witness_verification();
+        let op = genesis.mint(addr, 100);
+        let mut serial = UtxoMachine::over(genesis.clone());
+        let pipeline = Arc::new(VerifyPipeline::new(4, 1024));
+        let mut piped = UtxoMachine::over(genesis).with_pipeline(Arc::clone(&pipeline));
+
+        // A block of chained signed self-transfers (mid-block dependencies).
+        let mut prev = op;
+        let mut txs = Vec::new();
+        for _ in 0..4 {
+            let mut utx = UtxoTx {
+                inputs: vec![TxIn {
+                    prev_tx: prev.tx,
+                    index: prev.index,
+                    auth: None,
+                }],
+                outputs: vec![TxOut {
+                    value: 100,
+                    recipient: addr,
+                }],
+            };
+            let signing = Transaction::Utxo(utx.clone()).signing_hash();
+            let sig = kp.sign(&signing).unwrap();
+            utx.inputs[0].auth = Some(TxAuth {
+                pubkey: kp.public_key(),
+                signature: sig,
+            });
+            let tx = Transaction::Utxo(utx);
+            prev = dcs_state::OutPoint {
+                tx: tx.id(),
+                index: 0,
+            };
+            txs.push(tx);
+        }
+        let block = block_with(Hash256::ZERO, 1, txs);
+
+        let (r_serial, _) = serial.apply_block(&block).unwrap();
+        let (r_piped, _) = piped.apply_block(&block).unwrap();
+        assert_eq!(
+            serial.state_root(),
+            piped.state_root(),
+            "roots must be bit-identical"
+        );
+        assert_eq!(
+            r_serial.iter().map(|r| r.fee_paid).collect::<Vec<_>>(),
+            r_piped.iter().map(|r| r.fee_paid).collect::<Vec<_>>()
+        );
+        let stats = pipeline.stats();
+        assert_eq!(
+            stats.cache.unwrap().misses,
+            4,
+            "all four signatures verified once"
+        );
+    }
+
+    #[test]
+    fn pipelined_utxo_machine_rejects_forged_witness_atomically() {
+        use dcs_primitives::TxAuth;
+        let mut kp = dcs_crypto::KeyPair::generate([12u8; 32], 2);
+        let addr = kp.address();
+        let mut set = UtxoSet::with_witness_verification();
+        let op = set.mint(addr, 100);
+        let mut m = UtxoMachine::over(set).with_pipeline(Arc::new(VerifyPipeline::new(2, 64)));
+        let root0 = m.state_root();
+
+        let mut utx = UtxoTx {
+            inputs: vec![TxIn {
+                prev_tx: op.tx,
+                index: op.index,
+                auth: None,
+            }],
+            outputs: vec![TxOut {
+                value: 100,
+                recipient: addr,
+            }],
+        };
+        let forged = kp.sign(&dcs_crypto::sha256(b"different message")).unwrap();
+        utx.inputs[0].auth = Some(TxAuth {
+            pubkey: kp.public_key(),
+            signature: forged,
+        });
+        let block = block_with(Hash256::ZERO, 1, vec![Transaction::Utxo(utx)]);
+        let err = m.apply_block(&block).unwrap_err();
+        assert!(err.contains("bad witness"), "{err}");
+        assert_eq!(
+            m.state_root(),
+            root0,
+            "prevalidation failure leaves no residue"
+        );
+    }
+
+    #[test]
+    fn pipelined_account_machine_matches_serial() {
+        use dcs_primitives::TxAuth;
+        let mut kp = dcs_crypto::KeyPair::generate([13u8; 32], 2);
+        let alice = kp.address();
+        let bob = Address::from_index(2);
+
+        let sign = |mut acct: AccountTx, kp: &mut dcs_crypto::KeyPair| {
+            let signing = Transaction::Account(acct.clone()).signing_hash();
+            let sig = kp.sign(&signing).unwrap();
+            acct.auth = Some(TxAuth {
+                pubkey: kp.public_key(),
+                signature: sig,
+            });
+            Transaction::Account(acct)
+        };
+        let tx0 = sign(AccountTx::transfer(alice, bob, 500, 0), &mut kp);
+        let tx1 = sign(AccountTx::transfer(alice, bob, 300, 1), &mut kp);
+        let block = block_with(Hash256::ZERO, 1, vec![tx0, tx1]);
+
+        let mut serial = AccountMachine::with_alloc(&[(alice, 1_000_000)]);
+        serial.verify_signatures = true;
+        let pipeline = Arc::new(VerifyPipeline::new(4, 1024));
+        let mut piped =
+            AccountMachine::with_alloc(&[(alice, 1_000_000)]).with_pipeline(Arc::clone(&pipeline));
+        piped.verify_signatures = true;
+
+        serial.apply_block(&block).unwrap();
+        piped.apply_block(&block).unwrap();
+        assert_eq!(serial.state_root(), piped.state_root());
+        assert_eq!(piped.db.balance(&bob), 800);
+        assert_eq!(pipeline.stats().cache.unwrap().misses, 2);
+
+        // An unsigned tx still invalidates the block through the pipeline.
+        let unsigned = block_with(
+            Hash256::ZERO,
+            2,
+            vec![Transaction::Account(AccountTx::transfer(alice, bob, 1, 2))],
+        );
+        let err = piped.apply_block(&unsigned).unwrap_err();
+        assert!(err.contains("witness"), "{err}");
     }
 
     #[test]
@@ -284,16 +532,24 @@ mod tests {
         let mut chain = Chain::new(genesis.clone(), cfg, machine);
 
         // Branch A: pay bob.
-        let a1 = block_with(genesis.hash(), 1, vec![Transaction::Account(
-            AccountTx::transfer(alice, bob, 100, 0),
-        )]);
+        let a1 = block_with(
+            genesis.hash(),
+            1,
+            vec![Transaction::Account(AccountTx::transfer(
+                alice, bob, 100, 0,
+            ))],
+        );
         chain.import(a1).unwrap();
         assert_eq!(chain.machine().db.balance(&bob), 100);
 
         // Branch B (longer): pay carol instead.
-        let b1 = block_with(genesis.hash(), 1, vec![Transaction::Account(
-            AccountTx::transfer(alice, carol, 200, 0),
-        )]);
+        let b1 = block_with(
+            genesis.hash(),
+            1,
+            vec![Transaction::Account(AccountTx::transfer(
+                alice, carol, 200, 0,
+            ))],
+        );
         let b2 = block_with(b1.hash(), 2, vec![]);
         chain.import(b1).unwrap();
         chain.import(b2).unwrap();

@@ -550,15 +550,33 @@ mod tests {
             let nonce = self.next_nonce(who);
             let tx = AccountTx::deploy(*who, code, nonce, 10_000_000);
             let contract = tx.contract_address();
-            let r = execute_tx(&mut self.db, &tx, dcs_crypto::Hash256::ZERO, &Self::ctx(), &self.schedule);
+            let r = execute_tx(
+                &mut self.db,
+                &tx,
+                dcs_crypto::Hash256::ZERO,
+                &Self::ctx(),
+                &self.schedule,
+            );
             assert!(r.status.is_success(), "deploy failed: {:?}", r.status);
             contract
         }
 
-        fn call(&mut self, who: &Address, contract: &Address, input: Vec<u8>, value: u64) -> dcs_primitives::Receipt {
+        fn call(
+            &mut self,
+            who: &Address,
+            contract: &Address,
+            input: Vec<u8>,
+            value: u64,
+        ) -> dcs_primitives::Receipt {
             let nonce = self.next_nonce(who);
             let tx = AccountTx::call(*who, *contract, input, value, nonce, 10_000_000);
-            execute_tx(&mut self.db, &tx, dcs_crypto::Hash256::ZERO, &Self::ctx(), &self.schedule)
+            execute_tx(
+                &mut self.db,
+                &tx,
+                dcs_crypto::Hash256::ZERO,
+                &Self::ctx(),
+                &self.schedule,
+            )
         }
 
         fn query_u64(&mut self, contract: &Address, input: Vec<u8>) -> u64 {
@@ -574,7 +592,11 @@ mod tests {
         }
 
         fn ctx() -> BlockCtx {
-            BlockCtx { proposer: Address::from_index(1000), timestamp_us: 0, height: 1 }
+            BlockCtx {
+                proposer: Address::from_index(1000),
+                timestamp_us: 0,
+                height: 1,
+            }
         }
     }
 
@@ -660,7 +682,12 @@ mod tests {
 
         // Alice releases to Bob.
         let bob_before = w.db.balance(&bob());
-        let r = w.call(&alice(), &e, input_with(2, &[Word::from_address(&bob())]), 0);
+        let r = w.call(
+            &alice(),
+            &e,
+            input_with(2, &[Word::from_address(&bob())]),
+            0,
+        );
         assert!(r.status.is_success(), "{:?}", r.status);
         assert_eq!(w.db.balance(&bob()), bob_before + 5_000);
         assert_eq!(w.query_u64(&e, input_with(0, &[])), 0);
@@ -695,7 +722,13 @@ mod tests {
         // Alice trades it to Bob; ownership moves.
         let r = w.call(&alice(), &t, trade_input(2, "WHEAT", Some(&bob())), 0);
         assert!(r.status.is_success(), "{:?}", r.status);
-        let out = query(&mut w.db, &t, &Address::ZERO, &trade_input(0, "WHEAT", None)).unwrap();
+        let out = query(
+            &mut w.db,
+            &t,
+            &Address::ZERO,
+            &trade_input(0, "WHEAT", None),
+        )
+        .unwrap();
         assert_eq!(Word(out.try_into().unwrap()).as_address(), bob());
 
         // Now Bob can trade it onward.
@@ -718,7 +751,8 @@ mod tests {
 
         // Goal 1000 not met → revert.
         let beneficiary = Address::from_index(9);
-        let claim = |goal: u64| input_with(2, &[Word::from_address(&beneficiary), Word::from_u64(goal)]);
+        let claim =
+            |goal: u64| input_with(2, &[Word::from_address(&beneficiary), Word::from_u64(goal)]);
         let r = w.call(&alice(), &c, claim(1000), 0);
         assert!(!r.status.is_success());
 

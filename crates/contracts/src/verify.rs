@@ -199,7 +199,11 @@ pub fn analyze(code: &[u8]) -> Report {
         if stack.len() < needs {
             push_defect(
                 &mut defects,
-                Defect::StackUnderflow { pc, needs, depth: stack.len() },
+                Defect::StackUnderflow {
+                    pc,
+                    needs,
+                    depth: stack.len(),
+                },
             );
             continue; // this path is dead at runtime
         }
@@ -294,7 +298,11 @@ pub fn analyze(code: &[u8]) -> Report {
         }
         pc += 1 + imm;
     }
-    Report { defects, unreachable, complete }
+    Report {
+        defects,
+        unreachable,
+        complete,
+    }
 }
 
 #[cfg(test)]
@@ -325,7 +333,11 @@ mod tests {
         let report = analyze(&code);
         assert!(matches!(
             report.defects[0],
-            Defect::StackUnderflow { needs: 2, depth: 1, .. }
+            Defect::StackUnderflow {
+                needs: 2,
+                depth: 1,
+                ..
+            }
         ));
     }
 
@@ -371,13 +383,19 @@ mod tests {
     #[test]
     fn detects_bad_opcode() {
         let report = analyze(&[0xee]);
-        assert!(matches!(report.defects[0], Defect::BadOpcode { pc: 0, byte: 0xee }));
+        assert!(matches!(
+            report.defects[0],
+            Defect::BadOpcode { pc: 0, byte: 0xee }
+        ));
     }
 
     #[test]
     fn detects_truncated_immediate() {
         let report = analyze(&[crate::vm::Op::Push8 as u8, 1, 2]);
-        assert!(matches!(report.defects[0], Defect::TruncatedImmediate { pc: 0 }));
+        assert!(matches!(
+            report.defects[0],
+            Defect::TruncatedImmediate { pc: 0 }
+        ));
     }
 
     #[test]
@@ -385,7 +403,10 @@ mod tests {
         let code = assemble("push @end\njump\npush 1\npop\n:end\njumpdest\nstop").unwrap();
         let report = analyze(&code);
         assert!(report.defects.is_empty(), "{:?}", report.defects);
-        assert!(!report.unreachable.is_empty(), "the skipped push/pop is dead");
+        assert!(
+            !report.unreachable.is_empty(),
+            "the skipped push/pop is dead"
+        );
     }
 
     #[test]

@@ -281,13 +281,19 @@ pub struct Vm<'s> {
 impl<'s> Vm<'s> {
     /// Creates a VM with a gas budget.
     pub fn new(schedule: &'s GasSchedule, gas_limit: Amount) -> Self {
-        Vm { schedule, gas_limit, gas_used: 0 }
+        Vm {
+            schedule,
+            gas_limit,
+            gas_used: 0,
+        }
     }
 
     fn charge(&mut self, amount: Amount) -> Result<(), VmError> {
         self.gas_used = self.gas_used.saturating_add(amount);
         if self.gas_used > self.gas_limit {
-            return Err(VmError::OutOfGas { limit: self.gas_limit });
+            return Err(VmError::OutOfGas {
+                limit: self.gas_limit,
+            });
         }
         Ok(())
     }
@@ -336,7 +342,11 @@ impl<'s> Vm<'s> {
             pc += 1;
             match op {
                 Op::Stop => {
-                    return Ok(ExecOutput { data: Vec::new(), logs, gas_used: self.gas_used })
+                    return Ok(ExecOutput {
+                        data: Vec::new(),
+                        logs,
+                        gas_used: self.gas_used,
+                    })
                 }
                 Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => {
                     self.charge(self.schedule.op_base)?;
@@ -346,20 +356,8 @@ impl<'s> Vm<'s> {
                         Op::Add => a.wrapping_add(b),
                         Op::Sub => a.wrapping_sub(b),
                         Op::Mul => a.wrapping_mul(b),
-                        Op::Div => {
-                            if b == 0 {
-                                0
-                            } else {
-                                a / b
-                            }
-                        }
-                        Op::Mod => {
-                            if b == 0 {
-                                0
-                            } else {
-                                a % b
-                            }
-                        }
+                        Op::Div => a.checked_div(b).unwrap_or(0),
+                        Op::Mod => a.checked_rem(b).unwrap_or(0),
                         _ => unreachable!(),
                     };
                     push!(Word::from_u128(r));
@@ -386,11 +384,11 @@ impl<'s> Vm<'s> {
                     let b = pop!();
                     let a = pop!();
                     let mut r = [0u8; 32];
-                    for i in 0..32 {
-                        r[i] = match op {
-                            Op::And => a.0[i] & b.0[i],
-                            Op::Or => a.0[i] | b.0[i],
-                            Op::Xor => a.0[i] ^ b.0[i],
+                    for (r, (a, b)) in r.iter_mut().zip(a.0.iter().zip(&b.0)) {
+                        *r = match op {
+                            Op::And => a & b,
+                            Op::Or => a | b,
+                            Op::Xor => a ^ b,
                             _ => unreachable!(),
                         };
                     }
@@ -400,8 +398,8 @@ impl<'s> Vm<'s> {
                     self.charge(self.schedule.op_base)?;
                     let a = pop!();
                     let mut r = [0u8; 32];
-                    for i in 0..32 {
-                        r[i] = !a.0[i];
+                    for (r, a) in r.iter_mut().zip(&a.0) {
+                        *r = !a;
                     }
                     push!(Word(r));
                 }
@@ -432,8 +430,8 @@ impl<'s> Vm<'s> {
                     self.charge(self.schedule.op_base)?;
                     let off = pop!().as_u64() as usize;
                     let mut w = [0u8; 32];
-                    for i in 0..32 {
-                        w[i] = env.input.get(off + i).copied().unwrap_or(0);
+                    for (i, w) in w.iter_mut().enumerate() {
+                        *w = env.input.get(off + i).copied().unwrap_or(0);
                     }
                     push!(Word(w));
                 }
@@ -566,7 +564,8 @@ impl<'s> Vm<'s> {
                     if value.is_zero() {
                         env.db.set_storage(&env.contract, &slot, None);
                     } else {
-                        env.db.set_storage(&env.contract, &slot, Some(value.0.to_vec()));
+                        env.db
+                            .set_storage(&env.contract, &slot, Some(value.0.to_vec()));
                     }
                 }
                 Op::Log0 | Op::Log1 | Op::Log2 => {
@@ -812,12 +811,7 @@ mod tests {
         let schedule = GasSchedule::default();
         let mut db = AccountDb::new();
         // Infinite loop: jumpdest; push 0; jump.
-        let code = vec![
-            Op::JumpDest as u8,
-            Op::Push1 as u8,
-            0,
-            Op::Jump as u8,
-        ];
+        let code = vec![Op::JumpDest as u8, Op::Push1 as u8, 0, Op::Jump as u8];
         let mut env = ExecEnv {
             db: &mut db,
             contract: Address::from_index(1),

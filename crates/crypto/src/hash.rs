@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(z.as_bytes(), &[0u8; 32]);
 /// assert!(z.to_string().starts_with("00000000"));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Hash256([u8; 32]);
 
 impl Hash256 {
@@ -137,9 +135,7 @@ impl Decode for Hash256 {
 /// let a = Address::from_hash(&sha256(b"alice public key"));
 /// assert_eq!(a.as_bytes().len(), 20);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Address([u8; 20]);
 
 impl Address {

@@ -22,15 +22,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod codec;
 pub mod hash;
 pub mod merkle;
 pub mod sha256;
 pub mod sig;
 
+pub use batch::{PipelineStats, SigCache, SigCacheStats, VerifyItem, VerifyPipeline, VerifyPool};
 pub use codec::{Decode, Encode, Reader};
 pub use hash::{Address, Hash256};
-pub use merkle::{MerkleProof, MerkleTree};
+pub use merkle::{merkle_root, merkle_root_with, MerkleProof, MerkleTree};
 pub use sha256::{sha256, sha256_concat, Sha256};
 pub use sig::{KeyPair, PublicKey, Signature};
 

@@ -9,12 +9,17 @@
 //! leaf value can never be reinterpreted as an interior node (second-preimage
 //! hardening). Odd levels duplicate the last node, as in Bitcoin.
 
+use crate::batch::VerifyPool;
 use crate::codec::{Decode, DecodeError, Encode, Reader};
 use crate::hash::Hash256;
 use crate::sha256::Sha256;
 use serde::{Deserialize, Serialize};
 
 const NODE_PREFIX: u8 = 0x01;
+
+/// Minimum number of parent nodes in a level before hashing it is worth
+/// fanning out to the pool; below this the spawn/join overhead dominates.
+const PARALLEL_PAIR_THRESHOLD: usize = 128;
 
 /// Hashes two child digests into their parent node.
 pub fn merkle_node(left: &Hash256, right: &Hash256) -> Hash256 {
@@ -25,21 +30,46 @@ pub fn merkle_node(left: &Hash256, right: &Hash256) -> Hash256 {
     ctx.finalize()
 }
 
+/// Pads an odd level by duplicating its last node (Bitcoin style).
+fn pad_level(level: &mut Vec<Hash256>) {
+    if level.len() % 2 == 1 {
+        level.push(*level.last().expect("non-empty level"));
+    }
+}
+
+/// Hashes one (already padded) level into its parents, fanning the pairs out
+/// to `pool` when the level is large enough to amortize the spawn cost.
+/// `merkle_node` is pure and outputs are reassembled in input order, so the
+/// result is bit-identical to the serial fold for any thread count.
+fn hash_level(level: &[Hash256], pool: &VerifyPool) -> Vec<Hash256> {
+    debug_assert_eq!(level.len() % 2, 0, "levels are padded before hashing");
+    if pool.threads() > 1 && level.len() / 2 >= PARALLEL_PAIR_THRESHOLD {
+        let pairs: Vec<&[Hash256]> = level.chunks_exact(2).collect();
+        pool.map(&pairs, |pair| merkle_node(&pair[0], &pair[1]))
+    } else {
+        level
+            .chunks_exact(2)
+            .map(|pair| merkle_node(&pair[0], &pair[1]))
+            .collect()
+    }
+}
+
 /// Computes just the root of a list of leaf digests without materializing the
 /// tree. The root of an empty list is [`Hash256::ZERO`].
 pub fn merkle_root(leaves: &[Hash256]) -> Hash256 {
+    merkle_root_with(leaves, &VerifyPool::serial())
+}
+
+/// [`merkle_root`] with level hashing fanned out to `pool` for large levels.
+/// Bit-identical to the serial result for any thread count.
+pub fn merkle_root_with(leaves: &[Hash256], pool: &VerifyPool) -> Hash256 {
     if leaves.is_empty() {
         return Hash256::ZERO;
     }
     let mut level: Vec<Hash256> = leaves.to_vec();
     while level.len() > 1 {
-        if level.len() % 2 == 1 {
-            level.push(*level.last().expect("non-empty level"));
-        }
-        level = level
-            .chunks_exact(2)
-            .map(|pair| merkle_node(&pair[0], &pair[1]))
-            .collect();
+        pad_level(&mut level);
+        level = hash_level(&level, pool);
     }
     level[0]
 }
@@ -68,20 +98,25 @@ pub struct MerkleTree {
 impl MerkleTree {
     /// Builds a tree over the given leaf digests.
     pub fn from_leaves(leaves: Vec<Hash256>) -> Self {
+        Self::from_leaves_with(leaves, &VerifyPool::serial())
+    }
+
+    /// [`MerkleTree::from_leaves`] with level hashing fanned out to `pool`
+    /// for large levels. The resulting tree (every level, root, and proof)
+    /// is bit-identical to the serial build for any thread count.
+    pub fn from_leaves_with(leaves: Vec<Hash256>, pool: &VerifyPool) -> Self {
         let leaf_count = leaves.len();
         if leaves.is_empty() {
-            return MerkleTree { levels: vec![vec![Hash256::ZERO]], leaf_count };
+            return MerkleTree {
+                levels: vec![vec![Hash256::ZERO]],
+                leaf_count,
+            };
         }
         let mut levels = vec![leaves];
         while levels.last().expect("at least one level").len() > 1 {
             let prev = levels.last_mut().expect("at least one level");
-            if prev.len() % 2 == 1 {
-                prev.push(*prev.last().expect("non-empty level"));
-            }
-            let next: Vec<Hash256> = prev
-                .chunks_exact(2)
-                .map(|pair| merkle_node(&pair[0], &pair[1]))
-                .collect();
+            pad_level(prev);
+            let next = hash_level(prev, pool);
             levels.push(next);
         }
         MerkleTree { levels, leaf_count }
@@ -106,7 +141,7 @@ impl MerkleTree {
         let mut siblings = Vec::new();
         let mut i = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = if i % 2 == 0 {
+            let sibling = if i.is_multiple_of(2) {
                 // Padded levels always have the right sibling present.
                 level.get(i + 1).copied().unwrap_or(level[i])
             } else {
@@ -115,7 +150,10 @@ impl MerkleTree {
             siblings.push(sibling);
             i /= 2;
         }
-        Some(MerkleProof { index: index as u64, siblings })
+        Some(MerkleProof {
+            index: index as u64,
+            siblings,
+        })
     }
 }
 
@@ -152,7 +190,7 @@ impl MerkleProof {
         let mut acc = *leaf;
         let mut i = self.index;
         for sibling in &self.siblings {
-            acc = if i % 2 == 0 {
+            acc = if i.is_multiple_of(2) {
                 merkle_node(&acc, sibling)
             } else {
                 merkle_node(sibling, &acc)
@@ -172,7 +210,10 @@ impl Encode for MerkleProof {
 
 impl Decode for MerkleProof {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(MerkleProof { index: u64::decode(r)?, siblings: Vec::decode(r)? })
+        Ok(MerkleProof {
+            index: u64::decode(r)?,
+            siblings: Vec::decode(r)?,
+        })
     }
 }
 
@@ -203,7 +244,11 @@ mod tests {
     fn tree_root_matches_streaming_root() {
         for n in 1..=33 {
             let l = leaves(n);
-            assert_eq!(MerkleTree::from_leaves(l.clone()).root(), merkle_root(&l), "n={n}");
+            assert_eq!(
+                MerkleTree::from_leaves(l.clone()).root(),
+                merkle_root(&l),
+                "n={n}"
+            );
         }
     }
 
@@ -242,7 +287,10 @@ mod tests {
     fn domain_separation_differs_from_plain_concat() {
         let a = sha256(b"a");
         let b = sha256(b"b");
-        assert_ne!(merkle_node(&a, &b), crate::sha256_concat(a.as_ref(), b.as_ref()));
+        assert_ne!(
+            merkle_node(&a, &b),
+            crate::sha256_concat(a.as_ref(), b.as_ref())
+        );
     }
 
     #[test]
@@ -250,6 +298,31 @@ mod tests {
         let a = sha256(b"a");
         let b = sha256(b"b");
         assert_ne!(merkle_node(&a, &b), merkle_node(&b, &a));
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        // Sizes straddling PARALLEL_PAIR_THRESHOLD, including odd counts.
+        for n in [1usize, 2, 7, 255, 256, 257, 300, 513, 1000] {
+            let l = leaves(n);
+            let serial = MerkleTree::from_leaves(l.clone());
+            for threads in [2, 4, 8] {
+                let pool = VerifyPool::new(threads);
+                assert_eq!(
+                    merkle_root_with(&l, &pool),
+                    serial.root(),
+                    "n={n} t={threads}"
+                );
+                let par = MerkleTree::from_leaves_with(l.clone(), &pool);
+                assert_eq!(par.root(), serial.root(), "n={n} t={threads}");
+                assert_eq!(par.leaf_count(), serial.leaf_count());
+                // Proofs from the parallel tree verify against the serial root.
+                for i in [0, n / 2, n - 1] {
+                    let p = par.prove(i).expect("index in range");
+                    assert!(p.verify(&l[i], &serial.root()), "n={n} t={threads} i={i}");
+                }
+            }
+        }
     }
 
     #[test]

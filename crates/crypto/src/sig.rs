@@ -120,7 +120,7 @@ impl PublicKey {
         let mut acc = compress_ots_pk(&ends);
         let mut idx = sig.index;
         for sibling in &sig.auth_path {
-            acc = if idx % 2 == 0 {
+            acc = if idx.is_multiple_of(2) {
                 crate::merkle::merkle_node(&acc, sibling)
             } else {
                 crate::merkle::merkle_node(sibling, &acc)
@@ -155,7 +155,13 @@ impl KeyPair {
         let n = 1u32 << height;
         let leaves: Vec<Hash256> = (0..n).map(|j| Self::ots_leaf(&seed, j)).collect();
         let tree = crate::merkle::MerkleTree::from_leaves(leaves.clone());
-        KeyPair { seed, height, next_index: 0, leaves, tree }
+        KeyPair {
+            seed,
+            height,
+            next_index: 0,
+            leaves,
+            tree,
+        }
     }
 
     fn ots_leaf(seed: &[u8; 32], ots_index: u32) -> Hash256 {
@@ -169,7 +175,10 @@ impl KeyPair {
 
     /// The verifying key.
     pub fn public_key(&self) -> PublicKey {
-        PublicKey { root: self.tree.root(), height: self.height }
+        PublicKey {
+            root: self.tree.root(),
+            height: self.height,
+        }
     }
 
     /// The ledger address of this key.
@@ -209,7 +218,10 @@ impl KeyPair {
     /// Returns [`CryptoError::KeyExhausted`] if `index` is out of range.
     pub fn sign_with_index(&self, msg: &Hash256, index: u32) -> Result<Signature, CryptoError> {
         if index >= self.capacity() {
-            return Err(CryptoError::KeyExhausted { index, capacity: self.capacity() });
+            return Err(CryptoError::KeyExhausted {
+                index,
+                capacity: self.capacity(),
+            });
         }
         let d = digits(msg);
         let mut chain_values = Vec::with_capacity(LEN);
@@ -221,7 +233,10 @@ impl KeyPair {
             .tree
             .prove(index as usize)
             .expect("index < capacity implies a valid leaf");
-        debug_assert_eq!(self.leaves[index as usize], Self::ots_leaf(&self.seed, index));
+        debug_assert_eq!(
+            self.leaves[index as usize],
+            Self::ots_leaf(&self.seed, index)
+        );
         Ok(Signature {
             index,
             chain_values,
@@ -278,7 +293,10 @@ impl Encode for PublicKey {
 
 impl Decode for PublicKey {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(PublicKey { root: Hash256::decode(r)?, height: u8::decode(r)? })
+        Ok(PublicKey {
+            root: Hash256::decode(r)?,
+            height: u8::decode(r)?,
+        })
     }
 }
 
@@ -326,7 +344,10 @@ mod tests {
         }
         assert!(matches!(
             kp.sign(&msg),
-            Err(CryptoError::KeyExhausted { index: 4, capacity: 4 })
+            Err(CryptoError::KeyExhausted {
+                index: 4,
+                capacity: 4
+            })
         ));
     }
 
@@ -367,8 +388,7 @@ mod tests {
         let mut kp = keypair();
         let msg = sha256(b"m");
         let sig = kp.sign(&msg).unwrap();
-        let decoded =
-            crate::codec::decode_all::<Signature>(&sig.encoded()).unwrap();
+        let decoded = crate::codec::decode_all::<Signature>(&sig.encoded()).unwrap();
         assert_eq!(decoded, sig);
         assert!(kp.public_key().verify(&msg, &decoded));
     }

@@ -93,4 +93,58 @@ proptest! {
         other[0] ^= 1;
         prop_assert!(!kp.public_key().verify(&sha256(&other), &sig));
     }
+
+    /// The parallel executor is observationally equal to the serial
+    /// `PublicKey::verify` loop over arbitrary mixes of valid signatures,
+    /// wrong-message forgeries, and wrong-key forgeries — for every thread
+    /// count, and through the caching pipeline on both cold and warm passes.
+    #[test]
+    fn verify_batch_equals_serial_loop(
+        spec in proptest::collection::vec((0u8..2, any::<u8>(), 0u8..3), 0..8)
+    ) {
+        use dcs_crypto::{Signature, VerifyPipeline, VerifyPool};
+
+        let mut kps = [KeyPair::generate([0xA1; 32], 3), KeyPair::generate([0xB2; 32], 3)];
+        let items: Vec<(dcs_crypto::PublicKey, Hash256, Signature)> = spec
+            .iter()
+            .map(|&(key, msg_byte, mode)| {
+                let msg = sha256(&[msg_byte]);
+                let (signer, pk_owner) = match mode {
+                    // Valid: signed by the key whose pk we attach.
+                    0 => (key as usize, key as usize),
+                    // Wrong-message forgery: signature over a different digest.
+                    1 => (key as usize, key as usize),
+                    // Wrong-key forgery: genuine signature, other key's pk.
+                    _ => (key as usize, 1 - key as usize),
+                };
+                let signed = if mode == 1 { sha256(&[msg_byte, 0xFF]) } else { msg };
+                let sig = kps[signer].sign(&signed).expect("capacity 8 per key");
+                (kps[pk_owner].public_key(), msg, sig)
+            })
+            .collect();
+
+        let expected: Vec<bool> =
+            items.iter().map(|(pk, msg, sig)| pk.verify(msg, sig)).collect();
+
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                VerifyPool::new(threads).verify_batch(&items),
+                expected.clone(),
+                "pool threads={}", threads
+            );
+            let pipeline = VerifyPipeline::new(threads, 512);
+            prop_assert_eq!(
+                pipeline.verify_batch(&items),
+                expected.clone(),
+                "pipeline cold threads={}", threads
+            );
+            prop_assert_eq!(
+                pipeline.verify_batch(&items),
+                expected.clone(),
+                "pipeline warm threads={}", threads
+            );
+            let cache = pipeline.stats().cache.expect("cache configured");
+            prop_assert_eq!(cache.hits, items.len() as u64, "warm pass all hits");
+        }
+    }
 }

@@ -25,7 +25,9 @@ pub fn node_address(i: usize) -> Address {
 fn default_net(nodes: usize) -> NetConfig {
     NetConfig {
         nodes,
-        topology: Topology::KRegular { k: 4.min(nodes.saturating_sub(1)).max(2) },
+        topology: Topology::KRegular {
+            k: 4.min(nodes.saturating_sub(1)).max(2),
+        },
         latency: LatencyModel::wan(),
         drop_probability: 0.0,
         bandwidth_bytes_per_sec: None,
@@ -104,7 +106,9 @@ impl Default for PosParams {
             nodes,
             stakes: vec![100],
             chain: ChainConfig {
-                consensus: ConsensusKind::ProofOfStake { slot_us: 10_000_000 },
+                consensus: ConsensusKind::ProofOfStake {
+                    slot_us: 10_000_000,
+                },
                 ..ChainConfig::ethereum_like()
             },
             net: default_net(nodes),
@@ -127,7 +131,14 @@ pub fn build_pos(params: &PosParams, seed: u64) -> Runner<PosNode<NullMachine>> 
     net.nodes = params.nodes;
     let chain = params.chain.clone();
     Runner::new(net, seed, move |id: NodeId| {
-        PosNode::new(id, genesis.clone(), chain.clone(), NullMachine, table.clone(), id.0)
+        PosNode::new(
+            id,
+            genesis.clone(),
+            chain.clone(),
+            NullMachine,
+            table.clone(),
+            id.0,
+        )
     })
 }
 
@@ -170,8 +181,13 @@ pub fn build_poet(params: &PoetParams, seed: u64) -> Runner<PoetNode<NullMachine
     let chain = params.chain.clone();
     let cheats = params.cheat_factors.clone();
     Runner::new(net, seed, move |id: NodeId| {
-        let mut node =
-            PoetNode::new(id, node_address(id.0), genesis.clone(), chain.clone(), NullMachine);
+        let mut node = PoetNode::new(
+            id,
+            node_address(id.0),
+            genesis.clone(),
+            chain.clone(),
+            NullMachine,
+        );
         node.cheat_factor = cheats[id.0 % cheats.len()];
         node
     })
@@ -211,7 +227,14 @@ pub fn build_ordering(params: &OrderingParams, seed: u64) -> Runner<OrderingNode
     let chain = params.chain.clone();
     let n = params.nodes;
     Runner::new(net, seed, move |id: NodeId| {
-        OrderingNode::new(id, node_address(id.0), genesis.clone(), chain.clone(), NullMachine, n)
+        OrderingNode::new(
+            id,
+            node_address(id.0),
+            genesis.clone(),
+            chain.clone(),
+            NullMachine,
+            n,
+        )
     })
 }
 
@@ -260,8 +283,14 @@ pub fn build_pbft(params: &PbftParams, seed: u64) -> Runner<PbftNode<NullMachine
     let n = params.nodes;
     let crashed = params.crashed.clone();
     Runner::new(net, seed, move |id: NodeId| {
-        let mut node =
-            PbftNode::new(id, node_address(id.0), genesis.clone(), chain.clone(), NullMachine, n);
+        let mut node = PbftNode::new(
+            id,
+            node_address(id.0),
+            genesis.clone(),
+            chain.clone(),
+            NullMachine,
+            n,
+        );
         node.crashed = crashed.contains(&id.0);
         node
     })

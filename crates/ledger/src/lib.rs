@@ -52,7 +52,7 @@ pub use builders::{
     build_ng, build_ordering, build_pbft, build_poet, build_pos, build_pow, NgParams,
     OrderingParams, PbftParams, PoetParams, PosParams, PowParams,
 };
-pub use metrics::{collect, SimResult};
+pub use metrics::{collect, SimResult, VerificationReport};
 pub use profile::Profile;
 pub use traits::LedgerNode;
 pub use workload::Workload;

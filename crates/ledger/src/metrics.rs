@@ -7,10 +7,62 @@
 //!   actually produced the canonical chain.
 
 use crate::traits::LedgerNode;
-use dcs_crypto::Hash256;
+use dcs_crypto::{Hash256, VerifyPipeline};
 use dcs_primitives::Transaction;
 use dcs_sim::{gini, nakamoto_coefficient, SimDuration, SimTime, Summary};
 use std::collections::HashMap;
+
+pub use dcs_crypto::{PipelineStats, SigCacheStats};
+
+/// A snapshot of the block-verification pipeline for the measurement suite:
+/// worker parallelism, batch activity, and signature-cache effectiveness.
+/// The interesting headline number is [`VerificationReport::signatures_skipped`] —
+/// every cache hit is one WOTS+Merkle verification (hundreds of SHA-256
+/// compressions) that admission already paid for and block connect did not
+/// repeat.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VerificationReport {
+    /// Raw pipeline counters (threads, batches, cache hit/miss).
+    pub pipeline: PipelineStats,
+}
+
+impl VerificationReport {
+    /// Snapshots `pipeline`'s counters.
+    pub fn collect(pipeline: &VerifyPipeline) -> Self {
+        VerificationReport {
+            pipeline: pipeline.stats(),
+        }
+    }
+
+    /// Signature verifications answered from the cache (work skipped).
+    pub fn signatures_skipped(&self) -> u64 {
+        self.pipeline.cache.map_or(0, |c| c.hits)
+    }
+
+    /// Signature verifications actually executed.
+    pub fn signatures_verified(&self) -> u64 {
+        self.pipeline
+            .cache
+            .map_or(self.pipeline.batch_items, |c| c.misses)
+    }
+
+    /// Cache hit rate in `[0, 1]` (0 when no cache is configured).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.pipeline.cache.map_or(0.0, |c| c.hit_rate())
+    }
+}
+
+impl core::fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "verify[{}] skipped={} verified={}",
+            self.pipeline,
+            self.signatures_skipped(),
+            self.signatures_verified(),
+        )
+    }
+}
 
 /// Everything measured from one simulation run.
 #[derive(Debug, Clone)]
@@ -164,5 +216,29 @@ pub fn collect<P: LedgerNode>(
         proposer_counts,
         work_expended,
         work_per_block: work_expended / canonical_blocks.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_crypto::{sha256, KeyPair};
+
+    #[test]
+    fn verification_report_reflects_cache_activity() {
+        let pipeline = VerifyPipeline::new(2, 256);
+        let mut kp = KeyPair::generate([1u8; 32], 2);
+        let pk = kp.public_key();
+        let msg = sha256(b"m");
+        let sig = kp.sign(&msg).unwrap();
+        let items = vec![(pk, msg, sig)];
+        pipeline.verify_batch(&items); // miss
+        pipeline.verify_batch(&items); // hit
+        let report = VerificationReport::collect(&pipeline);
+        assert_eq!(report.signatures_skipped(), 1);
+        assert_eq!(report.signatures_verified(), 1);
+        assert!((report.cache_hit_rate() - 0.5).abs() < 1e-9);
+        let text = report.to_string();
+        assert!(text.contains("skipped=1"), "{text}");
     }
 }

@@ -120,7 +120,11 @@ impl Profile {
             "{} is not an ordering profile",
             self.name
         );
-        OrderingParams { nodes: self.nodes, chain: self.chain.clone(), net: self.net.clone() }
+        OrderingParams {
+            nodes: self.nodes,
+            chain: self.chain.clone(),
+            net: self.net.clone(),
+        }
     }
 }
 

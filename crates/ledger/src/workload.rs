@@ -50,17 +50,29 @@ pub struct Workload {
 impl Workload {
     /// Random transfers among `accounts` accounts at `tps` for `duration`.
     pub fn transfers(tps: f64, duration: SimDuration, accounts: u64) -> Self {
-        Workload { tps, duration, kind: WorkloadKind::Transfers { accounts } }
+        Workload {
+            tps,
+            duration,
+            kind: WorkloadKind::Transfers { accounts },
+        }
     }
 
     /// Nonce-correct transfers from the given funded senders.
     pub fn funded_transfers(tps: f64, duration: SimDuration, senders: Vec<Address>) -> Self {
-        Workload { tps, duration, kind: WorkloadKind::FundedTransfers { senders } }
+        Workload {
+            tps,
+            duration,
+            kind: WorkloadKind::FundedTransfers { senders },
+        }
     }
 
     /// Data anchors of `payload` bytes.
     pub fn data_anchors(tps: f64, duration: SimDuration, payload: usize) -> Self {
-        Workload { tps, duration, kind: WorkloadKind::DataAnchors { payload } }
+        Workload {
+            tps,
+            duration,
+            kind: WorkloadKind::DataAnchors { payload },
+        }
     }
 
     /// Expected number of transactions this workload submits.

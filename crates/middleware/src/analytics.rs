@@ -32,7 +32,10 @@ pub fn analyze<M: StateMachine>(chain: &Chain<M>) -> ChainReport {
     for hash in chain.canonical().iter().skip(1) {
         let block = &chain.tree().get(hash).expect("canonical stored").block;
         report.blocks += 1;
-        *report.blocks_by_proposer.entry(block.header.proposer).or_insert(0) += 1;
+        *report
+            .blocks_by_proposer
+            .entry(block.header.proposer)
+            .or_insert(0) += 1;
         for tx in &block.txs {
             match tx {
                 Transaction::Coinbase { .. } => {}
@@ -73,14 +76,15 @@ mod tests {
         let mut parent = genesis.hash();
         for h in 1..=3u64 {
             let txs = vec![
-                Transaction::Coinbase { to: proposer, value: 10, height: h },
+                Transaction::Coinbase {
+                    to: proposer,
+                    value: 10,
+                    height: h,
+                },
                 Transaction::Account(AccountTx::transfer(alice, bob, 100, h)),
                 Transaction::Account(AccountTx::transfer(bob, alice, 50, h)),
             ];
-            let block = Block::new(
-                BlockHeader::new(parent, h, h, proposer, Seal::None),
-                txs,
-            );
+            let block = Block::new(BlockHeader::new(parent, h, h, proposer, Seal::None), txs);
             parent = block.hash();
             chain.import(block).unwrap();
         }

@@ -45,7 +45,10 @@ pub struct AppAdapter<A: Application> {
 impl<A: Application> AppAdapter<A> {
     /// Wraps an application positioned at its genesis state.
     pub fn new(app: A) -> Self {
-        AppAdapter { app, applied: Vec::new() }
+        AppAdapter {
+            app,
+            applied: Vec::new(),
+        }
     }
 
     /// The wrapped application.
@@ -149,7 +152,10 @@ mod tests {
     }
 
     fn block(parent: Hash256, height: u64, txs: Vec<Transaction>) -> Block {
-        Block::new(BlockHeader::new(parent, height, height, Address::ZERO, Seal::None), txs)
+        Block::new(
+            BlockHeader::new(parent, height, height, Address::ZERO, Seal::None),
+            txs,
+        )
     }
 
     #[test]

@@ -24,12 +24,18 @@ impl EventFilter {
 
     /// Matches events from one contract.
     pub fn contract(addr: Address) -> Self {
-        EventFilter { contract: Some(addr), topic: None }
+        EventFilter {
+            contract: Some(addr),
+            topic: None,
+        }
     }
 
     /// Matches events carrying a topic.
     pub fn topic(topic: Hash256) -> Self {
-        EventFilter { contract: None, topic: Some(topic) }
+        EventFilter {
+            contract: None,
+            topic: Some(topic),
+        }
     }
 
     fn matches(&self, log: &LogEntry) -> bool {
@@ -147,7 +153,11 @@ mod tests {
             status: TxStatus::Success,
             gas_used: 0,
             fee_paid: 0,
-            logs: vec![LogEntry { contract, topics: vec![topic], data: data.to_vec() }],
+            logs: vec![LogEntry {
+                contract,
+                topics: vec![topic],
+                data: data.to_vec(),
+            }],
         }
     }
 
@@ -162,7 +172,10 @@ mod tests {
         let all = bus.subscribe(EventFilter::any());
         let only_c1 = bus.subscribe(EventFilter::contract(c1));
         let only_transfer = bus.subscribe(EventFilter::topic(t_transfer));
-        let both = bus.subscribe(EventFilter { contract: Some(c1), topic: Some(t_transfer) });
+        let both = bus.subscribe(EventFilter {
+            contract: Some(c1),
+            topic: Some(t_transfer),
+        });
 
         let block = sha256(b"block");
         bus.publish_block(block, &[receipt_with_log(c1, t_transfer, b"a")]);
@@ -192,11 +205,17 @@ mod tests {
     fn drain_empties_queue_and_unsubscribe_stops_delivery() {
         let mut bus = EventBus::new();
         let sub = bus.subscribe(EventFilter::any());
-        bus.publish_block(sha256(b"b"), &[receipt_with_log(Address::ZERO, sha256(b"t"), b"1")]);
+        bus.publish_block(
+            sha256(b"b"),
+            &[receipt_with_log(Address::ZERO, sha256(b"t"), b"1")],
+        );
         assert_eq!(bus.drain(sub).len(), 1);
         assert!(bus.drain(sub).is_empty());
         bus.unsubscribe(sub);
-        bus.publish_block(sha256(b"b"), &[receipt_with_log(Address::ZERO, sha256(b"t"), b"2")]);
+        bus.publish_block(
+            sha256(b"b"),
+            &[receipt_with_log(Address::ZERO, sha256(b"t"), b"2")],
+        );
         assert!(bus.drain(sub).is_empty());
     }
 }

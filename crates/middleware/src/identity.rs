@@ -68,7 +68,10 @@ impl CertificateAuthority {
     /// Creates a CA from a seed. `height` bounds how many certificates it
     /// can ever issue (`2^height`).
     pub fn new(seed: [u8; 32], height: u8) -> Self {
-        CertificateAuthority { keypair: KeyPair::generate(seed, height), next_serial: 0 }
+        CertificateAuthority {
+            keypair: KeyPair::generate(seed, height),
+            next_serial: 0,
+        }
     }
 
     /// The key peers verify certificates against.
@@ -86,7 +89,12 @@ impl CertificateAuthority {
         let digest = MembershipCert::body_hash(&member, role, serial);
         let signature = self.keypair.sign(&digest)?;
         self.next_serial += 1;
-        Ok(MembershipCert { member, role, serial, signature })
+        Ok(MembershipCert {
+            member,
+            role,
+            serial,
+            signature,
+        })
     }
 }
 
@@ -100,7 +108,10 @@ pub struct Registry {
 impl Registry {
     /// A registry trusting the given CA.
     pub fn new(ca: PublicKey) -> Self {
-        Registry { ca, revoked: HashSet::new() }
+        Registry {
+            ca,
+            revoked: HashSet::new(),
+        }
     }
 
     /// Revokes a certificate by serial.
@@ -137,7 +148,10 @@ mod tests {
         let registry = Registry::new(ca.public_key());
         let cert = ca.issue(member_key(5), Role::Peer).unwrap();
         assert!(registry.verify(&cert, Role::Peer));
-        assert!(registry.verify(&cert, Role::Client), "peer role implies client");
+        assert!(
+            registry.verify(&cert, Role::Client),
+            "peer role implies client"
+        );
         assert!(!registry.verify(&cert, Role::Orderer), "peer may not order");
     }
 

@@ -22,7 +22,11 @@ pub struct SensorConfig {
 
 impl Default for SensorConfig {
     fn default() -> Self {
-        SensorConfig { noise_std: 0.5, drift_per_reading: 0.0, tampered_value: None }
+        SensorConfig {
+            noise_std: 0.5,
+            drift_per_reading: 0.0,
+            tampered_value: None,
+        }
     }
 }
 
@@ -36,7 +40,10 @@ pub struct Sensor {
 impl Sensor {
     /// Creates a sensor with the given fault model.
     pub fn new(config: SensorConfig) -> Self {
-        Sensor { config, accumulated_drift: 0.0 }
+        Sensor {
+            config,
+            accumulated_drift: 0.0,
+        }
     }
 
     /// Observes the ground-truth `actual` value.
@@ -60,15 +67,22 @@ pub struct Oracle {
 impl Oracle {
     /// An oracle over the given sensor fleet, submitting from `account`.
     pub fn new(sensors: Vec<Sensor>, account: Address) -> Self {
-        Oracle { sensors, account, nonce: 0 }
+        Oracle {
+            sensors,
+            account,
+            nonce: 0,
+        }
     }
 
     /// One measurement round: every sensor reads, the median wins.
     /// The median tolerates strictly fewer than half tampered/broken
     /// sensors — the robustness the paper asks data integration to provide.
     pub fn measure(&mut self, actual: f64, rng: &mut Rng) -> f64 {
-        let mut readings: Vec<f64> =
-            self.sensors.iter_mut().map(|s| s.read(actual, rng)).collect();
+        let mut readings: Vec<f64> = self
+            .sensors
+            .iter_mut()
+            .map(|s| s.read(actual, rng))
+            .collect();
         readings.sort_by(|a, b| a.partial_cmp(b).expect("no NaN readings"));
         let n = readings.len();
         if n % 2 == 1 {
@@ -92,8 +106,12 @@ impl Oracle {
 
     /// Parses a value anchored by [`Oracle::anchor_tx`].
     pub fn parse_anchor(tx: &Transaction) -> Option<(f64, u64)> {
-        let Transaction::Account(a) = tx else { return None };
-        let TxPayload::Data(d) = &a.payload else { return None };
+        let Transaction::Account(a) = tx else {
+            return None;
+        };
+        let TxPayload::Data(d) = &a.payload else {
+            return None;
+        };
         if d.len() != 16 {
             return None;
         }
@@ -109,7 +127,9 @@ mod tests {
 
     #[test]
     fn honest_sensors_track_truth() {
-        let sensors = (0..5).map(|_| Sensor::new(SensorConfig::default())).collect();
+        let sensors = (0..5)
+            .map(|_| Sensor::new(SensorConfig::default()))
+            .collect();
         let mut oracle = Oracle::new(sensors, Address::from_index(1));
         let mut rng = Rng::seed_from(1);
         let mut err_sum = 0.0;
@@ -123,8 +143,9 @@ mod tests {
     #[test]
     fn median_defeats_minority_tampering() {
         // 2 of 5 sensors report an adversarial 1000.0; the median ignores it.
-        let mut sensors: Vec<Sensor> =
-            (0..3).map(|_| Sensor::new(SensorConfig::default())).collect();
+        let mut sensors: Vec<Sensor> = (0..3)
+            .map(|_| Sensor::new(SensorConfig::default()))
+            .collect();
         for _ in 0..2 {
             sensors.push(Sensor::new(SensorConfig {
                 tampered_value: Some(1000.0),
@@ -134,14 +155,18 @@ mod tests {
         let mut oracle = Oracle::new(sensors, Address::from_index(1));
         let mut rng = Rng::seed_from(2);
         let value = oracle.measure(20.0, &mut rng);
-        assert!((value - 20.0).abs() < 3.0, "tamper-resistant median, got {value}");
+        assert!(
+            (value - 20.0).abs() < 3.0,
+            "tamper-resistant median, got {value}"
+        );
     }
 
     #[test]
     fn majority_tampering_wins_as_expected() {
         // 3 of 5 tampered: the median is captured — the threat model's edge.
-        let mut sensors: Vec<Sensor> =
-            (0..2).map(|_| Sensor::new(SensorConfig::default())).collect();
+        let mut sensors: Vec<Sensor> = (0..2)
+            .map(|_| Sensor::new(SensorConfig::default()))
+            .collect();
         for _ in 0..3 {
             sensors.push(Sensor::new(SensorConfig {
                 tampered_value: Some(1000.0),
@@ -165,7 +190,10 @@ mod tests {
         for _ in 0..10 {
             last = s.read(5.0, &mut rng);
         }
-        assert!((last - 6.0).abs() < 1e-9, "10 readings × 0.1 drift, got {last}");
+        assert!(
+            (last - 6.0).abs() < 1e-9,
+            "10 readings × 0.1 drift, got {last}"
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl core::fmt::Display for WorkflowError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             WorkflowError::BadState { transition, state } => {
-                write!(f, "transition {transition:?} references unknown state {state}")
+                write!(
+                    f,
+                    "transition {transition:?} references unknown state {state}"
+                )
             }
             WorkflowError::Empty => write!(f, "workflow has no states"),
             WorkflowError::Codegen(e) => write!(f, "code generation failed: {e}"),
@@ -169,9 +172,24 @@ mod tests {
                 "Agreement".into(),
             ],
             transitions: vec![
-                Transition { name: "ship".into(), from: 0, to: 1, actor: producer },
-                Transition { name: "deliver".into(), from: 1, to: 2, actor: shipper },
-                Transition { name: "approve".into(), from: 2, to: 3, actor: retailer },
+                Transition {
+                    name: "ship".into(),
+                    from: 0,
+                    to: 1,
+                    actor: producer,
+                },
+                Transition {
+                    name: "deliver".into(),
+                    from: 1,
+                    to: 2,
+                    actor: shipper,
+                },
+                Transition {
+                    name: "approve".into(),
+                    from: 2,
+                    to: 3,
+                    actor: retailer,
+                },
             ],
         }
     }
@@ -192,39 +210,73 @@ mod tests {
             let code = wf.compile().expect("compiles");
             // The compiled model passes the platform's own §5.3 verifier.
             let report = dcs_contracts::verify::analyze(&code);
-            assert!(report.is_clean(), "compiled workflow defective: {:?}", report.defects);
+            assert!(
+                report.is_clean(),
+                "compiled workflow defective: {:?}",
+                report.defects
+            );
             let deploy = AccountTx::deploy(actors[0], code, 0, 10_000_000);
             let contract = deploy.contract_address();
             let schedule = GasSchedule::default();
-            let r = exec::execute_tx(&mut db, &deploy, dcs_crypto::Hash256::ZERO, &Self::ctx(), &schedule);
+            let r = exec::execute_tx(
+                &mut db,
+                &deploy,
+                dcs_crypto::Hash256::ZERO,
+                &Self::ctx(),
+                &schedule,
+            );
             assert!(r.status.is_success());
             let mut nonces = std::collections::HashMap::new();
             nonces.insert(actors[0], 1u64);
-            Deployed { db, contract, schedule, nonces }
+            Deployed {
+                db,
+                contract,
+                schedule,
+                nonces,
+            }
         }
 
         fn ctx() -> BlockCtx {
-            BlockCtx { proposer: Address::from_index(999), timestamp_us: 0, height: 1 }
+            BlockCtx {
+                proposer: Address::from_index(999),
+                timestamp_us: 0,
+                height: 1,
+            }
         }
 
         fn fire(&mut self, wf: &Workflow, who: Address, t: usize) -> bool {
             let nonce = self.nonces.entry(who).or_insert(0);
             let tx = AccountTx::call(who, self.contract, wf.fire_input(t), 0, *nonce, 1_000_000);
             *nonce += 1;
-            exec::execute_tx(&mut self.db, &tx, dcs_crypto::Hash256::ZERO, &Self::ctx(), &self.schedule)
-                .status
-                .is_success()
+            exec::execute_tx(
+                &mut self.db,
+                &tx,
+                dcs_crypto::Hash256::ZERO,
+                &Self::ctx(),
+                &self.schedule,
+            )
+            .status
+            .is_success()
         }
 
         fn state(&mut self, wf: &Workflow) -> u64 {
-            let out = exec::query(&mut self.db, &self.contract, &Address::ZERO, &wf.state_input())
-                .expect("state query");
+            let out = exec::query(
+                &mut self.db,
+                &self.contract,
+                &Address::ZERO,
+                &wf.state_input(),
+            )
+            .expect("state query");
             Word(out.try_into().expect("one word")).as_u64()
         }
     }
 
     fn actors() -> (Address, Address, Address) {
-        (Address::from_index(1), Address::from_index(2), Address::from_index(3))
+        (
+            Address::from_index(1),
+            Address::from_index(2),
+            Address::from_index(3),
+        )
     }
 
     #[test]
@@ -263,7 +315,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_models() {
-        let wf = Workflow { states: vec![], transitions: vec![] };
+        let wf = Workflow {
+            states: vec![],
+            transitions: vec![],
+        };
         assert_eq!(wf.validate(), Err(WorkflowError::Empty));
         let wf = Workflow {
             states: vec!["a".into()],
@@ -274,7 +329,10 @@ mod tests {
                 actor: Address::ZERO,
             }],
         };
-        assert!(matches!(wf.validate(), Err(WorkflowError::BadState { state: 5, .. })));
+        assert!(matches!(
+            wf.validate(),
+            Err(WorkflowError::BadState { state: 5, .. })
+        ));
     }
 
     #[test]

@@ -30,12 +30,18 @@ pub enum LatencyModel {
 impl LatencyModel {
     /// A typical WAN profile: median 80 ms, long-tailed.
     pub fn wan() -> Self {
-        LatencyModel::LogNormal { median: SimDuration::from_millis(80), sigma: 0.5 }
+        LatencyModel::LogNormal {
+            median: SimDuration::from_millis(80),
+            sigma: 0.5,
+        }
     }
 
     /// A LAN/datacenter profile: median 1 ms, short tail.
     pub fn lan() -> Self {
-        LatencyModel::LogNormal { median: SimDuration::from_millis(1), sigma: 0.2 }
+        LatencyModel::LogNormal {
+            median: SimDuration::from_millis(1),
+            sigma: 0.2,
+        }
     }
 
     /// Draws one latency sample.
@@ -90,7 +96,10 @@ mod tests {
 
     #[test]
     fn lognormal_median_approximately_right() {
-        let m = LatencyModel::LogNormal { median: SimDuration::from_millis(80), sigma: 0.5 };
+        let m = LatencyModel::LogNormal {
+            median: SimDuration::from_millis(80),
+            sigma: 0.5,
+        };
         let mut rng = Rng::seed_from(4);
         let mut samples: Vec<u64> = (0..4001).map(|_| m.sample(&mut rng).as_micros()).collect();
         samples.sort_unstable();

@@ -142,7 +142,8 @@ impl<M> Network<M> {
             let ser = SimDuration::from_secs_f64(size as f64 / bw as f64);
             delay = delay + ser;
         }
-        self.sim.schedule(delay, NetEvent::Deliver { from, to, msg });
+        self.sim
+            .schedule(delay, NetEvent::Deliver { from, to, msg });
     }
 
     /// Injects a message to `node` at an absolute time, bypassing topology,
@@ -151,8 +152,14 @@ impl<M> Network<M> {
     /// message appears to come from the node itself.
     pub fn inject(&mut self, at: SimTime, node: NodeId, msg: M) {
         self.stats.sent += 1;
-        self.sim
-            .schedule_at(at, NetEvent::Deliver { from: node, to: node, msg });
+        self.sim.schedule_at(
+            at,
+            NetEvent::Deliver {
+                from: node,
+                to: node,
+                msg,
+            },
+        );
     }
 
     /// Schedules a timer for `node`; the tag is returned to the protocol.
@@ -270,7 +277,13 @@ mod tests {
         net.set_timer(NodeId(3), SimDuration::from_millis(6), 88);
         net.cancel_timer(id);
         let (_, ev) = net.pop(None).unwrap();
-        assert!(matches!(ev, NetEvent::Timer { node: NodeId(3), tag: 88 }));
+        assert!(matches!(
+            ev,
+            NetEvent::Timer {
+                node: NodeId(3),
+                tag: 88
+            }
+        ));
         assert!(net.pop(None).is_none());
     }
 }

@@ -55,7 +55,11 @@ impl<M: Clone> Ctx<'_, M> {
     /// Sends to every overlay neighbor (flood-gossip fanout).
     pub fn broadcast(&mut self, msg: M, size: usize) {
         for &to in self.neighbors {
-            self.actions.push(Action::Send { to, msg: msg.clone(), size });
+            self.actions.push(Action::Send {
+                to,
+                msg: msg.clone(),
+                size,
+            });
         }
     }
 
@@ -64,7 +68,11 @@ impl<M: Clone> Ctx<'_, M> {
     pub fn broadcast_except(&mut self, except: NodeId, msg: M, size: usize) {
         for &to in self.neighbors {
             if to != except {
-                self.actions.push(Action::Send { to, msg: msg.clone(), size });
+                self.actions.push(Action::Send {
+                    to,
+                    msg: msg.clone(),
+                    size,
+                });
             }
         }
     }
@@ -110,7 +118,12 @@ impl<P: Protocol> Runner<P> {
         let n = net.node_count();
         let rngs = (0..n).map(|i| net.rng_mut().fork(i as u64)).collect();
         let nodes = (0..n).map(|i| make(NodeId(i))).collect();
-        Runner { net, nodes, rngs, started: false }
+        Runner {
+            net,
+            nodes,
+            rngs,
+            started: false,
+        }
     }
 
     /// The protocol instance for `id`.
@@ -299,7 +312,11 @@ mod tests {
         let groups: Vec<u32> = (0..20).map(|i| u32::from(i >= 10)).collect();
         runner.net_mut().set_partition(groups);
         runner.run_to_quiescence();
-        let heard: usize = runner.nodes().iter().filter(|n| n.heard_at.is_some()).count();
+        let heard: usize = runner
+            .nodes()
+            .iter()
+            .filter(|n| n.heard_at.is_some())
+            .count();
         assert!(heard < 20, "partition must block someone (heard {heard})");
         assert!(runner.stats().partitioned > 0);
 
@@ -355,7 +372,14 @@ mod tests {
         let early = SimTime::from_micros(60_000); // one hop only
         runner.run_until(early);
         assert!(runner.now() <= early);
-        let heard: usize = runner.nodes().iter().filter(|n| n.heard_at.is_some()).count();
-        assert!(heard > 1 && heard < 30, "partial propagation, heard {heard}");
+        let heard: usize = runner
+            .nodes()
+            .iter()
+            .filter(|n| n.heard_at.is_some())
+            .count();
+        assert!(
+            heard > 1 && heard < 30,
+            "partial propagation, heard {heard}"
+        );
     }
 }

@@ -187,13 +187,20 @@ impl Encode for Seal {
                 out.push(3);
                 wait_us.encode(out);
             }
-            Seal::Authority { view, sequence, votes } => {
+            Seal::Authority {
+                view,
+                sequence,
+                votes,
+            } => {
                 out.push(4);
                 view.encode(out);
                 sequence.encode(out);
                 votes.encode(out);
             }
-            Seal::Micro { key_block, sequence } => {
+            Seal::Micro {
+                key_block,
+                sequence,
+            } => {
                 out.push(5);
                 key_block.encode(out);
                 sequence.encode(out);
@@ -206,15 +213,26 @@ impl Decode for Seal {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         match u8::decode(r)? {
             0 => Ok(Seal::None),
-            1 => Ok(Seal::Work { nonce: u64::decode(r)?, difficulty: u64::decode(r)? }),
-            2 => Ok(Seal::Stake { slot: u64::decode(r)?, proof: Hash256::decode(r)? }),
-            3 => Ok(Seal::ElapsedTime { wait_us: u64::decode(r)? }),
+            1 => Ok(Seal::Work {
+                nonce: u64::decode(r)?,
+                difficulty: u64::decode(r)?,
+            }),
+            2 => Ok(Seal::Stake {
+                slot: u64::decode(r)?,
+                proof: Hash256::decode(r)?,
+            }),
+            3 => Ok(Seal::ElapsedTime {
+                wait_us: u64::decode(r)?,
+            }),
             4 => Ok(Seal::Authority {
                 view: u64::decode(r)?,
                 sequence: u64::decode(r)?,
                 votes: u32::decode(r)?,
             }),
-            5 => Ok(Seal::Micro { key_block: Hash256::decode(r)?, sequence: u64::decode(r)? }),
+            5 => Ok(Seal::Micro {
+                key_block: Hash256::decode(r)?,
+                sequence: u64::decode(r)?,
+            }),
             t => Err(DecodeError::BadTag(t)),
         }
     }
@@ -255,7 +273,10 @@ impl Encode for Block {
 
 impl Decode for Block {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(Block { header: BlockHeader::decode(r)?, txs: Vec::decode(r)? })
+        Ok(Block {
+            header: BlockHeader::decode(r)?,
+            txs: Vec::decode(r)?,
+        })
     }
 }
 
@@ -316,19 +337,27 @@ mod tests {
         b.header.parent = dcs_crypto::sha256(b"other");
         assert_ne!(b.hash(), h);
         let mut b = base;
-        b.header.seal = Seal::Work { nonce: 1, difficulty: 16 };
+        b.header.seal = Seal::Work {
+            nonce: 1,
+            difficulty: 16,
+        };
         assert_ne!(b.hash(), h);
     }
 
     #[test]
     fn seal_work_is_difficulty() {
-        let mk = |d| BlockHeader::new(
-            Hash256::ZERO,
-            0,
-            0,
-            Address::ZERO,
-            Seal::Work { nonce: 0, difficulty: d },
-        );
+        let mk = |d| {
+            BlockHeader::new(
+                Hash256::ZERO,
+                0,
+                0,
+                Address::ZERO,
+                Seal::Work {
+                    nonce: 0,
+                    difficulty: d,
+                },
+            )
+        };
         assert_eq!(mk(1024).work(), 1024);
         assert_eq!(mk(0).work(), 1, "difficulty 0 clamps to 1");
         let plain = BlockHeader::new(Hash256::ZERO, 0, 0, Address::ZERO, Seal::None);
@@ -339,13 +368,25 @@ mod tests {
     fn pow_target_check() {
         // Difficulty 1 accepts any hash; a huge difficulty essentially never.
         let easy = BlockHeader::new(
-            Hash256::ZERO, 0, 0, Address::ZERO,
-            Seal::Work { nonce: 5, difficulty: 1 },
+            Hash256::ZERO,
+            0,
+            0,
+            Address::ZERO,
+            Seal::Work {
+                nonce: 5,
+                difficulty: 1,
+            },
         );
         assert!(easy.meets_pow_target());
         let hard = BlockHeader::new(
-            Hash256::ZERO, 0, 0, Address::ZERO,
-            Seal::Work { nonce: 5, difficulty: u64::MAX },
+            Hash256::ZERO,
+            0,
+            0,
+            Address::ZERO,
+            Seal::Work {
+                nonce: 5,
+                difficulty: u64::MAX,
+            },
         );
         assert!(!hard.meets_pow_target());
         let none = BlockHeader::new(Hash256::ZERO, 0, 0, Address::ZERO, Seal::None);
@@ -356,11 +397,24 @@ mod tests {
     fn codec_round_trips_all_seals() {
         let seals = vec![
             Seal::None,
-            Seal::Work { nonce: 42, difficulty: 1 << 20 },
-            Seal::Stake { slot: 7, proof: dcs_crypto::sha256(b"p") },
+            Seal::Work {
+                nonce: 42,
+                difficulty: 1 << 20,
+            },
+            Seal::Stake {
+                slot: 7,
+                proof: dcs_crypto::sha256(b"p"),
+            },
             Seal::ElapsedTime { wait_us: 123_456 },
-            Seal::Authority { view: 2, sequence: 19, votes: 7 },
-            Seal::Micro { key_block: dcs_crypto::sha256(b"k"), sequence: 3 },
+            Seal::Authority {
+                view: 2,
+                sequence: 19,
+                votes: 7,
+            },
+            Seal::Micro {
+                key_block: dcs_crypto::sha256(b"k"),
+                sequence: 3,
+            },
         ];
         for seal in seals {
             let mut b = block(2);

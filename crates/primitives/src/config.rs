@@ -167,7 +167,9 @@ mod tests {
     fn presets_encode_paper_parameters() {
         let btc = ChainConfig::bitcoin_like();
         match btc.consensus {
-            ConsensusKind::ProofOfWork { target_interval_us, .. } => {
+            ConsensusKind::ProofOfWork {
+                target_interval_us, ..
+            } => {
                 assert_eq!(target_interval_us, 600_000_000, "10 minutes");
             }
             _ => panic!("bitcoin preset must be PoW"),

@@ -56,7 +56,13 @@ impl Receipt {
     /// A success receipt with no gas accounting (used by plain transfers in
     /// tests and by the UTXO path, which has no gas).
     pub fn success(tx_id: Hash256) -> Self {
-        Receipt { tx_id, status: TxStatus::Success, gas_used: 0, fee_paid: 0, logs: Vec::new() }
+        Receipt {
+            tx_id,
+            status: TxStatus::Success,
+            gas_used: 0,
+            fee_paid: 0,
+            logs: Vec::new(),
+        }
     }
 
     /// A failure receipt carrying the rejection reason.

@@ -229,7 +229,10 @@ impl Encode for TxAuth {
 
 impl Decode for TxAuth {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(TxAuth { pubkey: PublicKey::decode(r)?, signature: Signature::decode(r)? })
+        Ok(TxAuth {
+            pubkey: PublicKey::decode(r)?,
+            signature: Signature::decode(r)?,
+        })
     }
 }
 
@@ -260,7 +263,10 @@ impl Encode for TxOut {
 
 impl Decode for TxOut {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(TxOut { value: Amount::decode(r)?, recipient: Address::decode(r)? })
+        Ok(TxOut {
+            value: Amount::decode(r)?,
+            recipient: Address::decode(r)?,
+        })
     }
 }
 
@@ -273,7 +279,10 @@ impl Encode for UtxoTx {
 
 impl Decode for UtxoTx {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(UtxoTx { inputs: Vec::decode(r)?, outputs: Vec::decode(r)? })
+        Ok(UtxoTx {
+            inputs: Vec::decode(r)?,
+            outputs: Vec::decode(r)?,
+        })
     }
 }
 
@@ -403,21 +412,45 @@ mod tests {
 
     #[test]
     fn coinbase_unique_per_height() {
-        let c1 = Transaction::Coinbase { to: Address::from_index(1), value: 50, height: 1 };
-        let c2 = Transaction::Coinbase { to: Address::from_index(1), value: 50, height: 2 };
+        let c1 = Transaction::Coinbase {
+            to: Address::from_index(1),
+            value: 50,
+            height: 1,
+        };
+        let c2 = Transaction::Coinbase {
+            to: Address::from_index(1),
+            value: 50,
+            height: 2,
+        };
         assert_ne!(c1.id(), c2.id());
     }
 
     #[test]
     fn codec_round_trips_all_variants() {
         let txs = vec![
-            Transaction::Coinbase { to: Address::from_index(3), value: 50, height: 9 },
+            Transaction::Coinbase {
+                to: Address::from_index(3),
+                value: 50,
+                height: 9,
+            },
             Transaction::Utxo(UtxoTx {
-                inputs: vec![TxIn { prev_tx: sha256(b"prev"), index: 1, auth: None }],
-                outputs: vec![TxOut { value: 10, recipient: Address::from_index(4) }],
+                inputs: vec![TxIn {
+                    prev_tx: sha256(b"prev"),
+                    index: 1,
+                    auth: None,
+                }],
+                outputs: vec![TxOut {
+                    value: 10,
+                    recipient: Address::from_index(4),
+                }],
             }),
             sample_account_tx(),
-            Transaction::Account(AccountTx::deploy(Address::from_index(5), vec![1, 2, 3], 0, 90_000)),
+            Transaction::Account(AccountTx::deploy(
+                Address::from_index(5),
+                vec![1, 2, 3],
+                0,
+                90_000,
+            )),
             Transaction::Account(AccountTx::call(
                 Address::from_index(5),
                 Address::from_index(6),
@@ -444,7 +477,10 @@ mod tests {
         let unsigned = Transaction::Account(tx.clone());
         let h = unsigned.signing_hash();
         let sig = kp.sign(&h).unwrap();
-        tx.auth = Some(TxAuth { pubkey: kp.public_key(), signature: sig });
+        tx.auth = Some(TxAuth {
+            pubkey: kp.public_key(),
+            signature: sig,
+        });
         let signed = Transaction::Account(tx);
         // Signing hash is identical before and after attaching the witness...
         assert_eq!(signed.signing_hash(), h);
@@ -474,7 +510,11 @@ mod tests {
     fn offered_fee() {
         let tx = sample_account_tx();
         assert_eq!(tx.offered_fee(), 21_000);
-        let cb = Transaction::Coinbase { to: Address::ZERO, value: 1, height: 0 };
+        let cb = Transaction::Coinbase {
+            to: Address::ZERO,
+            value: 1,
+            height: 0,
+        };
         assert_eq!(cb.offered_fee(), 0);
     }
 
@@ -483,8 +523,14 @@ mod tests {
         let tx = UtxoTx {
             inputs: vec![],
             outputs: vec![
-                TxOut { value: 3, recipient: Address::from_index(1) },
-                TxOut { value: 4, recipient: Address::from_index(2) },
+                TxOut {
+                    value: 3,
+                    recipient: Address::from_index(1),
+                },
+                TxOut {
+                    value: 4,
+                    recipient: Address::from_index(2),
+                },
             ],
         };
         assert_eq!(tx.output_value(), 7);

@@ -36,16 +36,18 @@ fn arb_account_tx() -> impl Strategy<Value = AccountTx> {
         any::<u64>(),
         arb_payload(),
     )
-        .prop_map(|(from, to, value, nonce, gas_limit, gas_price, payload)| AccountTx {
-            from,
-            to,
-            value,
-            nonce,
-            gas_limit,
-            gas_price,
-            payload,
-            auth: None,
-        })
+        .prop_map(
+            |(from, to, value, nonce, gas_limit, gas_price, payload)| AccountTx {
+                from,
+                to,
+                value,
+                nonce,
+                gas_limit,
+                gas_price,
+                payload,
+                auth: None,
+            },
+        )
 }
 
 fn arb_utxo_tx() -> impl Strategy<Value = UtxoTx> {
@@ -56,7 +58,11 @@ fn arb_utxo_tx() -> impl Strategy<Value = UtxoTx> {
         .prop_map(|(ins, outs)| UtxoTx {
             inputs: ins
                 .into_iter()
-                .map(|(prev_tx, index)| TxIn { prev_tx, index, auth: None })
+                .map(|(prev_tx, index)| TxIn {
+                    prev_tx,
+                    index,
+                    auth: None,
+                })
                 .collect(),
             outputs: outs
                 .into_iter()
@@ -77,12 +83,21 @@ fn arb_tx() -> impl Strategy<Value = Transaction> {
 fn arb_seal() -> impl Strategy<Value = Seal> {
     prop_oneof![
         Just(Seal::None),
-        (any::<u64>(), 1u64..u64::MAX).prop_map(|(nonce, difficulty)| Seal::Work { nonce, difficulty }),
+        (any::<u64>(), 1u64..u64::MAX)
+            .prop_map(|(nonce, difficulty)| Seal::Work { nonce, difficulty }),
         (any::<u64>(), arb_hash()).prop_map(|(slot, proof)| Seal::Stake { slot, proof }),
         any::<u64>().prop_map(|wait_us| Seal::ElapsedTime { wait_us }),
-        (any::<u64>(), any::<u64>(), any::<u32>())
-            .prop_map(|(view, sequence, votes)| Seal::Authority { view, sequence, votes }),
-        (arb_hash(), any::<u64>()).prop_map(|(key_block, sequence)| Seal::Micro { key_block, sequence }),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(view, sequence, votes)| {
+            Seal::Authority {
+                view,
+                sequence,
+                votes,
+            }
+        }),
+        (arb_hash(), any::<u64>()).prop_map(|(key_block, sequence)| Seal::Micro {
+            key_block,
+            sequence
+        }),
     ]
 }
 

@@ -34,7 +34,13 @@ impl Commitment {
             chunk.copy_from_slice(&rng.next_u64().to_le_bytes()[..chunk.len()]);
         }
         let c = Self::compute(value, &blinding);
-        (c, Opening { value: value.to_vec(), blinding })
+        (
+            c,
+            Opening {
+                value: value.to_vec(),
+                blinding,
+            },
+        )
     }
 
     /// Deterministic commitment with an explicit blinding factor (e.g.
@@ -74,7 +80,9 @@ pub struct Hashlock {
 impl Hashlock {
     /// Creates a lock from a secret.
     pub fn from_secret(secret: &[u8]) -> Self {
-        Hashlock { lock: dcs_crypto::sha256(secret) }
+        Hashlock {
+            lock: dcs_crypto::sha256(secret),
+        }
     }
 
     /// Checks a claimed preimage.

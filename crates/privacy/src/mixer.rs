@@ -108,11 +108,20 @@ impl Mixer {
 
     /// Deposits a coin for mixing. Returns the settled round if this
     /// deposit filled it.
-    pub fn deposit(&mut self, from: Address, payout_to: Address, now: SimTime) -> Option<&MixRound> {
+    pub fn deposit(
+        &mut self,
+        from: Address,
+        payout_to: Address,
+        now: SimTime,
+    ) -> Option<&MixRound> {
         if self.pending.is_empty() {
             self.round_opened = Some(now);
         }
-        self.pending.push(Deposit { from, payout_to, at: now });
+        self.pending.push(Deposit {
+            from,
+            payout_to,
+            at: now,
+        });
         if self.pending.len() >= self.config.round_size {
             return self.settle(now);
         }
@@ -134,7 +143,11 @@ impl Mixer {
         self.round_opened = None;
         let mut payouts: Vec<Address> = deposits.iter().map(|d| d.payout_to).collect();
         self.rng.shuffle(&mut payouts);
-        self.completed.push(MixRound { deposits, payouts, settled_at: now });
+        self.completed.push(MixRound {
+            deposits,
+            payouts,
+            settled_at: now,
+        });
         self.completed.last()
     }
 
@@ -167,16 +180,23 @@ mod tests {
     }
 
     fn cfg(size: usize) -> MixerConfig {
-        MixerConfig { round_size: size, ..MixerConfig::default() }
+        MixerConfig {
+            round_size: size,
+            ..MixerConfig::default()
+        }
     }
 
     #[test]
     fn round_fills_and_settles() {
         let mut mixer = Mixer::new(cfg(4), 1);
         for i in 0..3 {
-            assert!(mixer.deposit(Address::from_index(i), Address::from_index(100 + i), t(i)).is_none());
+            assert!(mixer
+                .deposit(Address::from_index(i), Address::from_index(100 + i), t(i))
+                .is_none());
         }
-        let round = mixer.deposit(Address::from_index(3), Address::from_index(103), t(3)).unwrap();
+        let round = mixer
+            .deposit(Address::from_index(3), Address::from_index(103), t(3))
+            .unwrap();
         assert_eq!(round.anonymity_set(), 4);
         assert_eq!(round.linkage_probability(), 0.25);
         assert_eq!(mixer.pending_count(), 0);
@@ -198,14 +218,20 @@ mod tests {
         // assert the shuffle actually did something under this seed.
         assert_ne!(
             round.payouts,
-            (0..8).map(|i| Address::from_index(100 + i)).collect::<Vec<_>>()
+            (0..8)
+                .map(|i| Address::from_index(100 + i))
+                .collect::<Vec<_>>()
         );
     }
 
     #[test]
     fn timeout_settles_partial_round() {
         let mut mixer = Mixer::new(
-            MixerConfig { round_size: 100, round_timeout: SimDuration::from_secs(60), denomination: 1 },
+            MixerConfig {
+                round_size: 100,
+                round_timeout: SimDuration::from_secs(60),
+                denomination: 1,
+            },
             3,
         );
         mixer.deposit(Address::from_index(1), Address::from_index(2), t(0));

@@ -9,7 +9,9 @@ use crate::commitments::Hashlock;
 use dcs_chain::Chain;
 use dcs_contracts::AccountMachine;
 use dcs_crypto::{Address, Hash256};
-use dcs_primitives::{AccountTx, Amount, Block, BlockHeader, ChainConfig, Seal, Transaction, TxPayload};
+use dcs_primitives::{
+    AccountTx, Amount, Block, BlockHeader, ChainConfig, Seal, Transaction, TxPayload,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Identifies a channel within a [`MultiChannel`] deployment.
@@ -81,11 +83,18 @@ pub struct ChannelLedger {
 
 /// The address escrowing HTLC funds inside a channel.
 fn escrow_address(channel: u32) -> Address {
-    Address::from_hash(&dcs_crypto::sha256(&[b"htlc-escrow".as_slice(), &channel.to_le_bytes()].concat()))
+    Address::from_hash(&dcs_crypto::sha256(
+        &[b"htlc-escrow".as_slice(), &channel.to_le_bytes()].concat(),
+    ))
 }
 
 impl ChannelLedger {
-    fn new(name: String, channel_id: u32, members: Vec<Address>, alloc: &[(Address, Amount)]) -> Self {
+    fn new(
+        name: String,
+        channel_id: u32,
+        members: Vec<Address>,
+        alloc: &[(Address, Amount)],
+    ) -> Self {
         let mut config = ChainConfig::hyperledger_like();
         config.chain_id = channel_id + 1000;
         let genesis = dcs_chain::genesis_block(&config);
@@ -146,7 +155,11 @@ impl ChannelLedger {
             self.chain.height() + 1,
             self.chain.height() + 1,
             Address::ZERO,
-            Seal::Authority { view: 0, sequence: self.chain.height() + 1, votes: 1 },
+            Seal::Authority {
+                view: 0,
+                sequence: self.chain.height() + 1,
+                votes: 1,
+            },
         );
         let block = Block::new(header, txs);
         self.chain
@@ -189,11 +202,15 @@ impl MultiChannel {
     }
 
     fn channel(&self, id: ChannelId) -> Result<&ChannelLedger, ChannelError> {
-        self.channels.get(&id.0).ok_or(ChannelError::NoSuchChannel(id.0))
+        self.channels
+            .get(&id.0)
+            .ok_or(ChannelError::NoSuchChannel(id.0))
     }
 
     fn channel_mut(&mut self, id: ChannelId) -> Result<&mut ChannelLedger, ChannelError> {
-        self.channels.get_mut(&id.0).ok_or(ChannelError::NoSuchChannel(id.0))
+        self.channels
+            .get_mut(&id.0)
+            .ok_or(ChannelError::NoSuchChannel(id.0))
     }
 
     /// Submits a member transfer to a channel (queued until the next seal).
@@ -256,7 +273,9 @@ impl MultiChannel {
         let ch = self.channel_mut(id)?;
         ch.check_member(&payer)?;
         if ch.db().balance(&payer) < amount {
-            return Err(ChannelError::Transfer("insufficient balance to lock".into()));
+            return Err(ChannelError::Transfer(
+                "insufficient balance to lock".into(),
+            ));
         }
         ch.queue_transfer(payer, escrow, amount);
         ch.seal_block();
@@ -292,7 +311,10 @@ impl MultiChannel {
         let escrow = escrow_address(id.0);
         let ch = self.channel_mut(id)?;
         ch.check_member(&claimer)?;
-        let htlc = ch.htlcs.get(&htlc_id).ok_or(ChannelError::NoSuchLock(htlc_id))?;
+        let htlc = ch
+            .htlcs
+            .get(&htlc_id)
+            .ok_or(ChannelError::NoSuchLock(htlc_id))?;
         if htlc.revealed.is_some() {
             return Err(ChannelError::NoSuchLock(htlc_id));
         }
@@ -325,7 +347,10 @@ impl MultiChannel {
     pub fn refund(&mut self, id: ChannelId, htlc_id: u64) -> Result<(), ChannelError> {
         let escrow = escrow_address(id.0);
         let ch = self.channel_mut(id)?;
-        let htlc = ch.htlcs.get(&htlc_id).ok_or(ChannelError::NoSuchLock(htlc_id))?;
+        let htlc = ch
+            .htlcs
+            .get(&htlc_id)
+            .ok_or(ChannelError::NoSuchLock(htlc_id))?;
         if htlc.revealed.is_some() {
             return Err(ChannelError::NoSuchLock(htlc_id));
         }
@@ -411,7 +436,10 @@ mod tests {
             mc.submit_transfer(a, eve(), bob(), 1),
             Err(ChannelError::NotAMember(eve()))
         );
-        assert_eq!(mc.balance(a, eve(), bob()), Err(ChannelError::NotAMember(eve())));
+        assert_eq!(
+            mc.balance(a, eve(), bob()),
+            Err(ChannelError::NotAMember(eve()))
+        );
     }
 
     #[test]
@@ -478,7 +506,10 @@ mod tests {
         let (mut mc, a, _) = two_channels();
         let lock = Hashlock::from_secret(b"right");
         let htlc = mc.lock(a, alice(), bob(), 100, lock, 10).unwrap();
-        assert_eq!(mc.claim(a, bob(), htlc, b"wrong"), Err(ChannelError::WrongPreimage));
+        assert_eq!(
+            mc.claim(a, bob(), htlc, b"wrong"),
+            Err(ChannelError::WrongPreimage)
+        );
     }
 
     #[test]
@@ -487,7 +518,10 @@ mod tests {
         let lock = Hashlock::from_secret(b"s");
         let htlc = mc.lock(a, alice(), bob(), 100, lock, 2).unwrap();
         mc.advance_blocks(a, 5).unwrap();
-        assert_eq!(mc.claim(a, bob(), htlc, b"s"), Err(ChannelError::TimeoutViolation));
+        assert_eq!(
+            mc.claim(a, bob(), htlc, b"s"),
+            Err(ChannelError::TimeoutViolation)
+        );
     }
 
     #[test]

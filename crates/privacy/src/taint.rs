@@ -49,16 +49,26 @@ impl TaintTracker {
         let mut tainted_value = 0.0;
         let mut total_value = 0.0;
         for input in &tx.inputs {
-            let op = OutPoint { tx: input.prev_tx, index: input.index };
+            let op = OutPoint {
+                tx: input.prev_tx,
+                index: input.index,
+            };
             let value = self.values.get(&op).copied().unwrap_or(0) as f64;
             tainted_value += self.taint_of(&op) * value;
             total_value += value;
             self.taint.remove(&op);
             self.values.remove(&op);
         }
-        let fraction = if total_value > 0.0 { tainted_value / total_value } else { 0.0 };
+        let fraction = if total_value > 0.0 {
+            tainted_value / total_value
+        } else {
+            0.0
+        };
         for (i, out) in tx.outputs.iter().enumerate() {
-            let op = OutPoint { tx: tx_id, index: i as u32 };
+            let op = OutPoint {
+                tx: tx_id,
+                index: i as u32,
+            };
             self.taint.insert(op, fraction);
             self.values.insert(op, out.value);
         }
@@ -102,18 +112,28 @@ mod tests {
     use dcs_primitives::{TxIn, TxOut};
 
     fn op(label: &str) -> OutPoint {
-        OutPoint { tx: sha256(label.as_bytes()), index: 0 }
+        OutPoint {
+            tx: sha256(label.as_bytes()),
+            index: 0,
+        }
     }
 
     fn spend(inputs: &[OutPoint], outputs: &[u64]) -> UtxoTx {
         UtxoTx {
             inputs: inputs
                 .iter()
-                .map(|o| TxIn { prev_tx: o.tx, index: o.index, auth: None })
+                .map(|o| TxIn {
+                    prev_tx: o.tx,
+                    index: o.index,
+                    auth: None,
+                })
                 .collect(),
             outputs: outputs
                 .iter()
-                .map(|&value| TxOut { value, recipient: Address::ZERO })
+                .map(|&value| TxOut {
+                    value,
+                    recipient: Address::ZERO,
+                })
                 .collect(),
         }
     }
@@ -167,9 +187,15 @@ mod tests {
             t.apply(&tx, id);
             current = OutPoint { tx: id, index: 0 };
             expected /= 2.0;
-            assert!((t.taint_of(&current) - expected).abs() < 1e-9, "round {round}");
+            assert!(
+                (t.taint_of(&current) - expected).abs() < 1e-9,
+                "round {round}"
+            );
         }
-        assert!(t.taint_of(&current) < 0.05, "five 1:1 mixes leave ~3% taint");
+        assert!(
+            t.taint_of(&current) < 0.05,
+            "five 1:1 mixes leave ~3% taint"
+        );
     }
 
     #[test]

@@ -212,8 +212,16 @@ impl ChannelNetwork {
         fund_a: Amount,
         fund_b: Amount,
     ) -> Result<u64, ChannelError> {
-        let key_a = self.parties.get(&a).ok_or(ChannelError::Unknown)?.public_key();
-        let key_b = self.parties.get(&b).ok_or(ChannelError::Unknown)?.public_key();
+        let key_a = self
+            .parties
+            .get(&a)
+            .ok_or(ChannelError::Unknown)?
+            .public_key();
+        let key_b = self
+            .parties
+            .get(&b)
+            .ok_or(ChannelError::Unknown)?
+            .public_key();
         self.ledger
             .debit(&a, fund_a)
             .and_then(|()| self.ledger.debit(&b, fund_b))
@@ -226,13 +234,22 @@ impl ChannelNetwork {
             b,
             key_a,
             key_b,
-            state: ChannelState { channel_id: id, seq: 0, balance_a: fund_a, balance_b: fund_b },
+            state: ChannelState {
+                channel_id: id,
+                seq: 0,
+                balance_a: fund_a,
+                balance_b: fund_b,
+            },
             phase: Phase::Open,
         });
         Ok(id)
     }
 
-    fn sign_state(&mut self, who: &Address, state: &ChannelState) -> Result<Signature, ChannelError> {
+    fn sign_state(
+        &mut self,
+        who: &Address,
+        state: &ChannelState,
+    ) -> Result<Signature, ChannelError> {
         self.parties
             .get_mut(who)
             .ok_or(ChannelError::Unknown)?
@@ -252,19 +269,26 @@ impl ChannelNetwork {
         amount: Amount,
     ) -> Result<(), ChannelError> {
         let (a, b, mut new_state) = {
-            let ch = self.channels.get(channel_id as usize).ok_or(ChannelError::Unknown)?;
+            let ch = self
+                .channels
+                .get(channel_id as usize)
+                .ok_or(ChannelError::Unknown)?;
             (ch.a, ch.b, ch.state.clone())
         };
         new_state.seq += 1;
         if from == a {
             if new_state.balance_a < amount {
-                return Err(ChannelError::BadState("insufficient channel balance".into()));
+                return Err(ChannelError::BadState(
+                    "insufficient channel balance".into(),
+                ));
             }
             new_state.balance_a -= amount;
             new_state.balance_b += amount;
         } else if from == b {
             if new_state.balance_b < amount {
-                return Err(ChannelError::BadState("insufficient channel balance".into()));
+                return Err(ChannelError::BadState(
+                    "insufficient channel balance".into(),
+                ));
             }
             new_state.balance_b -= amount;
             new_state.balance_a += amount;
@@ -273,7 +297,10 @@ impl ChannelNetwork {
         }
         let sig_a = self.sign_state(&a, &new_state)?;
         let sig_b = self.sign_state(&b, &new_state)?;
-        let ch = self.channels.get_mut(channel_id as usize).expect("checked above");
+        let ch = self
+            .channels
+            .get_mut(channel_id as usize)
+            .expect("checked above");
         ch.apply_update(new_state, &sig_a, &sig_b)?;
         self.offchain_updates += 1;
         self.payments += 1;
@@ -287,7 +314,10 @@ impl ChannelNetwork {
     ///
     /// [`ChannelError::WrongPhase`] if not open.
     pub fn cooperative_close(&mut self, channel_id: u64) -> Result<(), ChannelError> {
-        let ch = self.channels.get_mut(channel_id as usize).ok_or(ChannelError::Unknown)?;
+        let ch = self
+            .channels
+            .get_mut(channel_id as usize)
+            .ok_or(ChannelError::Unknown)?;
         if ch.phase != Phase::Open {
             return Err(ChannelError::WrongPhase);
         }
@@ -312,7 +342,10 @@ impl ChannelNetwork {
         sig_b: &Signature,
     ) -> Result<(), ChannelError> {
         let deadline = self.height + self.dispute_window;
-        let ch = self.channels.get_mut(channel_id as usize).ok_or(ChannelError::Unknown)?;
+        let ch = self
+            .channels
+            .get_mut(channel_id as usize)
+            .ok_or(ChannelError::Unknown)?;
         if ch.phase != Phase::Open {
             return Err(ChannelError::WrongPhase);
         }
@@ -342,7 +375,10 @@ impl ChannelNetwork {
         sig_b: &Signature,
     ) -> Result<(), ChannelError> {
         let height = self.height;
-        let ch = self.channels.get_mut(channel_id as usize).ok_or(ChannelError::Unknown)?;
+        let ch = self
+            .channels
+            .get_mut(channel_id as usize)
+            .ok_or(ChannelError::Unknown)?;
         let Phase::Disputed { state, deadline } = &ch.phase else {
             return Err(ChannelError::WrongPhase);
         };
@@ -360,7 +396,10 @@ impl ChannelNetwork {
             return Err(ChannelError::BadState("capacity changed".into()));
         }
         let deadline = *deadline;
-        ch.phase = Phase::Disputed { state: newer, deadline };
+        ch.phase = Phase::Disputed {
+            state: newer,
+            deadline,
+        };
         self.onchain_txs += 1;
         Ok(())
     }
@@ -372,7 +411,10 @@ impl ChannelNetwork {
     /// Window still open or wrong phase.
     pub fn finalize_close(&mut self, channel_id: u64) -> Result<(), ChannelError> {
         let height = self.height;
-        let ch = self.channels.get_mut(channel_id as usize).ok_or(ChannelError::Unknown)?;
+        let ch = self
+            .channels
+            .get_mut(channel_id as usize)
+            .ok_or(ChannelError::Unknown)?;
         let Phase::Disputed { state, deadline } = &ch.phase else {
             return Err(ChannelError::WrongPhase);
         };
@@ -432,15 +474,26 @@ impl ChannelNetwork {
     /// # Errors
     ///
     /// [`ChannelError::NoRoute`] or per-hop update failures.
-    pub fn pay(&mut self, from: Address, to: Address, amount: Amount) -> Result<usize, ChannelError> {
-        let route = self.find_route(from, to, amount).ok_or(ChannelError::NoRoute)?;
+    pub fn pay(
+        &mut self,
+        from: Address,
+        to: Address,
+        amount: Amount,
+    ) -> Result<usize, ChannelError> {
+        let route = self
+            .find_route(from, to, amount)
+            .ok_or(ChannelError::NoRoute)?;
         // The recipient's preimage reveal triggers hop-by-hop settlement —
         // in this simulation all parties are honest, so settle directly.
         let mut sender = from;
         for &ch_id in &route {
             let counterparty = {
                 let ch = &self.channels[ch_id as usize];
-                if ch.a == sender { ch.b } else { ch.a }
+                if ch.a == sender {
+                    ch.b
+                } else {
+                    ch.a
+                }
             };
             self.channel_pay(ch_id, sender, amount)?;
             self.payments -= 1; // channel_pay counted a payment per hop
@@ -466,7 +519,10 @@ impl ChannelNetwork {
         channel_id: u64,
     ) -> Result<(ChannelState, Signature, Signature), ChannelError> {
         let (a, b, state) = {
-            let ch = self.channels.get(channel_id as usize).ok_or(ChannelError::Unknown)?;
+            let ch = self
+                .channels
+                .get(channel_id as usize)
+                .ok_or(ChannelError::Unknown)?;
             (ch.a, ch.b, ch.state.clone())
         };
         let sig_a = self.sign_state(&a, &state)?;
@@ -517,8 +573,13 @@ mod tests {
         net.channel_pay(ch, p[0], 10).unwrap();
         // Replay the same (now stale) state.
         let (state, sa, sb) = net.signed_current_state(ch).unwrap();
-        let stale = ChannelState { seq: state.seq, ..state };
-        let err = net.channels[ch as usize].apply_update(stale, &sa, &sb).unwrap_err();
+        let stale = ChannelState {
+            seq: state.seq,
+            ..state
+        };
+        let err = net.channels[ch as usize]
+            .apply_update(stale, &sa, &sb)
+            .unwrap_err();
         assert!(matches!(err, ChannelError::BadState(_)));
     }
 
@@ -535,12 +596,17 @@ mod tests {
         let (new_state, new_sa, new_sb) = net.signed_current_state(ch).unwrap();
 
         // a tries to cheat with the stale state.
-        net.unilateral_close(ch, old_state, &old_sa, &old_sb).unwrap();
+        net.unilateral_close(ch, old_state, &old_sa, &old_sb)
+            .unwrap();
         // b challenges inside the window with the newer state.
         net.challenge(ch, new_state, &new_sa, &new_sb).unwrap();
         net.advance_height(11);
         net.finalize_close(ch).unwrap();
-        assert_eq!(net.onchain_balance(&b), 100_000 + 4_000, "the newer state won");
+        assert_eq!(
+            net.onchain_balance(&b),
+            100_000 + 4_000,
+            "the newer state won"
+        );
     }
 
     #[test]
@@ -549,7 +615,10 @@ mod tests {
         let ch = net.open_channel(p[0], p[1], 1_000, 1_000).unwrap();
         let (state, sa, sb) = net.signed_current_state(ch).unwrap();
         net.unilateral_close(ch, state, &sa, &sb).unwrap();
-        assert!(matches!(net.finalize_close(ch), Err(ChannelError::BadState(_))));
+        assert!(matches!(
+            net.finalize_close(ch),
+            Err(ChannelError::BadState(_))
+        ));
         net.advance_height(11);
         net.finalize_close(ch).unwrap();
     }
@@ -566,7 +635,10 @@ mod tests {
         let onchain_before = net.onchain_txs;
         let hops = net.pay(a, d, 700).unwrap();
         assert_eq!(hops, 3);
-        assert_eq!(net.onchain_txs, onchain_before, "routing is fully off-chain");
+        assert_eq!(
+            net.onchain_txs, onchain_before,
+            "routing is fully off-chain"
+        );
         // d's channel balance with c grew.
         let ch_cd = net.channel(2).unwrap();
         assert_eq!(ch_cd.state.balance_b, 5_700);

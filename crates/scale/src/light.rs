@@ -103,16 +103,26 @@ impl LightClient {
     /// kept.
     pub fn sync(&mut self, headers: &[BlockHeader]) -> Result<(), LightError> {
         for header in headers {
-            let tip = self.headers.last().expect("client always holds >= 1 header");
+            let tip = self
+                .headers
+                .last()
+                .expect("client always holds >= 1 header");
             if header.parent != tip.hash() {
-                return Err(LightError::BrokenLink { height: header.height });
+                return Err(LightError::BrokenLink {
+                    height: header.height,
+                });
             }
             let expected = tip.height + 1;
             if header.height != expected {
-                return Err(LightError::BadHeight { expected, got: header.height });
+                return Err(LightError::BadHeight {
+                    expected,
+                    got: header.height,
+                });
             }
             if self.check_pow && !header.meets_pow_target() {
-                return Err(LightError::BadPow { height: header.height });
+                return Err(LightError::BadPow {
+                    height: header.height,
+                });
             }
             self.bytes_downloaded += header.encoded().len() as u64;
             self.headers.push(header.clone());
@@ -192,13 +202,23 @@ mod tests {
     #[test]
     fn sync_and_spv_verify() {
         let chain = build_chain(20);
-        let genesis_header = chain.tree().get(&chain.canonical_at(0).unwrap()).unwrap().block.header.clone();
+        let genesis_header = chain
+            .tree()
+            .get(&chain.canonical_at(0).unwrap())
+            .unwrap()
+            .block
+            .header
+            .clone();
         let mut client = LightClient::new(genesis_header);
         client.sync(&headers_of(&chain, 1)).unwrap();
         assert_eq!(client.tip_height(), 20);
 
         // Prove a tx from block 7.
-        let block = &chain.tree().get(&chain.canonical_at(7).unwrap()).unwrap().block;
+        let block = &chain
+            .tree()
+            .get(&chain.canonical_at(7).unwrap())
+            .unwrap()
+            .block;
         let leaves: Vec<Hash256> = block.txs.iter().map(Transaction::id).collect();
         let tree = MerkleTree::from_leaves(leaves.clone());
         let proof = tree.prove(2).unwrap();
@@ -211,7 +231,13 @@ mod tests {
     #[test]
     fn broken_link_rejected() {
         let chain = build_chain(5);
-        let genesis_header = chain.tree().get(&chain.canonical_at(0).unwrap()).unwrap().block.header.clone();
+        let genesis_header = chain
+            .tree()
+            .get(&chain.canonical_at(0).unwrap())
+            .unwrap()
+            .block
+            .header
+            .clone();
         let mut client = LightClient::new(genesis_header);
         let mut headers = headers_of(&chain, 1);
         headers[2].parent = dcs_crypto::sha256(b"severed");
@@ -223,8 +249,20 @@ mod tests {
     #[test]
     fn checkpoint_bootstrap_downloads_less() {
         let chain = build_chain(50);
-        let g = chain.tree().get(&chain.canonical_at(0).unwrap()).unwrap().block.header.clone();
-        let cp = chain.tree().get(&chain.canonical_at(40).unwrap()).unwrap().block.header.clone();
+        let g = chain
+            .tree()
+            .get(&chain.canonical_at(0).unwrap())
+            .unwrap()
+            .block
+            .header
+            .clone();
+        let cp = chain
+            .tree()
+            .get(&chain.canonical_at(40).unwrap())
+            .unwrap()
+            .block
+            .header
+            .clone();
 
         let mut from_genesis = LightClient::new(g);
         from_genesis.sync(&headers_of(&chain, 1)).unwrap();
@@ -249,10 +287,20 @@ mod tests {
             .iter()
             .map(|h| chain.tree().get(h).unwrap().block.encoded_len() as u64)
             .sum();
-        let g = chain.tree().get(&chain.canonical_at(0).unwrap()).unwrap().block.header.clone();
+        let g = chain
+            .tree()
+            .get(&chain.canonical_at(0).unwrap())
+            .unwrap()
+            .block
+            .header
+            .clone();
         let mut client = LightClient::new(g);
         client.sync(&headers_of(&chain, 1)).unwrap();
-        let block = &chain.tree().get(&chain.canonical_at(15).unwrap()).unwrap().block;
+        let block = &chain
+            .tree()
+            .get(&chain.canonical_at(15).unwrap())
+            .unwrap()
+            .block;
         let leaves: Vec<Hash256> = block.txs.iter().map(Transaction::id).collect();
         let proof = MerkleTree::from_leaves(leaves.clone()).prove(0).unwrap();
         client.verify_inclusion(&leaves[0], 15, &proof).unwrap();
@@ -281,9 +329,15 @@ mod tests {
                 1,
                 1,
                 Address::ZERO,
-                Seal::Work { nonce: 1, difficulty: 1 << 20 },
+                Seal::Work {
+                    nonce: 1,
+                    difficulty: 1 << 20,
+                },
             )
         };
-        assert!(matches!(client.sync(&[fake]), Err(LightError::BadPow { height: 1 })));
+        assert!(matches!(
+            client.sync(&[fake]),
+            Err(LightError::BadPow { height: 1 })
+        ));
     }
 }

@@ -250,7 +250,11 @@ mod tests {
             .iter()
             .find(|x| ShardedLedger::home_shard(x, 4) == ShardedLedger::home_shard(&a, 4))
             .expect("some pair shares a shard");
-        l.submit(Transfer { from: a, to: b, value: 500 });
+        l.submit(Transfer {
+            from: a,
+            to: b,
+            value: 500,
+        });
         l.seal_all();
         assert_eq!(l.balance(&a), 1_000_000 - 500);
         assert_eq!(l.balance(&b), 1_000_000 + 500);
@@ -267,7 +271,11 @@ mod tests {
             .iter()
             .find(|x| ShardedLedger::home_shard(x, 4) != ShardedLedger::home_shard(&a, 4))
             .expect("some pair crosses shards");
-        l.submit(Transfer { from: a, to: b, value: 700 });
+        l.submit(Transfer {
+            from: a,
+            to: b,
+            value: 700,
+        });
         l.seal_all();
         assert_eq!(l.balance(&a), 1_000_000 - 700);
         assert_eq!(l.balance(&b), 1_000_000 + 700);
@@ -312,9 +320,8 @@ mod tests {
             sharded.speedup()
         );
         // Conservation: total balances match across both runs.
-        let total = |l: &ShardedLedger| -> u128 {
-            accounts.iter().map(|a| u128::from(l.balance(a))).sum()
-        };
+        let total =
+            |l: &ShardedLedger| -> u128 { accounts.iter().map(|a| u128::from(l.balance(a))).sum() };
         assert_eq!(total(&single), total(&sharded));
     }
 

@@ -118,10 +118,16 @@ impl PeggedSidechain {
             chain.height() + 1,
             chain.height() + 1,
             Address::ZERO,
-            Seal::Authority { view: 0, sequence: chain.height() + 1, votes: 1 },
+            Seal::Authority {
+                view: 0,
+                sequence: chain.height() + 1,
+                votes: 1,
+            },
         );
         let block = Block::new(header, txs);
-        chain.import(block.clone()).expect("sequencer blocks are valid");
+        chain
+            .import(block.clone())
+            .expect("sequencer blocks are valid");
         block
     }
 
@@ -131,7 +137,11 @@ impl PeggedSidechain {
     /// # Errors
     ///
     /// [`PegError::Transfer`] if the user lacks funds.
-    pub fn lock_on_main(&mut self, user: Address, amount: Amount) -> Result<(Transaction, u64), PegError> {
+    pub fn lock_on_main(
+        &mut self,
+        user: Address,
+        amount: Amount,
+    ) -> Result<(Transaction, u64), PegError> {
         if self.main.machine().db.balance(&user) < amount {
             return Err(PegError::Transfer("insufficient main-chain balance".into()));
         }
@@ -142,7 +152,9 @@ impl PeggedSidechain {
         let tx = Transaction::Account(tx);
         let block = Self::seal(&mut self.main, vec![tx.clone()]);
         // The bridge's light client follows the main chain.
-        self.bridge_client.sync(&[block.header.clone()]).expect("sequencer headers link");
+        self.bridge_client
+            .sync(std::slice::from_ref(&block.header))
+            .expect("sequencer headers link");
         Ok((tx, block.header.height))
     }
 
@@ -162,12 +174,16 @@ impl PeggedSidechain {
         if self.pegged_in.contains(&tx_id) {
             return Err(PegError::AlreadyPegged(tx_id));
         }
-        let Transaction::Account(acct) = lock_tx else { return Err(PegError::NotALock) };
+        let Transaction::Account(acct) = lock_tx else {
+            return Err(PegError::NotALock);
+        };
         if acct.to != Some(bridge_address()) || acct.value == 0 {
             return Err(PegError::NotALock);
         }
-        let header =
-            self.bridge_client.header_at(height).ok_or(PegError::HeaderMissing(height))?;
+        let header = self
+            .bridge_client
+            .header_at(height)
+            .ok_or(PegError::HeaderMissing(height))?;
         if !proof.verify(&tx_id, &header.tx_root) {
             return Err(PegError::BadProof);
         }
@@ -190,7 +206,9 @@ impl PeggedSidechain {
     /// Any peg error.
     pub fn deposit(&mut self, user: Address, amount: Amount) -> Result<(), PegError> {
         let (tx, height) = self.lock_on_main(user, amount)?;
-        let proof = self.prove_on_main(&tx.id(), height).ok_or(PegError::BadProof)?;
+        let proof = self
+            .prove_on_main(&tx.id(), height)
+            .ok_or(PegError::BadProof)?;
         self.peg_in(&tx, height, &proof)
     }
 
@@ -232,7 +250,9 @@ impl PeggedSidechain {
         release.gas_limit = 0;
         release.gas_price = 0;
         let block = Self::seal(&mut self.main, vec![Transaction::Account(release)]);
-        self.bridge_client.sync(&[block.header.clone()]).expect("sequencer headers link");
+        self.bridge_client
+            .sync(std::slice::from_ref(&block.header))
+            .expect("sequencer headers link");
         Ok(())
     }
 
@@ -300,7 +320,9 @@ mod tests {
         tx.gas_price = 0;
         let tx = Transaction::Account(tx);
         let block = PeggedSidechain::seal(&mut peg.main, vec![tx.clone()]);
-        peg.bridge_client.sync(&[block.header.clone()]).unwrap();
+        peg.bridge_client
+            .sync(std::slice::from_ref(&block.header))
+            .unwrap();
         let proof = peg.prove_on_main(&tx.id(), block.header.height).unwrap();
         assert_eq!(
             peg.peg_in(&tx, block.header.height, &proof),
@@ -325,6 +347,9 @@ mod tests {
     fn cannot_withdraw_more_than_side_balance() {
         let mut peg = setup();
         peg.deposit(user(), 1_000).unwrap();
-        assert!(matches!(peg.withdraw(user(), 2_000), Err(PegError::Transfer(_))));
+        assert!(matches!(
+            peg.withdraw(user(), 2_000),
+            Err(PegError::Transfer(_))
+        ));
     }
 }

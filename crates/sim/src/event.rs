@@ -107,6 +107,9 @@ impl<E> Simulation<E> {
 
     /// Pops the next event, advancing the clock to its timestamp.
     /// Returns `None` when the queue is drained.
+    // Not `Iterator::next`: popping mutates the simulation clock, so the
+    // inherent method keeps that side effect explicit at call sites.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.queue.pop() {
             if self.cancelled.remove(&entry.seq) {

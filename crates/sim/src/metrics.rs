@@ -73,7 +73,10 @@ impl Summary {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Exact percentile `p` in `[0, 100]`; 0 when empty.
@@ -240,7 +243,10 @@ mod tests {
         assert_eq!(gini(&[0, 0]), 0.0);
         assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12, "equal shares → 0");
         let concentrated = gini(&[0, 0, 0, 100]);
-        assert!(concentrated > 0.74, "one holder → high gini, got {concentrated}");
+        assert!(
+            concentrated > 0.74,
+            "one holder → high gini, got {concentrated}"
+        );
         let mid = gini(&[1, 2, 3, 4]);
         assert!(mid > 0.0 && mid < concentrated);
     }

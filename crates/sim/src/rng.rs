@@ -52,10 +52,7 @@ impl Rng {
 
     /// Next raw 64 bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -115,7 +112,10 @@ impl Rng {
     ///
     /// Panics if `mean` is not positive and finite.
     pub fn exp(&mut self, mean: f64) -> f64 {
-        assert!(mean > 0.0 && mean.is_finite(), "exp() mean must be positive: {mean}");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "exp() mean must be positive: {mean}"
+        );
         let u = loop {
             let u = self.f64();
             if u > 0.0 {
@@ -152,7 +152,7 @@ impl Rng {
     pub fn weighted_index(&mut self, weights: &[u64]) -> usize {
         let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
         assert!(total > 0, "weighted_index requires a positive total weight");
-        let mut target = u128::from(self.next_u64()) * total >> 64;
+        let mut target = (u128::from(self.next_u64()) * total) >> 64;
         for (i, &w) in weights.iter().enumerate() {
             let w = u128::from(w);
             if target < w {
@@ -238,7 +238,10 @@ mod tests {
         let n = 50_000;
         let mean_target = 600.0;
         let mean: f64 = (0..n).map(|_| rng.exp(mean_target)).sum::<f64>() / n as f64;
-        assert!((mean - mean_target).abs() / mean_target < 0.03, "mean {mean}");
+        assert!(
+            (mean - mean_target).abs() / mean_target < 0.03,
+            "mean {mean}"
+        );
     }
 
     #[test]

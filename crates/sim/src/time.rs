@@ -88,7 +88,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative: {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative: {s}"
+        );
         SimDuration((s * 1_000_000.0).round() as u64)
     }
 
@@ -201,8 +204,10 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            [1u64, 2, 3].iter().map(|&s| SimDuration::from_secs(s)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
         assert_eq!(total, SimDuration::from_secs(6));
     }
 }

@@ -29,7 +29,10 @@ impl Encode for Account {
 
 impl Decode for Account {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(Account { balance: Amount::decode(r)?, nonce: u64::decode(r)? })
+        Ok(Account {
+            balance: Amount::decode(r)?,
+            nonce: u64::decode(r)?,
+        })
     }
 }
 
@@ -171,7 +174,12 @@ impl AccountDb {
     /// # Errors
     ///
     /// [`StateError::InsufficientBalance`] if `from` cannot cover `value`.
-    pub fn transfer(&mut self, from: &Address, to: &Address, value: Amount) -> Result<(), StateError> {
+    pub fn transfer(
+        &mut self,
+        from: &Address,
+        to: &Address,
+        value: Amount,
+    ) -> Result<(), StateError> {
         self.debit(from, value)?;
         self.credit(to, value);
         Ok(())
@@ -230,7 +238,9 @@ impl AccountDb {
     /// Extracts the journal since `snapshot` as a block-level [`AccountUndo`]
     /// and clears it from the live journal (the block is now "applied").
     pub fn take_undo(&mut self, snapshot: usize) -> AccountUndo {
-        AccountUndo { entries: self.journal.split_off(snapshot) }
+        AccountUndo {
+            entries: self.journal.split_off(snapshot),
+        }
     }
 
     /// Applies a block-level undo record, reversing an applied block.
@@ -274,7 +284,11 @@ mod tests {
             db.debit(&addr(2), 41),
             Err(StateError::InsufficientBalance { have: 40, need: 41 })
         ));
-        assert_eq!(db.balance(&addr(2)), 40, "failed debit must not change state");
+        assert_eq!(
+            db.balance(&addr(2)),
+            40,
+            "failed debit must not change state"
+        );
     }
 
     #[test]

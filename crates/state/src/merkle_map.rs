@@ -35,8 +35,17 @@ fn bit(h: &Hash256, i: usize) -> bool {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { key_hash: Hash256, key: Vec<u8>, value: Vec<u8>, hash: Hash256 },
-    Branch { left: Option<Box<Node>>, right: Option<Box<Node>>, hash: Hash256 },
+    Leaf {
+        key_hash: Hash256,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        hash: Hash256,
+    },
+    Branch {
+        left: Option<Box<Node>>,
+        right: Option<Box<Node>>,
+        hash: Hash256,
+    },
 }
 
 impl Node {
@@ -105,7 +114,9 @@ impl MerkleMap {
         let mut depth = 0;
         loop {
             match node {
-                Node::Leaf { key_hash, value, .. } => {
+                Node::Leaf {
+                    key_hash, value, ..
+                } => {
                     return (*key_hash == kh).then_some(value.as_slice());
                 }
                 Node::Branch { left, right, .. } => {
@@ -138,10 +149,23 @@ impl MerkleMap {
         match node {
             None => {
                 let hash = leaf_hash(&kh, &value);
-                (Box::new(Node::Leaf { key_hash: kh, key, value, hash }), None)
+                (
+                    Box::new(Node::Leaf {
+                        key_hash: kh,
+                        key,
+                        value,
+                        hash,
+                    }),
+                    None,
+                )
             }
             Some(mut boxed) => match &mut *boxed {
-                Node::Leaf { key_hash, value: old_value, hash, .. } if *key_hash == kh => {
+                Node::Leaf {
+                    key_hash,
+                    value: old_value,
+                    hash,
+                    ..
+                } if *key_hash == kh => {
                     let old = std::mem::replace(old_value, value);
                     *hash = leaf_hash(&kh, old_value);
                     (boxed, Some(old))
@@ -151,8 +175,11 @@ impl MerkleMap {
                     // the two key hashes diverge.
                     let existing_bit = bit(key_hash, depth);
                     let new_bit = bit(&kh, depth);
-                    let mut branch =
-                        Node::Branch { left: None, right: None, hash: Hash256::ZERO };
+                    let mut branch = Node::Branch {
+                        left: None,
+                        right: None,
+                        hash: Hash256::ZERO,
+                    };
                     if existing_bit == new_bit {
                         let (child, _) = Self::insert_at(Some(boxed), kh, key, value, depth + 1);
                         if let Node::Branch { left, right, .. } = &mut branch {
@@ -160,8 +187,12 @@ impl MerkleMap {
                         }
                     } else if let Node::Branch { left, right, .. } = &mut branch {
                         let new_hash = leaf_hash(&kh, &value);
-                        let new_leaf =
-                            Box::new(Node::Leaf { key_hash: kh, key, value, hash: new_hash });
+                        let new_leaf = Box::new(Node::Leaf {
+                            key_hash: kh,
+                            key,
+                            value,
+                            hash: new_hash,
+                        });
                         if new_bit {
                             *right = Some(new_leaf);
                             *left = Some(boxed);
@@ -252,7 +283,9 @@ impl MerkleMap {
         let mut siblings = Vec::new();
         loop {
             match node {
-                Node::Leaf { key_hash, value, .. } => {
+                Node::Leaf {
+                    key_hash, value, ..
+                } => {
                     if *key_hash != kh {
                         return None;
                     }
@@ -377,7 +410,10 @@ mod tests {
     use super::*;
 
     fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
-        (format!("key-{i}").into_bytes(), format!("value-{i}").into_bytes())
+        (
+            format!("key-{i}").into_bytes(),
+            format!("value-{i}").into_bytes(),
+        )
     }
 
     #[test]

@@ -39,7 +39,10 @@ fn mine_block(chain: &mut Chain<UtxoMachine>, miner: Address, txs: Vec<Transacti
         body,
     );
     let (header, attempts) = mine_real(template.header.clone(), DIFFICULTY, 0);
-    let block = Block { header, txs: template.txs };
+    let block = Block {
+        header,
+        txs: template.txs,
+    };
     println!(
         "mined block {} with {} hash attempts → {}",
         block.header.height,
@@ -68,15 +71,28 @@ fn main() {
 
     // --- Alice pays Bob 30, signed, mined into block 1. ------------------
     let mut payment = UtxoTx {
-        inputs: vec![TxIn { prev_tx: alice_coin.tx, index: alice_coin.index, auth: None }],
+        inputs: vec![TxIn {
+            prev_tx: alice_coin.tx,
+            index: alice_coin.index,
+            auth: None,
+        }],
         outputs: vec![
-            TxOut { value: 30_0000_0000, recipient: _bob.address() },
-            TxOut { value: 70_0000_0000, recipient: alice.address() },
+            TxOut {
+                value: 30_0000_0000,
+                recipient: _bob.address(),
+            },
+            TxOut {
+                value: 70_0000_0000,
+                recipient: alice.address(),
+            },
         ],
     };
     let signing = Transaction::Utxo(payment.clone()).signing_hash();
     let sig = alice.sign(&signing).expect("keys remain");
-    payment.inputs[0].auth = Some(TxAuth { pubkey: alice.public_key(), signature: sig });
+    payment.inputs[0].auth = Some(TxAuth {
+        pubkey: alice.public_key(),
+        signature: sig,
+    });
     let payment = Transaction::Utxo(payment);
     let payment_id = payment.id();
 
@@ -108,29 +124,56 @@ fn main() {
 
     // --- Privacy epilogue: taint and mixing (§5.3). -----------------------
     let mut taint = TaintTracker::new();
-    let stolen = OutPoint { tx: payment_id, index: 0 }; // suppose Bob's coin is flagged
+    let stolen = OutPoint {
+        tx: payment_id,
+        index: 0,
+    }; // suppose Bob's coin is flagged
     taint.add_clean(stolen, 30_0000_0000);
     taint.mark_tainted(stolen);
-    println!("\nexchange flags bob's coin: taint = {:.2}", taint.taint_of(&stolen));
+    println!(
+        "\nexchange flags bob's coin: taint = {:.2}",
+        taint.taint_of(&stolen)
+    );
     // Two 1:1 mixes launder it down.
     let mut current = stolen;
     for round in 0..2 {
-        let fresh = OutPoint { tx: dcs_crypto::sha256(&[round]), index: 0 };
+        let fresh = OutPoint {
+            tx: dcs_crypto::sha256(&[round]),
+            index: 0,
+        };
         taint.add_clean(fresh, 30_0000_0000);
         let mix = UtxoTx {
             inputs: vec![
-                TxIn { prev_tx: current.tx, index: current.index, auth: None },
-                TxIn { prev_tx: fresh.tx, index: fresh.index, auth: None },
+                TxIn {
+                    prev_tx: current.tx,
+                    index: current.index,
+                    auth: None,
+                },
+                TxIn {
+                    prev_tx: fresh.tx,
+                    index: fresh.index,
+                    auth: None,
+                },
             ],
             outputs: vec![
-                TxOut { value: 30_0000_0000, recipient: Address::from_index(50) },
-                TxOut { value: 30_0000_0000, recipient: Address::from_index(51) },
+                TxOut {
+                    value: 30_0000_0000,
+                    recipient: Address::from_index(50),
+                },
+                TxOut {
+                    value: 30_0000_0000,
+                    recipient: Address::from_index(51),
+                },
             ],
         };
         let id = Transaction::Utxo(mix.clone()).id();
         taint.apply(&mix, id);
         current = OutPoint { tx: id, index: 0 };
-        println!("after mix round {}: taint = {:.2}", round + 1, taint.taint_of(&current));
+        println!(
+            "after mix round {}: taint = {:.2}",
+            round + 1,
+            taint.taint_of(&current)
+        );
     }
     println!(
         "fungibility restored: the exchange's >50% taint filter now passes this coin: {}",

@@ -11,9 +11,7 @@ use dcs_chain::Chain;
 use dcs_contracts::{exec, stdlib, AccountMachine};
 use dcs_crypto::{sha256, Address};
 use dcs_middleware::{EventBus, EventFilter};
-use dcs_primitives::{
-    AccountTx, Block, BlockHeader, ChainConfig, Seal, Transaction,
-};
+use dcs_primitives::{AccountTx, Block, BlockHeader, ChainConfig, Seal, Transaction};
 
 fn seal_block(chain: &mut Chain<AccountMachine>, txs: Vec<Transaction>) {
     let header = BlockHeader::new(
@@ -21,7 +19,11 @@ fn seal_block(chain: &mut Chain<AccountMachine>, txs: Vec<Transaction>) {
         chain.height() + 1,
         chain.height() + 1,
         Address::from_index(999), // block proposer: collects the gas fees
-        Seal::Authority { view: 0, sequence: chain.height() + 1, votes: 1 },
+        Seal::Authority {
+            view: 0,
+            sequence: chain.height() + 1,
+            votes: 1,
+        },
     );
     chain.import(Block::new(header, txs)).expect("valid block");
 }
@@ -103,15 +105,12 @@ fn main() {
             }
         }
     }
-    println!(
-        "token events observed: {}",
-        bus.drain(token_events).len()
-    );
+    println!("token events observed: {}", bus.drain(token_events).len());
 
     // --- The free read path (§2.5: "it does not cost gas to execute"). ---
     let db = &mut chain.machine_mut().db;
-    let greeting = exec::query(db, &greeter_addr, &alice, &stdlib::greeter_say_input())
-        .expect("say() runs");
+    let greeting =
+        exec::query(db, &greeter_addr, &alice, &stdlib::greeter_say_input()).expect("say() runs");
     println!(
         "say() → {:?}   (read-only: zero gas)",
         dcs_contracts::Word(greeting.try_into().expect("one word")).to_trimmed_string()
@@ -120,7 +119,11 @@ fn main() {
         let out = exec::query(db, &token_addr, who, &stdlib::token_balance_input(who)).unwrap();
         dcs_contracts::Word(out.try_into().expect("one word")).as_u64()
     };
-    println!("token balances: alice={}, bob={}", bal(db, &alice), bal(db, &bob));
+    println!(
+        "token balances: alice={}, bob={}",
+        bal(db, &alice),
+        bal(db, &bob)
+    );
     println!("proposer fee revenue: {}", db.balance(&proposer));
 
     // Notarize a document hash for good measure (the 1-line ÐApp).

@@ -75,5 +75,8 @@ fn main() {
         net.onchain_txs,
         net.payments as f64 / net.onchain_txs as f64
     );
-    assert!(net.payments > 10 * net.onchain_txs, "the chain was offloaded");
+    assert!(
+        net.payments > 10 * net.onchain_txs,
+        "the chain was offloaded"
+    );
 }

@@ -39,7 +39,10 @@ fn main() {
 
     // 4. Measure.
     let result = collect(runner.nodes(), &submitted, horizon);
-    println!("\n=== DCS report ({} peers, PoW, 60 s target) ===", params.nodes);
+    println!(
+        "\n=== DCS report ({} peers, PoW, 60 s target) ===",
+        params.nodes
+    );
     println!("Scalability:");
     println!("  throughput          {:.2} tx/s", result.tps);
     println!(

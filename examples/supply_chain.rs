@@ -19,12 +19,12 @@
 use dcs_chain::Chain;
 use dcs_contracts::{exec, stdlib, AccountMachine, Word};
 use dcs_crypto::Address;
+use dcs_middleware::workflow::{Transition, Workflow};
 use dcs_middleware::{
     identity::Role, CertificateAuthority, EventBus, EventFilter, Oracle, Registry, Sensor,
     SensorConfig,
 };
 use dcs_primitives::{AccountTx, Block, BlockHeader, ChainConfig, GasSchedule, Seal, Transaction};
-use dcs_middleware::workflow::{Transition, Workflow};
 use dcs_privacy::{commitments::Hashlock, MultiChannel};
 use dcs_sim::Rng;
 
@@ -34,7 +34,11 @@ fn seal_block(chain: &mut Chain<AccountMachine>, txs: Vec<Transaction>) {
         chain.height() + 1,
         chain.height() + 1,
         Address::from_index(999),
-        Seal::Authority { view: 0, sequence: chain.height() + 1, votes: 1 },
+        Seal::Authority {
+            view: 0,
+            sequence: chain.height() + 1,
+            votes: 1,
+        },
     );
     chain.import(Block::new(header, txs)).expect("valid block");
 }
@@ -86,11 +90,39 @@ fn main() {
 
     // Producer registers the shipment, then trades it down the chain.
     let call = |from: Address, input: Vec<u8>, nonce: u64| {
-        Transaction::Account(AccountTx::call(from, registry_addr, input, 0, nonce, 1_000_000))
+        Transaction::Account(AccountTx::call(
+            from,
+            registry_addr,
+            input,
+            0,
+            nonce,
+            1_000_000,
+        ))
     };
-    seal_block(&mut goods, vec![call(producer, stdlib::trade_input(1, "GRAIN-LOT-7", None), 1)]);
-    seal_block(&mut goods, vec![call(producer, stdlib::trade_input(2, "GRAIN-LOT-7", Some(&shipper)), 2)]);
-    seal_block(&mut goods, vec![call(shipper, stdlib::trade_input(2, "GRAIN-LOT-7", Some(&retailer)), 0)]);
+    seal_block(
+        &mut goods,
+        vec![call(
+            producer,
+            stdlib::trade_input(1, "GRAIN-LOT-7", None),
+            1,
+        )],
+    );
+    seal_block(
+        &mut goods,
+        vec![call(
+            producer,
+            stdlib::trade_input(2, "GRAIN-LOT-7", Some(&shipper)),
+            2,
+        )],
+    );
+    seal_block(
+        &mut goods,
+        vec![call(
+            shipper,
+            stdlib::trade_input(2, "GRAIN-LOT-7", Some(&retailer)),
+            0,
+        )],
+    );
 
     for (block, receipts) in goods.drain_receipts() {
         bus.publish_block(block, &receipts);
@@ -112,7 +144,12 @@ fn main() {
 
     // --- IoT: cold-chain telemetry, tamper-resistant. --------------------
     let mut sensors: Vec<Sensor> = (0..4)
-        .map(|_| Sensor::new(SensorConfig { noise_std: 0.3, ..SensorConfig::default() }))
+        .map(|_| {
+            Sensor::new(SensorConfig {
+                noise_std: 0.3,
+                ..SensorConfig::default()
+            })
+        })
         .collect();
     // One sensor is compromised and reports a fake safe temperature.
     sensors.push(Sensor::new(SensorConfig {
@@ -134,9 +171,15 @@ fn main() {
         .collect();
     println!(
         "cold-chain telemetry (median of 5 sensors, 1 tampered): {:?}",
-        readings.iter().map(|v| format!("{v:.1}°C")).collect::<Vec<_>>()
+        readings
+            .iter()
+            .map(|v| format!("{v:.1}°C"))
+            .collect::<Vec<_>>()
     );
-    assert!(readings.last().unwrap() > &5.0, "the warming trend is visible on-chain");
+    assert!(
+        readings.last().unwrap() > &5.0,
+        "the warming trend is visible on-chain"
+    );
 
     // --- Settlement: atomic swap across privacy domains (§5.3, E14). -----
     let mut channels = MultiChannel::new();
@@ -145,21 +188,24 @@ fn main() {
         vec![producer, retailer],
         &[(retailer, 0), (producer, 100)], // producer holds 100 grain tokens
     );
-    let pay_ch = channels.create_channel(
-        "payments",
-        vec![producer, retailer],
-        &[(retailer, 50_000)],
-    );
+    let pay_ch =
+        channels.create_channel("payments", vec![producer, retailer], &[(retailer, 50_000)]);
     let secret = b"delivery-confirmed-lot7";
     let lock = Hashlock::from_secret(secret);
-    let h_goods = channels.lock(goods_ch, producer, retailer, 100, lock, 10).unwrap();
-    let h_pay = channels.lock(pay_ch, retailer, producer, 45_000, lock, 5).unwrap();
+    let h_goods = channels
+        .lock(goods_ch, producer, retailer, 100, lock, 10)
+        .unwrap();
+    let h_pay = channels
+        .lock(pay_ch, retailer, producer, 45_000, lock, 5)
+        .unwrap();
     channels.claim(pay_ch, producer, h_pay, secret).unwrap();
     let revealed = channels
         .revealed_preimage(pay_ch, retailer, h_pay)
         .unwrap()
         .expect("preimage published on the payment channel");
-    channels.claim(goods_ch, retailer, h_goods, &revealed).unwrap();
+    channels
+        .claim(goods_ch, retailer, h_goods, &revealed)
+        .unwrap();
     println!(
         "atomic settlement: producer received {} (payments channel), retailer received {} grain tokens (goods channel)",
         channels.balance(pay_ch, producer, producer).unwrap(),
@@ -175,9 +221,24 @@ fn main() {
             "Agreement".into(),
         ],
         transitions: vec![
-            Transition { name: "ship".into(), from: 0, to: 1, actor: producer },
-            Transition { name: "deliver".into(), from: 1, to: 2, actor: shipper },
-            Transition { name: "approve".into(), from: 2, to: 3, actor: retailer },
+            Transition {
+                name: "ship".into(),
+                from: 0,
+                to: 1,
+                actor: producer,
+            },
+            Transition {
+                name: "deliver".into(),
+                from: 1,
+                to: 2,
+                actor: shipper,
+            },
+            Transition {
+                name: "approve".into(),
+                from: 2,
+                to: 3,
+                actor: retailer,
+            },
         ],
     };
     let process_code = process.compile().expect("model compiles");
@@ -191,16 +252,50 @@ fn main() {
     let wf_addr = wf_deploy.contract_address();
     seal_block(&mut goods, vec![Transaction::Account(wf_deploy)]);
     // Fire ship → deliver → approve, each by its authorized actor.
-    seal_block(&mut goods, vec![Transaction::Account(AccountTx::call(producer, wf_addr, process.fire_input(0), 0, 4, 1_000_000))]);
-    seal_block(&mut goods, vec![Transaction::Account(AccountTx::call(shipper, wf_addr, process.fire_input(1), 0, 1, 1_000_000))]);
-    seal_block(&mut goods, vec![Transaction::Account(AccountTx::call(retailer, wf_addr, process.fire_input(2), 0, 0, 1_000_000))]);
-    let state = exec::query(&mut goods.machine_mut().db, &wf_addr, &retailer, &process.state_input())
-        .expect("state query");
+    seal_block(
+        &mut goods,
+        vec![Transaction::Account(AccountTx::call(
+            producer,
+            wf_addr,
+            process.fire_input(0),
+            0,
+            4,
+            1_000_000,
+        ))],
+    );
+    seal_block(
+        &mut goods,
+        vec![Transaction::Account(AccountTx::call(
+            shipper,
+            wf_addr,
+            process.fire_input(1),
+            0,
+            1,
+            1_000_000,
+        ))],
+    );
+    seal_block(
+        &mut goods,
+        vec![Transaction::Account(AccountTx::call(
+            retailer,
+            wf_addr,
+            process.fire_input(2),
+            0,
+            0,
+            1_000_000,
+        ))],
+    );
+    let state = exec::query(
+        &mut goods.machine_mut().db,
+        &wf_addr,
+        &retailer,
+        &process.state_input(),
+    )
+    .expect("state query");
     let state = Word(state.try_into().expect("one word")).as_u64();
     println!(
         "workflow state on-chain: {} ({})",
-        state,
-        process.states[state as usize]
+        state, process.states[state as usize]
     );
 
     // --- Analytics over the goods ledger. --------------------------------

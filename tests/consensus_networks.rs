@@ -23,14 +23,25 @@ fn pow_network_reaches_consensus_and_commits_transactions() {
         target_interval_us: 10_000_000,
     };
     let mut runner = builders::build_pow(&params, 1);
-    let submitted = Workload::transfers(2.0, SimDuration::from_secs(500), 50)
-        .inject(runner.net_mut(), 99);
+    let submitted =
+        Workload::transfers(2.0, SimDuration::from_secs(500), 50).inject(runner.net_mut(), 99);
     runner.run_until(at(600));
     let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(600));
 
-    assert!(result.canonical_blocks > 20, "blocks: {}", result.canonical_blocks);
-    assert!(result.committed_txs > 500, "committed: {}", result.committed_txs);
-    assert!(result.replicas_agree, "replicas must agree below confirmation depth");
+    assert!(
+        result.canonical_blocks > 20,
+        "blocks: {}",
+        result.canonical_blocks
+    );
+    assert!(
+        result.committed_txs > 500,
+        "committed: {}",
+        result.committed_txs
+    );
+    assert!(
+        result.replicas_agree,
+        "replicas must agree below confirmation depth"
+    );
     assert!(
         (result.mean_block_interval - 10.0).abs() < 5.0,
         "interval {:.1}s should be near 10s",
@@ -58,10 +69,20 @@ fn pow_difficulty_retargets_to_hold_interval() {
     runner.run_until(at(1_200));
     let core = runner.node(NodeId(0)).core();
     let chain = &core.chain;
-    assert!(chain.height() > 48, "need several eras, got {}", chain.height());
+    assert!(
+        chain.height() > 48,
+        "need several eras, got {}",
+        chain.height()
+    );
     // Mean interval over the last two eras ≈ target.
     let h = chain.height();
-    let t_end = chain.tree().get(&chain.canonical_at(h).unwrap()).unwrap().block.header.timestamp_us;
+    let t_end = chain
+        .tree()
+        .get(&chain.canonical_at(h).unwrap())
+        .unwrap()
+        .block
+        .header
+        .timestamp_us;
     let t_start = chain
         .tree()
         .get(&chain.canonical_at(h - 32).unwrap())
@@ -84,12 +105,16 @@ fn pos_proposers_follow_stake_and_burn_no_hashes() {
     params.stakes = vec![10, 10, 10, 10, 10, 10, 10, 10, 10, 90];
     params.chain.consensus = ConsensusKind::ProofOfStake { slot_us: 5_000_000 };
     let mut runner = builders::build_pos(&params, 5);
-    let submitted = Workload::transfers(5.0, SimDuration::from_secs(500), 50)
-        .inject(runner.net_mut(), 7);
+    let submitted =
+        Workload::transfers(5.0, SimDuration::from_secs(500), 50).inject(runner.net_mut(), 7);
     runner.run_until(at(600));
     let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(600));
 
-    assert!(result.canonical_blocks > 80, "one block per 5s slot, got {}", result.canonical_blocks);
+    assert!(
+        result.canonical_blocks > 80,
+        "one block per 5s slot, got {}",
+        result.canonical_blocks
+    );
     assert!(result.replicas_agree);
     assert!(result.committed_txs > 1_000);
     // The whale produced roughly half the blocks.
@@ -97,7 +122,11 @@ fn pos_proposers_follow_stake_and_burn_no_hashes() {
     assert!((whale - 0.5).abs() < 0.15, "whale share {whale:.2}");
     // Work is lottery evaluations (~1 per node per slot), orders of
     // magnitude below any PoW difficulty.
-    assert!(result.work_expended < 5_000.0, "work {}", result.work_expended);
+    assert!(
+        result.work_expended < 5_000.0,
+        "work {}",
+        result.work_expended
+    );
     // Stake concentration shows up as a low Nakamoto coefficient.
     assert!(result.nakamoto <= 3, "nakamoto {}", result.nakamoto);
 }
@@ -110,12 +139,16 @@ fn poet_behaves_like_pow_without_work() {
         mean_wait_us: 8 * 10_000_000, // 8 peers → ~10 s between blocks
     };
     let mut runner = builders::build_poet(&params, 11);
-    let submitted = Workload::transfers(2.0, SimDuration::from_secs(500), 20)
-        .inject(runner.net_mut(), 3);
+    let submitted =
+        Workload::transfers(2.0, SimDuration::from_secs(500), 20).inject(runner.net_mut(), 3);
     runner.run_until(at(600));
     let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(600));
 
-    assert!(result.canonical_blocks > 25, "blocks {}", result.canonical_blocks);
+    assert!(
+        result.canonical_blocks > 25,
+        "blocks {}",
+        result.canonical_blocks
+    );
     assert!(result.replicas_agree);
     assert!(
         (result.mean_block_interval - 10.0).abs() < 5.0,
@@ -132,8 +165,8 @@ fn ordering_service_is_fast_and_forkless() {
     let mut params = builders::OrderingParams::default();
     params.nodes = 8;
     let mut runner = builders::build_ordering(&params, 17);
-    let submitted = Workload::transfers(200.0, SimDuration::from_secs(20), 100)
-        .inject(runner.net_mut(), 23);
+    let submitted =
+        Workload::transfers(200.0, SimDuration::from_secs(20), 100).inject(runner.net_mut(), 23);
     runner.run_until(at(40));
     let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(20));
 
@@ -147,10 +180,18 @@ fn ordering_service_is_fast_and_forkless() {
     assert_eq!(result.stale_blocks, 0, "no branching is possible (§2.4)");
     assert_eq!(result.reorgs, 0);
     assert!(result.replicas_agree);
-    assert!(result.latency.mean() < 2.0, "latency {:.2}s", result.latency.mean());
+    assert!(
+        result.latency.mean() < 2.0,
+        "latency {:.2}s",
+        result.latency.mean()
+    );
     // The price: one orderer produced everything — zero decentralization.
     assert_eq!(result.nakamoto, 1);
-    assert!(result.proposer_gini > 0.8, "gini {:.2}", result.proposer_gini);
+    assert!(
+        result.proposer_gini > 0.8,
+        "gini {:.2}",
+        result.proposer_gini
+    );
 }
 
 #[test]
@@ -163,13 +204,16 @@ fn ordering_rotation_spreads_production() {
         rotate_every: 2,
     };
     let mut runner = builders::build_ordering(&params, 29);
-    let submitted = Workload::transfers(100.0, SimDuration::from_secs(20), 50)
-        .inject(runner.net_mut(), 31);
+    let submitted =
+        Workload::transfers(100.0, SimDuration::from_secs(20), 50).inject(runner.net_mut(), 31);
     runner.run_until(at(40));
     let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(20));
     assert!(result.committed_txs > 0);
     let producers = result.proposer_counts.iter().filter(|&&c| c > 0).count();
-    assert!(producers >= 3, "rotation should spread production, got {producers}");
+    assert!(
+        producers >= 3,
+        "rotation should spread production, got {producers}"
+    );
     assert!(result.nakamoto >= 2);
 }
 
@@ -177,8 +221,8 @@ fn ordering_rotation_spreads_production() {
 fn pbft_commits_with_quorum_and_agrees() {
     let params = builders::PbftParams::default(); // 7 replicas, f = 2
     let mut runner = builders::build_pbft(&params, 37);
-    let submitted = Workload::transfers(50.0, SimDuration::from_secs(20), 50)
-        .inject(runner.net_mut(), 41);
+    let submitted =
+        Workload::transfers(50.0, SimDuration::from_secs(20), 50).inject(runner.net_mut(), 41);
     runner.run_until(at(60));
     let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(20));
 
@@ -206,8 +250,8 @@ fn pbft_survives_crashed_replicas_up_to_f() {
     let mut params = builders::PbftParams::default(); // n=7 → f=2
     params.crashed = vec![2, 5]; // two non-leader replicas fail-stop
     let mut runner = builders::build_pbft(&params, 43);
-    let submitted = Workload::transfers(20.0, SimDuration::from_secs(15), 20)
-        .inject(runner.net_mut(), 47);
+    let submitted =
+        Workload::transfers(20.0, SimDuration::from_secs(15), 20).inject(runner.net_mut(), 47);
     runner.run_until(at(60));
     // Measure agreement among the live replicas only.
     let live: Vec<usize> = (0..7).filter(|i| !params.crashed.contains(i)).collect();
@@ -231,8 +275,8 @@ fn pbft_view_change_replaces_crashed_leader() {
     let mut params = builders::PbftParams::default();
     params.crashed = vec![0]; // the view-0 leader is dead
     let mut runner = builders::build_pbft(&params, 53);
-    let submitted = Workload::transfers(20.0, SimDuration::from_secs(15), 20)
-        .inject(runner.net_mut(), 59);
+    let submitted =
+        Workload::transfers(20.0, SimDuration::from_secs(15), 20).inject(runner.net_mut(), 59);
     runner.run_until(at(120));
     let survivor = runner.node(NodeId(1));
     assert!(survivor.view() >= 1, "view change must have happened");
@@ -256,8 +300,8 @@ fn bitcoin_ng_decouples_throughput_from_key_blocks() {
         micro_interval_us: 1_000_000, // 1 s microblocks
     };
     let mut runner = builders::build_ng(&params, 61);
-    let submitted = Workload::transfers(20.0, SimDuration::from_secs(300), 50)
-        .inject(runner.net_mut(), 67);
+    let submitted =
+        Workload::transfers(20.0, SimDuration::from_secs(300), 50).inject(runner.net_mut(), 67);
     runner.run_until(at(400));
     let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(400));
 
@@ -276,7 +320,11 @@ fn bitcoin_ng_decouples_throughput_from_key_blocks() {
         submitted.len()
     );
     // Blocks commit far more often than key blocks arrive.
-    assert!(result.mean_block_interval < 10.0, "{}", result.mean_block_interval);
+    assert!(
+        result.mean_block_interval < 10.0,
+        "{}",
+        result.mean_block_interval
+    );
 }
 
 #[test]
@@ -306,13 +354,19 @@ fn partition_forks_then_heals_into_one_chain() {
     runner.run_until(at(600));
     let submitted = std::collections::HashMap::new();
     let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(600));
-    assert!(result.replicas_agree, "post-heal the network must reconverge");
+    assert!(
+        result.replicas_agree,
+        "post-heal the network must reconverge"
+    );
     let reorgs_somewhere: u64 = runner
         .nodes()
         .iter()
         .map(|n| n.core().chain.stats().reorgs)
         .sum();
-    assert!(reorgs_somewhere > 0, "healing requires at least one side to reorg");
+    assert!(
+        reorgs_somewhere > 0,
+        "healing requires at least one side to reorg"
+    );
 }
 
 #[test]
@@ -335,11 +389,19 @@ fn ghost_vs_longest_chain_under_fast_blocks() {
         };
         let mut runner = builders::build_pow(&params, seed);
         runner.run_until(at(300));
-        collect(runner.nodes(), &std::collections::HashMap::new(), SimDuration::from_secs(300))
+        collect(
+            runner.nodes(),
+            &std::collections::HashMap::new(),
+            SimDuration::from_secs(300),
+        )
     };
     let longest = mk(ForkChoice::LongestChain, 73);
     let ghost = mk(ForkChoice::Ghost, 79);
-    assert!(longest.stale_rate > 0.02, "fast blocks must fork: {}", longest.stale_rate);
+    assert!(
+        longest.stale_rate > 0.02,
+        "fast blocks must fork: {}",
+        longest.stale_rate
+    );
     assert!(ghost.stale_rate > 0.02);
     assert!(longest.replicas_agree);
     assert!(ghost.replicas_agree);

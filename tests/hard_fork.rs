@@ -9,9 +9,9 @@
 //! persistent currencies.
 
 use dcs_chain::ChainError;
+use dcs_chain::NullMachine;
 use dcs_consensus::pos::{PosNode, StakeTable};
 use dcs_consensus::WireMsg;
-use dcs_chain::NullMachine;
 use dcs_crypto::Address;
 use dcs_ledger::workload::Workload;
 use dcs_ledger::LedgerNode;
@@ -74,7 +74,10 @@ fn mixed_version_network_splits_on_big_blocks() {
     let common_height = runner.node(NodeId(0)).core().chain.height();
 
     // Burst load: the next big-block leader fills a block beyond OLD_LIMIT.
-    let burst = Workload { duration: SimDuration::from_secs(240), ..Workload::transfers(30.0, SimDuration::from_secs(240), 50) };
+    let burst = Workload {
+        duration: SimDuration::from_secs(240),
+        ..Workload::transfers(30.0, SimDuration::from_secs(240), 50)
+    };
     let mut net_burst = burst;
     net_burst.tps = 30.0;
     net_burst.inject(runner.net_mut(), 2);
@@ -89,8 +92,14 @@ fn mixed_version_network_splits_on_big_blocks() {
         "a big block must have split the network"
     );
     // Both sides kept making progress past the fork point — two currencies.
-    assert!(old_node.chain.height() > common_height, "legacy side stalled");
-    assert!(new_node.chain.height() > common_height, "upgraded side stalled");
+    assert!(
+        old_node.chain.height() > common_height,
+        "legacy side stalled"
+    );
+    assert!(
+        new_node.chain.height() > common_height,
+        "upgraded side stalled"
+    );
     // The new side accepted at least one block the old side's rules forbid.
     let oversized = new_node
         .chain
@@ -120,11 +129,18 @@ fn import_rejects_oversized_block_directly() {
         BlockHeader::new(genesis.hash(), 1, 1, Address::ZERO, Seal::None),
         txs,
     );
-    assert!(matches!(chain.import(big), Err(ChainError::BadTransaction(_))));
+    assert!(matches!(
+        chain.import(big),
+        Err(ChainError::BadTransaction(_))
+    ));
     // Within-limit blocks still import (3 txs + coinbase allowance).
     let ok = Block::new(
         BlockHeader::new(genesis.hash(), 1, 1, Address::ZERO, Seal::None),
-        vec![Transaction::Coinbase { to: Address::ZERO, value: 1, height: 1 }],
+        vec![Transaction::Coinbase {
+            to: Address::ZERO,
+            value: 1,
+            height: 1,
+        }],
     );
     chain.import(ok).unwrap();
     let _ = WireMsg::BlockRequest(dcs_crypto::Hash256::ZERO); // crate linkage

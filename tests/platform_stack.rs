@@ -11,9 +11,7 @@ use dcs_crypto::{Address, KeyPair};
 use dcs_ledger::{builders, collect, LedgerNode};
 use dcs_middleware::{EventBus, EventFilter};
 use dcs_net::{LatencyModel, NetConfig, NodeId, Runner, Topology};
-use dcs_primitives::{
-    AccountTx, ChainConfig, ConsensusKind, GasSchedule, Transaction, TxAuth,
-};
+use dcs_primitives::{AccountTx, ChainConfig, ConsensusKind, GasSchedule, Transaction, TxAuth};
 use dcs_sim::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -94,7 +92,10 @@ fn contracts_execute_on_a_pos_network() {
         .iter()
         .map(|node| node.core().chain.machine().state_root())
         .collect();
-    assert!(roots.windows(2).all(|w| w[0] == w[1]), "replicated execution diverged");
+    assert!(
+        roots.windows(2).all(|w| w[0] == w[1]),
+        "replicated execution diverged"
+    );
 
     // And the token balance is queryable on any replica.
     let machine = runner.node_mut(NodeId(3)).core.chain.machine_mut();
@@ -159,25 +160,40 @@ fn signed_transactions_verified_across_the_network() {
     tx.gas_price = 0;
     let unsigned = Transaction::Account(tx.clone());
     let sig = alice_keys.sign(&unsigned.signing_hash()).unwrap();
-    tx.auth = Some(TxAuth { pubkey: alice_keys.public_key(), signature: sig });
-    runner
-        .net_mut()
-        .inject(at(1), NodeId(2), WireMsg::Tx(Arc::new(Transaction::Account(tx))));
+    tx.auth = Some(TxAuth {
+        pubkey: alice_keys.public_key(),
+        signature: sig,
+    });
+    runner.net_mut().inject(
+        at(1),
+        NodeId(2),
+        WireMsg::Tx(Arc::new(Transaction::Account(tx))),
+    );
     runner.run_until(at(30));
     for node in runner.nodes() {
-        assert_eq!(node.core().chain.machine().db.balance(&bob), 250, "signed tx applied");
+        assert_eq!(
+            node.core().chain.machine().db.balance(&bob),
+            250,
+            "signed tx applied"
+        );
     }
 
     // An unsigned transfer poisons its block: state never moves.
     let mut forged = AccountTx::transfer(alice, bob, 999, 1);
     forged.gas_limit = 0;
     forged.gas_price = 0;
-    runner
-        .net_mut()
-        .inject(at(31), NodeId(1), WireMsg::Tx(Arc::new(Transaction::Account(forged))));
+    runner.net_mut().inject(
+        at(31),
+        NodeId(1),
+        WireMsg::Tx(Arc::new(Transaction::Account(forged))),
+    );
     runner.run_until(at(60));
     for node in runner.nodes() {
-        assert_eq!(node.core().chain.machine().db.balance(&bob), 250, "forgery rejected");
+        assert_eq!(
+            node.core().chain.machine().db.balance(&bob),
+            250,
+            "forgery rejected"
+        );
     }
 }
 
@@ -188,15 +204,20 @@ fn signed_transactions_verified_across_the_network() {
 fn poet_cheater_captures_block_production() {
     let mut params = builders::PoetParams::default();
     params.nodes = 8;
-    params.chain.consensus = ConsensusKind::ProofOfElapsedTime { mean_wait_us: 8 * 5_000_000 };
+    params.chain.consensus = ConsensusKind::ProofOfElapsedTime {
+        mean_wait_us: 8 * 5_000_000,
+    };
     // Node 0's enclave draws waits 4x shorter than honest peers.
     params.cheat_factors = vec![0.25, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
     let mut runner = builders::build_poet(&params, 99);
     runner.run_until(at(1_500));
-    let result = collect(runner.nodes(), &std::collections::HashMap::new(), SimDuration::from_secs(1_500));
+    let result = collect(
+        runner.nodes(),
+        &std::collections::HashMap::new(),
+        SimDuration::from_secs(1_500),
+    );
 
-    let cheater_share =
-        result.proposer_counts[0] as f64 / result.canonical_blocks.max(1) as f64;
+    let cheater_share = result.proposer_counts[0] as f64 / result.canonical_blocks.max(1) as f64;
     // An honest peer would hold 1/8 = 12.5%; a 4x cheater converges to
     // 4/(4+7) ≈ 36%.
     assert!(
@@ -218,12 +239,8 @@ fn analytics_agree_with_metrics() {
     let mut params = builders::OrderingParams::default();
     params.nodes = 4;
     let mut runner = builders::build_ordering(&params, 3);
-    let submitted = dcs_ledger::workload::Workload::transfers(
-        50.0,
-        SimDuration::from_secs(10),
-        20,
-    )
-    .inject(runner.net_mut(), 1);
+    let submitted = dcs_ledger::workload::Workload::transfers(50.0, SimDuration::from_secs(10), 20)
+        .inject(runner.net_mut(), 1);
     runner.run_until(at(30));
     let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(10));
     let report = dcs_middleware::analytics::analyze(&runner.nodes()[0].core().chain);

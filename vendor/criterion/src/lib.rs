@@ -1,0 +1,360 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The registry is unreachable from this build environment, so this crate
+//! provides the slice of the criterion API the workspace's benches use —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`] / [`Bencher::iter_with_setup`],
+//! [`BenchmarkId`], [`Throughput`], and the `criterion_group!` /
+//! `criterion_main!` macros — over a simple median-of-samples wall-clock
+//! harness. No statistical analysis, plots, or HTML reports: each benchmark
+//! prints one line with the median time per iteration (and derived
+//! throughput when configured).
+//!
+//! Honest-measurement notes: every sample times a batch of iterations
+//! around a monotonic clock, batch sizes are auto-calibrated toward a fixed
+//! per-benchmark budget, and setup work in `iter_batched`/`iter_with_setup`
+//! is excluded from the timed window exactly as in real criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const SAMPLES: usize = 7;
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(40);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration workload so results also print as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub autosizes samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.label()),
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, id.label()),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op in the stub; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A parameter-only id (the group name carries the function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Per-iteration workload used to derive a rate from the measured time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Controls how `iter_batched` amortizes setup; the stub treats all
+/// variants as per-iteration setup.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: large batches in real criterion.
+    SmallInput,
+    /// Large inputs: small batches in real criterion.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The measurement callback handed to each benchmark closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by the `iter*` methods.
+    ns_per_iter: f64,
+    measured: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, reporting the median time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one sample meets the time budget.
+        let mut batch: u64 = 1;
+        loop {
+            let t = time_batch(batch, &mut routine);
+            if t >= TARGET_SAMPLE_TIME || batch >= 1 << 24 {
+                break;
+            }
+            batch = next_batch(batch, t);
+        }
+        let mut samples = [0f64; SAMPLES];
+        for s in samples.iter_mut() {
+            let t = time_batch(batch, &mut routine);
+            *s = t.as_nanos() as f64 / batch as f64;
+        }
+        self.record(median(&mut samples));
+    }
+
+    /// Times `routine` over inputs built by `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate the per-sample iteration count on untimed probes.
+        let probe = {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        };
+        let iters = iters_for(probe);
+        let mut samples = [0f64; SAMPLES];
+        for s in samples.iter_mut() {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            *s = total.as_nanos() as f64 / iters as f64;
+        }
+        self.record(median(&mut samples));
+    }
+
+    /// Criterion's older name for [`Bencher::iter_batched`] with
+    /// per-iteration setup.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, setup: S, routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iter_batched(setup, routine, BatchSize::PerIteration);
+    }
+
+    fn record(&mut self, ns: f64) {
+        self.ns_per_iter = ns;
+        self.measured = true;
+    }
+}
+
+fn time_batch<O, R: FnMut() -> O>(batch: u64, routine: &mut R) -> Duration {
+    let start = Instant::now();
+    for _ in 0..batch {
+        black_box(routine());
+    }
+    start.elapsed()
+}
+
+fn next_batch(batch: u64, took: Duration) -> u64 {
+    let took_ns = took.as_nanos().max(1) as u64;
+    let target_ns = TARGET_SAMPLE_TIME.as_nanos() as u64;
+    (batch.saturating_mul(target_ns / took_ns + 1)).clamp(batch + 1, 1 << 24)
+}
+
+fn iters_for(probe: Duration) -> u64 {
+    let probe_ns = probe.as_nanos().max(1) as u64;
+    (TARGET_SAMPLE_TIME.as_nanos() as u64 / probe_ns).clamp(1, 1 << 16)
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+fn run_benchmark<F: FnOnce(&mut Bencher)>(label: &str, throughput: Option<Throughput>, f: F) {
+    let mut bencher = Bencher {
+        ns_per_iter: 0.0,
+        measured: false,
+    };
+    f(&mut bencher);
+    if !bencher.measured {
+        println!("{label:<48} (no measurement recorded)");
+        return;
+    }
+    let ns = bencher.ns_per_iter;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mb_s = bytes as f64 / ns * 1e9 / (1024.0 * 1024.0);
+            format!("  {mb_s:10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / ns * 1e9;
+            format!("  {elem_s:10.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} {:>14}/iter{rate}", format_ns(ns));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into one runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` to run the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            measured: false,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.measured);
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn median_of_odd_samples() {
+        let mut s = [5.0, 1.0, 3.0];
+        assert_eq!(median(&mut s), 3.0);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("build", 16).label(), "build/16");
+        assert_eq!(BenchmarkId::from_parameter(64).label(), "64");
+    }
+}

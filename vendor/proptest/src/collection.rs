@@ -1,0 +1,47 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+pub struct VecStrategy<S> {
+    elem: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+/// A vector of `elem` values with length drawn from `len` (half-open).
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy {
+        elem,
+        min: len.start,
+        max_exclusive: len.end,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max_exclusive - self.min) as u64;
+        let len = self.min + rng.below(span) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn lengths_in_range() {
+        let strat = vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Option`s of an inner strategy's values.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `Some` three times out of four, `None` otherwise (mirroring real
+/// proptest's Some-biased default).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no registry access, and this workspace never
+//! actually serializes anything through serde — every wire encoding goes
+//! through `dcs-crypto::codec`. The `#[derive(Serialize, Deserialize)]`
+//! annotations across the workspace exist so downstream users *could* plug
+//! in real serde; here they must merely compile. This crate provides the
+//! two trait names with blanket implementations, and the `derive` feature
+//! re-exports no-op derive macros, so every existing annotation and bound
+//! type-checks without pulling anything from the network.
+//!
+//! Swapping back to real serde is a one-line change in the workspace
+//! manifest; no source file references anything beyond the trait names.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types so `T: Serialize` bounds are always satisfiable.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

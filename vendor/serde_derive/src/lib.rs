@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The sibling `serde` stub blanket-implements both traits for every type,
+//! so these derives have nothing to generate — they only need to exist so
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` helper
+//! attributes parse.
+
+use proc_macro::TokenStream;
+
+/// Emits nothing; the stub `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Emits nothing; the stub `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
