@@ -3,10 +3,11 @@
 //! DESIGN.md §5).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dcs_chain::{best_tip, BlockTree, Chain, NullMachine};
+use dcs_chain::{best_tip, BlockTree, Chain, NullMachine, PrunedStore};
 use dcs_crypto::{Address, Hash256};
 use dcs_primitives::{AccountTx, Block, BlockHeader, ChainConfig, ForkChoice, Seal, Transaction};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn block_with_txs(parent: Hash256, height: u64, n_txs: usize) -> Block {
     let txs: Vec<Transaction> = (0..n_txs)
@@ -93,5 +94,129 @@ fn bench_fork_choice(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_import, bench_fork_choice);
+/// Import a pre-built `Arc<Block>` stream into either backend. Shared
+/// `Arc`s mean the setup cost per iteration is refcount bumps, not block
+/// clones — the number under test is the data layer itself.
+fn bench_backend_import(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_import");
+    group.sample_size(20);
+    let depth = 500u64;
+    let cfg = ChainConfig::bitcoin_like();
+    let genesis = dcs_chain::genesis_block(&cfg);
+    let mut stream: Vec<Arc<Block>> = Vec::new();
+    let mut parent = genesis.hash();
+    for h in 1..=depth {
+        let b = Arc::new(block_with_txs(parent, h, 50));
+        parent = b.hash();
+        stream.push(b);
+    }
+    group.bench_function(BenchmarkId::new("archival", depth), |b| {
+        b.iter(|| {
+            let mut chain = Chain::new(genesis.clone(), cfg.clone(), NullMachine);
+            for blk in &stream {
+                chain.import(black_box(Arc::clone(blk))).unwrap();
+            }
+            black_box(chain.height())
+        })
+    });
+    group.bench_function(BenchmarkId::new("pruned_keep32", depth), |b| {
+        b.iter(|| {
+            let mut chain = Chain::with_store(
+                genesis.clone(),
+                cfg.clone(),
+                NullMachine,
+                PrunedStore::new(32),
+            );
+            for blk in &stream {
+                chain.import(black_box(Arc::clone(blk))).unwrap();
+            }
+            black_box(chain.height())
+        })
+    });
+    group.finish();
+}
+
+/// Reorg cost: flip between two competing branches of the given depth.
+/// With `Arc<Block>` end-to-end and body-free `CanonStats::shed`, the
+/// revert/apply walk moves refcounts and hash sets — no block deep-copies.
+fn bench_reorg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_reorg");
+    group.sample_size(20);
+    for depth in [4u64, 16] {
+        let cfg = ChainConfig::bitcoin_like();
+        let genesis = dcs_chain::genesis_block(&cfg);
+        let branch = |salt: u64| {
+            let mut out: Vec<Arc<Block>> = Vec::new();
+            let mut parent = genesis.hash();
+            for h in 1..=depth {
+                let b = Arc::new(Block::new(
+                    BlockHeader::new(
+                        parent,
+                        h,
+                        h + salt,
+                        Address::from_index(salt % 16),
+                        Seal::Work {
+                            nonce: h + salt,
+                            difficulty: 1,
+                        },
+                    ),
+                    (0..20)
+                        .map(|i| {
+                            Transaction::Account(AccountTx::transfer(
+                                Address::from_index(salt + h * 1_000 + i),
+                                Address::from_index(1),
+                                1,
+                                0,
+                            ))
+                        })
+                        .collect(),
+                ));
+                parent = b.hash();
+                out.push(b);
+            }
+            out
+        };
+        let a = branch(0);
+        let b_branch = branch(700_000);
+        // Tie-breaker block that makes branch B win, forcing a full-depth
+        // reorg when delivered.
+        let kicker = Arc::new(Block::new(
+            BlockHeader::new(
+                b_branch.last().unwrap().hash(),
+                depth + 1,
+                depth + 800_000,
+                Address::from_index(3),
+                Seal::Work {
+                    nonce: 800_000,
+                    difficulty: 1,
+                },
+            ),
+            vec![],
+        ));
+        group.bench_with_input(BenchmarkId::new("flip", depth), &depth, |bch, _| {
+            bch.iter_with_setup(
+                || {
+                    let mut chain = Chain::new(genesis.clone(), cfg.clone(), NullMachine);
+                    for blk in a.iter().chain(b_branch.iter()) {
+                        chain.import(Arc::clone(blk)).unwrap();
+                    }
+                    chain
+                },
+                |mut chain| {
+                    chain.import(black_box(Arc::clone(&kicker))).unwrap();
+                    black_box(chain.stats().reorgs)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_import,
+    bench_fork_choice,
+    bench_backend_import,
+    bench_reorg
+);
 criterion_main!(benches);

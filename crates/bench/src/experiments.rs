@@ -11,7 +11,7 @@ use crate::Scale;
 /// All experiment ids, in presentation order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "f2",
+    "e16", "f2",
 ];
 
 /// Runs one experiment by id, printing its table(s).
@@ -36,6 +36,7 @@ pub fn run(id: &str, scale: Scale) {
         "e13" => security::e13_reorg_depth(scale),
         "e14" => security::e14_multichannel_swap(scale),
         "e15" => scaling::e15_verify_pipeline(scale),
+        "e16" => scaling::e16_pruned_store(scale),
         "f2" => apps::f2_block_structure(),
         other => panic!("unknown experiment id {other:?}"),
     }

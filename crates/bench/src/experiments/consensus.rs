@@ -32,8 +32,7 @@ fn late_window<P: LedgerNode>(nodes: &[P], window: u64) -> (f64, f64) {
             .tree()
             .get(&chain.canonical_at(height).expect("height on chain"))
             .expect("stored")
-            .block
-            .header
+            .header()
             .timestamp_us as f64
             / 1e6
     };
@@ -41,7 +40,7 @@ fn late_window<P: LedgerNode>(nodes: &[P], window: u64) -> (f64, f64) {
     let mut txs = 0u64;
     for height in (h - window + 1)..=h {
         let hash = chain.canonical_at(height).expect("height on chain");
-        txs += chain.tree().get(&hash).expect("stored").block.txs.len() as u64 - 1;
+        txs += chain.tree().get(&hash).expect("stored").block().txs.len() as u64 - 1;
     }
     (span / window as f64, txs as f64 / span)
 }

@@ -7,11 +7,11 @@
 //! set lands on the same canonical chain and state root.
 
 use crate::forkchoice::best_tip_with;
-use crate::store::BlockTree;
+use crate::store::{ArchivalStore, BlockStore, BlockTree};
 use crate::ChainError;
 use dcs_crypto::{merkle_root_with, Hash256, VerifyPipeline};
 use dcs_primitives::{Block, ChainConfig, Receipt, Transaction};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// The application layer beneath the chain: applies blocks to mutable state
@@ -103,15 +103,85 @@ pub struct ChainStats {
     pub blocks_reverted: u64,
     /// Blocks that failed state validation.
     pub invalid_blocks: u64,
+    /// Orphans evicted by the pool cap (see
+    /// [`BlockTree::set_orphan_cap`](crate::BlockTree::set_orphan_cap)).
+    pub orphans_evicted: u64,
+    /// Unblocked orphans rejected by structural checks.
+    pub orphans_rejected: u64,
     /// Histogram of revert depths: `reorg_depth_hist[d]` counts reorgs that
     /// reverted exactly `d` blocks (depth ≥ 15 lands in the last bucket).
     pub reorg_depth_hist: [u64; 16],
 }
 
-/// The chain manager. See the crate docs for an example.
+/// Incrementally maintained statistics about the *current* canonical chain,
+/// updated by O(delta) work on every apply/revert instead of a full-chain
+/// walk at query time. Genesis is excluded (it carries only a zero-value
+/// coinbase).
+///
+/// Invariant: after every import, these totals are exactly what a fresh
+/// walk of [`Chain::canonical`] would produce — reorgs shed the abandoned
+/// branch's contribution and absorb the new branch's, and the invalid-block
+/// recovery path restores the old branch's contribution along with its
+/// state. The store proptests pin this equivalence across backends.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CanonStats {
+    /// Canonical blocks above genesis.
+    pub blocks: u64,
+    /// Committed transactions on the canonical chain, coinbases excluded —
+    /// the numerator of every throughput metric.
+    pub committed_txs: u64,
+    /// Total fees offered by canonical transactions.
+    pub total_fees: u128,
+    /// Per-canonical-block contribution, so a revert can subtract exactly
+    /// what the apply added without re-reading the body.
+    per_block: HashMap<Hash256, BlockDelta>,
+}
+
+/// One canonical block's contribution to [`CanonStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockDelta {
+    txs: u32,
+    fees: u128,
+}
+
+impl CanonStats {
+    fn absorb(&mut self, hash: Hash256, block: &Block) {
+        let delta = BlockDelta {
+            txs: block
+                .txs
+                .iter()
+                .filter(|t| !matches!(t, Transaction::Coinbase { .. }))
+                .count() as u32,
+            fees: u128::from(block.offered_fees()),
+        };
+        self.blocks += 1;
+        self.committed_txs += u64::from(delta.txs);
+        self.total_fees += delta.fees;
+        self.per_block.insert(hash, delta);
+    }
+
+    fn shed(&mut self, hash: &Hash256) {
+        let delta = self
+            .per_block
+            .remove(hash)
+            .expect("stats absorbed on apply");
+        self.blocks -= 1;
+        self.committed_txs -= u64::from(delta.txs);
+        self.total_fees -= delta.fees;
+    }
+
+    /// Committed (non-coinbase) transactions in the given canonical block;
+    /// `None` if the block is not canonical (or is genesis).
+    pub fn block_txs(&self, hash: &Hash256) -> Option<u32> {
+        self.per_block.get(hash).map(|d| d.txs)
+    }
+}
+
+/// The chain manager, generic over the block-record backend (archival by
+/// default). See the crate docs for an example.
 #[derive(Debug)]
-pub struct Chain<M: StateMachine> {
-    tree: BlockTree,
+pub struct Chain<M: StateMachine, S: BlockStore = ArchivalStore> {
+    tree: BlockTree<S>,
     config: ChainConfig,
     machine: M,
     canonical: Vec<Hash256>,
@@ -119,6 +189,7 @@ pub struct Chain<M: StateMachine> {
     receipts: Vec<(Hash256, Vec<Receipt>)>,
     invalid: HashSet<Hash256>,
     stats: ChainStats,
+    canon_stats: CanonStats,
     pipeline: Option<Arc<VerifyPipeline>>,
     /// When true, `Seal::Work` headers must actually hash below their
     /// difficulty target (real grinding; used by low-difficulty tests).
@@ -129,11 +200,26 @@ pub struct Chain<M: StateMachine> {
 }
 
 impl<M: StateMachine> Chain<M> {
-    /// Creates a chain at `genesis` with the given config and machine.
-    pub fn new(genesis: Block, config: ChainConfig, machine: M) -> Self {
-        let gh = genesis.hash();
+    /// Creates an archival chain at `genesis` with the given config and
+    /// machine.
+    pub fn new(genesis: impl Into<Arc<Block>>, config: ChainConfig, machine: M) -> Self {
+        Self::with_store(genesis, config, machine, ArchivalStore::default())
+    }
+}
+
+impl<M: StateMachine, S: BlockStore> Chain<M, S> {
+    /// Creates a chain over the given record backend — e.g.
+    /// [`PrunedStore`](crate::PrunedStore) for a body-pruning node.
+    pub fn with_store(
+        genesis: impl Into<Arc<Block>>,
+        config: ChainConfig,
+        machine: M,
+        store: S,
+    ) -> Self {
+        let tree = BlockTree::with_store(genesis, store);
+        let gh = tree.genesis();
         Chain {
-            tree: BlockTree::new(genesis),
+            tree,
             config,
             machine,
             canonical: vec![gh],
@@ -141,6 +227,7 @@ impl<M: StateMachine> Chain<M> {
             receipts: Vec::new(),
             invalid: HashSet::new(),
             stats: ChainStats::default(),
+            canon_stats: CanonStats::default(),
             pipeline: None,
             check_pow_hash: false,
             enforce_block_limit: false,
@@ -170,8 +257,13 @@ impl<M: StateMachine> Chain<M> {
     }
 
     /// The underlying block tree.
-    pub fn tree(&self) -> &BlockTree {
+    pub fn tree(&self) -> &BlockTree<S> {
         &self.tree
+    }
+
+    /// Mutable access to the block tree (orphan-cap tuning, test setup).
+    pub fn tree_mut(&mut self) -> &mut BlockTree<S> {
+        &mut self.tree
     }
 
     /// The chain configuration.
@@ -197,7 +289,7 @@ impl<M: StateMachine> Chain<M> {
 
     /// Current tip block.
     pub fn tip(&self) -> &Block {
-        &self.tree.get(&self.tip_hash()).expect("tip stored").block
+        self.tree.get(&self.tip_hash()).expect("tip stored").block()
     }
 
     /// Height of the canonical tip.
@@ -219,12 +311,22 @@ impl<M: StateMachine> Chain<M> {
     pub fn is_canonical(&self, hash: &Hash256) -> bool {
         self.tree
             .get(hash)
-            .is_some_and(|sb| self.canonical_at(sb.block.header.height) == Some(*hash))
+            .is_some_and(|sb| self.canonical_at(sb.height()) == Some(*hash))
     }
 
-    /// Consistency statistics so far.
+    /// Consistency statistics so far (orphan-pool counters folded in from
+    /// the tree).
     pub fn stats(&self) -> ChainStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.orphans_evicted = self.tree.orphans_evicted();
+        stats.orphans_rejected = self.tree.orphans_rejected();
+        stats
+    }
+
+    /// Incremental statistics about the current canonical chain — O(1) at
+    /// query time where a naive implementation walks every canonical body.
+    pub fn canon_stats(&self) -> &CanonStats {
+        &self.canon_stats
     }
 
     /// Blocks in the tree that are not on the canonical chain (the paper's
@@ -282,14 +384,18 @@ impl<M: StateMachine> Chain<M> {
     }
 
     /// Imports a block: stores it, recomputes fork choice, and applies or
-    /// reorgs the state machine as needed.
+    /// reorgs the state machine as needed. Accepts either an owned
+    /// [`Block`] or an [`Arc<Block>`]; in the latter case the block is
+    /// shared with the tree at zero copies — gossip, storage, and serving
+    /// all bump the same refcount.
     ///
     /// # Errors
     ///
     /// Structural errors ([`ChainError::Duplicate`], bad height/root/seal).
     /// `UnknownParent` is *not* an error here — the block is parked and
     /// [`ChainEvent::Orphaned`] is returned.
-    pub fn import(&mut self, block: Block) -> Result<ChainEvent, ChainError> {
+    pub fn import(&mut self, block: impl Into<Arc<Block>>) -> Result<ChainEvent, ChainError> {
+        let block = block.into();
         self.check_seal(&block)?;
         self.check_rules(&block)?;
         self.check_body(&block)?;
@@ -309,6 +415,16 @@ impl<M: StateMachine> Chain<M> {
         })
     }
 
+    /// Pops the canonical tip, reverting the machine and shedding its stats
+    /// contribution. Does not touch the block body, so reverts work even
+    /// across bodies a pruning store has dropped.
+    fn pop_canonical(&mut self) {
+        let hash = self.canonical.pop().expect("revert above genesis only");
+        let undo = self.undos.pop().expect("one undo per canonical block");
+        self.machine.revert_block(undo);
+        self.canon_stats.shed(&hash);
+    }
+
     /// Recomputes the best tip and moves the state machine onto it.
     /// Returns `None` if the head did not move.
     fn update_head(&mut self) -> Result<Option<ChainEvent>, ChainError> {
@@ -324,10 +440,10 @@ impl<M: StateMachine> Chain<M> {
                         return false;
                     }
                     let sb = tree.get(&cur).expect("tip path stored");
-                    if sb.block.header.height == 0 {
+                    if sb.height() == 0 {
                         return true;
                     }
-                    cur = sb.block.header.parent;
+                    cur = sb.header().parent;
                 }
             });
             let old_tip = self.tip_hash();
@@ -335,20 +451,12 @@ impl<M: StateMachine> Chain<M> {
                 return Ok(None);
             }
             let ancestor = self.tree.common_ancestor(&old_tip, &new_tip);
-            let anc_height = self
-                .tree
-                .get(&ancestor)
-                .expect("ancestor stored")
-                .block
-                .header
-                .height;
+            let anc_height = self.tree.get(&ancestor).expect("ancestor stored").height();
 
             // Revert the old branch down to the ancestor.
             let mut reverted = 0u64;
             while self.height() > anc_height {
-                self.canonical.pop();
-                let undo = self.undos.pop().expect("one undo per canonical block");
-                self.machine.revert_block(undo);
+                self.pop_canonical();
                 reverted += 1;
             }
 
@@ -357,20 +465,16 @@ impl<M: StateMachine> Chain<M> {
             let mut cur = new_tip;
             while cur != ancestor {
                 to_apply.push(cur);
-                cur = self
-                    .tree
-                    .get(&cur)
-                    .expect("path stored")
-                    .block
-                    .header
-                    .parent;
+                cur = self.tree.get(&cur).expect("path stored").header().parent;
             }
             to_apply.reverse();
 
             let mut applied = 0u64;
             let mut failure: Option<Hash256> = None;
             for hash in &to_apply {
-                let block = self.tree.get(hash).expect("path stored").block.clone();
+                // Refcount bump, not a body copy: applying a 10k-tx block
+                // costs the same as a 0-tx block on this line.
+                let block = Arc::clone(self.tree.get(hash).expect("path stored").block());
                 match self.machine.apply_block(&block) {
                     Ok((receipts, undo)) => {
                         // Verify the header's state commitment when present.
@@ -384,6 +488,7 @@ impl<M: StateMachine> Chain<M> {
                         self.canonical.push(*hash);
                         self.undos.push(undo);
                         self.receipts.push((*hash, receipts));
+                        self.canon_stats.absorb(*hash, &block);
                         applied += 1;
                     }
                     Err(_reason) => {
@@ -399,9 +504,7 @@ impl<M: StateMachine> Chain<M> {
                 self.invalid.insert(bad);
                 self.stats.invalid_blocks += 1;
                 while self.height() > anc_height {
-                    self.canonical.pop();
-                    let undo = self.undos.pop().expect("undo per block");
-                    self.machine.revert_block(undo);
+                    self.pop_canonical();
                 }
                 // Restore the old branch exactly as it was.
                 let mut old_branch = Vec::new();
@@ -412,13 +515,12 @@ impl<M: StateMachine> Chain<M> {
                         .tree
                         .get(&cur)
                         .expect("old path stored")
-                        .block
-                        .header
+                        .header()
                         .parent;
                 }
                 old_branch.reverse();
                 for hash in old_branch {
-                    let block = self.tree.get(&hash).expect("old path stored").block.clone();
+                    let block = Arc::clone(self.tree.get(&hash).expect("old path stored").block());
                     let (receipts, undo) = self
                         .machine
                         .apply_block(&block)
@@ -426,6 +528,7 @@ impl<M: StateMachine> Chain<M> {
                     let _ = receipts; // already delivered the first time
                     self.canonical.push(hash);
                     self.undos.push(undo);
+                    self.canon_stats.absorb(hash, &block);
                 }
                 continue; // re-run fork choice without the poisoned block
             }
@@ -443,6 +546,10 @@ impl<M: StateMachine> Chain<M> {
                     new_tip,
                 }
             };
+            // The head moved: advance the backend's finality horizon so a
+            // pruning store can drop bodies `confirmation_depth` behind it.
+            let finalized = self.height().saturating_sub(self.config.confirmation_depth);
+            self.tree.note_finalized(finalized);
             return Ok(Some(event));
         }
     }
@@ -451,6 +558,7 @@ impl<M: StateMachine> Chain<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::PrunedStore;
     use dcs_crypto::Address;
     use dcs_primitives::{AccountTx, BlockHeader, Seal, Transaction};
 
@@ -476,6 +584,16 @@ mod tests {
         (Chain::new(g.clone(), cfg(), NullMachine), g)
     }
 
+    /// Recomputes [`CanonStats`] the slow way, for equivalence checks.
+    fn recompute<M: StateMachine, S: BlockStore>(chain: &Chain<M, S>) -> CanonStats {
+        let mut stats = CanonStats::default();
+        for hash in chain.canonical().iter().skip(1) {
+            let block = chain.tree().get(hash).unwrap().block();
+            stats.absorb(*hash, block);
+        }
+        stats
+    }
+
     #[test]
     fn extension_and_receipts() {
         let (mut chain, g) = new_chain();
@@ -488,6 +606,17 @@ mod tests {
         assert_eq!(receipts.len(), 1);
         assert_eq!(receipts[0].0, b1.hash());
         assert!(chain.drain_receipts().is_empty(), "drained");
+    }
+
+    #[test]
+    fn import_shares_the_arc() {
+        let (mut chain, g) = new_chain();
+        let b1 = Arc::new(child(&g, 1));
+        chain.import(Arc::clone(&b1)).unwrap();
+        assert!(Arc::ptr_eq(
+            chain.tree().get(&b1.hash()).unwrap().block(),
+            &b1
+        ));
     }
 
     #[test]
@@ -545,6 +674,75 @@ mod tests {
         let b1 = child(&g, 1);
         chain.import(b1.clone()).unwrap();
         assert_eq!(chain.import(b1), Err(ChainError::Duplicate));
+    }
+
+    #[test]
+    fn canon_stats_track_extensions_and_reorgs() {
+        let (mut chain, g) = new_chain();
+        let tx = |v| {
+            Transaction::Account(AccountTx::transfer(
+                Address::from_index(1),
+                Address::from_index(2),
+                v,
+                0,
+            ))
+        };
+        let with_txs = |parent: &Block, salt: u64, n: u64| {
+            Block::new(
+                BlockHeader::new(
+                    parent.hash(),
+                    parent.header.height + 1,
+                    salt,
+                    Address::from_index(salt),
+                    Seal::None,
+                ),
+                (0..n).map(|i| tx(salt * 100 + i)).collect(),
+            )
+        };
+        let a1 = with_txs(&g, 1, 3);
+        let b1 = with_txs(&g, 10, 2);
+        let b2 = with_txs(&b1, 11, 5);
+        chain.import(a1.clone()).unwrap();
+        assert_eq!(chain.canon_stats().committed_txs, 3);
+        assert_eq!(chain.canon_stats().block_txs(&a1.hash()), Some(3));
+
+        chain.import(b1.clone()).unwrap(); // side chain: stats unchanged
+        assert_eq!(chain.canon_stats().committed_txs, 3);
+
+        chain.import(b2.clone()).unwrap(); // reorg onto the b-branch
+        assert_eq!(chain.canon_stats().committed_txs, 7);
+        assert_eq!(chain.canon_stats().blocks, 2);
+        assert_eq!(chain.canon_stats().block_txs(&a1.hash()), None, "shed");
+        assert_eq!(chain.canon_stats().block_txs(&b2.hash()), Some(5));
+        assert_eq!(
+            *chain.canon_stats(),
+            recompute(&chain),
+            "incremental ≡ walk"
+        );
+        assert!(chain.canon_stats().total_fees > 0);
+    }
+
+    #[test]
+    fn pruned_backend_matches_archival_decisions() {
+        let g = crate::genesis_block(&cfg());
+        let mut archival = Chain::new(g.clone(), cfg(), NullMachine);
+        let mut pruned = Chain::with_store(g.clone(), cfg(), NullMachine, PrunedStore::new(2));
+        let mut parent = g.clone();
+        for h in 1..=20u64 {
+            let b = child(&parent, h);
+            assert_eq!(
+                archival.import(b.clone()).unwrap(),
+                pruned.import(b.clone()).unwrap()
+            );
+            parent = b;
+        }
+        assert_eq!(archival.tip_hash(), pruned.tip_hash());
+        assert_eq!(archival.canonical(), pruned.canonical());
+        assert_eq!(archival.canon_stats(), pruned.canon_stats());
+        // confirmation_depth 6 + keep_depth 2: bodies below 20-6-2=12 pruned.
+        let stats = pruned.tree().store_stats();
+        assert_eq!(stats.bodies_pruned, 12);
+        assert!(stats.resident_body_bytes < archival.tree().store_stats().resident_body_bytes);
     }
 
     /// A state machine that rejects blocks containing any account tx whose
@@ -608,6 +806,8 @@ mod tests {
         assert_eq!(chain.tip_hash(), a1.hash());
         assert_eq!(chain.stats().invalid_blocks, 1);
         assert_eq!(chain.machine().applied, vec![a1.hash()]);
+        // Stats restored along with the old branch.
+        assert_eq!(*chain.canon_stats(), recompute(&chain));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ties by earliest arrival (first-seen, as Bitcoin does), which keeps the
 //! choice deterministic in the simulator.
 
-use crate::store::BlockTree;
+use crate::store::{BlockStore, BlockTree};
 use dcs_crypto::Hash256;
 use dcs_primitives::ForkChoice;
 use std::collections::HashMap;
@@ -20,29 +20,28 @@ use std::collections::HashMap;
 /// let tip = best_tip(&tree, ForkChoice::LongestChain);
 /// assert_eq!(tip, tree.genesis());
 /// ```
-pub fn best_tip(tree: &BlockTree, rule: ForkChoice) -> Hash256 {
+pub fn best_tip<S: BlockStore>(tree: &BlockTree<S>, rule: ForkChoice) -> Hash256 {
     best_tip_with(tree, rule, |_| true)
 }
 
 /// Like [`best_tip`], but only considers blocks accepted by `viable` —
 /// used by the chain manager to route around blocks that failed state
-/// validation.
-pub fn best_tip_with(
-    tree: &BlockTree,
+/// validation. Operates on headers and tree metadata only, so it works
+/// unchanged over a body-pruning backend.
+pub fn best_tip_with<S: BlockStore>(
+    tree: &BlockTree<S>,
     rule: ForkChoice,
     viable: impl Fn(&Hash256) -> bool,
 ) -> Hash256 {
     match rule {
-        ForkChoice::LongestChain => {
-            extremal_tip(tree, |sb| u128::from(sb.block.header.height), viable)
-        }
+        ForkChoice::LongestChain => extremal_tip(tree, |sb| u128::from(sb.header().height), viable),
         ForkChoice::HeaviestWork => extremal_tip(tree, |sb| sb.total_work, viable),
         ForkChoice::Ghost => ghost_tip(tree, viable),
     }
 }
 
-fn extremal_tip(
-    tree: &BlockTree,
+fn extremal_tip<S: BlockStore>(
+    tree: &BlockTree<S>,
     score: impl Fn(&crate::store::StoredBlock) -> u128,
     viable: impl Fn(&Hash256) -> bool,
 ) -> Hash256 {
@@ -72,7 +71,8 @@ fn extremal_tip(
     // Every leaf is non-viable (e.g. the only extension of the chain failed
     // validation): pick the best *interior* viable block instead — the
     // chain must never abandon already-valid history.
-    pick_best(&mut tree.iter().map(|sb| sb.block.hash())).unwrap_or_else(|| tree.genesis())
+    pick_best(&mut tree.iter().map(crate::store::StoredBlock::hash))
+        .unwrap_or_else(|| tree.genesis())
 }
 
 /// GHOST: starting from genesis, repeatedly step into the child whose
@@ -80,7 +80,7 @@ fn extremal_tip(
 /// a leaf. Uncle blocks thus still contribute security even though they are
 /// off the selected chain — which is why Ethereum tolerates 10–40 s blocks
 /// (paper §2.7).
-fn ghost_tip(tree: &BlockTree, viable: impl Fn(&Hash256) -> bool) -> Hash256 {
+fn ghost_tip<S: BlockStore>(tree: &BlockTree<S>, viable: impl Fn(&Hash256) -> bool) -> Hash256 {
     // Precompute subtree sizes in one bottom-up pass to stay O(n).
     let mut sizes: HashMap<Hash256, u64> = HashMap::new();
     // Post-order traversal with an explicit stack.

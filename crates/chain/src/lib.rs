@@ -36,9 +36,9 @@ pub mod chain;
 pub mod forkchoice;
 pub mod store;
 
-pub use chain::{Chain, ChainEvent, NullMachine, StateMachine};
+pub use chain::{CanonStats, Chain, ChainEvent, ChainStats, NullMachine, StateMachine};
 pub use forkchoice::best_tip;
-pub use store::{BlockTree, StoredBlock};
+pub use store::{ArchivalStore, BlockStore, BlockTree, PrunedStore, StoreStats, StoredBlock};
 
 use dcs_crypto::Address;
 use dcs_primitives::{Block, BlockHeader, ChainConfig, Seal};

@@ -1,17 +1,47 @@
 //! The block tree: every valid block ever seen, indexed by hash, with
 //! parent/child links, cumulative work, and an orphan pool for blocks that
 //! arrive before their parents (routine under gossip reordering).
+//!
+//! Storage is **zero-copy and pluggable**: blocks enter the tree as
+//! [`Arc<Block>`] and are never deep-copied again — gossip re-broadcast,
+//! import, state application, and block-request serving all share the same
+//! allocation through refcount bumps. The record backing store is abstracted
+//! behind the [`BlockStore`] trait with two backends:
+//!
+//! * [`ArchivalStore`] — keeps every body forever (the default, and what
+//!   every simulated full node historically did);
+//! * [`PrunedStore`] — drops bodies a configurable depth behind the
+//!   finalized tip while retaining headers, cumulative work, and child
+//!   links, so fork choice, common-ancestor walks, and light-client header
+//!   sync keep working on a fraction of the memory (the paper's §5.4
+//!   "full download of the blockchain … will continue to grow" concern).
 
 use crate::ChainError;
 use dcs_crypto::Hash256;
-use dcs_primitives::Block;
-use std::collections::HashMap;
+use dcs_primitives::{Block, BlockHeader};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Default bound on blocks parked in the orphan pool; beyond it the oldest
+/// orphans are evicted in arrival order (a gossip peer can always re-serve
+/// them via a `BlockRequest`).
+pub const DEFAULT_ORPHAN_CAP: usize = 512;
+
+/// What a [`StoredBlock`] currently retains: the full body, or — after
+/// pruning — only the header.
+#[derive(Debug, Clone)]
+enum StoredData {
+    /// The full block, shared with gossip/serving paths.
+    Full(Arc<Block>),
+    /// Header-only: the body was pruned below the finality horizon.
+    HeaderOnly(BlockHeader),
+}
 
 /// A block plus the tree metadata maintained for it.
 #[derive(Debug, Clone)]
 pub struct StoredBlock {
-    /// The block itself.
-    pub block: Block,
+    hash: Hash256,
+    data: StoredData,
     /// Sum of `header.work()` from genesis to this block.
     pub total_work: u128,
     /// Hashes of known children.
@@ -20,12 +50,268 @@ pub struct StoredBlock {
     pub arrival: u64,
 }
 
-/// An in-memory tree of blocks rooted at genesis.
-#[derive(Debug, Clone)]
-pub struct BlockTree {
+impl StoredBlock {
+    fn new(block: Arc<Block>, total_work: u128, arrival: u64) -> Self {
+        StoredBlock {
+            hash: block.hash(),
+            data: StoredData::Full(block),
+            total_work,
+            children: Vec::new(),
+            arrival,
+        }
+    }
+
+    /// The block hash, computed once at insertion.
+    pub fn hash(&self) -> Hash256 {
+        self.hash
+    }
+
+    /// The header — always retained, even after the body is pruned.
+    pub fn header(&self) -> &BlockHeader {
+        match &self.data {
+            StoredData::Full(b) => &b.header,
+            StoredData::HeaderOnly(h) => h,
+        }
+    }
+
+    /// Height shorthand.
+    pub fn height(&self) -> u64 {
+        self.header().height
+    }
+
+    /// The full block, if the body is still resident (`None` once pruned).
+    pub fn body(&self) -> Option<&Arc<Block>> {
+        match &self.data {
+            StoredData::Full(b) => Some(b),
+            StoredData::HeaderOnly(_) => None,
+        }
+    }
+
+    /// The full block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body was pruned. Hot paths (state apply/revert, tip
+    /// access) only touch blocks above the finality horizon, where bodies
+    /// are guaranteed resident on every backend.
+    pub fn block(&self) -> &Arc<Block> {
+        self.body()
+            .expect("block body pruned below the finality horizon")
+    }
+
+    /// Drops the body, keeping the header. Returns the approximate bytes
+    /// released (0 if already pruned).
+    fn prune_body(&mut self) -> u64 {
+        if let StoredData::Full(b) = &self.data {
+            let freed = approx_body_bytes(b);
+            let header = b.header.clone();
+            self.data = StoredData::HeaderOnly(header);
+            freed
+        } else {
+            0
+        }
+    }
+}
+
+/// Cheap estimate of a block body's resident size in bytes (struct sizes,
+/// no encoding pass — this feeds accounting on the import hot path, not an
+/// exact allocator census).
+fn approx_body_bytes(block: &Block) -> u64 {
+    let per_tx = std::mem::size_of::<dcs_primitives::Transaction>() as u64 + 48;
+    std::mem::size_of::<Block>() as u64 + per_tx * block.txs.len() as u64
+}
+
+/// Counters describing what a [`BlockStore`] currently holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Blocks stored (headers always resident).
+    pub blocks: u64,
+    /// Blocks whose bodies are still resident.
+    pub bodies_resident: u64,
+    /// Bodies dropped by pruning since genesis.
+    pub bodies_pruned: u64,
+    /// Approximate bytes of resident bodies.
+    pub resident_body_bytes: u64,
+}
+
+/// Record storage behind [`BlockTree`]: lookup, insertion, iteration, and a
+/// finality notification that lets backends discard what they no longer
+/// need. Structural invariants (linkage, heights, children) are enforced by
+/// the tree; backends only decide *retention*.
+pub trait BlockStore: core::fmt::Debug {
+    /// Looks up a stored block by hash.
+    fn get(&self, hash: &Hash256) -> Option<&StoredBlock>;
+    /// Mutable lookup (child-link maintenance).
+    fn get_mut(&mut self, hash: &Hash256) -> Option<&mut StoredBlock>;
+    /// Inserts a record (the tree guarantees the hash is fresh).
+    fn insert(&mut self, record: StoredBlock);
+    /// Number of stored blocks.
+    fn len(&self) -> usize;
+    /// True if no blocks are stored (never true under a [`BlockTree`],
+    /// which always holds genesis).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// True if `hash` is stored.
+    fn contains(&self, hash: &Hash256) -> bool {
+        self.get(hash).is_some()
+    }
+    /// Iterates over all stored blocks in unspecified order.
+    fn iter<'a>(&'a self) -> Box<dyn Iterator<Item = &'a StoredBlock> + 'a>;
+    /// The finalized height advanced; backends may discard data they no
+    /// longer serve (an archival store ignores this).
+    fn note_finalized(&mut self, finalized_height: u64);
+    /// Retention counters.
+    fn stats(&self) -> StoreStats;
+}
+
+/// The default backend: every body retained forever.
+#[derive(Debug, Clone, Default)]
+pub struct ArchivalStore {
     blocks: HashMap<Hash256, StoredBlock>,
+    resident_bytes: u64,
+}
+
+impl BlockStore for ArchivalStore {
+    fn get(&self, hash: &Hash256) -> Option<&StoredBlock> {
+        self.blocks.get(hash)
+    }
+
+    fn get_mut(&mut self, hash: &Hash256) -> Option<&mut StoredBlock> {
+        self.blocks.get_mut(hash)
+    }
+
+    fn insert(&mut self, record: StoredBlock) {
+        if let Some(body) = record.body() {
+            self.resident_bytes += approx_body_bytes(body);
+        }
+        self.blocks.insert(record.hash(), record);
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn iter<'a>(&'a self) -> Box<dyn Iterator<Item = &'a StoredBlock> + 'a> {
+        Box::new(self.blocks.values())
+    }
+
+    fn note_finalized(&mut self, _finalized_height: u64) {}
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            blocks: self.blocks.len() as u64,
+            bodies_resident: self.blocks.len() as u64,
+            bodies_pruned: 0,
+            resident_body_bytes: self.resident_bytes,
+        }
+    }
+}
+
+/// A pruning backend: bodies more than `keep_depth` blocks below the
+/// finalized height are dropped (headers, cumulative work, and child links
+/// remain, so fork choice and ancestor walks are unaffected). This is the
+/// paper's pruned-node archetype: consensus-complete, history-light.
+#[derive(Debug, Clone)]
+pub struct PrunedStore {
+    blocks: HashMap<Hash256, StoredBlock>,
+    /// Heights that still have resident bodies → the blocks at that height.
+    resident_by_height: BTreeMap<u64, Vec<Hash256>>,
+    keep_depth: u64,
+    resident_bytes: u64,
+    bodies_pruned: u64,
+}
+
+impl PrunedStore {
+    /// A store that keeps bodies for blocks within `keep_depth` of the
+    /// finalized height and drops everything older.
+    pub fn new(keep_depth: u64) -> Self {
+        PrunedStore {
+            blocks: HashMap::new(),
+            resident_by_height: BTreeMap::new(),
+            keep_depth,
+            resident_bytes: 0,
+            bodies_pruned: 0,
+        }
+    }
+
+    /// The configured retention depth behind the finalized height.
+    pub fn keep_depth(&self) -> u64 {
+        self.keep_depth
+    }
+}
+
+impl BlockStore for PrunedStore {
+    fn get(&self, hash: &Hash256) -> Option<&StoredBlock> {
+        self.blocks.get(hash)
+    }
+
+    fn get_mut(&mut self, hash: &Hash256) -> Option<&mut StoredBlock> {
+        self.blocks.get_mut(hash)
+    }
+
+    fn insert(&mut self, record: StoredBlock) {
+        if let Some(body) = record.body() {
+            self.resident_bytes += approx_body_bytes(body);
+            self.resident_by_height
+                .entry(record.height())
+                .or_default()
+                .push(record.hash());
+        }
+        self.blocks.insert(record.hash(), record);
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn iter<'a>(&'a self) -> Box<dyn Iterator<Item = &'a StoredBlock> + 'a> {
+        Box::new(self.blocks.values())
+    }
+
+    fn note_finalized(&mut self, finalized_height: u64) {
+        let horizon = finalized_height.saturating_sub(self.keep_depth);
+        // Split off the heights still within retention; what remains in
+        // `self.resident_by_height` is exactly the prune set.
+        let keep = self.resident_by_height.split_off(&horizon);
+        let prune = std::mem::replace(&mut self.resident_by_height, keep);
+        for (_, hashes) in prune {
+            for hash in hashes {
+                if let Some(record) = self.blocks.get_mut(&hash) {
+                    let freed = record.prune_body();
+                    if freed > 0 {
+                        self.resident_bytes = self.resident_bytes.saturating_sub(freed);
+                        self.bodies_pruned += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            blocks: self.blocks.len() as u64,
+            bodies_resident: self.blocks.len() as u64 - self.bodies_pruned,
+            bodies_pruned: self.bodies_pruned,
+            resident_body_bytes: self.resident_bytes,
+        }
+    }
+}
+
+/// An in-memory tree of blocks rooted at genesis, generic over the record
+/// backend (archival by default).
+#[derive(Debug, Clone)]
+pub struct BlockTree<S: BlockStore = ArchivalStore> {
+    store: S,
     genesis: Hash256,
-    orphans: HashMap<Hash256, Vec<Block>>, // parent hash → waiting blocks
+    /// parent hash → orphans waiting on it, each with its precomputed hash.
+    orphans: HashMap<Hash256, Vec<(Hash256, Arc<Block>)>>,
+    /// Orphans in arrival order (for cap eviction); entries may be stale
+    /// after a connect and are skipped lazily.
+    orphan_order: VecDeque<(Hash256, Hash256)>, // (parent, orphan hash)
+    orphan_cap: usize,
+    orphans_evicted: u64,
+    orphans_rejected: u64,
     arrivals: u64,
     /// When false, [`BlockTree::insert`] skips its serial transaction-root
     /// recomputation. Only [`Chain`](crate::Chain) flips this, after taking
@@ -34,27 +320,41 @@ pub struct BlockTree {
     pub check_tx_roots: bool,
 }
 
-impl BlockTree {
-    /// Creates a tree holding only `genesis`.
-    pub fn new(genesis: Block) -> Self {
+impl BlockTree<ArchivalStore> {
+    /// Creates an archival tree holding only `genesis`.
+    pub fn new(genesis: impl Into<Arc<Block>>) -> Self {
+        Self::with_store(genesis, ArchivalStore::default())
+    }
+}
+
+impl<S: BlockStore> BlockTree<S> {
+    /// Creates a tree over the given backend, holding only `genesis`.
+    pub fn with_store(genesis: impl Into<Arc<Block>>, mut store: S) -> Self {
+        let genesis = genesis.into();
         let gh = genesis.hash();
-        let mut blocks = HashMap::new();
-        blocks.insert(
-            gh,
-            StoredBlock {
-                total_work: genesis.header.work(),
-                block: genesis,
-                children: Vec::new(),
-                arrival: 0,
-            },
-        );
+        let work = genesis.header.work();
+        store.insert(StoredBlock::new(genesis, work, 0));
         BlockTree {
-            blocks,
+            store,
             genesis: gh,
             orphans: HashMap::new(),
+            orphan_order: VecDeque::new(),
+            orphan_cap: DEFAULT_ORPHAN_CAP,
+            orphans_evicted: 0,
+            orphans_rejected: 0,
             arrivals: 1,
             check_tx_roots: true,
         }
+    }
+
+    /// The record backend.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Retention counters from the backend.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
     /// The genesis hash.
@@ -64,7 +364,7 @@ impl BlockTree {
 
     /// Total blocks stored (excluding orphans awaiting parents).
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.store.len()
     }
 
     /// Always false: a tree at least contains genesis.
@@ -77,19 +377,42 @@ impl BlockTree {
         self.orphans.values().map(Vec::len).sum()
     }
 
+    /// Orphans evicted by the pool cap since genesis.
+    pub fn orphans_evicted(&self) -> u64 {
+        self.orphans_evicted
+    }
+
+    /// Unblocked orphans that then failed structural checks (bad height or
+    /// transaction root) — surfaced instead of silently dropped.
+    pub fn orphans_rejected(&self) -> u64 {
+        self.orphans_rejected
+    }
+
+    /// Bounds the orphan pool; the oldest orphans are evicted first once
+    /// the cap is hit.
+    pub fn set_orphan_cap(&mut self, cap: usize) {
+        self.orphan_cap = cap.max(1);
+        self.evict_orphans_to_cap(self.orphan_cap);
+    }
+
+    /// Forwards the finalized height to the backend so it can prune.
+    pub fn note_finalized(&mut self, finalized_height: u64) {
+        self.store.note_finalized(finalized_height);
+    }
+
     /// Looks up a stored block by hash.
     pub fn get(&self, hash: &Hash256) -> Option<&StoredBlock> {
-        self.blocks.get(hash)
+        self.store.get(hash)
     }
 
     /// True if the block is in the tree.
     pub fn contains(&self, hash: &Hash256) -> bool {
-        self.blocks.contains_key(hash)
+        self.store.contains(hash)
     }
 
     /// Inserts a block whose parent is present, after structural checks
-    /// (height linkage and transaction root). Returns the hashes of any
-    /// orphans that became connectable and were inserted as a result.
+    /// (height linkage and transaction root). The block is stored as-is —
+    /// callers holding an `Arc` share it with the tree at zero copies.
     ///
     /// # Errors
     ///
@@ -97,16 +420,17 @@ impl BlockTree {
     ///   [`BlockTree::insert_or_orphan`] under gossip.
     /// * [`ChainError::Duplicate`], [`ChainError::BadHeight`],
     ///   [`ChainError::BadTxRoot`].
-    pub fn insert(&mut self, block: Block) -> Result<Hash256, ChainError> {
+    pub fn insert(&mut self, block: impl Into<Arc<Block>>) -> Result<Hash256, ChainError> {
+        let block = block.into();
         let hash = block.hash();
-        if self.blocks.contains_key(&hash) {
+        if self.store.contains(&hash) {
             return Err(ChainError::Duplicate);
         }
         let parent = self
-            .blocks
+            .store
             .get(&block.header.parent)
             .ok_or(ChainError::UnknownParent(block.header.parent))?;
-        let expected = parent.block.header.height + 1;
+        let expected = parent.height() + 1;
         if block.header.height != expected {
             return Err(ChainError::BadHeight {
                 got: block.header.height,
@@ -120,16 +444,9 @@ impl BlockTree {
         let parent_hash = block.header.parent;
         let arrival = self.arrivals;
         self.arrivals += 1;
-        self.blocks.insert(
-            hash,
-            StoredBlock {
-                block,
-                total_work,
-                children: Vec::new(),
-                arrival,
-            },
-        );
-        self.blocks
+        self.store
+            .insert(StoredBlock::new(block, total_work, arrival));
+        self.store
             .get_mut(&parent_hash)
             .expect("parent checked above")
             .children
@@ -140,16 +457,19 @@ impl BlockTree {
     /// Inserts a block, parking it as an orphan if the parent is missing.
     /// Returns all hashes actually inserted (the block plus any orphans it
     /// unblocked), in insertion order; empty if the block was orphaned.
+    /// Unblocked orphans that fail structural checks are counted in
+    /// [`BlockTree::orphans_rejected`] rather than silently dropped.
     ///
     /// # Errors
     ///
     /// Structural errors other than `UnknownParent` are returned as-is.
-    pub fn insert_or_orphan(&mut self, block: Block) -> Result<Vec<Hash256>, ChainError> {
-        if !self.blocks.contains_key(&block.header.parent) {
-            self.orphans
-                .entry(block.header.parent)
-                .or_default()
-                .push(block);
+    pub fn insert_or_orphan(
+        &mut self,
+        block: impl Into<Arc<Block>>,
+    ) -> Result<Vec<Hash256>, ChainError> {
+        let block = block.into();
+        if !self.store.contains(&block.header.parent) {
+            self.park_orphan(block);
             return Ok(vec![]);
         }
         let hash = self.insert(block)?;
@@ -157,15 +477,48 @@ impl BlockTree {
         let mut frontier = vec![hash];
         while let Some(parent) = frontier.pop() {
             if let Some(waiting) = self.orphans.remove(&parent) {
-                for orphan in waiting {
-                    if let Ok(h) = self.insert(orphan) {
-                        inserted.push(h);
-                        frontier.push(h);
+                for (_, orphan) in waiting {
+                    match self.insert(orphan) {
+                        Ok(h) => {
+                            inserted.push(h);
+                            frontier.push(h);
+                        }
+                        Err(_) => self.orphans_rejected += 1,
                     }
                 }
             }
         }
         Ok(inserted)
+    }
+
+    fn park_orphan(&mut self, block: Arc<Block>) {
+        let hash = block.hash();
+        let parent = block.header.parent;
+        let bucket = self.orphans.entry(parent).or_default();
+        if bucket.iter().any(|(h, _)| *h == hash) {
+            return; // already parked
+        }
+        bucket.push((hash, block));
+        self.orphan_order.push_back((parent, hash));
+        self.evict_orphans_to_cap(self.orphan_cap);
+    }
+
+    fn evict_orphans_to_cap(&mut self, cap: usize) {
+        while self.orphan_count() > cap {
+            let Some((parent, hash)) = self.orphan_order.pop_front() else {
+                break;
+            };
+            if let Some(bucket) = self.orphans.get_mut(&parent) {
+                if let Some(pos) = bucket.iter().position(|(h, _)| *h == hash) {
+                    bucket.remove(pos);
+                    if bucket.is_empty() {
+                        self.orphans.remove(&parent);
+                    }
+                    self.orphans_evicted += 1;
+                }
+            }
+            // Stale entry (orphan already connected): skip without counting.
+        }
     }
 
     /// The path of hashes from genesis to `tip`, inclusive.
@@ -177,45 +530,48 @@ impl BlockTree {
         let mut path = vec![*tip];
         let mut cur = *tip;
         while cur != self.genesis {
-            cur = self.blocks[&cur].block.header.parent;
+            cur = self.store.get(&cur).expect("path stored").header().parent;
             path.push(cur);
         }
         path.reverse();
         path
     }
 
-    /// Lowest common ancestor of two blocks in the tree.
+    /// Lowest common ancestor of two blocks in the tree. Operates on
+    /// headers only, so it works across pruned history.
     ///
     /// # Panics
     ///
     /// Panics if either hash is not in the tree.
     pub fn common_ancestor(&self, a: &Hash256, b: &Hash256) -> Hash256 {
+        let height = |h: &Hash256| self.store.get(h).expect("block stored").height();
+        let parent = |h: &Hash256| self.store.get(h).expect("block stored").header().parent;
         let mut a = *a;
         let mut b = *b;
-        while self.blocks[&a].block.header.height > self.blocks[&b].block.header.height {
-            a = self.blocks[&a].block.header.parent;
+        while height(&a) > height(&b) {
+            a = parent(&a);
         }
-        while self.blocks[&b].block.header.height > self.blocks[&a].block.header.height {
-            b = self.blocks[&b].block.header.parent;
+        while height(&b) > height(&a) {
+            b = parent(&b);
         }
         while a != b {
-            a = self.blocks[&a].block.header.parent;
-            b = self.blocks[&b].block.header.parent;
+            a = parent(&a);
+            b = parent(&b);
         }
         a
     }
 
     /// Iterates over all stored blocks in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = &StoredBlock> {
-        self.blocks.values()
+        self.store.iter()
     }
 
     /// Leaf blocks (no children): the candidate tips.
     pub fn tips(&self) -> Vec<Hash256> {
-        self.blocks
+        self.store
             .iter()
-            .filter(|(_, sb)| sb.children.is_empty())
-            .map(|(h, _)| *h)
+            .filter(|sb| sb.children.is_empty())
+            .map(StoredBlock::hash)
             .collect()
     }
 
@@ -226,7 +582,7 @@ impl BlockTree {
         let mut stack = vec![*hash];
         while let Some(h) = stack.pop() {
             count += 1;
-            stack.extend(&self.blocks[&h].children);
+            stack.extend(&self.store.get(&h).expect("subtree stored").children);
         }
         count
     }
@@ -264,8 +620,19 @@ mod tests {
         assert_eq!(h1, b1.hash());
         assert!(tree.contains(&h1));
         assert_eq!(tree.len(), 2);
-        assert_eq!(tree.get(&h1).unwrap().block, b1);
+        assert_eq!(**tree.get(&h1).unwrap().block(), b1);
+        assert_eq!(tree.get(&h1).unwrap().hash(), h1);
         assert_eq!(tree.get(&tree.genesis()).unwrap().children, vec![h1]);
+    }
+
+    #[test]
+    fn insert_shares_the_arc_zero_copy() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let b1 = Arc::new(child_of(&g, 1));
+        let h1 = tree.insert(Arc::clone(&b1)).unwrap();
+        // The tree holds the same allocation the caller does.
+        assert!(Arc::ptr_eq(tree.get(&h1).unwrap().block(), &b1));
     }
 
     #[test]
@@ -362,6 +729,53 @@ mod tests {
     }
 
     #[test]
+    fn orphan_pool_caps_and_evicts_oldest() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        tree.set_orphan_cap(3);
+        let missing = child_of(&g, 99); // never inserted
+        let orphans: Vec<Block> = (0..5).map(|i| child_of(&missing, i)).collect();
+        for o in &orphans {
+            tree.insert_or_orphan(o.clone()).unwrap();
+        }
+        assert_eq!(tree.orphan_count(), 3, "capped");
+        assert_eq!(tree.orphans_evicted(), 2, "two oldest evicted");
+        // The survivors are the three most recent arrivals.
+        let inserted = tree.insert_or_orphan(missing.clone()).unwrap();
+        assert_eq!(inserted.len(), 4); // missing + 3 surviving orphans
+        assert!(!inserted.contains(&orphans[0].hash()));
+        assert!(!inserted.contains(&orphans[1].hash()));
+    }
+
+    #[test]
+    fn duplicate_orphans_parked_once() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let b1 = child_of(&g, 1);
+        let b2 = child_of(&b1, 2);
+        tree.insert_or_orphan(b2.clone()).unwrap();
+        tree.insert_or_orphan(b2.clone()).unwrap();
+        assert_eq!(tree.orphan_count(), 1);
+    }
+
+    #[test]
+    fn rejected_unblocked_orphans_are_counted() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let b1 = child_of(&g, 1);
+        // An orphan whose height is wrong relative to its claimed parent:
+        // it parks fine, but fails structural checks once unblocked.
+        let mut bad = child_of(&b1, 2);
+        bad.header.height = 9;
+        let bad = Block::new(bad.header, vec![]);
+        assert_eq!(tree.insert_or_orphan(bad).unwrap(), vec![]);
+        assert_eq!(tree.orphans_rejected(), 0);
+        let inserted = tree.insert_or_orphan(b1.clone()).unwrap();
+        assert_eq!(inserted, vec![b1.hash()], "bad orphan not inserted");
+        assert_eq!(tree.orphans_rejected(), 1, "rejection surfaced");
+    }
+
+    #[test]
     fn tips_and_subtree_size() {
         let g = genesis();
         let mut tree = BlockTree::new(g.clone());
@@ -379,5 +793,51 @@ mod tests {
         assert_eq!(tree.subtree_size(&g.hash()), 4);
         assert_eq!(tree.subtree_size(&a1.hash()), 2);
         assert_eq!(tree.subtree_size(&b1.hash()), 1);
+    }
+
+    #[test]
+    fn pruned_store_drops_bodies_keeps_headers() {
+        let g = genesis();
+        let mut tree = BlockTree::with_store(g.clone(), PrunedStore::new(2));
+        let mut parent = g.clone();
+        let mut hashes = vec![g.hash()];
+        for h in 1..=10u64 {
+            let b = child_of(&parent, h);
+            hashes.push(tree.insert(b.clone()).unwrap());
+            parent = b;
+        }
+        // Finalize height 8: bodies below 8 - 2 = 6 are dropped.
+        tree.note_finalized(8);
+        let stats = tree.store_stats();
+        assert_eq!(stats.blocks, 11);
+        assert_eq!(stats.bodies_pruned, 6, "genesis..height 5 pruned");
+        for (height, hash) in hashes.iter().enumerate() {
+            let sb = tree.get(hash).unwrap();
+            assert_eq!(sb.height(), height as u64, "headers retained");
+            assert_eq!(sb.body().is_some(), height >= 6, "bodies split at horizon");
+        }
+        // Ancestor walks still work across pruned history.
+        assert_eq!(tree.common_ancestor(&hashes[10], &hashes[3]), hashes[3]);
+        assert_eq!(tree.path_from_genesis(&hashes[10]).len(), 11);
+        // Pruning is idempotent and monotone.
+        tree.note_finalized(8);
+        assert_eq!(tree.store_stats().bodies_pruned, 6);
+        assert!(tree.store_stats().resident_body_bytes < 11 * 200);
+    }
+
+    #[test]
+    fn archival_store_retains_everything() {
+        let g = genesis();
+        let mut tree = BlockTree::new(g.clone());
+        let mut parent = g.clone();
+        for h in 1..=5u64 {
+            let b = child_of(&parent, h);
+            tree.insert(b.clone()).unwrap();
+            parent = b;
+        }
+        tree.note_finalized(5);
+        let stats = tree.store_stats();
+        assert_eq!(stats.bodies_pruned, 0);
+        assert_eq!(stats.bodies_resident, 6);
     }
 }

@@ -36,18 +36,16 @@ pub fn next_difficulty<M: StateMachine>(
     let (Some(hi_hash), Some(lo_hash)) = (chain.canonical_at(hi), chain.canonical_at(lo)) else {
         return initial.max(1);
     };
-    let hi_hdr = &chain
+    let hi_hdr = chain
         .tree()
         .get(&hi_hash)
         .expect("canonical stored")
-        .block
-        .header;
-    let lo_hdr = &chain
+        .header();
+    let lo_hdr = chain
         .tree()
         .get(&lo_hash)
         .expect("canonical stored")
-        .block
-        .header;
+        .header();
     let prev_difficulty = match hi_hdr.seal {
         Seal::Work { difficulty, .. } => difficulty.max(1),
         _ => initial.max(1),

@@ -74,14 +74,13 @@ impl<M: StateMachine> NgNode<M> {
     /// current leader. Falls back to genesis (no leader) if none.
     pub fn current_leader(&self) -> Option<(Hash256, Address)> {
         for hash in self.core.chain.canonical().iter().rev() {
-            let hdr = &self
+            let hdr = self
                 .core
                 .chain
                 .tree()
                 .get(hash)
                 .expect("canonical stored")
-                .block
-                .header;
+                .header();
             if matches!(hdr.seal, Seal::Work { .. }) {
                 return Some((*hash, hdr.proposer));
             }

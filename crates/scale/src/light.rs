@@ -195,7 +195,7 @@ mod tests {
     fn headers_of(chain: &Chain<NullMachine>, from: u64) -> Vec<BlockHeader> {
         chain.canonical()[from as usize..]
             .iter()
-            .map(|h| chain.tree().get(h).unwrap().block.header.clone())
+            .map(|h| chain.tree().get(h).unwrap().header().clone())
             .collect()
     }
 
@@ -206,19 +206,18 @@ mod tests {
             .tree()
             .get(&chain.canonical_at(0).unwrap())
             .unwrap()
-            .block
-            .header
+            .header()
             .clone();
         let mut client = LightClient::new(genesis_header);
         client.sync(&headers_of(&chain, 1)).unwrap();
         assert_eq!(client.tip_height(), 20);
 
         // Prove a tx from block 7.
-        let block = &chain
+        let block = chain
             .tree()
             .get(&chain.canonical_at(7).unwrap())
             .unwrap()
-            .block;
+            .block();
         let leaves: Vec<Hash256> = block.txs.iter().map(Transaction::id).collect();
         let tree = MerkleTree::from_leaves(leaves.clone());
         let proof = tree.prove(2).unwrap();
@@ -235,8 +234,7 @@ mod tests {
             .tree()
             .get(&chain.canonical_at(0).unwrap())
             .unwrap()
-            .block
-            .header
+            .header()
             .clone();
         let mut client = LightClient::new(genesis_header);
         let mut headers = headers_of(&chain, 1);
@@ -253,15 +251,13 @@ mod tests {
             .tree()
             .get(&chain.canonical_at(0).unwrap())
             .unwrap()
-            .block
-            .header
+            .header()
             .clone();
         let cp = chain
             .tree()
             .get(&chain.canonical_at(40).unwrap())
             .unwrap()
-            .block
-            .header
+            .header()
             .clone();
 
         let mut from_genesis = LightClient::new(g);
@@ -285,22 +281,21 @@ mod tests {
         let chain = build_chain(30);
         let full_bytes: u64 = chain.canonical()[1..]
             .iter()
-            .map(|h| chain.tree().get(h).unwrap().block.encoded_len() as u64)
+            .map(|h| chain.tree().get(h).unwrap().block().encoded_len() as u64)
             .sum();
         let g = chain
             .tree()
             .get(&chain.canonical_at(0).unwrap())
             .unwrap()
-            .block
-            .header
+            .header()
             .clone();
         let mut client = LightClient::new(g);
         client.sync(&headers_of(&chain, 1)).unwrap();
-        let block = &chain
+        let block = chain
             .tree()
             .get(&chain.canonical_at(15).unwrap())
             .unwrap()
-            .block;
+            .block();
         let leaves: Vec<Hash256> = block.txs.iter().map(Transaction::id).collect();
         let proof = MerkleTree::from_leaves(leaves.clone()).prove(0).unwrap();
         client.verify_inclusion(&leaves[0], 15, &proof).unwrap();

@@ -215,7 +215,7 @@ impl PeggedSidechain {
     /// Builds an SPV proof for a main-chain transaction.
     pub fn prove_on_main(&self, tx_id: &Hash256, height: u64) -> Option<dcs_crypto::MerkleProof> {
         let hash = self.main.canonical_at(height)?;
-        let block = &self.main.tree().get(&hash)?.block;
+        let block = self.main.tree().get(&hash)?.body()?;
         let leaves: Vec<Hash256> = block.txs.iter().map(Transaction::id).collect();
         let index = leaves.iter().position(|l| l == tx_id)?;
         MerkleTree::from_leaves(leaves).prove(index)

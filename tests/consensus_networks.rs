@@ -80,15 +80,13 @@ fn pow_difficulty_retargets_to_hold_interval() {
         .tree()
         .get(&chain.canonical_at(h).unwrap())
         .unwrap()
-        .block
-        .header
+        .header()
         .timestamp_us;
     let t_start = chain
         .tree()
         .get(&chain.canonical_at(h - 32).unwrap())
         .unwrap()
-        .block
-        .header
+        .header()
         .timestamp_us;
     let mean = (t_end - t_start) as f64 / 32.0 / 1_000_000.0;
     assert!(
@@ -237,7 +235,7 @@ fn pbft_commits_with_quorum_and_agrees() {
     // All blocks carry the quorum-size vote count in their seal.
     let core = runner.node(NodeId(1)).core();
     for hash in core.chain.canonical().iter().skip(1) {
-        let seal = &core.chain.tree().get(hash).unwrap().block.header.seal;
+        let seal = &core.chain.tree().get(hash).unwrap().header().seal;
         match seal {
             dcs_primitives::Seal::Authority { votes, .. } => assert_eq!(*votes, 5),
             other => panic!("expected Authority seal, got {other:?}"),

@@ -105,7 +105,7 @@ fn mixed_version_network_splits_on_big_blocks() {
         .chain
         .canonical()
         .iter()
-        .any(|h| new_node.chain.tree().get(h).unwrap().block.txs.len() > OLD_LIMIT + 1);
+        .any(|h| new_node.chain.tree().get(h).unwrap().block().txs.len() > OLD_LIMIT + 1);
     assert!(oversized, "the split was caused by an oversized block");
 }
 
