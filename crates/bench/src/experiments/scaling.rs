@@ -352,7 +352,7 @@ pub fn e15_verify_pipeline(scale: Scale) {
         assert!(pool.insert(Arc::new(tx.clone())), "valid tx admitted");
     }
     let admitted = pipeline.stats().cache.expect("cache configured");
-    let body = pool.select(n_txs, &std::collections::HashSet::new());
+    let body = pool.select(n_txs, &std::collections::BTreeSet::new());
     let t0 = Instant::now();
     let mut set = genesis.clone();
     UtxoSet::prevalidate_witnesses(&body, &pipeline).expect("warm block");

@@ -11,7 +11,7 @@ use crate::store::{ArchivalStore, BlockStore, BlockTree};
 use crate::ChainError;
 use dcs_crypto::{merkle_root_with, Hash256, VerifyPipeline};
 use dcs_primitives::{Block, ChainConfig, Receipt, Transaction};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// The application layer beneath the chain: applies blocks to mutable state
@@ -111,6 +111,10 @@ pub struct ChainStats {
     /// Histogram of revert depths: `reorg_depth_hist[d]` counts reorgs that
     /// reverted exactly `d` blocks (depth ≥ 15 lands in the last bucket).
     pub reorg_depth_hist: [u64; 16],
+    /// Broken internal invariants survived at runtime (e.g. a canonical
+    /// hash missing from the store). Always 0 in a healthy run; the
+    /// determinism harness asserts it stays that way.
+    pub internal_errors: u64,
 }
 
 /// Incrementally maintained statistics about the *current* canonical chain,
@@ -134,7 +138,7 @@ pub struct CanonStats {
     pub total_fees: u128,
     /// Per-canonical-block contribution, so a revert can subtract exactly
     /// what the apply added without re-reading the body.
-    per_block: HashMap<Hash256, BlockDelta>,
+    per_block: BTreeMap<Hash256, BlockDelta>,
 }
 
 /// One canonical block's contribution to [`CanonStats`].
@@ -160,14 +164,16 @@ impl CanonStats {
         self.per_block.insert(hash, delta);
     }
 
-    fn shed(&mut self, hash: &Hash256) {
-        let delta = self
-            .per_block
-            .remove(hash)
-            .expect("stats absorbed on apply");
+    /// Removes one block's contribution; `false` if it was never absorbed
+    /// (a broken invariant the caller counts instead of panicking on).
+    fn shed(&mut self, hash: &Hash256) -> bool {
+        let Some(delta) = self.per_block.remove(hash) else {
+            return false;
+        };
         self.blocks -= 1;
         self.committed_txs -= u64::from(delta.txs);
         self.total_fees -= delta.fees;
+        true
     }
 
     /// Committed (non-coinbase) transactions in the given canonical block;
@@ -187,7 +193,7 @@ pub struct Chain<M: StateMachine, S: BlockStore = ArchivalStore> {
     canonical: Vec<Hash256>,
     undos: Vec<M::Undo>,
     receipts: Vec<(Hash256, Vec<Receipt>)>,
-    invalid: HashSet<Hash256>,
+    invalid: BTreeSet<Hash256>,
     stats: ChainStats,
     canon_stats: CanonStats,
     pipeline: Option<Arc<VerifyPipeline>>,
@@ -225,7 +231,7 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
             canonical: vec![gh],
             undos: Vec::new(),
             receipts: Vec::new(),
-            invalid: HashSet::new(),
+            invalid: BTreeSet::new(),
             stats: ChainStats::default(),
             canon_stats: CanonStats::default(),
             pipeline: None,
@@ -284,12 +290,17 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
 
     /// Current tip hash.
     pub fn tip_hash(&self) -> Hash256 {
-        *self.canonical.last().expect("canonical never empty")
+        // `canonical` starts at genesis and pops never reach below it.
+        self.canonical
+            .last()
+            .copied()
+            .unwrap_or_else(|| self.tree.genesis())
     }
 
     /// Current tip block.
     pub fn tip(&self) -> &Block {
-        self.tree.get(&self.tip_hash()).expect("tip stored").block()
+        // Genesis is always stored, and `tip_hash` falls back to it.
+        self.tree.get(&self.tip_hash()).expect("tip stored").block() // dcs-lint: allow(panic-path)
     }
 
     /// Height of the canonical tip.
@@ -418,11 +429,23 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
     /// Pops the canonical tip, reverting the machine and shedding its stats
     /// contribution. Does not touch the block body, so reverts work even
     /// across bodies a pruning store has dropped.
-    fn pop_canonical(&mut self) {
-        let hash = self.canonical.pop().expect("revert above genesis only");
-        let undo = self.undos.pop().expect("one undo per canonical block");
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Internal`] if the canonical/undo stacks are out of
+    /// sync — a broken invariant that is reported, not panicked on.
+    fn pop_canonical(&mut self) -> Result<(), ChainError> {
+        let Some(hash) = self.canonical.pop() else {
+            return Err(ChainError::Internal("revert reached below genesis"));
+        };
+        let Some(undo) = self.undos.pop() else {
+            return Err(ChainError::Internal("canonical block without an undo"));
+        };
         self.machine.revert_block(undo);
-        self.canon_stats.shed(&hash);
+        if !self.canon_stats.shed(&hash) {
+            self.stats.internal_errors += 1;
+        }
+        Ok(())
     }
 
     /// Recomputes the best tip and moves the state machine onto it.
@@ -439,7 +462,10 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
                     if invalid.contains(&cur) {
                         return false;
                     }
-                    let sb = tree.get(&cur).expect("tip path stored");
+                    // A tip whose path is not fully stored is not viable.
+                    let Some(sb) = tree.get(&cur) else {
+                        return false;
+                    };
                     if sb.height() == 0 {
                         return true;
                     }
@@ -451,12 +477,16 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
                 return Ok(None);
             }
             let ancestor = self.tree.common_ancestor(&old_tip, &new_tip);
-            let anc_height = self.tree.get(&ancestor).expect("ancestor stored").height();
+            let anc_height = self
+                .tree
+                .get(&ancestor)
+                .ok_or(ChainError::Internal("common ancestor not stored"))?
+                .height();
 
             // Revert the old branch down to the ancestor.
             let mut reverted = 0u64;
             while self.height() > anc_height {
-                self.pop_canonical();
+                self.pop_canonical()?;
                 reverted += 1;
             }
 
@@ -465,7 +495,12 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
             let mut cur = new_tip;
             while cur != ancestor {
                 to_apply.push(cur);
-                cur = self.tree.get(&cur).expect("path stored").header().parent;
+                cur = self
+                    .tree
+                    .get(&cur)
+                    .ok_or(ChainError::Internal("new-branch block not stored"))?
+                    .header()
+                    .parent;
             }
             to_apply.reverse();
 
@@ -474,7 +509,12 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
             for hash in &to_apply {
                 // Refcount bump, not a body copy: applying a 10k-tx block
                 // costs the same as a 0-tx block on this line.
-                let block = Arc::clone(self.tree.get(hash).expect("path stored").block());
+                let block = Arc::clone(
+                    self.tree
+                        .get(hash)
+                        .ok_or(ChainError::Internal("apply-path block not stored"))?
+                        .block(),
+                );
                 match self.machine.apply_block(&block) {
                     Ok((receipts, undo)) => {
                         // Verify the header's state commitment when present.
@@ -504,7 +544,7 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
                 self.invalid.insert(bad);
                 self.stats.invalid_blocks += 1;
                 while self.height() > anc_height {
-                    self.pop_canonical();
+                    self.pop_canonical()?;
                 }
                 // Restore the old branch exactly as it was.
                 let mut old_branch = Vec::new();
@@ -514,13 +554,18 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
                     cur = self
                         .tree
                         .get(&cur)
-                        .expect("old path stored")
+                        .ok_or(ChainError::Internal("old-branch block not stored"))?
                         .header()
                         .parent;
                 }
                 old_branch.reverse();
                 for hash in old_branch {
-                    let block = Arc::clone(self.tree.get(&hash).expect("old path stored").block());
+                    let block = Arc::clone(
+                        self.tree
+                            .get(&hash)
+                            .ok_or(ChainError::Internal("old-branch block not stored"))?
+                            .block(),
+                    );
                     let (receipts, undo) = self
                         .machine
                         .apply_block(&block)

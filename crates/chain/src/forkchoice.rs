@@ -6,7 +6,7 @@
 use crate::store::{BlockStore, BlockTree};
 use dcs_crypto::Hash256;
 use dcs_primitives::ForkChoice;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Selects the best tip under the given rule.
 ///
@@ -51,7 +51,11 @@ fn extremal_tip<S: BlockStore>(
             if !viable(&hash) {
                 continue;
             }
-            let sb = tree.get(&hash).expect("candidate from tree");
+            // Candidates come from the tree itself; a miss would be a
+            // broken invariant — skip the candidate rather than panic.
+            let Some(sb) = tree.get(&hash) else {
+                continue;
+            };
             let key = (score(sb), sb.arrival, hash);
             match &best {
                 None => best = Some(key),
@@ -82,13 +86,20 @@ fn extremal_tip<S: BlockStore>(
 /// (paper §2.7).
 fn ghost_tip<S: BlockStore>(tree: &BlockTree<S>, viable: impl Fn(&Hash256) -> bool) -> Hash256 {
     // Precompute subtree sizes in one bottom-up pass to stay O(n).
-    let mut sizes: HashMap<Hash256, u64> = HashMap::new();
+    let mut sizes: BTreeMap<Hash256, u64> = BTreeMap::new();
     // Post-order traversal with an explicit stack.
     let mut stack = vec![(tree.genesis(), false)];
     while let Some((hash, expanded)) = stack.pop() {
-        let sb = tree.get(&hash).expect("reachable block");
+        // Child links only point at stored blocks; skip on a broken link.
+        let Some(sb) = tree.get(&hash) else {
+            continue;
+        };
         if expanded || sb.children.is_empty() {
-            let size = 1 + sb.children.iter().map(|c| sizes[c]).sum::<u64>();
+            let size = 1 + sb
+                .children
+                .iter()
+                .map(|c| sizes.get(c).copied().unwrap_or(0))
+                .sum::<u64>();
             sizes.insert(hash, size);
         } else {
             stack.push((hash, true));
@@ -99,7 +110,9 @@ fn ghost_tip<S: BlockStore>(tree: &BlockTree<S>, viable: impl Fn(&Hash256) -> bo
     }
     let mut cur = tree.genesis();
     loop {
-        let sb = tree.get(&cur).expect("reachable block");
+        let Some(sb) = tree.get(&cur) else {
+            return cur;
+        };
         if sb.children.is_empty() {
             return cur;
         }
@@ -108,7 +121,10 @@ fn ghost_tip<S: BlockStore>(tree: &BlockTree<S>, viable: impl Fn(&Hash256) -> bo
             if !viable(&c) {
                 continue;
             }
-            let key = (sizes[&c], tree.get(&c).expect("child").arrival, c);
+            let Some(child_sb) = tree.get(&c) else {
+                continue;
+            };
+            let key = (sizes.get(&c).copied().unwrap_or(0), child_sb.arrival, c);
             match &best {
                 None => best = Some(key),
                 Some((s, a, _)) => {

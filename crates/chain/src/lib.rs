@@ -67,6 +67,11 @@ pub enum ChainError {
     BadTransaction(String),
     /// The post-execution state root did not match the header commitment.
     BadStateRoot,
+    /// A broken internal invariant was detected and survived (e.g. a
+    /// canonical hash missing from the store). Never caused by peer input;
+    /// counted in [`ChainStats::internal_errors`] so a healthy run can
+    /// assert it stayed at zero.
+    Internal(&'static str),
 }
 
 impl core::fmt::Display for ChainError {
@@ -81,6 +86,7 @@ impl core::fmt::Display for ChainError {
             ChainError::BadSeal(msg) => write!(f, "bad seal: {msg}"),
             ChainError::BadTransaction(msg) => write!(f, "bad transaction: {msg}"),
             ChainError::BadStateRoot => write!(f, "state root mismatch"),
+            ChainError::Internal(msg) => write!(f, "internal invariant broken: {msg}"),
         }
     }
 }

@@ -19,7 +19,7 @@
 use crate::ChainError;
 use dcs_crypto::Hash256;
 use dcs_primitives::{Block, BlockHeader};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Default bound on blocks parked in the orphan pool; beyond it the oldest
@@ -95,8 +95,9 @@ impl StoredBlock {
     /// access) only touch blocks above the finality horizon, where bodies
     /// are guaranteed resident on every backend.
     pub fn block(&self) -> &Arc<Block> {
+        // The panic is this accessor's documented contract (see above).
         self.body()
-            .expect("block body pruned below the finality horizon")
+            .expect("block body pruned below the finality horizon") // dcs-lint: allow(panic-path)
     }
 
     /// Drops the body, keeping the header. Returns the approximate bytes
@@ -168,7 +169,7 @@ pub trait BlockStore: core::fmt::Debug {
 /// The default backend: every body retained forever.
 #[derive(Debug, Clone, Default)]
 pub struct ArchivalStore {
-    blocks: HashMap<Hash256, StoredBlock>,
+    blocks: BTreeMap<Hash256, StoredBlock>,
     resident_bytes: u64,
 }
 
@@ -214,7 +215,7 @@ impl BlockStore for ArchivalStore {
 /// paper's pruned-node archetype: consensus-complete, history-light.
 #[derive(Debug, Clone)]
 pub struct PrunedStore {
-    blocks: HashMap<Hash256, StoredBlock>,
+    blocks: BTreeMap<Hash256, StoredBlock>,
     /// Heights that still have resident bodies → the blocks at that height.
     resident_by_height: BTreeMap<u64, Vec<Hash256>>,
     keep_depth: u64,
@@ -227,7 +228,7 @@ impl PrunedStore {
     /// finalized height and drops everything older.
     pub fn new(keep_depth: u64) -> Self {
         PrunedStore {
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             resident_by_height: BTreeMap::new(),
             keep_depth,
             resident_bytes: 0,
@@ -305,7 +306,7 @@ pub struct BlockTree<S: BlockStore = ArchivalStore> {
     store: S,
     genesis: Hash256,
     /// parent hash → orphans waiting on it, each with its precomputed hash.
-    orphans: HashMap<Hash256, Vec<(Hash256, Arc<Block>)>>,
+    orphans: BTreeMap<Hash256, Vec<(Hash256, Arc<Block>)>>,
     /// Orphans in arrival order (for cap eviction); entries may be stale
     /// after a connect and are skipped lazily.
     orphan_order: VecDeque<(Hash256, Hash256)>, // (parent, orphan hash)
@@ -337,7 +338,7 @@ impl<S: BlockStore> BlockTree<S> {
         BlockTree {
             store,
             genesis: gh,
-            orphans: HashMap::new(),
+            orphans: BTreeMap::new(),
             orphan_order: VecDeque::new(),
             orphan_cap: DEFAULT_ORPHAN_CAP,
             orphans_evicted: 0,
@@ -448,7 +449,7 @@ impl<S: BlockStore> BlockTree<S> {
             .insert(StoredBlock::new(block, total_work, arrival));
         self.store
             .get_mut(&parent_hash)
-            .expect("parent checked above")
+            .ok_or(ChainError::Internal("parent vanished during insert"))?
             .children
             .push(hash);
         Ok(hash)
@@ -530,7 +531,8 @@ impl<S: BlockStore> BlockTree<S> {
         let mut path = vec![*tip];
         let mut cur = *tip;
         while cur != self.genesis {
-            cur = self.store.get(&cur).expect("path stored").header().parent;
+            // Documented contract: the caller passes a stored tip.
+            cur = self.store.get(&cur).expect("path stored").header().parent; // dcs-lint: allow(panic-path)
             path.push(cur);
         }
         path.reverse();
@@ -544,8 +546,9 @@ impl<S: BlockStore> BlockTree<S> {
     ///
     /// Panics if either hash is not in the tree.
     pub fn common_ancestor(&self, a: &Hash256, b: &Hash256) -> Hash256 {
-        let height = |h: &Hash256| self.store.get(h).expect("block stored").height();
-        let parent = |h: &Hash256| self.store.get(h).expect("block stored").header().parent;
+        // Documented contract: both hashes are stored (see # Panics above).
+        let height = |h: &Hash256| self.store.get(h).expect("block stored").height(); // dcs-lint: allow(panic-path)
+        let parent = |h: &Hash256| self.store.get(h).expect("block stored").header().parent; // dcs-lint: allow(panic-path)
         let mut a = *a;
         let mut b = *b;
         while height(&a) > height(&b) {
@@ -582,6 +585,8 @@ impl<S: BlockStore> BlockTree<S> {
         let mut stack = vec![*hash];
         while let Some(h) = stack.pop() {
             count += 1;
+            // Child links only ever point at stored blocks.
+            // dcs-lint: allow(panic-path)
             stack.extend(&self.store.get(&h).expect("subtree stored").children);
         }
         count

@@ -7,7 +7,7 @@ use dcs_chain::StateMachine;
 use dcs_primitives::Seal;
 
 /// Bitcoin-style bounds on a single retarget step.
-const MAX_ADJUST: f64 = 4.0;
+const MAX_ADJUST: u64 = 4;
 
 /// The difficulty the *next* block must carry, derived deterministically from
 /// the canonical chain: every `window` blocks, scale the previous difficulty
@@ -36,16 +36,15 @@ pub fn next_difficulty<M: StateMachine>(
     let (Some(hi_hash), Some(lo_hash)) = (chain.canonical_at(hi), chain.canonical_at(lo)) else {
         return initial.max(1);
     };
-    let hi_hdr = chain
-        .tree()
-        .get(&hi_hash)
-        .expect("canonical stored")
-        .header();
-    let lo_hdr = chain
-        .tree()
-        .get(&lo_hash)
-        .expect("canonical stored")
-        .header();
+    let (Some(hi_stored), Some(lo_stored)) =
+        (chain.tree().get(&hi_hash), chain.tree().get(&lo_hash))
+    else {
+        // Canonical hashes must resolve; degrade to the initial difficulty
+        // rather than panicking on a broken store invariant.
+        return initial.max(1);
+    };
+    let hi_hdr = hi_stored.header();
+    let lo_hdr = lo_stored.header();
     let prev_difficulty = match hi_hdr.seal {
         Seal::Work { difficulty, .. } => difficulty.max(1),
         _ => initial.max(1),
@@ -55,8 +54,16 @@ pub fn next_difficulty<M: StateMachine>(
         .saturating_sub(lo_hdr.timestamp_us)
         .max(1);
     let target_total = target_interval_us.saturating_mul(window).max(1);
-    let ratio = (target_total as f64 / observed_us as f64).clamp(1.0 / MAX_ADJUST, MAX_ADJUST);
-    ((prev_difficulty as f64 * ratio).round() as u64).max(1)
+    // Integer retarget: scaled = prev * target / observed, rounded to
+    // nearest, then clamped to [prev/4, prev*4]. u128 intermediates cannot
+    // overflow (u64 * u64 fits in u128) and, unlike the float formulation,
+    // the result is bit-identical on every platform and opt level.
+    let scaled = ((prev_difficulty as u128 * target_total as u128) + (observed_us as u128 / 2))
+        / observed_us as u128;
+    let lo_bound = (prev_difficulty / MAX_ADJUST).max(1) as u128;
+    let hi_bound = (prev_difficulty as u128) * MAX_ADJUST as u128;
+    let clamped = scaled.clamp(lo_bound, hi_bound);
+    u64::try_from(clamped).unwrap_or(u64::MAX).max(1)
 }
 
 #[cfg(test)]

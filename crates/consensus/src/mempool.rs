@@ -5,7 +5,7 @@
 
 use dcs_crypto::{Hash256, VerifyItem, VerifyPipeline};
 use dcs_primitives::Transaction;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// A bounded FIFO transaction pool.
@@ -28,7 +28,7 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mempool {
-    txs: HashMap<Hash256, Arc<Transaction>>,
+    txs: BTreeMap<Hash256, Arc<Transaction>>,
     order: VecDeque<Hash256>,
     capacity: usize,
     admission: Option<Arc<VerifyPipeline>>,
@@ -39,7 +39,7 @@ impl Mempool {
     /// Creates a pool bounded at `capacity` transactions.
     pub fn new(capacity: usize) -> Self {
         Mempool {
-            txs: HashMap::new(),
+            txs: BTreeMap::new(),
             order: VecDeque::new(),
             capacity,
             admission: None,
@@ -143,7 +143,7 @@ impl Mempool {
     /// id is in `exclude` (already on the canonical chain). The pool is not
     /// modified — selected transactions leave the pool only when a block
     /// containing them commits.
-    pub fn select(&mut self, limit: usize, exclude: &HashSet<Hash256>) -> Vec<Transaction> {
+    pub fn select(&mut self, limit: usize, exclude: &BTreeSet<Hash256>) -> Vec<Transaction> {
         // Compact the order queue of ids no longer present.
         self.order.retain(|id| self.txs.contains_key(id));
         self.order
@@ -186,7 +186,7 @@ mod tests {
         for t in [&t1, &t2, &t3] {
             assert!(pool.insert(t.clone()));
         }
-        let selected = pool.select(2, &HashSet::new());
+        let selected = pool.select(2, &BTreeSet::new());
         assert_eq!(selected.len(), 2);
         assert_eq!(selected[0].id(), t1.id());
         assert_eq!(selected[1].id(), t2.id());
@@ -201,7 +201,7 @@ mod tests {
         let t2 = tx(2);
         pool.insert(t1.clone());
         pool.insert(t2.clone());
-        let exclude: HashSet<_> = [t1.id()].into_iter().collect();
+        let exclude: BTreeSet<_> = [t1.id()].into_iter().collect();
         let selected = pool.select(10, &exclude);
         assert_eq!(selected.len(), 1);
         assert_eq!(selected[0].id(), t2.id());
@@ -261,7 +261,7 @@ mod tests {
 
         // Mempool → block flow: the block containing the admitted tx
         // prevalidates entirely from the cache — hits, no new misses.
-        let body = pool.select(10, &HashSet::new());
+        let body = pool.select(10, &BTreeSet::new());
         let before = pipeline.stats().cache.unwrap();
         assert_eq!(UtxoSet::prevalidate_witnesses(&body, &pipeline), Ok(1));
         let after = pipeline.stats().cache.unwrap();
@@ -306,7 +306,7 @@ mod tests {
         let ids: Vec<Hash256> = ts[..3].iter().map(|t| t.id()).collect();
         pool.remove_all(ids.iter());
         assert_eq!(pool.len(), 2);
-        let selected = pool.select(10, &HashSet::new());
+        let selected = pool.select(10, &BTreeSet::new());
         assert_eq!(selected.len(), 2);
     }
 }

@@ -74,13 +74,12 @@ impl<M: StateMachine> NgNode<M> {
     /// current leader. Falls back to genesis (no leader) if none.
     pub fn current_leader(&self) -> Option<(Hash256, Address)> {
         for hash in self.core.chain.canonical().iter().rev() {
-            let hdr = self
-                .core
-                .chain
-                .tree()
-                .get(hash)
-                .expect("canonical stored")
-                .header();
+            // Canonical hashes always resolve in the tree; a miss is a
+            // broken store invariant — skip rather than abort.
+            let Some(stored) = self.core.chain.tree().get(hash) else {
+                continue;
+            };
+            let hdr = stored.header();
             if matches!(hdr.seal, Seal::Work { .. }) {
                 return Some((*hash, hdr.proposer));
             }
@@ -182,7 +181,10 @@ impl<M: StateMachine> Protocol for NgNode<M> {
                 if counter != self.micro_epoch || !self.i_am_leader() {
                     return;
                 }
-                let (key_block, _) = self.current_leader().expect("leader exists");
+                // `i_am_leader()` above implies a leader exists.
+                let Some((key_block, _)) = self.current_leader() else {
+                    return;
+                };
                 self.micro_seq += 1;
                 if !self.core.mempool.is_empty() {
                     let seal = Seal::Micro {

@@ -11,7 +11,7 @@ use dcs_crypto::{Address, Hash256};
 use dcs_net::{Ctx, Gossiper, NodeId};
 use dcs_primitives::{Block, BlockHeader, ChainConfig, Seal, Transaction};
 use dcs_sim::SimTime;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Shared per-peer machinery.
@@ -30,8 +30,12 @@ pub struct NodeCore<M: StateMachine> {
     /// Gossiped blocks this peer rejected at import (bad seal, height,
     /// root, …). A spike across peers is an invalid-block storm.
     pub rejected_blocks: u64,
+    /// Broken internal invariants survived at runtime (e.g. a reorg walk
+    /// hitting a missing stored block). Always 0 in a healthy run; counted
+    /// instead of panicking so a bad peer input can never abort the peer.
+    pub internal_errors: u64,
     seen: Gossiper,
-    included: HashSet<Hash256>,
+    included: BTreeSet<Hash256>,
 }
 
 impl<M: StateMachine> NodeCore<M> {
@@ -50,13 +54,14 @@ impl<M: StateMachine> NodeCore<M> {
             mempool: Mempool::new(100_000),
             blocks_produced: 0,
             rejected_blocks: 0,
+            internal_errors: 0,
             seen: Gossiper::new(),
-            included: HashSet::new(),
+            included: BTreeSet::new(),
         }
     }
 
     /// Transaction ids currently on this peer's canonical chain.
-    pub fn included(&self) -> &HashSet<Hash256> {
+    pub fn included(&self) -> &BTreeSet<Hash256> {
         &self.included
     }
 
@@ -167,13 +172,13 @@ impl<M: StateMachine> NodeCore<M> {
                 let mut abandoned: Vec<Arc<Transaction>> = Vec::new();
                 let mut cur = old_tip;
                 for _ in 0..*reverted {
-                    let block = Arc::clone(
-                        self.chain
-                            .tree()
-                            .get(&cur)
-                            .expect("old branch stored")
-                            .block(),
-                    );
+                    let Some(stored) = self.chain.tree().get(&cur) else {
+                        // The reverted branch must be stored; a miss is a
+                        // broken invariant — count it and salvage the rest.
+                        self.internal_errors += 1;
+                        break;
+                    };
+                    let block = Arc::clone(stored.block());
                     cur = block.header.parent;
                     for tx in &block.txs {
                         if !matches!(tx, Transaction::Coinbase { .. }) {
@@ -188,13 +193,13 @@ impl<M: StateMachine> NodeCore<M> {
                 let mut cur = *new_tip;
                 for _ in 0..*applied {
                     new_blocks.push(cur);
-                    cur = self
-                        .chain
-                        .tree()
-                        .get(&cur)
-                        .expect("new branch stored")
-                        .header()
-                        .parent;
+                    match self.chain.tree().get(&cur) {
+                        Some(stored) => cur = stored.header().parent,
+                        None => {
+                            self.internal_errors += 1;
+                            break;
+                        }
+                    }
                 }
                 for hash in new_blocks.iter().rev() {
                     self.note_included(hash);
@@ -213,16 +218,11 @@ impl<M: StateMachine> NodeCore<M> {
     }
 
     fn note_included(&mut self, block_hash: &Hash256) {
-        let ids: Vec<Hash256> = self
-            .chain
-            .tree()
-            .get(block_hash)
-            .expect("canonical block stored")
-            .block()
-            .txs
-            .iter()
-            .map(Transaction::id)
-            .collect();
+        let Some(stored) = self.chain.tree().get(block_hash) else {
+            self.internal_errors += 1;
+            return;
+        };
+        let ids: Vec<Hash256> = stored.block().txs.iter().map(Transaction::id).collect();
         self.mempool.remove_all(ids.iter());
         self.included.extend(ids);
     }
@@ -311,7 +311,7 @@ mod tests {
     }
 
     /// The canonical-chain tx set above genesis, recomputed the slow way.
-    fn included_recomputed(node: &NodeCore<NullMachine>) -> HashSet<Hash256> {
+    fn included_recomputed(node: &NodeCore<NullMachine>) -> BTreeSet<Hash256> {
         node.chain
             .canonical()
             .iter()

@@ -16,7 +16,7 @@ use dcs_crypto::{Address, Hash256};
 use dcs_net::{Ctx, NodeId, Protocol};
 use dcs_primitives::{Block, ChainConfig, ConsensusKind, Seal};
 use dcs_sim::SimDuration;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// PBFT protocol messages.
@@ -62,8 +62,8 @@ const TAG_VIEW: u64 = 2 << 40;
 #[derive(Debug, Default)]
 struct SeqState {
     candidate: Option<Arc<Block>>,
-    prepares: HashSet<NodeId>,
-    commits: HashSet<NodeId>,
+    prepares: BTreeSet<NodeId>,
+    commits: BTreeSet<NodeId>,
     sent_prepare: bool,
     sent_commit: bool,
 }
@@ -79,8 +79,8 @@ pub struct PbftNode<M: StateMachine> {
     pub view_changes: u64,
     n: usize,
     view: u64,
-    state: HashMap<u64, SeqState>,
-    view_votes: HashMap<u64, HashSet<NodeId>>,
+    state: BTreeMap<u64, SeqState>,
+    view_votes: BTreeMap<u64, BTreeSet<NodeId>>,
     view_timer_epoch: u64,
     batch_timeout_us: u64,
     view_timeout_us: u64,
@@ -109,7 +109,8 @@ impl<M: StateMachine> PbftNode<M> {
             ..
         } = config.consensus
         else {
-            panic!("PbftNode requires a Pbft consensus config")
+            // Constructor misuse is a programmer error, not a peer input.
+            panic!("PbftNode requires a Pbft consensus config") // dcs-lint: allow(panic-path)
         };
         PbftNode {
             core: NodeCore::new(id, address, genesis, config, machine),
@@ -117,8 +118,8 @@ impl<M: StateMachine> PbftNode<M> {
             view_changes: 0,
             n,
             view: 0,
-            state: HashMap::new(),
-            view_votes: HashMap::new(),
+            state: BTreeMap::new(),
+            view_votes: BTreeMap::new(),
             view_timer_epoch: 0,
             batch_timeout_us,
             view_timeout_us,

@@ -27,6 +27,10 @@ pub struct VerificationReport {
     /// Gossiped blocks rejected at import, summed over peers — nonzero
     /// means someone fed the network structurally invalid blocks.
     pub rejected_blocks: u64,
+    /// Broken internal invariants survived at runtime (see
+    /// [`dcs_chain::ChainStats::internal_errors`]), summed over peers.
+    /// A healthy run keeps this at zero; the determinism suite asserts it.
+    pub internal_errors: u64,
 }
 
 impl VerificationReport {
@@ -35,6 +39,7 @@ impl VerificationReport {
         VerificationReport {
             pipeline: pipeline.stats(),
             rejected_blocks: 0,
+            internal_errors: 0,
         }
     }
 
@@ -42,6 +47,13 @@ impl VerificationReport {
     /// [`SimResult::rejected_blocks`] or a manual census).
     pub fn with_rejected_blocks(mut self, rejected: u64) -> Self {
         self.rejected_blocks = rejected;
+        self
+    }
+
+    /// Attaches the network-wide internal-error count (from
+    /// [`SimResult::internal_errors`] or a manual census).
+    pub fn with_internal_errors(mut self, internal: u64) -> Self {
+        self.internal_errors = internal;
         self
     }
 
@@ -67,11 +79,12 @@ impl core::fmt::Display for VerificationReport {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "verify[{}] skipped={} verified={} rejected_blocks={}",
+            "verify[{}] skipped={} verified={} rejected_blocks={} internal_errors={}",
             self.pipeline,
             self.signatures_skipped(),
             self.signatures_verified(),
             self.rejected_blocks,
+            self.internal_errors,
         )
     }
 }
@@ -103,6 +116,9 @@ pub struct SimResult {
     pub max_reorg_depth: u64,
     /// Gossiped blocks rejected at import, summed over all peers.
     pub rejected_blocks: u64,
+    /// Broken internal invariants survived at runtime (chain-manager and
+    /// node-core counters), summed over all peers. Zero on a healthy run.
+    pub internal_errors: u64,
     /// True when all replicas agree on the chain up to the confirmation
     /// depth.
     pub replicas_agree: bool,
@@ -217,6 +233,10 @@ pub fn collect<P: LedgerNode>(
 
     let work_expended: f64 = nodes.iter().map(LedgerNode::work_expended).sum();
     let rejected_blocks: u64 = nodes.iter().map(|n| n.core().rejected_blocks).sum();
+    let internal_errors: u64 = nodes
+        .iter()
+        .map(|n| n.core().internal_errors + n.core().chain.stats().internal_errors)
+        .sum();
     let stats = chain.stats();
     SimResult {
         horizon,
@@ -231,6 +251,7 @@ pub fn collect<P: LedgerNode>(
         reorgs: stats.reorgs,
         max_reorg_depth: stats.max_reorg_depth,
         rejected_blocks,
+        internal_errors,
         replicas_agree,
         proposer_gini: gini(&proposer_counts),
         nakamoto: nakamoto_coefficient(&proposer_counts),

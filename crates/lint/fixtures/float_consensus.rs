@@ -1,0 +1,7 @@
+//! Fixture: violates `float-consensus` when linted under a consensus
+//! decision path (e.g. `crates/consensus/src/difficulty.rs`).
+
+pub fn retarget(prev: u64, ratio_num: u64, ratio_den: u64) -> u64 {
+    let scale = ratio_num as f64 / ratio_den as f64;
+    (prev as f64 * scale * 1.5) as u64
+}

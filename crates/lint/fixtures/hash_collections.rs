@@ -1,0 +1,12 @@
+//! Fixture: violates `hash-collections` when linted under a
+//! determinism-critical crate path (e.g. `crates/sim/src/bad.rs`).
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut counts = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,13 @@
+//! Fixture: violates `panic-path` when linted under a protocol-message
+//! handling crate (e.g. `crates/chain/src/peer.rs`).
+
+pub fn decode_height(raw: Option<u64>) -> u64 {
+    raw.unwrap()
+}
+
+pub fn decode_tag(raw: Option<u8>) -> u8 {
+    match raw {
+        Some(t) => t,
+        None => panic!("missing tag"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: every violation below carries a suppression, so the file must
+//! lint clean even under a determinism-critical virtual path.
+
+use std::collections::HashMap; // dcs-lint: allow(hash-collections)
+
+pub fn lookup_only(map: &HashMap<u32, u32>, k: u32) -> Option<u32> { // dcs-lint: allow(hash-collections)
+    // dcs-lint: allow(hash-collections)
+    let probe: Option<&HashMap<u32, u32>> = Some(map);
+    // dcs-lint: allow(all)
+    probe.unwrap().get(&k).copied()
+}

@@ -1,0 +1,7 @@
+//! Fixture: violates `thread-spawn` anywhere except the crypto batch pool.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {
+        // scheduling of this closure is nondeterministic
+    });
+}

@@ -1,0 +1,10 @@
+//! Fixture: violates `unseeded-rng` — OS-entropy randomness breaks replay.
+
+pub fn os_entropy_coin_flip() -> bool {
+    rand::random()
+}
+
+pub fn thread_local_rng_value() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+//! Fixture: violates `wall-clock` anywhere outside `crates/bench/`.
+
+use std::time::Instant;
+
+pub fn elapsed_wall_time() -> std::time::Duration {
+    let start = Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,143 @@
+//! The audited allowlist: `lint-allow.toml` at the workspace root.
+//!
+//! Each entry is a `[[allow]]` table with `rule`, `path`, and a mandatory
+//! `reason` — legacy or deliberate sites that the team has reviewed. The
+//! parser is a minimal hand-rolled TOML subset reader (tables of string
+//! key/values only), because the lint crate is dependency-free by design.
+//!
+//! `path` matches a workspace-relative file exactly, or acts as a directory
+//! prefix when it ends with `/`.
+
+/// One audited allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (`all` suppresses every rule).
+    pub rule: String,
+    /// Workspace-relative file path, or directory prefix ending in `/`.
+    pub path: String,
+    /// Human audit trail — why this site is exempt.
+    pub reason: String,
+}
+
+/// Parsed allowlist.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// True when `rule` at `path` is covered by an entry.
+    pub fn covers(&self, rule: &str, path: &str) -> bool {
+        self.entries.iter().any(|e| {
+            (e.rule == rule || e.rule == "all")
+                && if e.path.ends_with('/') {
+                    path.starts_with(&e.path)
+                } else {
+                    path == e.path
+                }
+        })
+    }
+
+    /// Parses the `lint-allow.toml` subset: `[[allow]]` headers followed by
+    /// `key = "value"` lines. Returns `Err` with a message on malformed
+    /// input (unknown key, entry missing a field, non-string value).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        let mut cur: Option<(Option<String>, Option<String>, Option<String>)> = None;
+
+        fn flush(
+            cur: &mut Option<(Option<String>, Option<String>, Option<String>)>,
+            entries: &mut Vec<AllowEntry>,
+        ) -> Result<(), String> {
+            if let Some((rule, path, reason)) = cur.take() {
+                let rule = rule.ok_or("allow entry missing `rule`")?;
+                let path = path.ok_or("allow entry missing `path`")?;
+                let reason = reason.ok_or("allow entry missing `reason` (audit trail required)")?;
+                entries.push(AllowEntry { rule, path, reason });
+            }
+            Ok(())
+        }
+
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                flush(&mut cur, &mut entries)?;
+                cur = Some((None, None, None));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {}: unsupported table `{}`", n + 1, line));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = \"value\"`", n + 1))?;
+            let key = key.trim();
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| {
+                    format!(
+                        "line {}: value for `{}` must be a quoted string",
+                        n + 1,
+                        key
+                    )
+                })?
+                .to_string();
+            let slot = cur
+                .as_mut()
+                .ok_or_else(|| format!("line {}: `{}` outside an [[allow]] entry", n + 1, key))?;
+            match key {
+                "rule" => slot.0 = Some(value),
+                "path" => slot.1 = Some(value),
+                "reason" => slot.2 = Some(value),
+                other => return Err(format!("line {}: unknown key `{}`", n + 1, other)),
+            }
+        }
+        flush(&mut cur, &mut entries)?;
+        Ok(Allowlist { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let toml = r#"
+# baseline
+[[allow]]
+rule = "panic-path"
+path = "crates/consensus/src/pow.rs"
+reason = "constructor config mismatch is a programmer error"
+
+[[allow]]
+rule = "all"
+path = "crates/bench/"
+reason = "bench crate is not determinism-critical"
+"#;
+        let a = Allowlist::parse(toml).unwrap();
+        assert_eq!(a.entries.len(), 2);
+        assert!(a.covers("panic-path", "crates/consensus/src/pow.rs"));
+        assert!(!a.covers("wall-clock", "crates/consensus/src/pow.rs"));
+        assert!(a.covers("wall-clock", "crates/bench/src/lib.rs"));
+        assert!(!a.covers("panic-path", "crates/consensus/src/pos.rs"));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let toml = "[[allow]]\nrule = \"wall-clock\"\npath = \"x.rs\"\n";
+        assert!(Allowlist::parse(toml).is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let toml = "[[allow]]\nrule = \"wall-clock\"\npath = \"x.rs\"\nwhy = \"no\"\n";
+        assert!(Allowlist::parse(toml).is_err());
+    }
+}

@@ -1,0 +1,512 @@
+//! A minimal comment/string-aware Rust lexer — just enough structure to
+//! support token-sequence lint rules without a full parser (the build is
+//! offline-vendored, so no external parsing crates).
+//!
+//! The lexer produces identifier/punctuation/literal tokens with 1-based
+//! line:col positions, collects `// dcs-lint: allow(<rules>)` suppression
+//! comments, and marks `#[cfg(test)]` regions so rules can skip test code.
+//! Comments (including doc comments, and therefore doctest bodies), string
+//! literals, char literals, and lifetimes never produce rule-visible
+//! identifier tokens — `"HashMap"` in a string is not a finding.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// What kind of token, with its text where relevant.
+    pub kind: TokKind<'a>,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// Token classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind<'a> {
+    /// An identifier or keyword.
+    Ident(&'a str),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// A numeric literal, verbatim (e.g. `4.0`, `1_000u64`, `0xff`).
+    Number(&'a str),
+    /// A string/char/lifetime token; contents are never rule-visible.
+    Opaque,
+}
+
+/// A `// dcs-lint: allow(...)` suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the comment appears on.
+    pub line: u32,
+    /// Rule names inside `allow(...)`; `all` suppresses every rule.
+    pub rules: Vec<String>,
+    /// True when the comment is alone on its line — it then applies to the
+    /// next line that carries code, not its own (empty) line.
+    pub standalone: bool,
+}
+
+/// Full lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// Tokens in source order.
+    pub toks: Vec<Tok<'a>>,
+    /// Suppression comments found anywhere in the file.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl Lexed<'_> {
+    /// The set of lines each suppression effectively covers: its own line
+    /// for trailing comments, the next token-bearing line for standalone
+    /// comment lines.
+    pub fn suppressed_lines(&self) -> Vec<(u32, Vec<String>)> {
+        let mut out = Vec::new();
+        for s in &self.suppressions {
+            let line = if s.standalone {
+                self.toks
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > s.line)
+                    .unwrap_or(s.line)
+            } else {
+                s.line
+            };
+            out.push((line, s.rules.clone()));
+        }
+        out
+    }
+
+    /// Token index ranges lying inside `#[cfg(test)]` items (the attribute's
+    /// following brace-delimited block). Rules skip these regions: `unwrap`
+    /// in a unit test is idiomatic, not a protocol-safety hazard.
+    pub fn test_regions(&self) -> Vec<(usize, usize)> {
+        let t = &self.toks;
+        let mut regions: Vec<(usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < t.len() {
+            if !is_cfg_test_attr(t, i) {
+                i += 1;
+                continue;
+            }
+            // Skip past the closing `]` of the attribute.
+            let mut j = i;
+            let mut depth = 0i32;
+            while j < t.len() {
+                match t[j].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Find the start of the annotated item's block. A `;` first
+            // (e.g. `#[cfg(test)] mod tests;`) means no inline block.
+            let mut k = j + 1;
+            let mut open = None;
+            while k < t.len() {
+                match t[k].kind {
+                    TokKind::Punct('{') => {
+                        open = Some(k);
+                        break;
+                    }
+                    TokKind::Punct(';') => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let Some(open) = open else {
+                i = k + 1;
+                continue;
+            };
+            // Match braces to the end of the item.
+            let mut braces = 0i32;
+            let mut end = open;
+            while end < t.len() {
+                match t[end].kind {
+                    TokKind::Punct('{') => braces += 1,
+                    TokKind::Punct('}') => {
+                        braces -= 1;
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                end += 1;
+            }
+            regions.push((i, end.min(t.len().saturating_sub(1))));
+            i = end + 1;
+        }
+        regions
+    }
+}
+
+/// True if tokens at `i` begin a `#[cfg(test)]` attribute (also matches
+/// `#[cfg(all(test, ...))]` by looking for a bare `test` identifier anywhere
+/// inside the attribute brackets).
+fn is_cfg_test_attr(t: &[Tok<'_>], i: usize) -> bool {
+    if !matches!(t.get(i).map(|x| &x.kind), Some(TokKind::Punct('#'))) {
+        return false;
+    }
+    if !matches!(t.get(i + 1).map(|x| &x.kind), Some(TokKind::Punct('['))) {
+        return false;
+    }
+    if !matches!(t.get(i + 2).map(|x| &x.kind), Some(TokKind::Ident("cfg"))) {
+        return false;
+    }
+    // Scan to the closing `]`, looking for `test`.
+    let mut depth = 1i32;
+    let mut j = i + 2;
+    while j < t.len() && depth > 0 {
+        match t[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => depth -= 1,
+            TokKind::Ident("test") => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Lexes `source` into tokens plus suppression comments.
+// `line_has_tokens` is reset inside the advance! macro on every newline;
+// some expansions overwrite it again before the next read, which is fine.
+#[allow(unused_assignments)]
+pub fn lex(source: &str) -> Lexed<'_> {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    // Tracks whether any token has been emitted on the current line (to
+    // classify suppression comments as trailing vs standalone).
+    let mut line_has_tokens = false;
+
+    macro_rules! advance {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    col = 1;
+                    line_has_tokens = false;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Line comments (incl. doc comments) — scan for suppressions.
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            let text = &source[start..i];
+            if let Some(rules) = parse_suppression(text) {
+                out.suppressions.push(Suppression {
+                    line,
+                    rules,
+                    standalone: !line_has_tokens,
+                });
+            }
+            col += (text.chars().count()) as u32;
+            continue;
+        }
+        // Block comments, nested.
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 1;
+            advance!(2);
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    advance!(2);
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    advance!(2);
+                } else {
+                    advance!(1);
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br##"..."## etc.
+        if (c == 'r' || c == 'b') && is_raw_string_start(bytes, i) {
+            let (tline, tcol) = (line, col);
+            let mut j = i;
+            while bytes[j] == b'b' || bytes[j] == b'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            // Opening quote at j.
+            let consumed_prefix = j + 1 - i;
+            advance!(consumed_prefix);
+            let closer: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat_n(b'#', hashes))
+                .collect();
+            while i < bytes.len() {
+                if bytes[i] == b'"' && bytes[i..].starts_with(&closer) {
+                    advance!(closer.len());
+                    break;
+                }
+                advance!(1);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Opaque,
+                line: tline,
+                col: tcol,
+            });
+            line_has_tokens = true;
+            continue;
+        }
+        // Ordinary strings (and byte strings; the `b` prefix lexes as part
+        // of a preceding identifier only if separated — handle `b"..."`).
+        if c == '"' || (c == 'b' && bytes.get(i + 1) == Some(&b'"')) {
+            let (tline, tcol) = (line, col);
+            if c == 'b' {
+                advance!(1);
+            }
+            advance!(1); // opening quote
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' if i + 1 < bytes.len() => advance!(2),
+                    b'"' => {
+                        advance!(1);
+                        break;
+                    }
+                    _ => advance!(1),
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Opaque,
+                line: tline,
+                col: tcol,
+            });
+            line_has_tokens = true;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let (tline, tcol) = (line, col);
+            let next = bytes.get(i + 1).copied();
+            let after = bytes.get(i + 2).copied();
+            let is_lifetime = matches!(next, Some(n) if (n as char).is_alphabetic() || n == b'_')
+                && after != Some(b'\'');
+            if is_lifetime {
+                advance!(1);
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    advance!(1);
+                }
+            } else {
+                advance!(1); // opening quote
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' if i + 1 < bytes.len() => advance!(2),
+                        b'\'' => {
+                            advance!(1);
+                            break;
+                        }
+                        _ => advance!(1),
+                    }
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Opaque,
+                line: tline,
+                col: tcol,
+            });
+            line_has_tokens = true;
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let (tline, tcol) = (line, col);
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+                advance!(1);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident(&source[start..i]),
+                line: tline,
+                col: tcol,
+            });
+            line_has_tokens = true;
+            continue;
+        }
+        // Numbers: integer part, optional `.digits` fraction (so `0..1`
+        // stays two integers), optional exponent, optional suffix.
+        if c.is_ascii_digit() {
+            let (tline, tcol) = (line, col);
+            let start = i;
+            advance!(1);
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                advance!(1);
+            }
+            // Fraction: a dot followed by a digit.
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+            {
+                advance!(1);
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    advance!(1);
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Number(&source[start..i]),
+                line: tline,
+                col: tcol,
+            });
+            line_has_tokens = true;
+            continue;
+        }
+        // Whitespace.
+        if c.is_whitespace() {
+            advance!(1);
+            continue;
+        }
+        // Everything else: single punctuation character.
+        let (tline, tcol) = (line, col);
+        let ch_len = c.len_utf8();
+        advance!(ch_len);
+        out.toks.push(Tok {
+            kind: TokKind::Punct(c),
+            line: tline,
+            col: tcol,
+        });
+        line_has_tokens = true;
+    }
+    out
+}
+
+/// True when `r`/`br`/`rb` at `i` opens a raw string.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    let mut seen_r = false;
+    while j < bytes.len() && (bytes[j] == b'b' || bytes[j] == b'r') && j - i < 2 {
+        seen_r |= bytes[j] == b'r';
+        j += 1;
+    }
+    if !seen_r {
+        return false;
+    }
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Extracts rule names from a `dcs-lint: allow(a, b)` comment, if present.
+fn parse_suppression(comment: &str) -> Option<Vec<String>> {
+    let idx = comment.find("dcs-lint:")?;
+    let rest = comment[idx + "dcs-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let end = inner.find(')')?;
+    let rules: Vec<String> = inner[..end]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    (!rules.is_empty()).then_some(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s.to_string()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashSet in /* nested */ block */
+            let s = "HashMap inside";
+            let r = r#"HashSet raw"#;
+            let real = HashMap_actual;
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            vec!["let", "s", "let", "r", "let", "real", "HashMap_actual"]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let l = lex("for i in 0..10 { x += 4.0f64; }");
+        let nums: Vec<&str> = l
+            .toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Number(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "4.0f64"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        // Should lex without treating `'a>(x...` as an unterminated char.
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Ident("str")));
+    }
+
+    #[test]
+    fn suppressions_trailing_and_standalone() {
+        let src = "let m = HashMap::new(); // dcs-lint: allow(hash-collections)\n\
+                   // dcs-lint: allow(panic-path, wall-clock)\n\
+                   x.unwrap();\n";
+        let l = lex(src);
+        let lines = l.suppressed_lines();
+        assert_eq!(lines[0], (1, vec!["hash-collections".to_string()]));
+        assert_eq!(
+            lines[1],
+            (3, vec!["panic-path".to_string(), "wall-clock".to_string()])
+        );
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_blocks() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn prod2() {}\n";
+        let l = lex(src);
+        let regions = l.test_regions();
+        assert_eq!(regions.len(), 1);
+        let (a, b) = regions[0];
+        let in_region: Vec<&TokKind<'_>> = l.toks[a..=b].iter().map(|t| &t.kind).collect();
+        assert!(in_region.contains(&&TokKind::Ident("tests")));
+        assert!(in_region.contains(&&TokKind::Ident("y")));
+        assert!(!in_region.contains(&&TokKind::Ident("prod2")));
+    }
+}

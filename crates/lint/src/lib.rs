@@ -1,0 +1,104 @@
+//! `dcs-lint` — workspace determinism & protocol-safety static analysis.
+//!
+//! The dcs-ledger experimental claims rest on the discrete-event simulator
+//! being deterministic: same seed, bit-identical canonical chain and stats.
+//! Nothing in rustc or clippy enforces the project-specific invariants that
+//! property needs, so this crate ships a small, dependency-free analyzer:
+//! a comment/string-aware lexer ([`lexer`]), a path-scoped rule catalogue
+//! ([`rules`]), per-line suppressions (`// dcs-lint: allow(<rule>)`), and an
+//! audited allowlist ([`allow`], `lint-allow.toml`).
+//!
+//! Run it as `cargo run -p dcs-lint -- --workspace`; CI gates merges on a
+//! clean pass. See DESIGN.md §10 for the rule rationale.
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use allow::Allowlist;
+use diag::Finding;
+
+/// Lints one file's source under its workspace-relative `rel_path`,
+/// filtering through the allowlist. Inline suppressions and `#[cfg(test)]`
+/// regions are handled inside the scanner.
+pub fn check_source(rel_path: &str, source: &str, allow: &Allowlist) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    rules::scan(rel_path, source, &lexed)
+        .into_iter()
+        .filter(|f| !allow.covers(f.rule, rel_path))
+        .collect()
+}
+
+/// Walks the workspace at `root` and lints every production `.rs` file.
+///
+/// Skipped: `target/`, `vendor/` (third-party), hidden directories, and any
+/// directory named `tests`, `benches`, `examples`, or `fixtures` — test and
+/// fixture code is expected to use `unwrap`, wall clocks, and hash maps.
+pub fn check_workspace(root: &Path, allow: &Allowlist) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    // Deterministic report order, naturally.
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(check_source(&rel_str, &source, allow));
+    }
+    Ok(findings)
+}
+
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "tests", "benches", "examples", "fixtures",
+];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Loads `lint-allow.toml` from `root`, tolerating absence (empty list).
+pub fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    let path = root.join("lint-allow.toml");
+    match fs::read_to_string(&path) {
+        Ok(text) => Allowlist::parse(&text).map_err(|e| format!("{}: {}", path.display(), e)),
+        Err(ref e) if e.kind() == io::ErrorKind::NotFound => Ok(Allowlist::default()),
+        Err(e) => Err(format!("{}: {}", path.display(), e)),
+    }
+}
+
+/// Finds the workspace root by walking up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,116 @@
+//! CLI entry point for `dcs-lint`.
+//!
+//! ```text
+//! cargo run -p dcs-lint -- --workspace            # lint the whole tree
+//! cargo run -p dcs-lint -- --list-rules           # print the catalogue
+//! cargo run -p dcs-lint -- --file F --as REL      # lint one file as if at REL
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcs_lint::{
+    allow::Allowlist, check_source, check_workspace, find_workspace_root, load_allowlist, rules,
+};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("dcs-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args = env::args().skip(1);
+    let mut workspace = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut file: Option<PathBuf> = None;
+    let mut virtual_path: Option<String> = None;
+    let mut allow_path: Option<PathBuf> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--list-rules" => list_rules = true,
+            "--root" => root = Some(next_value(&mut args, "--root")?.into()),
+            "--file" => file = Some(next_value(&mut args, "--file")?.into()),
+            "--as" => virtual_path = Some(next_value(&mut args, "--as")?),
+            "--allow" => allow_path = Some(next_value(&mut args, "--allow")?.into()),
+            "--help" | "-h" => {
+                print_usage();
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    if list_rules {
+        for r in rules::RULES {
+            println!("{:<18} {}", r.id, r.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd).unwrap_or(cwd)
+        }
+    };
+
+    let allow = match allow_path {
+        Some(p) => {
+            let text = fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            Allowlist::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?
+        }
+        None => load_allowlist(&root)?,
+    };
+
+    let findings = if let Some(file) = file {
+        let rel = virtual_path
+            .or_else(|| {
+                file.strip_prefix(&root)
+                    .ok()
+                    .map(|p| p.to_string_lossy().replace('\\', "/"))
+            })
+            .ok_or("--file outside the workspace root needs --as <workspace-relative-path>")?;
+        let source = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+        check_source(&rel, &source, &allow)
+    } else if workspace {
+        check_workspace(&root, &allow).map_err(|e| e.to_string())?
+    } else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("dcs-lint: clean ({} rules)", rules::RULES.len());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("dcs-lint: {} finding(s)", findings.len());
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: dcs-lint [--workspace] [--root DIR] [--allow FILE] \
+         [--file F [--as REL]] [--list-rules]"
+    );
+}

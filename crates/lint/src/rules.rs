@@ -1,0 +1,230 @@
+//! The rule catalogue and the token-sequence scanner.
+//!
+//! Every rule is lexical: it matches identifier/punctuation sequences the
+//! lexer produced, so nothing inside comments or string literals can fire.
+//! Scoping is path-based — each rule declares which workspace-relative
+//! paths it guards, mirroring the determinism boundaries of the platform
+//! (see DESIGN.md §10).
+
+use crate::diag::{line_snippet, Finding};
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Static description of one rule, for `--list-rules` and docs.
+pub struct RuleInfo {
+    /// Stable rule id used in diagnostics and suppressions.
+    pub id: &'static str,
+    /// One-line summary of what the rule protects.
+    pub summary: &'static str,
+    /// Fix hint attached to findings.
+    pub hint: &'static str,
+}
+
+/// All rules, in catalogue order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "wall-clock",
+        summary: "no Instant::now/SystemTime outside crates/bench — sim time is the only clock",
+        hint: "wall-clock reads break reproducibility; use SimTime from the simulator context",
+    },
+    RuleInfo {
+        id: "unseeded-rng",
+        summary: "no thread_rng/rand::random/from_entropy — all randomness flows from the run seed",
+        hint: "derive randomness from the seeded sim Rng (Rng::fork), never from OS entropy",
+    },
+    RuleInfo {
+        id: "hash-collections",
+        summary: "no HashMap/HashSet in determinism-critical crates (sim, net, consensus, chain, state)",
+        hint: "RandomState iteration order varies per process; use BTreeMap/BTreeSet or sort keys",
+    },
+    RuleInfo {
+        id: "float-consensus",
+        summary: "no f32/f64 arithmetic in consensus decision code",
+        hint: "float rounding is platform/opt-level sensitive; use integer (u64/u128) arithmetic",
+    },
+    RuleInfo {
+        id: "panic-path",
+        summary: "no unwrap/expect/panic! in protocol-message handling paths",
+        hint: "a malformed peer message must be a counted rejection, not a process abort; return a typed error",
+    },
+    RuleInfo {
+        id: "thread-spawn",
+        summary: "no std::thread::spawn outside dcs_crypto::batch",
+        hint: "ad-hoc threads introduce scheduling nondeterminism; use the crypto batch pool",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Determinism-critical crates for `hash-collections`.
+const DETERMINISM_CRATES: &[&str] = &[
+    "crates/sim/",
+    "crates/net/",
+    "crates/consensus/",
+    "crates/chain/",
+    "crates/state/",
+];
+
+/// Consensus *decision* files for `float-consensus`. The PoW/PoET/NG solve
+/// and election timing models legitimately use f64 for exponential sampling
+/// (that randomness is seeded and cross-platform stable is a separate
+/// concern tracked in lint-allow.toml if it ever leaks into decisions).
+const FLOAT_DECISION_PATHS: &[&str] = &[
+    "crates/consensus/src/difficulty.rs",
+    "crates/consensus/src/pbft.rs",
+    "crates/consensus/src/ordering.rs",
+    "crates/consensus/src/node.rs",
+    "crates/consensus/src/mempool.rs",
+    "crates/consensus/src/lib.rs",
+    "crates/chain/",
+];
+
+/// Protocol-message handling crates for `panic-path`.
+const PANIC_PATH_CRATES: &[&str] = &["crates/chain/", "crates/consensus/", "crates/net/"];
+
+fn under(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| {
+        if p.ends_with('/') {
+            path.starts_with(p)
+        } else {
+            path == *p
+        }
+    })
+}
+
+/// True when `rule_id` applies to the file at `path`.
+pub fn in_scope(rule_id: &str, path: &str) -> bool {
+    match rule_id {
+        "wall-clock" => !path.starts_with("crates/bench/"),
+        "unseeded-rng" => true,
+        "hash-collections" => under(path, DETERMINISM_CRATES),
+        "float-consensus" => under(path, FLOAT_DECISION_PATHS),
+        "panic-path" => under(path, PANIC_PATH_CRATES),
+        "thread-spawn" => path != "crates/crypto/src/batch.rs",
+        _ => false,
+    }
+}
+
+/// Scans one lexed file, returning findings before suppression filtering.
+pub fn scan(path: &str, source: &str, lexed: &Lexed<'_>) -> Vec<Finding> {
+    let toks = &lexed.toks;
+    let mut raw: Vec<(usize, &'static str)> = Vec::new();
+
+    let active: Vec<&'static str> = RULES
+        .iter()
+        .map(|r| r.id)
+        .filter(|id| in_scope(id, path))
+        .collect();
+    if active.is_empty() {
+        return Vec::new();
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        let TokKind::Ident(name) = t.kind else {
+            // Float literals in decision code fire on the number token.
+            if active.contains(&"float-consensus") {
+                if let TokKind::Number(n) = t.kind {
+                    if is_float_literal(n) {
+                        raw.push((i, "float-consensus"));
+                    }
+                }
+            }
+            continue;
+        };
+        match name {
+            "Instant" | "SystemTime" if active.contains(&"wall-clock") => {
+                raw.push((i, "wall-clock"));
+            }
+            "thread_rng" | "from_entropy" if active.contains(&"unseeded-rng") => {
+                raw.push((i, "unseeded-rng"));
+            }
+            "random" if active.contains(&"unseeded-rng") && path_prefix_is(toks, i, "rand") => {
+                raw.push((i, "unseeded-rng"));
+            }
+            "HashMap" | "HashSet" if active.contains(&"hash-collections") => {
+                raw.push((i, "hash-collections"));
+            }
+            "f32" | "f64" if active.contains(&"float-consensus") => {
+                raw.push((i, "float-consensus"));
+            }
+            "unwrap" | "expect"
+                if active.contains(&"panic-path")
+                    && prev_is_dot(toks, i)
+                    && next_is(toks, i, '(') =>
+            {
+                raw.push((i, "panic-path"));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if active.contains(&"panic-path") && next_is(toks, i, '!') =>
+            {
+                raw.push((i, "panic-path"));
+            }
+            "spawn" if active.contains(&"thread-spawn") && path_prefix_is(toks, i, "thread") => {
+                raw.push((i, "thread-spawn"));
+            }
+            _ => {}
+        }
+    }
+
+    // Drop findings inside #[cfg(test)] regions.
+    let regions = lexed.test_regions();
+    raw.retain(|(i, _)| !regions.iter().any(|&(a, b)| *i >= a && *i <= b));
+
+    // Drop findings on suppressed lines.
+    let suppressed = lexed.suppressed_lines();
+    raw.retain(|(i, rule_id)| {
+        let line = toks[*i].line;
+        !suppressed
+            .iter()
+            .any(|(l, rules)| *l == line && rules.iter().any(|r| r == rule_id || r == "all"))
+    });
+
+    raw.into_iter()
+        .map(|(i, rule_id)| {
+            let t = &toks[i];
+            let info = rule(rule_id).expect("rule ids in scan match the catalogue");
+            Finding {
+                rule: info.id,
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                snippet: line_snippet(source, t.line),
+                hint: info.hint,
+            }
+        })
+        .collect()
+}
+
+/// True when the token before `i` is a `.` (method-call position).
+fn prev_is_dot(toks: &[Tok<'_>], i: usize) -> bool {
+    i > 0 && toks[i - 1].kind == TokKind::Punct('.')
+}
+
+/// True when the token after `i` is `c`.
+fn next_is(toks: &[Tok<'_>], i: usize, c: char) -> bool {
+    toks.get(i + 1).map(|t| &t.kind) == Some(&TokKind::Punct(c))
+}
+
+/// True when token `i` is path-qualified as `prefix::<tok>` (e.g.
+/// `rand::random`, `thread::spawn`), tolerating `std::thread::spawn`.
+fn path_prefix_is(toks: &[Tok<'_>], i: usize, prefix: &str) -> bool {
+    if i < 3 {
+        return false;
+    }
+    toks[i - 1].kind == TokKind::Punct(':')
+        && toks[i - 2].kind == TokKind::Punct(':')
+        && toks[i - 3].kind == TokKind::Ident(prefix)
+}
+
+/// True for number tokens that are float literals (`4.0`, `1e6`, `2f64`).
+fn is_float_literal(n: &str) -> bool {
+    if n.starts_with("0x") || n.starts_with("0b") || n.starts_with("0o") {
+        return false;
+    }
+    n.contains('.')
+        || n.ends_with("f32")
+        || n.ends_with("f64")
+        || n.bytes().any(|b| b == b'e' || b == b'E')
+}

@@ -6,7 +6,7 @@
 //! (except the sender); repeats are dropped.
 
 use dcs_crypto::Hash256;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Per-peer gossip deduplication state.
 ///
@@ -23,7 +23,7 @@ use std::collections::HashSet;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Gossiper {
-    seen: HashSet<Hash256>,
+    seen: BTreeSet<Hash256>,
 }
 
 impl Gossiper {

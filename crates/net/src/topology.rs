@@ -135,7 +135,7 @@ pub fn diameter(adj: &[Vec<NodeId>]) -> usize {
                 }
             }
         }
-        let far = dist.into_iter().max().expect("n > 0");
+        let far = dist.into_iter().max().unwrap_or(0);
         if far == usize::MAX {
             return usize::MAX;
         }

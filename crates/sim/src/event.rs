@@ -7,7 +7,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// A handle to a scheduled event, usable with [`Simulation::cancel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -45,7 +45,7 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct Simulation<E> {
     queue: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     now: SimTime,
     next_seq: u64,
     processed: u64,
@@ -62,7 +62,7 @@ impl<E> Simulation<E> {
     pub fn new() -> Self {
         Simulation {
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,

@@ -5,7 +5,7 @@
 use dcs_crypto::{Hash256, MerkleTree, VerifyItem, VerifyPipeline};
 use dcs_primitives::{Amount, Transaction, TxOut, UtxoTx};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies one output of one transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -85,7 +85,7 @@ pub struct UtxoUndo {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct UtxoSet {
-    live: HashMap<OutPoint, TxOut>,
+    live: BTreeMap<OutPoint, TxOut>,
     mint_counter: u64,
     verify_witnesses: bool,
 }
@@ -191,7 +191,7 @@ impl UtxoSet {
         if tx.inputs.is_empty() {
             return Err(UtxoError::NoInputs);
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut input_value: Amount = 0;
         for input in &tx.inputs {
             let op = OutPoint {
