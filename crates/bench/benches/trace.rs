@@ -1,0 +1,104 @@
+//! Criterion benchmarks for the tracing layer: the disabled path must be
+//! free (a branch on an `Option`), so block import with `TraceConfig::Off`
+//! stays within noise of a chain that never heard of tracing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_chain::{Chain, NullMachine};
+use dcs_crypto::{Address, Hash256};
+use dcs_primitives::{AccountTx, Block, BlockHeader, ChainConfig, Seal, Transaction};
+use dcs_trace::{TraceConfig, TraceEvent, Tracer};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn block_with_txs(parent: Hash256, height: u64, n_txs: usize) -> Block {
+    let txs: Vec<Transaction> = (0..n_txs)
+        .map(|i| {
+            Transaction::Account(AccountTx::transfer(
+                Address::from_index(height * 1_000 + i as u64),
+                Address::from_index(1),
+                1,
+                0,
+            ))
+        })
+        .collect();
+    Block::new(
+        BlockHeader::new(parent, height, height, Address::from_index(9), Seal::None),
+        txs,
+    )
+}
+
+fn chain_stream(depth: u64) -> (Block, ChainConfig, Vec<Arc<Block>>) {
+    let cfg = ChainConfig::bitcoin_like();
+    let genesis = dcs_chain::genesis_block(&cfg);
+    let mut stream: Vec<Arc<Block>> = Vec::new();
+    let mut parent = genesis.hash();
+    for h in 1..=depth {
+        let b = Arc::new(block_with_txs(parent, h, 50));
+        parent = b.hash();
+        stream.push(b);
+    }
+    (genesis, cfg, stream)
+}
+
+/// Block-import throughput with tracing absent, installed-but-off, and
+/// full. The first two must be indistinguishable (< 5% apart): off is one
+/// `Option` discriminant check per import.
+fn bench_import_tracing_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("import_tracing");
+    group.sample_size(20);
+    let depth = 200u64;
+    let (genesis, cfg, stream) = chain_stream(depth);
+    let run = |tracer: Option<Tracer>| {
+        let mut chain = Chain::new(genesis.clone(), cfg.clone(), NullMachine);
+        if let Some(t) = tracer {
+            chain.set_tracer(t);
+        }
+        for (h, blk) in stream.iter().enumerate() {
+            chain
+                .import_at(black_box(Arc::clone(blk)), h as u64)
+                .unwrap();
+        }
+        chain.height()
+    };
+    group.bench_function(BenchmarkId::new("baseline", depth), |b| {
+        b.iter(|| black_box(run(None)))
+    });
+    group.bench_function(BenchmarkId::new("off", depth), |b| {
+        b.iter(|| black_box(run(Some(Tracer::new(0, &TraceConfig::off())))))
+    });
+    group.bench_function(BenchmarkId::new("full", depth), |b| {
+        b.iter(|| black_box(run(Some(Tracer::new(0, &TraceConfig::full())))))
+    });
+    group.finish();
+}
+
+/// The raw emit hot path: a disabled emit is a branch and nothing else; a
+/// full emit encodes, folds the digest, and ring-buffers.
+fn bench_emit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_emit");
+    let n = 10_000u64;
+    group.bench_function(BenchmarkId::new("disabled", n), |b| {
+        let mut t = Tracer::disabled();
+        b.iter(|| {
+            for i in 0..n {
+                t.emit(i, TraceEvent::Finalized { height: i });
+            }
+            black_box(t.is_enabled())
+        })
+    });
+    group.bench_function(BenchmarkId::new("full", n), |b| {
+        b.iter_with_setup(
+            || Tracer::new(0, &TraceConfig::full()),
+            |mut t| {
+                for i in 0..n {
+                    t.emit(i, TraceEvent::Finalized { height: i });
+                }
+                black_box(t.len())
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_import_tracing_modes, bench_emit);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 
 pub mod apps;
 pub mod consensus;
+pub mod observability;
 pub mod scaling;
 pub mod security;
 
@@ -11,7 +12,7 @@ use crate::Scale;
 /// All experiment ids, in presentation order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "f2",
+    "e16", "e17", "f2",
 ];
 
 /// Runs one experiment by id, printing its table(s).
@@ -37,6 +38,7 @@ pub fn run(id: &str, scale: Scale) {
         "e14" => security::e14_multichannel_swap(scale),
         "e15" => scaling::e15_verify_pipeline(scale),
         "e16" => scaling::e16_pruned_store(scale),
+        "e17" => observability::e17_latency_breakdown(scale),
         "f2" => apps::f2_block_structure(),
         other => panic!("unknown experiment id {other:?}"),
     }

@@ -1,5 +1,5 @@
 //! The experiment harness: one function per experiment in DESIGN.md's
-//! index (E1–E14 plus the F2 figure demo), each regenerating the table that
+//! index (E1–E17 plus the F2 figure demo), each regenerating the table that
 //! backs one of the paper's quantitative claims. The `expt` binary drives
 //! them; EXPERIMENTS.md records paper-vs-measured.
 //!

@@ -11,6 +11,7 @@ use crate::store::{ArchivalStore, BlockStore, BlockTree};
 use crate::ChainError;
 use dcs_crypto::{merkle_root_with, Hash256, VerifyPipeline};
 use dcs_primitives::{Block, ChainConfig, Receipt, Transaction};
+use dcs_trace::{Id as TraceId, ImportOutcome, TraceEvent, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -197,6 +198,10 @@ pub struct Chain<M: StateMachine, S: BlockStore = ArchivalStore> {
     stats: ChainStats,
     canon_stats: CanonStats,
     pipeline: Option<Arc<VerifyPipeline>>,
+    tracer: Tracer,
+    /// Highest finalized height already traced, so [`Chain::import_at`]
+    /// emits each [`TraceEvent::Finalized`] height exactly once.
+    traced_finalized: u64,
     /// When true, `Seal::Work` headers must actually hash below their
     /// difficulty target (real grinding; used by low-difficulty tests).
     pub check_pow_hash: bool,
@@ -235,9 +240,22 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
             stats: ChainStats::default(),
             canon_stats: CanonStats::default(),
             pipeline: None,
+            tracer: Tracer::disabled(),
+            traced_finalized: 0,
             check_pow_hash: false,
             enforce_block_limit: false,
         }
+    }
+
+    /// Installs a tracer; [`Chain::import_at`] emits import, orphan, reorg,
+    /// and finality events through it. Disabled by default.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The chain tracer (disabled unless [`Chain::set_tracer`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Routes the per-import body check (transaction ids + Merkle root)
@@ -424,6 +442,75 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
                 ChainEvent::SideChain { block: inserted[0] }
             }
         })
+    }
+
+    /// [`Chain::import`] plus trace emission: records import, orphan,
+    /// reorg, and finality-advance events at sim time `at_us` through the
+    /// installed tracer. With no tracer installed this is exactly
+    /// `import` — the hash/height pre-computation is skipped too.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Chain::import`].
+    pub fn import_at(
+        &mut self,
+        block: impl Into<Arc<Block>>,
+        at_us: u64,
+    ) -> Result<ChainEvent, ChainError> {
+        let block = block.into();
+        if !self.tracer.is_enabled() {
+            return self.import(block);
+        }
+        let id = TraceId(block.hash().into_bytes());
+        let height = block.header.height;
+        let event = self.import(block)?;
+        match &event {
+            ChainEvent::Extended { .. } => self.tracer.emit(
+                at_us,
+                TraceEvent::BlockImported {
+                    block: id,
+                    height,
+                    outcome: ImportOutcome::Extended,
+                },
+            ),
+            ChainEvent::SideChain { .. } => self.tracer.emit(
+                at_us,
+                TraceEvent::BlockImported {
+                    block: id,
+                    height,
+                    outcome: ImportOutcome::SideChain,
+                },
+            ),
+            ChainEvent::Orphaned => self
+                .tracer
+                .emit(at_us, TraceEvent::BlockOrphaned { block: id }),
+            ChainEvent::Reorg {
+                reverted, applied, ..
+            } => {
+                self.tracer.emit(
+                    at_us,
+                    TraceEvent::Reorg {
+                        reverted: *reverted,
+                        applied: *applied,
+                    },
+                );
+                self.tracer.emit(
+                    at_us,
+                    TraceEvent::BlockImported {
+                        block: id,
+                        height,
+                        outcome: ImportOutcome::Extended,
+                    },
+                );
+            }
+        }
+        let finalized = self.height().saturating_sub(self.config.confirmation_depth);
+        if finalized > self.traced_finalized {
+            self.traced_finalized = finalized;
+            self.tracer
+                .emit(at_us, TraceEvent::Finalized { height: finalized });
+        }
+        Ok(event)
     }
 
     /// Pops the canonical tip, reverting the machine and shedding its stats
@@ -662,6 +749,63 @@ mod tests {
             chain.tree().get(&b1.hash()).unwrap().block(),
             &b1
         ));
+    }
+
+    #[test]
+    fn import_at_traces_imports_reorgs_and_finality_once() {
+        use dcs_trace::TraceConfig;
+        let (mut chain, g) = new_chain();
+        chain.set_tracer(Tracer::new(0, &TraceConfig::full()));
+        let depth = chain.config().confirmation_depth;
+
+        // a-branch of 2, then a b-branch of 3 forces a reorg.
+        let a1 = child(&g, 1);
+        let a2 = child(&a1, 2);
+        let b1 = child(&g, 10);
+        let b2 = child(&b1, 11);
+        let b3 = child(&b2, 12);
+        chain.import_at(a1, 100).unwrap();
+        chain.import_at(a2, 200).unwrap();
+        chain.import_at(b1.clone(), 300).unwrap();
+        chain.import_at(b2, 400).unwrap();
+        chain.import_at(b3.clone(), 500).unwrap();
+
+        let evs: Vec<TraceEvent> = chain.tracer().records().map(|r| r.event).collect();
+        assert!(evs.contains(&TraceEvent::Reorg {
+            reverted: 2,
+            applied: 3
+        }));
+        assert!(evs.contains(&TraceEvent::BlockImported {
+            block: TraceId(b1.hash().into_bytes()),
+            height: 1,
+            outcome: ImportOutcome::SideChain,
+        }));
+        // An orphan is traced as such.
+        let far = child(&b3, 99);
+        let orphan = child(&far, 100);
+        chain.import_at(orphan.clone(), 600).unwrap();
+        assert!(chain.tracer().records().any(|r| r.event
+            == TraceEvent::BlockOrphaned {
+                block: TraceId(orphan.hash().into_bytes())
+            }));
+
+        // Extend past the confirmation depth: each finalized height is
+        // emitted exactly once.
+        let mut tip = b3;
+        for i in 0..depth + 2 {
+            tip = child(&tip, 200 + i);
+            chain.import_at(tip.clone(), 1_000 + i).unwrap();
+        }
+        let finals: Vec<u64> = chain
+            .tracer()
+            .records()
+            .filter_map(|r| match r.event {
+                TraceEvent::Finalized { height } => Some(height),
+                _ => None,
+            })
+            .collect();
+        let expect: Vec<u64> = (1..=chain.height() - depth).collect();
+        assert_eq!(finals, expect, "each height finalized exactly once");
     }
 
     #[test]

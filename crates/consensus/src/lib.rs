@@ -32,7 +32,7 @@ pub mod poet;
 pub mod pos;
 pub mod pow;
 
-pub use mempool::Mempool;
+pub use mempool::{InsertOutcome, Mempool};
 pub use node::NodeCore;
 
 use dcs_crypto::Hash256;

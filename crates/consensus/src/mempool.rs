@@ -8,6 +8,19 @@ use dcs_primitives::Transaction;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
+/// Result of a [`Mempool::insert_outcome`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The transaction was admitted.
+    Added,
+    /// The transaction id is already pooled.
+    Duplicate,
+    /// The pool is at capacity.
+    Full,
+    /// The admission pipeline refused a carried witness.
+    BadWitness,
+}
+
 /// A bounded FIFO transaction pool.
 ///
 /// # Examples
@@ -117,20 +130,26 @@ impl Mempool {
     /// Adds a transaction; returns false if it is a duplicate, the pool is
     /// full, or (with an admission pipeline) it carries a forged witness.
     pub fn insert(&mut self, tx: Arc<Transaction>) -> bool {
+        self.insert_outcome(tx) == InsertOutcome::Added
+    }
+
+    /// Like [`Mempool::insert`], but reports *why* a transaction was
+    /// refused — the tracing layer records the reason.
+    pub fn insert_outcome(&mut self, tx: Arc<Transaction>) -> InsertOutcome {
         if self.txs.len() >= self.capacity {
-            return false;
+            return InsertOutcome::Full;
         }
         let id = tx.id();
         if self.txs.contains_key(&id) {
-            return false;
+            return InsertOutcome::Duplicate;
         }
         if !self.admit(&tx) {
             self.rejected_invalid += 1;
-            return false;
+            return InsertOutcome::BadWitness;
         }
         self.order.push_back(id);
         self.txs.insert(id, tx);
-        true
+        InsertOutcome::Added
     }
 
     /// Removes a transaction (it was included in a block).
@@ -215,6 +234,15 @@ mod tests {
         assert!(!pool.insert(tx(3)), "full pool rejects");
         pool.remove(&tx(1).id());
         assert!(pool.insert(tx(3)), "space freed");
+    }
+
+    #[test]
+    fn insert_outcome_reports_each_reason() {
+        let mut pool = Mempool::new(2);
+        assert_eq!(pool.insert_outcome(tx(1)), InsertOutcome::Added);
+        assert_eq!(pool.insert_outcome(tx(1)), InsertOutcome::Duplicate);
+        assert_eq!(pool.insert_outcome(tx(2)), InsertOutcome::Added);
+        assert_eq!(pool.insert_outcome(tx(3)), InsertOutcome::Full);
     }
 
     #[test]

@@ -4,13 +4,14 @@
 //! protocols (`pow`, `pos`, …) wrap a `NodeCore` and add their proposal
 //! logic.
 
-use crate::mempool::Mempool;
+use crate::mempool::{InsertOutcome, Mempool};
 use crate::{wire_size, WireMsg};
 use dcs_chain::{Chain, ChainEvent, StateMachine};
 use dcs_crypto::{Address, Hash256};
 use dcs_net::{Ctx, Gossiper, NodeId};
 use dcs_primitives::{Block, BlockHeader, ChainConfig, Seal, Transaction};
 use dcs_sim::SimTime;
+use dcs_trace::{EntityKind, Id as TraceId, RejectReason, TraceConfig, TraceEvent, Tracer, ORIGIN};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -34,6 +35,10 @@ pub struct NodeCore<M: StateMachine> {
     /// hitting a missing stored block). Always 0 in a healthy run; counted
     /// instead of panicking so a bad peer input can never abort the peer.
     pub internal_errors: u64,
+    /// This peer's tracer (consensus-layer events: gossip sightings,
+    /// mempool admissions, proposals). Disabled by default; install with
+    /// [`NodeCore::set_tracing`].
+    pub tracer: Tracer,
     seen: Gossiper,
     included: BTreeSet<Hash256>,
 }
@@ -55,9 +60,19 @@ impl<M: StateMachine> NodeCore<M> {
             blocks_produced: 0,
             rejected_blocks: 0,
             internal_errors: 0,
+            tracer: Tracer::disabled(),
             seen: Gossiper::new(),
             included: BTreeSet::new(),
         }
+    }
+
+    /// Installs tracing on this peer: one tracer here (consensus events)
+    /// and one on the chain replica (import/reorg/finality events), both
+    /// emitting as this peer's id.
+    pub fn set_tracing(&mut self, cfg: &TraceConfig) {
+        let node = self.id.0 as u32;
+        self.tracer = Tracer::new(node, cfg);
+        self.chain.set_tracer(Tracer::new(node, cfg));
     }
 
     /// Transaction ids currently on this peer's canonical chain.
@@ -71,15 +86,22 @@ impl<M: StateMachine> NodeCore<M> {
     /// dropped. This is [`NodeCore::handle_block`] minus the network I/O,
     /// usable without a live simulation context.
     pub fn ingest_block(&mut self, block: Arc<Block>) -> Option<ChainEvent> {
+        self.ingest_block_at(block, SimTime::ZERO)
+    }
+
+    /// [`NodeCore::ingest_block`] with an explicit sim time, so chain and
+    /// inclusion trace events carry the real timestamp (with tracing off
+    /// the time is unused).
+    pub fn ingest_block_at(&mut self, block: Arc<Block>, now: SimTime) -> Option<ChainEvent> {
         let old_tip = self.chain.tip_hash();
-        let event = match self.chain.import(block) {
+        let event = match self.chain.import_at(block, now.as_micros()) {
             Ok(ev) => ev,
             Err(_) => {
                 self.rejected_blocks += 1;
                 return None;
             }
         };
-        self.after_event(&event, old_tip);
+        self.after_event(&event, old_tip, now);
         Some(event)
     }
 
@@ -98,6 +120,14 @@ impl<M: StateMachine> NodeCore<M> {
         if !self.seen.first_sight(hash) {
             return None;
         }
+        self.tracer.emit(
+            ctx.now.as_micros(),
+            TraceEvent::FirstSeen {
+                kind: EntityKind::Block,
+                id: TraceId(hash.into_bytes()),
+                from: from.map_or(ORIGIN, |n| n.0 as u32),
+            },
+        );
         let msg = WireMsg::Block(Arc::clone(&block));
         let size = wire_size(&msg);
         match from {
@@ -105,7 +135,7 @@ impl<M: StateMachine> NodeCore<M> {
             None => ctx.broadcast(msg, size),
         }
         let parent = block.header.parent;
-        let event = self.ingest_block(block)?;
+        let event = self.ingest_block_at(block, ctx.now)?;
         if let (ChainEvent::Orphaned, Some(sender)) = (&event, from) {
             // Missing ancestry (e.g. after a healed partition): walk it back
             // one hop at a time from whoever showed us the descendant.
@@ -144,6 +174,14 @@ impl<M: StateMachine> NodeCore<M> {
         if !self.seen.first_sight(id) {
             return false;
         }
+        self.tracer.emit(
+            ctx.now.as_micros(),
+            TraceEvent::FirstSeen {
+                kind: EntityKind::Tx,
+                id: TraceId(id.into_bytes()),
+                from: from.map_or(ORIGIN, |n| n.0 as u32),
+            },
+        );
         let msg = WireMsg::Tx(tx.clone());
         let size = wire_size(&msg);
         match from {
@@ -151,15 +189,34 @@ impl<M: StateMachine> NodeCore<M> {
             None => ctx.broadcast(msg, size),
         }
         if !self.included.contains(&id) {
-            self.mempool.insert(tx);
+            let outcome = self.mempool.insert_outcome(tx);
+            if self.tracer.is_enabled() {
+                let tx = TraceId(id.into_bytes());
+                let event = match outcome {
+                    InsertOutcome::Added => TraceEvent::TxAdmitted { tx },
+                    InsertOutcome::Duplicate => TraceEvent::TxRejected {
+                        tx,
+                        reason: RejectReason::Duplicate,
+                    },
+                    InsertOutcome::Full => TraceEvent::TxRejected {
+                        tx,
+                        reason: RejectReason::Full,
+                    },
+                    InsertOutcome::BadWitness => TraceEvent::TxRejected {
+                        tx,
+                        reason: RejectReason::BadWitness,
+                    },
+                };
+                self.tracer.emit(ctx.now.as_micros(), event);
+            }
         }
         true
     }
 
-    fn after_event(&mut self, event: &ChainEvent, old_tip: Hash256) {
+    fn after_event(&mut self, event: &ChainEvent, old_tip: Hash256, now: SimTime) {
         match event {
             ChainEvent::Extended { block } => {
-                self.note_included(block);
+                self.note_included(block, now);
             }
             ChainEvent::Reorg {
                 reverted,
@@ -202,7 +259,7 @@ impl<M: StateMachine> NodeCore<M> {
                     }
                 }
                 for hash in new_blocks.iter().rev() {
-                    self.note_included(hash);
+                    self.note_included(hash, now);
                 }
                 // Abandoned transactions not re-included on the new branch
                 // go back to the mempool.
@@ -217,11 +274,25 @@ impl<M: StateMachine> NodeCore<M> {
         }
     }
 
-    fn note_included(&mut self, block_hash: &Hash256) {
+    fn note_included(&mut self, block_hash: &Hash256, now: SimTime) {
         let Some(stored) = self.chain.tree().get(block_hash) else {
             self.internal_errors += 1;
             return;
         };
+        if self.tracer.is_enabled() {
+            let block = TraceId(block_hash.into_bytes());
+            for tx in &stored.block().txs {
+                if !matches!(tx, Transaction::Coinbase { .. }) {
+                    self.tracer.emit(
+                        now.as_micros(),
+                        TraceEvent::TxIncluded {
+                            tx: TraceId(tx.id().into_bytes()),
+                            block,
+                        },
+                    );
+                }
+            }
+        }
         let ids: Vec<Hash256> = stored.block().txs.iter().map(Transaction::id).collect();
         self.mempool.remove_all(ids.iter());
         self.included.extend(ids);
@@ -258,7 +329,18 @@ impl<M: StateMachine> NodeCore<M> {
         body.append(&mut txs);
         let header = BlockHeader::new(parent, height, now.as_micros(), self.address, seal);
         self.blocks_produced += 1;
-        Arc::new(Block::new(header, body))
+        let block = Arc::new(Block::new(header, body));
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                now.as_micros(),
+                TraceEvent::BlockProposed {
+                    block: TraceId(block.hash().into_bytes()),
+                    height,
+                    txs: (block.txs.len().saturating_sub(1)).min(u32::MAX as usize) as u32,
+                },
+            );
+        }
+        block
     }
 
     /// Transactions committed on the canonical chain (excluding coinbases) —

@@ -16,6 +16,7 @@ use dcs_crypto::{Address, Hash256};
 use dcs_net::{Ctx, NodeId, Protocol};
 use dcs_primitives::{Block, ChainConfig, ConsensusKind, Seal};
 use dcs_sim::SimDuration;
+use dcs_trace::{PbftPhase, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -177,6 +178,14 @@ impl<M: StateMachine> PbftNode<M> {
         };
         let block = self.core.build_block(seal, ctx.now);
         self.in_flight = Some(seq);
+        self.core.tracer.emit(
+            ctx.now.as_micros(),
+            TraceEvent::Pbft {
+                phase: PbftPhase::PrePrepare,
+                view: self.view,
+                seq,
+            },
+        );
         // The leader is its own first prepare voter.
         let digest = block.hash();
         let entry = self.state.entry(seq).or_default();
@@ -210,6 +219,14 @@ impl<M: StateMachine> PbftNode<M> {
         if entry.prepares.len() >= quorum && !entry.sent_commit {
             entry.sent_commit = true;
             entry.commits.insert(self.core.id);
+            self.core.tracer.emit(
+                ctx.now.as_micros(),
+                TraceEvent::Pbft {
+                    phase: PbftPhase::Commit,
+                    view,
+                    seq,
+                },
+            );
             self.send_all(PbftMsg::Commit { view, seq, digest }, ctx);
         }
 
@@ -249,6 +266,14 @@ impl<M: StateMachine> PbftNode<M> {
     fn enter_view(&mut self, new_view: u64, ctx: &mut Ctx<'_, WireMsg>) {
         self.view = new_view;
         self.view_changes += 1;
+        self.core.tracer.emit(
+            ctx.now.as_micros(),
+            TraceEvent::Pbft {
+                phase: PbftPhase::ViewChange,
+                view: new_view,
+                seq: 0,
+            },
+        );
         self.in_flight = None;
         self.state.clear();
         self.view_votes.retain(|v, _| *v > new_view);
@@ -316,6 +341,14 @@ impl<M: StateMachine> Protocol for PbftNode<M> {
                     if !entry.sent_prepare {
                         entry.sent_prepare = true;
                         entry.prepares.insert(self.core.id);
+                        self.core.tracer.emit(
+                            ctx.now.as_micros(),
+                            TraceEvent::Pbft {
+                                phase: PbftPhase::Prepare,
+                                view,
+                                seq,
+                            },
+                        );
                         self.send_all(PbftMsg::Prepare { view, seq, digest }, ctx);
                     }
                     self.check_quorums(seq, ctx);

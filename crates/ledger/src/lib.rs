@@ -45,6 +45,7 @@
 pub mod builders;
 pub mod metrics;
 pub mod profile;
+pub mod trace;
 pub mod traits;
 pub mod workload;
 
@@ -54,5 +55,6 @@ pub use builders::{
 };
 pub use metrics::{collect, SimResult, VerificationReport};
 pub use profile::Profile;
+pub use trace::{collect_traces, install_tracing};
 pub use traits::LedgerNode;
 pub use workload::Workload;

@@ -9,6 +9,7 @@ use dcs_crypto::{Address, Hash256};
 use dcs_net::{Network, NodeId};
 use dcs_primitives::{AccountTx, Transaction, TxPayload};
 use dcs_sim::{Rng, SimDuration, SimTime};
+use dcs_trace::{Id as TraceId, TraceEvent};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -100,7 +101,17 @@ impl Workload {
             seq += 1;
             let at = SimTime::from_micros((t * 1_000_000.0) as u64);
             let node = NodeId(rng.below(n as u64) as usize);
-            submitted.insert(tx.id(), at);
+            let id = tx.id();
+            submitted.insert(id, at);
+            // Submission is attributed to the point-of-contact peer at the
+            // instant the client hands the transaction over.
+            net.tracer_mut().emit_for(
+                at.as_micros(),
+                node.0 as u32,
+                TraceEvent::TxSubmitted {
+                    tx: TraceId(id.into_bytes()),
+                },
+            );
             net.inject(at, node, WireMsg::Tx(Arc::new(tx)));
         }
         submitted

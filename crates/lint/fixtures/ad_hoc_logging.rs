@@ -1,0 +1,8 @@
+//! Fixture: violates `ad-hoc-logging` in any library crate (bench and lint
+//! binaries are exempt).
+
+pub fn noisy(height: u64) {
+    println!("imported block at height {height}");
+    eprintln!("warning: slow import at height {height}");
+    let _ = dbg!(height);
+}

@@ -51,6 +51,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no std::thread::spawn outside dcs_crypto::batch",
         hint: "ad-hoc threads introduce scheduling nondeterminism; use the crypto batch pool",
     },
+    RuleInfo {
+        id: "ad-hoc-logging",
+        summary: "no println!/eprintln!/dbg! in library crates — bench/lint binaries exempt",
+        hint: "stdout writes are invisible to analysis and skew benchmarks; emit a dcs-trace TraceEvent instead",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -65,6 +70,7 @@ const DETERMINISM_CRATES: &[&str] = &[
     "crates/consensus/",
     "crates/chain/",
     "crates/state/",
+    "crates/trace/",
 ];
 
 /// Consensus *decision* files for `float-consensus`. The PoW/PoET/NG solve
@@ -103,6 +109,9 @@ pub fn in_scope(rule_id: &str, path: &str) -> bool {
         "float-consensus" => under(path, FLOAT_DECISION_PATHS),
         "panic-path" => under(path, PANIC_PATH_CRATES),
         "thread-spawn" => path != "crates/crypto/src/batch.rs",
+        // Library crates only: the bench harness prints experiment tables
+        // and the lint binary prints diagnostics by design.
+        "ad-hoc-logging" => !under(path, &["crates/bench/", "crates/lint/"]),
         _ => false,
     }
 }
@@ -163,6 +172,11 @@ pub fn scan(path: &str, source: &str, lexed: &Lexed<'_>) -> Vec<Finding> {
             }
             "spawn" if active.contains(&"thread-spawn") && path_prefix_is(toks, i, "thread") => {
                 raw.push((i, "thread-spawn"));
+            }
+            "println" | "eprintln" | "print" | "eprint" | "dbg"
+                if active.contains(&"ad-hoc-logging") && next_is(toks, i, '!') =>
+            {
+                raw.push((i, "ad-hoc-logging"));
             }
             _ => {}
         }

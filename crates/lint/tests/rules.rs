@@ -79,6 +79,16 @@ fn thread_spawn_fires() {
     assert!(hits.contains(&"thread-spawn"), "{hits:?}");
 }
 
+#[test]
+fn ad_hoc_logging_fires() {
+    let hits = findings("crates/net/src/bad.rs", &fixture("ad_hoc_logging.rs"));
+    assert_eq!(
+        hits.iter().filter(|r| **r == "ad-hoc-logging").count(),
+        3,
+        "println!, eprintln! and dbg! must all fire: {hits:?}"
+    );
+}
+
 // --- path scoping: sanctioned locations stay clean ---
 
 #[test]
@@ -112,6 +122,31 @@ fn panic_allowed_outside_protocol_crates() {
 #[test]
 fn thread_spawn_allowed_in_crypto_batch_pool() {
     let hits = findings("crates/crypto/src/batch.rs", &fixture("thread_spawn.rs"));
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn ad_hoc_logging_allowed_in_bench_and_lint() {
+    let src = fixture("ad_hoc_logging.rs");
+    for path in ["crates/bench/src/bad.rs", "crates/lint/src/bad.rs"] {
+        let hits = findings(path, &src);
+        assert!(hits.is_empty(), "{path}: {hits:?}");
+    }
+}
+
+#[test]
+fn ad_hoc_logging_suppression_applies() {
+    let src = "pub fn f() { println!(\"x\"); } // dcs-lint: allow(ad-hoc-logging)\n";
+    let hits = findings("crates/chain/src/bad.rs", src);
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn print_lookalikes_never_fire() {
+    // A method or function named `println` without the `!` is not the macro.
+    let src = "pub fn f(w: &mut impl Printer) { w.println(\"x\"); }\n\
+               pub trait Printer { fn println(&mut self, s: &str); }\n";
+    let hits = findings("crates/chain/src/ok.rs", src);
     assert!(hits.is_empty(), "{hits:?}");
 }
 
@@ -250,6 +285,7 @@ fn cli_rejects_every_violating_fixture() {
         ("float_consensus.rs", "crates/consensus/src/difficulty.rs"),
         ("panic_path.rs", "crates/chain/src/peer.rs"),
         ("thread_spawn.rs", "crates/sim/src/bad.rs"),
+        ("ad_hoc_logging.rs", "crates/net/src/bad.rs"),
     ];
     for (name, vpath) in cases {
         let status = lint_fixture(name, vpath, &[]);
@@ -291,6 +327,7 @@ fn cli_lists_the_full_catalogue() {
         "float-consensus",
         "panic-path",
         "thread-spawn",
+        "ad-hoc-logging",
     ] {
         assert!(text.contains(rule), "missing {rule} in:\n{text}");
     }

@@ -5,6 +5,7 @@
 
 use dcs_crypto::{Address, Hash256};
 use dcs_primitives::{LogEntry, Receipt};
+use dcs_trace::{Id as TraceId, TraceEvent, Tracer};
 use std::collections::HashMap;
 
 /// What a subscriber wants to hear about.
@@ -84,12 +85,25 @@ pub struct EventBus {
     next_id: u64,
     subs: HashMap<Subscription, (EventFilter, Vec<Notification>)>,
     delivered: u64,
+    tracer: Tracer,
 }
 
 impl EventBus {
     /// An empty bus.
     pub fn new() -> Self {
         EventBus::default()
+    }
+
+    /// Installs a tracer; [`EventBus::publish_block_at`] records one
+    /// [`TraceEvent::AppEvent`] per fanned-out notification. Disabled by
+    /// default.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The bus tracer (disabled unless [`EventBus::set_tracer`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Registers a subscription; returns its handle.
@@ -113,19 +127,37 @@ impl EventBus {
     /// Feeds one block's receipts into the bus (the output of
     /// `Chain::drain_receipts`).
     pub fn publish_block(&mut self, block: Hash256, receipts: &[Receipt]) {
+        self.publish_block_at(0, block, receipts);
+    }
+
+    /// [`EventBus::publish_block`] with a sim-time timestamp for the trace
+    /// events (unused with tracing off).
+    pub fn publish_block_at(&mut self, at_us: u64, block: Hash256, receipts: &[Receipt]) {
+        let EventBus {
+            subs,
+            delivered,
+            tracer,
+            ..
+        } = self;
         for receipt in receipts {
             if !receipt.status.is_success() {
                 continue; // failed txs' logs were rolled back
             }
             for log in &receipt.logs {
-                for (filter, queue) in self.subs.values_mut() {
+                for (filter, queue) in subs.values_mut() {
                     if filter.matches(log) {
                         queue.push(Notification {
                             block,
                             tx_id: receipt.tx_id,
                             log: log.clone(),
                         });
-                        self.delivered += 1;
+                        *delivered += 1;
+                        tracer.emit(
+                            at_us,
+                            TraceEvent::AppEvent {
+                                tx: TraceId(receipt.tx_id.into_bytes()),
+                            },
+                        );
                     }
                 }
             }
@@ -188,6 +220,24 @@ mod tests {
         let matched = bus.drain(both);
         assert_eq!(matched.len(), 1);
         assert_eq!(matched[0].log.data, b"a");
+    }
+
+    #[test]
+    fn publish_at_traces_one_app_event_per_notification() {
+        use dcs_trace::TraceConfig;
+        let mut bus = EventBus::new();
+        bus.set_tracer(Tracer::new(0, &TraceConfig::full()));
+        let _a = bus.subscribe(EventFilter::any());
+        let _b = bus.subscribe(EventFilter::any());
+        let r = receipt_with_log(Address::from_index(1), sha256(b"t"), b"x");
+        bus.publish_block_at(42, sha256(b"b"), &[r.clone()]);
+        let recs: Vec<_> = bus.tracer().records().collect();
+        assert_eq!(recs.len(), 2, "one event per subscriber delivery");
+        assert!(recs.iter().all(|rec| rec.at_us == 42
+            && rec.event
+                == TraceEvent::AppEvent {
+                    tx: TraceId(r.tx_id.into_bytes())
+                }));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::latency::LatencyModel;
 use crate::topology::{self, Topology};
 use crate::NodeId;
 use dcs_sim::{EventId, Rng, SimDuration, SimTime, Simulation};
+use dcs_trace::{TraceEvent, Tracer};
 
 /// Network construction parameters.
 #[derive(Debug, Clone)]
@@ -67,6 +68,7 @@ pub struct Network<M> {
     groups: Vec<u32>,
     rng: Rng,
     stats: NetStats,
+    tracer: Tracer,
 }
 
 impl<M> Network<M> {
@@ -83,7 +85,36 @@ impl<M> Network<M> {
             groups: vec![0; cfg.nodes],
             rng,
             stats: NetStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a fabric tracer; message events are emitted on behalf of
+    /// the sending (or, for deliveries, receiving) peer. Disabled by
+    /// default.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The fabric tracer (disabled unless [`Network::set_tracer`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the fabric tracer (layers above use it to emit
+    /// app-level events such as workload submissions).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Installs a tracer on the underlying event queue (dispatch events).
+    pub fn set_sim_tracer(&mut self, tracer: Tracer) {
+        self.sim.set_tracer(tracer);
+    }
+
+    /// The event-queue tracer.
+    pub fn sim_tracer(&self) -> &Tracer {
+        self.sim.tracer()
     }
 
     /// Number of peers.
@@ -129,12 +160,31 @@ impl<M> Network<M> {
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, size: usize) {
         self.stats.sent += 1;
         self.stats.bytes_sent += size as u64;
+        let now_us = self.sim.now().as_micros();
+        self.tracer.emit_for(
+            now_us,
+            from.0 as u32,
+            TraceEvent::MsgSent {
+                to: to.0 as u32,
+                bytes: size.min(u32::MAX as usize) as u32,
+            },
+        );
         if self.groups[from.0] != self.groups[to.0] {
             self.stats.partitioned += 1;
+            self.tracer.emit_for(
+                now_us,
+                from.0 as u32,
+                TraceEvent::MsgPartitioned { to: to.0 as u32 },
+            );
             return;
         }
         if self.drop_probability > 0.0 && self.rng.chance(self.drop_probability) {
             self.stats.dropped += 1;
+            self.tracer.emit_for(
+                now_us,
+                from.0 as u32,
+                TraceEvent::MsgDropped { to: to.0 as u32 },
+            );
             return;
         }
         let mut delay = self.latency.sample(&mut self.rng);
@@ -177,8 +227,15 @@ impl<M> Network<M> {
             Some(d) => self.sim.next_before(d),
             None => self.sim.next(),
         };
-        if let Some((_, NetEvent::Deliver { .. })) = &ev {
+        if let Some((at, NetEvent::Deliver { from, to, .. })) = &ev {
             self.stats.delivered += 1;
+            self.tracer.emit_for(
+                at.as_micros(),
+                to.0 as u32,
+                TraceEvent::MsgDelivered {
+                    from: from.0 as u32,
+                },
+            );
         }
         ev
     }
@@ -268,6 +325,31 @@ mod tests {
         net.send(NodeId(0), NodeId(1), "big", 500_000);
         let (t, _) = net.pop(None).unwrap();
         assert_eq!(t.as_millis(), 510);
+    }
+
+    #[test]
+    fn tracer_records_send_partition_and_delivery() {
+        use dcs_trace::{TraceConfig, NETWORK_ACTOR};
+        let mut net = tiny();
+        net.set_tracer(Tracer::new(NETWORK_ACTOR, &TraceConfig::full()));
+        net.set_partition(vec![0, 0, 1, 1]);
+        net.send(NodeId(0), NodeId(2), "blocked", 5);
+        net.send(NodeId(0), NodeId(1), "ok", 7);
+        while net.pop(None).is_some() {}
+        let evs: Vec<_> = net.tracer().records().map(|r| r.event).collect();
+        assert_eq!(
+            evs,
+            vec![
+                TraceEvent::MsgSent { to: 2, bytes: 5 },
+                TraceEvent::MsgPartitioned { to: 2 },
+                TraceEvent::MsgSent { to: 1, bytes: 7 },
+                TraceEvent::MsgDelivered { from: 0 },
+            ]
+        );
+        // Deliveries are attributed to the receiver at delivery time.
+        let last = net.tracer().records().last().unwrap();
+        assert_eq!(last.node, 1);
+        assert_eq!(last.at_us, 10_000);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! consensus timers that are superseded, e.g. PBFT view-change timeouts).
 
 use crate::time::{SimDuration, SimTime};
+use dcs_trace::{TraceEvent, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 
@@ -49,6 +50,7 @@ pub struct Simulation<E> {
     now: SimTime,
     next_seq: u64,
     processed: u64,
+    tracer: Tracer,
 }
 
 impl<E> Default for Simulation<E> {
@@ -66,7 +68,24 @@ impl<E> Simulation<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer that records a [`TraceEvent::SimDispatch`] per
+    /// delivered event. Disabled by default.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (disabled unless [`Simulation::set_tracer`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the installed tracer.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// The current simulated instant.
@@ -79,9 +98,11 @@ impl<E> Simulation<E> {
         self.processed
     }
 
-    /// Number of events still pending (including cancelled tombstones).
+    /// Number of events still pending (cancelled tombstones excluded).
+    /// Saturating: cancelling an already-fired event leaves a tombstone
+    /// with no matching queue entry.
     pub fn pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.queue.len().saturating_sub(self.cancelled.len())
     }
 
     /// Schedules `event` to fire `delay` after the current instant.
@@ -117,6 +138,14 @@ impl<E> Simulation<E> {
             }
             self.now = entry.time;
             self.processed += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.emit(
+                    entry.time.as_micros(),
+                    TraceEvent::SimDispatch {
+                        pending: self.pending().min(u32::MAX as usize) as u32,
+                    },
+                );
+            }
             return Some((entry.time, entry.event));
         }
         None
@@ -135,6 +164,14 @@ impl<E> Simulation<E> {
             }
             self.now = entry.time;
             self.processed += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.emit(
+                    entry.time.as_micros(),
+                    TraceEvent::SimDispatch {
+                        pending: self.pending().min(u32::MAX as usize) as u32,
+                    },
+                );
+            }
             return Some((entry.time, entry.event));
         }
     }
@@ -206,6 +243,24 @@ mod tests {
         assert_eq!(sim.next_before(cutoff).map(|(_, e)| e), Some(1));
         assert_eq!(sim.next_before(cutoff), None);
         assert_eq!(sim.next().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn tracer_sees_each_dispatch_at_sim_time() {
+        use dcs_trace::TraceConfig;
+        let mut sim = Simulation::new();
+        sim.set_tracer(Tracer::new(dcs_trace::SIM_ACTOR, &TraceConfig::full()));
+        sim.schedule(SimDuration::from_secs(1), ());
+        sim.schedule(SimDuration::from_secs(2), ());
+        while sim.next().is_some() {}
+        let recs: Vec<_> = sim.tracer().records().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].at_us, 1_000_000);
+        assert_eq!(recs[1].at_us, 2_000_000);
+        assert!(matches!(
+            recs[1].event,
+            TraceEvent::SimDispatch { pending: 0 }
+        ));
     }
 
     #[test]

@@ -85,8 +85,9 @@ impl Summary {
             return 0.0;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            // total_cmp gives NaN a defined order (after +inf), so a stray
+            // NaN sample skews a tail percentile instead of panicking.
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         // Linear interpolation between closest ranks.
@@ -100,6 +101,14 @@ impl Summary {
     /// Convenience: the median.
     pub fn median(&mut self) -> f64 {
         self.percentile(50.0)
+    }
+
+    /// Folds another summary into this one, equivalent to having recorded
+    /// all of `other`'s samples here. Lets per-node collectors be merged
+    /// into a network-wide distribution without re-recording.
+    pub fn merge(&mut self, other: &Summary) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
     }
 }
 
@@ -130,6 +139,18 @@ impl Histogram {
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Folds another histogram into this one, equivalent to having recorded
+    /// all of `other`'s samples here (buckets add elementwise).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += n;
+        }
+        self.count += other.count;
     }
 
     /// Approximate quantile: upper bound of the bucket containing the
@@ -223,6 +244,86 @@ mod tests {
             s.record(v);
         }
         assert!((s.stddev() - 2.138).abs() < 0.01, "{}", s.stddev());
+    }
+
+    #[test]
+    fn summary_merge_equals_single_collector() {
+        let xs = [4.0, 1.0, 3.0];
+        let ys = [2.0, 9.0, 0.5, 6.0];
+        let mut merged = Summary::new();
+        let mut other = Summary::new();
+        let mut single = Summary::new();
+        for v in xs {
+            merged.record(v);
+            single.record(v);
+        }
+        for v in ys {
+            other.record(v);
+            single.record(v);
+        }
+        merged.merge(&other);
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.mean(), single.mean());
+        assert_eq!(merged.min(), single.min());
+        assert_eq!(merged.max(), single.max());
+        for p in [0.0, 25.0, 50.0, 90.0, 100.0] {
+            assert_eq!(merged.percentile(p), single.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn summary_merge_into_empty_and_of_empty() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        b.record(7.0);
+        a.merge(&b); // into empty
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.median(), 7.0);
+        a.merge(&Summary::new()); // of empty
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_samples() {
+        let mut s = Summary::new();
+        s.record(1.0);
+        s.record(f64::NAN);
+        s.record(3.0);
+        // NaN sorts last under total_cmp; lower percentiles stay finite.
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.median(), 3.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_collector() {
+        let mut merged = Histogram::new();
+        let mut other = Histogram::new();
+        let mut single = Histogram::new();
+        for v in [0u64, 1, 5, 100] {
+            merged.record(v);
+            single.record(v);
+        }
+        for v in [3u64, 70_000, 9] {
+            other.record(v);
+            single.record(v);
+        }
+        merged.merge(&other);
+        assert_eq!(merged.count(), single.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                merged.quantile_upper_bound(q),
+                single.quantile_upper_bound(q),
+                "q{q}"
+            );
+        }
+        // Merging a wider histogram into a narrower one grows buckets.
+        let mut narrow = Histogram::new();
+        narrow.record(1);
+        let mut wide = Histogram::new();
+        wide.record(1 << 40);
+        narrow.merge(&wide);
+        assert_eq!(narrow.count(), 2);
+        assert_eq!(narrow.quantile_upper_bound(1.0), (1 << 41) - 1);
     }
 
     #[test]

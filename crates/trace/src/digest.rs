@@ -1,0 +1,47 @@
+//! A stable 64-bit stream digest (FNV-1a).
+//!
+//! FNV-1a is not cryptographic — it is here to give the determinism suite a
+//! cheap, dependency-free fingerprint of an event stream that is stable
+//! across platforms and releases. The digest is folded **per record as it is
+//! recorded**, before any ring-buffer eviction, so two tracers that saw the
+//! same events agree even if their buffer capacities differ.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a 64 state and returns the new state.
+pub fn fnv1a_fold(mut state: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        state ^= u64::from(*b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// One-shot FNV-1a 64 of `bytes`, starting from the offset basis.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_fold(FNV_OFFSET, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn folding_is_incremental() {
+        let whole = fnv1a(b"hello world");
+        let split = fnv1a_fold(fnv1a(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+}

@@ -1,0 +1,58 @@
+//! Deterministic structured tracing across the six-layer stack.
+//!
+//! Every event is timestamped in **sim time** (microseconds from the run's
+//! virtual clock) — never the wall clock — so two same-seed runs emit
+//! bit-identical streams, and the determinism suite can assert that with a
+//! [stable digest](digest::fnv1a). The crate sits below `dcs-sim` in the
+//! dependency graph and therefore depends on nothing.
+//!
+//! The pieces:
+//!
+//! * [`Tracer`] — one per emitting actor (a peer, the network fabric, the
+//!   event queue). Internally `Option<Box<_>>`: a disabled tracer is one
+//!   branch on a `None`, with no formatting, allocation, or buffer touch.
+//! * [`TraceEvent`] — the typed event taxonomy (network sends, mempool
+//!   admissions, chain imports/reorgs, PBFT phases, app events).
+//! * [`TraceConfig`] — off / counters-only / full, with per-[`Category`]
+//!   count-based sampling (deterministic — no RNG involved).
+//! * [`TraceSet`] — merges per-actor buffers into one time-ordered stream
+//!   with per-actor digests.
+//! * [`Timelines`] — lifecycle spans: stitches raw events into per-tx and
+//!   per-block causal timelines (submit → admit → first-seen-per-peer →
+//!   included → committed) and answers latency-breakdown, propagation-CDF,
+//!   and hop-count queries.
+//! * [`export`] — JSONL and Chrome `trace_event` JSON (loadable in
+//!   Perfetto / `chrome://tracing`: one track per node, one async slice per
+//!   transaction and block).
+//!
+//! # Examples
+//!
+//! ```
+//! use dcs_trace::{Category, TraceConfig, TraceEvent, Tracer};
+//!
+//! let mut tracer = Tracer::new(0, &TraceConfig::full());
+//! tracer.emit(1_000, TraceEvent::Finalized { height: 1 });
+//! assert_eq!(tracer.counters().unwrap().recorded, 1);
+//!
+//! let mut off = Tracer::disabled();
+//! off.emit(1_000, TraceEvent::Finalized { height: 1 }); // a no-op branch
+//! assert!(off.counters().is_none());
+//! assert_eq!(TraceConfig::off().mode, dcs_trace::TraceMode::Off);
+//! assert_eq!(Category::COUNT, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod event;
+pub mod export;
+pub mod span;
+pub mod tracer;
+
+pub use event::{
+    Category, EntityKind, Id, ImportOutcome, PbftPhase, RejectReason, TraceEvent, TraceRecord,
+    NETWORK_ACTOR, ORIGIN, SIM_ACTOR,
+};
+pub use span::{BlockSpan, ReorgSpan, StageSamples, Timelines, TxSpan};
+pub use tracer::{TraceConfig, TraceCounters, TraceMode, TraceSet, Tracer};

@@ -20,3 +20,4 @@ pub use dcs_privacy as privacy;
 pub use dcs_scale as scale;
 pub use dcs_sim as sim;
 pub use dcs_state as state;
+pub use dcs_trace as trace;

@@ -8,9 +8,13 @@
 //! these tests passing; see DESIGN.md §10.
 
 use dcs_crypto::{sha256, Hash256};
-use dcs_ledger::{builders, collect, workload::Workload, LedgerNode, SimResult};
+use dcs_ledger::{
+    builders, collect, collect_traces, install_tracing, workload::Workload, LedgerNode, SimResult,
+};
 use dcs_primitives::ConsensusKind;
 use dcs_sim::{SimDuration, SimTime};
+use dcs_trace::{Timelines, TraceConfig};
+use std::collections::BTreeMap;
 
 fn at(secs: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_secs(secs)
@@ -46,9 +50,11 @@ fn fingerprint(result: &SimResult) -> [u64; 10] {
     ]
 }
 
-/// PoW over a gossip network: the adversarial case for determinism — forks,
-/// reorgs, difficulty retargeting, and randomized gossip fan-out all in play.
-fn run_pow_gossip(seed: u64) -> (Hash256, [u64; 10]) {
+/// Builds the standard 8-peer PoW-gossip network used by the replay tests,
+/// with full tracing armed so trace digests are part of what must replay.
+fn pow_gossip_runner(
+    seed: u64,
+) -> dcs_net::Runner<dcs_consensus::pow::PowNode<dcs_chain::NullMachine>> {
     let mut params = builders::PowParams::default();
     params.nodes = 8;
     params.hash_powers = vec![1_000.0];
@@ -58,6 +64,16 @@ fn run_pow_gossip(seed: u64) -> (Hash256, [u64; 10]) {
         target_interval_us: 5_000_000,
     };
     let mut runner = builders::build_pow(&params, seed);
+    install_tracing(&mut runner, &TraceConfig::full());
+    runner
+}
+
+/// PoW over a gossip network: the adversarial case for determinism — forks,
+/// reorgs, difficulty retargeting, and randomized gossip fan-out all in play.
+/// Returns the chain digest, the statistics fingerprint, and the per-source
+/// trace digests (`net`, `sim`, and one per peer).
+fn run_pow_gossip(seed: u64) -> (Hash256, [u64; 10], BTreeMap<String, u64>) {
+    let mut runner = pow_gossip_runner(seed);
     let submitted =
         Workload::transfers(2.0, SimDuration::from_secs(150), 30).inject(runner.net_mut(), 99);
     runner.run_until(at(200));
@@ -71,14 +87,20 @@ fn run_pow_gossip(seed: u64) -> (Hash256, [u64; 10]) {
         result.internal_errors, 0,
         "no internal invariant may break on a healthy run"
     );
-    (network_digest(runner.nodes()), fingerprint(&result))
+    let traces = collect_traces(&runner);
+    (
+        network_digest(runner.nodes()),
+        fingerprint(&result),
+        traces.digests().clone(),
+    )
 }
 
 /// PBFT: quorum tallies and view bookkeeping iterate over vote sets, which
 /// is exactly where unordered collections used to leak nondeterminism.
-fn run_pbft(seed: u64) -> (Hash256, [u64; 10]) {
+fn run_pbft(seed: u64) -> (Hash256, [u64; 10], BTreeMap<String, u64>) {
     let params = builders::PbftParams::default(); // 7 replicas, f = 2
     let mut runner = builders::build_pbft(&params, seed);
+    install_tracing(&mut runner, &TraceConfig::full());
     let submitted =
         Workload::transfers(50.0, SimDuration::from_secs(20), 50).inject(runner.net_mut(), 41);
     runner.run_until(at(40));
@@ -88,36 +110,116 @@ fn run_pbft(seed: u64) -> (Hash256, [u64; 10]) {
         "run must commit transactions to be a meaningful replay check"
     );
     assert_eq!(result.internal_errors, 0);
-    (network_digest(runner.nodes()), fingerprint(&result))
+    let traces = collect_traces(&runner);
+    (
+        network_digest(runner.nodes()),
+        fingerprint(&result),
+        traces.digests().clone(),
+    )
+}
+
+/// Asserts two runs produced identical trace digests on *every* source —
+/// the fabric, the event queue, and each individual peer — so a divergence
+/// pinpoints which actor's event stream differed.
+fn assert_trace_digests_match(a: &BTreeMap<String, u64>, b: &BTreeMap<String, u64>, peers: usize) {
+    assert_eq!(
+        a.len(),
+        peers + 2,
+        "one digest per peer plus net and sim: {a:?}"
+    );
+    for (key, digest) in a {
+        assert_eq!(
+            Some(digest),
+            b.get(key),
+            "trace digest for `{key}` must replay bit-identically"
+        );
+    }
+    assert_eq!(a, b);
 }
 
 #[test]
 fn pow_gossip_replays_bit_identically() {
-    let (digest_a, stats_a) = run_pow_gossip(7);
-    let (digest_b, stats_b) = run_pow_gossip(7);
+    let (digest_a, stats_a, traces_a) = run_pow_gossip(7);
+    let (digest_b, stats_b, traces_b) = run_pow_gossip(7);
     assert_eq!(
         digest_a, digest_b,
         "same seed must reproduce every peer's canonical chain"
     );
     assert_eq!(stats_a, stats_b, "same seed must reproduce all statistics");
+    assert_trace_digests_match(&traces_a, &traces_b, 8);
 }
 
 #[test]
 fn pow_gossip_seeds_are_actually_used() {
     // Guard against a degenerate "determinism" where the seed is ignored:
     // different seeds must explore different executions.
-    let (digest_a, _) = run_pow_gossip(7);
-    let (digest_b, _) = run_pow_gossip(8);
+    let (digest_a, _, traces_a) = run_pow_gossip(7);
+    let (digest_b, _, traces_b) = run_pow_gossip(8);
     assert_ne!(digest_a, digest_b, "different seeds must diverge");
+    assert_ne!(traces_a, traces_b, "trace digests must diverge too");
 }
 
 #[test]
 fn pbft_replays_bit_identically() {
-    let (digest_a, stats_a) = run_pbft(37);
-    let (digest_b, stats_b) = run_pbft(37);
+    let (digest_a, stats_a, traces_a) = run_pbft(37);
+    let (digest_b, stats_b, traces_b) = run_pbft(37);
     assert_eq!(
         digest_a, digest_b,
         "same seed must reproduce every replica's canonical chain"
     );
     assert_eq!(stats_a, stats_b, "same seed must reproduce all statistics");
+    assert_trace_digests_match(&traces_a, &traces_b, 7);
+}
+
+#[test]
+fn reorg_trace_spans_match_chain_stats() {
+    // A contentious PoW run — block interval close to gossip latency — forks
+    // and reorgs mid-run. The trace must carry one `Reorg` span per branch
+    // switch, attributed to the right peer, with depths that reproduce the
+    // chain's own counters.
+    let mut params = builders::PowParams::default();
+    params.nodes = 8;
+    params.hash_powers = vec![1_000.0];
+    params.chain.consensus = ConsensusKind::ProofOfWork {
+        initial_difficulty: 8 * 1_000, // ~1 s blocks: contention on purpose
+        retarget_window: 0,
+        target_interval_us: 1_000_000,
+    };
+    let mut runner = builders::build_pow(&params, 7);
+    install_tracing(&mut runner, &TraceConfig::full());
+    let _ = Workload::transfers(2.0, SimDuration::from_secs(100), 30).inject(runner.net_mut(), 99);
+    runner.run_until(at(150));
+
+    let mut traces = collect_traces(&runner);
+    let timelines = Timelines::build(traces.records(), 0);
+
+    let mut total_reorgs = 0u64;
+    for (i, node) in runner.nodes().iter().enumerate() {
+        let stats = node.core().chain.stats();
+        let spans: Vec<_> = timelines
+            .reorgs
+            .iter()
+            .filter(|r| r.node == i as u32)
+            .collect();
+        assert_eq!(
+            spans.len() as u64,
+            stats.reorgs,
+            "peer {i}: one Reorg span per branch switch"
+        );
+        assert_eq!(
+            spans.iter().map(|r| r.reverted).max().unwrap_or(0),
+            stats.max_reorg_depth,
+            "peer {i}: deepest traced revert must match chain stats"
+        );
+        assert_eq!(
+            spans.iter().map(|r| r.reverted).sum::<u64>(),
+            stats.blocks_reverted,
+            "peer {i}: total traced reverts must match chain stats"
+        );
+        total_reorgs += stats.reorgs;
+    }
+    assert!(
+        total_reorgs > 0,
+        "this seed must actually exercise a mid-run reorg"
+    );
 }
