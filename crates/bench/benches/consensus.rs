@@ -50,8 +50,10 @@ fn bench_network_sim(c: &mut Criterion) {
     // simulator's raw event throughput.
     group.bench_function("pow_8_peers_1h", |b| {
         b.iter(|| {
-            let mut params = builders::PowParams::default();
-            params.nodes = 8;
+            let mut params = builders::PowParams {
+                nodes: 8,
+                ..builders::PowParams::default()
+            };
             params.chain.consensus = ConsensusKind::ProofOfWork {
                 initial_difficulty: 8_000 * 60,
                 retarget_window: 0,

@@ -2,6 +2,7 @@
 //! from DESIGN.md's index; [`run`] dispatches by id.
 
 pub mod apps;
+pub mod churn;
 pub mod consensus;
 pub mod observability;
 pub mod scaling;
@@ -12,7 +13,7 @@ use crate::Scale;
 /// All experiment ids, in presentation order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "f2",
+    "e16", "e17", "e18", "f2",
 ];
 
 /// Runs one experiment by id, printing its table(s).
@@ -39,6 +40,7 @@ pub fn run(id: &str, scale: Scale) {
         "e15" => scaling::e15_verify_pipeline(scale),
         "e16" => scaling::e16_pruned_store(scale),
         "e17" => observability::e17_latency_breakdown(scale),
+        "e18" => churn::e18_churn(scale),
         "f2" => apps::f2_block_structure(),
         other => panic!("unknown experiment id {other:?}"),
     }

@@ -371,6 +371,88 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
         std::mem::take(&mut self.receipts)
     }
 
+    /// A Bitcoin-style block locator: canonical hashes sampled newest
+    /// first, dense for the most recent ten then at exponentially growing
+    /// gaps, always ending at genesis. A peer receiving this finds the
+    /// highest entry on its own canonical chain — the sync common ancestor —
+    /// in O(log chain) entries regardless of how far the asker is behind.
+    pub fn locator(&self) -> Vec<Hash256> {
+        let mut locator = Vec::new();
+        let mut step = 1u64;
+        let mut h = self.height();
+        loop {
+            if let Some(hash) = self.canonical_at(h) {
+                locator.push(hash);
+            }
+            if h == 0 {
+                break;
+            }
+            if locator.len() >= 10 {
+                step = step.saturating_mul(2);
+            }
+            h = h.saturating_sub(step);
+        }
+        locator
+    }
+
+    /// Serves a locator-based range request: finds the highest locator
+    /// entry on this chain's canonical branch (falling back to genesis)
+    /// and returns up to `max` consecutive canonical blocks above it,
+    /// oldest first, plus this chain's tip height. Stops early at a body a
+    /// pruning store dropped — an empty reply with a higher tip height
+    /// tells the asker to re-target an archival peer.
+    pub fn blocks_after(&self, locator: &[Hash256], max: usize) -> (Vec<Arc<Block>>, u64) {
+        let start = locator
+            .iter()
+            .find(|h| self.is_canonical(h))
+            .and_then(|h| self.tree.get(h).map(|sb| sb.height()))
+            .unwrap_or(0);
+        let mut blocks = Vec::new();
+        for h in (start + 1)..=self.height() {
+            if blocks.len() >= max {
+                break;
+            }
+            let Some(body) = self
+                .canonical_at(h)
+                .and_then(|hash| self.tree.get(&hash).and_then(|sb| sb.body().cloned()))
+            else {
+                break;
+            };
+            blocks.push(body);
+        }
+        (blocks, self.height())
+    }
+
+    /// Cold-rebuilds the canonical state from the block store — the
+    /// restart path after a crash: the store (headers, work, bodies) is
+    /// the durable part of a node, while the state machine, undo stack,
+    /// and canonical index are in-memory and lost. Re-runs fork choice
+    /// from genesis over the stored tree with a fresh `machine` and
+    /// re-applies the winning branch. Consistency counters survive;
+    /// receipts replayed here are discarded (they were delivered before
+    /// the crash). The winning branch's bodies must be resident, which
+    /// holds for archival stores and for pruning stores above the finality
+    /// horizon.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::Internal`] if the stored tree is inconsistent (e.g. a
+    /// canonical-path body is missing).
+    pub fn rebuild_from_store(&mut self, machine: M) -> Result<(), ChainError> {
+        self.machine = machine;
+        self.canonical.truncate(1);
+        self.undos.clear();
+        self.receipts.clear();
+        self.canon_stats = CanonStats::default();
+        // The one-shot genesis→tip apply below is replay, not new history:
+        // keep the lifetime consistency stats as they were.
+        let saved = self.stats;
+        let result = self.update_head();
+        self.stats = saved;
+        self.receipts.clear();
+        result.map(|_| ())
+    }
+
     fn check_seal(&self, block: &Block) -> Result<(), ChainError> {
         if self.check_pow_hash && !block.header.meets_pow_target() {
             return Err(ChainError::BadSeal(
@@ -1109,5 +1191,128 @@ mod tests {
             "tip should be inside the b-subtree"
         );
         assert_eq!(tip, u1.hash(), "first-seen tie-break among uncles");
+    }
+
+    #[test]
+    fn locator_is_dense_then_exponential_and_ends_at_genesis() {
+        let (mut chain, g) = new_chain();
+        let mut tip = g.clone();
+        for i in 0..100 {
+            tip = child(&tip, i);
+            chain.import(tip.clone()).unwrap();
+        }
+        let locator = chain.locator();
+        assert_eq!(locator[0], chain.tip_hash());
+        assert_eq!(*locator.last().unwrap(), g.hash());
+        // Dense for the first ten entries: heights 100, 99, ..., 91.
+        for (i, hash) in locator.iter().take(10).enumerate() {
+            assert_eq!(chain.canonical_at(100 - i as u64), Some(*hash));
+        }
+        // O(log n) total: far fewer entries than blocks.
+        assert!(locator.len() < 20, "locator has {} entries", locator.len());
+        // Every entry is canonical.
+        assert!(locator.iter().all(|h| chain.is_canonical(h)));
+
+        // A fresh chain's locator is just genesis.
+        let (fresh, g2) = new_chain();
+        assert_eq!(fresh.locator(), vec![g2.hash()]);
+    }
+
+    #[test]
+    fn blocks_after_serves_from_common_ancestor_in_batches() {
+        let (mut chain, _g) = new_chain();
+        let (mut behind, _) = new_chain();
+        let mut tip = _g.clone();
+        for i in 0..30 {
+            tip = child(&tip, i);
+            chain.import(tip.clone()).unwrap();
+            if i < 12 {
+                behind.import(tip.clone()).unwrap();
+            }
+        }
+        let (blocks, tip_height) = chain.blocks_after(&behind.locator(), 8);
+        assert_eq!(tip_height, 30);
+        assert_eq!(blocks.len(), 8, "bounded batch");
+        assert_eq!(blocks[0].header.height, 13, "starts above the asker's tip");
+        for w in blocks.windows(2) {
+            assert_eq!(w[1].header.parent, w[0].hash(), "consecutive canonical");
+        }
+        // An unknown locator falls back to genesis.
+        let (from_genesis, _) = chain.blocks_after(&[], 5);
+        assert_eq!(from_genesis[0].header.height, 1);
+    }
+
+    #[test]
+    fn blocks_after_stops_at_pruned_bodies() {
+        let mut config = cfg();
+        config.confirmation_depth = 2;
+        let g = crate::genesis_block(&config);
+        let mut chain = Chain::with_store(g.clone(), config, NullMachine, PrunedStore::new(0));
+        let mut tip = g;
+        for i in 0..20 {
+            tip = child(&tip, i);
+            chain.import(tip.clone()).unwrap();
+        }
+        // Deep bodies are gone: a from-genesis request cannot be served.
+        let (blocks, tip_height) = chain.blocks_after(&[], 50);
+        assert_eq!(tip_height, 20);
+        assert!(
+            blocks.is_empty(),
+            "pruned responder cannot serve deep history"
+        );
+    }
+
+    #[test]
+    fn rebuild_from_store_restores_canonical_state_and_keeps_stats() {
+        let (mut chain, g) = new_chain();
+        let coinbase = |height| Transaction::Coinbase {
+            to: Address::from_index(9),
+            value: 50,
+            height,
+        };
+        let pay = |nonce| {
+            Transaction::Account(AccountTx::transfer(
+                Address::from_index(1),
+                Address::from_index(2),
+                5,
+                nonce,
+            ))
+        };
+        // A short fork so the reorg counter is non-zero before the crash.
+        let a1 = child(&g, 1);
+        let mut b1 = child(&g, 10);
+        b1.txs = vec![coinbase(1), pay(0)];
+        let b1 = Block::new(b1.header, b1.txs);
+        let mut b2 = child(&b1, 11);
+        b2.txs = vec![coinbase(2), pay(1)];
+        let b2 = Block::new(b2.header, b2.txs);
+        chain.import(a1).unwrap();
+        chain.import(b1).unwrap();
+        chain.import(b2).unwrap();
+        chain.drain_receipts();
+
+        let tip = chain.tip_hash();
+        let canonical = chain.canonical().to_vec();
+        let stats = chain.stats();
+        let canon_stats = chain.canon_stats().clone();
+        assert_eq!(stats.reorgs, 1);
+        assert_eq!(canon_stats.committed_txs, 2);
+
+        chain.rebuild_from_store(NullMachine).unwrap();
+
+        assert_eq!(chain.tip_hash(), tip, "fork choice re-picks the same tip");
+        assert_eq!(chain.canonical(), canonical.as_slice());
+        assert_eq!(chain.stats(), stats, "consistency counters survive");
+        assert_eq!(chain.canon_stats(), &canon_stats);
+        assert!(
+            chain.drain_receipts().is_empty(),
+            "replayed receipts are not re-delivered"
+        );
+        // The rebuilt replica keeps working: it can extend its tip.
+        let next = child(chain.tip(), 99);
+        assert!(matches!(
+            chain.import(next).unwrap(),
+            ChainEvent::Extended { .. }
+        ));
     }
 }

@@ -155,7 +155,7 @@ proptest! {
         let mut archival = Chain::new(genesis.clone(), cfg.clone(), NullMachine);
         let mut pruned =
             Chain::with_store(genesis.clone(), cfg, NullMachine, PrunedStore::new(keep_depth));
-        let mut deliver = |a: &mut Chain<NullMachine>,
+        let deliver = |a: &mut Chain<NullMachine>,
                            p: &mut Chain<NullMachine, PrunedStore>,
                            b: &Arc<Block>|
          -> Result<(), TestCaseError> {

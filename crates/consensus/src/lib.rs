@@ -33,7 +33,7 @@ pub mod pos;
 pub mod pow;
 
 pub use mempool::{InsertOutcome, Mempool};
-pub use node::NodeCore;
+pub use node::{is_sync_tag, NodeCore, Recoverable, TAG_SYNC};
 
 use dcs_crypto::Hash256;
 use dcs_primitives::{Block, Transaction, TxPayload};
@@ -53,6 +53,28 @@ pub enum WireMsg {
     /// minimal sync protocol: a peer that orphans a block walks the missing
     /// ancestry back to a common ancestor (how healed partitions reconverge).
     BlockRequest(Hash256),
+    /// The negative reply to a [`WireMsg::BlockRequest`] the asked peer
+    /// cannot serve (unknown hash, or a pruning node dropped the body) —
+    /// lets the requester re-target another peer instead of waiting on a
+    /// reply that never comes.
+    BlockNotFound(Hash256),
+    /// A catch-up range request: `locator` is the asker's canonical chain
+    /// sampled newest-first at exponentially growing gaps (Bitcoin-style).
+    /// The responder finds the highest locator entry on its own canonical
+    /// chain and replies with the blocks above it.
+    SyncRequest {
+        /// Exponentially spaced canonical hashes, newest first.
+        locator: Vec<Hash256>,
+    },
+    /// A batch of canonical blocks answering a [`WireMsg::SyncRequest`],
+    /// plus the responder's tip height so the asker knows whether to keep
+    /// paging.
+    SyncResponse {
+        /// Consecutive canonical blocks, oldest first (bounded batch).
+        blocks: Vec<Arc<Block>>,
+        /// The responder's canonical tip height.
+        tip_height: u64,
+    },
 }
 
 /// Cheap wire-size estimate in bytes, used for bandwidth accounting without
@@ -60,7 +82,7 @@ pub enum WireMsg {
 /// sizes — e.g. E10 — call `encoded_len` on the payloads directly.)
 pub fn wire_size(msg: &WireMsg) -> usize {
     match msg {
-        WireMsg::Block(b) => 180 + b.txs.iter().map(approx_tx_size).sum::<usize>(),
+        WireMsg::Block(b) => approx_block_size(b),
         WireMsg::Tx(tx) => approx_tx_size(tx),
         WireMsg::Pbft(m) => match m {
             pbft::PbftMsg::PrePrepare { block, .. } => {
@@ -68,8 +90,17 @@ pub fn wire_size(msg: &WireMsg) -> usize {
             }
             _ => 100,
         },
-        WireMsg::BlockRequest(_) => 40,
+        WireMsg::BlockRequest(_) | WireMsg::BlockNotFound(_) => 40,
+        WireMsg::SyncRequest { locator } => 16 + 32 * locator.len(),
+        WireMsg::SyncResponse { blocks, .. } => {
+            16 + blocks.iter().map(|b| approx_block_size(b)).sum::<usize>()
+        }
     }
+}
+
+/// Approximate encoded size of one block (header plus body).
+fn approx_block_size(b: &Block) -> usize {
+    180 + b.txs.iter().map(approx_tx_size).sum::<usize>()
 }
 
 /// Approximate encoded size of one transaction.
@@ -101,8 +132,12 @@ pub fn gossip_id(msg: &WireMsg) -> Option<Hash256> {
     match msg {
         WireMsg::Block(b) => Some(b.hash()),
         WireMsg::Tx(tx) => Some(tx.id()),
-        // PBFT and request messages are point-to-point/one-shot.
-        WireMsg::Pbft(_) | WireMsg::BlockRequest(_) => None,
+        // PBFT and sync messages are point-to-point/one-shot.
+        WireMsg::Pbft(_)
+        | WireMsg::BlockRequest(_)
+        | WireMsg::BlockNotFound(_)
+        | WireMsg::SyncRequest { .. }
+        | WireMsg::SyncResponse { .. } => None,
     }
 }
 

@@ -5,7 +5,7 @@
 //! decouples from the key-block interval — the first of the paper's §5.4
 //! "scalable system innovations".
 
-use crate::node::NodeCore;
+use crate::node::{is_sync_tag, NodeCore};
 use crate::WireMsg;
 use dcs_chain::{ChainEvent, StateMachine};
 use dcs_crypto::{Address, Hash256};
@@ -156,10 +156,31 @@ impl<M: StateMachine> Protocol for NgNode<M> {
             WireMsg::BlockRequest(hash) => {
                 self.core.handle_block_request(hash, from, ctx);
             }
+            WireMsg::BlockNotFound(hash) => {
+                self.core.handle_block_not_found(hash, from, ctx);
+            }
+            WireMsg::SyncRequest { locator } => {
+                self.core.handle_sync_request(&locator, from, ctx);
+            }
+            WireMsg::SyncResponse { blocks, tip_height } => {
+                if self
+                    .core
+                    .handle_sync_response(blocks, tip_height, from, ctx)
+                {
+                    // The caught-up tip may carry a new key block (new leader
+                    // epoch) — restart mining and re-evaluate leadership.
+                    self.restart_mining(ctx);
+                    self.maybe_start_leading(ctx);
+                }
+            }
         }
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, WireMsg>) {
+        if is_sync_tag(tag) {
+            self.core.handle_sync_timer(tag, ctx);
+            return;
+        }
         let kind = tag & (0xff << 40);
         let counter = tag & !(0xff << 40);
         match kind {

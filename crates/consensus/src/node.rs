@@ -6,24 +6,76 @@
 
 use crate::mempool::{InsertOutcome, Mempool};
 use crate::{wire_size, WireMsg};
-use dcs_chain::{Chain, ChainEvent, StateMachine};
+use dcs_chain::{ArchivalStore, BlockStore, Chain, ChainEvent, StateMachine};
 use dcs_crypto::{Address, Hash256};
-use dcs_net::{Ctx, Gossiper, NodeId};
+use dcs_net::{Ctx, Gossiper, NodeId, Protocol};
 use dcs_primitives::{Block, BlockHeader, ChainConfig, Seal, Transaction};
-use dcs_sim::SimTime;
+use dcs_sim::{SimDuration, SimTime};
 use dcs_trace::{EntityKind, Id as TraceId, RejectReason, TraceConfig, TraceEvent, Tracer, ORIGIN};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-/// Shared per-peer machinery.
+/// Mempool capacity of every peer core.
+const MEMPOOL_CAP: usize = 100_000;
+
+/// Timer-tag namespace for the sync retry timers, in the same
+/// `kind << 40` scheme the protocols use. The high byte is `0x5C` so a
+/// sync tag can never collide with PBFT/NG kinds (`1 << 40`, `2 << 40`) or
+/// with the raw epoch counters PoW and PoET use (small integers).
+pub const TAG_SYNC: u64 = 0x5C << 40;
+
+const TAG_KIND_MASK: u64 = 0xff << 40;
+
+/// True if `tag` belongs to the [`NodeCore`] sync machinery. Protocols
+/// route these to [`NodeCore::handle_sync_timer`] before their own timer
+/// decoding.
+pub fn is_sync_tag(tag: u64) -> bool {
+    tag & TAG_KIND_MASK == TAG_SYNC
+}
+
+/// Base retry backoff for lost sync requests (doubles per attempt).
+const SYNC_RETRY_BASE_US: u64 = 500_000;
+/// Give up on a sync target after this many retries (round-robin over
+/// neighbors); normal gossip remains as the recovery path of last resort.
+const MAX_SYNC_ATTEMPTS: u32 = 8;
+/// Blocks per catch-up response batch.
+const SYNC_BATCH: usize = 32;
+
+/// One in-flight sync request: which epoch its retry timer carries and how
+/// many times it has been (re)sent.
+#[derive(Debug, Clone, Copy)]
+struct SyncAttempt {
+    epoch: u64,
+    attempts: u32,
+}
+
+/// Crash/restart hooks for protocols that support fail-stop recovery. The
+/// fault driver calls [`Recoverable::on_crash`] when a node fail-stops and
+/// [`Recoverable::on_restart`] when it comes back; the restart path is
+/// expected to cold-rebuild the peer from its block store and start the
+/// catch-up sync protocol.
+pub trait Recoverable: Protocol<Msg = WireMsg> {
+    /// The node fail-stops: settle any in-progress accounting. No actions
+    /// the implementation emits will be delivered to the node itself (the
+    /// fabric suppresses them), but sends to peers still go out, so
+    /// implementations should emit nothing.
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, WireMsg>);
+
+    /// The node restarts: rebuild volatile state from the durable block
+    /// store, re-arm protocol timers, and begin catch-up sync.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, WireMsg>);
+}
+
+/// Shared per-peer machinery, generic over the chain's record backend
+/// (archival by default).
 #[derive(Debug)]
-pub struct NodeCore<M: StateMachine> {
+pub struct NodeCore<M: StateMachine, S: BlockStore = ArchivalStore> {
     /// This peer's network identity.
     pub id: NodeId,
     /// This peer's reward address.
     pub address: Address,
     /// The local chain replica.
-    pub chain: Chain<M>,
+    pub chain: Chain<M, S>,
     /// Pending client transactions.
     pub mempool: Mempool,
     /// Blocks produced by this peer.
@@ -35,16 +87,28 @@ pub struct NodeCore<M: StateMachine> {
     /// hitting a missing stored block). Always 0 in a healthy run; counted
     /// instead of panicking so a bad peer input can never abort the peer.
     pub internal_errors: u64,
+    /// Sync requests re-sent after a lost request or reply (retry timers
+    /// fired, `BlockNotFound` re-targets). Zero on a loss-free network.
+    pub sync_retries: u64,
+    /// Catch-up rounds started (one per [`NodeCore::begin_catchup`] call,
+    /// including the follow-up pages of a multi-batch catch-up).
+    pub catchup_rounds: u64,
     /// This peer's tracer (consensus-layer events: gossip sightings,
     /// mempool admissions, proposals). Disabled by default; install with
     /// [`NodeCore::set_tracing`].
     pub tracer: Tracer,
     seen: Gossiper,
     included: BTreeSet<Hash256>,
+    /// Missing-ancestor requests awaiting a reply, keyed by block hash.
+    pending_blocks: BTreeMap<Hash256, SyncAttempt>,
+    /// The in-flight catch-up range request, if any.
+    catchup: Option<SyncAttempt>,
+    /// Monotonic epoch distinguishing live sync timers from stale ones.
+    sync_epoch: u64,
 }
 
 impl<M: StateMachine> NodeCore<M> {
-    /// Builds a peer core over a fresh chain replica.
+    /// Builds a peer core over a fresh archival chain replica.
     pub fn new(
         id: NodeId,
         address: Address,
@@ -52,17 +116,43 @@ impl<M: StateMachine> NodeCore<M> {
         config: ChainConfig,
         machine: M,
     ) -> Self {
+        Self::with_store(
+            id,
+            address,
+            genesis,
+            config,
+            machine,
+            ArchivalStore::default(),
+        )
+    }
+}
+
+impl<M: StateMachine, S: BlockStore> NodeCore<M, S> {
+    /// Builds a peer core over the given record backend.
+    pub fn with_store(
+        id: NodeId,
+        address: Address,
+        genesis: Block,
+        config: ChainConfig,
+        machine: M,
+        store: S,
+    ) -> Self {
         NodeCore {
             id,
             address,
-            chain: Chain::new(genesis, config, machine),
-            mempool: Mempool::new(100_000),
+            chain: Chain::with_store(genesis, config, machine, store),
+            mempool: Mempool::new(MEMPOOL_CAP),
             blocks_produced: 0,
             rejected_blocks: 0,
             internal_errors: 0,
+            sync_retries: 0,
+            catchup_rounds: 0,
             tracer: Tracer::disabled(),
             seen: Gossiper::new(),
             included: BTreeSet::new(),
+            pending_blocks: BTreeMap::new(),
+            catchup: None,
+            sync_epoch: 0,
         }
     }
 
@@ -135,20 +225,39 @@ impl<M: StateMachine> NodeCore<M> {
             None => ctx.broadcast(msg, size),
         }
         let parent = block.header.parent;
+        // However the block arrived, it satisfies any outstanding request.
+        self.pending_blocks.remove(&hash);
         let event = self.ingest_block_at(block, ctx.now)?;
         if let (ChainEvent::Orphaned, Some(sender)) = (&event, from) {
             // Missing ancestry (e.g. after a healed partition): walk it back
-            // one hop at a time from whoever showed us the descendant.
-            let req = WireMsg::BlockRequest(parent);
-            let size = wire_size(&req);
-            ctx.send(sender, req, size);
+            // one hop at a time from whoever showed us the descendant, with
+            // a bounded retry timer so a lost request or reply cannot stall
+            // this branch forever.
+            self.request_block(parent, sender, ctx);
         }
         Some(event)
     }
 
-    /// Serves a sync request: if we hold `hash` with its body resident
-    /// (a pruning node may have dropped it), send the block straight back
-    /// to the asker — a refcount bump on the stored `Arc`, not a copy.
+    /// Sends a [`WireMsg::BlockRequest`] for `hash` to `peer` and arms a
+    /// backoff retry timer. No-op if the block is already stored or already
+    /// requested.
+    pub fn request_block(&mut self, hash: Hash256, peer: NodeId, ctx: &mut Ctx<'_, WireMsg>) {
+        if self.chain.tree().contains(&hash) || self.pending_blocks.contains_key(&hash) {
+            return;
+        }
+        let req = WireMsg::BlockRequest(hash);
+        let size = wire_size(&req);
+        ctx.send(peer, req, size);
+        let epoch = self.arm_sync_timer(0, ctx);
+        self.pending_blocks
+            .insert(hash, SyncAttempt { epoch, attempts: 0 });
+    }
+
+    /// Serves a sync request: if we hold `hash` with its body resident,
+    /// send the block straight back to the asker — a refcount bump on the
+    /// stored `Arc`, not a copy. Otherwise (unknown hash, or a pruning
+    /// node dropped the body) reply [`WireMsg::BlockNotFound`] so the
+    /// asker re-targets another peer instead of waiting forever.
     pub fn handle_block_request(
         &mut self,
         hash: Hash256,
@@ -159,6 +268,210 @@ impl<M: StateMachine> NodeCore<M> {
             let msg = WireMsg::Block(Arc::clone(body));
             let size = wire_size(&msg);
             ctx.send(from, msg, size);
+        } else {
+            let msg = WireMsg::BlockNotFound(hash);
+            let size = wire_size(&msg);
+            ctx.send(from, msg, size);
+        }
+    }
+
+    /// Handles a negative sync reply: immediately re-target the request at
+    /// the next neighbor (round-robin) instead of waiting out the retry
+    /// timer.
+    pub fn handle_block_not_found(
+        &mut self,
+        hash: Hash256,
+        _from: NodeId,
+        ctx: &mut Ctx<'_, WireMsg>,
+    ) {
+        if self.pending_blocks.contains_key(&hash) {
+            self.retry_block_request(hash, ctx);
+        }
+    }
+
+    /// Starts (or restarts) catch-up sync: sends a locator-based range
+    /// request to the first neighbor and arms the retry timer. The reply
+    /// handler keeps paging until this replica reaches the responder's
+    /// tip.
+    pub fn begin_catchup(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        let Some(&peer) = ctx.neighbors.first() else {
+            return;
+        };
+        self.send_catchup_request(peer, 0, ctx);
+    }
+
+    fn send_catchup_request(&mut self, peer: NodeId, attempts: u32, ctx: &mut Ctx<'_, WireMsg>) {
+        self.catchup_rounds += 1;
+        let msg = WireMsg::SyncRequest {
+            locator: self.chain.locator(),
+        };
+        let size = wire_size(&msg);
+        ctx.send(peer, msg, size);
+        let epoch = self.arm_sync_timer(attempts, ctx);
+        self.catchup = Some(SyncAttempt { epoch, attempts });
+    }
+
+    /// Serves a catch-up range request with a bounded batch of canonical
+    /// blocks above the best locator match.
+    pub fn handle_sync_request(
+        &mut self,
+        locator: &[Hash256],
+        from: NodeId,
+        ctx: &mut Ctx<'_, WireMsg>,
+    ) {
+        let (blocks, tip_height) = self.chain.blocks_after(locator, SYNC_BATCH);
+        let msg = WireMsg::SyncResponse { blocks, tip_height };
+        let size = wire_size(&msg);
+        ctx.send(from, msg, size);
+    }
+
+    /// Ingests a catch-up batch. Blocks are imported without re-gossip
+    /// (peers already have them) and marked seen so later gossip copies
+    /// dedup. Returns true if the canonical tip advanced — protocols use
+    /// this to restart mining/leadership on the new tip. Keeps paging from
+    /// the same responder while still behind its tip; an empty reply from
+    /// a peer that claims more history (it pruned the needed bodies)
+    /// re-targets the next neighbor.
+    pub fn handle_sync_response(
+        &mut self,
+        blocks: Vec<Arc<Block>>,
+        tip_height: u64,
+        from: NodeId,
+        ctx: &mut Ctx<'_, WireMsg>,
+    ) -> bool {
+        let empty = blocks.is_empty();
+        let mut advanced = false;
+        for block in blocks {
+            let hash = block.hash();
+            self.pending_blocks.remove(&hash);
+            self.seen.first_sight(hash);
+            if self.chain.tree().contains(&hash) {
+                continue;
+            }
+            let event = self.ingest_block_at(block, ctx.now);
+            advanced |= matches!(
+                event,
+                Some(ChainEvent::Extended { .. } | ChainEvent::Reorg { .. })
+            );
+        }
+        if self.catchup.is_some() {
+            if self.chain.height() >= tip_height {
+                self.catchup = None; // caught up to this responder's tip
+            } else if empty {
+                // The responder is ahead but served nothing (pruned
+                // history): treat as a failed attempt and re-target.
+                self.retry_catchup(ctx);
+            } else {
+                // Progress: page the next batch from the same responder.
+                self.send_catchup_request(from, 0, ctx);
+            }
+        }
+        advanced
+    }
+
+    /// Handles a sync-namespace timer: if the request it guards is still
+    /// outstanding, re-send with doubled backoff to the next neighbor.
+    /// Stale epochs (the reply arrived meanwhile) are ignored.
+    pub fn handle_sync_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, WireMsg>) {
+        let epoch = tag & !TAG_KIND_MASK;
+        if let Some(c) = self.catchup {
+            if c.epoch == epoch {
+                self.retry_catchup(ctx);
+                return;
+            }
+        }
+        let hash = self
+            .pending_blocks
+            .iter()
+            .find(|(_, a)| a.epoch == epoch)
+            .map(|(h, _)| *h);
+        if let Some(hash) = hash {
+            self.retry_block_request(hash, ctx);
+        }
+    }
+
+    fn retry_block_request(&mut self, hash: Hash256, ctx: &mut Ctx<'_, WireMsg>) {
+        if self.chain.tree().contains(&hash) {
+            self.pending_blocks.remove(&hash);
+            return;
+        }
+        let Some(attempt) = self.pending_blocks.get(&hash).copied() else {
+            return;
+        };
+        let attempts = attempt.attempts + 1;
+        if attempts > MAX_SYNC_ATTEMPTS || ctx.neighbors.is_empty() {
+            // Give up; gossip of a later descendant will re-trigger.
+            self.pending_blocks.remove(&hash);
+            return;
+        }
+        self.sync_retries += 1;
+        let peer = ctx.neighbors[attempts as usize % ctx.neighbors.len()];
+        let req = WireMsg::BlockRequest(hash);
+        let size = wire_size(&req);
+        ctx.send(peer, req, size);
+        let epoch = self.arm_sync_timer(attempts, ctx);
+        self.pending_blocks
+            .insert(hash, SyncAttempt { epoch, attempts });
+    }
+
+    fn retry_catchup(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        let Some(attempt) = self.catchup else {
+            return;
+        };
+        let attempts = attempt.attempts + 1;
+        if attempts > MAX_SYNC_ATTEMPTS || ctx.neighbors.is_empty() {
+            self.catchup = None;
+            return;
+        }
+        self.sync_retries += 1;
+        let peer = ctx.neighbors[attempts as usize % ctx.neighbors.len()];
+        // send_catchup_request counts a round; a retry is the same round.
+        self.catchup_rounds -= 1;
+        self.send_catchup_request(peer, attempts, ctx);
+    }
+
+    /// Arms a sync retry timer with exponential backoff and returns its
+    /// epoch.
+    fn arm_sync_timer(&mut self, attempts: u32, ctx: &mut Ctx<'_, WireMsg>) -> u64 {
+        self.sync_epoch += 1;
+        let delay = SYNC_RETRY_BASE_US << attempts.min(6);
+        ctx.set_timer(SimDuration::from_micros(delay), TAG_SYNC | self.sync_epoch);
+        self.sync_epoch
+    }
+
+    /// Cold-rebuilds this peer from its durable block store — the restart
+    /// path after a crash. The chain re-runs fork choice over the stored
+    /// tree with a fresh `machine`; the mempool, gossip dedup tables, and
+    /// inclusion index are volatile and re-derived (canonical blocks and
+    /// their transactions are marked seen so catch-up traffic does not
+    /// re-gossip old history). Lifetime counters survive. Rebuild errors
+    /// land in [`NodeCore::internal_errors`] rather than aborting.
+    pub fn rebuild_from_store(&mut self, machine: M) {
+        if self.chain.rebuild_from_store(machine).is_err() {
+            self.internal_errors += 1;
+        }
+        self.mempool = Mempool::new(MEMPOOL_CAP);
+        self.seen = Gossiper::new();
+        self.included.clear();
+        self.pending_blocks.clear();
+        self.catchup = None;
+        let canonical: Vec<Hash256> = self.chain.canonical().to_vec();
+        let mut tx_ids = Vec::new();
+        for hash in canonical.iter().skip(1) {
+            if let Some(body) = self.chain.tree().get(hash).and_then(|sb| sb.body()) {
+                for tx in &body.txs {
+                    if !matches!(tx, Transaction::Coinbase { .. }) {
+                        tx_ids.push(tx.id());
+                    }
+                }
+            }
+        }
+        for hash in canonical.iter().skip(1) {
+            self.seen.first_sight(*hash);
+        }
+        for id in tx_ids {
+            self.seen.first_sight(id);
+            self.included.insert(id);
         }
     }
 
@@ -524,5 +837,219 @@ mod tests {
             node.chain.tree().get(&a1.hash()).unwrap().block(),
             &a1
         ));
+    }
+
+    fn sent_requests(actions: &[dcs_net::Action<WireMsg>]) -> Vec<(NodeId, Hash256)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                dcs_net::Action::Send {
+                    to,
+                    msg: WireMsg::BlockRequest(h),
+                    ..
+                } => Some((*to, *h)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn sync_timer_tags(actions: &[dcs_net::Action<WireMsg>]) -> Vec<u64> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                dcs_net::Action::Timer { tag, .. } if is_sync_tag(*tag) => Some(*tag),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Regression (sync-stall #1): the orphan-parent request used to be
+    /// fire-and-forget — if it was lost, the node stalled on that branch
+    /// forever. Now a backoff timer re-sends it and the node converges.
+    #[test]
+    fn orphan_parent_request_retries_after_loss_and_converges() {
+        let (mut node, g) = new_node();
+        let b1 = block_on(&g, 1, vec![]);
+        let b2 = block_on(&b1, 2, vec![]);
+        let neighbors = [NodeId(1), NodeId(2)];
+        let mut rng = dcs_sim::Rng::seed_from(1);
+
+        // b2 arrives first: orphaned, parent requested from the sender.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
+        node.handle_block(Arc::clone(&b2), Some(NodeId(1)), &mut ctx);
+        assert_eq!(sent_requests(&actions), vec![(NodeId(1), b1.hash())]);
+        let timers = sync_timer_tags(&actions);
+        assert_eq!(timers.len(), 1, "a retry timer guards the request");
+
+        // The request (or its reply) is lost; the timer fires.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
+        node.handle_sync_timer(timers[0], &mut ctx);
+        let retries = sent_requests(&actions);
+        assert_eq!(retries.len(), 1, "the request was re-sent");
+        assert_eq!(retries[0].1, b1.hash());
+        assert_eq!(node.sync_retries, 1);
+        let retry_tag = sync_timer_tags(&actions)[0];
+
+        // The retried request is answered: the node converges on b2.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
+        node.handle_block(Arc::clone(&b1), Some(retries[0].0), &mut ctx);
+        assert_eq!(node.chain.tip_hash(), b2.hash(), "converged");
+        assert_eq!(node.chain.height(), 2);
+
+        // The stale timer is inert: no further requests go out.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
+        node.handle_sync_timer(retry_tag, &mut ctx);
+        assert!(sent_requests(&actions).is_empty());
+        assert_eq!(node.sync_retries, 1);
+    }
+
+    #[test]
+    fn sync_retries_are_bounded() {
+        let (mut node, g) = new_node();
+        let b1 = block_on(&g, 1, vec![]);
+        let b2 = block_on(&b1, 2, vec![]);
+        let neighbors = [NodeId(1), NodeId(2)];
+        let mut rng = dcs_sim::Rng::seed_from(1);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
+        node.handle_block(b2, Some(NodeId(1)), &mut ctx);
+        let mut tag = sync_timer_tags(&actions)[0];
+        for _ in 0..64 {
+            let mut actions = Vec::new();
+            let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
+            node.handle_sync_timer(tag, &mut ctx);
+            match sync_timer_tags(&actions).first() {
+                Some(t) => tag = *t,
+                None => break,
+            }
+        }
+        assert_eq!(
+            node.sync_retries,
+            u64::from(super::MAX_SYNC_ATTEMPTS),
+            "gives up after the retry budget"
+        );
+    }
+
+    /// Regression (sync-stall #2): a peer asked for an unknown or pruned
+    /// body used to stay silent, leaving the asker waiting forever. Now it
+    /// answers `BlockNotFound`.
+    #[test]
+    fn block_request_for_unknown_or_pruned_body_answers_not_found() {
+        use dcs_chain::PrunedStore;
+        let mut cfg = ChainConfig::bitcoin_like();
+        cfg.confirmation_depth = 2;
+        let genesis = dcs_chain::genesis_block(&cfg);
+        let mut node = NodeCore::with_store(
+            NodeId(0),
+            Address::from_index(0),
+            genesis.clone(),
+            cfg,
+            NullMachine,
+            PrunedStore::new(0),
+        );
+        let mut tip = Arc::new(genesis);
+        let mut hashes = Vec::new();
+        for i in 0..10 {
+            tip = block_on(&tip, i, vec![]);
+            hashes.push(tip.hash());
+            node.ingest_block(Arc::clone(&tip)).unwrap();
+        }
+        let pruned = hashes[0];
+        assert!(
+            node.chain.tree().get(&pruned).unwrap().body().is_none(),
+            "the early body must be pruned for this test"
+        );
+
+        let neighbors = [NodeId(1)];
+        let mut rng = dcs_sim::Rng::seed_from(1);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
+        node.handle_block_request(pruned, NodeId(1), &mut ctx);
+        node.handle_block_request(Hash256::ZERO, NodeId(1), &mut ctx); // unknown
+        let not_found: Vec<Hash256> = actions
+            .iter()
+            .filter_map(|a| match a {
+                dcs_net::Action::Send {
+                    to: NodeId(1),
+                    msg: WireMsg::BlockNotFound(h),
+                    ..
+                } => Some(*h),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(not_found, vec![pruned, Hash256::ZERO]);
+
+        // A resident body is still served as a full block.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
+        node.handle_block_request(tip.hash(), NodeId(1), &mut ctx);
+        assert!(matches!(
+            actions.as_slice(),
+            [dcs_net::Action::Send {
+                msg: WireMsg::Block(_),
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn block_not_found_retargets_the_next_neighbor() {
+        let (mut node, g) = new_node();
+        let b1 = block_on(&g, 1, vec![]);
+        let b2 = block_on(&b1, 2, vec![]);
+        let neighbors = [NodeId(1), NodeId(2)];
+        let mut rng = dcs_sim::Rng::seed_from(1);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
+        node.handle_block(b2, Some(NodeId(1)), &mut ctx);
+        assert_eq!(sent_requests(&actions), vec![(NodeId(1), b1.hash())]);
+
+        // Peer 1 cannot serve it: the request immediately moves to peer 2.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
+        node.handle_block_not_found(b1.hash(), NodeId(1), &mut ctx);
+        assert_eq!(sent_requests(&actions), vec![(NodeId(2), b1.hash())]);
+        assert_eq!(node.sync_retries, 1);
+    }
+
+    #[test]
+    fn rebuild_from_store_rederives_volatile_state() {
+        let (mut node, g) = new_node();
+        let t1 = tx(1);
+        let b1 = block_on(&g, 1, vec![t1.clone()]);
+        let b2 = block_on(&b1, 2, vec![tx(2)]);
+        for b in [&b1, &b2] {
+            node.ingest_block(Arc::clone(b)).unwrap();
+        }
+        // Volatile state that must NOT survive: a pooled tx.
+        node.mempool.insert(Arc::new(tx(9)));
+        node.blocks_produced = 5;
+        let tip = node.chain.tip_hash();
+
+        node.rebuild_from_store(NullMachine);
+
+        assert_eq!(node.chain.tip_hash(), tip);
+        assert_eq!(node.internal_errors, 0);
+        assert!(node.mempool.is_empty(), "mempool is volatile");
+        assert_eq!(node.blocks_produced, 5, "lifetime counters survive");
+        assert_eq!(node.included(), &included_recomputed(&node));
+        // Canonical history is marked seen: a re-gossiped old block is
+        // deduped, not re-broadcast.
+        let neighbors = [NodeId(1)];
+        let mut rng = dcs_sim::Rng::seed_from(1);
+        let mut actions = Vec::new();
+        {
+            let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
+            assert!(node.handle_block(b1, Some(NodeId(1)), &mut ctx).is_none());
+            assert!(
+                !node.handle_tx(Arc::new(t1), Some(NodeId(1)), &mut ctx),
+                "included txs are seen too"
+            );
+        }
+        assert!(actions.is_empty(), "no re-gossip of known history");
     }
 }

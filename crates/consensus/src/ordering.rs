@@ -7,7 +7,7 @@
 //! Supports a static leader (`rotate_every = 0`) or round-robin rotation
 //! every N blocks among all peers.
 
-use crate::node::NodeCore;
+use crate::node::{is_sync_tag, NodeCore};
 use crate::WireMsg;
 use dcs_chain::StateMachine;
 use dcs_crypto::Address;
@@ -124,10 +124,32 @@ impl<M: StateMachine> Protocol for OrderingNode<M> {
             WireMsg::BlockRequest(hash) => {
                 self.core.handle_block_request(hash, from, ctx);
             }
+            WireMsg::BlockNotFound(hash) => {
+                self.core.handle_block_not_found(hash, from, ctx);
+            }
+            WireMsg::SyncRequest { locator } => {
+                self.core.handle_sync_request(&locator, from, ctx);
+            }
+            WireMsg::SyncResponse { blocks, tip_height } => {
+                if self
+                    .core
+                    .handle_sync_response(blocks, tip_height, from, ctx)
+                {
+                    // The orderer role may have rotated onto us at the new
+                    // height; the regular tick picks that up.
+                    self.try_cut_batch(ctx, false);
+                }
+            }
         }
     }
 
-    fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_, WireMsg>) {
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, WireMsg>) {
+        // Sync retries share the timer queue; route them before the batch
+        // tick (which deliberately ignores its tag).
+        if is_sync_tag(tag) {
+            self.core.handle_sync_timer(tag, ctx);
+            return;
+        }
         // Batch timeout: cut whatever is pending, then re-arm.
         self.try_cut_batch(ctx, true);
         self.schedule_tick(ctx);

@@ -9,7 +9,7 @@
 //! [`PbftNode::crashed`] flag; equivocation is not modeled (the simulator
 //! drives all honest peers from the same implementation).
 
-use crate::node::NodeCore;
+use crate::node::{is_sync_tag, NodeCore, Recoverable};
 use crate::WireMsg;
 use dcs_chain::StateMachine;
 use dcs_crypto::{Address, Hash256};
@@ -321,8 +321,38 @@ impl<M: StateMachine> Protocol for PbftNode<M> {
             WireMsg::BlockRequest(hash) => {
                 self.core.handle_block_request(hash, from, ctx);
             }
+            WireMsg::BlockNotFound(hash) => {
+                self.core.handle_block_not_found(hash, from, ctx);
+            }
+            WireMsg::SyncRequest { locator } => {
+                self.core.handle_sync_request(&locator, from, ctx);
+            }
+            WireMsg::SyncResponse { blocks, tip_height } => {
+                if self
+                    .core
+                    .handle_sync_response(blocks, tip_height, from, ctx)
+                {
+                    // Caught up past buffered per-seq state: drop anything at
+                    // or below the new tip, same as the gossip fallback path.
+                    let height = self.core.chain.height();
+                    self.state.retain(|&s, _| s > height);
+                    if self.in_flight.is_some_and(|s| s <= height) {
+                        self.in_flight = None;
+                    }
+                    self.arm_view_timer(ctx);
+                    self.try_propose(ctx);
+                }
+            }
             WireMsg::Pbft(pbft) => match pbft {
                 PbftMsg::PrePrepare { view, seq, block } => {
+                    // A replica that was down across view changes adopts the
+                    // higher view when the (alleged) leader of that view
+                    // proposes in it — this is how a restarted replica
+                    // rejoins the working view without a full view-change
+                    // certificate exchange.
+                    if view > self.view && from == self.leader_of(view) {
+                        self.enter_view(view, ctx);
+                    }
                     if view != self.view || from != self.leader_of(view) {
                         return;
                     }
@@ -394,6 +424,10 @@ impl<M: StateMachine> Protocol for PbftNode<M> {
         if self.crashed {
             return;
         }
+        if is_sync_tag(tag) {
+            self.core.handle_sync_timer(tag, ctx);
+            return;
+        }
         let kind = tag & (0xff << 40);
         let counter = tag & !(0xff << 40);
         match kind {
@@ -419,5 +453,28 @@ impl<M: StateMachine> Protocol for PbftNode<M> {
             }
             _ => {}
         }
+    }
+}
+
+impl<M: StateMachine + Default> Recoverable for PbftNode<M> {
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_, WireMsg>) {
+        // Fail-stop: the flag gates every callback until restart, so even
+        // events already in flight toward this replica are ignored.
+        self.crashed = true;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        self.crashed = false;
+        // All per-view and per-sequence protocol state is volatile; a
+        // restarted replica rediscovers the working view from the next
+        // PrePrepare it hears (view adoption in `on_message`).
+        self.view = 0;
+        self.state.clear();
+        self.view_votes.clear();
+        self.in_flight = None;
+        self.core.rebuild_from_store(M::default());
+        ctx.set_timer(SimDuration::from_micros(self.batch_timeout_us), TAG_BATCH);
+        self.arm_view_timer(ctx);
+        self.core.begin_catchup(ctx);
     }
 }

@@ -8,7 +8,7 @@
 //! compromised enclave that shortens its waits — used to reproduce the PoET
 //! security concern analyzed in \[41\].
 
-use crate::node::NodeCore;
+use crate::node::{is_sync_tag, NodeCore};
 use crate::WireMsg;
 use dcs_chain::{ChainEvent, StateMachine};
 use dcs_crypto::Address;
@@ -93,10 +93,28 @@ impl<M: StateMachine> Protocol for PoetNode<M> {
             WireMsg::BlockRequest(hash) => {
                 self.core.handle_block_request(hash, from, ctx);
             }
+            WireMsg::BlockNotFound(hash) => {
+                self.core.handle_block_not_found(hash, from, ctx);
+            }
+            WireMsg::SyncRequest { locator } => {
+                self.core.handle_sync_request(&locator, from, ctx);
+            }
+            WireMsg::SyncResponse { blocks, tip_height } => {
+                if self
+                    .core
+                    .handle_sync_response(blocks, tip_height, from, ctx)
+                {
+                    self.restart_wait(ctx); // wait from the caught-up tip
+                }
+            }
         }
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, WireMsg>) {
+        if is_sync_tag(tag) {
+            self.core.handle_sync_timer(tag, ctx);
+            return;
+        }
         if tag != self.epoch {
             return; // superseded: a block arrived while we were waiting
         }

@@ -5,7 +5,7 @@
 //! from propagation races — no hashing is expended, which is the point of
 //! experiment E5.
 
-use crate::node::NodeCore;
+use crate::node::{is_sync_tag, NodeCore};
 use crate::WireMsg;
 use dcs_chain::StateMachine;
 use dcs_crypto::{sha256, Address, Hash256};
@@ -162,10 +162,25 @@ impl<M: StateMachine> Protocol for PosNode<M> {
             WireMsg::BlockRequest(hash) => {
                 self.core.handle_block_request(hash, from, ctx);
             }
+            WireMsg::BlockNotFound(hash) => {
+                self.core.handle_block_not_found(hash, from, ctx);
+            }
+            WireMsg::SyncRequest { locator } => {
+                self.core.handle_sync_request(&locator, from, ctx);
+            }
+            WireMsg::SyncResponse { blocks, tip_height } => {
+                // The slot schedule is wall-clock driven; nothing to re-arm.
+                self.core
+                    .handle_sync_response(blocks, tip_height, from, ctx);
+            }
         }
     }
 
     fn on_timer(&mut self, slot: u64, ctx: &mut Ctx<'_, WireMsg>) {
+        if is_sync_tag(slot) {
+            self.core.handle_sync_timer(slot, ctx);
+            return;
+        }
         self.lotteries_evaluated += 1;
         if self.stake_table.slot_leader(slot) == self.my_index {
             let proof = self.stake_table.slot_proof(slot, &self.core.address);

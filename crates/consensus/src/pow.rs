@@ -8,7 +8,7 @@
 //! exercised by [`mine_real`] and its tests/benches at low difficulty.
 
 use crate::difficulty::next_difficulty;
-use crate::node::NodeCore;
+use crate::node::{is_sync_tag, NodeCore, Recoverable};
 use crate::WireMsg;
 use dcs_chain::{ChainEvent, StateMachine};
 use dcs_crypto::Address;
@@ -123,10 +123,28 @@ impl<M: StateMachine> Protocol for PowNode<M> {
             WireMsg::BlockRequest(hash) => {
                 self.core.handle_block_request(hash, from, ctx);
             }
+            WireMsg::BlockNotFound(hash) => {
+                self.core.handle_block_not_found(hash, from, ctx);
+            }
+            WireMsg::SyncRequest { locator } => {
+                self.core.handle_sync_request(&locator, from, ctx);
+            }
+            WireMsg::SyncResponse { blocks, tip_height } => {
+                if self
+                    .core
+                    .handle_sync_response(blocks, tip_height, from, ctx)
+                {
+                    self.restart_mining(ctx); // mine on the caught-up tip
+                }
+            }
         }
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, WireMsg>) {
+        if is_sync_tag(tag) {
+            self.core.handle_sync_timer(tag, ctx);
+            return;
+        }
         if tag != self.mining_epoch {
             return; // stale mining attempt: the tip moved since it was set
         }
@@ -139,6 +157,20 @@ impl<M: StateMachine> Protocol for PowNode<M> {
         let block = self.core.build_block(seal, ctx.now);
         self.core.handle_block(block, None, ctx);
         self.restart_mining(ctx);
+    }
+}
+
+impl<M: StateMachine + Default> Recoverable for PowNode<M> {
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        // Book the hash work done up to the crash; none accrues while down.
+        self.settle_work(ctx.now);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        self.core.rebuild_from_store(M::default());
+        self.mining_started = ctx.now; // downtime is not hash work
+        self.restart_mining(ctx);
+        self.core.begin_catchup(ctx);
     }
 }
 

@@ -95,7 +95,7 @@ proptest! {
         let deploy = AccountTx::deploy(holders[0], stdlib::token(), 0, 10_000_000);
         let token = deploy.contract_address();
         exec::execute_tx(&mut db, &deploy, dcs_crypto::Hash256::ZERO, &ctx, &schedule);
-        let mut nonces = vec![1u64, 0, 0, 0];
+        let mut nonces = [1u64, 0, 0, 0];
 
         // Everyone mints 10_000.
         for (i, h) in holders.iter().enumerate() {

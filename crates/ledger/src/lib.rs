@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod builders;
+pub mod faults;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
@@ -53,6 +54,7 @@ pub use builders::{
     build_ng, build_ordering, build_pbft, build_poet, build_pos, build_pow, NgParams,
     OrderingParams, PbftParams, PoetParams, PosParams, PowParams,
 };
+pub use faults::install_faults;
 pub use metrics::{collect, SimResult, VerificationReport};
 pub use profile::Profile;
 pub use trace::{collect_traces, install_tracing};

@@ -31,6 +31,10 @@ pub struct VerificationReport {
     /// [`dcs_chain::ChainStats::internal_errors`]), summed over peers.
     /// A healthy run keeps this at zero; the determinism suite asserts it.
     pub internal_errors: u64,
+    /// Sync requests re-sent after a timeout or negative reply, summed over
+    /// peers — how hard nodes had to work to fill ancestry gaps. Zero on a
+    /// loss-free network.
+    pub sync_retries: u64,
 }
 
 impl VerificationReport {
@@ -40,6 +44,7 @@ impl VerificationReport {
             pipeline: pipeline.stats(),
             rejected_blocks: 0,
             internal_errors: 0,
+            sync_retries: 0,
         }
     }
 
@@ -54,6 +59,13 @@ impl VerificationReport {
     /// [`SimResult::internal_errors`] or a manual census).
     pub fn with_internal_errors(mut self, internal: u64) -> Self {
         self.internal_errors = internal;
+        self
+    }
+
+    /// Attaches the network-wide sync-retry count (from
+    /// [`SimResult::sync_retries`] or a manual census).
+    pub fn with_sync_retries(mut self, retries: u64) -> Self {
+        self.sync_retries = retries;
         self
     }
 
@@ -79,12 +91,13 @@ impl core::fmt::Display for VerificationReport {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "verify[{}] skipped={} verified={} rejected_blocks={} internal_errors={}",
+            "verify[{}] skipped={} verified={} rejected_blocks={} internal_errors={} sync_retries={}",
             self.pipeline,
             self.signatures_skipped(),
             self.signatures_verified(),
             self.rejected_blocks,
             self.internal_errors,
+            self.sync_retries,
         )
     }
 }
@@ -119,6 +132,11 @@ pub struct SimResult {
     /// Broken internal invariants survived at runtime (chain-manager and
     /// node-core counters), summed over all peers. Zero on a healthy run.
     pub internal_errors: u64,
+    /// Sync requests re-sent after a timeout or a `BlockNotFound`, summed
+    /// over all peers.
+    pub sync_retries: u64,
+    /// Catch-up pages requested by recovering nodes, summed over all peers.
+    pub catchup_rounds: u64,
     /// True when all replicas agree on the chain up to the confirmation
     /// depth.
     pub replicas_agree: bool,
@@ -237,6 +255,8 @@ pub fn collect<P: LedgerNode>(
         .iter()
         .map(|n| n.core().internal_errors + n.core().chain.stats().internal_errors)
         .sum();
+    let sync_retries: u64 = nodes.iter().map(|n| n.core().sync_retries).sum();
+    let catchup_rounds: u64 = nodes.iter().map(|n| n.core().catchup_rounds).sum();
     let stats = chain.stats();
     SimResult {
         horizon,
@@ -252,6 +272,8 @@ pub fn collect<P: LedgerNode>(
         max_reorg_depth: stats.max_reorg_depth,
         rejected_blocks,
         internal_errors,
+        sync_retries,
+        catchup_rounds,
         replicas_agree,
         proposer_gini: gini(&proposer_counts),
         nakamoto: nakamoto_coefficient(&proposer_counts),

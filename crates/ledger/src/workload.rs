@@ -112,7 +112,9 @@ impl Workload {
                     tx: TraceId(id.into_bytes()),
                 },
             );
-            net.inject(at, node, WireMsg::Tx(Arc::new(tx)));
+            let msg = WireMsg::Tx(Arc::new(tx));
+            let size = dcs_consensus::wire_size(&msg);
+            net.inject(at, node, msg, size);
         }
         submitted
     }
@@ -184,7 +186,7 @@ mod tests {
         let w = Workload::transfers(100.0, SimDuration::from_secs(5), 3);
         let mut net = net();
         let submitted = w.inject(&mut net, 7);
-        for (_, t) in &submitted {
+        for t in submitted.values() {
             assert!(*t < SimTime::ZERO + SimDuration::from_secs(5));
         }
         // HashMap keying already proves id uniqueness if count matches the

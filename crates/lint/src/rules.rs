@@ -71,6 +71,7 @@ const DETERMINISM_CRATES: &[&str] = &[
     "crates/chain/",
     "crates/state/",
     "crates/trace/",
+    "crates/faults/",
 ];
 
 /// Consensus *decision* files for `float-consensus`. The PoW/PoET/NG solve
@@ -88,7 +89,12 @@ const FLOAT_DECISION_PATHS: &[&str] = &[
 ];
 
 /// Protocol-message handling crates for `panic-path`.
-const PANIC_PATH_CRATES: &[&str] = &["crates/chain/", "crates/consensus/", "crates/net/"];
+const PANIC_PATH_CRATES: &[&str] = &[
+    "crates/chain/",
+    "crates/consensus/",
+    "crates/net/",
+    "crates/faults/",
+];
 
 fn under(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| {

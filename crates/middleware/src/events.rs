@@ -230,7 +230,7 @@ mod tests {
         let _a = bus.subscribe(EventFilter::any());
         let _b = bus.subscribe(EventFilter::any());
         let r = receipt_with_log(Address::from_index(1), sha256(b"t"), b"x");
-        bus.publish_block_at(42, sha256(b"b"), &[r.clone()]);
+        bus.publish_block_at(42, sha256(b"b"), std::slice::from_ref(&r));
         let recs: Vec<_> = bus.tracer().records().collect();
         assert_eq!(recs.len(), 2, "one event per subscriber delivery");
         assert!(recs.iter().all(|rec| rec.at_us == 42

@@ -1,12 +1,14 @@
 //! The message fabric: point-to-point sends over the overlay with sampled
-//! latency, probabilistic loss, partitions, and bandwidth accounting, all
-//! scheduled on the deterministic event queue.
+//! latency, probabilistic loss, partitions, bandwidth accounting, and
+//! injectable faults (node crashes, link flaps, duplication, corruption),
+//! all scheduled on the deterministic event queue.
 
 use crate::latency::LatencyModel;
 use crate::topology::{self, Topology};
 use crate::NodeId;
 use dcs_sim::{EventId, Rng, SimDuration, SimTime, Simulation};
 use dcs_trace::{TraceEvent, Tracer};
+use std::collections::BTreeSet;
 
 /// Network construction parameters.
 #[derive(Debug, Clone)]
@@ -48,6 +50,20 @@ pub struct NetStats {
     pub partitioned: u64,
     /// Total payload bytes sent.
     pub bytes_sent: u64,
+    /// Messages lost to a downed link (link-flap fault).
+    pub link_dropped: u64,
+    /// Extra deliveries scheduled by the duplication fault.
+    pub duplicated: u64,
+    /// Messages corrupted in flight and discarded at the checksum.
+    pub corrupted: u64,
+    /// Node crash events applied.
+    pub crashes: u64,
+    /// Node restart events applied.
+    pub restarts: u64,
+    /// Deliveries consumed silently because the destination was crashed.
+    pub suppressed_deliveries: u64,
+    /// Timers consumed silently because their node was crashed.
+    pub suppressed_timers: u64,
 }
 
 /// Internal queue events.
@@ -66,9 +82,22 @@ pub struct Network<M> {
     drop_probability: f64,
     bandwidth: Option<u64>,
     groups: Vec<u32>,
+    alive: Vec<bool>,
+    down_links: BTreeSet<(usize, usize)>,
+    duplicate_probability: f64,
+    corrupt_probability: f64,
     rng: Rng,
     stats: NetStats,
     tracer: Tracer,
+}
+
+/// Normalized undirected link key.
+fn link_key(a: NodeId, b: NodeId) -> (usize, usize) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
 }
 
 impl<M> Network<M> {
@@ -83,6 +112,10 @@ impl<M> Network<M> {
             drop_probability: cfg.drop_probability,
             bandwidth: cfg.bandwidth_bytes_per_sec,
             groups: vec![0; cfg.nodes],
+            alive: vec![true; cfg.nodes],
+            down_links: BTreeSet::new(),
+            duplicate_probability: 0.0,
+            corrupt_probability: 0.0,
             rng,
             stats: NetStats::default(),
             tracer: Tracer::disabled(),
@@ -154,54 +187,90 @@ impl<M> Network<M> {
         self.groups = vec![0; self.node_count()];
     }
 
-    /// Sends `msg` of `size` bytes from `from` to `to`, subject to loss and
-    /// partitions. Delivery is scheduled after sampled latency (plus
-    /// serialization delay when bandwidth is modeled).
-    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, size: usize) {
-        self.stats.sent += 1;
-        self.stats.bytes_sent += size as u64;
-        let now_us = self.sim.now().as_micros();
+    /// Fail-stops `node`: its queued and future deliveries and timers are
+    /// consumed silently (counted in [`NetStats`]) until
+    /// [`Network::restart`]. Idempotent. Outbound sends are not blocked
+    /// here — a crashed protocol is never dispatched, so it cannot send.
+    pub fn crash(&mut self, node: NodeId) {
+        if !self.alive[node.0] {
+            return;
+        }
+        self.alive[node.0] = false;
+        self.stats.crashes += 1;
         self.tracer.emit_for(
-            now_us,
-            from.0 as u32,
-            TraceEvent::MsgSent {
-                to: to.0 as u32,
-                bytes: size.min(u32::MAX as usize) as u32,
-            },
+            self.sim.now().as_micros(),
+            node.0 as u32,
+            TraceEvent::NodeCrashed,
         );
-        if self.groups[from.0] != self.groups[to.0] {
-            self.stats.partitioned += 1;
-            self.tracer.emit_for(
-                now_us,
-                from.0 as u32,
-                TraceEvent::MsgPartitioned { to: to.0 as u32 },
-            );
+    }
+
+    /// Brings a crashed node back: deliveries and timers scheduled from now
+    /// on (including in-flight messages that arrive after this instant)
+    /// reach it again. Idempotent.
+    pub fn restart(&mut self, node: NodeId) {
+        if self.alive[node.0] {
             return;
         }
-        if self.drop_probability > 0.0 && self.rng.chance(self.drop_probability) {
-            self.stats.dropped += 1;
-            self.tracer.emit_for(
-                now_us,
-                from.0 as u32,
-                TraceEvent::MsgDropped { to: to.0 as u32 },
-            );
-            return;
-        }
-        let mut delay = self.latency.sample(&mut self.rng);
-        if let Some(bw) = self.bandwidth {
-            let ser = SimDuration::from_secs_f64(size as f64 / bw as f64);
-            delay = delay + ser;
-        }
-        self.sim
-            .schedule(delay, NetEvent::Deliver { from, to, msg });
+        self.alive[node.0] = true;
+        self.stats.restarts += 1;
+        self.tracer.emit_for(
+            self.sim.now().as_micros(),
+            node.0 as u32,
+            TraceEvent::NodeRestarted,
+        );
+    }
+
+    /// Whether `node` is currently up.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.0]
+    }
+
+    /// Takes the undirected link `a`–`b` down: sends in either direction
+    /// are dropped (counted as `link_dropped`, traced as drops).
+    pub fn set_link_down(&mut self, a: NodeId, b: NodeId) {
+        self.down_links.insert(link_key(a, b));
+    }
+
+    /// Restores the undirected link `a`–`b`.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId) {
+        self.down_links.remove(&link_key(a, b));
+    }
+
+    /// Whether the undirected link `a`–`b` is currently down.
+    pub fn is_link_down(&self, a: NodeId, b: NodeId) -> bool {
+        self.down_links.contains(&link_key(a, b))
+    }
+
+    /// Sets the probability that a sent message is delivered twice (the
+    /// copy takes an independently sampled latency). Zero disables the
+    /// fault and restores bit-identical behavior to a fault-free run.
+    pub fn set_duplication(&mut self, p: f64) {
+        self.duplicate_probability = p;
+    }
+
+    /// Sets the probability that a sent message is corrupted in flight.
+    /// Corrupted messages are discarded at the receiver's checksum, so the
+    /// fault manifests as loss that is counted and traced separately.
+    pub fn set_corruption(&mut self, p: f64) {
+        self.corrupt_probability = p;
     }
 
     /// Injects a message to `node` at an absolute time, bypassing topology,
     /// loss, and latency — how simulated *clients* (who are not overlay
     /// peers) deliver transactions to their point-of-contact peer. The
-    /// message appears to come from the node itself.
-    pub fn inject(&mut self, at: SimTime, node: NodeId, msg: M) {
+    /// message appears to come from the node itself, and is accounted and
+    /// traced like a send so client traffic shows up in the same books.
+    pub fn inject(&mut self, at: SimTime, node: NodeId, msg: M, size: usize) {
         self.stats.sent += 1;
+        self.stats.bytes_sent += size as u64;
+        self.tracer.emit_for(
+            at.as_micros(),
+            node.0 as u32,
+            TraceEvent::MsgSent {
+                to: node.0 as u32,
+                bytes: size.min(u32::MAX as usize) as u32,
+            },
+        );
         self.sim.schedule_at(
             at,
             NetEvent::Deliver {
@@ -223,21 +292,123 @@ impl<M> Network<M> {
     }
 
     pub(crate) fn pop(&mut self, deadline: Option<SimTime>) -> Option<(SimTime, NetEvent<M>)> {
-        let ev = match deadline {
-            Some(d) => self.sim.next_before(d),
-            None => self.sim.next(),
-        };
-        if let Some((at, NetEvent::Deliver { from, to, .. })) = &ev {
-            self.stats.delivered += 1;
+        loop {
+            let ev = match deadline {
+                Some(d) => self.sim.next_before(d),
+                None => self.sim.next(),
+            };
+            let (at, event) = ev?;
+            match &event {
+                // A crashed node's inbound traffic and timers vanish: they
+                // are consumed (sim time still advances deterministically)
+                // but never dispatched.
+                NetEvent::Deliver { to, .. } if !self.alive[to.0] => {
+                    self.stats.suppressed_deliveries += 1;
+                    continue;
+                }
+                NetEvent::Timer { node, .. } if !self.alive[node.0] => {
+                    self.stats.suppressed_timers += 1;
+                    continue;
+                }
+                NetEvent::Deliver { from, to, .. } => {
+                    self.stats.delivered += 1;
+                    self.tracer.emit_for(
+                        at.as_micros(),
+                        to.0 as u32,
+                        TraceEvent::MsgDelivered {
+                            from: from.0 as u32,
+                        },
+                    );
+                }
+                NetEvent::Timer { .. } => {}
+            }
+            return Some((at, event));
+        }
+    }
+}
+
+impl<M: Clone> Network<M> {
+    /// Sends `msg` of `size` bytes from `from` to `to`, subject to loss,
+    /// partitions, downed links, and the corruption/duplication faults.
+    /// Delivery is scheduled after sampled latency (plus serialization
+    /// delay when bandwidth is modeled).
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, size: usize) {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += size as u64;
+        let now_us = self.sim.now().as_micros();
+        self.tracer.emit_for(
+            now_us,
+            from.0 as u32,
+            TraceEvent::MsgSent {
+                to: to.0 as u32,
+                bytes: size.min(u32::MAX as usize) as u32,
+            },
+        );
+        if self.groups[from.0] != self.groups[to.0] {
+            self.stats.partitioned += 1;
             self.tracer.emit_for(
-                at.as_micros(),
-                to.0 as u32,
-                TraceEvent::MsgDelivered {
-                    from: from.0 as u32,
+                now_us,
+                from.0 as u32,
+                TraceEvent::MsgPartitioned { to: to.0 as u32 },
+            );
+            return;
+        }
+        if self.down_links.contains(&link_key(from, to)) {
+            self.stats.link_dropped += 1;
+            self.tracer.emit_for(
+                now_us,
+                from.0 as u32,
+                TraceEvent::MsgDropped { to: to.0 as u32 },
+            );
+            return;
+        }
+        if self.drop_probability > 0.0 && self.rng.chance(self.drop_probability) {
+            self.stats.dropped += 1;
+            self.tracer.emit_for(
+                now_us,
+                from.0 as u32,
+                TraceEvent::MsgDropped { to: to.0 as u32 },
+            );
+            return;
+        }
+        if self.corrupt_probability > 0.0 && self.rng.chance(self.corrupt_probability) {
+            self.stats.corrupted += 1;
+            self.tracer.emit_for(
+                now_us,
+                from.0 as u32,
+                TraceEvent::MsgCorrupted { to: to.0 as u32 },
+            );
+            return;
+        }
+        if self.duplicate_probability > 0.0 && self.rng.chance(self.duplicate_probability) {
+            self.stats.duplicated += 1;
+            self.tracer.emit_for(
+                now_us,
+                from.0 as u32,
+                TraceEvent::MsgDuplicated { to: to.0 as u32 },
+            );
+            let delay = self.delivery_delay(size);
+            self.sim.schedule(
+                delay,
+                NetEvent::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
                 },
             );
         }
-        ev
+        let delay = self.delivery_delay(size);
+        self.sim
+            .schedule(delay, NetEvent::Deliver { from, to, msg });
+    }
+
+    fn delivery_delay(&mut self, size: usize) -> SimDuration {
+        let mut delay = self.latency.sample(&mut self.rng);
+        if let Some(bw) = self.bandwidth {
+            let ser = SimDuration::from_secs_f64(size as f64 / bw as f64);
+            delay = delay + ser;
+        }
+        delay
     }
 }
 
@@ -350,6 +521,105 @@ mod tests {
         let last = net.tracer().records().last().unwrap();
         assert_eq!(last.node, 1);
         assert_eq!(last.at_us, 10_000);
+    }
+
+    #[test]
+    fn inject_accounts_bytes_and_traces_like_send() {
+        use dcs_trace::{TraceConfig, NETWORK_ACTOR};
+        let mut net = tiny();
+        net.set_tracer(Tracer::new(NETWORK_ACTOR, &TraceConfig::full()));
+        let at = SimTime::ZERO + SimDuration::from_millis(25);
+        net.inject(at, NodeId(1), "tx", 64);
+        assert_eq!(net.stats().sent, 1);
+        assert_eq!(net.stats().bytes_sent, 64, "inject accounts payload bytes");
+        let first = *net.tracer().records().next().unwrap();
+        assert_eq!(first.at_us, 25_000);
+        assert_eq!(first.node, 1, "attributed to the point-of-contact peer");
+        assert_eq!(first.event, TraceEvent::MsgSent { to: 1, bytes: 64 });
+        let (t, _) = net.pop(None).unwrap();
+        assert_eq!(t, at);
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn crashed_node_suppresses_deliveries_and_timers_until_restart() {
+        let mut net = tiny();
+        net.send(NodeId(0), NodeId(1), "pre", 1);
+        net.set_timer(NodeId(1), SimDuration::from_millis(5), 9);
+        net.crash(NodeId(1));
+        assert!(!net.is_alive(NodeId(1)));
+        net.crash(NodeId(1)); // idempotent
+        assert!(net.pop(None).is_none(), "both events suppressed");
+        assert_eq!(net.stats().crashes, 1);
+        assert_eq!(net.stats().suppressed_deliveries, 1);
+        assert_eq!(net.stats().suppressed_timers, 1);
+
+        net.restart(NodeId(1));
+        assert!(net.is_alive(NodeId(1)));
+        net.send(NodeId(0), NodeId(1), "post", 1);
+        let (_, ev) = net.pop(None).unwrap();
+        assert!(matches!(ev, NetEvent::Deliver { msg: "post", .. }));
+        assert_eq!(net.stats().restarts, 1);
+    }
+
+    #[test]
+    fn in_flight_message_reaches_node_restarted_before_delivery() {
+        let mut net = tiny();
+        net.crash(NodeId(2));
+        // 10 ms constant latency; the node is back up at delivery time.
+        net.send(NodeId(0), NodeId(2), "inflight", 1);
+        net.restart(NodeId(2));
+        let (_, ev) = net.pop(None).unwrap();
+        assert!(matches!(
+            ev,
+            NetEvent::Deliver {
+                msg: "inflight",
+                ..
+            }
+        ));
+        assert_eq!(net.stats().suppressed_deliveries, 0);
+    }
+
+    #[test]
+    fn downed_link_drops_both_directions_until_up() {
+        let mut net = tiny();
+        net.set_link_down(NodeId(0), NodeId(1));
+        assert!(net.is_link_down(NodeId(1), NodeId(0)));
+        net.send(NodeId(0), NodeId(1), "a", 1);
+        net.send(NodeId(1), NodeId(0), "b", 1);
+        net.send(NodeId(0), NodeId(2), "c", 1);
+        assert_eq!(net.stats().link_dropped, 2);
+        let (_, ev) = net.pop(None).unwrap();
+        assert!(matches!(ev, NetEvent::Deliver { msg: "c", .. }));
+        assert!(net.pop(None).is_none());
+
+        net.set_link_up(NodeId(0), NodeId(1));
+        net.send(NodeId(0), NodeId(1), "again", 1);
+        assert!(net.pop(None).is_some());
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let mut net = tiny();
+        net.set_duplication(1.0);
+        net.send(NodeId(0), NodeId(1), "twice", 1);
+        assert_eq!(net.stats().duplicated, 1);
+        assert!(net.pop(None).is_some());
+        assert!(net.pop(None).is_some());
+        assert!(net.pop(None).is_none());
+        assert_eq!(net.stats().delivered, 2);
+    }
+
+    #[test]
+    fn corruption_discards_and_counts() {
+        let mut net = tiny();
+        net.set_corruption(1.0);
+        net.send(NodeId(0), NodeId(1), "garbled", 1);
+        assert_eq!(net.stats().corrupted, 1);
+        assert!(net.pop(None).is_none());
+        net.set_corruption(0.0);
+        net.send(NodeId(0), NodeId(1), "clean", 1);
+        assert!(net.pop(None).is_some());
     }
 
     #[test]

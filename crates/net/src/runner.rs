@@ -46,6 +46,27 @@ pub struct Ctx<'a, M> {
     actions: &'a mut Vec<Action<M>>,
 }
 
+impl<'a, M> Ctx<'a, M> {
+    /// Builds a context outside a [`Runner`] — for unit-testing protocol
+    /// handlers in isolation. Requested actions accumulate in `actions`
+    /// for the caller to inspect or apply.
+    pub fn new(
+        node: NodeId,
+        now: SimTime,
+        neighbors: &'a [NodeId],
+        rng: &'a mut Rng,
+        actions: &'a mut Vec<Action<M>>,
+    ) -> Self {
+        Ctx {
+            node,
+            now,
+            neighbors,
+            rng,
+            actions,
+        }
+    }
+}
+
 impl<M: Clone> Ctx<'_, M> {
     /// Unicasts to one peer.
     pub fn send(&mut self, to: NodeId, msg: M, size: usize) {
@@ -182,6 +203,16 @@ impl<P: Protocol> Runner<P> {
                 }
             }
         }
+    }
+
+    /// Invokes `f` on one protocol instance with a live [`Ctx`], outside
+    /// the event loop, and applies the requested actions — the hook fault
+    /// drivers use to run crash/recovery callbacks at a scripted instant.
+    pub fn with_ctx<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut P, &mut Ctx<'_, P::Msg>),
+    {
+        self.dispatch(node, f);
     }
 
     fn start_if_needed(&mut self) {

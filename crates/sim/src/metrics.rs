@@ -334,7 +334,7 @@ mod tests {
         }
         assert_eq!(h.count(), 1000);
         let p50 = h.quantile_upper_bound(0.5);
-        assert!(p50 >= 499 && p50 <= 1023, "p50 bucket bound {p50}");
+        assert!((499..=1023).contains(&p50), "p50 bucket bound {p50}");
         assert_eq!(h.quantile_upper_bound(0.0), 0);
     }
 

@@ -245,6 +245,23 @@ pub enum TraceEvent {
         /// Emitting transaction id.
         tx: Id,
     },
+    /// The node fail-stopped: inbound deliveries and timers are suppressed
+    /// until a matching [`TraceEvent::NodeRestarted`].
+    NodeCrashed,
+    /// The node came back up and began rebuilding from its block store.
+    NodeRestarted,
+    /// The fabric delivered an extra copy of a message (duplication fault;
+    /// the original delivery is traced separately).
+    MsgDuplicated {
+        /// Destination peer.
+        to: u32,
+    },
+    /// A message was corrupted in flight and discarded at the checksum
+    /// (corruption fault).
+    MsgCorrupted {
+        /// Intended destination.
+        to: u32,
+    },
 }
 
 impl TraceEvent {
@@ -255,7 +272,11 @@ impl TraceEvent {
             TraceEvent::MsgSent { .. }
             | TraceEvent::MsgDelivered { .. }
             | TraceEvent::MsgDropped { .. }
-            | TraceEvent::MsgPartitioned { .. } => Category::Net,
+            | TraceEvent::MsgPartitioned { .. }
+            | TraceEvent::NodeCrashed
+            | TraceEvent::NodeRestarted
+            | TraceEvent::MsgDuplicated { .. }
+            | TraceEvent::MsgCorrupted { .. } => Category::Net,
             TraceEvent::FirstSeen { .. }
             | TraceEvent::TxAdmitted { .. }
             | TraceEvent::TxRejected { .. }
@@ -290,6 +311,10 @@ impl TraceEvent {
             TraceEvent::TxIncluded { .. } => "tx_included",
             TraceEvent::Finalized { .. } => "finalized",
             TraceEvent::AppEvent { .. } => "app_event",
+            TraceEvent::NodeCrashed => "node_crashed",
+            TraceEvent::NodeRestarted => "node_restarted",
+            TraceEvent::MsgDuplicated { .. } => "msg_duplicated",
+            TraceEvent::MsgCorrupted { .. } => "msg_corrupted",
         }
     }
 
@@ -382,6 +407,20 @@ impl TraceEvent {
                 out.push(16);
                 out.extend_from_slice(&tx.0);
             }
+            TraceEvent::NodeCrashed => {
+                out.push(17);
+            }
+            TraceEvent::NodeRestarted => {
+                out.push(18);
+            }
+            TraceEvent::MsgDuplicated { to } => {
+                out.push(19);
+                out.extend_from_slice(&to.to_le_bytes());
+            }
+            TraceEvent::MsgCorrupted { to } => {
+                out.push(20);
+                out.extend_from_slice(&to.to_le_bytes());
+            }
         }
     }
 }
@@ -469,6 +508,10 @@ mod tests {
             TraceEvent::TxIncluded { tx: id, block: id },
             TraceEvent::Finalized { height: 1 },
             TraceEvent::AppEvent { tx: id },
+            TraceEvent::NodeCrashed,
+            TraceEvent::NodeRestarted,
+            TraceEvent::MsgDuplicated { to: 1 },
+            TraceEvent::MsgCorrupted { to: 1 },
         ];
         let mut seen = std::collections::BTreeSet::new();
         for (i, ev) in events.iter().enumerate() {

@@ -113,6 +113,10 @@ fn event_fields(out: &mut String, event: &TraceEvent) {
         TraceEvent::Finalized { height } => {
             let _ = write!(out, ",\"height\":{height}");
         }
+        TraceEvent::NodeCrashed | TraceEvent::NodeRestarted => {}
+        TraceEvent::MsgDuplicated { to } | TraceEvent::MsgCorrupted { to } => {
+            let _ = write!(out, ",\"to\":{to}");
+        }
     }
 }
 

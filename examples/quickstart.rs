@@ -18,9 +18,11 @@ fn main() {
 
     // 1. Configure the network: 12 miners, 1 kH/s each, targeting 60 s
     //    blocks (a sped-up Bitcoin so the demo finishes instantly).
-    let mut params = builders::PowParams::default();
-    params.nodes = 12;
-    params.hash_powers = vec![1_000.0];
+    let mut params = builders::PowParams {
+        nodes: 12,
+        hash_powers: vec![1_000.0],
+        ..Default::default()
+    };
     params.chain.consensus = ConsensusKind::ProofOfWork {
         initial_difficulty: 12 * 1_000 * 60,
         retarget_window: 16,

@@ -12,6 +12,7 @@ pub use dcs_chain as chain;
 pub use dcs_consensus as consensus;
 pub use dcs_contracts as contracts;
 pub use dcs_crypto as crypto;
+pub use dcs_faults as faults;
 pub use dcs_ledger as ledger;
 pub use dcs_middleware as middleware;
 pub use dcs_net as net;

@@ -14,9 +14,11 @@ fn at(secs: u64) -> SimTime {
 
 #[test]
 fn pow_network_reaches_consensus_and_commits_transactions() {
-    let mut params = builders::PowParams::default();
-    params.nodes = 8;
-    params.hash_powers = vec![1_000.0];
+    let mut params = builders::PowParams {
+        nodes: 8,
+        hash_powers: vec![1_000.0],
+        ..Default::default()
+    };
     params.chain.consensus = ConsensusKind::ProofOfWork {
         initial_difficulty: 8 * 1_000 * 10, // 8 kH/s → ~10 s blocks
         retarget_window: 0,
@@ -57,9 +59,11 @@ fn pow_network_reaches_consensus_and_commits_transactions() {
 fn pow_difficulty_retargets_to_hold_interval() {
     // Start with difficulty tuned for ~2.5 s blocks against a 10 s target;
     // retargeting must slow the chain toward 10 s (the E1 mechanism).
-    let mut params = builders::PowParams::default();
-    params.nodes = 8;
-    params.hash_powers = vec![1_000.0];
+    let mut params = builders::PowParams {
+        nodes: 8,
+        hash_powers: vec![1_000.0],
+        ..Default::default()
+    };
     params.chain.consensus = ConsensusKind::ProofOfWork {
         initial_difficulty: 8 * 1_000 * 10 / 4,
         retarget_window: 16,
@@ -97,10 +101,12 @@ fn pow_difficulty_retargets_to_hold_interval() {
 
 #[test]
 fn pos_proposers_follow_stake_and_burn_no_hashes() {
-    let mut params = builders::PosParams::default();
-    params.nodes = 10;
-    // Node 9 holds half the total stake.
-    params.stakes = vec![10, 10, 10, 10, 10, 10, 10, 10, 10, 90];
+    let mut params = builders::PosParams {
+        nodes: 10,
+        // Node 9 holds half the total stake.
+        stakes: vec![10, 10, 10, 10, 10, 10, 10, 10, 10, 90],
+        ..Default::default()
+    };
     params.chain.consensus = ConsensusKind::ProofOfStake { slot_us: 5_000_000 };
     let mut runner = builders::build_pos(&params, 5);
     let submitted =
@@ -131,8 +137,10 @@ fn pos_proposers_follow_stake_and_burn_no_hashes() {
 
 #[test]
 fn poet_behaves_like_pow_without_work() {
-    let mut params = builders::PoetParams::default();
-    params.nodes = 8;
+    let mut params = builders::PoetParams {
+        nodes: 8,
+        ..Default::default()
+    };
     params.chain.consensus = ConsensusKind::ProofOfElapsedTime {
         mean_wait_us: 8 * 10_000_000, // 8 peers → ~10 s between blocks
     };
@@ -160,8 +168,10 @@ fn poet_behaves_like_pow_without_work() {
 
 #[test]
 fn ordering_service_is_fast_and_forkless() {
-    let mut params = builders::OrderingParams::default();
-    params.nodes = 8;
+    let params = builders::OrderingParams {
+        nodes: 8,
+        ..Default::default()
+    };
     let mut runner = builders::build_ordering(&params, 17);
     let submitted =
         Workload::transfers(200.0, SimDuration::from_secs(20), 100).inject(runner.net_mut(), 23);
@@ -194,8 +204,10 @@ fn ordering_service_is_fast_and_forkless() {
 
 #[test]
 fn ordering_rotation_spreads_production() {
-    let mut params = builders::OrderingParams::default();
-    params.nodes = 4;
+    let mut params = builders::OrderingParams {
+        nodes: 4,
+        ..Default::default()
+    };
     params.chain.consensus = ConsensusKind::Ordering {
         batch_size: 50,
         batch_timeout_us: 200_000,
@@ -245,8 +257,11 @@ fn pbft_commits_with_quorum_and_agrees() {
 
 #[test]
 fn pbft_survives_crashed_replicas_up_to_f() {
-    let mut params = builders::PbftParams::default(); // n=7 → f=2
-    params.crashed = vec![2, 5]; // two non-leader replicas fail-stop
+    // n=7 → f=2; two non-leader replicas fail-stop.
+    let params = builders::PbftParams {
+        crashed: vec![2, 5],
+        ..Default::default()
+    };
     let mut runner = builders::build_pbft(&params, 43);
     let submitted =
         Workload::transfers(20.0, SimDuration::from_secs(15), 20).inject(runner.net_mut(), 47);
@@ -270,8 +285,10 @@ fn pbft_survives_crashed_replicas_up_to_f() {
 
 #[test]
 fn pbft_view_change_replaces_crashed_leader() {
-    let mut params = builders::PbftParams::default();
-    params.crashed = vec![0]; // the view-0 leader is dead
+    let params = builders::PbftParams {
+        crashed: vec![0], // the view-0 leader is dead
+        ..Default::default()
+    };
     let mut runner = builders::build_pbft(&params, 53);
     let submitted =
         Workload::transfers(20.0, SimDuration::from_secs(15), 20).inject(runner.net_mut(), 59);
@@ -289,9 +306,11 @@ fn pbft_view_change_replaces_crashed_leader() {
 
 #[test]
 fn bitcoin_ng_decouples_throughput_from_key_blocks() {
-    let mut params = builders::NgParams::default();
-    params.nodes = 8;
-    params.hash_powers = vec![1_000.0];
+    let mut params = builders::NgParams {
+        nodes: 8,
+        hash_powers: vec![1_000.0],
+        ..Default::default()
+    };
     params.chain.consensus = ConsensusKind::BitcoinNg {
         key_difficulty: 8 * 1_000 * 30, // ~30 s key blocks
         key_interval_us: 30_000_000,
@@ -330,8 +349,10 @@ fn partition_forks_then_heals_into_one_chain() {
     // PoS with fast slots: both sides keep producing during the split, then
     // fork choice reconciles — consistency under partition, the paper's CAP
     // analogy made visible.
-    let mut params = builders::PosParams::default();
-    params.nodes = 10;
+    let mut params = builders::PosParams {
+        nodes: 10,
+        ..Default::default()
+    };
     params.chain.consensus = ConsensusKind::ProofOfStake { slot_us: 5_000_000 };
     params.net.topology = Topology::Complete;
     let mut runner = builders::build_pos(&params, 71);
@@ -373,9 +394,11 @@ fn ghost_vs_longest_chain_under_fast_blocks() {
     // of uncles working for chain security; both rules must still converge,
     // and the stale rate must be visibly nonzero.
     let mk = |fork_choice: ForkChoice, seed: u64| {
-        let mut params = builders::PowParams::default();
-        params.nodes = 8;
-        params.hash_powers = vec![1_000.0];
+        let mut params = builders::PowParams {
+            nodes: 8,
+            hash_powers: vec![1_000.0],
+            ..Default::default()
+        };
         params.chain = ChainConfig {
             consensus: ConsensusKind::ProofOfWork {
                 initial_difficulty: 8 * 1_000, // ~1 s blocks vs ~0.1 s latency

@@ -8,9 +8,12 @@
 //! these tests passing; see DESIGN.md §10.
 
 use dcs_crypto::{sha256, Hash256};
+use dcs_faults::FaultSchedule;
 use dcs_ledger::{
-    builders, collect, collect_traces, install_tracing, workload::Workload, LedgerNode, SimResult,
+    builders, collect, collect_traces, install_faults, install_tracing, workload::Workload,
+    LedgerNode, SimResult,
 };
+use dcs_net::NodeId;
 use dcs_primitives::ConsensusKind;
 use dcs_sim::{SimDuration, SimTime};
 use dcs_trace::{Timelines, TraceConfig};
@@ -55,9 +58,11 @@ fn fingerprint(result: &SimResult) -> [u64; 10] {
 fn pow_gossip_runner(
     seed: u64,
 ) -> dcs_net::Runner<dcs_consensus::pow::PowNode<dcs_chain::NullMachine>> {
-    let mut params = builders::PowParams::default();
-    params.nodes = 8;
-    params.hash_powers = vec![1_000.0];
+    let mut params = builders::PowParams {
+        nodes: 8,
+        hash_powers: vec![1_000.0],
+        ..Default::default()
+    };
     params.chain.consensus = ConsensusKind::ProofOfWork {
         initial_difficulty: 8 * 1_000 * 5, // ~5 s blocks
         retarget_window: 16,
@@ -137,6 +142,81 @@ fn assert_trace_digests_match(a: &BTreeMap<String, u64>, b: &BTreeMap<String, u6
     assert_eq!(a, b);
 }
 
+/// The full fault repertoire in one schedule: crash/restart, a link flap,
+/// a timed partition with heal, and duplication/corruption windows.
+fn churn_schedule() -> FaultSchedule {
+    FaultSchedule::new()
+        .crash_at(at(20), NodeId(3))
+        .link_down_at(at(25), NodeId(0), NodeId(1))
+        .set_duplication_at(at(30), 0.2)
+        .set_corruption_at(at(30), 0.05)
+        .partition_at(at(50), vec![0, 0, 0, 0, 1, 1, 1, 1])
+        .heal_at(at(70))
+        .set_duplication_at(at(80), 0.0)
+        .set_corruption_at(at(80), 0.0)
+        .link_up_at(at(90), NodeId(0), NodeId(1))
+        .restart_at(at(100), NodeId(3))
+}
+
+/// PoW gossip under the churn schedule: faults are part of the seeded
+/// execution, so the run must replay bit-identically — including the
+/// suppressed/duplicated/corrupted accounting and the recovery sync.
+fn run_pow_gossip_with_faults(seed: u64) -> (Hash256, [u64; 10], BTreeMap<String, u64>) {
+    let mut runner = pow_gossip_runner(seed);
+    let submitted =
+        Workload::transfers(2.0, SimDuration::from_secs(150), 30).inject(runner.net_mut(), 99);
+    let mut driver = install_faults(&runner, churn_schedule());
+    driver.run_until(&mut runner, at(200));
+    let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(200));
+    assert!(
+        result.canonical_blocks > 10,
+        "run must do real work: {} blocks",
+        result.canonical_blocks
+    );
+    assert_eq!(result.internal_errors, 0);
+    assert!(
+        result.catchup_rounds > 0,
+        "the restarted node must actually catch up"
+    );
+    let stats = runner.net().stats();
+    assert!(stats.suppressed_deliveries > 0 && stats.duplicated > 0 && stats.corrupted > 0);
+    let traces = collect_traces(&runner);
+    (
+        network_digest(runner.nodes()),
+        fingerprint(&result),
+        traces.digests().clone(),
+    )
+}
+
+/// PBFT under crash/restart: the view change and the re-admission catch-up
+/// must replay exactly, vote sets and all.
+fn run_pbft_with_faults(seed: u64) -> (Hash256, [u64; 10], BTreeMap<String, u64>) {
+    let params = builders::PbftParams::default(); // 7 replicas, f = 2
+    let mut runner = builders::build_pbft(&params, seed);
+    install_tracing(&mut runner, &TraceConfig::full());
+    let submitted =
+        Workload::transfers(50.0, SimDuration::from_secs(35), 50).inject(runner.net_mut(), 41);
+    let schedule = FaultSchedule::new()
+        .crash_at(at(5), NodeId(0))
+        .crash_at(at(5), NodeId(1))
+        .restart_at(at(25), NodeId(0))
+        .restart_at(at(30), NodeId(1));
+    let mut driver = install_faults(&runner, schedule);
+    driver.run_until(&mut runner, at(40));
+    let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(35));
+    assert!(
+        result.committed_txs > 0,
+        "run must commit through the churn"
+    );
+    assert_eq!(result.internal_errors, 0);
+    let traces = collect_traces(&runner);
+    (
+        network_digest(runner.nodes()),
+        fingerprint(&result),
+        traces.digests().clone(),
+    )
+}
+
 #[test]
 fn pow_gossip_replays_bit_identically() {
     let (digest_a, stats_a, traces_a) = run_pow_gossip(7);
@@ -172,14 +252,40 @@ fn pbft_replays_bit_identically() {
 }
 
 #[test]
+fn pow_gossip_with_fault_schedule_replays_bit_identically() {
+    let (digest_a, stats_a, traces_a) = run_pow_gossip_with_faults(7);
+    let (digest_b, stats_b, traces_b) = run_pow_gossip_with_faults(7);
+    assert_eq!(
+        digest_a, digest_b,
+        "same seed + same fault schedule must reproduce every canonical chain"
+    );
+    assert_eq!(stats_a, stats_b, "statistics must replay under faults");
+    assert_trace_digests_match(&traces_a, &traces_b, 8);
+}
+
+#[test]
+fn pbft_with_fault_schedule_replays_bit_identically() {
+    let (digest_a, stats_a, traces_a) = run_pbft_with_faults(37);
+    let (digest_b, stats_b, traces_b) = run_pbft_with_faults(37);
+    assert_eq!(
+        digest_a, digest_b,
+        "same seed + same fault schedule must reproduce every canonical chain"
+    );
+    assert_eq!(stats_a, stats_b, "statistics must replay under faults");
+    assert_trace_digests_match(&traces_a, &traces_b, 7);
+}
+
+#[test]
 fn reorg_trace_spans_match_chain_stats() {
     // A contentious PoW run — block interval close to gossip latency — forks
     // and reorgs mid-run. The trace must carry one `Reorg` span per branch
     // switch, attributed to the right peer, with depths that reproduce the
     // chain's own counters.
-    let mut params = builders::PowParams::default();
-    params.nodes = 8;
-    params.hash_powers = vec![1_000.0];
+    let mut params = builders::PowParams {
+        nodes: 8,
+        hash_powers: vec![1_000.0],
+        ..Default::default()
+    };
     params.chain.consensus = ConsensusKind::ProofOfWork {
         initial_difficulty: 8 * 1_000, // ~1 s blocks: contention on purpose
         retarget_window: 0,

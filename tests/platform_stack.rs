@@ -78,9 +78,11 @@ fn contracts_execute_on_a_pos_network() {
         )),
     ];
     for (i, tx) in txs.into_iter().enumerate() {
+        let msg = WireMsg::Tx(Arc::new(tx));
+        let size = dcs_consensus::wire_size(&msg);
         runner
             .net_mut()
-            .inject(at(i as u64 * 5), NodeId(0), WireMsg::Tx(Arc::new(tx)));
+            .inject(at(i as u64 * 5), NodeId(0), msg, size);
     }
     // Stop mid-slot (slots fire on even seconds) so the last proposal has
     // propagated to every replica before we compare.
@@ -164,11 +166,9 @@ fn signed_transactions_verified_across_the_network() {
         pubkey: alice_keys.public_key(),
         signature: sig,
     });
-    runner.net_mut().inject(
-        at(1),
-        NodeId(2),
-        WireMsg::Tx(Arc::new(Transaction::Account(tx))),
-    );
+    let msg = WireMsg::Tx(Arc::new(Transaction::Account(tx)));
+    let size = dcs_consensus::wire_size(&msg);
+    runner.net_mut().inject(at(1), NodeId(2), msg, size);
     runner.run_until(at(30));
     for node in runner.nodes() {
         assert_eq!(
@@ -182,11 +182,9 @@ fn signed_transactions_verified_across_the_network() {
     let mut forged = AccountTx::transfer(alice, bob, 999, 1);
     forged.gas_limit = 0;
     forged.gas_price = 0;
-    runner.net_mut().inject(
-        at(31),
-        NodeId(1),
-        WireMsg::Tx(Arc::new(Transaction::Account(forged))),
-    );
+    let msg = WireMsg::Tx(Arc::new(Transaction::Account(forged)));
+    let size = dcs_consensus::wire_size(&msg);
+    runner.net_mut().inject(at(31), NodeId(1), msg, size);
     runner.run_until(at(60));
     for node in runner.nodes() {
         assert_eq!(
@@ -202,13 +200,15 @@ fn signed_transactions_verified_across_the_network() {
 /// quietly collapses even though the protocol "works".
 #[test]
 fn poet_cheater_captures_block_production() {
-    let mut params = builders::PoetParams::default();
-    params.nodes = 8;
+    let mut params = builders::PoetParams {
+        nodes: 8,
+        // Node 0's enclave draws waits 4x shorter than honest peers.
+        cheat_factors: vec![0.25, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        ..Default::default()
+    };
     params.chain.consensus = ConsensusKind::ProofOfElapsedTime {
         mean_wait_us: 8 * 5_000_000,
     };
-    // Node 0's enclave draws waits 4x shorter than honest peers.
-    params.cheat_factors = vec![0.25, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
     let mut runner = builders::build_poet(&params, 99);
     runner.run_until(at(1_500));
     let result = collect(
@@ -236,8 +236,10 @@ fn poet_cheater_captures_block_production() {
 /// the metric suite's counts.
 #[test]
 fn analytics_agree_with_metrics() {
-    let mut params = builders::OrderingParams::default();
-    params.nodes = 4;
+    let params = builders::OrderingParams {
+        nodes: 4,
+        ..Default::default()
+    };
     let mut runner = builders::build_ordering(&params, 3);
     let submitted = dcs_ledger::workload::Workload::transfers(50.0, SimDuration::from_secs(10), 20)
         .inject(runner.net_mut(), 1);

@@ -622,7 +622,7 @@ mod tests {
         #[test]
         fn macro_round_trip(v in collection::vec(any::<u8>(), 0..32), n in 1usize..9) {
             prop_assert!(v.len() < 32);
-            prop_assert!(n >= 1 && n < 9);
+            prop_assert!((1..9).contains(&n));
             prop_assume!(n != 1_000); // always holds; exercises the macro
             prop_assert_eq!(n, n);
             prop_assert_ne!(n, n + 1);
