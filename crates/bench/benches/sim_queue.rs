@@ -1,0 +1,183 @@
+//! Criterion benchmarks for the event-queue hot path: the slab/flat-heap
+//! queue (`dcs_sim::Simulation`) against the `BinaryHeap<Reverse<Entry>>` +
+//! side-`BTreeSet` design it replaced. Schedule/pop is the single hottest
+//! loop in every experiment, and cancellation used to cost a `BTreeSet`
+//! probe per pop; the slab queue cancels by generation-tagged tombstone
+//! with an exact live count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_sim::{Rng, SimDuration, Simulation};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+use std::hint::black_box;
+
+/// The pre-slab queue, reconstructed for comparison: a max-heap of reversed
+/// entries ordered by `(time, seq)`, with cancellation recorded in a side
+/// set that every pop must consult.
+struct LegacyQueue<E> {
+    heap: BinaryHeap<Reverse<LegacyEntry<E>>>,
+    cancelled: BTreeSet<u64>,
+    now_us: u64,
+    next_seq: u64,
+}
+
+struct LegacyEntry<E> {
+    at_us: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for LegacyEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+impl<E> Eq for LegacyEntry<E> {}
+impl<E> PartialOrd for LegacyEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for LegacyEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+impl<E> LegacyQueue<E> {
+    fn new() -> Self {
+        LegacyQueue {
+            heap: BinaryHeap::new(),
+            cancelled: BTreeSet::new(),
+            now_us: 0,
+            next_seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, delay_us: u64, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(LegacyEntry {
+            at_us: self.now_us + delay_us,
+            seq,
+            event,
+        }));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) {
+        self.cancelled.insert(seq);
+    }
+
+    fn next(&mut self) -> Option<(u64, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now_us = entry.at_us;
+            return Some((entry.at_us, entry.event));
+        }
+        None
+    }
+}
+
+/// Steady-state schedule+pop churn: a queue holding `depth` events where
+/// every pop schedules a successor — the exact pattern of a gossip
+/// simulation in flight.
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_queue/schedule_pop");
+    for depth in [1_000usize, 16_000] {
+        group.bench_with_input(BenchmarkId::new("slab", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut rng = Rng::seed_from(7);
+                let mut sim: Simulation<u64> = Simulation::new();
+                for i in 0..depth as u64 {
+                    sim.schedule(SimDuration::from_micros(rng.below(1_000)), i);
+                }
+                let mut acc = 0u64;
+                for _ in 0..depth {
+                    let (_, ev) = sim.next().unwrap();
+                    acc ^= ev;
+                    sim.schedule(SimDuration::from_micros(rng.below(1_000)), ev);
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("legacy_heap", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let mut rng = Rng::seed_from(7);
+                    let mut q: LegacyQueue<u64> = LegacyQueue::new();
+                    for i in 0..depth as u64 {
+                        q.schedule(rng.below(1_000), i);
+                    }
+                    let mut acc = 0u64;
+                    for _ in 0..depth {
+                        let (_, ev) = q.next().unwrap();
+                        acc ^= ev;
+                        q.schedule(rng.below(1_000), ev);
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Timer-heavy churn: half of all scheduled events are cancelled before
+/// they fire (protocols re-arming timers). The legacy design pays a
+/// `BTreeSet` insert per cancel plus a probe per pop; the slab queue
+/// tombstones the slot and keeps `pending()` exact for free.
+fn bench_cancel_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_queue/cancel_churn");
+    let depth = 8_000usize;
+    group.bench_function("slab", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from(11);
+            let mut sim: Simulation<u64> = Simulation::new();
+            let mut last = None;
+            for i in 0..depth as u64 {
+                let id = sim.schedule(SimDuration::from_micros(rng.below(1_000)), i);
+                if rng.chance(0.5) {
+                    if let Some(prev) = last.take() {
+                        sim.cancel(prev);
+                    }
+                }
+                last = Some(id);
+            }
+            let mut acc = 0u64;
+            while let Some((_, ev)) = sim.next() {
+                acc ^= ev;
+            }
+            black_box((acc, sim.pending()))
+        });
+    });
+    group.bench_function("legacy_heap", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from(11);
+            let mut q: LegacyQueue<u64> = LegacyQueue::new();
+            let mut last = None;
+            for i in 0..depth as u64 {
+                let id = q.schedule(rng.below(1_000), i);
+                if rng.chance(0.5) {
+                    if let Some(prev) = last.take() {
+                        q.cancel(prev);
+                    }
+                }
+                last = Some(id);
+            }
+            let mut acc = 0u64;
+            while let Some((_, ev)) = q.next() {
+                acc ^= ev;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_pop, bench_cancel_churn);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! The macro benchmark: one seeded PoW-gossip ledger simulation driven at
+//! 1, 2, and 8 engine workers, reporting events/s, blocks/s, tx/s, and
+//! peak RSS per configuration, written to `BENCH_<rev>.json` at the
+//! workspace root (archived from CI).
+//!
+//! Each configuration runs in a child process (`--one <workers>`) so the
+//! kernel's `VmHWM` high-water mark measures that configuration alone. The
+//! parent asserts every configuration produced the identical chain digest —
+//! the numbers are only comparable because the work is bit-identical — and
+//! records `host_cpus`, since the speedup a reader should expect is bounded
+//! by the cores the run actually had.
+//!
+//! Usage:
+//!   `macrobench`            — run all configurations, write `BENCH_<rev>.json`
+//!   `macrobench --one 8`    — run one configuration, print key=value lines
+
+use dcs_ledger::{builders, collect, workload::Workload};
+use dcs_net::Runner;
+use dcs_primitives::ConsensusKind;
+use dcs_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::Command;
+use std::time::Instant;
+
+const NODES: usize = 32;
+const SEED: u64 = 7;
+const WORKLOAD_SECS: u64 = 60;
+const RUN_SECS: u64 = 80;
+const WORKLOAD_TPS: f64 = 20.0;
+const WORKERS: &[usize] = &[1, 2, 8];
+
+fn build_runner() -> Runner<dcs_consensus::pow::PowNode<dcs_chain::NullMachine>> {
+    let mut params = builders::PowParams {
+        nodes: NODES,
+        hash_powers: vec![1_000.0],
+        ..Default::default()
+    };
+    params.chain.consensus = ConsensusKind::ProofOfWork {
+        initial_difficulty: NODES as u64 * 1_000 * 5, // ~5 s blocks
+        retarget_window: 16,
+        target_interval_us: 5_000_000,
+    };
+    builders::build_pow(&params, SEED)
+}
+
+/// One configuration, in-process: returns `key=value` lines for the parent.
+fn run_one(workers: usize) -> String {
+    let mut runner = build_runner();
+    runner.set_shards(workers);
+    let submitted = Workload::transfers(WORKLOAD_TPS, SimDuration::from_secs(WORKLOAD_SECS), 30)
+        .inject(runner.net_mut(), 99);
+    let t0 = Instant::now();
+    let events = runner.run_until(SimTime::ZERO + SimDuration::from_secs(RUN_SECS));
+    let wall = t0.elapsed();
+    let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(RUN_SECS));
+    assert_eq!(result.internal_errors, 0, "macro run must be healthy");
+
+    let mut digest_bytes = Vec::new();
+    for node in runner.nodes() {
+        for hash in node.core.chain.canonical() {
+            digest_bytes.extend_from_slice(hash.as_bytes());
+        }
+    }
+    let digest = dcs_crypto::sha256(&digest_bytes);
+    let mut digest_hex = String::new();
+    for b in digest.as_bytes() {
+        let _ = write!(digest_hex, "{b:02x}");
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "events={events}");
+    let _ = writeln!(out, "wall_us={}", wall.as_micros());
+    let _ = writeln!(out, "blocks={}", result.canonical_blocks);
+    let _ = writeln!(out, "txs={}", result.committed_txs);
+    let _ = writeln!(out, "rss_kb={}", peak_rss_kb());
+    let _ = writeln!(out, "digest={digest_hex}");
+    out
+}
+
+/// The process's peak resident set (`VmHWM`), in kB; 0 when unavailable
+/// (non-Linux hosts).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--one") {
+        let workers: usize = args
+            .get(1)
+            .and_then(|w| w.parse().ok())
+            .expect("--one <workers>");
+        print!("{}", run_one(workers));
+        return;
+    }
+
+    let rev = git_rev();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!(
+        "macrobench: {NODES}-node PoW gossip, {RUN_SECS} sim secs, rev {rev}, {host_cpus} host cpu(s)"
+    );
+
+    let exe = std::env::current_exe().expect("current exe path");
+    let mut configs = Vec::new();
+    let mut digests = Vec::new();
+    for &workers in WORKERS {
+        let t0 = Instant::now();
+        let out = Command::new(&exe)
+            .args(["--one", &workers.to_string()])
+            .output()
+            .expect("spawn child configuration");
+        assert!(
+            out.status.success(),
+            "workers={workers} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let kv: BTreeMap<&str, String> = std::str::from_utf8(&out.stdout)
+            .expect("child output is utf-8")
+            .lines()
+            .filter_map(|l| l.split_once('='))
+            .map(|(k, v)| (k, v.to_string()))
+            .collect();
+        let get = |k: &str| -> u64 { kv[k].parse().unwrap_or(0) };
+        let wall_secs = get("wall_us") as f64 / 1e6;
+        let (events, blocks, txs) = (get("events"), get("blocks"), get("txs"));
+        println!(
+            "  workers={workers}: {events} events in {wall_secs:.2}s wall → {:.0} events/s, {:.2} blocks/s, {:.1} tx/s, peak RSS {} kB (child total {:.2}s)",
+            events as f64 / wall_secs,
+            blocks as f64 / wall_secs,
+            txs as f64 / wall_secs,
+            get("rss_kb"),
+            t0.elapsed().as_secs_f64(),
+        );
+        digests.push(kv["digest"].clone());
+        configs.push(format!(
+            "    {{\"workers\": {workers}, \"events\": {events}, \"wall_secs\": {wall_secs:.4}, \"events_per_sec\": {:.1}, \"blocks_per_sec\": {:.3}, \"txs_per_sec\": {:.2}, \"peak_rss_kb\": {}}}",
+            events as f64 / wall_secs,
+            blocks as f64 / wall_secs,
+            txs as f64 / wall_secs,
+            get("rss_kb"),
+        ));
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "every worker count must produce the identical chain digest: {digests:?}"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"dcs-macrobench/v1\",\n  \"rev\": \"{rev}\",\n  \"host_cpus\": {host_cpus},\n  \"sim\": {{\"nodes\": {NODES}, \"seed\": {SEED}, \"run_secs\": {RUN_SECS}, \"workload_tps\": {WORKLOAD_TPS}}},\n  \"digest\": \"{}\",\n  \"configs\": [\n{}\n  ]\n}}\n",
+        digests[0],
+        configs.join(",\n"),
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join(format!("BENCH_{rev}.json"));
+    std::fs::write(&path, &json).expect("write BENCH json");
+    println!("wrote {} (digest {})", path.display(), &digests[0][..16]);
+}

@@ -13,7 +13,7 @@ use crate::Scale;
 /// All experiment ids, in presentation order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "f2",
+    "e16", "e17", "e18", "e19", "f2",
 ];
 
 /// Runs one experiment by id, printing its table(s).
@@ -41,6 +41,7 @@ pub fn run(id: &str, scale: Scale) {
         "e16" => scaling::e16_pruned_store(scale),
         "e17" => observability::e17_latency_breakdown(scale),
         "e18" => churn::e18_churn(scale),
+        "e19" => scaling::e19_sharded_engine(scale),
         "f2" => apps::f2_block_structure(),
         other => panic!("unknown experiment id {other:?}"),
     }

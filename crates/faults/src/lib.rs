@@ -193,7 +193,8 @@ impl FaultDriver {
     /// recovery can send messages and arm timers.
     pub fn run_until<P>(&mut self, runner: &mut Runner<P>, deadline: SimTime) -> u64
     where
-        P: Recoverable,
+        P: Recoverable + Send,
+        P::Msg: Send,
     {
         let mut processed = 0;
         while self.next < self.events.len() && self.events[self.next].at <= deadline {

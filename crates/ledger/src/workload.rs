@@ -105,9 +105,9 @@ impl Workload {
             submitted.insert(id, at);
             // Submission is attributed to the point-of-contact peer at the
             // instant the client hands the transaction over.
-            net.tracer_mut().emit_for(
+            net.emit_app(
                 at.as_micros(),
-                node.0 as u32,
+                node,
                 TraceEvent::TxSubmitted {
                     tx: TraceId(id.into_bytes()),
                 },

@@ -120,9 +120,37 @@ fn panic_allowed_outside_protocol_crates() {
 }
 
 #[test]
-fn thread_spawn_allowed_in_crypto_batch_pool() {
-    let hits = findings("crates/crypto/src/batch.rs", &fixture("thread_spawn.rs"));
-    assert!(hits.is_empty(), "{hits:?}");
+fn thread_spawn_has_no_hardcoded_exemptions() {
+    // The audited pools are exempted through lint-allow.toml entries, not
+    // path scoping — without the allowlist, even the pool files fire.
+    for path in ["crates/crypto/src/batch.rs", "crates/net/src/engine.rs"] {
+        let hits = findings(path, &fixture("thread_spawn.rs"));
+        assert!(hits.contains(&"thread-spawn"), "{path}: {hits:?}");
+    }
+}
+
+#[test]
+fn thread_scope_fires_like_spawn() {
+    let src = "pub fn f() { std::thread::scope(|s| { let _ = s; }); }\n";
+    let hits = findings("crates/sim/src/bad.rs", src);
+    assert_eq!(hits, vec!["thread-spawn"], "thread::scope is ad-hoc too");
+}
+
+#[test]
+fn workspace_allowlist_covers_the_audited_pools() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let allow = Allowlist::parse(&std::fs::read_to_string(root.join("lint-allow.toml")).unwrap())
+        .expect("workspace allowlist parses");
+    for path in ["crates/crypto/src/batch.rs", "crates/net/src/engine.rs"] {
+        assert!(
+            allow.covers("thread-spawn", path),
+            "{path} must carry an audited thread-spawn entry"
+        );
+    }
+    assert!(
+        !allow.covers("thread-spawn", "crates/sim/src/event.rs"),
+        "the entries must stay confined to the worker-pool modules"
+    );
 }
 
 #[test]

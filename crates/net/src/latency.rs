@@ -44,7 +44,11 @@ impl LatencyModel {
         }
     }
 
-    /// Draws one latency sample.
+    /// Draws one latency sample. Samples never fall below
+    /// [`LatencyModel::min_latency`]: the log-normal model clamps its
+    /// extreme low tail (below `median · e^{-3σ}`, about 0.13% of draws) to
+    /// the floor, which gives the sharded engine a usable conservative
+    /// lookahead without visibly changing the distribution.
     pub fn sample(&self, rng: &mut Rng) -> SimDuration {
         match *self {
             LatencyModel::Constant(d) => d,
@@ -57,6 +61,21 @@ impl LatencyModel {
             }
             LatencyModel::LogNormal { median, sigma } => {
                 SimDuration::from_secs_f64(rng.lognormal(median.as_secs_f64(), sigma))
+                    .max(self.min_latency())
+            }
+        }
+    }
+
+    /// The guaranteed minimum of [`LatencyModel::sample`] — the conservative
+    /// lookahead of the sharded engine: no message sent at time `t` can be
+    /// delivered before `t + min_latency()`. Zero (e.g. a zero-constant
+    /// link) forces the engine serial.
+    pub fn min_latency(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { lo, .. } => lo,
+            LatencyModel::LogNormal { median, sigma } => {
+                SimDuration::from_secs_f64(median.as_secs_f64() * (-3.0 * sigma.abs()).exp())
             }
         }
     }
@@ -92,6 +111,27 @@ mod tests {
         let lo = SimDuration::from_millis(10);
         let m = LatencyModel::Uniform { lo, hi: lo };
         assert_eq!(m.sample(&mut Rng::seed_from(3)), lo);
+    }
+
+    #[test]
+    fn min_latency_bounds_every_sample() {
+        let models = [
+            LatencyModel::Constant(SimDuration::from_millis(5)),
+            LatencyModel::Uniform {
+                lo: SimDuration::from_millis(10),
+                hi: SimDuration::from_millis(20),
+            },
+            LatencyModel::wan(),
+            LatencyModel::lan(),
+        ];
+        let mut rng = Rng::seed_from(9);
+        for m in models {
+            let floor = m.min_latency();
+            assert!(floor > SimDuration::ZERO, "{m:?} must have a usable floor");
+            for _ in 0..2000 {
+                assert!(m.sample(&mut rng) >= floor, "{m:?} sampled under its floor");
+            }
+        }
     }
 
     #[test]

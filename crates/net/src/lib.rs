@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod engine;
 pub mod gossip;
 pub mod latency;
 pub mod network;

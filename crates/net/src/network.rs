@@ -2,13 +2,24 @@
 //! latency, probabilistic loss, partitions, bandwidth accounting, and
 //! injectable faults (node crashes, link flaps, duplication, corruption),
 //! all scheduled on the deterministic event queue.
+//!
+//! Shard-count invariance: every per-message random draw comes from the
+//! *sending* node's private link stream (derived by [`Rng::stream`] from
+//! the root seed), every scheduled event is keyed by the sender's own
+//! `(node, sequence)` counter, and every trace record lands in the emitting
+//! node's private tracer. None of that state is shared across nodes, so
+//! partitioning nodes across engine shards cannot change what any of them
+//! observes.
 
 use crate::latency::LatencyModel;
 use crate::topology::{self, Topology};
 use crate::NodeId;
-use dcs_sim::{EventId, Rng, SimDuration, SimTime, Simulation};
-use dcs_trace::{TraceEvent, Tracer};
+use dcs_sim::{EventId, EventKey, Rng, SimDuration, SimTime, Simulation};
+use dcs_trace::{TraceConfig, TraceEvent, Tracer};
 use std::collections::BTreeSet;
+
+/// The [`Rng::stream`] domain for per-node link sampling streams.
+const STREAM_LINK: u64 = 0x4c49_4e4b; // "LINK"
 
 /// Network construction parameters.
 #[derive(Debug, Clone)]
@@ -64,6 +75,28 @@ pub struct NetStats {
     pub suppressed_deliveries: u64,
     /// Timers consumed silently because their node was crashed.
     pub suppressed_timers: u64,
+    /// Schedules whose requested instant was in the past and got clamped
+    /// to "now" (see [`dcs_sim::Simulation::clamped`]).
+    pub clamped_events: u64,
+}
+
+impl NetStats {
+    /// Adds every counter of `other` into `self` (shard merge).
+    pub(crate) fn absorb(&mut self, other: NetStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.partitioned += other.partitioned;
+        self.bytes_sent += other.bytes_sent;
+        self.link_dropped += other.link_dropped;
+        self.duplicated += other.duplicated;
+        self.corrupted += other.corrupted;
+        self.crashes += other.crashes;
+        self.restarts += other.restarts;
+        self.suppressed_deliveries += other.suppressed_deliveries;
+        self.suppressed_timers += other.suppressed_timers;
+        self.clamped_events += other.clamped_events;
+    }
 }
 
 /// Internal queue events.
@@ -71,6 +104,152 @@ pub struct NetStats {
 pub(crate) enum NetEvent<M> {
     Deliver { from: NodeId, to: NodeId, msg: M },
     Timer { node: NodeId, tag: u64 },
+}
+
+/// The node an event is dispatched to (delivery destination / timer owner).
+pub(crate) fn event_dest<M>(ev: &NetEvent<M>) -> NodeId {
+    match ev {
+        NetEvent::Deliver { to, .. } => *to,
+        NetEvent::Timer { node, .. } => *node,
+    }
+}
+
+/// The read-only fabric state a send consults: topology, link models, and
+/// fault switches. During a sharded run this is shared (immutably) by every
+/// worker — faults only mutate it between `run_until` calls, never inside
+/// one.
+#[derive(Debug)]
+pub(crate) struct SharedNet<'a> {
+    pub adjacency: &'a [Vec<NodeId>],
+    pub latency: LatencyModel,
+    pub bandwidth: Option<u64>,
+    pub drop_probability: f64,
+    pub duplicate_probability: f64,
+    pub corrupt_probability: f64,
+    pub groups: &'a [u32],
+    pub alive: &'a [bool],
+    pub down_links: &'a BTreeSet<(usize, usize)>,
+}
+
+impl SharedNet<'_> {
+    fn delivery_delay(&self, size: usize, rng: &mut Rng) -> SimDuration {
+        let mut delay = self.latency.sample(rng);
+        if let Some(bw) = self.bandwidth {
+            let ser = SimDuration::from_secs_f64(size as f64 / bw as f64);
+            delay = delay + ser;
+        }
+        delay
+    }
+}
+
+/// A split view of a [`Network`]: the shared read-only state alongside the
+/// per-node mutable columns and the event queue, borrowed disjointly so the
+/// sharded engine can chunk the columns across workers.
+pub(crate) struct NetParts<'a, M> {
+    pub shared: SharedNet<'a>,
+    pub sim: &'a mut Simulation<NetEvent<M>>,
+    pub stats: &'a mut NetStats,
+    pub link_rngs: &'a mut [Rng],
+    pub src_seqs: &'a mut [u64],
+    pub net_tracers: &'a mut [Tracer],
+    pub disp_tracers: &'a mut [Tracer],
+}
+
+/// Routes one send: accounting, fault gates (partition, downed link, drop,
+/// corruption, duplication), latency sampling, and the delivery callback
+/// for whatever is scheduled. This single path is used verbatim by the
+/// serial loop and by every engine worker, so the two execute bit-identical
+/// per-send logic: same draw order from the sender's `link_rng`, same key
+/// assignment from the sender's `src_seq` counter, same trace emissions.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_send<M: Clone>(
+    shared: &SharedNet<'_>,
+    stats: &mut NetStats,
+    tracer: &mut Tracer,
+    link_rng: &mut Rng,
+    src_seq: &mut u64,
+    now: SimTime,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+    size: usize,
+    mut deliver: impl FnMut(SimTime, EventKey, NetEvent<M>),
+) {
+    stats.sent += 1;
+    stats.bytes_sent += size as u64;
+    let now_us = now.as_micros();
+    tracer.emit_for(
+        now_us,
+        from.0 as u32,
+        TraceEvent::MsgSent {
+            to: to.0 as u32,
+            bytes: size.min(u32::MAX as usize) as u32,
+        },
+    );
+    if shared.groups[from.0] != shared.groups[to.0] {
+        stats.partitioned += 1;
+        tracer.emit_for(
+            now_us,
+            from.0 as u32,
+            TraceEvent::MsgPartitioned { to: to.0 as u32 },
+        );
+        return;
+    }
+    if shared.down_links.contains(&link_key(from, to)) {
+        stats.link_dropped += 1;
+        tracer.emit_for(
+            now_us,
+            from.0 as u32,
+            TraceEvent::MsgDropped { to: to.0 as u32 },
+        );
+        return;
+    }
+    if shared.drop_probability > 0.0 && link_rng.chance(shared.drop_probability) {
+        stats.dropped += 1;
+        tracer.emit_for(
+            now_us,
+            from.0 as u32,
+            TraceEvent::MsgDropped { to: to.0 as u32 },
+        );
+        return;
+    }
+    if shared.corrupt_probability > 0.0 && link_rng.chance(shared.corrupt_probability) {
+        stats.corrupted += 1;
+        tracer.emit_for(
+            now_us,
+            from.0 as u32,
+            TraceEvent::MsgCorrupted { to: to.0 as u32 },
+        );
+        return;
+    }
+    if shared.duplicate_probability > 0.0 && link_rng.chance(shared.duplicate_probability) {
+        stats.duplicated += 1;
+        tracer.emit_for(
+            now_us,
+            from.0 as u32,
+            TraceEvent::MsgDuplicated { to: to.0 as u32 },
+        );
+        let delay = shared.delivery_delay(size, link_rng);
+        let seq = *src_seq;
+        *src_seq += 1;
+        deliver(
+            now + delay,
+            EventKey::new(from.0 as u32, seq),
+            NetEvent::Deliver {
+                from,
+                to,
+                msg: msg.clone(),
+            },
+        );
+    }
+    let delay = shared.delivery_delay(size, link_rng);
+    let seq = *src_seq;
+    *src_seq += 1;
+    deliver(
+        now + delay,
+        EventKey::new(from.0 as u32, seq),
+        NetEvent::Deliver { from, to, msg },
+    );
 }
 
 /// The simulated network: overlay + event queue.
@@ -87,8 +266,11 @@ pub struct Network<M> {
     duplicate_probability: f64,
     corrupt_probability: f64,
     rng: Rng,
+    link_rngs: Vec<Rng>,
+    src_seqs: Vec<u64>,
+    net_tracers: Vec<Tracer>,
+    disp_tracers: Vec<Tracer>,
     stats: NetStats,
-    tracer: Tracer,
 }
 
 /// Normalized undirected link key.
@@ -101,10 +283,14 @@ fn link_key(a: NodeId, b: NodeId) -> (usize, usize) {
 }
 
 impl<M> Network<M> {
-    /// Builds the network; the overlay wiring is derived from `seed`.
+    /// Builds the network; the overlay wiring is derived from `seed`, and
+    /// each node's private link-sampling stream is split off the same seed.
     pub fn new(cfg: NetConfig, seed: u64) -> Self {
         let mut rng = Rng::seed_from(seed);
         let adjacency = topology::build(cfg.topology, cfg.nodes, &mut rng);
+        let link_rngs = (0..cfg.nodes)
+            .map(|i| Rng::stream(seed, STREAM_LINK, i as u64))
+            .collect();
         Network {
             sim: Simulation::new(),
             adjacency,
@@ -117,37 +303,42 @@ impl<M> Network<M> {
             duplicate_probability: 0.0,
             corrupt_probability: 0.0,
             rng,
+            link_rngs,
+            src_seqs: vec![0; cfg.nodes],
+            net_tracers: vec![Tracer::disabled(); cfg.nodes],
+            disp_tracers: vec![Tracer::disabled(); cfg.nodes],
             stats: NetStats::default(),
-            tracer: Tracer::disabled(),
         }
     }
 
-    /// Installs a fabric tracer; message events are emitted on behalf of
-    /// the sending (or, for deliveries, receiving) peer. Disabled by
-    /// default.
-    pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+    /// Installs (or, with [`TraceConfig::off`], uninstalls) per-node fabric
+    /// and dispatch tracers under `cfg`. Fabric events are recorded in the
+    /// emitting node's own tracer; dispatch events in the dispatched node's
+    /// — which is what keeps trace digests identical across engine shard
+    /// counts.
+    pub fn set_tracing(&mut self, cfg: &TraceConfig) {
+        let n = self.node_count();
+        self.net_tracers = (0..n).map(|i| Tracer::new(i as u32, cfg)).collect();
+        self.disp_tracers = (0..n).map(|i| Tracer::new(i as u32, cfg)).collect();
     }
 
-    /// The fabric tracer (disabled unless [`Network::set_tracer`] ran).
-    pub fn tracer(&self) -> &Tracer {
-        &self.tracer
+    /// The per-node fabric tracers (message send/deliver/drop events),
+    /// indexed by node.
+    pub fn node_tracers(&self) -> &[Tracer] {
+        &self.net_tracers
     }
 
-    /// Mutable access to the fabric tracer (layers above use it to emit
-    /// app-level events such as workload submissions).
-    pub fn tracer_mut(&mut self) -> &mut Tracer {
-        &mut self.tracer
+    /// The per-node dispatch tracers (one
+    /// [`TraceEvent::EngineDispatch`] per dispatched event), indexed by
+    /// node.
+    pub fn dispatch_tracers(&self) -> &[Tracer] {
+        &self.disp_tracers
     }
 
-    /// Installs a tracer on the underlying event queue (dispatch events).
-    pub fn set_sim_tracer(&mut self, tracer: Tracer) {
-        self.sim.set_tracer(tracer);
-    }
-
-    /// The event-queue tracer.
-    pub fn sim_tracer(&self) -> &Tracer {
-        self.sim.tracer()
+    /// Emits an application-level event (e.g. a workload submission) into
+    /// `node`'s fabric tracer.
+    pub fn emit_app(&mut self, at_us: u64, node: NodeId, event: TraceEvent) {
+        self.net_tracers[node.0].emit_for(at_us, node.0 as u32, event);
     }
 
     /// Number of peers.
@@ -167,12 +358,44 @@ impl<M> Network<M> {
 
     /// Fabric statistics so far.
     pub fn stats(&self) -> NetStats {
-        self.stats
+        let mut s = self.stats;
+        s.clamped_events += self.sim.clamped();
+        s
     }
 
     /// Borrow the fabric RNG (nodes fork child RNGs from it).
     pub fn rng_mut(&mut self) -> &mut Rng {
         &mut self.rng
+    }
+
+    /// The engine's conservative lookahead: no message sent at `t` can be
+    /// delivered before `t + lookahead()`.
+    pub(crate) fn lookahead(&self) -> SimDuration {
+        self.latency.min_latency()
+    }
+
+    /// Splits the network into its shared read-only state, per-node
+    /// columns, and event queue (see [`NetParts`]).
+    pub(crate) fn parts(&mut self) -> NetParts<'_, M> {
+        NetParts {
+            shared: SharedNet {
+                adjacency: &self.adjacency,
+                latency: self.latency,
+                bandwidth: self.bandwidth,
+                drop_probability: self.drop_probability,
+                duplicate_probability: self.duplicate_probability,
+                corrupt_probability: self.corrupt_probability,
+                groups: &self.groups,
+                alive: &self.alive,
+                down_links: &self.down_links,
+            },
+            sim: &mut self.sim,
+            stats: &mut self.stats,
+            link_rngs: &mut self.link_rngs,
+            src_seqs: &mut self.src_seqs,
+            net_tracers: &mut self.net_tracers,
+            disp_tracers: &mut self.disp_tracers,
+        }
     }
 
     /// Splits the network: nodes keep messages only within their group.
@@ -197,7 +420,7 @@ impl<M> Network<M> {
         }
         self.alive[node.0] = false;
         self.stats.crashes += 1;
-        self.tracer.emit_for(
+        self.net_tracers[node.0].emit_for(
             self.sim.now().as_micros(),
             node.0 as u32,
             TraceEvent::NodeCrashed,
@@ -213,7 +436,7 @@ impl<M> Network<M> {
         }
         self.alive[node.0] = true;
         self.stats.restarts += 1;
-        self.tracer.emit_for(
+        self.net_tracers[node.0].emit_for(
             self.sim.now().as_micros(),
             node.0 as u32,
             TraceEvent::NodeRestarted,
@@ -263,7 +486,7 @@ impl<M> Network<M> {
     pub fn inject(&mut self, at: SimTime, node: NodeId, msg: M, size: usize) {
         self.stats.sent += 1;
         self.stats.bytes_sent += size as u64;
-        self.tracer.emit_for(
+        self.net_tracers[node.0].emit_for(
             at.as_micros(),
             node.0 as u32,
             TraceEvent::MsgSent {
@@ -271,8 +494,11 @@ impl<M> Network<M> {
                 bytes: size.min(u32::MAX as usize) as u32,
             },
         );
-        self.sim.schedule_at(
+        let seq = self.src_seqs[node.0];
+        self.src_seqs[node.0] += 1;
+        self.sim.schedule_at_keyed(
             at,
+            EventKey::new(node.0 as u32, seq),
             NetEvent::Deliver {
                 from: node,
                 to: node,
@@ -283,45 +509,55 @@ impl<M> Network<M> {
 
     /// Schedules a timer for `node`; the tag is returned to the protocol.
     pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) -> EventId {
-        self.sim.schedule(delay, NetEvent::Timer { node, tag })
+        let seq = self.src_seqs[node.0];
+        self.src_seqs[node.0] += 1;
+        let at = self.sim.now() + delay;
+        self.sim.schedule_at_keyed(
+            at,
+            EventKey::new(node.0 as u32, seq),
+            NetEvent::Timer { node, tag },
+        )
     }
 
-    /// Cancels a pending timer.
+    /// Cancels a pending timer. The handle is only valid until the next
+    /// `run_until`-style drive (the engine may re-slot pending events);
+    /// stale handles are inert no-ops.
     pub fn cancel_timer(&mut self, id: EventId) {
         self.sim.cancel(id);
     }
 
     pub(crate) fn pop(&mut self, deadline: Option<SimTime>) -> Option<(SimTime, NetEvent<M>)> {
         loop {
-            let ev = match deadline {
-                Some(d) => self.sim.next_before(d),
-                None => self.sim.next(),
-            };
-            let (at, event) = ev?;
-            match &event {
+            let (at, key, event) = self.sim.next_keyed(deadline)?;
+            let dest = event_dest(&event);
+            if !self.alive[dest.0] {
                 // A crashed node's inbound traffic and timers vanish: they
                 // are consumed (sim time still advances deterministically)
                 // but never dispatched.
-                NetEvent::Deliver { to, .. } if !self.alive[to.0] => {
-                    self.stats.suppressed_deliveries += 1;
-                    continue;
+                match event {
+                    NetEvent::Deliver { .. } => self.stats.suppressed_deliveries += 1,
+                    NetEvent::Timer { .. } => self.stats.suppressed_timers += 1,
                 }
-                NetEvent::Timer { node, .. } if !self.alive[node.0] => {
-                    self.stats.suppressed_timers += 1;
-                    continue;
-                }
-                NetEvent::Deliver { from, to, .. } => {
-                    self.stats.delivered += 1;
-                    self.tracer.emit_for(
-                        at.as_micros(),
-                        to.0 as u32,
-                        TraceEvent::MsgDelivered {
-                            from: from.0 as u32,
-                        },
-                    );
-                }
-                NetEvent::Timer { .. } => {}
+                continue;
             }
+            if let NetEvent::Deliver { from, .. } = &event {
+                self.stats.delivered += 1;
+                self.net_tracers[dest.0].emit_for(
+                    at.as_micros(),
+                    dest.0 as u32,
+                    TraceEvent::MsgDelivered {
+                        from: from.0 as u32,
+                    },
+                );
+            }
+            self.disp_tracers[dest.0].emit_for(
+                at.as_micros(),
+                dest.0 as u32,
+                TraceEvent::EngineDispatch {
+                    src: key.src,
+                    seq: key.seq,
+                },
+            );
             return Some((at, event));
         }
     }
@@ -333,82 +569,31 @@ impl<M: Clone> Network<M> {
     /// Delivery is scheduled after sampled latency (plus serialization
     /// delay when bandwidth is modeled).
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, size: usize) {
-        self.stats.sent += 1;
-        self.stats.bytes_sent += size as u64;
-        let now_us = self.sim.now().as_micros();
-        self.tracer.emit_for(
-            now_us,
-            from.0 as u32,
-            TraceEvent::MsgSent {
-                to: to.0 as u32,
-                bytes: size.min(u32::MAX as usize) as u32,
+        let now = self.sim.now();
+        let NetParts {
+            shared,
+            sim,
+            stats,
+            link_rngs,
+            src_seqs,
+            net_tracers,
+            ..
+        } = self.parts();
+        route_send(
+            &shared,
+            stats,
+            &mut net_tracers[from.0],
+            &mut link_rngs[from.0],
+            &mut src_seqs[from.0],
+            now,
+            from,
+            to,
+            msg,
+            size,
+            |t, k, ev| {
+                sim.schedule_at_keyed(t, k, ev);
             },
         );
-        if self.groups[from.0] != self.groups[to.0] {
-            self.stats.partitioned += 1;
-            self.tracer.emit_for(
-                now_us,
-                from.0 as u32,
-                TraceEvent::MsgPartitioned { to: to.0 as u32 },
-            );
-            return;
-        }
-        if self.down_links.contains(&link_key(from, to)) {
-            self.stats.link_dropped += 1;
-            self.tracer.emit_for(
-                now_us,
-                from.0 as u32,
-                TraceEvent::MsgDropped { to: to.0 as u32 },
-            );
-            return;
-        }
-        if self.drop_probability > 0.0 && self.rng.chance(self.drop_probability) {
-            self.stats.dropped += 1;
-            self.tracer.emit_for(
-                now_us,
-                from.0 as u32,
-                TraceEvent::MsgDropped { to: to.0 as u32 },
-            );
-            return;
-        }
-        if self.corrupt_probability > 0.0 && self.rng.chance(self.corrupt_probability) {
-            self.stats.corrupted += 1;
-            self.tracer.emit_for(
-                now_us,
-                from.0 as u32,
-                TraceEvent::MsgCorrupted { to: to.0 as u32 },
-            );
-            return;
-        }
-        if self.duplicate_probability > 0.0 && self.rng.chance(self.duplicate_probability) {
-            self.stats.duplicated += 1;
-            self.tracer.emit_for(
-                now_us,
-                from.0 as u32,
-                TraceEvent::MsgDuplicated { to: to.0 as u32 },
-            );
-            let delay = self.delivery_delay(size);
-            self.sim.schedule(
-                delay,
-                NetEvent::Deliver {
-                    from,
-                    to,
-                    msg: msg.clone(),
-                },
-            );
-        }
-        let delay = self.delivery_delay(size);
-        self.sim
-            .schedule(delay, NetEvent::Deliver { from, to, msg });
-    }
-
-    fn delivery_delay(&mut self, size: usize) -> SimDuration {
-        let mut delay = self.latency.sample(&mut self.rng);
-        if let Some(bw) = self.bandwidth {
-            let ser = SimDuration::from_secs_f64(size as f64 / bw as f64);
-            delay = delay + ser;
-        }
-        delay
     }
 }
 
@@ -500,39 +685,61 @@ mod tests {
 
     #[test]
     fn tracer_records_send_partition_and_delivery() {
-        use dcs_trace::{TraceConfig, NETWORK_ACTOR};
         let mut net = tiny();
-        net.set_tracer(Tracer::new(NETWORK_ACTOR, &TraceConfig::full()));
+        net.set_tracing(&TraceConfig::full());
         net.set_partition(vec![0, 0, 1, 1]);
         net.send(NodeId(0), NodeId(2), "blocked", 5);
         net.send(NodeId(0), NodeId(1), "ok", 7);
         while net.pop(None).is_some() {}
-        let evs: Vec<_> = net.tracer().records().map(|r| r.event).collect();
+        // The sender's fabric tracer sees its sends and the partition drop.
+        let sender: Vec<_> = net.node_tracers()[0].records().map(|r| r.event).collect();
         assert_eq!(
-            evs,
+            sender,
             vec![
                 TraceEvent::MsgSent { to: 2, bytes: 5 },
                 TraceEvent::MsgPartitioned { to: 2 },
                 TraceEvent::MsgSent { to: 1, bytes: 7 },
-                TraceEvent::MsgDelivered { from: 0 },
             ]
         );
-        // Deliveries are attributed to the receiver at delivery time.
-        let last = net.tracer().records().last().unwrap();
-        assert_eq!(last.node, 1);
-        assert_eq!(last.at_us, 10_000);
+        // Deliveries are attributed to the receiver at delivery time, in
+        // the receiver's own tracer.
+        let recv: Vec<_> = net.node_tracers()[1].records().copied().collect();
+        assert_eq!(recv.len(), 1);
+        assert_eq!(recv[0].event, TraceEvent::MsgDelivered { from: 0 });
+        assert_eq!(recv[0].node, 1);
+        assert_eq!(recv[0].at_us, 10_000);
+    }
+
+    #[test]
+    fn dispatch_tracer_records_source_keys() {
+        let mut net = tiny();
+        net.set_tracing(&TraceConfig::full());
+        net.send(NodeId(0), NodeId(1), "a", 1);
+        net.send(NodeId(2), NodeId(1), "b", 1);
+        while net.pop(None).is_some() {}
+        let disp: Vec<_> = net.dispatch_tracers()[1]
+            .records()
+            .map(|r| r.event)
+            .collect();
+        assert_eq!(
+            disp,
+            vec![
+                TraceEvent::EngineDispatch { src: 0, seq: 0 },
+                TraceEvent::EngineDispatch { src: 2, seq: 0 },
+            ]
+        );
+        assert!(net.dispatch_tracers()[0].records().next().is_none());
     }
 
     #[test]
     fn inject_accounts_bytes_and_traces_like_send() {
-        use dcs_trace::{TraceConfig, NETWORK_ACTOR};
         let mut net = tiny();
-        net.set_tracer(Tracer::new(NETWORK_ACTOR, &TraceConfig::full()));
+        net.set_tracing(&TraceConfig::full());
         let at = SimTime::ZERO + SimDuration::from_millis(25);
         net.inject(at, NodeId(1), "tx", 64);
         assert_eq!(net.stats().sent, 1);
         assert_eq!(net.stats().bytes_sent, 64, "inject accounts payload bytes");
-        let first = *net.tracer().records().next().unwrap();
+        let first = *net.node_tracers()[1].records().next().unwrap();
         assert_eq!(first.at_us, 25_000);
         assert_eq!(first.node, 1, "attributed to the point-of-contact peer");
         assert_eq!(first.event, TraceEvent::MsgSent { to: 1, bytes: 64 });
@@ -637,5 +844,38 @@ mod tests {
             }
         ));
         assert!(net.pop(None).is_none());
+    }
+
+    #[test]
+    fn per_node_link_streams_are_send_order_independent() {
+        // Node 0's draw sequence must not depend on when *other* nodes
+        // send — the property that makes sharding invisible.
+        let run = |interleave: bool| {
+            let mut net = Network::<u32>::new(
+                NetConfig {
+                    nodes: 4,
+                    topology: Topology::Complete,
+                    latency: LatencyModel::wan(),
+                    drop_probability: 0.0,
+                    bandwidth_bytes_per_sec: None,
+                },
+                99,
+            );
+            if interleave {
+                net.send(NodeId(3), NodeId(2), 7, 1);
+            }
+            net.send(NodeId(0), NodeId(1), 1, 1);
+            let mut times = Vec::new();
+            while let Some((t, ev)) = net.pop(None) {
+                if let NetEvent::Deliver {
+                    from: NodeId(0), ..
+                } = ev
+                {
+                    times.push(t);
+                }
+            }
+            times
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -2,9 +2,14 @@
 //! drives them from the network's event queue. Protocols never touch the
 //! queue directly — they emit [`Action`]s through a [`Ctx`], which keeps
 //! every protocol implementation deterministic and testable in isolation.
+//!
+//! Large networks are driven by the sharded engine (`crate::engine`):
+//! peers are partitioned across a worker pool and advanced in conservative
+//! time windows bounded by the latency floor. The partitioning is invisible
+//! — `run_until` produces bit-identical results at any shard count.
 
 use crate::network::{NetConfig, NetEvent, NetStats, Network};
-use crate::NodeId;
+use crate::{engine, NodeId};
 use dcs_sim::{Rng, SimDuration, SimTime};
 
 /// Deferred effects a protocol requests during a callback.
@@ -123,13 +128,28 @@ pub trait Protocol {
     }
 }
 
+/// Picks the default worker count: the `DCS_SIM_SHARDS` environment
+/// variable if set, otherwise `min(cores, nodes / 128)` — small networks
+/// are not worth fanning out.
+fn default_shards(nodes: usize) -> usize {
+    if let Ok(v) = std::env::var("DCS_SIM_SHARDS") {
+        if let Ok(s) = v.trim().parse::<usize>() {
+            return s.max(1);
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    cores.min((nodes / 128).max(1))
+}
+
 /// Drives `N` protocol instances over a [`Network`].
 #[derive(Debug)]
 pub struct Runner<P: Protocol> {
-    net: Network<P::Msg>,
-    nodes: Vec<P>,
-    rngs: Vec<Rng>,
+    pub(crate) net: Network<P::Msg>,
+    pub(crate) nodes: Vec<P>,
+    pub(crate) rngs: Vec<Rng>,
     started: bool,
+    action_buf: Vec<Action<P::Msg>>,
+    shards: usize,
 }
 
 impl<P: Protocol> Runner<P> {
@@ -144,7 +164,21 @@ impl<P: Protocol> Runner<P> {
             nodes,
             rngs,
             started: false,
+            action_buf: Vec::new(),
+            shards: default_shards(n),
         }
+    }
+
+    /// Overrides the engine worker count (default: `DCS_SIM_SHARDS`, else
+    /// core count capped by network size). Any value produces bit-identical
+    /// results; `1` forces the serial path.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// The configured engine worker count.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The protocol instance for `id`.
@@ -177,29 +211,35 @@ impl<P: Protocol> Runner<P> {
         self.net.now()
     }
 
+    /// Dispatches one callback with zero per-event allocation: the
+    /// neighbor list is borrowed from the topology (never cloned) and the
+    /// action buffer is reused across dispatches.
     fn dispatch<F>(&mut self, node: NodeId, f: F)
     where
         F: FnOnce(&mut P, &mut Ctx<'_, P::Msg>),
     {
-        let mut actions = Vec::new();
+        let Runner {
+            net,
+            nodes,
+            rngs,
+            action_buf,
+            ..
+        } = self;
         {
-            // Split borrows: the node, its RNG, and its (cloned) neighbor
-            // list never alias.
-            let neighbors: Vec<NodeId> = self.net.neighbors(node).to_vec();
             let mut ctx = Ctx {
                 node,
-                now: self.net.now(),
-                neighbors: &neighbors,
-                rng: &mut self.rngs[node.0],
-                actions: &mut actions,
+                now: net.now(),
+                neighbors: net.neighbors(node),
+                rng: &mut rngs[node.0],
+                actions: action_buf,
             };
-            f(&mut self.nodes[node.0], &mut ctx);
+            f(&mut nodes[node.0], &mut ctx);
         }
-        for action in actions {
+        for action in action_buf.drain(..) {
             match action {
-                Action::Send { to, msg, size } => self.net.send(node, to, msg, size),
+                Action::Send { to, msg, size } => net.send(node, to, msg, size),
                 Action::Timer { delay, tag } => {
-                    self.net.set_timer(node, delay, tag);
+                    net.set_timer(node, delay, tag);
                 }
             }
         }
@@ -224,10 +264,9 @@ impl<P: Protocol> Runner<P> {
         }
     }
 
-    /// Runs until the event queue drains or `deadline` passes. Returns the
-    /// number of events processed.
-    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        self.start_if_needed();
+    /// The serial event loop — used below the sharding threshold and
+    /// whenever the latency floor gives the engine zero lookahead.
+    fn drive_serial(&mut self, deadline: SimTime) -> u64 {
         let mut processed = 0;
         while let Some((_, event)) = self.net.pop(Some(deadline)) {
             processed += 1;
@@ -243,22 +282,37 @@ impl<P: Protocol> Runner<P> {
         processed
     }
 
-    /// Runs until the queue fully drains (protocols must quiesce).
-    pub fn run_to_quiescence(&mut self) -> u64 {
+    fn drive(&mut self, deadline: SimTime) -> u64
+    where
+        P: Send,
+        P::Msg: Send,
+    {
         self.start_if_needed();
-        let mut processed = 0;
-        while let Some((_, event)) = self.net.pop(None) {
-            processed += 1;
-            match event {
-                NetEvent::Deliver { from, to, msg } => {
-                    self.dispatch(to, |p, ctx| p.on_message(from, msg, ctx));
-                }
-                NetEvent::Timer { node, tag } => {
-                    self.dispatch(node, |p, ctx| p.on_timer(tag, ctx));
-                }
-            }
+        let effective = self.shards.min(self.nodes.len().max(1));
+        if effective <= 1 || self.net.lookahead() == SimDuration::ZERO {
+            self.drive_serial(deadline)
+        } else {
+            engine::run_sharded(self, deadline, effective)
         }
-        processed
+    }
+
+    /// Runs until the event queue drains or `deadline` passes. Returns the
+    /// number of events processed. Bit-identical at any shard count.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64
+    where
+        P: Send,
+        P::Msg: Send,
+    {
+        self.drive(deadline)
+    }
+
+    /// Runs until the queue fully drains (protocols must quiesce).
+    pub fn run_to_quiescence(&mut self) -> u64
+    where
+        P: Send,
+        P::Msg: Send,
+    {
+        self.drive(SimTime::from_micros(u64::MAX))
     }
 
     /// Network statistics.
@@ -412,5 +466,74 @@ mod tests {
             heard > 1 && heard < 30,
             "partial propagation, heard {heard}"
         );
+    }
+
+    fn gossip_outcome(shards: usize, latency: LatencyModel) -> (u64, Vec<u64>, NetStats, SimTime) {
+        let mut cfg = gossip_config(48);
+        cfg.latency = latency;
+        let mut runner = Runner::new(cfg, 11, |id| Rumor {
+            gossip: crate::Gossiper::new(),
+            heard_at: None,
+            origin: id == NodeId(0),
+        });
+        runner.set_shards(shards);
+        assert_eq!(runner.shards(), shards.max(1));
+        let processed = runner.run_to_quiescence();
+        let heard = runner
+            .nodes()
+            .iter()
+            .map(|n| n.heard_at.unwrap().as_micros())
+            .collect();
+        (processed, heard, runner.stats(), runner.now())
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_serial() {
+        let serial = gossip_outcome(1, LatencyModel::Constant(SimDuration::from_millis(50)));
+        for shards in [2, 3, 8] {
+            let sharded =
+                gossip_outcome(shards, LatencyModel::Constant(SimDuration::from_millis(50)));
+            assert_eq!(serial, sharded, "shards={shards} diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_under_lognormal_latency() {
+        // Long-tailed latency exercises the clamped lookahead floor and
+        // uneven window population.
+        let serial = gossip_outcome(1, LatencyModel::wan());
+        for shards in [2, 8] {
+            assert_eq!(
+                serial,
+                gossip_outcome(shards, LatencyModel::wan()),
+                "shards={shards} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_windows_are_respected_when_sharded() {
+        let run = |shards: usize| {
+            let mut runner = Runner::new(gossip_config(30), 17, |id| Rumor {
+                gossip: crate::Gossiper::new(),
+                heard_at: None,
+                origin: id == NodeId(0),
+            });
+            runner.set_shards(shards);
+            // Drive in many small increments that cut windows short.
+            let mut processed = 0;
+            for step in 1..=8 {
+                processed += runner.run_until(SimTime::from_micros(step * 60_000));
+                assert!(runner.now() <= SimTime::from_micros(step * 60_000));
+            }
+            processed += runner.run_to_quiescence();
+            let heard: Vec<u64> = runner
+                .nodes()
+                .iter()
+                .map(|n| n.heard_at.unwrap().as_micros())
+                .collect();
+            (processed, heard)
+        };
+        assert_eq!(run(1), run(4));
     }
 }

@@ -33,7 +33,7 @@ pub mod metrics;
 pub mod rng;
 pub mod time;
 
-pub use event::{EventId, Simulation};
+pub use event::{EventId, EventKey, Simulation, EXTERNAL_SRC};
 pub use metrics::{gini, nakamoto_coefficient, Histogram, Summary};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

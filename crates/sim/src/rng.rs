@@ -50,6 +50,26 @@ impl Rng {
         Rng::seed_from(self.next_u64() ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 
+    /// Derives an independent stream identified by `(domain, index)` from a
+    /// root seed, **without** consuming state from any other generator.
+    ///
+    /// This is the splitting scheme the sharded engine uses for per-actor
+    /// streams: because the derivation is a pure function of
+    /// `(root, domain, index)`, actor `index` draws the same sequence no
+    /// matter which shard it lands on or how many shards exist — unlike
+    /// [`Rng::fork`], whose output depends on the parent's draw history.
+    /// `domain` separates independent uses of the same index (e.g. a node's
+    /// protocol stream vs. its link-sampling stream).
+    pub fn stream(root: u64, domain: u64, index: u64) -> Rng {
+        // Each input is avalanched through SplitMix64 before combining, so
+        // adjacent (domain, index) pairs land in unrelated states.
+        let mut a = root;
+        let mut b = domain.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut c = index.wrapping_add(0x6a09_e667_f3bc_c909);
+        let seed = splitmix64(&mut a) ^ splitmix64(&mut b) ^ splitmix64(&mut c);
+        Rng::seed_from(seed)
+    }
+
     /// Next raw 64 bits.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -204,6 +224,34 @@ mod tests {
         let xs: Vec<u64> = (0..8).map(|_| x.next_u64()).collect();
         let ys: Vec<u64> = (0..8).map(|_| y.next_u64()).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn stream_is_pure_and_separates_domains_and_indices() {
+        let a1: Vec<u64> = {
+            let mut r = Rng::stream(42, 1, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = Rng::stream(42, 1, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a1, a2, "pure function of (root, domain, index)");
+        let b: Vec<u64> = {
+            let mut r = Rng::stream(42, 2, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::stream(42, 1, 8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let d: Vec<u64> = {
+            let mut r = Rng::stream(43, 1, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a1, b, "domain separation");
+        assert_ne!(a1, c, "index separation");
+        assert_ne!(a1, d, "root separation");
     }
 
     #[test]

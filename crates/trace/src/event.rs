@@ -262,13 +262,31 @@ pub enum TraceEvent {
         /// Intended destination.
         to: u32,
     },
+    /// The engine dispatched one event to this actor. Carries only the
+    /// event's `(source, sequence)` ordering key — data that is identical
+    /// no matter how actors are sharded — so the dispatch stream digests
+    /// match across worker counts.
+    EngineDispatch {
+        /// Logical source actor of the dispatched event.
+        src: u32,
+        /// The source's per-event sequence number.
+        seq: u64,
+    },
+    /// A schedule requested an instant in the past and was clamped to the
+    /// current time (the clock never moves backwards).
+    SimClamped {
+        /// How far in the past the requested instant was, in microseconds.
+        lag_us: u64,
+    },
 }
 
 impl TraceEvent {
     /// The category this event counts and samples under.
     pub fn category(&self) -> Category {
         match self {
-            TraceEvent::SimDispatch { .. } => Category::Sim,
+            TraceEvent::SimDispatch { .. }
+            | TraceEvent::EngineDispatch { .. }
+            | TraceEvent::SimClamped { .. } => Category::Sim,
             TraceEvent::MsgSent { .. }
             | TraceEvent::MsgDelivered { .. }
             | TraceEvent::MsgDropped { .. }
@@ -315,6 +333,8 @@ impl TraceEvent {
             TraceEvent::NodeRestarted => "node_restarted",
             TraceEvent::MsgDuplicated { .. } => "msg_duplicated",
             TraceEvent::MsgCorrupted { .. } => "msg_corrupted",
+            TraceEvent::EngineDispatch { .. } => "engine_dispatch",
+            TraceEvent::SimClamped { .. } => "sim_clamped",
         }
     }
 
@@ -421,6 +441,15 @@ impl TraceEvent {
                 out.push(20);
                 out.extend_from_slice(&to.to_le_bytes());
             }
+            TraceEvent::EngineDispatch { src, seq } => {
+                out.push(21);
+                out.extend_from_slice(&src.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            TraceEvent::SimClamped { lag_us } => {
+                out.push(22);
+                out.extend_from_slice(&lag_us.to_le_bytes());
+            }
         }
     }
 }
@@ -512,6 +541,8 @@ mod tests {
             TraceEvent::NodeRestarted,
             TraceEvent::MsgDuplicated { to: 1 },
             TraceEvent::MsgCorrupted { to: 1 },
+            TraceEvent::EngineDispatch { src: 1, seq: 1 },
+            TraceEvent::SimClamped { lag_us: 1 },
         ];
         let mut seen = std::collections::BTreeSet::new();
         for (i, ev) in events.iter().enumerate() {

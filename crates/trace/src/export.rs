@@ -114,6 +114,12 @@ fn event_fields(out: &mut String, event: &TraceEvent) {
             let _ = write!(out, ",\"height\":{height}");
         }
         TraceEvent::NodeCrashed | TraceEvent::NodeRestarted => {}
+        TraceEvent::EngineDispatch { src, seq } => {
+            let _ = write!(out, ",\"src\":{src},\"seq\":{seq}");
+        }
+        TraceEvent::SimClamped { lag_us } => {
+            let _ = write!(out, ",\"lag_us\":{lag_us}");
+        }
         TraceEvent::MsgDuplicated { to } | TraceEvent::MsgCorrupted { to } => {
             let _ = write!(out, ",\"to\":{to}");
         }

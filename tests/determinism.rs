@@ -77,8 +77,9 @@ fn pow_gossip_runner(
 /// reorgs, difficulty retargeting, and randomized gossip fan-out all in play.
 /// Returns the chain digest, the statistics fingerprint, and the per-source
 /// trace digests (`net`, `sim`, and one per peer).
-fn run_pow_gossip(seed: u64) -> (Hash256, [u64; 10], BTreeMap<String, u64>) {
+fn run_pow_gossip(seed: u64, shards: usize) -> (Hash256, [u64; 10], BTreeMap<String, u64>) {
     let mut runner = pow_gossip_runner(seed);
+    runner.set_shards(shards);
     let submitted =
         Workload::transfers(2.0, SimDuration::from_secs(150), 30).inject(runner.net_mut(), 99);
     runner.run_until(at(200));
@@ -161,8 +162,12 @@ fn churn_schedule() -> FaultSchedule {
 /// PoW gossip under the churn schedule: faults are part of the seeded
 /// execution, so the run must replay bit-identically — including the
 /// suppressed/duplicated/corrupted accounting and the recovery sync.
-fn run_pow_gossip_with_faults(seed: u64) -> (Hash256, [u64; 10], BTreeMap<String, u64>) {
+fn run_pow_gossip_with_faults(
+    seed: u64,
+    shards: usize,
+) -> (Hash256, [u64; 10], BTreeMap<String, u64>) {
     let mut runner = pow_gossip_runner(seed);
+    runner.set_shards(shards);
     let submitted =
         Workload::transfers(2.0, SimDuration::from_secs(150), 30).inject(runner.net_mut(), 99);
     let mut driver = install_faults(&runner, churn_schedule());
@@ -219,8 +224,8 @@ fn run_pbft_with_faults(seed: u64) -> (Hash256, [u64; 10], BTreeMap<String, u64>
 
 #[test]
 fn pow_gossip_replays_bit_identically() {
-    let (digest_a, stats_a, traces_a) = run_pow_gossip(7);
-    let (digest_b, stats_b, traces_b) = run_pow_gossip(7);
+    let (digest_a, stats_a, traces_a) = run_pow_gossip(7, 1);
+    let (digest_b, stats_b, traces_b) = run_pow_gossip(7, 1);
     assert_eq!(
         digest_a, digest_b,
         "same seed must reproduce every peer's canonical chain"
@@ -233,8 +238,8 @@ fn pow_gossip_replays_bit_identically() {
 fn pow_gossip_seeds_are_actually_used() {
     // Guard against a degenerate "determinism" where the seed is ignored:
     // different seeds must explore different executions.
-    let (digest_a, _, traces_a) = run_pow_gossip(7);
-    let (digest_b, _, traces_b) = run_pow_gossip(8);
+    let (digest_a, _, traces_a) = run_pow_gossip(7, 1);
+    let (digest_b, _, traces_b) = run_pow_gossip(8, 1);
     assert_ne!(digest_a, digest_b, "different seeds must diverge");
     assert_ne!(traces_a, traces_b, "trace digests must diverge too");
 }
@@ -253,8 +258,8 @@ fn pbft_replays_bit_identically() {
 
 #[test]
 fn pow_gossip_with_fault_schedule_replays_bit_identically() {
-    let (digest_a, stats_a, traces_a) = run_pow_gossip_with_faults(7);
-    let (digest_b, stats_b, traces_b) = run_pow_gossip_with_faults(7);
+    let (digest_a, stats_a, traces_a) = run_pow_gossip_with_faults(7, 1);
+    let (digest_b, stats_b, traces_b) = run_pow_gossip_with_faults(7, 1);
     assert_eq!(
         digest_a, digest_b,
         "same seed + same fault schedule must reproduce every canonical chain"
@@ -273,6 +278,45 @@ fn pbft_with_fault_schedule_replays_bit_identically() {
     );
     assert_eq!(stats_a, stats_b, "statistics must replay under faults");
     assert_trace_digests_match(&traces_a, &traces_b, 7);
+}
+
+/// The sharded engine's central contract: partitioning peers across worker
+/// threads must not change one observable bit. The same seeded PoW-gossip
+/// run — full tracing armed — is executed serially and at 2 and 8 shards;
+/// chains, statistics, and every per-source trace digest must be identical.
+#[test]
+fn pow_gossip_is_shard_count_invariant() {
+    let (digest_1, stats_1, traces_1) = run_pow_gossip(7, 1);
+    for shards in [2, 8] {
+        let (digest_s, stats_s, traces_s) = run_pow_gossip(7, shards);
+        assert_eq!(
+            digest_1, digest_s,
+            "{shards} shards must reproduce the serial canonical chains"
+        );
+        assert_eq!(
+            stats_1, stats_s,
+            "{shards} shards must reproduce the serial statistics"
+        );
+        assert_trace_digests_match(&traces_1, &traces_s, 8);
+    }
+}
+
+/// Shard-count invariance under the full fault repertoire: crash/restart,
+/// link flaps, partitions, duplication, and corruption all interact with
+/// the conservative windows (the fault driver clips them at each scripted
+/// instant), and still nothing observable may depend on the worker count.
+#[test]
+fn pow_gossip_with_faults_is_shard_count_invariant() {
+    let (digest_1, stats_1, traces_1) = run_pow_gossip_with_faults(7, 1);
+    for shards in [2, 8] {
+        let (digest_s, stats_s, traces_s) = run_pow_gossip_with_faults(7, shards);
+        assert_eq!(
+            digest_1, digest_s,
+            "{shards} shards must reproduce the serial chains under faults"
+        );
+        assert_eq!(stats_1, stats_s);
+        assert_trace_digests_match(&traces_1, &traces_s, 8);
+    }
 }
 
 #[test]
