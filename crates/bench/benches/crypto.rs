@@ -4,7 +4,7 @@
 //! DESIGN.md §5).
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
-use dcs_crypto::{sha256, Hash256, KeyPair, MerkleTree, Signature, VerifyPool};
+use dcs_crypto::{sha256, Hash256, KeyPair, MerkleTree, MultiHasher, Signature, VerifyPool};
 use std::hint::black_box;
 
 fn bench_sha256(c: &mut Criterion) {
@@ -15,6 +15,49 @@ fn bench_sha256(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
             b.iter(|| sha256(black_box(data)));
         });
+    }
+    group.finish();
+}
+
+/// Scalar vs 4/8-lane interleaved hashing over the two message shapes the
+/// commit path actually hashes: ~100-byte transaction encodings (two blocks
+/// each) and 65-byte Merkle pair messages. `lanes/1` is the scalar loop, so
+/// the spread between rows is pure instruction-level-parallelism speedup —
+/// it needs no extra cores.
+fn bench_sha256_lanes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256_lanes");
+    let count = 1_024usize;
+    let msgs: Vec<Vec<u8>> = (0..count)
+        .map(|i| {
+            let mut m = vec![0u8; 100];
+            m[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            m
+        })
+        .collect();
+    let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+    group.throughput(Throughput::Elements(count as u64));
+    for lanes in [1usize, 4, 8] {
+        let hasher = MultiHasher::new(lanes);
+        group.bench_with_input(BenchmarkId::new("tx_ids/lanes", lanes), &refs, |b, refs| {
+            b.iter(|| hasher.hash_many(black_box(refs)))
+        });
+    }
+    let level: Vec<Hash256> = (0..count)
+        .map(|i| sha256(&(i as u64).to_le_bytes()))
+        .collect();
+    for lanes in [1usize, 4, 8] {
+        let hasher = MultiHasher::new(lanes);
+        group.bench_with_input(
+            BenchmarkId::new("merkle_pairs/lanes", lanes),
+            &level,
+            |b, level| {
+                b.iter(|| {
+                    let mut out = Vec::new();
+                    hasher.hash_pairs_into(0x01, black_box(level), &mut out);
+                    out
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -131,6 +174,7 @@ fn bench_signatures(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_sha256,
+    bench_sha256_lanes,
     bench_merkle,
     bench_merkle_parallel,
     bench_verify_batch,

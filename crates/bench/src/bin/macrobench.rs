@@ -1,26 +1,55 @@
-//! The macro benchmark: one seeded PoW-gossip ledger simulation driven at
-//! 1, 2, and 8 engine workers, reporting events/s, blocks/s, tx/s, and
-//! peak RSS per configuration, written to `BENCH_<rev>.json` at the
-//! workspace root (archived from CI).
+//! The macro benchmark (BENCH schema v2): the per-commit trajectory tracker.
 //!
-//! Each configuration runs in a child process (`--one <workers>`) so the
-//! kernel's `VmHWM` high-water mark measures that configuration alone. The
-//! parent asserts every configuration produced the identical chain digest —
-//! the numbers are only comparable because the work is bit-identical — and
-//! records `host_cpus`, since the speedup a reader should expect is bounded
-//! by the cores the run actually had.
+//! Three phases, written together to `BENCH_<rev>.json` at the workspace
+//! root (archived from CI):
+//!
+//! 1. **Gossip macro** — one seeded PoW-gossip ledger simulation driven at
+//!    1, 2, and 8 engine workers, reporting events/s, blocks/s, tx/s, and
+//!    peak RSS per configuration. The sim config is frozen (32 nodes, seed
+//!    7, 20 tps for 60 sim-seconds) so `txs_per_sec` is comparable across
+//!    the whole `BENCH_*.json` trajectory.
+//! 2. **Commit path** — an in-process signed-transaction pipeline: admission
+//!    through the sharded mempool (warming the signature cache), block
+//!    assembly from cached ids, and per-block state application timed on
+//!    both the serial and the batched path. This is where
+//!    `verify_cache_hit_rate`, verify batch sizes, and the apply-latency
+//!    percentiles (p50/p99, the schema-v2 additions) come from.
+//! 3. **Scaled macro** — the same gossip network fed ≥ 1M submitted
+//!    transactions at 8 workers, reporting raw admission/gossip throughput.
+//!    Skipped in `--smoke` mode.
+//!
+//! Each gossip configuration runs in a child process (`--one <workers>`) so
+//! the kernel's `VmHWM` high-water mark measures that configuration alone.
+//! The parent asserts every configuration produced the identical chain
+//! digest — the numbers are only comparable because the work is
+//! bit-identical — and records `host_cpus`, since the speedup a reader
+//! should expect is bounded by the cores the run actually had. When
+//! `host_cpus` is lower than the widest requested worker count the JSON
+//! carries a warning (and stderr gets one too): such numbers measure
+//! oversubscription, not scaling.
 //!
 //! Usage:
-//!   `macrobench`            — run all configurations, write `BENCH_<rev>.json`
-//!   `macrobench --one 8`    — run one configuration, print key=value lines
+//!   `macrobench`              — full run, write `BENCH_<rev>.json`
+//!   `macrobench --smoke`      — CI mode: short gossip runs (1 and 8 workers,
+//!                               digest equality still asserted), small
+//!                               commit phase, no scaled macro
+//!   `macrobench --one N`      — child: one gossip configuration
+//!   `macrobench --one-macro`  — child: the scaled macro run
 
-use dcs_ledger::{builders, collect, workload::Workload};
+use dcs_chain::StateMachine;
+use dcs_consensus::Mempool;
+use dcs_contracts::AccountMachine;
+use dcs_crypto::{Address, KeyPair, VerifyPipeline};
+use dcs_ledger::{builders, collect, workload::Workload, VerificationReport};
 use dcs_net::Runner;
-use dcs_primitives::ConsensusKind;
-use dcs_sim::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use dcs_primitives::{
+    AccountTx, Block, BlockHeader, ConsensusKind, GasSchedule, Seal, SealedTx, Transaction, TxAuth,
+};
+use dcs_sim::{SimDuration, SimTime, Summary};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::process::Command;
+use std::sync::Arc;
 use std::time::Instant;
 
 const NODES: usize = 32;
@@ -29,6 +58,26 @@ const WORKLOAD_SECS: u64 = 60;
 const RUN_SECS: u64 = 80;
 const WORKLOAD_TPS: f64 = 20.0;
 const WORKERS: &[usize] = &[1, 2, 8];
+
+// Smoke (CI) variant of the gossip phase: short, but still two worker
+// counts so the digest-equality gate runs on every push.
+const SMOKE_WORKLOAD_SECS: u64 = 15;
+const SMOKE_RUN_SECS: u64 = 25;
+const SMOKE_WORKERS: &[usize] = &[1, 8];
+
+// Scaled macro phase: ≥ 1M submitted transactions through the same overlay.
+const MACRO_TPS: f64 = 20_000.0;
+const MACRO_WORKLOAD_SECS: u64 = 52; // 20k tps × 52 s = 1.04M submitted
+const MACRO_RUN_SECS: u64 = 60;
+const MACRO_ACCOUNTS: u64 = 1_000;
+const MACRO_WORKERS: usize = 8;
+
+// Commit-path phase: signed transfers, admission → assembly → application.
+const COMMIT_SENDERS: usize = 32;
+const COMMIT_BLOCKS: usize = 32;
+const COMMIT_TXS_PER_BLOCK: usize = 256;
+const SMOKE_COMMIT_BLOCKS: usize = 4;
+const SMOKE_COMMIT_TXS_PER_BLOCK: usize = 64;
 
 fn build_runner() -> Runner<dcs_consensus::pow::PowNode<dcs_chain::NullMachine>> {
     let mut params = builders::PowParams {
@@ -44,18 +93,9 @@ fn build_runner() -> Runner<dcs_consensus::pow::PowNode<dcs_chain::NullMachine>>
     builders::build_pow(&params, SEED)
 }
 
-/// One configuration, in-process: returns `key=value` lines for the parent.
-fn run_one(workers: usize) -> String {
-    let mut runner = build_runner();
-    runner.set_shards(workers);
-    let submitted = Workload::transfers(WORKLOAD_TPS, SimDuration::from_secs(WORKLOAD_SECS), 30)
-        .inject(runner.net_mut(), 99);
-    let t0 = Instant::now();
-    let events = runner.run_until(SimTime::ZERO + SimDuration::from_secs(RUN_SECS));
-    let wall = t0.elapsed();
-    let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(RUN_SECS));
-    assert_eq!(result.internal_errors, 0, "macro run must be healthy");
-
+fn network_digest_hex(
+    runner: &Runner<dcs_consensus::pow::PowNode<dcs_chain::NullMachine>>,
+) -> String {
     let mut digest_bytes = Vec::new();
     for node in runner.nodes() {
         for hash in node.core.chain.canonical() {
@@ -67,15 +107,225 @@ fn run_one(workers: usize) -> String {
     for b in digest.as_bytes() {
         let _ = write!(digest_hex, "{b:02x}");
     }
+    digest_hex
+}
+
+/// One gossip configuration, in-process: returns `key=value` lines for the
+/// parent.
+fn run_one(workers: usize, smoke: bool) -> String {
+    let (workload_secs, run_secs) = if smoke {
+        (SMOKE_WORKLOAD_SECS, SMOKE_RUN_SECS)
+    } else {
+        (WORKLOAD_SECS, RUN_SECS)
+    };
+    let mut runner = build_runner();
+    runner.set_shards(workers);
+    let submitted = Workload::transfers(WORKLOAD_TPS, SimDuration::from_secs(workload_secs), 30)
+        .inject(runner.net_mut(), 99);
+    let t0 = Instant::now();
+    let events = runner.run_until(SimTime::ZERO + SimDuration::from_secs(run_secs));
+    let wall = t0.elapsed();
+    let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(run_secs));
+    assert_eq!(result.internal_errors, 0, "macro run must be healthy");
 
     let mut out = String::new();
     let _ = writeln!(out, "events={events}");
     let _ = writeln!(out, "wall_us={}", wall.as_micros());
     let _ = writeln!(out, "blocks={}", result.canonical_blocks);
     let _ = writeln!(out, "txs={}", result.committed_txs);
+    let _ = writeln!(out, "submitted={}", submitted.len());
     let _ = writeln!(out, "rss_kb={}", peak_rss_kb());
-    let _ = writeln!(out, "digest={digest_hex}");
+    let _ = writeln!(out, "digest={}", network_digest_hex(&runner));
     out
+}
+
+/// The scaled macro run (≥ 1M submitted transactions), in-process: returns
+/// `key=value` lines for the parent.
+fn run_macro() -> String {
+    let mut runner = build_runner();
+    runner.set_shards(MACRO_WORKERS);
+    let submitted = Workload::transfers(
+        MACRO_TPS,
+        SimDuration::from_secs(MACRO_WORKLOAD_SECS),
+        MACRO_ACCOUNTS,
+    )
+    .inject(runner.net_mut(), 99);
+    assert!(
+        submitted.len() >= 1_000_000,
+        "scaled macro must submit ≥ 1M txs, got {}",
+        submitted.len()
+    );
+    let t0 = Instant::now();
+    let events = runner.run_until(SimTime::ZERO + SimDuration::from_secs(MACRO_RUN_SECS));
+    let wall = t0.elapsed();
+    let result = collect(
+        runner.nodes(),
+        &submitted,
+        SimDuration::from_secs(MACRO_RUN_SECS),
+    );
+    assert_eq!(result.internal_errors, 0, "scaled macro must be healthy");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "events={events}");
+    let _ = writeln!(out, "wall_us={}", wall.as_micros());
+    let _ = writeln!(out, "blocks={}", result.canonical_blocks);
+    let _ = writeln!(out, "txs={}", result.committed_txs);
+    let _ = writeln!(out, "submitted={}", submitted.len());
+    let _ = writeln!(out, "rss_kb={}", peak_rss_kb());
+    out
+}
+
+/// Measured results of the commit-path phase.
+struct CommitPhase {
+    blocks: usize,
+    txs: usize,
+    verify_cache_hit_rate: f64,
+    avg_verify_batch_size: f64,
+    serial_us: Summary,
+    batched_us: Summary,
+}
+
+/// The commit-path phase: signed transfers through the sharded mempool
+/// (cache-warming admission), blocks assembled from pooled ids, and every
+/// block applied on both the serial and the batched state path under a
+/// wall-clock timer. Asserts the two paths produce bit-identical roots and
+/// receipts — the numbers are only comparable because the work is
+/// equivalent.
+fn run_commit_phase(blocks: usize, txs_per_block: usize) -> CommitPhase {
+    let total_txs = blocks * txs_per_block;
+    let per_sender = total_txs.div_ceil(COMMIT_SENDERS);
+    // Each WOTS+Merkle keypair signs 2^height messages.
+    let height = per_sender.next_power_of_two().trailing_zeros().max(1) as u8;
+
+    let mut keys: Vec<KeyPair> = (0..COMMIT_SENDERS)
+        .map(|i| {
+            let mut seed = [0u8; 32];
+            seed[0] = i as u8;
+            seed[1] = 0xC7;
+            KeyPair::generate(seed, height)
+        })
+        .collect();
+    let alloc: Vec<(Address, u64)> = keys.iter().map(|k| (k.address(), u64::MAX / 2)).collect();
+
+    // Sign round-robin so consecutive txs in a block come from different
+    // senders (the sharded pool spreads them) while per-sender nonces stay
+    // sequential in admission order.
+    let mut nonces = vec![0u64; COMMIT_SENDERS];
+    let mut signed: Vec<Transaction> = Vec::with_capacity(total_txs);
+    for i in 0..total_txs {
+        let s = i % COMMIT_SENDERS;
+        let to = Address::from_index(10_000 + (i as u64 % 97));
+        let mut tx = AccountTx::transfer(keys[s].address(), to, 1 + i as u64 % 100, nonces[s]);
+        tx.gas_limit = 0;
+        tx.gas_price = 0;
+        nonces[s] += 1;
+        let unsigned = Transaction::Account(tx.clone());
+        let sig = keys[s]
+            .sign(&unsigned.signing_hash())
+            .expect("key capacity covers the workload");
+        tx.auth = Some(TxAuth {
+            pubkey: keys[s].public_key(),
+            signature: sig,
+        });
+        signed.push(Transaction::Account(tx));
+    }
+
+    // One pipeline shared by admission and both appliers: admission warms
+    // the cache, so block connect — on either path — is pure cache hits,
+    // exactly the production configuration.
+    let pipeline = Arc::new(VerifyPipeline::new(0, 4 * total_txs.max(1024)));
+    let mut pool = Mempool::with_admission(total_txs + 1, Arc::clone(&pipeline));
+    for tx in signed {
+        assert!(
+            pool.insert(SealedTx::new(Arc::new(tx))),
+            "signed tx admitted"
+        );
+    }
+    let admission_stats = pipeline.stats();
+
+    let machine = |serial: bool| {
+        let mut m = AccountMachine::with_alloc(&alloc).with_pipeline(Arc::clone(&pipeline));
+        m.schedule = GasSchedule::free();
+        m.verify_signatures = true;
+        m.serial_apply = serial;
+        m
+    };
+    let mut serial_machine = machine(true);
+    let mut batched_machine = machine(false);
+    let mut serial_us = Summary::new();
+    let mut batched_us = Summary::new();
+
+    let proposer = Address::from_index(0);
+    let mut parent = dcs_crypto::Hash256::ZERO;
+    let mut included = BTreeSet::new();
+    for height in 1..=blocks as u64 {
+        let selected = pool.select(txs_per_block, &included);
+        assert_eq!(selected.len(), txs_per_block, "pool holds the workload");
+        let coinbase = Transaction::Coinbase {
+            to: proposer,
+            value: 50,
+            height,
+        };
+        let mut body = Vec::with_capacity(selected.len() + 1);
+        let mut ids = Vec::with_capacity(selected.len() + 1);
+        ids.push(coinbase.id());
+        body.push(coinbase);
+        for tx in selected {
+            included.insert(tx.id());
+            ids.push(tx.id());
+            body.push((**tx.tx()).clone());
+        }
+        let header = BlockHeader::new(parent, height, height, proposer, Seal::None);
+        let block = Block::with_ids(header, body, ids);
+        parent = block.hash();
+
+        let t0 = Instant::now();
+        let (serial_receipts, _) = serial_machine.apply_block(&block).expect("valid block");
+        serial_us.record(t0.elapsed().as_secs_f64() * 1e6);
+        let t1 = Instant::now();
+        let (batched_receipts, _) = batched_machine.apply_block(&block).expect("valid block");
+        batched_us.record(t1.elapsed().as_secs_f64() * 1e6);
+
+        assert_eq!(
+            serial_receipts, batched_receipts,
+            "serial and batched receipts must be bit-identical"
+        );
+        assert_eq!(
+            serial_machine.state_root(),
+            batched_machine.state_root(),
+            "serial and batched state roots must be bit-identical"
+        );
+        assert!(
+            serial_receipts.iter().all(|r| r.status.is_success()),
+            "the workload is all-valid"
+        );
+    }
+
+    // Hit rate over block connect alone (deltas past admission): with a
+    // warm cache every witness check is a hit, which is the number the
+    // BENCH trajectory watches for regressions.
+    let final_stats = pipeline.stats();
+    let report = VerificationReport {
+        pipeline: final_stats,
+        ..Default::default()
+    };
+    let (hits0, misses0) = admission_stats.cache.map_or((0, 0), |c| (c.hits, c.misses));
+    let (hits1, misses1) = final_stats.cache.map_or((0, 0), |c| (c.hits, c.misses));
+    let connect_lookups = (hits1 - hits0) + (misses1 - misses0);
+    let verify_cache_hit_rate = if connect_lookups == 0 {
+        0.0
+    } else {
+        (hits1 - hits0) as f64 / connect_lookups as f64
+    };
+
+    CommitPhase {
+        blocks,
+        txs: total_txs,
+        verify_cache_hit_rate,
+        avg_verify_batch_size: report.avg_batch_size(),
+        serial_us,
+        batched_us,
+    }
 }
 
 /// The process's peak resident set (`VmHWM`), in kB; 0 when unavailable
@@ -103,48 +353,83 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Runs a child configuration of this same binary and parses its
+/// `key=value` output.
+fn run_child(exe: &std::path::Path, args: &[&str]) -> BTreeMap<String, String> {
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .expect("spawn child configuration");
+    assert!(
+        out.status.success(),
+        "child {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::str::from_utf8(&out.stdout)
+        .expect("child output is utf-8")
+        .lines()
+        .filter_map(|l| l.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("--one") {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(pos) = args.iter().position(|a| a == "--one") {
         let workers: usize = args
-            .get(1)
+            .get(pos + 1)
             .and_then(|w| w.parse().ok())
             .expect("--one <workers>");
-        print!("{}", run_one(workers));
+        print!("{}", run_one(workers, smoke));
+        return;
+    }
+    if args.iter().any(|a| a == "--one-macro") {
+        print!("{}", run_macro());
         return;
     }
 
     let rev = git_rev();
     let host_cpus = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let workers = if smoke { SMOKE_WORKERS } else { WORKERS };
+    let max_workers =
+        workers
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(if smoke { 0 } else { MACRO_WORKERS });
+    let cpu_warning = if host_cpus < max_workers {
+        let w = format!(
+            "host has {host_cpus} cpu(s) but up to {max_workers} workers were requested; \
+             multi-worker rows measure oversubscription on this machine, not scaling"
+        );
+        eprintln!("macrobench: WARNING: {w}");
+        Some(w)
+    } else {
+        None
+    };
     println!(
-        "macrobench: {NODES}-node PoW gossip, {RUN_SECS} sim secs, rev {rev}, {host_cpus} host cpu(s)"
+        "macrobench{}: {NODES}-node PoW gossip, rev {rev}, {host_cpus} host cpu(s)",
+        if smoke { " (smoke)" } else { "" }
     );
 
     let exe = std::env::current_exe().expect("current exe path");
     let mut configs = Vec::new();
     let mut digests = Vec::new();
-    for &workers in WORKERS {
+    for &w in workers {
         let t0 = Instant::now();
-        let out = Command::new(&exe)
-            .args(["--one", &workers.to_string()])
-            .output()
-            .expect("spawn child configuration");
-        assert!(
-            out.status.success(),
-            "workers={workers} failed:\n{}",
-            String::from_utf8_lossy(&out.stderr)
-        );
-        let kv: BTreeMap<&str, String> = std::str::from_utf8(&out.stdout)
-            .expect("child output is utf-8")
-            .lines()
-            .filter_map(|l| l.split_once('='))
-            .map(|(k, v)| (k, v.to_string()))
-            .collect();
+        let mut child_args = vec!["--one".to_string(), w.to_string()];
+        if smoke {
+            child_args.push("--smoke".to_string());
+        }
+        let child_refs: Vec<&str> = child_args.iter().map(String::as_str).collect();
+        let kv = run_child(&exe, &child_refs);
         let get = |k: &str| -> u64 { kv[k].parse().unwrap_or(0) };
         let wall_secs = get("wall_us") as f64 / 1e6;
         let (events, blocks, txs) = (get("events"), get("blocks"), get("txs"));
         println!(
-            "  workers={workers}: {events} events in {wall_secs:.2}s wall → {:.0} events/s, {:.2} blocks/s, {:.1} tx/s, peak RSS {} kB (child total {:.2}s)",
+            "  workers={w}: {events} events in {wall_secs:.2}s wall → {:.0} events/s, {:.2} blocks/s, {:.1} tx/s, peak RSS {} kB (child total {:.2}s)",
             events as f64 / wall_secs,
             blocks as f64 / wall_secs,
             txs as f64 / wall_secs,
@@ -153,7 +438,7 @@ fn main() {
         );
         digests.push(kv["digest"].clone());
         configs.push(format!(
-            "    {{\"workers\": {workers}, \"events\": {events}, \"wall_secs\": {wall_secs:.4}, \"events_per_sec\": {:.1}, \"blocks_per_sec\": {:.3}, \"txs_per_sec\": {:.2}, \"peak_rss_kb\": {}}}",
+            "    {{\"workers\": {w}, \"events\": {events}, \"wall_secs\": {wall_secs:.4}, \"events_per_sec\": {:.1}, \"blocks_per_sec\": {:.3}, \"txs_per_sec\": {:.2}, \"peak_rss_kb\": {}}}",
             events as f64 / wall_secs,
             blocks as f64 / wall_secs,
             txs as f64 / wall_secs,
@@ -165,13 +450,90 @@ fn main() {
         "every worker count must produce the identical chain digest: {digests:?}"
     );
 
+    let (blocks, per_block) = if smoke {
+        (SMOKE_COMMIT_BLOCKS, SMOKE_COMMIT_TXS_PER_BLOCK)
+    } else {
+        (COMMIT_BLOCKS, COMMIT_TXS_PER_BLOCK)
+    };
+    let mut commit = run_commit_phase(blocks, per_block);
+    println!(
+        "  commit path: {} signed txs / {} blocks, cache hit rate {:.3}, avg verify batch {:.1}",
+        commit.txs, commit.blocks, commit.verify_cache_hit_rate, commit.avg_verify_batch_size
+    );
+    println!(
+        "    serial apply:  mean {:.0} µs, p50 {:.0} µs, p99 {:.0} µs",
+        commit.serial_us.mean(),
+        commit.serial_us.p50(),
+        commit.serial_us.p99()
+    );
+    println!(
+        "    batched apply: mean {:.0} µs, p50 {:.0} µs, p99 {:.0} µs ({:.2}x)",
+        commit.batched_us.mean(),
+        commit.batched_us.p50(),
+        commit.batched_us.p99(),
+        commit.serial_us.mean() / commit.batched_us.mean().max(1e-9),
+    );
+    let commit_json = format!(
+        "{{\n    \"blocks\": {}, \"txs\": {}, \"verify_cache_hit_rate\": {:.4}, \"avg_verify_batch_size\": {:.2},\n    \"apply_us\": {{\n      \"serial\":  {{\"mean\": {:.1}, \"p50\": {:.1}, \"p99\": {:.1}}},\n      \"batched\": {{\"mean\": {:.1}, \"p50\": {:.1}, \"p99\": {:.1}}}\n    }},\n    \"batched_speedup\": {:.3}\n  }}",
+        commit.blocks,
+        commit.txs,
+        commit.verify_cache_hit_rate,
+        commit.avg_verify_batch_size,
+        commit.serial_us.mean(),
+        commit.serial_us.p50(),
+        commit.serial_us.p99(),
+        commit.batched_us.mean(),
+        commit.batched_us.p50(),
+        commit.batched_us.p99(),
+        commit.serial_us.mean() / commit.batched_us.mean().max(1e-9),
+    );
+
+    let macro_json = if smoke {
+        "null".to_string()
+    } else {
+        let t0 = Instant::now();
+        let kv = run_child(&exe, &["--one-macro"]);
+        let get = |k: &str| -> u64 { kv[k].parse().unwrap_or(0) };
+        let wall_secs = get("wall_us") as f64 / 1e6;
+        println!(
+            "  scaled macro: {} submitted txs, {} events in {wall_secs:.2}s wall → {:.0} events/s, {} committed, peak RSS {} kB (child total {:.2}s)",
+            get("submitted"),
+            get("events"),
+            get("events") as f64 / wall_secs,
+            get("txs"),
+            get("rss_kb"),
+            t0.elapsed().as_secs_f64(),
+        );
+        format!(
+            "{{\"workers\": {MACRO_WORKERS}, \"submitted_txs\": {}, \"events\": {}, \"wall_secs\": {wall_secs:.4}, \"events_per_sec\": {:.1}, \"committed_txs\": {}, \"blocks\": {}, \"peak_rss_kb\": {}}}",
+            get("submitted"),
+            get("events"),
+            get("events") as f64 / wall_secs,
+            get("txs"),
+            get("blocks"),
+            get("rss_kb"),
+        )
+    };
+
+    let warning_json = cpu_warning
+        .as_ref()
+        .map_or("null".to_string(), |w| format!("\"{w}\""));
     let json = format!(
-        "{{\n  \"schema\": \"dcs-macrobench/v1\",\n  \"rev\": \"{rev}\",\n  \"host_cpus\": {host_cpus},\n  \"sim\": {{\"nodes\": {NODES}, \"seed\": {SEED}, \"run_secs\": {RUN_SECS}, \"workload_tps\": {WORKLOAD_TPS}}},\n  \"digest\": \"{}\",\n  \"configs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"dcs-macrobench/v2\",\n  \"rev\": \"{rev}\",\n  \"host_cpus\": {host_cpus},\n  \"host_cpu_warning\": {warning_json},\n  \"smoke\": {smoke},\n  \"sim\": {{\"nodes\": {NODES}, \"seed\": {SEED}, \"run_secs\": {}, \"workload_tps\": {WORKLOAD_TPS}}},\n  \"digest\": \"{}\",\n  \"configs\": [\n{}\n  ],\n  \"commit_path\": {},\n  \"macro\": {}\n}}\n",
+        if smoke { SMOKE_RUN_SECS } else { RUN_SECS },
         digests[0],
         configs.join(",\n"),
+        commit_json,
+        macro_json,
     );
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = root.join(format!("BENCH_{rev}.json"));
+    // Smoke runs get their own suffix so a local CI-style run never
+    // clobbers the committed full-run trajectory file.
+    let path = if smoke {
+        root.join(format!("BENCH_{rev}.smoke.json"))
+    } else {
+        root.join(format!("BENCH_{rev}.json"))
+    };
     std::fs::write(&path, &json).expect("write BENCH json");
     println!("wrote {} (digest {})", path.display(), &digests[0][..16]);
 }

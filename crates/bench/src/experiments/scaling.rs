@@ -5,7 +5,7 @@ use crate::table::Table;
 use crate::Scale;
 use dcs_chain::{Chain, NullMachine};
 use dcs_crypto::{Address, Hash256, MerkleTree};
-use dcs_primitives::{AccountTx, Block, BlockHeader, ChainConfig, Seal, Transaction};
+use dcs_primitives::{AccountTx, Block, BlockHeader, ChainConfig, Seal, SealedTx, Transaction};
 use dcs_scale::channels::ChannelNetwork;
 use dcs_scale::light::LightClient;
 use dcs_scale::sharding::{ShardedLedger, Transfer};
@@ -482,10 +482,17 @@ pub fn e15_verify_pipeline(scale: Scale) {
     let pipeline = Arc::new(VerifyPipeline::new(0, 8192));
     let mut pool = Mempool::with_admission(n_txs * 2, Arc::clone(&pipeline));
     for tx in &txs {
-        assert!(pool.insert(Arc::new(tx.clone())), "valid tx admitted");
+        assert!(
+            pool.insert(SealedTx::new(Arc::new(tx.clone()))),
+            "valid tx admitted"
+        );
     }
     let admitted = pipeline.stats().cache.expect("cache configured");
-    let body = pool.select(n_txs, &std::collections::BTreeSet::new());
+    let body: Vec<Transaction> = pool
+        .select(n_txs, &std::collections::BTreeSet::new())
+        .into_iter()
+        .map(|t| (*t.into_tx()).clone())
+        .collect();
     let t0 = Instant::now();
     let mut set = genesis.clone();
     UtxoSet::prevalidate_witnesses(&body, &pipeline).expect("warm block");

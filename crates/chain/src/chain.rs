@@ -480,15 +480,14 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
     }
 
     /// Parallel replacement for the tree's serial transaction-root check,
-    /// active when a pipeline is attached: ids fan out over the worker pool
-    /// and the Merkle levels hash in parallel. Bit-identical decision to
-    /// `Block::verify_tx_root`.
+    /// active when a pipeline is attached: the block's (cached, multi-lane
+    /// batch-hashed) ids feed Merkle levels that hash in parallel.
+    /// Bit-identical decision to `Block::verify_tx_root`.
     fn check_body(&self, block: &Block) -> Result<(), ChainError> {
         let Some(pipeline) = &self.pipeline else {
             return Ok(()); // BlockTree::insert performs the serial check
         };
-        let ids = pipeline.pool().map(&block.txs, Transaction::id);
-        if merkle_root_with(&ids, pipeline.pool()) != block.header.tx_root {
+        if merkle_root_with(block.tx_ids(), pipeline.pool()) != block.header.tx_root {
             return Err(ChainError::BadTxRoot);
         }
         Ok(())

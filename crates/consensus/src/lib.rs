@@ -32,21 +32,23 @@ pub mod poet;
 pub mod pos;
 pub mod pow;
 
-pub use mempool::{InsertOutcome, Mempool};
+pub use mempool::{InsertOutcome, Mempool, MEMPOOL_SHARDS};
 pub use node::{is_sync_tag, NodeCore, Recoverable, TAG_SYNC};
 
 use dcs_crypto::Hash256;
-use dcs_primitives::{Block, Transaction, TxPayload};
+use dcs_primitives::{Block, SealedTx, Transaction, TxPayload};
 use std::sync::Arc;
 
 /// Messages exchanged by all consensus protocols. Blocks and transactions
 /// are reference-counted so gossip re-forwarding never deep-copies bodies.
 #[derive(Debug, Clone)]
 pub enum WireMsg {
+    /// A client transaction sealed with its content id — the in-memory
+    /// analogue of computing the id once at decode time. Every hop reuses
+    /// the carried id for gossip dedup instead of re-hashing the body.
+    Tx(SealedTx),
     /// A full block announcement.
     Block(Arc<Block>),
-    /// A client transaction.
-    Tx(Arc<Transaction>),
     /// A PBFT protocol message.
     Pbft(pbft::PbftMsg),
     /// A request to send the block with this hash back to the asker — the
@@ -170,6 +172,7 @@ mod tests {
             value: 1,
             height: 0,
         });
-        assert_eq!(gossip_id(&WireMsg::Tx(tx.clone())), Some(tx.id()));
+        let sealed = SealedTx::new(tx.clone());
+        assert_eq!(gossip_id(&WireMsg::Tx(sealed)), Some(tx.id()));
     }
 }

@@ -2,11 +2,23 @@
 //! (§2.4: "transactions are submitted by client users ... which are then
 //! pooled into blocks"). FIFO ordering with a capacity bound; duplicates by
 //! transaction id are rejected.
+//!
+//! Admission is **sharded by sender key**: each transaction routes to one of
+//! [`MEMPOOL_SHARDS`] partitions by its sender (the `from` address of an
+//! account transaction, the first spent outpoint of a UTXO transaction), so
+//! per-sender streams stay together and shard maps stay small. A global
+//! admission sequence number threads through every shard; selection is a
+//! k-way merge on that sequence, so block assembly sees the exact same FIFO
+//! order a single-map pool would produce — sharding changes data layout,
+//! never ordering.
 
 use dcs_crypto::{Hash256, VerifyItem, VerifyPipeline};
-use dcs_primitives::Transaction;
+use dcs_primitives::{SealedTx, Transaction};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
+
+/// Number of sender-key partitions in the pool.
+pub const MEMPOOL_SHARDS: usize = 8;
 
 /// Result of a [`Mempool::insert_outcome`] attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,28 +33,57 @@ pub enum InsertOutcome {
     BadWitness,
 }
 
-/// A bounded FIFO transaction pool.
+/// One sender-key partition: id-keyed storage plus the admission order of
+/// this shard's transactions (global sequence number, id).
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    txs: BTreeMap<Hash256, SealedTx>,
+    order: VecDeque<(u64, Hash256)>,
+}
+
+impl Shard {
+    /// Drops order entries whose transaction is no longer stored.
+    fn compact(&mut self) {
+        self.order.retain(|(_, id)| self.txs.contains_key(id));
+    }
+}
+
+/// The shard a transaction's sender key routes to. Deterministic over
+/// content, so duplicates always land in the same shard and removal can
+/// route the same way admission did.
+fn shard_of(tx: &Transaction) -> usize {
+    let key = match tx {
+        Transaction::Account(a) => a.from.as_ref()[0],
+        Transaction::Utxo(u) => u.inputs.first().map_or(0, |i| i.prev_tx.as_ref()[0]),
+        Transaction::Coinbase { .. } => 0,
+    };
+    key as usize % MEMPOOL_SHARDS
+}
+
+/// A bounded FIFO transaction pool, sharded by sender key.
 ///
 /// # Examples
 ///
 /// ```
 /// use dcs_consensus::Mempool;
-/// use dcs_primitives::{AccountTx, Transaction};
+/// use dcs_primitives::{AccountTx, SealedTx, Transaction};
 /// use dcs_crypto::Address;
 /// use std::sync::Arc;
 ///
 /// let mut pool = Mempool::new(100);
-/// let tx = Arc::new(Transaction::Account(AccountTx::transfer(
+/// let tx = SealedTx::new(Arc::new(Transaction::Account(AccountTx::transfer(
 ///     Address::from_index(1), Address::from_index(2), 5, 0,
-/// )));
+/// ))));
 /// assert!(pool.insert(tx.clone()));
 /// assert!(!pool.insert(tx), "duplicates rejected");
 /// assert_eq!(pool.len(), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mempool {
-    txs: BTreeMap<Hash256, Arc<Transaction>>,
-    order: VecDeque<Hash256>,
+    shards: Vec<Shard>,
+    len: usize,
+    /// Global admission counter: selection merges shards on this.
+    seq: u64,
     capacity: usize,
     admission: Option<Arc<VerifyPipeline>>,
     rejected_invalid: u64,
@@ -52,8 +93,9 @@ impl Mempool {
     /// Creates a pool bounded at `capacity` transactions.
     pub fn new(capacity: usize) -> Self {
         Mempool {
-            txs: BTreeMap::new(),
-            order: VecDeque::new(),
+            shards: (0..MEMPOOL_SHARDS).map(|_| Shard::default()).collect(),
+            len: 0,
+            seq: 0,
             capacity,
             admission: None,
             rejected_invalid: 0,
@@ -114,69 +156,118 @@ impl Mempool {
 
     /// Pending transaction count.
     pub fn len(&self) -> usize {
-        self.txs.len()
+        self.len
     }
 
     /// True when no transactions are pending.
     pub fn is_empty(&self) -> bool {
-        self.txs.is_empty()
+        self.len == 0
+    }
+
+    /// Pending transaction count per sender-key shard.
+    pub fn shard_lens(&self) -> [usize; MEMPOOL_SHARDS] {
+        let mut lens = [0usize; MEMPOOL_SHARDS];
+        for (slot, shard) in lens.iter_mut().zip(&self.shards) {
+            *slot = shard.txs.len();
+        }
+        lens
     }
 
     /// True if the pool holds `id`.
     pub fn contains(&self, id: &Hash256) -> bool {
-        self.txs.contains_key(id)
+        self.shards.iter().any(|s| s.txs.contains_key(id))
     }
 
     /// Adds a transaction; returns false if it is a duplicate, the pool is
     /// full, or (with an admission pipeline) it carries a forged witness.
-    pub fn insert(&mut self, tx: Arc<Transaction>) -> bool {
+    pub fn insert(&mut self, tx: SealedTx) -> bool {
         self.insert_outcome(tx) == InsertOutcome::Added
     }
 
     /// Like [`Mempool::insert`], but reports *why* a transaction was
-    /// refused — the tracing layer records the reason.
-    pub fn insert_outcome(&mut self, tx: Arc<Transaction>) -> InsertOutcome {
-        if self.txs.len() >= self.capacity {
+    /// refused — the tracing layer records the reason. The id carried by
+    /// the sealed transaction is reused; nothing is hashed at admission.
+    pub fn insert_outcome(&mut self, tx: SealedTx) -> InsertOutcome {
+        if self.len >= self.capacity {
             return InsertOutcome::Full;
         }
         let id = tx.id();
-        if self.txs.contains_key(&id) {
+        let shard_idx = shard_of(&tx);
+        if self.shards[shard_idx].txs.contains_key(&id) {
             return InsertOutcome::Duplicate;
         }
         if !self.admit(&tx) {
             self.rejected_invalid += 1;
             return InsertOutcome::BadWitness;
         }
-        self.order.push_back(id);
-        self.txs.insert(id, tx);
+        let shard = &mut self.shards[shard_idx];
+        shard.order.push_back((self.seq, id));
+        shard.txs.insert(id, tx);
+        self.seq += 1;
+        self.len += 1;
         InsertOutcome::Added
     }
 
-    /// Removes a transaction (it was included in a block).
-    pub fn remove(&mut self, id: &Hash256) -> Option<Arc<Transaction>> {
+    /// Removes a transaction by id alone. The shard cannot be derived from
+    /// an id, so all partitions are probed; prefer [`Mempool::remove_all`]
+    /// when the transaction body is at hand.
+    pub fn remove(&mut self, id: &Hash256) -> Option<SealedTx> {
         // `order` is lazily compacted in `select`.
-        self.txs.remove(id)
+        for shard in &mut self.shards {
+            if let Some(tx) = shard.txs.remove(id) {
+                self.len -= 1;
+                return Some(tx);
+            }
+        }
+        None
     }
 
-    /// Selects up to `limit` transactions in FIFO order, skipping any whose
-    /// id is in `exclude` (already on the canonical chain). The pool is not
-    /// modified — selected transactions leave the pool only when a block
-    /// containing them commits.
-    pub fn select(&mut self, limit: usize, exclude: &BTreeSet<Hash256>) -> Vec<Transaction> {
-        // Compact the order queue of ids no longer present.
-        self.order.retain(|id| self.txs.contains_key(id));
-        self.order
-            .iter()
-            .filter(|id| !exclude.contains(*id))
-            .take(limit)
-            .map(|id| (*self.txs[id]).clone())
-            .collect()
+    /// Selects up to `limit` transactions in global FIFO (admission) order,
+    /// skipping any whose id is in `exclude` (already on the canonical
+    /// chain). A k-way merge over the shards' order queues on the global
+    /// sequence number — identical output to an unsharded FIFO pool. The
+    /// pool is not modified — selected transactions leave the pool only
+    /// when a block containing them commits.
+    pub fn select(&mut self, limit: usize, exclude: &BTreeSet<Hash256>) -> Vec<SealedTx> {
+        for shard in &mut self.shards {
+            shard.compact();
+        }
+        let mut heads = [0usize; MEMPOOL_SHARDS];
+        let mut out = Vec::new();
+        while out.len() < limit {
+            // Pick the live head with the smallest admission sequence.
+            let mut best: Option<(u64, usize)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                if let Some(&(seq, _)) = shard.order.get(heads[i]) {
+                    if best.is_none_or(|(b, _)| seq < b) {
+                        best = Some((seq, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else {
+                break; // every shard exhausted
+            };
+            let (_, id) = self.shards[i].order[heads[i]];
+            heads[i] += 1;
+            if !exclude.contains(&id) {
+                out.push(self.shards[i].txs[&id].clone());
+            }
+        }
+        out
     }
 
-    /// Drops every transaction whose id is in `ids` (a committed block).
-    pub fn remove_all<'a>(&mut self, ids: impl IntoIterator<Item = &'a Hash256>) {
-        for id in ids {
-            self.txs.remove(id);
+    /// Drops every listed transaction (a committed block), routing each
+    /// removal by content the same way admission did — no cross-shard
+    /// probing and no id recomputation: callers pass the block's cached
+    /// ids zipped with its bodies.
+    pub fn remove_all<'a>(
+        &mut self,
+        txs: impl IntoIterator<Item = (&'a Transaction, &'a Hash256)>,
+    ) {
+        for (tx, id) in txs {
+            if self.shards[shard_of(tx)].txs.remove(id).is_some() {
+                self.len -= 1;
+            }
         }
     }
 }
@@ -187,13 +278,13 @@ mod tests {
     use dcs_crypto::Address;
     use dcs_primitives::AccountTx;
 
-    fn tx(n: u64) -> Arc<Transaction> {
-        Arc::new(Transaction::Account(AccountTx::transfer(
+    fn tx(n: u64) -> SealedTx {
+        SealedTx::new(Arc::new(Transaction::Account(AccountTx::transfer(
             Address::from_index(n),
             Address::from_index(n + 1),
             n,
             0,
-        )))
+        ))))
     }
 
     #[test]
@@ -211,6 +302,28 @@ mod tests {
         assert_eq!(selected[1].id(), t2.id());
         // Selection does not remove.
         assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn selection_order_spans_shards() {
+        // Senders at distinct indices scatter over shards; the k-way merge
+        // must still yield exact global admission order.
+        let mut pool = Mempool::new(300);
+        let ts: Vec<SealedTx> = (0..200).map(tx).collect();
+        for t in &ts {
+            assert!(pool.insert(t.clone()));
+        }
+        assert!(
+            pool.shard_lens().iter().filter(|&&n| n > 0).count() > 1,
+            "distinct senders must spread over shards: {:?}",
+            pool.shard_lens()
+        );
+        assert_eq!(pool.shard_lens().iter().sum::<usize>(), pool.len());
+        let selected = pool.select(200, &BTreeSet::new());
+        assert_eq!(selected.len(), 200);
+        for (s, t) in selected.iter().zip(&ts) {
+            assert_eq!(s.id(), t.id(), "global FIFO order preserved");
+        }
     }
 
     #[test]
@@ -246,6 +359,24 @@ mod tests {
     }
 
     #[test]
+    fn remove_all_routes_by_content() {
+        let mut pool = Mempool::new(300);
+        let ts: Vec<SealedTx> = (0..100).map(tx).collect();
+        for t in &ts {
+            pool.insert(t.clone());
+        }
+        let ids: Vec<Hash256> = ts[..60].iter().map(|t| t.id()).collect();
+        let bodies: Vec<&Transaction> = ts[..60].iter().map(|t| &**t).collect();
+        pool.remove_all(bodies.into_iter().zip(ids.iter()));
+        assert_eq!(pool.len(), 40);
+        let selected = pool.select(100, &BTreeSet::new());
+        assert_eq!(selected.len(), 40);
+        for (s, t) in selected.iter().zip(&ts[60..]) {
+            assert_eq!(s.id(), t.id(), "survivors keep FIFO order");
+        }
+    }
+
+    #[test]
     fn admission_rejects_forged_and_warms_cache_for_block_connect() {
         use dcs_primitives::{TxAuth, TxIn, TxOut, UtxoTx};
         use dcs_state::UtxoSet;
@@ -277,19 +408,23 @@ mod tests {
             signature: sig,
         });
         let good = Transaction::Utxo(utx.clone());
-        assert!(pool.insert(Arc::new(good.clone())));
+        assert!(pool.insert(SealedTx::new(Arc::new(good.clone()))));
 
         // ...a forged one is refused at the door.
         let mut forged_utx = utx;
         forged_utx.inputs[0].auth.as_mut().unwrap().signature =
             kp.sign(&dcs_crypto::sha256(b"other")).unwrap();
-        assert!(!pool.insert(Arc::new(Transaction::Utxo(forged_utx))));
+        assert!(!pool.insert(SealedTx::new(Arc::new(Transaction::Utxo(forged_utx)))));
         assert_eq!(pool.rejected_invalid(), 1);
         assert_eq!(pool.len(), 1);
 
         // Mempool → block flow: the block containing the admitted tx
         // prevalidates entirely from the cache — hits, no new misses.
-        let body = pool.select(10, &BTreeSet::new());
+        let body: Vec<Transaction> = pool
+            .select(10, &BTreeSet::new())
+            .into_iter()
+            .map(|t| (*t.into_tx()).clone())
+            .collect();
         let before = pipeline.stats().cache.unwrap();
         assert_eq!(UtxoSet::prevalidate_witnesses(&body, &pipeline), Ok(1));
         let after = pipeline.stats().cache.unwrap();
@@ -317,24 +452,10 @@ mod tests {
             pubkey: kp.public_key(),
             signature: sig,
         });
-        assert!(!pool.insert(Arc::new(Transaction::Account(acct))));
+        assert!(!pool.insert(SealedTx::new(Arc::new(Transaction::Account(acct)))));
         assert_eq!(pool.rejected_invalid(), 1);
 
         // Unsigned transactions still pass (simulation mode).
         assert!(pool.insert(tx(1)));
-    }
-
-    #[test]
-    fn remove_all() {
-        let mut pool = Mempool::new(10);
-        let ts: Vec<_> = (0..5).map(tx).collect();
-        for t in &ts {
-            pool.insert(t.clone());
-        }
-        let ids: Vec<Hash256> = ts[..3].iter().map(|t| t.id()).collect();
-        pool.remove_all(ids.iter());
-        assert_eq!(pool.len(), 2);
-        let selected = pool.select(10, &BTreeSet::new());
-        assert_eq!(selected.len(), 2);
     }
 }

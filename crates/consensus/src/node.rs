@@ -9,7 +9,7 @@ use crate::{wire_size, WireMsg};
 use dcs_chain::{ArchivalStore, BlockStore, Chain, ChainEvent, StateMachine};
 use dcs_crypto::{Address, Hash256};
 use dcs_net::{Ctx, Gossiper, NodeId, Protocol};
-use dcs_primitives::{Block, BlockHeader, ChainConfig, Seal, Transaction};
+use dcs_primitives::{Block, BlockHeader, ChainConfig, Seal, SealedTx, Transaction};
 use dcs_sim::{SimDuration, SimTime};
 use dcs_trace::{EntityKind, Id as TraceId, RejectReason, TraceConfig, TraceEvent, Tracer, ORIGIN};
 use std::collections::{BTreeMap, BTreeSet};
@@ -459,9 +459,9 @@ impl<M: StateMachine, S: BlockStore> NodeCore<M, S> {
         let mut tx_ids = Vec::new();
         for hash in canonical.iter().skip(1) {
             if let Some(body) = self.chain.tree().get(hash).and_then(|sb| sb.body()) {
-                for tx in &body.txs {
+                for (tx, id) in body.txs.iter().zip(body.tx_ids()) {
                     if !matches!(tx, Transaction::Coinbase { .. }) {
-                        tx_ids.push(tx.id());
+                        tx_ids.push(*id);
                     }
                 }
             }
@@ -477,9 +477,11 @@ impl<M: StateMachine, S: BlockStore> NodeCore<M, S> {
 
     /// Handles an incoming (or locally submitted) transaction: dedup,
     /// re-gossip, mempool insertion. Returns true if the tx was new.
+    /// The sealed transaction carries its content id, so this hot path —
+    /// run once per peer per gossiped tx — never hashes the body.
     pub fn handle_tx(
         &mut self,
-        tx: Arc<Transaction>,
+        tx: SealedTx,
         from: Option<NodeId>,
         ctx: &mut Ctx<'_, WireMsg>,
     ) -> bool {
@@ -539,7 +541,7 @@ impl<M: StateMachine, S: BlockStore> NodeCore<M, S> {
                 // Shed the abandoned branch: collect its transactions so
                 // they can return to the mempool, and drop their ids from
                 // `included`. O(reverted), not O(chain).
-                let mut abandoned: Vec<Arc<Transaction>> = Vec::new();
+                let mut abandoned: Vec<SealedTx> = Vec::new();
                 let mut cur = old_tip;
                 for _ in 0..*reverted {
                     let Some(stored) = self.chain.tree().get(&cur) else {
@@ -550,10 +552,10 @@ impl<M: StateMachine, S: BlockStore> NodeCore<M, S> {
                     };
                     let block = Arc::clone(stored.block());
                     cur = block.header.parent;
-                    for tx in &block.txs {
+                    for (tx, id) in block.txs.iter().zip(block.tx_ids()) {
                         if !matches!(tx, Transaction::Coinbase { .. }) {
-                            self.included.remove(&tx.id());
-                            abandoned.push(Arc::new(tx.clone()));
+                            self.included.remove(id);
+                            abandoned.push(SealedTx::from_parts(Arc::new(tx.clone()), *id));
                         }
                     }
                 }
@@ -592,23 +594,27 @@ impl<M: StateMachine, S: BlockStore> NodeCore<M, S> {
             self.internal_errors += 1;
             return;
         };
+        // The id slice is cached in the block, and the `Arc` behind it is
+        // shared network-wide by gossip: across all peers these ids are
+        // computed once, not once per peer per commit.
+        let block = Arc::clone(stored.block());
+        let ids = block.tx_ids();
         if self.tracer.is_enabled() {
-            let block = TraceId(block_hash.into_bytes());
-            for tx in &stored.block().txs {
+            let block_id = TraceId(block_hash.into_bytes());
+            for (tx, id) in block.txs.iter().zip(ids) {
                 if !matches!(tx, Transaction::Coinbase { .. }) {
                     self.tracer.emit(
                         now.as_micros(),
                         TraceEvent::TxIncluded {
-                            tx: TraceId(tx.id().into_bytes()),
-                            block,
+                            tx: TraceId(id.into_bytes()),
+                            block: block_id,
                         },
                     );
                 }
             }
         }
-        let ids: Vec<Hash256> = stored.block().txs.iter().map(Transaction::id).collect();
-        self.mempool.remove_all(ids.iter());
-        self.included.extend(ids);
+        self.mempool.remove_all(block.txs.iter().zip(ids));
+        self.included.extend(ids.iter().copied());
     }
 
     /// Assembles a new block on the current tip: selects mempool
@@ -625,24 +631,33 @@ impl<M: StateMachine, S: BlockStore> NodeCore<M, S> {
         let parent = self.chain.tip_hash();
         let height = self.chain.height() + 1;
         let limit = self.chain.config().block_tx_limit;
-        let mut txs = if include_txs {
+        let selected = if include_txs {
             let included = &self.included;
             self.mempool.select(limit.saturating_sub(1), included)
         } else {
             Vec::new()
         };
-        let fees: u64 = txs.iter().map(Transaction::offered_fee).sum();
+        let fees: u64 = selected.iter().map(|t| t.offered_fee()).sum();
         let reward = self.chain.config().block_reward;
-        let mut body = Vec::with_capacity(txs.len() + 1);
-        body.push(Transaction::Coinbase {
+        // Selected transactions carry their ids from admission; only the
+        // fresh coinbase is hashed here, and the assembled block starts
+        // life with its id cache seeded — importers never re-hash bodies.
+        let mut body = Vec::with_capacity(selected.len() + 1);
+        let mut ids = Vec::with_capacity(selected.len() + 1);
+        let coinbase = Transaction::Coinbase {
             to: self.address,
             value: reward + fees,
             height,
-        });
-        body.append(&mut txs);
+        };
+        ids.push(coinbase.id());
+        body.push(coinbase);
+        for tx in selected {
+            ids.push(tx.id());
+            body.push((**tx.tx()).clone());
+        }
         let header = BlockHeader::new(parent, height, now.as_micros(), self.address, seal);
         self.blocks_produced += 1;
-        let block = Arc::new(Block::new(header, body));
+        let block = Arc::new(Block::with_ids(header, body, ids));
         if self.tracer.is_enabled() {
             self.tracer.emit(
                 now.as_micros(),
@@ -1026,7 +1041,7 @@ mod tests {
             node.ingest_block(Arc::clone(b)).unwrap();
         }
         // Volatile state that must NOT survive: a pooled tx.
-        node.mempool.insert(Arc::new(tx(9)));
+        node.mempool.insert(SealedTx::new(Arc::new(tx(9))));
         node.blocks_produced = 5;
         let tip = node.chain.tip_hash();
 
@@ -1046,7 +1061,7 @@ mod tests {
             let mut ctx = Ctx::new(NodeId(0), SimTime::ZERO, &neighbors, &mut rng, &mut actions);
             assert!(node.handle_block(b1, Some(NodeId(1)), &mut ctx).is_none());
             assert!(
-                !node.handle_tx(Arc::new(t1), Some(NodeId(1)), &mut ctx),
+                !node.handle_tx(SealedTx::new(Arc::new(t1)), Some(NodeId(1)), &mut ctx),
                 "included txs are seen too"
             );
         }

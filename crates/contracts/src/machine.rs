@@ -20,6 +20,11 @@ pub struct AccountMachine {
     pub schedule: GasSchedule,
     /// Whether witnesses are demanded and verified (block-invalidating).
     pub verify_signatures: bool,
+    /// Apply blocks through the serial per-write trie path instead of the
+    /// default batched overlay path. The two are bit-identical in roots,
+    /// receipts, and errors; serial is kept for equivalence testing and
+    /// bisection.
+    pub serial_apply: bool,
     pipeline: Option<Arc<VerifyPipeline>>,
 }
 
@@ -69,39 +74,45 @@ impl StateMachine for AccountMachine {
             _ => false,
         };
         let snapshot = self.db.snapshot();
+        if !self.serial_apply {
+            // Batched application: execution stages writes in an overlay and
+            // one `MerkleMap::write_batch` pass merges them at commit, so
+            // each touched trie branch rehashes once per block instead of
+            // once per write. Roots, receipts, and errors are bit-identical
+            // to the serial path.
+            self.db.begin_batch();
+        }
         let ctx = BlockCtx {
             proposer: block.header.proposer,
             timestamp_us: block.header.timestamp_us,
             height: block.header.height,
         };
+        let ids = block.tx_ids();
         let mut receipts = Vec::with_capacity(block.txs.len());
-        for tx in &block.txs {
+        for (tx, id) in block.txs.iter().zip(ids) {
             match tx {
                 Transaction::Coinbase { to, value, .. } => {
                     self.db.credit(to, *value);
-                    receipts.push(Receipt::success(tx.id()));
+                    receipts.push(Receipt::success(*id));
                 }
                 Transaction::Account(acct) => {
                     if self.verify_signatures && !prevalidated {
                         if let Err(e) = verify_witness(tx) {
                             self.db.rollback(snapshot);
+                            self.db.abort_batch();
                             return Err(e);
                         }
                     }
-                    receipts.push(execute_tx(
-                        &mut self.db,
-                        acct,
-                        tx.id(),
-                        &ctx,
-                        &self.schedule,
-                    ));
+                    receipts.push(execute_tx(&mut self.db, acct, *id, &ctx, &self.schedule));
                 }
                 Transaction::Utxo(_) => {
                     self.db.rollback(snapshot);
+                    self.db.abort_batch();
                     return Err("UTXO transaction in an account-model ledger".into());
                 }
             }
         }
+        self.db.commit_batch();
         Ok((receipts, self.db.take_undo(snapshot)))
     }
 
@@ -119,6 +130,10 @@ impl StateMachine for AccountMachine {
 pub struct UtxoMachine {
     /// The unspent-output set.
     pub set: UtxoSet,
+    /// Apply blocks through the serial per-transaction path instead of the
+    /// default batched one-sweep merge ([`UtxoSet::apply_batch`]). Both
+    /// produce identical commitments, fees, undos, and errors.
+    pub serial_apply: bool,
     pipeline: Option<Arc<VerifyPipeline>>,
 }
 
@@ -143,7 +158,7 @@ impl UtxoMachine {
     pub fn over(set: UtxoSet) -> Self {
         UtxoMachine {
             set,
-            pipeline: None,
+            ..UtxoMachine::default()
         }
     }
 
@@ -178,7 +193,33 @@ impl StateMachine for UtxoMachine {
             }
             _ => false,
         };
-        // Phase 2 (stateful, serial, deterministic): apply in block order.
+        // Phase 2 (stateful, deterministic): apply in block order.
+        if !self.serial_apply {
+            // Batched application: validate against the live set plus the
+            // staged deltas, then merge everything in one sorted sweep. The
+            // account-model guard runs first so the error surfaces exactly
+            // as on the serial path (which never commits anything either).
+            if block
+                .txs
+                .iter()
+                .any(|tx| matches!(tx, Transaction::Account(_)))
+            {
+                return Err("account transaction in a UTXO ledger".into());
+            }
+            let applied = self
+                .set
+                .apply_batch(&block.txs, block.tx_ids(), !prevalidated)
+                .map_err(|e| e.to_string())?;
+            let mut undos = Vec::with_capacity(applied.len());
+            let mut receipts = Vec::with_capacity(applied.len());
+            for ((fee, undo), id) in applied.into_iter().zip(block.tx_ids()) {
+                let mut r = Receipt::success(*id);
+                r.fee_paid = fee;
+                receipts.push(r);
+                undos.push(undo);
+            }
+            return Ok((receipts, undos));
+        }
         let mut undos = Vec::with_capacity(block.txs.len());
         let mut receipts = Vec::with_capacity(block.txs.len());
         for tx in &block.txs {

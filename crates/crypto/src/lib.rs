@@ -33,7 +33,7 @@ pub use batch::{PipelineStats, SigCache, SigCacheStats, VerifyItem, VerifyPipeli
 pub use codec::{Decode, Encode, Reader};
 pub use hash::{Address, Hash256};
 pub use merkle::{merkle_root, merkle_root_with, MerkleProof, MerkleTree};
-pub use sha256::{sha256, sha256_concat, Sha256};
+pub use sha256::{sha256, sha256_concat, MultiHasher, Sha256};
 pub use sig::{KeyPair, PublicKey, Signature};
 
 /// Errors produced by cryptographic operations in this crate.

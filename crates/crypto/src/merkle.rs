@@ -12,7 +12,7 @@
 use crate::batch::VerifyPool;
 use crate::codec::{Decode, DecodeError, Encode, Reader};
 use crate::hash::Hash256;
-use crate::sha256::Sha256;
+use crate::sha256::{MultiHasher, Sha256};
 use serde::{Deserialize, Serialize};
 
 const NODE_PREFIX: u8 = 0x01;
@@ -39,18 +39,18 @@ fn pad_level(level: &mut Vec<Hash256>) {
 
 /// Hashes one (already padded) level into its parents, fanning the pairs out
 /// to `pool` when the level is large enough to amortize the spawn cost.
-/// `merkle_node` is pure and outputs are reassembled in input order, so the
-/// result is bit-identical to the serial fold for any thread count.
+/// Both paths go through the multi-lane hasher — each worker of the pooled
+/// path lanes its own chunk — and every parent digest is bit-identical to a
+/// serial `merkle_node` fold for any thread or lane count.
 fn hash_level(level: &[Hash256], pool: &VerifyPool) -> Vec<Hash256> {
     debug_assert_eq!(level.len() % 2, 0, "levels are padded before hashing");
     if pool.threads() > 1 && level.len() / 2 >= PARALLEL_PAIR_THRESHOLD {
         let pairs: Vec<&[Hash256]> = level.chunks_exact(2).collect();
         pool.map(&pairs, |pair| merkle_node(&pair[0], &pair[1]))
     } else {
-        level
-            .chunks_exact(2)
-            .map(|pair| merkle_node(&pair[0], &pair[1]))
-            .collect()
+        let mut out = Vec::new();
+        MultiHasher::wide().hash_pairs_into(NODE_PREFIX, level, &mut out);
+        out
     }
 }
 

@@ -178,6 +178,257 @@ pub fn sha256_concat(a: &[u8], b: &[u8]) -> Hash256 {
     ctx.finalize()
 }
 
+/// Interleaved `L`-lane SHA-256 compression: `L` independent message streams
+/// each advance one 64-byte block per call.
+///
+/// The state is kept *transposed* — `states[word][lane]` — so every round
+/// operation is an element-wise loop over the lanes that the compiler can
+/// keep in SIMD registers (4 lanes per SSE2 vector, 8 per AVX2). Each lane
+/// runs exactly the FIPS 180-4 math of [`Sha256`]'s scalar `compress`; the
+/// lanes only widen the data path, so per-lane digests are bit-identical to
+/// the scalar implementation.
+// Index loops are deliberate: every lane loop must stay a plain counted
+// `for` over `0..L` for the auto-vectorizer to see the element-wise shape.
+#[allow(clippy::needless_range_loop)]
+fn compress_wide<const L: usize>(states: &mut [[u32; L]; 8], blocks: &[[u8; 64]; L]) {
+    let mut w = [[0u32; L]; 64];
+    for i in 0..16 {
+        let o = 4 * i;
+        for l in 0..L {
+            w[i][l] = u32::from_be_bytes([
+                blocks[l][o],
+                blocks[l][o + 1],
+                blocks[l][o + 2],
+                blocks[l][o + 3],
+            ]);
+        }
+    }
+    for i in 16..64 {
+        for l in 0..L {
+            let w15 = w[i - 15][l];
+            let w2 = w[i - 2][l];
+            let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+            let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+            w[i][l] = w[i - 16][l]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7][l])
+                .wrapping_add(s1);
+        }
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *states;
+    for i in 0..64 {
+        let mut t1 = [0u32; L];
+        let mut t2 = [0u32; L];
+        for l in 0..L {
+            let s1 = e[l].rotate_right(6) ^ e[l].rotate_right(11) ^ e[l].rotate_right(25);
+            let ch = (e[l] & f[l]) ^ (!e[l] & g[l]);
+            t1[l] = h[l]
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i][l]);
+            let s0 = a[l].rotate_right(2) ^ a[l].rotate_right(13) ^ a[l].rotate_right(22);
+            let maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+            t2[l] = s0.wrapping_add(maj);
+        }
+        h = g;
+        g = f;
+        f = e;
+        for l in 0..L {
+            e[l] = d[l].wrapping_add(t1[l]);
+        }
+        d = c;
+        c = b;
+        b = a;
+        for l in 0..L {
+            a[l] = t1[l].wrapping_add(t2[l]);
+        }
+    }
+    let rounds = [a, b, c, d, e, f, g, h];
+    for (word, round) in states.iter_mut().zip(rounds) {
+        for l in 0..L {
+            word[l] = word[l].wrapping_add(round[l]);
+        }
+    }
+}
+
+/// Number of 64-byte blocks a `len`-byte message occupies after FIPS 180-4
+/// padding (`0x80`, zeros, 8-byte bit length).
+fn padded_blocks(len: usize) -> usize {
+    (len + 9).div_ceil(64)
+}
+
+/// Materializes block `block` of the padded form of `msg` into `buf`.
+fn fill_block(msg: &[u8], block: usize, buf: &mut [u8; 64]) {
+    let n = msg.len();
+    let start = block * 64;
+    if start + 64 <= n {
+        buf.copy_from_slice(&msg[start..start + 64]);
+        return;
+    }
+    buf.fill(0);
+    if start < n {
+        let take = n - start;
+        buf[..take].copy_from_slice(&msg[start..]);
+        buf[take] = 0x80;
+    } else if start == n {
+        buf[0] = 0x80;
+    }
+    // start > n: the 0x80 terminator landed in an earlier block; zeros only.
+    if block + 1 == padded_blocks(n) {
+        let bits = (n as u64).wrapping_mul(8);
+        buf[56..].copy_from_slice(&bits.to_be_bytes());
+    }
+}
+
+/// Sentinel for an idle lane in the ragged scheduler.
+const IDLE: usize = usize::MAX;
+
+/// Hashes every message in `msgs` with `L` lanes in flight: lanes advance one
+/// block per wide compression and are refilled with the next pending message
+/// as soon as their current one finishes, so ragged length mixes stay close
+/// to full occupancy. Digests land in `out[i]` for `msgs[i]`.
+fn hash_ragged<const L: usize>(msgs: &[&[u8]], out: &mut [Hash256]) {
+    let mut next = 0usize;
+    let mut lane_msg = [IDLE; L];
+    let mut lane_block = [0usize; L];
+    let mut states = [[0u32; L]; 8];
+    let mut blocks = [[0u8; 64]; L];
+    let mut active = 0usize;
+    loop {
+        for l in 0..L {
+            if lane_msg[l] == IDLE && next < msgs.len() {
+                lane_msg[l] = next;
+                lane_block[l] = 0;
+                for (word, h0) in states.iter_mut().zip(H0) {
+                    word[l] = h0;
+                }
+                next += 1;
+                active += 1;
+            }
+        }
+        if active == 0 {
+            break;
+        }
+        for l in 0..L {
+            if lane_msg[l] != IDLE {
+                fill_block(msgs[lane_msg[l]], lane_block[l], &mut blocks[l]);
+            }
+        }
+        compress_wide(&mut states, &blocks);
+        for l in 0..L {
+            let m = lane_msg[l];
+            if m == IDLE {
+                continue;
+            }
+            lane_block[l] += 1;
+            if lane_block[l] == padded_blocks(msgs[m].len()) {
+                let mut bytes = [0u8; 32];
+                for (w, word) in states.iter().enumerate() {
+                    bytes[4 * w..4 * w + 4].copy_from_slice(&word[l].to_be_bytes());
+                }
+                out[m] = Hash256::from_bytes(bytes);
+                lane_msg[l] = IDLE;
+                active -= 1;
+            }
+        }
+    }
+}
+
+/// Batch SHA-256 over many independent messages using interleaved 4- or
+/// 8-lane compression.
+///
+/// The scalar [`Sha256`] is bound by its serial dependency chain; hashing
+/// `L` independent messages in lockstep exposes `L`-way instruction-level
+/// parallelism (and auto-vectorizes), which speeds up exactly the workloads
+/// the commit path is made of — transaction ids, Merkle levels, signature
+/// cache keys. Every digest is **bit-identical** to [`sha256`].
+///
+/// # Examples
+///
+/// ```
+/// use dcs_crypto::{sha256, MultiHasher};
+///
+/// let msgs: Vec<Vec<u8>> = (0u8..20).map(|i| vec![i; i as usize * 7]).collect();
+/// let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+/// let digests = MultiHasher::wide().hash_many(&refs);
+/// for (msg, d) in msgs.iter().zip(&digests) {
+///     assert_eq!(*d, sha256(msg));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MultiHasher {
+    lanes: usize,
+}
+
+impl Default for MultiHasher {
+    fn default() -> Self {
+        Self::wide()
+    }
+}
+
+impl MultiHasher {
+    /// A hasher using up to `lanes` interleaved lanes (clamped to `1..=8`;
+    /// widths other than 4 and 8 fall back to the next narrower path).
+    pub fn new(lanes: usize) -> Self {
+        MultiHasher {
+            lanes: lanes.clamp(1, 8),
+        }
+    }
+
+    /// The widest supported hasher (8 lanes).
+    pub fn wide() -> Self {
+        Self::new(8)
+    }
+
+    /// The configured lane count.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Hashes every message, returning digests in input order.
+    pub fn hash_many(&self, msgs: &[&[u8]]) -> Vec<Hash256> {
+        let mut out = vec![Hash256::ZERO; msgs.len()];
+        self.hash_many_into(msgs, &mut out);
+        out
+    }
+
+    /// [`MultiHasher::hash_many`] into a caller-provided slice
+    /// (`out.len() == msgs.len()`).
+    pub fn hash_many_into(&self, msgs: &[&[u8]], out: &mut [Hash256]) {
+        assert_eq!(msgs.len(), out.len(), "one output slot per message");
+        if self.lanes >= 8 && msgs.len() >= 8 {
+            hash_ragged::<8>(msgs, out);
+        } else if self.lanes >= 4 && msgs.len() >= 4 {
+            hash_ragged::<4>(msgs, out);
+        } else {
+            for (msg, slot) in msgs.iter().zip(out) {
+                *slot = sha256(msg);
+            }
+        }
+    }
+
+    /// Hashes each adjacent `(left, right)` pair of `level` — which must have
+    /// even length — as `sha256(prefix ‖ left ‖ right)`, appending the parent
+    /// digests to `out` in order. This is the Merkle level step; the 65-byte
+    /// messages all share one two-block shape, so the lanes stay fully
+    /// occupied.
+    pub fn hash_pairs_into(&self, prefix: u8, level: &[Hash256], out: &mut Vec<Hash256>) {
+        debug_assert_eq!(level.len() % 2, 0, "levels are padded before hashing");
+        let pairs = level.len() / 2;
+        let base = out.len();
+        out.resize(base + pairs, Hash256::ZERO);
+        let mut msgs: Vec<[u8; 65]> = vec![[0u8; 65]; pairs];
+        for (pair, msg) in level.chunks_exact(2).zip(msgs.iter_mut()) {
+            msg[0] = prefix;
+            msg[1..33].copy_from_slice(pair[0].as_ref());
+            msg[33..65].copy_from_slice(pair[1].as_ref());
+        }
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        self.hash_many_into(&refs, &mut out[base..]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +514,68 @@ mod tests {
             }
             assert_eq!(ctx.finalize(), sha256(&data), "len {len}");
         }
+    }
+
+    /// Deterministic pseudo-random message of length `len` (no RNG in tests).
+    fn msg(len: usize, salt: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+            .collect()
+    }
+
+    #[test]
+    fn multihasher_matches_scalar_for_uniform_lengths() {
+        // Every padding-boundary length, at batch sizes straddling the lane
+        // widths, in both 4- and 8-lane configurations.
+        for len in [
+            0usize, 1, 31, 54, 55, 56, 57, 63, 64, 65, 119, 120, 128, 200,
+        ] {
+            for count in [1usize, 3, 4, 5, 7, 8, 9, 16, 33] {
+                let data: Vec<Vec<u8>> = (0..count).map(|i| msg(len, i as u8)).collect();
+                let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+                for lanes in [1, 4, 8] {
+                    let got = MultiHasher::new(lanes).hash_many(&refs);
+                    for (m, d) in data.iter().zip(&got) {
+                        assert_eq!(*d, sha256(m), "len={len} count={count} lanes={lanes}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multihasher_matches_scalar_for_ragged_lengths() {
+        // Ragged mixes force mid-flight lane refills.
+        let data: Vec<Vec<u8>> = (0..57usize).map(|i| msg((i * 37) % 301, i as u8)).collect();
+        let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+        for lanes in [4, 8] {
+            let got = MultiHasher::new(lanes).hash_many(&refs);
+            for (i, (m, d)) in data.iter().zip(&got).enumerate() {
+                assert_eq!(*d, sha256(m), "i={i} lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn multihasher_pairs_match_pairwise_concat() {
+        for pairs in [1usize, 2, 3, 4, 7, 8, 9, 50] {
+            let level: Vec<Hash256> = (0..pairs * 2).map(|i| sha256(&msg(40, i as u8))).collect();
+            let mut got = Vec::new();
+            MultiHasher::wide().hash_pairs_into(0x01, &level, &mut got);
+            assert_eq!(got.len(), pairs);
+            for (pair, d) in level.chunks_exact(2).zip(&got) {
+                let mut joined = vec![0x01u8];
+                joined.extend_from_slice(pair[0].as_ref());
+                joined.extend_from_slice(pair[1].as_ref());
+                assert_eq!(*d, sha256(&joined), "pairs={pairs}");
+            }
+        }
+    }
+
+    #[test]
+    fn multihasher_lane_count_clamps() {
+        assert_eq!(MultiHasher::new(0).lanes(), 1);
+        assert_eq!(MultiHasher::new(100).lanes(), 8);
+        assert_eq!(MultiHasher::wide().lanes(), 8);
     }
 }

@@ -81,9 +81,30 @@ impl VerificationReport {
             .map_or(self.pipeline.batch_items, |c| c.misses)
     }
 
-    /// Cache hit rate in `[0, 1]` (0 when no cache is configured).
+    /// Cache hit rate in `[0, 1]` (0 when no cache is configured). This is
+    /// the `verify_cache_hit_rate` column of the BENCH v2 schema: the
+    /// fraction of signature checks block connect answered from the
+    /// admission-warmed cache instead of re-executing.
     pub fn cache_hit_rate(&self) -> f64 {
         self.pipeline.cache.map_or(0.0, |c| c.hit_rate())
+    }
+
+    /// Batches submitted through the pipeline (one per admission or
+    /// prevalidation call).
+    pub fn verify_batches(&self) -> u64 {
+        self.pipeline.batches
+    }
+
+    /// Mean items per verification batch — how "batch-first" the verify
+    /// stage actually ran. 1.0 means every signature arrived alone (pure
+    /// tx-at-a-time admission); block prevalidation drives it toward the
+    /// block's witness count.
+    pub fn avg_batch_size(&self) -> f64 {
+        if self.pipeline.batches == 0 {
+            0.0
+        } else {
+            self.pipeline.batch_items as f64 / self.pipeline.batches as f64
+        }
     }
 }
 
@@ -302,6 +323,8 @@ mod tests {
         assert_eq!(report.signatures_skipped(), 1);
         assert_eq!(report.signatures_verified(), 1);
         assert!((report.cache_hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(report.verify_batches(), 2);
+        assert!((report.avg_batch_size() - 1.0).abs() < 1e-9);
         let text = report.to_string();
         assert!(text.contains("skipped=1"), "{text}");
     }

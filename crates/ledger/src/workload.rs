@@ -7,7 +7,7 @@
 use dcs_consensus::WireMsg;
 use dcs_crypto::{Address, Hash256};
 use dcs_net::{Network, NodeId};
-use dcs_primitives::{AccountTx, Transaction, TxPayload};
+use dcs_primitives::{AccountTx, SealedTx, Transaction, TxPayload};
 use dcs_sim::{Rng, SimDuration, SimTime};
 use dcs_trace::{Id as TraceId, TraceEvent};
 use std::collections::HashMap;
@@ -101,7 +101,10 @@ impl Workload {
             seq += 1;
             let at = SimTime::from_micros((t * 1_000_000.0) as u64);
             let node = NodeId(rng.below(n as u64) as usize);
-            let id = tx.id();
+            // Seal the transaction with its id once at injection; every
+            // gossip hop downstream reuses the carried id.
+            let sealed = SealedTx::new(Arc::new(tx));
+            let id = sealed.id();
             submitted.insert(id, at);
             // Submission is attributed to the point-of-contact peer at the
             // instant the client hands the transaction over.
@@ -112,7 +115,7 @@ impl Workload {
                     tx: TraceId(id.into_bytes()),
                 },
             );
-            let msg = WireMsg::Tx(Arc::new(tx));
+            let msg = WireMsg::Tx(sealed);
             let size = dcs_consensus::wire_size(&msg);
             net.inject(at, node, msg, size);
         }

@@ -53,9 +53,10 @@ pub fn check_workspace(root: &Path, allow: &Allowlist) -> io::Result<Vec<Finding
     Ok(findings)
 }
 
-const SKIP_DIRS: &[&str] = &[
-    "target", "vendor", "tests", "benches", "examples", "fixtures",
-];
+// `tests` directories ARE walked (wall-clock/unseeded-rng apply there; see
+// `rules::in_scope`); benches and examples stay out — they are wall-clock
+// timers and demo printers by design.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "benches", "examples", "fixtures"];
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {

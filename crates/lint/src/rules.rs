@@ -106,8 +106,21 @@ fn under(path: &str, prefixes: &[&str]) -> bool {
     })
 }
 
+/// Integration-test sources: the workspace `tests/` tree and every crate's
+/// `tests/` directory.
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/")
+}
+
 /// True when `rule_id` applies to the file at `path`.
 pub fn in_scope(rule_id: &str, path: &str) -> bool {
+    // Test code asserts freely (unwrap, floats, hash maps are fine there),
+    // but it still must replay bit-identically, so the two rules that can
+    // silently break a seeded run — wall-clock reads and unseeded
+    // randomness — apply to the tests tree too.
+    if is_test_path(path) {
+        return matches!(rule_id, "wall-clock" | "unseeded-rng");
+    }
     match rule_id {
         "wall-clock" => !path.starts_with("crates/bench/"),
         "unseeded-rng" => true,
@@ -245,6 +258,14 @@ fn path_prefix_is(toks: &[Tok<'_>], i: usize, prefix: &str) -> bool {
 /// True for number tokens that are float literals (`4.0`, `1e6`, `2f64`).
 fn is_float_literal(n: &str) -> bool {
     if n.starts_with("0x") || n.starts_with("0b") || n.starts_with("0o") {
+        return false;
+    }
+    // An explicit integer suffix settles it — `0usize`/`7i64` contain an
+    // `e` but are not floats.
+    const INT_SUFFIXES: &[&str] = &[
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+    ];
+    if INT_SUFFIXES.iter().any(|s| n.ends_with(s)) {
         return false;
     }
     n.contains('.')

@@ -7,6 +7,7 @@ use crate::Amount;
 use dcs_crypto::codec::{Decode, DecodeError, Encode, Reader};
 use dcs_crypto::{merkle, sha256, Address, Hash256};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// The consensus proof attached to a header. One variant per protocol family
 /// the paper surveys (§2.4).
@@ -125,20 +126,82 @@ impl BlockHeader {
 }
 
 /// A full block: header plus transaction body.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Block {
     /// The sealed header.
     pub header: BlockHeader,
     /// Ordered transactions.
     pub txs: Vec<Transaction>,
+    /// Body transaction ids, computed batch-first on first use and shared by
+    /// every consumer of this instance (root verification, inclusion
+    /// tracking). Not part of the block's identity: skipped by the codec,
+    /// equality, and clones.
+    #[serde(skip)]
+    ids: OnceLock<Box<[Hash256]>>,
 }
+
+impl Clone for Block {
+    fn clone(&self) -> Self {
+        // The clone starts with a cold cache: clones exist to be modified
+        // (tests, experiment tooling), and a carried-over cache would go
+        // stale the moment the body changes.
+        Block {
+            header: self.header.clone(),
+            txs: self.txs.clone(),
+            ids: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Self) -> bool {
+        self.header == other.header && self.txs == other.txs
+    }
+}
+
+impl Eq for Block {}
 
 impl Block {
     /// Assembles a block, computing and committing the transaction Merkle
     /// root into the header.
     pub fn new(mut header: BlockHeader, txs: Vec<Transaction>) -> Self {
         header.tx_root = Self::compute_tx_root(&txs);
-        Block { header, txs }
+        Block {
+            header,
+            txs,
+            ids: OnceLock::new(),
+        }
+    }
+
+    /// Assembles a block from transactions whose ids the caller has already
+    /// computed (the propose path: the mempool hands both over). Commits the
+    /// Merkle root over `ids` and seeds the id cache, so assembly never
+    /// re-hashes bodies the pool already identified.
+    pub fn with_ids(mut header: BlockHeader, txs: Vec<Transaction>, ids: Vec<Hash256>) -> Self {
+        debug_assert_eq!(txs.len(), ids.len(), "one id per transaction");
+        debug_assert!(
+            txs.iter().zip(&ids).all(|(tx, id)| tx.id() == *id),
+            "ids must match the bodies"
+        );
+        header.tx_root = merkle::merkle_root(&ids);
+        Block {
+            header,
+            txs,
+            ids: OnceLock::from(ids.into_boxed_slice()),
+        }
+    }
+
+    /// Reassembles a block from an already-sealed header and its body
+    /// without recomputing the transaction root (mining workflows seal a
+    /// template header whose `tx_root` is already committed). The caller is
+    /// responsible for the header/body pairing; `verify_tx_root` still
+    /// checks it.
+    pub fn from_parts(header: BlockHeader, txs: Vec<Transaction>) -> Self {
+        Block {
+            header,
+            txs,
+            ids: OnceLock::new(),
+        }
     }
 
     /// The block hash (hash of the header).
@@ -146,15 +209,23 @@ impl Block {
         self.header.hash()
     }
 
+    /// The body's transaction ids, in order — computed with the multi-lane
+    /// batch hasher on first call and cached for the life of this instance.
+    /// Shared `Arc<Block>` holders (the gossip fabric, the block store) all
+    /// reuse one computation.
+    pub fn tx_ids(&self) -> &[Hash256] {
+        self.ids
+            .get_or_init(|| Transaction::batch_ids(&self.txs).into_boxed_slice())
+    }
+
     /// Merkle root over the transaction ids.
     pub fn compute_tx_root(txs: &[Transaction]) -> Hash256 {
-        let leaves: Vec<Hash256> = txs.iter().map(Transaction::id).collect();
-        merkle::merkle_root(&leaves)
+        merkle::merkle_root(&Transaction::batch_ids(txs))
     }
 
     /// Checks that the header's `tx_root` matches the body.
     pub fn verify_tx_root(&self) -> bool {
-        self.header.tx_root == Self::compute_tx_root(&self.txs)
+        self.header.tx_root == merkle::merkle_root(self.tx_ids())
     }
 
     /// Total fees offered by the body's transactions.
@@ -276,6 +347,7 @@ impl Decode for Block {
         Ok(Block {
             header: BlockHeader::decode(r)?,
             txs: Vec::decode(r)?,
+            ids: OnceLock::new(),
         })
     }
 }

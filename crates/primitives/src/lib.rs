@@ -36,7 +36,7 @@ pub use block::{Block, BlockHeader, Seal};
 pub use config::{ChainConfig, ConsensusKind, ForkChoice};
 pub use gas::GasSchedule;
 pub use receipt::{LogEntry, Receipt, TxStatus};
-pub use transaction::{AccountTx, Transaction, TxAuth, TxIn, TxOut, TxPayload, UtxoTx};
+pub use transaction::{AccountTx, SealedTx, Transaction, TxAuth, TxIn, TxOut, TxPayload, UtxoTx};
 
 /// Monetary amounts and gas quantities. The unit is the smallest indivisible
 /// token ("wei"-like); 64 bits comfortably covers simulated economies.

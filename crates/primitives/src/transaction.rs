@@ -11,8 +11,9 @@
 
 use crate::Amount;
 use dcs_crypto::codec::{Decode, DecodeError, Encode, Reader};
-use dcs_crypto::{sha256, Address, Hash256, PublicKey, Signature};
+use dcs_crypto::{sha256, Address, Hash256, MultiHasher, PublicKey, Signature};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A reference to a previous transaction output, plus the witness
 /// authorizing its spend.
@@ -217,6 +218,75 @@ impl Transaction {
             Transaction::Utxo(_) => 0,
             Transaction::Account(tx) => tx.gas_limit.saturating_mul(tx.gas_price),
         }
+    }
+
+    /// Ids of many transactions at once, computed with the multi-lane hasher.
+    ///
+    /// Bit-identical to mapping [`Transaction::id`] but hashes the encodings
+    /// 8 digests at a time, which is how every batch consumer (Merkle roots,
+    /// block verification, inclusion tracking) should compute ids.
+    pub fn batch_ids(txs: &[Transaction]) -> Vec<Hash256> {
+        let encoded: Vec<Vec<u8>> = txs
+            .iter()
+            .map(|tx| {
+                let mut buf = Vec::new();
+                tx.encode(&mut buf);
+                buf
+            })
+            .collect();
+        let refs: Vec<&[u8]> = encoded.iter().map(Vec::as_slice).collect();
+        MultiHasher::wide().hash_many(&refs)
+    }
+}
+
+/// A transaction bundled with its content id, computed exactly once.
+///
+/// [`Transaction::id`] re-encodes and re-hashes on every call; on the gossip
+/// path that cost used to be paid per *delivery* (every peer, every duplicate
+/// hop). A `SealedTx` carries the id alongside the shared transaction body,
+/// the in-memory analogue of computing the id at decode time: the first
+/// owner pays for it, every later hop and table lookup reuses it.
+#[derive(Debug, Clone)]
+pub struct SealedTx {
+    tx: Arc<Transaction>,
+    id: Hash256,
+}
+
+impl SealedTx {
+    /// Seals `tx`, computing its id.
+    pub fn new(tx: Arc<Transaction>) -> Self {
+        let id = tx.id();
+        SealedTx { tx, id }
+    }
+
+    /// Seals `tx` with an id the caller already computed (e.g. from a batch
+    /// [`Transaction::batch_ids`] pass). Debug builds verify the pairing.
+    pub fn from_parts(tx: Arc<Transaction>, id: Hash256) -> Self {
+        debug_assert_eq!(id, tx.id(), "sealed id must match the body");
+        SealedTx { tx, id }
+    }
+
+    /// The cached content id ([`Transaction::id`]).
+    pub fn id(&self) -> Hash256 {
+        self.id
+    }
+
+    /// The shared transaction body.
+    pub fn tx(&self) -> &Arc<Transaction> {
+        &self.tx
+    }
+
+    /// Unwraps into the shared transaction body.
+    pub fn into_tx(self) -> Arc<Transaction> {
+        self.tx
+    }
+}
+
+impl std::ops::Deref for SealedTx {
+    type Target = Transaction;
+
+    fn deref(&self) -> &Transaction {
+        &self.tx
     }
 }
 

@@ -103,6 +103,17 @@ impl Summary {
         self.percentile(50.0)
     }
 
+    /// Convenience: the 50th percentile (alias of [`Summary::median`]).
+    pub fn p50(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Convenience: the 99th percentile — the tail the macro benchmark
+    /// reports alongside the mean (BENCH schema v2).
+    pub fn p99(&mut self) -> f64 {
+        self.percentile(99.0)
+    }
+
     /// Folds another summary into this one, equivalent to having recorded
     /// all of `other`'s samples here. Lets per-node collectors be merged
     /// into a network-wide distribution without re-recording.
@@ -151,6 +162,17 @@ impl Histogram {
             *b += n;
         }
         self.count += other.count;
+    }
+
+    /// Convenience: upper bound of the bucket holding the median sample.
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper_bound(0.50)
+    }
+
+    /// Convenience: upper bound of the bucket holding the 99th-percentile
+    /// sample.
+    pub fn p99(&self) -> u64 {
+        self.quantile_upper_bound(0.99)
     }
 
     /// Approximate quantile: upper bound of the bucket containing the
@@ -235,6 +257,28 @@ mod tests {
         assert_eq!(s.median(), 2.5);
         assert_eq!(s.percentile(100.0), 4.0);
         assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn summary_p50_p99_match_percentile() {
+        let mut s = Summary::new();
+        for v in 1..=100 {
+            s.record(f64::from(v));
+        }
+        assert_eq!(s.p50(), s.percentile(50.0));
+        assert_eq!(s.p99(), s.percentile(99.0));
+        assert!(s.p99() > s.p50());
+    }
+
+    #[test]
+    fn histogram_p50_p99_match_quantile_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), h.quantile_upper_bound(0.50));
+        assert_eq!(h.p99(), h.quantile_upper_bound(0.99));
+        assert!(h.p99() >= h.p50());
     }
 
     #[test]

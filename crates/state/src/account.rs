@@ -10,6 +10,7 @@ use dcs_crypto::codec::{decode_all, Decode, DecodeError, Encode, Reader};
 use dcs_crypto::{Address, Hash256};
 use dcs_primitives::Amount;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// The balance/nonce record of one account.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -85,6 +86,12 @@ pub struct AccountUndo {
 pub struct AccountDb {
     map: MerkleMap,
     journal: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    /// Batched-application overlay (`Some` while a batch is open): pending
+    /// writes staged here are merged into the trie in one
+    /// [`MerkleMap::write_batch`] pass at [`AccountDb::commit_batch`] time.
+    /// Reads always consult the overlay first, so execution sees exactly the
+    /// state the serial path would.
+    overlay: Option<BTreeMap<Vec<u8>, Option<Vec<u8>>>>,
 }
 
 impl AccountDb {
@@ -109,18 +116,66 @@ impl AccountDb {
         self.map.prove(&account_key(addr))
     }
 
+    /// Opens a write batch: subsequent mutations are staged in an overlay
+    /// instead of touching the trie, and [`AccountDb::commit_batch`] merges
+    /// them in one [`MerkleMap::write_batch`] pass with a single root path
+    /// rehash per touched branch. Journal semantics (snapshot / rollback /
+    /// take_undo) are unchanged — mid-batch transaction failures revert
+    /// exactly as on the serial path. No-op if a batch is already open.
+    pub fn begin_batch(&mut self) {
+        self.overlay.get_or_insert_with(BTreeMap::new);
+    }
+
+    /// Merges all staged writes into the trie in one pass and closes the
+    /// batch. The resulting root is bit-identical to applying the same
+    /// mutations serially. No-op when no batch is open.
+    pub fn commit_batch(&mut self) {
+        if let Some(overlay) = self.overlay.take() {
+            self.map.write_batch(overlay.into_iter().collect());
+        }
+    }
+
+    /// Discards the overlay and closes the batch. The caller must already
+    /// have rolled the journal back to the pre-batch snapshot — after such a
+    /// rollback the overlay holds only writes restoring pre-batch values, so
+    /// dropping it is equivalent to committing it. No-op outside a batch.
+    pub fn abort_batch(&mut self) {
+        self.overlay = None;
+    }
+
+    /// True while a write batch is open.
+    pub fn is_batching(&self) -> bool {
+        self.overlay.is_some()
+    }
+
+    fn raw_get(&self, key: &[u8]) -> Option<&[u8]> {
+        if let Some(overlay) = &self.overlay {
+            if let Some(staged) = overlay.get(key) {
+                return staged.as_deref();
+            }
+        }
+        self.map.get(key)
+    }
+
     fn raw_set(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
-        let old = match &value {
-            Some(v) => self.map.insert(key.clone(), v.clone()),
-            None => self.map.remove(&key),
+        let old = match &mut self.overlay {
+            Some(overlay) => match overlay.insert(key.clone(), value) {
+                // The overlay-visible previous value: an earlier staged
+                // write, or (first touch in this batch) the trie's value.
+                Some(staged) => staged,
+                None => self.map.get(&key).map(<[u8]>::to_vec),
+            },
+            None => match &value {
+                Some(v) => self.map.insert(key.clone(), v.clone()),
+                None => self.map.remove(&key),
+            },
         };
         self.journal.push((key, old));
     }
 
     /// Reads an account record (zero balance/nonce if absent).
     pub fn account(&self, addr: &Address) -> Account {
-        self.map
-            .get(&account_key(addr))
+        self.raw_get(&account_key(addr))
             .and_then(|bytes| decode_all::<Account>(bytes).ok())
             .unwrap_or_default()
     }
@@ -196,7 +251,7 @@ impl AccountDb {
 
     /// The contract code stored at `addr`, if any.
     pub fn code(&self, addr: &Address) -> Option<&[u8]> {
-        self.map.get(&code_key(addr))
+        self.raw_get(&code_key(addr))
     }
 
     /// Installs contract code at `addr`.
@@ -206,7 +261,7 @@ impl AccountDb {
 
     /// Reads a contract storage slot.
     pub fn storage(&self, addr: &Address, slot: &Hash256) -> Option<&[u8]> {
-        self.map.get(&storage_key(addr, slot))
+        self.raw_get(&storage_key(addr, slot))
     }
 
     /// Writes (or clears, with `None`) a contract storage slot.
@@ -224,6 +279,14 @@ impl AccountDb {
     pub fn rollback(&mut self, snapshot: usize) {
         while self.journal.len() > snapshot {
             let (key, old) = self.journal.pop().expect("journal longer than snapshot");
+            if let Some(overlay) = &mut self.overlay {
+                // Inside a batch the journal records overlay-visible old
+                // values, so restoring is a staged write. Re-staging a value
+                // equal to the trie's own is harmless: the commit-time merge
+                // is content-addressed, so the root is unchanged by it.
+                overlay.insert(key, old);
+                continue;
+            }
             match old {
                 Some(v) => {
                     self.map.insert(key, v);
@@ -393,5 +456,88 @@ mod tests {
         db.credit(&addr(1), Amount::MAX);
         db.credit(&addr(1), 5);
         assert_eq!(db.balance(&addr(1)), Amount::MAX);
+    }
+
+    fn seeded(n: u64) -> AccountDb {
+        let mut db = AccountDb::new();
+        for i in 0..n {
+            db.credit(&addr(i), 100 * (i + 1));
+        }
+        db.clear_journal();
+        db
+    }
+
+    #[test]
+    fn batched_application_matches_serial_root() {
+        let mut serial = seeded(10);
+        let mut batched = seeded(10);
+
+        batched.begin_batch();
+        for db in [&mut serial, &mut batched] {
+            db.transfer(&addr(1), &addr(2), 30).unwrap();
+            db.bump_nonce(&addr(1));
+            db.transfer(&addr(2), &addr(3), 5).unwrap();
+            db.set_code(&addr(7), vec![1, 2, 3]);
+            db.set_storage(&addr(7), &dcs_crypto::sha256(b"s"), Some(vec![9]));
+            // Reads mid-batch must see staged writes.
+            assert_eq!(db.balance(&addr(2)), 100 * 3 + 30 - 5);
+            // Prune an account to zero (a staged remove).
+            let b = db.balance(&addr(4));
+            db.debit(&addr(4), b).unwrap();
+        }
+        batched.commit_batch();
+
+        assert_eq!(batched.root(), serial.root());
+        assert_eq!(batched.entry_count(), serial.entry_count());
+    }
+
+    #[test]
+    fn mid_batch_rollback_matches_serial_failed_tx() {
+        let mut serial = seeded(5);
+        let mut batched = seeded(5);
+
+        batched.begin_batch();
+        for db in [&mut serial, &mut batched] {
+            db.transfer(&addr(1), &addr(2), 10).unwrap(); // good tx
+            let snap = db.snapshot();
+            db.transfer(&addr(2), &addr(3), 50).unwrap(); // tx that will fail…
+            db.bump_nonce(&addr(2));
+            db.rollback(snap); // …and be reverted
+            db.transfer(&addr(3), &addr(4), 7).unwrap(); // good tx after revert
+        }
+        batched.commit_batch();
+
+        assert_eq!(batched.root(), serial.root());
+        assert_eq!(batched.balance(&addr(2)), serial.balance(&addr(2)));
+        assert_eq!(batched.nonce(&addr(2)), 0);
+    }
+
+    #[test]
+    fn rolled_back_batch_abort_restores_pre_batch_root() {
+        let mut db = seeded(5);
+        let before = db.root();
+        let snap = db.snapshot();
+        db.begin_batch();
+        db.transfer(&addr(1), &addr(2), 10).unwrap();
+        db.bump_nonce(&addr(3));
+        db.rollback(snap);
+        db.abort_batch();
+        assert_eq!(db.root(), before);
+        assert!(!db.is_batching());
+    }
+
+    #[test]
+    fn batch_undo_round_trip_reverses_committed_block() {
+        let mut db = seeded(5);
+        let before = db.root();
+        let snap = db.snapshot();
+        db.begin_batch();
+        db.transfer(&addr(1), &addr(2), 30).unwrap();
+        db.bump_nonce(&addr(1));
+        db.commit_batch();
+        let undo = db.take_undo(snap);
+        assert_ne!(db.root(), before);
+        db.apply_undo(undo);
+        assert_eq!(db.root(), before);
     }
 }

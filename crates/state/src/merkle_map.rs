@@ -9,7 +9,7 @@
 //! the root usable as the header `state_root`.
 
 use dcs_crypto::codec::{Decode, DecodeError, Encode, Reader};
-use dcs_crypto::{sha256, Hash256, Sha256};
+use dcs_crypto::{sha256, Hash256, MultiHasher, Sha256};
 use serde::{Deserialize, Serialize};
 
 fn leaf_hash(key_hash: &Hash256, value: &[u8]) -> Hash256 {
@@ -46,6 +46,15 @@ enum Node {
         right: Option<Box<Node>>,
         hash: Hash256,
     },
+}
+
+/// One pending write in a [`MerkleMap::write_batch`] call, routed by the
+/// precomputed hash of its key.
+struct BatchEntry {
+    kh: Hash256,
+    key: Vec<u8>,
+    /// `Some` = insert/replace, `None` = remove.
+    value: Option<Vec<u8>>,
 }
 
 impl Node {
@@ -272,6 +281,197 @@ impl MerkleMap {
                     (Some(boxed), old)
                 }
             },
+        }
+    }
+
+    /// Applies a whole batch of writes (`Some` = insert/replace, `None` =
+    /// remove) in one trie pass. Key hashes are multi-lane batched, entries
+    /// are sorted by routing path, and every touched branch rehashes exactly
+    /// once — against once per write on the serial path, which rehashes the
+    /// full root path each time. Later writes to the same key override
+    /// earlier ones, exactly as serial application would. Because the trie
+    /// is content-addressed, the resulting root is bit-identical to
+    /// replaying the batch through [`MerkleMap::insert`] /
+    /// [`MerkleMap::remove`] in order.
+    pub fn write_batch(&mut self, entries: Vec<(Vec<u8>, Option<Vec<u8>>)>) {
+        if entries.is_empty() {
+            return;
+        }
+        let key_refs: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
+        let hashes = MultiHasher::wide().hash_many(&key_refs);
+        let mut items: Vec<BatchEntry> = entries
+            .into_iter()
+            .zip(hashes)
+            .map(|((key, value), kh)| BatchEntry { kh, key, value })
+            .collect();
+        // Byte order of the key hash IS the routing path order (MSB-first
+        // bits), so one sort gives every recursion level its partition.
+        // The sort is stable: later writes to the same key stay later.
+        items.sort_by(|a, b| a.kh.as_ref().cmp(b.kh.as_ref()));
+        let mut deduped: Vec<Option<BatchEntry>> = Vec::with_capacity(items.len());
+        for e in items {
+            match deduped.last_mut() {
+                Some(last) if last.as_ref().is_some_and(|p| p.kh == e.kh) => {
+                    *last = Some(e); // last write wins
+                }
+                _ => deduped.push(Some(e)),
+            }
+        }
+        let (node, delta) = Self::write_batch_at(self.root.take(), &mut deduped, 0);
+        self.root = node;
+        self.len = self.len.checked_add_signed(delta).expect("len underflow");
+    }
+
+    fn write_batch_at(
+        node: Option<Box<Node>>,
+        items: &mut [Option<BatchEntry>],
+        depth: usize,
+    ) -> (Option<Box<Node>>, isize) {
+        if items.is_empty() {
+            return (node, 0);
+        }
+        match node {
+            None => Self::build_from_items(items, depth),
+            Some(mut boxed) => match &mut *boxed {
+                Node::Leaf {
+                    key_hash,
+                    value,
+                    hash,
+                    ..
+                } => {
+                    let single = items.len() == 1
+                        && items[0].as_ref().expect("unconsumed entry").kh == *key_hash;
+                    if single {
+                        // Only this key is written: update or delete in
+                        // place, no structural change elsewhere.
+                        let e = items[0].take().expect("unconsumed entry");
+                        return match e.value {
+                            Some(v) => {
+                                *value = v;
+                                *hash = leaf_hash(key_hash, value);
+                                (Some(boxed), 0)
+                            }
+                            None => (None, -1),
+                        };
+                    }
+                    // Fold the existing leaf into the (sorted) item set and
+                    // rebuild this subtree in one pass.
+                    let leaf = match *boxed {
+                        Node::Leaf {
+                            key_hash,
+                            key,
+                            value,
+                            ..
+                        } => BatchEntry {
+                            kh: key_hash,
+                            key,
+                            value: Some(value),
+                        },
+                        Node::Branch { .. } => unreachable!("matched leaf above"),
+                    };
+                    let mut merged: Vec<Option<BatchEntry>> = Vec::with_capacity(items.len() + 1);
+                    let mut leaf = Some(leaf);
+                    for e in items.iter_mut() {
+                        let entry = e.take().expect("unconsumed entry");
+                        if let Some(l) = &leaf {
+                            if entry.kh.as_ref() >= l.kh.as_ref() {
+                                let l = leaf.take().expect("checked above");
+                                // On an exact match the batch entry overrides
+                                // the old leaf, which is simply dropped.
+                                if entry.kh != l.kh {
+                                    merged.push(Some(l));
+                                }
+                            }
+                        }
+                        merged.push(Some(entry));
+                    }
+                    if let Some(l) = leaf {
+                        merged.push(Some(l));
+                    }
+                    let (subtree, added) = Self::build_from_items(&mut merged, depth);
+                    // Exactly one pre-existing leaf was consumed by this
+                    // rebuild (folded back in or overridden), so the live
+                    // count of the new subtree overstates the delta by one.
+                    (subtree, added - 1)
+                }
+                Node::Branch { left, right, .. } => {
+                    let split = items.partition_point(|e| {
+                        !bit(&e.as_ref().expect("unconsumed entry").kh, depth)
+                    });
+                    let (l_items, r_items) = items.split_at_mut(split);
+                    let (l, dl) = Self::write_batch_at(left.take(), l_items, depth + 1);
+                    let (r, dr) = Self::write_batch_at(right.take(), r_items, depth + 1);
+                    *left = l;
+                    *right = r;
+                    // Canonicalize exactly as `remove_at` does: a lone leaf
+                    // rises, an empty branch vanishes, a lone branch child
+                    // stays (its leaves still diverge deeper down).
+                    let lone_leaf = match (&left, &right) {
+                        (None, None) => return (None, dl + dr),
+                        (Some(l), None) if matches!(&**l, Node::Leaf { .. }) => left.take(),
+                        (None, Some(r)) if matches!(&**r, Node::Leaf { .. }) => right.take(),
+                        _ => None,
+                    };
+                    if let Some(leaf) = lone_leaf {
+                        return (Some(leaf), dl + dr);
+                    }
+                    boxed.rehash();
+                    (Some(boxed), dl + dr)
+                }
+            },
+        }
+    }
+
+    /// Builds a canonical subtree from sorted batch entries (removals of
+    /// absent keys are no-ops). Returns the subtree and the number of live
+    /// leaves created.
+    fn build_from_items(
+        items: &mut [Option<BatchEntry>],
+        depth: usize,
+    ) -> (Option<Box<Node>>, isize) {
+        let live = items
+            .iter()
+            .filter(|e| e.as_ref().is_some_and(|p| p.value.is_some()))
+            .count();
+        match live {
+            0 => {
+                for e in items.iter_mut() {
+                    e.take();
+                }
+                (None, 0)
+            }
+            1 => {
+                let e = items
+                    .iter_mut()
+                    .filter_map(|e| e.take())
+                    .find(|e| e.value.is_some())
+                    .expect("one live entry");
+                let value = e.value.expect("live entry has a value");
+                let hash = leaf_hash(&e.kh, &value);
+                (
+                    Some(Box::new(Node::Leaf {
+                        key_hash: e.kh,
+                        key: e.key,
+                        value,
+                        hash,
+                    })),
+                    1,
+                )
+            }
+            _ => {
+                let split = items
+                    .partition_point(|e| !bit(&e.as_ref().expect("unconsumed entry").kh, depth));
+                let (l_items, r_items) = items.split_at_mut(split);
+                let (left, dl) = Self::build_from_items(l_items, depth + 1);
+                let (right, dr) = Self::build_from_items(r_items, depth + 1);
+                let mut branch = Node::Branch {
+                    left,
+                    right,
+                    hash: Hash256::ZERO,
+                };
+                branch.rehash();
+                (Some(Box::new(branch)), dl + dr)
+            }
         }
     }
 
@@ -520,6 +720,93 @@ mod tests {
         }
         assert_eq!(m.root(), root_a);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn write_batch_builds_same_root_as_serial_inserts() {
+        let pairs: Vec<_> = (0..200).map(kv).collect();
+        let serial: MerkleMap = pairs.clone().into_iter().collect();
+        let mut batched = MerkleMap::new();
+        batched.write_batch(pairs.into_iter().map(|(k, v)| (k, Some(v))).collect());
+        assert_eq!(batched.root(), serial.root());
+        assert_eq!(batched.len(), serial.len());
+    }
+
+    #[test]
+    fn write_batch_mixed_ops_match_serial_replay() {
+        // Start both maps from the same populated base.
+        let base: Vec<_> = (0..100).map(kv).collect();
+        let mut serial: MerkleMap = base.clone().into_iter().collect();
+        let mut batched = serial.clone();
+
+        // Updates, fresh inserts, removes of present and absent keys, and
+        // conflicting writes to the same key inside one batch.
+        let ops: Vec<(Vec<u8>, Option<Vec<u8>>)> = vec![
+            (b"key-3".to_vec(), Some(b"updated".to_vec())),
+            (b"brand-new".to_vec(), Some(b"n1".to_vec())),
+            (b"key-7".to_vec(), None),
+            (b"never-existed".to_vec(), None),
+            (b"brand-new".to_vec(), Some(b"n2".to_vec())), // overrides n1
+            (b"key-11".to_vec(), Some(b"x".to_vec())),
+            (b"key-11".to_vec(), None), // insert then remove, same batch
+            (b"only-removed".to_vec(), None),
+            (b"key-42".to_vec(), Some(b"f1".to_vec())),
+            (b"key-42".to_vec(), Some(b"f2".to_vec())),
+            (b"key-42".to_vec(), Some(b"f3".to_vec())), // last write wins
+        ];
+        for (k, v) in ops.clone() {
+            match v {
+                Some(v) => {
+                    serial.insert(k, v);
+                }
+                None => {
+                    serial.remove(&k);
+                }
+            }
+        }
+        batched.write_batch(ops);
+        assert_eq!(batched.root(), serial.root());
+        assert_eq!(batched.len(), serial.len());
+        assert_eq!(batched.get(b"brand-new"), Some(&b"n2"[..]));
+        assert_eq!(batched.get(b"key-42"), Some(&b"f3"[..]));
+        assert_eq!(batched.get(b"key-11"), None);
+    }
+
+    #[test]
+    fn write_batch_removals_collapse_to_canonical_shape() {
+        let mut m: MerkleMap = (0..50).map(kv).collect();
+        m.insert(b"survivor".to_vec(), b"s".to_vec());
+        m.write_batch((0..50).map(|i| (kv(i).0, None)).collect());
+        let mut expect = MerkleMap::new();
+        expect.insert(b"survivor".to_vec(), b"s".to_vec());
+        assert_eq!(m.root(), expect.root());
+        assert_eq!(m.len(), 1);
+
+        // Proofs still verify against the collapsed structure.
+        let p = m.prove(b"survivor").unwrap();
+        assert!(p.verify(&m.root()));
+    }
+
+    #[test]
+    fn write_batch_chunked_matches_one_shot() {
+        let ops: Vec<(Vec<u8>, Option<Vec<u8>>)> = (0..120)
+            .map(|i| {
+                let (k, v) = kv(i % 80); // plenty of key collisions
+                if i % 7 == 3 {
+                    (k, None)
+                } else {
+                    (k, Some(v))
+                }
+            })
+            .collect();
+        let mut one_shot = MerkleMap::new();
+        one_shot.write_batch(ops.clone());
+        let mut chunked = MerkleMap::new();
+        for chunk in ops.chunks(13) {
+            chunked.write_batch(chunk.to_vec());
+        }
+        assert_eq!(one_shot.root(), chunked.root());
+        assert_eq!(one_shot.len(), chunked.len());
     }
 
     #[test]

@@ -188,6 +188,19 @@ impl UtxoSet {
         signing_hash: &Hash256,
         verify_sigs: bool,
     ) -> Result<Amount, UtxoError> {
+        self.validate_view(None, tx, signing_hash, verify_sigs)
+    }
+
+    /// Validation over the live set overlaid with a batch's staged deltas
+    /// (`Some` = created this batch, `None` = spent this batch). With
+    /// `staged == None` this is exactly the serial validation.
+    fn validate_view(
+        &self,
+        staged: Option<&BTreeMap<OutPoint, Option<TxOut>>>,
+        tx: &UtxoTx,
+        signing_hash: &Hash256,
+        verify_sigs: bool,
+    ) -> Result<Amount, UtxoError> {
         if tx.inputs.is_empty() {
             return Err(UtxoError::NoInputs);
         }
@@ -201,7 +214,11 @@ impl UtxoSet {
             if !seen.insert(op) {
                 return Err(UtxoError::DoubleSpendInTx(op));
             }
-            let out = self.live.get(&op).ok_or(UtxoError::MissingInput(op))?;
+            let out = match staged.and_then(|s| s.get(&op)) {
+                Some(Some(created)) => created,
+                Some(None) => return Err(UtxoError::MissingInput(op)),
+                None => self.live.get(&op).ok_or(UtxoError::MissingInput(op))?,
+            };
             if self.verify_witnesses {
                 let auth = input.auth.as_ref().ok_or(UtxoError::MissingWitness(op))?;
                 if auth.pubkey.address() != out.recipient
@@ -340,6 +357,87 @@ impl UtxoSet {
             }
             Transaction::Account(_) => Ok((0, undo)), // not this state machine's concern
         }
+    }
+
+    /// Applies a whole block body in one batched pass: every transaction is
+    /// validated against the live set overlaid with the deltas staged so far
+    /// (so mid-block dependencies resolve exactly as on the serial path),
+    /// then the accumulated deltas merge into the live BTree in a single
+    /// sorted sweep. `ids[i]` must be `txs[i].id()` — callers pass a block's
+    /// cached ids so no transaction is re-hashed here.
+    ///
+    /// Fees, undo records, and the resulting [`UtxoSet::commitment`] are
+    /// identical to applying the transactions one at a time; on error
+    /// nothing was mutated at all, making failed blocks free to reject.
+    ///
+    /// # Errors
+    ///
+    /// The first (in block order) [`UtxoError`] any transaction violates,
+    /// exactly as the serial loop would raise it.
+    pub fn apply_batch(
+        &mut self,
+        txs: &[Transaction],
+        ids: &[Hash256],
+        verify_sigs: bool,
+    ) -> Result<Vec<(Amount, UtxoUndo)>, UtxoError> {
+        assert_eq!(txs.len(), ids.len(), "one precomputed id per transaction");
+        let mut staged: BTreeMap<OutPoint, Option<TxOut>> = BTreeMap::new();
+        let mut results = Vec::with_capacity(txs.len());
+        for (tx, id) in txs.iter().zip(ids) {
+            let mut undo = UtxoUndo::default();
+            match tx {
+                Transaction::Coinbase { to, value, .. } => {
+                    let op = OutPoint { tx: *id, index: 0 };
+                    staged.insert(
+                        op,
+                        Some(TxOut {
+                            value: *value,
+                            recipient: *to,
+                        }),
+                    );
+                    undo.created.push(op);
+                    results.push((0, undo));
+                }
+                Transaction::Utxo(utx) => {
+                    let fee =
+                        self.validate_view(Some(&staged), utx, &tx.signing_hash(), verify_sigs)?;
+                    for input in &utx.inputs {
+                        let op = OutPoint {
+                            tx: input.prev_tx,
+                            index: input.index,
+                        };
+                        let out = match staged.insert(op, None) {
+                            Some(prev) => prev.expect("validated input exists"),
+                            None => *self.live.get(&op).expect("validated input exists"),
+                        };
+                        undo.spent.push((op, out));
+                    }
+                    for (i, out) in utx.outputs.iter().enumerate() {
+                        let op = OutPoint {
+                            tx: *id,
+                            index: i as u32,
+                        };
+                        staged.insert(op, Some(*out));
+                        undo.created.push(op);
+                    }
+                    results.push((fee, undo));
+                }
+                Transaction::Account(_) => results.push((0, undo)), // not ours
+            }
+        }
+        // One ordered merge into the live set — the only mutation point, so
+        // any error above left the set untouched.
+        for (op, delta) in staged {
+            match delta {
+                Some(out) => {
+                    self.live.insert(op, out);
+                }
+                None => {
+                    self.live.remove(&op);
+                }
+            }
+        }
+        Ok(results)
     }
 
     /// Reverses a previously applied transaction.
@@ -734,6 +832,65 @@ mod tests {
             set.apply_prevalidated(&tx),
             Err(UtxoError::BadWitness(_))
         ));
+    }
+
+    #[test]
+    fn apply_batch_matches_serial_apply() {
+        // Chained self-transfers: tx[i] spends tx[i-1]'s output, so batched
+        // validation must see staged creations. Include a coinbase too.
+        let mut kp = KeyPair::generate([21u8; 32], 3);
+        let mut serial = UtxoSet::with_witness_verification();
+        let mut txs = signed_chain(&mut serial, &mut kp, 6);
+        txs.insert(
+            0,
+            Transaction::Coinbase {
+                to: Address::from_index(50),
+                value: 25,
+                height: 1,
+            },
+        );
+        let mut batched = serial.clone();
+
+        let ids: Vec<Hash256> = txs.iter().map(Transaction::id).collect();
+        let batch_results = batched.apply_batch(&txs, &ids, true).unwrap();
+        let mut undos = Vec::new();
+        for (i, tx) in txs.iter().enumerate() {
+            let (fee, undo) = serial.apply(tx).unwrap();
+            assert_eq!(batch_results[i].0, fee, "fee mismatch at {i}");
+            undos.push(undo);
+        }
+        assert_eq!(batched.commitment(), serial.commitment());
+        assert_eq!(batched.len(), serial.len());
+
+        // The batch's undo records revert the block exactly like serial ones.
+        let before_serial = {
+            let mut s = serial.clone();
+            for undo in undos.into_iter().rev() {
+                s.revert(undo);
+            }
+            s.commitment()
+        };
+        for (_, undo) in batch_results.into_iter().rev() {
+            batched.revert(undo);
+        }
+        assert_eq!(batched.commitment(), before_serial);
+    }
+
+    #[test]
+    fn apply_batch_error_leaves_set_untouched() {
+        let mut set = UtxoSet::new();
+        let alice = Address::from_index(1);
+        let op = set.mint(alice, 100);
+        let before = set.commitment();
+        let good = transfer(op, Address::from_index(2), 100, alice, 0);
+        let double_spend = transfer(op, Address::from_index(3), 100, alice, 0);
+        let txs = vec![good, double_spend];
+        let ids: Vec<Hash256> = txs.iter().map(Transaction::id).collect();
+        assert!(matches!(
+            set.apply_batch(&txs, &ids, true),
+            Err(UtxoError::MissingInput(_))
+        ));
+        assert_eq!(set.commitment(), before, "failed batch must not mutate");
     }
 
     #[test]

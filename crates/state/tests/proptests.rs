@@ -148,4 +148,147 @@ proptest! {
         prop_assert_eq!(db.storage(&other, &some_key), None);
         let _ = Hash256::ZERO;
     }
+
+    // --- Batched ≡ serial application -----------------------------------
+
+    /// `MerkleMap::write_batch` must be indistinguishable from replaying the
+    /// same entries as serial `insert`/`remove` calls — same root, same
+    /// length, same contents — on any starting map, including batches that
+    /// write the same key several times (last write wins).
+    #[test]
+    fn merkle_map_write_batch_matches_serial(
+        base in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..60),
+        batch in proptest::collection::vec((any::<u8>(), proptest::option::of(any::<u16>())), 0..60),
+    ) {
+        let mut serial = MerkleMap::new();
+        for (k, v) in &base {
+            serial.insert(vec![*k], v.to_le_bytes().to_vec());
+        }
+        let mut batched = serial.clone();
+
+        for (k, v) in &batch {
+            match v {
+                Some(v) => { serial.insert(vec![*k], v.to_le_bytes().to_vec()); }
+                None => { serial.remove(&[*k]); }
+            }
+        }
+        batched.write_batch(
+            batch
+                .iter()
+                .map(|(k, v)| (vec![*k], v.map(|v| v.to_le_bytes().to_vec())))
+                .collect(),
+        );
+
+        prop_assert_eq!(batched.root(), serial.root());
+        prop_assert_eq!(batched.len(), serial.len());
+        for k in 0..=u8::MAX {
+            prop_assert_eq!(batched.get(&[k]), serial.get(&[k]));
+        }
+    }
+
+    /// The `AccountDb` overlay (begin/commit batch) must commute with
+    /// applying the same operations directly, including conflicting writes
+    /// to one account inside a single batch.
+    #[test]
+    fn account_overlay_batch_matches_serial(
+        ops in proptest::collection::vec((0u64..8, 0u64..8, 1u64..200), 0..60),
+    ) {
+        let mut serial = AccountDb::new();
+        let mut batched = AccountDb::new();
+        for db in [&mut serial, &mut batched] {
+            for i in 0..8u64 {
+                db.credit(&Address::from_index(i), 1_000);
+            }
+            db.clear_journal();
+        }
+
+        batched.begin_batch();
+        for (from, to, amount) in &ops {
+            let (from, to) = (Address::from_index(*from), Address::from_index(*to));
+            let a = serial.transfer(&from, &to, *amount);
+            let b = batched.transfer(&from, &to, *amount);
+            prop_assert_eq!(a.is_ok(), b.is_ok());
+            serial.bump_nonce(&from);
+            batched.bump_nonce(&from);
+        }
+        batched.commit_batch();
+
+        prop_assert_eq!(batched.root(), serial.root());
+        for i in 0..8u64 {
+            let addr = Address::from_index(i);
+            prop_assert_eq!(batched.balance(&addr), serial.balance(&addr));
+            prop_assert_eq!(batched.nonce(&addr), serial.nonce(&addr));
+        }
+    }
+
+    /// `UtxoSet::apply_batch` must agree with the serial `apply` loop on
+    /// arbitrary spend sequences: same fees, same commitment when every
+    /// transaction is valid, and the same first error (with the set left
+    /// untouched) when one is not — including batches that double-spend an
+    /// output or chain a spend onto an output created earlier in the batch.
+    #[test]
+    fn utxo_apply_batch_matches_serial(
+        picks in proptest::collection::vec((0usize..24, 1u64..100, any::<bool>()), 1..24),
+    ) {
+        let mut base = UtxoSet::new();
+        // Candidate outpoints: minted coins plus (as txs are generated)
+        // outputs created within the batch itself, so some sequences spend
+        // mid-batch outputs and some double-spend.
+        let mut candidates: Vec<(dcs_state::OutPoint, u64)> =
+            (0..8u64).map(|i| (base.mint(Address::from_index(i), 500), 500)).collect();
+
+        let mut txs = Vec::new();
+        for (pick, value, split) in &picks {
+            let (op, available) = candidates[pick % candidates.len()];
+            let spend = *value.min(&available);
+            let mut outputs = vec![TxOut {
+                value: spend,
+                recipient: Address::from_index(200),
+            }];
+            if *split && available > spend {
+                outputs.push(TxOut {
+                    value: available - spend,
+                    recipient: Address::from_index(201),
+                });
+            }
+            let tx = Transaction::Utxo(UtxoTx {
+                inputs: vec![TxIn { prev_tx: op.tx, index: op.index, auth: None }],
+                outputs: outputs.clone(),
+            });
+            for (i, out) in outputs.iter().enumerate() {
+                candidates.push((
+                    dcs_state::OutPoint { tx: tx.id(), index: i as u32 },
+                    out.value,
+                ));
+            }
+            txs.push(tx);
+        }
+        let ids: Vec<Hash256> = txs.iter().map(Transaction::id).collect();
+
+        let mut serial = base.clone();
+        let mut serial_result = Ok(Vec::new());
+        for tx in &txs {
+            match serial.apply(tx) {
+                Ok((fee, _)) => serial_result.as_mut().unwrap().push(fee),
+                Err(e) => {
+                    serial_result = Err(e);
+                    break;
+                }
+            }
+        }
+
+        let mut batched = base.clone();
+        match batched.apply_batch(&txs, &ids, false) {
+            Ok(results) => {
+                let fees: Vec<u64> = results.iter().map(|(fee, _)| *fee).collect();
+                prop_assert_eq!(Ok(fees), serial_result);
+                prop_assert_eq!(batched.commitment(), serial.commitment());
+            }
+            Err(e) => {
+                prop_assert_eq!(Err(e), serial_result);
+                // A failed batch leaves the set untouched.
+                prop_assert_eq!(batched.commitment(), base.commitment());
+            }
+        }
+    }
 }

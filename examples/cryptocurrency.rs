@@ -39,10 +39,7 @@ fn mine_block(chain: &mut Chain<UtxoMachine>, miner: Address, txs: Vec<Transacti
         body,
     );
     let (header, attempts) = mine_real(template.header.clone(), DIFFICULTY, 0);
-    let block = Block {
-        header,
-        txs: template.txs,
-    };
+    let block = Block::from_parts(header, template.txs);
     println!(
         "mined block {} with {} hash attempts → {}",
         block.header.height,

@@ -319,6 +319,115 @@ fn pow_gossip_with_faults_is_shard_count_invariant() {
     }
 }
 
+/// The batch-first commit pipeline's central contract: routing a block
+/// through the batched state path (overlay + one sorted merge, multi-lane
+/// hashing, cache-warmed witness verification) must be bit-identical to the
+/// serial per-write path, at every verification worker count. Runs a
+/// deterministic sequence of signed blocks through `AccountMachine` with
+/// `serial_apply` true/false at 1, 2, and 8 pipeline threads and demands
+/// one digest over every intermediate state root and receipt set.
+#[test]
+fn commit_pipeline_is_batch_and_worker_invariant() {
+    use dcs_chain::StateMachine;
+    use dcs_contracts::AccountMachine;
+    use dcs_crypto::{KeyPair, VerifyPipeline};
+    use dcs_primitives::{AccountTx, Block, BlockHeader, GasSchedule, Seal, Transaction, TxAuth};
+    use std::sync::Arc;
+
+    const SENDERS: usize = 8;
+    const BLOCKS: u64 = 4;
+    const TXS_PER_BLOCK: usize = 32;
+
+    let mut keys: Vec<KeyPair> = (0..SENDERS)
+        .map(|i| {
+            let mut seed = [0u8; 32];
+            seed[0] = i as u8;
+            seed[1] = 0xD5;
+            KeyPair::generate(seed, 5) // 2^5 = 32 signatures ≥ 16 per sender
+        })
+        .collect();
+    let alloc: Vec<(dcs_crypto::Address, u64)> =
+        keys.iter().map(|k| (k.address(), 1_000_000)).collect();
+
+    // One deterministic signed block sequence, reused for every
+    // configuration.
+    let mut nonces = [0u64; SENDERS];
+    let mut parent = Hash256::ZERO;
+    let mut blocks = Vec::new();
+    for height in 1..=BLOCKS {
+        let mut body = vec![Transaction::Coinbase {
+            to: dcs_crypto::Address::from_index(999),
+            value: 50,
+            height,
+        }];
+        for i in 0..TXS_PER_BLOCK {
+            let s = i % SENDERS;
+            let mut tx = AccountTx::transfer(
+                keys[s].address(),
+                dcs_crypto::Address::from_index(10_000 + i as u64),
+                1 + (height + i as u64) % 50,
+                nonces[s],
+            );
+            tx.gas_limit = 0;
+            tx.gas_price = 0;
+            nonces[s] += 1;
+            let sig = keys[s]
+                .sign(&Transaction::Account(tx.clone()).signing_hash())
+                .expect("key capacity covers the run");
+            tx.auth = Some(TxAuth {
+                pubkey: keys[s].public_key(),
+                signature: sig,
+            });
+            body.push(Transaction::Account(tx));
+        }
+        let block = Block::new(
+            BlockHeader::new(
+                parent,
+                height,
+                height,
+                dcs_crypto::Address::from_index(999),
+                Seal::None,
+            ),
+            body,
+        );
+        parent = block.hash();
+        blocks.push(block);
+    }
+
+    // Digest of the whole commit trajectory under one configuration: every
+    // intermediate state root plus every receipt's id/status/fee.
+    let run = |serial: bool, threads: usize| -> Hash256 {
+        let pipeline = Arc::new(VerifyPipeline::new(threads, 4_096));
+        let mut machine = AccountMachine::with_alloc(&alloc).with_pipeline(Arc::clone(&pipeline));
+        machine.schedule = GasSchedule::free();
+        machine.verify_signatures = true;
+        machine.serial_apply = serial;
+        let mut bytes = Vec::new();
+        for block in &blocks {
+            let (receipts, _) = machine.apply_block(block).expect("valid signed block");
+            bytes.extend_from_slice(machine.state_root().as_bytes());
+            for r in &receipts {
+                bytes.extend_from_slice(r.tx_id.as_bytes());
+                bytes.push(u8::from(r.status.is_success()));
+                bytes.extend_from_slice(&r.fee_paid.to_le_bytes());
+            }
+        }
+        sha256(&bytes)
+    };
+
+    let golden = run(true, 1);
+    for serial in [true, false] {
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                golden,
+                run(serial, threads),
+                "serial_apply={serial} at {threads} verify threads must match \
+                 the serial single-threaded commit digest bit for bit"
+            );
+        }
+    }
+}
+
 #[test]
 fn reorg_trace_spans_match_chain_stats() {
     // A contentious PoW run — block interval close to gossip latency — forks

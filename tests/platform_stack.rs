@@ -11,7 +11,9 @@ use dcs_crypto::{Address, KeyPair};
 use dcs_ledger::{builders, collect, LedgerNode};
 use dcs_middleware::{EventBus, EventFilter};
 use dcs_net::{LatencyModel, NetConfig, NodeId, Runner, Topology};
-use dcs_primitives::{AccountTx, ChainConfig, ConsensusKind, GasSchedule, Transaction, TxAuth};
+use dcs_primitives::{
+    AccountTx, ChainConfig, ConsensusKind, GasSchedule, SealedTx, Transaction, TxAuth,
+};
 use dcs_sim::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -78,7 +80,7 @@ fn contracts_execute_on_a_pos_network() {
         )),
     ];
     for (i, tx) in txs.into_iter().enumerate() {
-        let msg = WireMsg::Tx(Arc::new(tx));
+        let msg = WireMsg::Tx(SealedTx::new(Arc::new(tx)));
         let size = dcs_consensus::wire_size(&msg);
         runner
             .net_mut()
@@ -166,7 +168,7 @@ fn signed_transactions_verified_across_the_network() {
         pubkey: alice_keys.public_key(),
         signature: sig,
     });
-    let msg = WireMsg::Tx(Arc::new(Transaction::Account(tx)));
+    let msg = WireMsg::Tx(SealedTx::new(Arc::new(Transaction::Account(tx))));
     let size = dcs_consensus::wire_size(&msg);
     runner.net_mut().inject(at(1), NodeId(2), msg, size);
     runner.run_until(at(30));
@@ -182,7 +184,7 @@ fn signed_transactions_verified_across_the_network() {
     let mut forged = AccountTx::transfer(alice, bob, 999, 1);
     forged.gas_limit = 0;
     forged.gas_price = 0;
-    let msg = WireMsg::Tx(Arc::new(Transaction::Account(forged)));
+    let msg = WireMsg::Tx(SealedTx::new(Arc::new(Transaction::Account(forged))));
     let size = dcs_consensus::wire_size(&msg);
     runner.net_mut().inject(at(31), NodeId(1), msg, size);
     runner.run_until(at(60));
