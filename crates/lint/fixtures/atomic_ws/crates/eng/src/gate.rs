@@ -1,0 +1,35 @@
+//! Fixture: relaxed atomic loads feeding decisions vs. metrics snapshots.
+
+pub struct Gate {
+    pending: AtomicU64,
+}
+
+/// Metrics snapshot struct — relaxed reads into it are the exemption.
+pub struct GateStats {
+    pub pending: u64,
+}
+
+impl Gate {
+    /// FINDING: a relaxed load gating a branch.
+    pub fn open(&self) -> bool {
+        if self.pending.load(Ordering::Relaxed) > 0 {
+            return true;
+        }
+        false
+    }
+
+    /// Suppressed twin: audited inline on the load line.
+    pub fn open_audited(&self) -> bool {
+        if self.pending.load(Ordering::Relaxed) > 0 { // dcs-lint: allow(atomic-ordering)
+            return true;
+        }
+        false
+    }
+
+    /// Exempt: returns a `*Stats` struct — metrics plumbing by contract.
+    pub fn stats(&self) -> GateStats {
+        GateStats {
+            pending: self.pending.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: inconsistent pairwise lock ordering (potential deadlock).
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    /// Takes `a` then `b`.
+    pub fn forward(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        let _ = (ga, gb);
+    }
+
+    /// FINDING: takes `b` then `a` — inverted against `forward`.
+    pub fn backward(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        let _ = (ga, gb);
+    }
+
+    /// Clean: sequential (non-nested) acquisitions — the temporary guard
+    /// dies with its statement, so no pair is formed.
+    pub fn sequential(&self) -> u64 {
+        let x = *self.a.lock();
+        let y = *self.b.lock();
+        x + y
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: a determinism-critical crate importing tainted helpers.
+
+use dcs_util::{clamp, env_profile, host_threads};
+
+/// FINDING: tainted through `host_threads` (host parallelism).
+pub fn workers() -> usize {
+    clamp(host_threads())
+}
+
+/// FINDING: tainted through `env_profile` (environment read).
+pub fn profile_name() -> String {
+    env_profile()
+}
+
+/// Suppressed twin: audited inline, must NOT be a finding (and the
+/// suppression must not be reported stale).
+pub fn audited_workers() -> usize { // dcs-lint: allow(nondet-taint)
+    host_threads()
+}
+
+/// Clean: calls only the untainted helper.
+pub fn bounded(v: usize) -> usize {
+    clamp(v)
+}

@@ -1,0 +1,25 @@
+//! Fixture: nondeterminism sources in a crate *outside* the determinism
+//! boundary. Nothing here is a finding on its own — the taint rule fires
+//! only where a call path carries these values into a critical crate.
+
+use std::collections::HashMap;
+
+/// Host-parallelism probe (SourceKind::HostParallelism).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |c| c.get())
+}
+
+/// Environment read (SourceKind::EnvRead).
+pub fn env_profile() -> String {
+    std::env::var("DCS_PROFILE").unwrap_or_default()
+}
+
+/// Hash-iteration order leak (SourceKind::HashIteration).
+pub fn first_key(m: &HashMap<u64, u64>) -> Option<u64> {
+    m.keys().next().copied()
+}
+
+/// A clean helper: calling this from a critical crate is fine.
+pub fn clamp(v: usize) -> usize {
+    v.min(64)
+}

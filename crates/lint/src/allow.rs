@@ -29,7 +29,13 @@ pub struct Allowlist {
 impl Allowlist {
     /// True when `rule` at `path` is covered by an entry.
     pub fn covers(&self, rule: &str, path: &str) -> bool {
-        self.entries.iter().any(|e| {
+        self.covering(rule, path).is_some()
+    }
+
+    /// Index of the first entry covering `rule` at `path`, for stale-entry
+    /// accounting (`--stale-suppressions`).
+    pub fn covering(&self, rule: &str, path: &str) -> Option<usize> {
+        self.entries.iter().position(|e| {
             (e.rule == rule || e.rule == "all")
                 && if e.path.ends_with('/') {
                     path.starts_with(&e.path)

@@ -509,4 +509,67 @@ mod tests {
         assert!(in_region.contains(&&TokKind::Ident("y")));
         assert!(!in_region.contains(&&TokKind::Ident("prod2")));
     }
+
+    #[test]
+    fn nested_raw_strings_stay_opaque() {
+        // The inner `"#` must not close an `r##"..."##` string; idents and
+        // rule-visible tokens inside stay hidden.
+        let src = "let s = r##\"outer r#\"inner HashMap\"# still raw\"##; let t = done;";
+        let l = lex(src);
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert!(!idents.contains(&"HashMap"), "{idents:?}");
+        assert!(idents.contains(&"done"), "{idents:?}");
+    }
+
+    #[test]
+    fn lifetime_r_is_not_a_raw_string_prefix() {
+        // `'r` is a lifetime; the `r` must not start a raw string and eat
+        // the rest of the file. The real raw string after it still lexes.
+        let src =
+            "fn f<'r>(x: &'r str) -> &'r str { x }\nlet y = r\"Instant::now()\";\nlet z = end;";
+        let l = lex(src);
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert!(idents.contains(&"end"), "{idents:?}");
+        assert!(
+            !idents.contains(&"Instant"),
+            "raw string leaked: {idents:?}"
+        );
+        // Both lifetime mentions and the raw string arrive as opaque tokens.
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Opaque));
+    }
+
+    #[test]
+    fn raw_byte_strings_and_plain_r_ident() {
+        // `br#"..."#` is opaque; a bare `r` identifier stays an identifier.
+        let src = "let r = 1; let b = br#\"SystemTime\"#; let q = r;";
+        let l = lex(src);
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert!(!idents.contains(&"SystemTime"), "{idents:?}");
+        assert_eq!(
+            idents.iter().filter(|s| **s == "r").count(),
+            2,
+            "{idents:?}"
+        );
+    }
 }

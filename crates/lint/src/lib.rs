@@ -3,19 +3,28 @@
 //! The dcs-ledger experimental claims rest on the discrete-event simulator
 //! being deterministic: same seed, bit-identical canonical chain and stats.
 //! Nothing in rustc or clippy enforces the project-specific invariants that
-//! property needs, so this crate ships a small, dependency-free analyzer:
-//! a comment/string-aware lexer ([`lexer`]), a path-scoped rule catalogue
-//! ([`rules`]), per-line suppressions (`// dcs-lint: allow(<rule>)`), and an
-//! audited allowlist ([`allow`], `lint-allow.toml`).
+//! property needs, so this crate ships a small, dependency-free, two-pass
+//! analyzer: a comment/string-aware lexer ([`lexer`]) feeds both the
+//! lexical rule catalogue ([`rules`]) and a lightweight item-model parser
+//! ([`model`]) whose per-file models assemble into a workspace call graph
+//! ([`graph`]) for cross-file flow rules (nondeterminism taint, lock-order,
+//! atomic-ordering). Suppressions are per-line comments
+//! (`// dcs-lint: allow(<rule>)`) or audited `lint-allow.toml` entries
+//! ([`allow`]); stale ones are themselves findings in workspace mode.
 //!
 //! Run it as `cargo run -p dcs-lint -- --workspace`; CI gates merges on a
-//! clean pass. See DESIGN.md §10 for the rule rationale.
+//! clean pass and uploads SARIF ([`sarif`]) for code scanning. See
+//! DESIGN.md §10 and §15 for the rule rationale and graph architecture.
 
 pub mod allow;
 pub mod diag;
+pub mod graph;
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod sarif;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -34,23 +43,131 @@ pub fn check_source(rel_path: &str, source: &str, allow: &Allowlist) -> Vec<Find
         .collect()
 }
 
+/// A `lint-allow.toml` entry or inline comment that suppressed nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaleSuppression {
+    /// Allowlist entry index + the entry itself.
+    AllowEntry(usize, allow::AllowEntry),
+    /// Inline `// dcs-lint: allow(...)` comment: (path, line, rules).
+    Inline(String, u32, Vec<String>),
+}
+
+impl std::fmt::Display for StaleSuppression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StaleSuppression::AllowEntry(i, e) => write!(
+                f,
+                "stale lint-allow.toml entry #{} (rule `{}`, path `{}`): suppresses nothing",
+                i + 1,
+                e.rule,
+                e.path
+            ),
+            StaleSuppression::Inline(path, line, rules) => write!(
+                f,
+                "stale inline suppression at {}:{} (allow({})): suppresses nothing",
+                path,
+                line,
+                rules.join(", ")
+            ),
+        }
+    }
+}
+
+/// Full workspace analysis result: surviving findings plus suppression
+/// accounting and model statistics.
+pub struct WorkspaceReport {
+    /// Findings that survived inline suppressions and the allowlist.
+    pub findings: Vec<Finding>,
+    /// Suppressions (either kind) that matched no finding.
+    pub stale: Vec<StaleSuppression>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of functions in the call-graph model.
+    pub fns_modeled: usize,
+}
+
 /// Walks the workspace at `root` and lints every production `.rs` file.
 ///
 /// Skipped: `target/`, `vendor/` (third-party), hidden directories, and any
 /// directory named `tests`, `benches`, `examples`, or `fixtures` — test and
 /// fixture code is expected to use `unwrap`, wall clocks, and hash maps.
 pub fn check_workspace(root: &Path, allow: &Allowlist) -> io::Result<Vec<Finding>> {
+    Ok(check_workspace_report(root, allow)?.findings)
+}
+
+/// Two-pass workspace analysis: lexical rules per file, then the call-graph
+/// rules ([`graph::Workspace::run_rules`]) over the assembled item models,
+/// with stale-suppression accounting across both passes.
+pub fn check_workspace_report(root: &Path, allow: &Allowlist) -> io::Result<WorkspaceReport> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     // Deterministic report order, naturally.
     files.sort();
-    let mut findings = Vec::new();
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut models = Vec::new();
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
+    // (path, line, rules, used) per inline suppression, in file order.
+    let mut inline: Vec<(String, u32, Vec<String>, bool)> = Vec::new();
+
     for rel in &files {
         let source = fs::read_to_string(root.join(rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        findings.extend(check_source(&rel_str, &source, allow));
+        let lexed = lexer::lex(&source);
+        raw.extend(rules::scan_pre_suppress(&rel_str, &source, &lexed));
+        for (line, rules) in lexed.suppressed_lines() {
+            // Only real suppressions participate in stale accounting: a
+            // comment must name at least one catalogued rule (or `all`).
+            // Docs *mentioning* the syntax (`allow(<rule>)`, `allow(...)`)
+            // never suppress anything and are not reported stale.
+            if rules.iter().any(|r| r == "all" || rules::rule(r).is_some()) {
+                inline.push((rel_str.clone(), line, rules, false));
+            }
+        }
+        models.push(model::parse_file(&rel_str, &lexed));
+        sources.insert(rel_str, source);
     }
-    Ok(findings)
+
+    let ws = graph::Workspace::new(models);
+    let fns_modeled = ws.fn_count();
+    raw.extend(ws.run_rules(&sources));
+
+    // Apply inline suppressions (marking use), then the allowlist (same).
+    let mut used_allow = vec![false; allow.entries.len()];
+    let mut findings = Vec::new();
+    'next: for f in raw {
+        for (path, line, rules, used) in inline.iter_mut() {
+            if *path == f.path && *line == f.line && rules.iter().any(|r| r == f.rule || r == "all")
+            {
+                *used = true;
+                continue 'next;
+            }
+        }
+        if let Some(i) = allow.covering(f.rule, &f.path) {
+            used_allow[i] = true;
+            continue;
+        }
+        findings.push(f);
+    }
+
+    let mut stale: Vec<StaleSuppression> = Vec::new();
+    for (i, e) in allow.entries.iter().enumerate() {
+        if !used_allow[i] {
+            stale.push(StaleSuppression::AllowEntry(i, e.clone()));
+        }
+    }
+    for (path, line, rules, used) in inline {
+        if !used {
+            stale.push(StaleSuppression::Inline(path, line, rules));
+        }
+    }
+
+    Ok(WorkspaceReport {
+        findings,
+        stale,
+        files_scanned: files.len(),
+        fns_modeled,
+    })
 }
 
 // `tests` directories ARE walked (wall-clock/unseeded-rng apply there; see

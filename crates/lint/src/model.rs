@@ -1,0 +1,1210 @@
+//! Pass 1 of the two-pass analyzer: a lightweight per-file item model.
+//!
+//! The lexer ([`crate::lexer`]) gives a comment/string-aware token stream;
+//! this module shapes it into the structure the graph rules need — the
+//! `mod` tree, `use` aliases, every `fn` (with its impl type and body token
+//! range), the call sites inside each body, and three kinds of per-function
+//! facts: nondeterminism sources (`nondet-taint`), lock acquisitions with
+//! the guards held at each point (`lock-order`), and `Ordering::Relaxed`
+//! atomic loads whose result feeds a decision (`atomic-ordering`).
+//!
+//! Everything here is a deliberate approximation: there is no type
+//! inference and no macro expansion. The invariants the rules lean on are
+//! documented inline; fixture tests in `tests/graph.rs` pin the behaviour.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Kinds of nondeterminism a function can introduce directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// `Instant::now` / `SystemTime::now` — wall-clock reads.
+    WallClock,
+    /// `thread_rng` / `from_entropy` / `rand::random` — OS entropy.
+    UnseededRng,
+    /// Iteration over a `HashMap`/`HashSet`-typed binding — RandomState
+    /// order varies per process.
+    HashIteration,
+    /// `std::thread::available_parallelism` — host-shape dependence.
+    HostParallelism,
+    /// `std::env::var` — environment dependence.
+    EnvRead,
+}
+
+impl SourceKind {
+    /// Human label used in diagnostics chains.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceKind::WallClock => "wall-clock read",
+            SourceKind::UnseededRng => "unseeded OS randomness",
+            SourceKind::HashIteration => "HashMap/HashSet iteration order",
+            SourceKind::HostParallelism => "host parallelism probe",
+            SourceKind::EnvRead => "environment variable read",
+        }
+    }
+}
+
+/// One direct nondeterminism source inside a function body.
+#[derive(Debug, Clone)]
+pub struct NondetSource {
+    /// What kind of source.
+    pub kind: SourceKind,
+    /// The offending token text (e.g. `available_parallelism`).
+    pub what: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (last path segment before the `(`).
+    pub name: String,
+    /// `Foo` for `Foo::bar(..)`, `a::b` flattened to its last segment.
+    pub qualifier: Option<String>,
+    /// True for `.name(..)` method-call syntax.
+    pub is_method: bool,
+    /// True for `self.name(..)` — resolvable against the enclosing impl.
+    pub recv_self: bool,
+    /// 1-based source line.
+    pub line: u32,
+    /// Lock identities held (let-bound guards in scope) at this call.
+    pub holding: Vec<String>,
+}
+
+/// One lock acquisition (`.lock()` / zero-arg `.read()` / `.write()`).
+#[derive(Debug, Clone)]
+pub struct LockAcq {
+    /// Normalized lock identity, e.g. `SigCache.shards` or `self.inner`.
+    pub lock: String,
+    /// The acquiring method: `lock`, `read`, or `write`.
+    pub op: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Identities of let-bound guards still in scope at this acquisition.
+    pub held: Vec<String>,
+}
+
+/// A `.load(Ordering::Relaxed)` whose result reaches a decision point.
+#[derive(Debug, Clone)]
+pub struct RelaxedLoad {
+    /// Why it was flagged: `branch-condition`, `comparison`, or `return`.
+    pub context: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One `fn` item: identity, location, and the facts pass 2 consumes.
+#[derive(Debug, Clone)]
+pub struct FnModel {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Module path within the file (nested `mod` blocks).
+    pub module: Vec<String>,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub self_ty: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the item sits inside a `#[cfg(test)]` region.
+    pub in_cfg_test: bool,
+    /// Idents appearing in the return type (for the `*Stats` exemption).
+    pub ret_idents: Vec<String>,
+    /// Call sites in body order.
+    pub calls: Vec<CallSite>,
+    /// Direct nondeterminism sources.
+    pub sources: Vec<NondetSource>,
+    /// Lock acquisitions in body order.
+    pub locks: Vec<LockAcq>,
+    /// Flagged relaxed atomic loads.
+    pub relaxed: Vec<RelaxedLoad>,
+}
+
+impl FnModel {
+    /// `Type::name` when inside an impl, else the bare name.
+    pub fn qual(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{}::{}", ty, self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One parsed file: its `use` aliases and its functions.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub path: String,
+    /// `use` aliases: visible name → full `::`-joined path.
+    pub uses: Vec<(String, String)>,
+    /// Every function in the file, in source order.
+    pub fns: Vec<FnModel>,
+}
+
+impl FileModel {
+    /// Resolves a visible name through this file's `use` aliases.
+    pub fn resolve_use(&self, name: &str) -> Option<&str> {
+        self.uses
+            .iter()
+            .rev()
+            .find(|(alias, _)| alias == name)
+            .map(|(_, full)| full.as_str())
+    }
+}
+
+/// Rust keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "let", "fn", "impl", "struct", "enum",
+    "trait", "mod", "use", "pub", "move", "unsafe", "as", "in", "else", "break", "continue",
+    "where", "ref", "mut", "dyn", "async", "await", "const", "static", "type", "crate", "super",
+    "self", "Self",
+];
+
+/// Parses one lexed file into its item model.
+pub fn parse_file(path: &str, lexed: &Lexed<'_>) -> FileModel {
+    let toks = &lexed.toks;
+    let test_regions = lexed.test_regions();
+    let hash_names = collect_hash_names(toks);
+    let mut out = FileModel {
+        path: path.to_string(),
+        ..FileModel::default()
+    };
+
+    // Context stack: (kind, name, brace depth at which the block opened).
+    enum Ctx {
+        Module(String),
+        Type(String),
+    }
+    let mut ctxs: Vec<(Ctx, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while matches!(ctxs.last(), Some((_, d)) if *d > depth) {
+                    ctxs.pop();
+                }
+                i += 1;
+            }
+            TokKind::Ident("use") => {
+                let end = parse_use(toks, i + 1, &mut out.uses);
+                i = end;
+            }
+            TokKind::Ident("mod") => {
+                // `mod name {` opens a module scope; `mod name;` does not.
+                if let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                    if matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct('{'))) {
+                        ctxs.push((Ctx::Module(name.to_string()), depth + 1));
+                        depth += 1;
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident("impl") | TokKind::Ident("trait") => {
+                let is_trait = matches!(&toks[i].kind, TokKind::Ident("trait"));
+                if let Some((ty, body_open)) = parse_impl_header(toks, i, is_trait) {
+                    ctxs.push((Ctx::Type(ty), depth + 1));
+                    depth += 1;
+                    i = body_open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Ident("fn") => {
+                let module: Vec<String> = ctxs
+                    .iter()
+                    .filter_map(|(c, _)| match c {
+                        Ctx::Module(m) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let self_ty = ctxs.iter().rev().find_map(|(c, _)| match c {
+                    Ctx::Type(t) => Some(t.clone()),
+                    _ => None,
+                });
+                let in_test = test_regions.iter().any(|&(a, b)| i >= a && i <= b);
+                match parse_fn(
+                    path,
+                    toks,
+                    i,
+                    module,
+                    self_ty,
+                    in_test,
+                    &hash_names,
+                    &mut out.fns,
+                ) {
+                    Some(after) => i = after,
+                    None => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` types anywhere in the
+/// file: `name: HashMap<..>` annotations (incl. struct fields) and
+/// `name = HashMap::new()`-style initializations. Iterating one of these is
+/// a nondeterminism source.
+fn collect_hash_names(toks: &[Tok<'_>]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        let TokKind::Ident(h) = &toks[i].kind else {
+            continue;
+        };
+        if *h != "HashMap" && *h != "HashSet" {
+            continue;
+        }
+        // Walk back over `&` / `mut` so `name: &mut HashMap<..>` binds too.
+        let mut j = i;
+        while j >= 1
+            && (toks[j - 1].kind == TokKind::Punct('&')
+                || toks[j - 1].kind == TokKind::Ident("mut"))
+        {
+            j -= 1;
+        }
+        // `name : HashMap` (annotation) but not `path :: HashMap`.
+        if j >= 2
+            && toks[j - 1].kind == TokKind::Punct(':')
+            && toks[j - 2].kind != TokKind::Punct(':')
+        {
+            if let TokKind::Ident(name) = &toks[j - 2].kind {
+                names.push(name.to_string());
+            }
+        }
+        // `name = HashMap` (initialization).
+        if j >= 2 && toks[j - 1].kind == TokKind::Punct('=') {
+            if let TokKind::Ident(name) = &toks[j - 2].kind {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Parses a `use` declaration starting after the `use` keyword, appending
+/// `(alias, full path)` pairs. Handles `a::b::C`, `as` renames, and one
+/// level of `{...}` groups; `*` globs are skipped. Returns the index past
+/// the terminating `;`.
+fn parse_use(toks: &[Tok<'_>], start: usize, uses: &mut Vec<(String, String)>) -> usize {
+    let mut prefix: Vec<String> = Vec::new();
+    let mut i = start;
+    while i < toks.len() {
+        match &toks[i].kind {
+            // `as` rename of a plain path: `use a::B as C;`
+            TokKind::Ident("as") => {
+                if let Some(TokKind::Ident(alias)) = toks.get(i + 1).map(|t| &t.kind) {
+                    uses.push((alias.to_string(), prefix.join("::")));
+                }
+                let mut j = i + 1;
+                while j < toks.len() && toks[j].kind != TokKind::Punct(';') {
+                    j += 1;
+                }
+                return j + 1;
+            }
+            TokKind::Ident(s) => {
+                prefix.push(s.to_string());
+                i += 1;
+            }
+            TokKind::Punct(':') => {
+                i += 1;
+            }
+            TokKind::Punct('{') => {
+                // Group: each comma-separated leaf extends the prefix.
+                let mut leaf: Vec<String> = Vec::new();
+                let mut alias: Option<String> = None;
+                let mut after_as = false;
+                let mut gdepth = 1usize;
+                i += 1;
+                while i < toks.len() && gdepth > 0 {
+                    match &toks[i].kind {
+                        TokKind::Punct('{') => gdepth += 1,
+                        TokKind::Punct('}') => {
+                            gdepth -= 1;
+                            if gdepth == 0 {
+                                flush_use_leaf(&prefix, &mut leaf, &mut alias, uses);
+                            }
+                        }
+                        TokKind::Punct(',') if gdepth == 1 => {
+                            flush_use_leaf(&prefix, &mut leaf, &mut alias, uses);
+                            after_as = false;
+                        }
+                        TokKind::Ident("as") => after_as = true,
+                        TokKind::Ident(s) => {
+                            if after_as {
+                                alias = Some(s.to_string());
+                                after_as = false;
+                            } else {
+                                leaf.push(s.to_string());
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            TokKind::Punct(';') => {
+                if !prefix.is_empty() {
+                    let alias = prefix.last().cloned().unwrap_or_default();
+                    uses.push((alias, prefix.join("::")));
+                }
+                return i + 1;
+            }
+            _ => {
+                // Glob or unexpected token: skip to `;`.
+                while i < toks.len() && toks[i].kind != TokKind::Punct(';') {
+                    i += 1;
+                }
+                return i + 1;
+            }
+        }
+    }
+    i
+}
+
+/// Records one leaf of a `use` group against the accumulated prefix.
+fn flush_use_leaf(
+    prefix: &[String],
+    leaf: &mut Vec<String>,
+    alias: &mut Option<String>,
+    uses: &mut Vec<(String, String)>,
+) {
+    if leaf.is_empty() {
+        *alias = None;
+        return;
+    }
+    let mut full: Vec<String> = prefix.to_vec();
+    full.extend(leaf.iter().cloned());
+    let name = alias
+        .take()
+        .unwrap_or_else(|| leaf.last().cloned().unwrap_or_default());
+    if name != "self" {
+        uses.push((name, full.join("::")));
+    } else if let Some(last) = prefix.last() {
+        // `use a::b::{self, C}` makes `b` visible.
+        uses.push((last.clone(), prefix.join("::")));
+    }
+    leaf.clear();
+}
+
+/// Parses an `impl`/`trait` header at `i`, returning the self-type name and
+/// the index of the opening `{`. `impl Trait for Type` yields `Type`.
+fn parse_impl_header(toks: &[Tok<'_>], i: usize, is_trait: bool) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    // Skip `<...>` generic params (a `-` before `>` is `->`, not a closer).
+    j = skip_generics(toks, j);
+    let mut first: Vec<&str> = Vec::new();
+    let mut second: Vec<&str> = Vec::new();
+    let mut cur = &mut first;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('{') if angle == 0 => {
+                let picked = if second.is_empty() { &first } else { &second };
+                // A trait's name is its first path segment (`trait X: Y`);
+                // an impl target is the last (`impl fmt::Display for T`).
+                let ty = if is_trait {
+                    picked.first()
+                } else {
+                    picked.last()
+                };
+                return Some((ty?.to_string(), j));
+            }
+            TokKind::Punct(';') => return None, // e.g. trait alias
+            TokKind::Ident("for") if angle == 0 && !is_trait => {
+                cur = &mut second;
+            }
+            TokKind::Ident("where") if angle == 0 => {
+                // Type is settled; scan on to the `{`.
+                let picked = if second.is_empty() { &first } else { &second };
+                let ty = if is_trait {
+                    picked.first()?.to_string()
+                } else {
+                    picked.last()?.to_string()
+                };
+                let mut k = j;
+                let mut ang = 0i32;
+                while k < toks.len() {
+                    match &toks[k].kind {
+                        TokKind::Punct('<') => ang += 1,
+                        TokKind::Punct('>') if !prev_is(toks, k, '-') => ang -= 1,
+                        TokKind::Punct('{') if ang <= 0 => return Some((ty, k)),
+                        TokKind::Punct(';') => return None,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return None;
+            }
+            TokKind::Punct('<') => {
+                angle += 1;
+            }
+            TokKind::Punct('>') if !prev_is(toks, j, '-') => {
+                angle -= 1;
+            }
+            TokKind::Ident(s) if angle == 0 && *s != "dyn" && *s != "mut" && *s != "const" => {
+                cur.push(s);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True when the token before `i` is the punct `c`.
+fn prev_is(toks: &[Tok<'_>], i: usize, c: char) -> bool {
+    i > 0 && toks[i - 1].kind == TokKind::Punct(c)
+}
+
+/// Skips a `<...>` group starting at `j` (if present), angle-matched.
+fn skip_generics(toks: &[Tok<'_>], j: usize) -> usize {
+    if !matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct('<'))) {
+        return j;
+    }
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') if !prev_is(toks, k, '-') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Parses a `fn` item at token index `i` (the `fn` keyword), pushing a
+/// [`FnModel`] (and any nested fns) onto `fns`. Returns the index past the
+/// item, or `None` if this isn't a parsable fn (e.g. `fn` in a type).
+#[allow(clippy::too_many_arguments)]
+fn parse_fn(
+    path: &str,
+    toks: &[Tok<'_>],
+    i: usize,
+    module: Vec<String>,
+    self_ty: Option<String>,
+    in_cfg_test: bool,
+    hash_names: &[String],
+    fns: &mut Vec<FnModel>,
+) -> Option<usize> {
+    let TokKind::Ident(name) = &toks.get(i + 1)?.kind else {
+        return None; // `fn(` pointer type, `Fn(..)` bound, etc.
+    };
+    let line = toks[i].line;
+    let mut j = skip_generics(toks, i + 2);
+    // Parameter list.
+    if !matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct('('))) {
+        return None;
+    }
+    let mut paren = 0i32;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => {
+                paren -= 1;
+                if paren == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // Return type (idents until `{`, `;`, or `where`).
+    let mut ret_idents = Vec::new();
+    let mut saw_arrow = false;
+    let mut body_open = None;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('{') => {
+                body_open = Some(j);
+                break;
+            }
+            TokKind::Punct(';') => break, // trait method declaration
+            TokKind::Ident("where") => saw_arrow = false,
+            TokKind::Punct('>') if prev_is(toks, j, '-') => saw_arrow = true,
+            TokKind::Ident(s) if saw_arrow => ret_idents.push(s.to_string()),
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(open) = body_open else {
+        return Some(j + 1);
+    };
+    // Body token range by brace matching.
+    let mut depth = 0i32;
+    let mut end = open;
+    while end < toks.len() {
+        match &toks[end].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        end += 1;
+    }
+
+    let mut model = FnModel {
+        file: path.to_string(),
+        module: module.clone(),
+        self_ty: self_ty.clone(),
+        name: name.to_string(),
+        line,
+        in_cfg_test,
+        ret_idents,
+        calls: Vec::new(),
+        sources: Vec::new(),
+        locks: Vec::new(),
+        relaxed: Vec::new(),
+    };
+    scan_body(
+        path,
+        toks,
+        open + 1,
+        end,
+        module,
+        self_ty,
+        in_cfg_test,
+        hash_names,
+        &mut model,
+        fns,
+    );
+    fns.push(model);
+    Some(end + 1)
+}
+
+/// A let-bound lock guard in scope.
+struct Guard {
+    /// Lock identity.
+    lock: String,
+    /// Variable name it is bound to (for `drop(name)`).
+    var: Option<String>,
+    /// Brace depth at which the binding lives.
+    depth: i32,
+}
+
+/// Scans a fn body `toks[start..end)`, filling `model` with calls, sources,
+/// locks, and relaxed loads. Nested `fn` items recurse into `fns`.
+#[allow(clippy::too_many_arguments)]
+fn scan_body(
+    path: &str,
+    toks: &[Tok<'_>],
+    start: usize,
+    end: usize,
+    module: Vec<String>,
+    self_ty: Option<String>,
+    in_cfg_test: bool,
+    hash_names: &[String],
+    model: &mut FnModel,
+    fns: &mut Vec<FnModel>,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    // Local `let` bindings whose initializing statement mentions no hash
+    // collection shadow same-named hash bindings from elsewhere in the file
+    // (e.g. a local `verdicts: Vec<_>` vs a `verdicts: HashMap` field).
+    let mut shadowed: Vec<String> = Vec::new();
+    // Statement tracking for the atomic-ordering contexts.
+    let mut stmt_start = start;
+    let mut stmt_has_let = false;
+    let mut i = start;
+    while i < end {
+        match &toks[i].kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+                stmt_start = i;
+                stmt_has_let = false;
+            }
+            TokKind::Punct('}') => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+                i += 1;
+                stmt_start = i;
+                stmt_has_let = false;
+            }
+            TokKind::Punct(';') => {
+                i += 1;
+                stmt_start = i;
+                stmt_has_let = false;
+            }
+            TokKind::Ident("let") => {
+                stmt_has_let = true;
+                // Simple `let [mut] name (: Ty)? = init;` bindings: decide
+                // whether `name` shadows a hash-typed name, by scanning the
+                // statement for HashMap/HashSet mentions.
+                let mut j = i + 1;
+                if matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Ident("mut"))) {
+                    j += 1;
+                }
+                if let Some(TokKind::Ident(bound)) = toks.get(j).map(|t| &t.kind) {
+                    let simple = matches!(
+                        toks.get(j + 1).map(|t| &t.kind),
+                        Some(TokKind::Punct(':')) | Some(TokKind::Punct('='))
+                    );
+                    if simple {
+                        let mut k = j + 1;
+                        let mut has_hash = false;
+                        while k < end && k < j + 64 {
+                            match &toks[k].kind {
+                                TokKind::Punct(';') => break,
+                                TokKind::Ident("HashMap") | TokKind::Ident("HashSet") => {
+                                    has_hash = true;
+                                    break;
+                                }
+                                _ => k += 1,
+                            }
+                        }
+                        if has_hash {
+                            shadowed.retain(|s| s != bound);
+                        } else if !shadowed.iter().any(|s| s == bound) {
+                            shadowed.push(bound.to_string());
+                        }
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident("fn") => {
+                // A nested fn: parse it as its own item and skip its body.
+                match parse_fn(
+                    path,
+                    toks,
+                    i,
+                    module.clone(),
+                    self_ty.clone(),
+                    in_cfg_test,
+                    hash_names,
+                    fns,
+                ) {
+                    Some(after) if after > i => {
+                        i = after;
+                        stmt_start = i;
+                        stmt_has_let = false;
+                    }
+                    _ => i += 1,
+                }
+            }
+            TokKind::Ident("drop")
+                if matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('('))) =>
+            {
+                // `drop(guard)` releases a named guard early.
+                if let Some(TokKind::Ident(var)) = toks.get(i + 2).map(|t| &t.kind) {
+                    if matches!(toks.get(i + 3).map(|t| &t.kind), Some(TokKind::Punct(')'))) {
+                        guards.retain(|g| g.var.as_deref() != Some(*var));
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident(name) => {
+                let is_macro =
+                    matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('!')));
+                let is_call = matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('(')));
+                if is_macro || !is_call {
+                    // Source idents that matter even without call syntax are
+                    // all call-shaped, so nothing to do for bare idents.
+                    i += 1;
+                    continue;
+                }
+                if NON_CALL_KEYWORDS.contains(name) {
+                    i += 1;
+                    continue;
+                }
+                let is_method = prev_is(toks, i, '.');
+                let qualifier = call_qualifier(toks, i);
+                let recv_self = is_method
+                    && matches!(
+                        toks.get(i.wrapping_sub(2)).map(|t| &t.kind),
+                        Some(TokKind::Ident("self"))
+                    );
+                let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+
+                // --- nondeterminism sources ---
+                let src = match (*name, qualifier.as_deref()) {
+                    ("now", Some("Instant")) => Some((SourceKind::WallClock, "Instant::now")),
+                    ("now", Some("SystemTime")) => Some((SourceKind::WallClock, "SystemTime::now")),
+                    ("thread_rng", _) => Some((SourceKind::UnseededRng, "thread_rng")),
+                    ("from_entropy", _) => Some((SourceKind::UnseededRng, "from_entropy")),
+                    ("random", Some("rand")) => Some((SourceKind::UnseededRng, "rand::random")),
+                    ("available_parallelism", _) => {
+                        Some((SourceKind::HostParallelism, "available_parallelism"))
+                    }
+                    ("var", Some("env")) => Some((SourceKind::EnvRead, "env::var")),
+                    _ => None,
+                };
+                if let Some((kind, what)) = src {
+                    model.sources.push(NondetSource {
+                        kind,
+                        what: what.to_string(),
+                        line: toks[i].line,
+                    });
+                }
+                // Hash-iteration source: `.iter()`-family call on a binding
+                // known to be a HashMap/HashSet.
+                const ITER_METHODS: &[&str] = &[
+                    "iter",
+                    "iter_mut",
+                    "keys",
+                    "values",
+                    "values_mut",
+                    "drain",
+                    "into_iter",
+                ];
+                if is_method && ITER_METHODS.contains(name) {
+                    if let Some(TokKind::Ident(recv)) = toks.get(i.wrapping_sub(2)).map(|t| &t.kind)
+                    {
+                        if hash_names.iter().any(|h| h == recv)
+                            && !shadowed.iter().any(|s| s == recv)
+                        {
+                            model.sources.push(NondetSource {
+                                kind: SourceKind::HashIteration,
+                                what: format!("{recv}.{name}()"),
+                                line: toks[i].line,
+                            });
+                        }
+                    }
+                }
+
+                // --- lock acquisitions: zero-arg .lock()/.read()/.write() ---
+                if is_method
+                    && matches!(*name, "lock" | "read" | "write")
+                    && matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct(')')))
+                {
+                    let ident = receiver_identity(toks, i, self_ty.as_deref());
+                    model.locks.push(LockAcq {
+                        lock: ident.clone(),
+                        op: name.to_string(),
+                        line: toks[i].line,
+                        held: held.clone(),
+                    });
+                    // A let-bound guard stays in scope to the end of its
+                    // block; a temporary dies with its statement and never
+                    // counts as held (iterator chains acquire sequentially).
+                    if stmt_has_let {
+                        let var = let_var_name(toks, stmt_start);
+                        guards.push(Guard {
+                            lock: ident,
+                            var,
+                            depth,
+                        });
+                    }
+                }
+
+                // --- relaxed atomic loads feeding decisions ---
+                if is_method && *name == "load" {
+                    if let Some(close) = relaxed_load_close(toks, i, end) {
+                        if let Some(context) = relaxed_context(toks, stmt_start, i, close, end) {
+                            model.relaxed.push(RelaxedLoad {
+                                context,
+                                line: toks[i].line,
+                            });
+                        }
+                    }
+                }
+
+                // --- the call site itself ---
+                model.calls.push(CallSite {
+                    name: name.to_string(),
+                    qualifier,
+                    is_method,
+                    recv_self,
+                    line: toks[i].line,
+                    holding: held,
+                });
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// The qualifier of a call at `i`: `Foo` for `Foo::bar(`, the last segment
+/// for longer paths (`std::env::var(` → `env`).
+fn call_qualifier(toks: &[Tok<'_>], i: usize) -> Option<String> {
+    if i < 3 {
+        return None;
+    }
+    if toks[i - 1].kind == TokKind::Punct(':') && toks[i - 2].kind == TokKind::Punct(':') {
+        if let TokKind::Ident(q) = &toks[i - 3].kind {
+            return Some(q.to_string());
+        }
+    }
+    None
+}
+
+/// Builds a lock identity from the receiver chain before `.lock()` at `i`:
+/// `self.shards[k].lock()` → `Type.shards`, `GLOBAL.lock()` → `GLOBAL`.
+/// Method-call links keep their parens: `self.shard(&key).lock()` →
+/// `Type.shard()`.
+fn receiver_identity(toks: &[Tok<'_>], i: usize, self_ty: Option<&str>) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    // Walk backwards from the `.` before the lock method.
+    let mut j = i as i64 - 2; // skip the `.`
+    while j >= 0 {
+        match &toks[j as usize].kind {
+            TokKind::Punct(']') => {
+                // Skip the index expression.
+                let mut d = 0i32;
+                while j >= 0 {
+                    match &toks[j as usize].kind {
+                        TokKind::Punct(']') => d += 1,
+                        TokKind::Punct('[') => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                j -= 1;
+            }
+            TokKind::Punct(')') => {
+                // Skip a call's arguments; keep the method name with `()`.
+                let mut d = 0i32;
+                while j >= 0 {
+                    match &toks[j as usize].kind {
+                        TokKind::Punct(')') => d += 1,
+                        TokKind::Punct('(') => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                j -= 1;
+                if j >= 0 {
+                    if let TokKind::Ident(m) = &toks[j as usize].kind {
+                        parts.push(format!("{m}()"));
+                        j -= 1;
+                    }
+                }
+            }
+            TokKind::Ident(name) => {
+                parts.push(name.to_string());
+                j -= 1;
+            }
+            TokKind::Punct('.') => {
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    parts.reverse();
+    // Qualify a leading `self` with the impl type so `self.inner` on two
+    // different types stays two different locks.
+    if parts.first().map(String::as_str) == Some("self") {
+        if let Some(ty) = self_ty {
+            parts[0] = ty.to_string();
+        }
+    }
+    if parts.is_empty() {
+        "<expr>".to_string()
+    } else {
+        parts.join(".")
+    }
+}
+
+/// The variable a `let` statement starting at `stmt_start` binds, if it is
+/// a simple `let [mut] name = ...` pattern.
+fn let_var_name(toks: &[Tok<'_>], stmt_start: usize) -> Option<String> {
+    let mut j = stmt_start;
+    // The statement may not literally start at `let` (attributes etc.);
+    // find the first `let` within a few tokens.
+    let mut seen_let = false;
+    let limit = j + 6;
+    while j < toks.len() && j < limit + 4 {
+        match &toks[j].kind {
+            TokKind::Ident("let") => {
+                seen_let = true;
+                j += 1;
+            }
+            TokKind::Ident("mut") if seen_let => j += 1,
+            TokKind::Ident(name) if seen_let => return Some(name.to_string()),
+            _ if seen_let => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// For a `.load(` at `i`, returns the index of its closing paren when the
+/// arguments mention `Relaxed`.
+fn relaxed_load_close(toks: &[Tok<'_>], i: usize, end: usize) -> Option<usize> {
+    let open = i + 1;
+    let mut d = 0i32;
+    let mut relaxed = false;
+    let mut j = open;
+    while j < end {
+        match &toks[j].kind {
+            TokKind::Punct('(') => d += 1,
+            TokKind::Punct(')') => {
+                d -= 1;
+                if d == 0 {
+                    return relaxed.then_some(j);
+                }
+            }
+            TokKind::Ident("Relaxed") => relaxed = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Classifies how a relaxed load's value is used, or `None` when the
+/// statement looks like pure metrics plumbing.
+fn relaxed_context(
+    toks: &[Tok<'_>],
+    stmt_start: usize,
+    load_idx: usize,
+    close: usize,
+    end: usize,
+) -> Option<&'static str> {
+    // Branch keyword anywhere between the statement start and the load.
+    for t in &toks[stmt_start..load_idx] {
+        if let TokKind::Ident(k) = &t.kind {
+            if matches!(*k, "if" | "while" | "match") {
+                return Some("branch-condition");
+            }
+            if *k == "return" {
+                return Some("return");
+            }
+        }
+    }
+    // Comparison operator shortly after the call.
+    let tail = &toks[close + 1..(close + 6).min(end)];
+    for (n, t) in tail.iter().enumerate() {
+        match &t.kind {
+            TokKind::Punct('=') => {
+                // `==` only (a lone `=` is an assignment).
+                if matches!(tail.get(n + 1).map(|t| &t.kind), Some(TokKind::Punct('='))) {
+                    return Some("comparison");
+                }
+                if n > 0
+                    && matches!(
+                        tail.get(n - 1).map(|t| &t.kind),
+                        Some(TokKind::Punct('!') | TokKind::Punct('<') | TokKind::Punct('>'))
+                    )
+                {
+                    return Some("comparison");
+                }
+            }
+            TokKind::Punct('<') | TokKind::Punct('>') => return Some("comparison"),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> FileModel {
+        parse_file("crates/x/src/lib.rs", &lex(src))
+    }
+
+    #[test]
+    fn fn_items_capture_impl_and_module_context() {
+        let src = r#"
+            mod inner {
+                pub struct Cache { map: u32 }
+                impl Cache {
+                    pub fn get(&self) -> u32 { self.helper() }
+                    fn helper(&self) -> u32 { 1 }
+                }
+                impl std::fmt::Display for Cache {
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { todo()
+                    }
+                }
+            }
+            pub fn free() {}
+        "#;
+        let m = parse(src);
+        let quals: Vec<String> = m.fns.iter().map(|f| f.qual()).collect();
+        assert!(quals.contains(&"Cache::get".to_string()), "{quals:?}");
+        assert!(quals.contains(&"Cache::helper".to_string()), "{quals:?}");
+        assert!(quals.contains(&"Cache::fmt".to_string()), "{quals:?}");
+        assert!(quals.contains(&"free".to_string()), "{quals:?}");
+        let get = m.fns.iter().find(|f| f.name == "get").unwrap();
+        assert_eq!(get.module, vec!["inner".to_string()]);
+        assert!(get.calls.iter().any(|c| c.name == "helper" && c.recv_self));
+    }
+
+    #[test]
+    fn use_aliases_resolve_including_renames_and_groups() {
+        let src = "use std::collections::{BTreeMap as Sorted, VecDeque};\n\
+                   use crate::engine::run_sharded;\n";
+        let m = parse(src);
+        assert_eq!(m.resolve_use("Sorted"), Some("std::collections::BTreeMap"));
+        assert_eq!(
+            m.resolve_use("VecDeque"),
+            Some("std::collections::VecDeque")
+        );
+        assert_eq!(
+            m.resolve_use("run_sharded"),
+            Some("crate::engine::run_sharded")
+        );
+    }
+
+    #[test]
+    fn sources_are_detected_with_lines() {
+        let src = r#"
+            fn shards() -> usize {
+                if let Ok(v) = std::env::var("X") { let _ = v; }
+                let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+                cores
+            }
+            fn clocky() { let _ = Instant::now(); }
+        "#;
+        let m = parse(src);
+        let shards = m.fns.iter().find(|f| f.name == "shards").unwrap();
+        let kinds: Vec<SourceKind> = shards.sources.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SourceKind::EnvRead), "{kinds:?}");
+        assert!(kinds.contains(&SourceKind::HostParallelism), "{kinds:?}");
+        let clocky = m.fns.iter().find(|f| f.name == "clocky").unwrap();
+        assert_eq!(clocky.sources[0].kind, SourceKind::WallClock);
+    }
+
+    #[test]
+    fn hash_iteration_requires_a_hash_typed_receiver() {
+        let src = r#"
+            struct S { verdicts: HashMap<u8, bool>, order: Vec<u8> }
+            impl S {
+                fn bad(&self) -> usize { self.verdicts.iter().count() }
+                fn fine(&self) -> usize { self.order.iter().count() }
+            }
+        "#;
+        let m = parse(src);
+        let bad = m.fns.iter().find(|f| f.name == "bad").unwrap();
+        assert_eq!(bad.sources.len(), 1);
+        assert_eq!(bad.sources[0].kind, SourceKind::HashIteration);
+        let fine = m.fns.iter().find(|f| f.name == "fine").unwrap();
+        assert!(fine.sources.is_empty());
+    }
+
+    #[test]
+    fn lock_guards_scope_and_qualify_by_impl_type() {
+        let src = r#"
+            impl Pool {
+                fn nested(&self) {
+                    let a = self.first.lock();
+                    let b = self.second.lock();
+                    drop(a);
+                    let c = self.third.lock();
+                }
+                fn sequential(&self) {
+                    self.shards.iter().map(|s| s.lock()).count();
+                }
+            }
+        "#;
+        let m = parse(src);
+        let nested = m.fns.iter().find(|f| f.name == "nested").unwrap();
+        assert_eq!(nested.locks.len(), 3);
+        assert_eq!(nested.locks[0].lock, "Pool.first");
+        assert_eq!(nested.locks[1].held, vec!["Pool.first".to_string()]);
+        // After drop(a), only `b` is held at the third acquisition.
+        assert_eq!(nested.locks[2].held, vec!["Pool.second".to_string()]);
+        // Temporaries in iterator chains never count as held.
+        let seq = m.fns.iter().find(|f| f.name == "sequential").unwrap();
+        assert!(seq.locks.iter().all(|l| l.held.is_empty()));
+    }
+
+    #[test]
+    fn relaxed_loads_flag_decisions_not_metrics() {
+        let src = r#"
+            impl C {
+                fn decide(&self) -> bool {
+                    if self.flag.load(Ordering::Relaxed) == 1 { return true; }
+                    false
+                }
+                fn compare(&self) -> bool {
+                    self.a.load(Ordering::Relaxed) > self.threshold
+                }
+                fn stats(&self) -> CStats {
+                    CStats { a: self.a.load(Ordering::Relaxed) }
+                }
+            }
+        "#;
+        let m = parse(src);
+        let decide = m.fns.iter().find(|f| f.name == "decide").unwrap();
+        assert_eq!(decide.relaxed.len(), 1);
+        assert_eq!(decide.relaxed[0].context, "branch-condition");
+        let cmp = m.fns.iter().find(|f| f.name == "compare").unwrap();
+        assert_eq!(cmp.relaxed.len(), 1);
+        let stats = m.fns.iter().find(|f| f.name == "stats").unwrap();
+        assert!(stats.relaxed.is_empty(), "struct-literal metrics are clean");
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests { fn t() { helper(); } }\n";
+        let m = parse(src);
+        assert!(!m.fns.iter().find(|f| f.name == "prod").unwrap().in_cfg_test);
+        assert!(m.fns.iter().find(|f| f.name == "t").unwrap().in_cfg_test);
+    }
+
+    #[test]
+    fn cfg_gated_duplicate_fn_names_both_parse_with_distinct_flags() {
+        // A production fn and a #[cfg(test)] twin with the same name: both
+        // appear in the model, only the test one carries the flag — so the
+        // graph rules report through the production twin only.
+        let src =
+            "fn pick() -> usize { std::thread::available_parallelism().map_or(1, |c| c.get()) }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn pick() -> usize { 4 }\n}\n";
+        let m = parse(src);
+        let picks: Vec<_> = m.fns.iter().filter(|f| f.name == "pick").collect();
+        assert_eq!(
+            picks.len(),
+            2,
+            "{:?}",
+            m.fns.iter().map(|f| &f.name).collect::<Vec<_>>()
+        );
+        let flags: Vec<bool> = picks.iter().map(|f| f.in_cfg_test).collect();
+        assert!(flags.contains(&true) && flags.contains(&false), "{flags:?}");
+        // Only the production twin carries the source.
+        let prod = picks.iter().find(|f| !f.in_cfg_test).unwrap();
+        assert_eq!(prod.sources.len(), 1);
+        let test_twin = picks.iter().find(|f| f.in_cfg_test).unwrap();
+        assert!(test_twin.sources.is_empty());
+    }
+
+    #[test]
+    fn shadowed_use_aliases_resolve_to_the_last_import() {
+        // Two imports binding the same local name: the later one wins, the
+        // way rustc treats a shadowing re-import in one module tree.
+        let src =
+            "use alpha::Widget;\nuse beta::Widget;\nuse gamma::Thing as Widget2;\nfn f() {}\n";
+        let m = parse_file("crates/x/src/a.rs", &lex(src));
+        assert_eq!(m.resolve_use("Widget"), Some("beta::Widget"));
+        assert_eq!(m.resolve_use("Widget2"), Some("gamma::Thing"));
+    }
+}

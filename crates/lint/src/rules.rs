@@ -56,6 +56,22 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no println!/eprintln!/dbg! in library crates — bench/lint binaries exempt",
         hint: "stdout writes are invisible to analysis and skew benchmarks; emit a dcs-trace TraceEvent instead",
     },
+    // ---- graph rules (workspace mode only; see `graph`) -----------------
+    RuleInfo {
+        id: "nondet-taint",
+        summary: "no call path from a determinism-critical crate to a nondeterminism source (clock, OS entropy, hash iteration, host parallelism, env)",
+        hint: "a nondeterminism source reaches this function through the call graph; thread the value in from the seeded sim context instead",
+    },
+    RuleInfo {
+        id: "lock-order",
+        summary: "lock pairs must be acquired in one global order everywhere (incl. through calls) — inversions deadlock",
+        hint: "two locks are taken in opposite orders on different paths; pick one order and restructure the other path",
+    },
+    RuleInfo {
+        id: "atomic-ordering",
+        summary: "no Ordering::Relaxed load feeding a branch/comparison/return outside metrics snapshots",
+        hint: "a relaxed load synchronizes with nothing; if the value gates behaviour, use Acquire (paired with Release stores)",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -63,8 +79,8 @@ pub fn rule(id: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.id == id)
 }
 
-/// Determinism-critical crates for `hash-collections`.
-const DETERMINISM_CRATES: &[&str] = &[
+/// Determinism-critical crates for `hash-collections` and `nondet-taint`.
+pub const DETERMINISM_CRATES: &[&str] = &[
     "crates/sim/",
     "crates/net/",
     "crates/consensus/",
@@ -108,7 +124,7 @@ fn under(path: &str, prefixes: &[&str]) -> bool {
 
 /// Integration-test sources: the workspace `tests/` tree and every crate's
 /// `tests/` directory.
-fn is_test_path(path: &str) -> bool {
+pub fn is_test_path(path: &str) -> bool {
     path.starts_with("tests/") || path.contains("/tests/")
 }
 
@@ -133,12 +149,36 @@ pub fn in_scope(rule_id: &str, path: &str) -> bool {
         // Library crates only: the bench harness prints experiment tables
         // and the lint binary prints diagnostics by design.
         "ad-hoc-logging" => !under(path, &["crates/bench/", "crates/lint/"]),
+        // Graph rules (workspace mode): taint findings report only inside
+        // determinism-critical crates; deadlocks and racy relaxed loads are
+        // wrong anywhere.
+        "nondet-taint" => under(path, DETERMINISM_CRATES),
+        "lock-order" => true,
+        "atomic-ordering" => true,
         _ => false,
     }
 }
 
-/// Scans one lexed file, returning findings before suppression filtering.
+/// Scans one lexed file and filters findings through inline suppressions.
 pub fn scan(path: &str, source: &str, lexed: &Lexed<'_>) -> Vec<Finding> {
+    let suppressed = lexed.suppressed_lines();
+    scan_pre_suppress(path, source, lexed)
+        .into_iter()
+        .filter(|f| !line_suppressed(&suppressed, f.line, f.rule))
+        .collect()
+}
+
+/// True when `(line, rule)` is covered by an inline suppression.
+pub fn line_suppressed(suppressed: &[(u32, Vec<String>)], line: u32, rule: &str) -> bool {
+    suppressed
+        .iter()
+        .any(|(l, rules)| *l == line && rules.iter().any(|r| r == rule || r == "all"))
+}
+
+/// Scans one lexed file, returning findings after the `#[cfg(test)]` filter
+/// but **before** inline-suppression filtering. Workspace mode applies
+/// suppressions itself so it can account for stale ones.
+pub fn scan_pre_suppress(path: &str, source: &str, lexed: &Lexed<'_>) -> Vec<Finding> {
     let toks = &lexed.toks;
     let mut raw: Vec<(usize, &'static str)> = Vec::new();
 
@@ -209,15 +249,6 @@ pub fn scan(path: &str, source: &str, lexed: &Lexed<'_>) -> Vec<Finding> {
     let regions = lexed.test_regions();
     raw.retain(|(i, _)| !regions.iter().any(|&(a, b)| *i >= a && *i <= b));
 
-    // Drop findings on suppressed lines.
-    let suppressed = lexed.suppressed_lines();
-    raw.retain(|(i, rule_id)| {
-        let line = toks[*i].line;
-        !suppressed
-            .iter()
-            .any(|(l, rules)| *l == line && rules.iter().any(|r| r == rule_id || r == "all"))
-    });
-
     raw.into_iter()
         .map(|(i, rule_id)| {
             let t = &toks[i];
@@ -229,6 +260,7 @@ pub fn scan(path: &str, source: &str, lexed: &Lexed<'_>) -> Vec<Finding> {
                 col: t.col,
                 snippet: line_snippet(source, t.line),
                 hint: info.hint,
+                notes: Vec::new(),
             }
         })
         .collect()
