@@ -36,6 +36,8 @@
 //!   `macrobench --one N`      — child: one gossip configuration
 //!   `macrobench --one-macro`  — child: the scaled macro run
 
+use dcs_bench::heartbeat::{Heartbeat, MACRO_HEARTBEAT_SECS};
+use dcs_bench::rss::peak_rss_kb;
 use dcs_chain::StateMachine;
 use dcs_consensus::Mempool;
 use dcs_contracts::AccountMachine;
@@ -134,7 +136,9 @@ fn run_one(workers: usize, smoke: bool) -> String {
     let _ = writeln!(out, "blocks={}", result.canonical_blocks);
     let _ = writeln!(out, "txs={}", result.committed_txs);
     let _ = writeln!(out, "submitted={}", submitted.len());
-    let _ = writeln!(out, "rss_kb={}", peak_rss_kb());
+    if let Some(kb) = peak_rss_kb() {
+        let _ = writeln!(out, "rss_kb={kb}");
+    }
     let _ = writeln!(out, "digest={}", network_digest_hex(&runner));
     out
 }
@@ -155,8 +159,20 @@ fn run_macro() -> String {
         "scaled macro must submit ≥ 1M txs, got {}",
         submitted.len()
     );
+    // Stepped drive so the heartbeat can report between sim windows: the
+    // schedule is identical to one long `run_until` (the event queue is
+    // oblivious to where the drive loop pauses), so digests are unaffected.
+    let mut hb = Heartbeat::new(MACRO_HEARTBEAT_SECS);
     let t0 = Instant::now();
-    let events = runner.run_until(SimTime::ZERO + SimDuration::from_secs(MACRO_RUN_SECS));
+    let mut events = 0u64;
+    let mut sim_secs = 0u64;
+    while sim_secs < MACRO_RUN_SECS {
+        sim_secs = (sim_secs + 2).min(MACRO_RUN_SECS);
+        events += runner.run_until(SimTime::ZERO + SimDuration::from_secs(sim_secs));
+        hb.tick("macrobench: scaled macro", || {
+            format!("sim {sim_secs}/{MACRO_RUN_SECS} s, {events} events")
+        });
+    }
     let wall = t0.elapsed();
     let result = collect(
         runner.nodes(),
@@ -171,7 +187,10 @@ fn run_macro() -> String {
     let _ = writeln!(out, "blocks={}", result.canonical_blocks);
     let _ = writeln!(out, "txs={}", result.committed_txs);
     let _ = writeln!(out, "submitted={}", submitted.len());
-    let _ = writeln!(out, "rss_kb={}", peak_rss_kb());
+    let _ = writeln!(out, "heartbeats={}", hb.emitted());
+    if let Some(kb) = peak_rss_kb() {
+        let _ = writeln!(out, "rss_kb={kb}");
+    }
     out
 }
 
@@ -328,20 +347,6 @@ fn run_commit_phase(blocks: usize, txs_per_block: usize) -> CommitPhase {
     }
 }
 
-/// The process's peak resident set (`VmHWM`), in kB; 0 when unavailable
-/// (non-Linux hosts).
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("VmHWM:"))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse().ok())
-        })
-        .unwrap_or(0)
-}
-
 fn git_rev() -> String {
     Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -354,16 +359,18 @@ fn git_rev() -> String {
 }
 
 /// Runs a child configuration of this same binary and parses its
-/// `key=value` output.
+/// `key=value` output. The child's stderr is inherited so heartbeat and
+/// warning lines stream to the terminal as the run progresses instead of
+/// being buffered until exit.
 fn run_child(exe: &std::path::Path, args: &[&str]) -> BTreeMap<String, String> {
     let out = Command::new(exe)
         .args(args)
+        .stderr(std::process::Stdio::inherit())
         .output()
         .expect("spawn child configuration");
     assert!(
         out.status.success(),
-        "child {args:?} failed:\n{}",
-        String::from_utf8_lossy(&out.stderr)
+        "child {args:?} failed (diagnostics streamed to stderr above)"
     );
     std::str::from_utf8(&out.stdout)
         .expect("child output is utf-8")
@@ -428,21 +435,25 @@ fn main() {
         let get = |k: &str| -> u64 { kv[k].parse().unwrap_or(0) };
         let wall_secs = get("wall_us") as f64 / 1e6;
         let (events, blocks, txs) = (get("events"), get("blocks"), get("txs"));
+        // The child omits rss_kb when VmHWM is unreadable (it already
+        // warned on stderr); the JSON omits the field rather than record
+        // a fake zero in the trajectory.
+        let rss_kb: Option<u64> = kv.get("rss_kb").and_then(|v| v.parse().ok());
         println!(
-            "  workers={w}: {events} events in {wall_secs:.2}s wall → {:.0} events/s, {:.2} blocks/s, {:.1} tx/s, peak RSS {} kB (child total {:.2}s)",
+            "  workers={w}: {events} events in {wall_secs:.2}s wall → {:.0} events/s, {:.2} blocks/s, {:.1} tx/s, peak RSS {} (child total {:.2}s)",
             events as f64 / wall_secs,
             blocks as f64 / wall_secs,
             txs as f64 / wall_secs,
-            get("rss_kb"),
+            rss_kb.map_or("n/a".to_string(), |kb| format!("{kb} kB")),
             t0.elapsed().as_secs_f64(),
         );
         digests.push(kv["digest"].clone());
         configs.push(format!(
-            "    {{\"workers\": {w}, \"events\": {events}, \"wall_secs\": {wall_secs:.4}, \"events_per_sec\": {:.1}, \"blocks_per_sec\": {:.3}, \"txs_per_sec\": {:.2}, \"peak_rss_kb\": {}}}",
+            "    {{\"workers\": {w}, \"events\": {events}, \"wall_secs\": {wall_secs:.4}, \"events_per_sec\": {:.1}, \"blocks_per_sec\": {:.3}, \"txs_per_sec\": {:.2}{}}}",
             events as f64 / wall_secs,
             blocks as f64 / wall_secs,
             txs as f64 / wall_secs,
-            get("rss_kb"),
+            rss_kb.map_or(String::new(), |kb| format!(", \"peak_rss_kb\": {kb}")),
         ));
     }
     assert!(
@@ -495,23 +506,26 @@ fn main() {
         let kv = run_child(&exe, &["--one-macro"]);
         let get = |k: &str| -> u64 { kv[k].parse().unwrap_or(0) };
         let wall_secs = get("wall_us") as f64 / 1e6;
+        let rss_kb: Option<u64> = kv.get("rss_kb").and_then(|v| v.parse().ok());
         println!(
-            "  scaled macro: {} submitted txs, {} events in {wall_secs:.2}s wall → {:.0} events/s, {} committed, peak RSS {} kB (child total {:.2}s)",
+            "  scaled macro: {} submitted txs, {} events in {wall_secs:.2}s wall → {:.0} events/s, {} committed, peak RSS {} ({} heartbeats, child total {:.2}s)",
             get("submitted"),
             get("events"),
             get("events") as f64 / wall_secs,
             get("txs"),
-            get("rss_kb"),
+            rss_kb.map_or("n/a".to_string(), |kb| format!("{kb} kB")),
+            get("heartbeats"),
             t0.elapsed().as_secs_f64(),
         );
         format!(
-            "{{\"workers\": {MACRO_WORKERS}, \"submitted_txs\": {}, \"events\": {}, \"wall_secs\": {wall_secs:.4}, \"events_per_sec\": {:.1}, \"committed_txs\": {}, \"blocks\": {}, \"peak_rss_kb\": {}}}",
+            "{{\"workers\": {MACRO_WORKERS}, \"submitted_txs\": {}, \"events\": {}, \"wall_secs\": {wall_secs:.4}, \"events_per_sec\": {:.1}, \"committed_txs\": {}, \"blocks\": {}, \"heartbeat_secs\": {MACRO_HEARTBEAT_SECS}, \"heartbeats\": {}{}}}",
             get("submitted"),
             get("events"),
             get("events") as f64 / wall_secs,
             get("txs"),
             get("blocks"),
-            get("rss_kb"),
+            get("heartbeats"),
+            rss_kb.map_or(String::new(), |kb| format!(", \"peak_rss_kb\": {kb}")),
         )
     };
 

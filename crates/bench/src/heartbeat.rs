@@ -1,0 +1,79 @@
+//! Wall-clock heartbeat for long benchmark phases.
+//!
+//! The scaled macro run pushes ≥ 1M transactions through the overlay and
+//! can hold a CI log silent for minutes; a [`Heartbeat`] emits a bounded
+//! stream of stderr progress lines so a watcher (human or timeout-based)
+//! can tell a long run from a hung one. Stderr only — stdout carries the
+//! machine-readable `key=value` protocol between parent and child.
+
+use std::time::Instant;
+
+/// Default heartbeat interval (wall seconds) for the scaled macro phase;
+/// recorded in the BENCH JSON so readers know the cadence of the log.
+pub const MACRO_HEARTBEAT_SECS: u64 = 10;
+
+/// Rate-limited stderr progress reporter: [`Heartbeat::tick`] is cheap to
+/// call every loop iteration and emits at most one line per interval.
+pub struct Heartbeat {
+    started: Instant,
+    last: Instant,
+    interval_secs: u64,
+    emitted: u64,
+}
+
+impl Heartbeat {
+    /// A heartbeat that emits at most once every `interval_secs` wall
+    /// seconds (0 emits on every tick).
+    pub fn new(interval_secs: u64) -> Self {
+        let now = Instant::now();
+        Heartbeat {
+            started: now,
+            last: now,
+            interval_secs,
+            emitted: 0,
+        }
+    }
+
+    /// Emits `label: <progress()> (Ns wall)` to stderr when an interval
+    /// has elapsed since the last emission; returns whether it emitted.
+    /// The progress closure only runs when a line is actually due.
+    pub fn tick(&mut self, label: &str, progress: impl FnOnce() -> String) -> bool {
+        if self.last.elapsed().as_secs() < self.interval_secs {
+            return false;
+        }
+        self.last = Instant::now();
+        self.emitted += 1;
+        eprintln!(
+            "{label}: {} ({:.0}s wall)",
+            progress(),
+            self.started.elapsed().as_secs_f64()
+        );
+        true
+    }
+
+    /// Lines emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_interval_emits_every_tick_and_counts() {
+        let mut hb = Heartbeat::new(0);
+        assert!(hb.tick("test-heartbeat", || "step 1".to_string()));
+        assert!(hb.tick("test-heartbeat", || "step 2".to_string()));
+        assert_eq!(hb.emitted(), 2);
+    }
+
+    #[test]
+    fn long_interval_suppresses_and_skips_progress_closure() {
+        let mut hb = Heartbeat::new(3600);
+        let emitted = hb.tick("test-heartbeat", || unreachable!("suppressed tick"));
+        assert!(!emitted);
+        assert_eq!(hb.emitted(), 0);
+    }
+}

@@ -199,6 +199,7 @@ pub struct Chain<M: StateMachine, S: BlockStore = ArchivalStore> {
     canon_stats: CanonStats,
     pipeline: Option<Arc<VerifyPipeline>>,
     tracer: Tracer,
+    metrics: Option<crate::ChainMetrics>,
     /// Highest finalized height already traced, so [`Chain::import_at`]
     /// emits each [`TraceEvent::Finalized`] height exactly once.
     traced_finalized: u64,
@@ -241,6 +242,7 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
             canon_stats: CanonStats::default(),
             pipeline: None,
             tracer: Tracer::disabled(),
+            metrics: None,
             traced_finalized: 0,
             check_pow_hash: false,
             enforce_block_limit: false,
@@ -256,6 +258,19 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
     /// The chain tracer (disabled unless [`Chain::set_tracer`] ran).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs live metrics; [`Chain::import`] bumps import-outcome
+    /// counters and head-position gauges through them. Updates are relaxed
+    /// atomic stores off the acceptance logic — installing metrics never
+    /// changes which blocks are accepted (DESIGN.md §16).
+    pub fn set_metrics(&mut self, metrics: crate::ChainMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The installed chain metrics, if any.
+    pub fn metrics(&self) -> Option<&crate::ChainMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Routes the per-import body check (transaction ids + Merkle root)
@@ -511,18 +526,29 @@ impl<M: StateMachine, S: BlockStore> Chain<M, S> {
         self.check_body(&block)?;
         let inserted = self.tree.insert_or_orphan(block)?;
         if inserted.is_empty() {
+            if let Some(m) = &self.metrics {
+                m.record(
+                    &ChainEvent::Orphaned,
+                    self.height(),
+                    self.config.confirmation_depth,
+                );
+            }
             return Ok(ChainEvent::Orphaned);
         }
         let old_tip = self.tip_hash();
         let event = self.update_head()?;
         // If nothing changed, the imported block landed on a side branch.
-        Ok(match event {
+        let event = match event {
             Some(ev) => ev,
             None => {
                 debug_assert_eq!(self.tip_hash(), old_tip);
                 ChainEvent::SideChain { block: inserted[0] }
             }
-        })
+        };
+        if let Some(m) = &self.metrics {
+            m.record(&event, self.height(), self.config.confirmation_depth);
+        }
+        Ok(event)
     }
 
     /// [`Chain::import`] plus trace emission: records import, orphan,

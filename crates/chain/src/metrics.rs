@@ -1,0 +1,85 @@
+//! Chain-side live metrics: height, finality, and import-outcome counters.
+//!
+//! Installed per replica with [`Chain::set_metrics`](crate::Chain::set_metrics);
+//! every update is a relaxed atomic bump off the import path's decision
+//! logic, so attaching metrics never changes which blocks a replica accepts
+//! (the determinism suite asserts bit-identical digests with metrics on vs
+//! off — DESIGN.md §16).
+
+use crate::chain::ChainEvent;
+use dcs_metrics::{Counter, Gauge, Registry};
+
+/// Per-replica chain instruments, registered under a `node` label.
+#[derive(Debug, Clone)]
+pub struct ChainMetrics {
+    height: Gauge,
+    finalized: Gauge,
+    finality_lag: Gauge,
+    extended: Counter,
+    side_chain: Counter,
+    orphaned: Counter,
+    reorgs: Counter,
+    blocks_reverted: Counter,
+}
+
+impl ChainMetrics {
+    /// Registers the chain series for the replica labeled `node`.
+    pub fn register(registry: &Registry, node: &str) -> Self {
+        let l = [("node", node)];
+        ChainMetrics {
+            height: registry.gauge("dcs_chain_height", "canonical chain height", &l),
+            finalized: registry.gauge(
+                "dcs_chain_finalized_height",
+                "highest height at confirmation depth",
+                &l,
+            ),
+            finality_lag: registry.gauge(
+                "dcs_chain_finality_lag",
+                "blocks between tip and finalized height",
+                &l,
+            ),
+            extended: registry.counter(
+                "dcs_chain_imports_total",
+                "block imports by outcome",
+                &[("node", node), ("outcome", "extended")],
+            ),
+            side_chain: registry.counter(
+                "dcs_chain_imports_total",
+                "block imports by outcome",
+                &[("node", node), ("outcome", "side_chain")],
+            ),
+            orphaned: registry.counter(
+                "dcs_chain_imports_total",
+                "block imports by outcome",
+                &[("node", node), ("outcome", "orphaned")],
+            ),
+            reorgs: registry.counter(
+                "dcs_chain_imports_total",
+                "block imports by outcome",
+                &[("node", node), ("outcome", "reorg")],
+            ),
+            blocks_reverted: registry.counter(
+                "dcs_chain_blocks_reverted_total",
+                "canonical blocks reverted across reorgs",
+                &l,
+            ),
+        }
+    }
+
+    /// Records one import outcome plus the post-import head position.
+    pub fn record(&self, event: &ChainEvent, height: u64, confirmation_depth: u64) {
+        match event {
+            ChainEvent::Extended { .. } => self.extended.inc(),
+            ChainEvent::SideChain { .. } => self.side_chain.inc(),
+            ChainEvent::Orphaned => self.orphaned.inc(),
+            ChainEvent::Reorg { reverted, .. } => {
+                self.reorgs.inc();
+                self.blocks_reverted.add(*reverted);
+            }
+        }
+        let finalized = height.saturating_sub(confirmation_depth);
+        self.height.set(height as i64);
+        self.finalized.set(finalized as i64);
+        self.finality_lag.set((height - finalized) as i64);
+    }
+}

@@ -24,6 +24,7 @@
 pub mod attack;
 pub mod difficulty;
 pub mod mempool;
+pub mod metrics;
 pub mod ng;
 pub mod node;
 pub mod ordering;
@@ -33,6 +34,7 @@ pub mod pos;
 pub mod pow;
 
 pub use mempool::{InsertOutcome, Mempool, MEMPOOL_SHARDS};
+pub use metrics::{MempoolMetrics, PbftMetrics};
 pub use node::{is_sync_tag, NodeCore, Recoverable, TAG_SYNC};
 
 use dcs_crypto::Hash256;

@@ -87,6 +87,7 @@ pub struct Mempool {
     capacity: usize,
     admission: Option<Arc<VerifyPipeline>>,
     rejected_invalid: u64,
+    metrics: Option<crate::MempoolMetrics>,
 }
 
 impl Mempool {
@@ -99,7 +100,24 @@ impl Mempool {
             capacity,
             admission: None,
             rejected_invalid: 0,
+            metrics: None,
         }
+    }
+
+    /// Installs live metrics: admission outcomes and pool depths (global
+    /// and per shard). Gauges are seeded from the current contents, so
+    /// installation on a non-empty pool starts accurate. Updates are
+    /// relaxed atomic bumps beside already-taken admission decisions —
+    /// they never influence what is admitted (DESIGN.md §16).
+    pub fn set_metrics(&mut self, metrics: crate::MempoolMetrics) {
+        metrics.set_depth(self.len);
+        metrics.set_all_shard_depths(&self.shard_lens());
+        self.metrics = Some(metrics);
+    }
+
+    /// The installed mempool metrics, if any.
+    pub fn metrics(&self) -> Option<&crate::MempoolMetrics> {
+        self.metrics.as_ref()
     }
 
     /// A pool that verifies witness signatures at admission through
@@ -116,6 +134,13 @@ impl Mempool {
     /// The admission pipeline, if one is configured.
     pub fn admission(&self) -> Option<&Arc<VerifyPipeline>> {
         self.admission.as_ref()
+    }
+
+    /// Installs (or replaces) the admission pipeline on an existing pool —
+    /// the post-construction form of [`Mempool::with_admission`], for
+    /// builders that hand out already-constructed nodes.
+    pub fn set_admission(&mut self, pipeline: Arc<VerifyPipeline>) {
+        self.admission = Some(pipeline);
     }
 
     /// Transactions rejected at admission for carrying a bad witness.
@@ -188,6 +213,17 @@ impl Mempool {
     /// refused — the tracing layer records the reason. The id carried by
     /// the sealed transaction is reused; nothing is hashed at admission.
     pub fn insert_outcome(&mut self, tx: SealedTx) -> InsertOutcome {
+        let outcome = self.insert_outcome_inner(tx);
+        if let Some(m) = &self.metrics {
+            m.record_outcome(outcome);
+            if outcome == InsertOutcome::Added {
+                m.set_depth(self.len);
+            }
+        }
+        outcome
+    }
+
+    fn insert_outcome_inner(&mut self, tx: SealedTx) -> InsertOutcome {
         if self.len >= self.capacity {
             return InsertOutcome::Full;
         }
@@ -205,6 +241,9 @@ impl Mempool {
         shard.txs.insert(id, tx);
         self.seq += 1;
         self.len += 1;
+        if let Some(m) = &self.metrics {
+            m.set_shard_depth(shard_idx, self.shards[shard_idx].txs.len());
+        }
         InsertOutcome::Added
     }
 
@@ -213,9 +252,13 @@ impl Mempool {
     /// when the transaction body is at hand.
     pub fn remove(&mut self, id: &Hash256) -> Option<SealedTx> {
         // `order` is lazily compacted in `select`.
-        for shard in &mut self.shards {
+        for (shard_idx, shard) in self.shards.iter_mut().enumerate() {
             if let Some(tx) = shard.txs.remove(id) {
                 self.len -= 1;
+                if let Some(m) = &self.metrics {
+                    m.set_depth(self.len);
+                    m.set_shard_depth(shard_idx, shard.txs.len());
+                }
                 return Some(tx);
             }
         }
@@ -268,6 +311,10 @@ impl Mempool {
             if self.shards[shard_of(tx)].txs.remove(id).is_some() {
                 self.len -= 1;
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.set_depth(self.len);
+            m.set_all_shard_depths(&self.shard_lens());
         }
     }
 }

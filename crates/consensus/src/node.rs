@@ -165,6 +165,19 @@ impl<M: StateMachine, S: BlockStore> NodeCore<M, S> {
         self.chain.set_tracer(Tracer::new(node, cfg));
     }
 
+    /// Installs live metrics on this peer: chain head/import series on the
+    /// replica and admission/depth series on the mempool, all labeled with
+    /// this peer's id. Updates are relaxed atomic bumps beside decisions
+    /// that have already been taken, so an instrumented peer behaves
+    /// bit-identically to a bare one (asserted in `tests/determinism.rs`).
+    pub fn set_metrics(&mut self, registry: &dcs_metrics::Registry) {
+        let node = self.id.0.to_string();
+        self.chain
+            .set_metrics(dcs_chain::ChainMetrics::register(registry, &node));
+        self.mempool
+            .set_metrics(crate::MempoolMetrics::register(registry, &node));
+    }
+
     /// Transaction ids currently on this peer's canonical chain.
     pub fn included(&self) -> &BTreeSet<Hash256> {
         &self.included
@@ -450,7 +463,15 @@ impl<M: StateMachine, S: BlockStore> NodeCore<M, S> {
         if self.chain.rebuild_from_store(machine).is_err() {
             self.internal_errors += 1;
         }
+        let mempool_metrics = self.mempool.metrics().cloned();
+        let admission = self.mempool.admission().cloned();
         self.mempool = Mempool::new(MEMPOOL_CAP);
+        if let Some(m) = mempool_metrics {
+            self.mempool.set_metrics(m);
+        }
+        if let Some(p) = admission {
+            self.mempool.set_admission(p);
+        }
         self.seen = Gossiper::new();
         self.included.clear();
         self.pending_blocks.clear();

@@ -87,6 +87,7 @@ pub struct PbftNode<M: StateMachine> {
     view_timeout_us: u64,
     /// The sequence the leader currently has a proposal out for.
     in_flight: Option<u64>,
+    metrics: Option<crate::PbftMetrics>,
 }
 
 impl<M: StateMachine> PbftNode<M> {
@@ -125,6 +126,25 @@ impl<M: StateMachine> PbftNode<M> {
             batch_timeout_us,
             view_timeout_us,
             in_flight: None,
+            metrics: None,
+        }
+    }
+
+    /// Installs live metrics: the shared peer series (chain, mempool) via
+    /// [`NodeCore::set_metrics`] plus this replica's view gauge and phase
+    /// counters. Counter bumps sit beside the existing trace emissions and
+    /// never gate protocol decisions.
+    pub fn set_metrics(&mut self, registry: &dcs_metrics::Registry) {
+        self.core.set_metrics(registry);
+        self.metrics = Some(crate::PbftMetrics::register(
+            registry,
+            &self.core.id.0.to_string(),
+        ));
+    }
+
+    fn record_phase(&self, phase: PbftPhase) {
+        if let Some(m) = &self.metrics {
+            m.record_phase(phase, self.view);
         }
     }
 
@@ -178,6 +198,7 @@ impl<M: StateMachine> PbftNode<M> {
         };
         let block = self.core.build_block(seal, ctx.now);
         self.in_flight = Some(seq);
+        self.record_phase(PbftPhase::PrePrepare);
         self.core.tracer.emit(
             ctx.now.as_micros(),
             TraceEvent::Pbft {
@@ -219,6 +240,9 @@ impl<M: StateMachine> PbftNode<M> {
         if entry.prepares.len() >= quorum && !entry.sent_commit {
             entry.sent_commit = true;
             entry.commits.insert(self.core.id);
+            if let Some(m) = &self.metrics {
+                m.record_phase(PbftPhase::Commit, view);
+            }
             self.core.tracer.emit(
                 ctx.now.as_micros(),
                 TraceEvent::Pbft {
@@ -266,6 +290,7 @@ impl<M: StateMachine> PbftNode<M> {
     fn enter_view(&mut self, new_view: u64, ctx: &mut Ctx<'_, WireMsg>) {
         self.view = new_view;
         self.view_changes += 1;
+        self.record_phase(PbftPhase::ViewChange);
         self.core.tracer.emit(
             ctx.now.as_micros(),
             TraceEvent::Pbft {
@@ -371,6 +396,9 @@ impl<M: StateMachine> Protocol for PbftNode<M> {
                     if !entry.sent_prepare {
                         entry.sent_prepare = true;
                         entry.prepares.insert(self.core.id);
+                        if let Some(m) = &self.metrics {
+                            m.record_phase(PbftPhase::Prepare, view);
+                        }
                         self.core.tracer.emit(
                             ctx.now.as_micros(),
                             TraceEvent::Pbft {

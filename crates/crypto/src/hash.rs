@@ -60,6 +60,13 @@ impl Hash256 {
         bits
     }
 
+    /// The full 64-character lowercase hex form. Equivalent to `to_string`
+    /// but named for intent at call sites that build identifiers (URL
+    /// paths, JSON keys) rather than display output.
+    pub fn to_hex(&self) -> String {
+        self.to_string()
+    }
+
     /// Parses a 64-character lowercase/uppercase hex string.
     ///
     /// # Errors

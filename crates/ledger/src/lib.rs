@@ -14,6 +14,10 @@
 //!   Gini and Nakamoto coefficients over proposer power (decentralization).
 //! * [`profile`] — named DCS presets: `DC` (Bitcoin-like, Ethereum-like),
 //!   `CS` (Hyperledger-like), `DS` (fast PoW that sacrifices consistency).
+//! * [`serve`] — the live operations surface: install a metrics registry
+//!   over a whole network and expose it (plus status, per-transaction
+//!   timelines, analytics, and a flight recorder) over HTTP
+//!   (`dcs-ledger serve`; DESIGN.md §16).
 //!
 //! # Examples
 //!
@@ -46,6 +50,7 @@ pub mod builders;
 pub mod faults;
 pub mod metrics;
 pub mod profile;
+pub mod serve;
 pub mod trace;
 pub mod traits;
 pub mod workload;
@@ -57,6 +62,7 @@ pub use builders::{
 pub use faults::install_faults;
 pub use metrics::{collect, SimResult, VerificationReport};
 pub use profile::Profile;
+pub use serve::{install_metrics, run_live, OpsServer, OpsState, RunnerGauges, ServeParams};
 pub use trace::{collect_traces, install_tracing};
 pub use traits::LedgerNode;
 pub use workload::Workload;

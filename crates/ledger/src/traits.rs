@@ -23,6 +23,13 @@ pub trait LedgerNode: Protocol<Msg = WireMsg> {
     fn work_expended(&self) -> f64 {
         0.0
     }
+
+    /// Registers this peer's live metrics on `registry` — chain and
+    /// mempool series from the core, plus any protocol-specific series
+    /// (PBFT view/phase counters override this).
+    fn register_metrics(&mut self, registry: &dcs_metrics::Registry) {
+        self.core_mut().set_metrics(registry);
+    }
 }
 
 impl<M: StateMachine> LedgerNode for PowNode<M> {
@@ -83,6 +90,9 @@ impl<M: StateMachine> LedgerNode for PbftNode<M> {
     }
     fn core_mut(&mut self) -> &mut NodeCore<M> {
         &mut self.core
+    }
+    fn register_metrics(&mut self, registry: &dcs_metrics::Registry) {
+        PbftNode::set_metrics(self, registry);
     }
 }
 

@@ -1,0 +1,82 @@
+//! Prometheus text exposition (format 0.0.4) helpers: escaping and line
+//! formatting. The [`Registry`](crate::Registry) drives rendering; the
+//! functions here are pure string work so they can be unit-tested against
+//! the format's escaping rules directly.
+
+/// Escapes a label *value*: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text: `\` → `\\`, newline → `\n` (quotes are legal).
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a sorted label set as `{k1="v1",k2="v2"}`, or `""` when empty.
+/// `extra` appends one more pair (used for histogram `le`).
+pub fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_values_escape_backslash_quote_newline() {
+        assert_eq!(escape_label_value(r#"a\b"#), r#"a\\b"#);
+        assert_eq!(escape_label_value(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(escape_label_value("line1\nline2"), r"line1\nline2");
+        // All three at once, order preserved.
+        assert_eq!(escape_label_value("\\\"\n"), r#"\\\"\n"#);
+    }
+
+    #[test]
+    fn help_escapes_backslash_and_newline_only() {
+        assert_eq!(escape_help("a\\b\nc\"d"), "a\\\\b\\nc\"d");
+    }
+
+    #[test]
+    fn label_block_renders_sorted_pairs_and_extra() {
+        let labels = vec![
+            ("shard".to_string(), "3".to_string()),
+            ("reason".to_string(), "full".to_string()),
+        ];
+        assert_eq!(label_block(&labels, None), r#"{shard="3",reason="full"}"#);
+        assert_eq!(
+            label_block(&labels, Some(("le", "+Inf"))),
+            r#"{shard="3",reason="full",le="+Inf"}"#
+        );
+        assert_eq!(label_block(&[], None), "");
+        assert_eq!(label_block(&[], Some(("le", "10"))), r#"{le="10"}"#);
+    }
+}

@@ -1,0 +1,356 @@
+//! The registry: named families of labeled series, rendered as Prometheus
+//! text exposition.
+//!
+//! Registration is idempotent — asking for the same name + label set again
+//! returns a handle to the *same* underlying series, so instrumented
+//! components don't need to coordinate who registers first. A kind
+//! conflict (the same family name registered as two different instrument
+//! kinds) returns a detached instrument — updates still work, they just
+//! aren't exported — and bumps a conflict counter surfaced in
+//! [`RegistryStats`] so the bug is visible rather than silent.
+//!
+//! The registry mutex guards only the family map (registration and render
+//! walks); instrument *updates* never touch it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::exposition::{escape_help, label_block};
+use crate::instrument::{Counter, Gauge, Histogram};
+
+/// Instrument kind, for family typing and the `# TYPE` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotone event count.
+    Counter,
+    /// Up/down level.
+    Gauge,
+    /// Fixed-bucket distribution.
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Keyed by the label set in registration order (sorted by caller).
+    series: BTreeMap<Vec<(String, String)>, Series>,
+}
+
+#[derive(Default)]
+struct Inner {
+    families: BTreeMap<String, Family>,
+    kind_conflicts: u64,
+}
+
+/// A shared, cloneable handle to the metric families.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl core::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "Registry(families={}, series={}, kind_conflicts={})",
+            s.families, s.series, s.kind_conflicts
+        )
+    }
+}
+
+/// Point-in-time summary of registry shape (not series values).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Number of registered families.
+    pub families: usize,
+    /// Total series across all families.
+    pub series: usize,
+    /// Registrations rejected because the family already had another kind.
+    pub kind_conflicts: u64,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A poisoned registry mutex only means a panic elsewhere while
+        // registering; the map itself is still structurally sound.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn canonical_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        let mut v: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Registers (or retrieves) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = Self::canonical_labels(labels);
+        let mut inner = self.lock();
+        let family = inner
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                help: help.to_string(),
+                kind: Kind::Counter,
+                series: BTreeMap::new(),
+            });
+        if family.kind != Kind::Counter {
+            inner.kind_conflicts += 1;
+            return Counter::new();
+        }
+        let series = family
+            .series
+            .entry(key)
+            .or_insert_with(|| Series::Counter(Counter::new()));
+        match series {
+            Series::Counter(c) => c.clone(),
+            // Unreachable in practice (family kind gates the variant), but
+            // degrade to a detached handle rather than panic.
+            _ => Counter::new(),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = Self::canonical_labels(labels);
+        let mut inner = self.lock();
+        let family = inner
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                help: help.to_string(),
+                kind: Kind::Gauge,
+                series: BTreeMap::new(),
+            });
+        if family.kind != Kind::Gauge {
+            inner.kind_conflicts += 1;
+            return Gauge::new();
+        }
+        let series = family
+            .series
+            .entry(key)
+            .or_insert_with(|| Series::Gauge(Gauge::new()));
+        match series {
+            Series::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram series with the given bounds.
+    ///
+    /// Bounds are fixed by the first registration; later callers receive
+    /// the existing series regardless of the bounds they pass.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Histogram {
+        let key = Self::canonical_labels(labels);
+        let mut inner = self.lock();
+        let family = inner
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                help: help.to_string(),
+                kind: Kind::Histogram,
+                series: BTreeMap::new(),
+            });
+        if family.kind != Kind::Histogram {
+            inner.kind_conflicts += 1;
+            return Histogram::new(bounds);
+        }
+        let series = family
+            .series
+            .entry(key)
+            .or_insert_with(|| Series::Histogram(Histogram::new(bounds)));
+        match series {
+            Series::Histogram(h) => h.clone(),
+            _ => Histogram::new(bounds),
+        }
+    }
+
+    /// Registry shape summary.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.lock();
+        RegistryStats {
+            families: inner.families.len(),
+            series: inner.families.values().map(|f| f.series.len()).sum(),
+            kind_conflicts: inner.kind_conflicts,
+        }
+    }
+
+    /// Renders the full Prometheus text exposition (format 0.0.4).
+    ///
+    /// Families and series render in name/label order (BTreeMap), so the
+    /// output layout is stable across calls; the *values* are whatever the
+    /// relaxed atomics held at read time.
+    pub fn render(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for (name, family) in &inner.families {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            label_block(labels, None),
+                            c.stats().value
+                        );
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            label_block(labels, None),
+                            g.stats().value
+                        );
+                    }
+                    Series::Histogram(h) => {
+                        let s = h.stats();
+                        for (le, cum) in s.cumulative() {
+                            let le_text = match le {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cum}",
+                                label_block(labels, Some(("le", &le_text)))
+                            );
+                        }
+                        let _ = writeln!(out, "{name}_sum{} {}", label_block(labels, None), s.sum);
+                        let _ =
+                            writeln!(out, "{name}_count{} {}", label_block(labels, None), s.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("dcs_tx_admitted_total", "admitted txs", &[("shard", "0")]);
+        let b = r.counter("dcs_tx_admitted_total", "admitted txs", &[("shard", "0")]);
+        let other = r.counter("dcs_tx_admitted_total", "admitted txs", &[("shard", "1")]);
+        a.inc();
+        b.inc();
+        other.add(5);
+        assert_eq!(a.stats().value, 2, "same labels share one series");
+        assert_eq!(other.stats().value, 5);
+        let s = r.stats();
+        assert_eq!((s.families, s.series, s.kind_conflicts), (1, 2, 0));
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let r = Registry::new();
+        let a = r.gauge("g", "h", &[("a", "1"), ("b", "2")]);
+        let b = r.gauge("g", "h", &[("b", "2"), ("a", "1")]);
+        a.set(9);
+        assert_eq!(b.stats().value, 9);
+    }
+
+    #[test]
+    fn kind_conflict_returns_detached_and_counts() {
+        let r = Registry::new();
+        let c = r.counter("m", "h", &[]);
+        c.inc();
+        let g = r.gauge("m", "h", &[]);
+        g.set(42);
+        assert_eq!(c.stats().value, 1, "registered series unaffected");
+        assert_eq!(r.stats().kind_conflicts, 1);
+        assert!(
+            !r.render().contains("42"),
+            "detached instrument must not be exported"
+        );
+    }
+
+    #[test]
+    fn render_produces_parseable_exposition_lines() {
+        let r = Registry::new();
+        r.counter("dcs_blocks_total", "blocks imported", &[]).add(3);
+        r.gauge("dcs_chain_height", "canonical height", &[("node", "n-0")])
+            .set(17);
+        let h = r.histogram("dcs_commit_us", "commit latency", &[], &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        let text = r.render();
+        for line in text.lines() {
+            let ok = line.starts_with("# HELP ")
+                || line.starts_with("# TYPE ")
+                || parses_as_sample(line);
+            assert!(ok, "unparseable exposition line: {line:?}");
+        }
+        assert!(text.contains("dcs_blocks_total 3"));
+        assert!(text.contains("dcs_chain_height{node=\"n-0\"} 17"));
+        assert!(text.contains("dcs_commit_us_bucket{le=\"10\"} 1"));
+        assert!(text.contains("dcs_commit_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("dcs_commit_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("dcs_commit_us_sum 555"));
+        assert!(text.contains("dcs_commit_us_count 3"));
+    }
+
+    #[test]
+    fn render_escapes_label_values() {
+        let r = Registry::new();
+        r.counter("m", "h", &[("path", "a\\b\"c\nd")]).inc();
+        let text = r.render();
+        assert!(text.contains(r#"m{path="a\\b\"c\nd"} 1"#), "got: {text}");
+    }
+
+    /// Minimal `name{labels} value` parser mirroring the CI smoke check.
+    fn parses_as_sample(line: &str) -> bool {
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(p) => p,
+            None => return false,
+        };
+        if value_part.parse::<i64>().is_err() {
+            return false;
+        }
+        let name_end = name_part.find('{').unwrap_or(name_part.len());
+        let name = &name_part[..name_end];
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+}

@@ -1,0 +1,104 @@
+//! A bounded flight recorder: the last N formatted event lines, oldest
+//! dropped first. Serves `/recent` — the "what just happened" view that
+//! complements the cumulative registry.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+struct Inner {
+    buf: VecDeque<String>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// A shared, cloneable bounded ring of recent event lines.
+#[derive(Clone)]
+pub struct Ring {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl core::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = self.stats();
+        write!(f, "Ring(len={}, capacity={})", s.len, s.capacity)
+    }
+}
+
+/// Point-in-time summary of the ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingStats {
+    /// Lines currently held.
+    pub len: usize,
+    /// Maximum lines held before the oldest is dropped.
+    pub capacity: usize,
+    /// Lines evicted to make room since creation.
+    pub dropped: u64,
+}
+
+impl Ring {
+    /// Creates a ring holding at most `capacity` lines (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                buf: VecDeque::with_capacity(cap),
+                cap,
+                dropped: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends a line, evicting the oldest when full.
+    pub fn push(&self, line: impl Into<String>) {
+        let mut inner = self.lock();
+        if inner.buf.len() == inner.cap {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        let line = line.into();
+        inner.buf.push_back(line);
+    }
+
+    /// Copies the current contents, oldest first.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.lock().buf.iter().cloned().collect()
+    }
+
+    /// Ring occupancy summary.
+    pub fn stats(&self) -> RingStats {
+        let inner = self.lock();
+        RingStats {
+            len: inner.buf.len(),
+            capacity: inner.cap,
+            dropped: inner.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let r = Ring::new(3);
+        for i in 0..5 {
+            r.push(format!("line-{i}"));
+        }
+        assert_eq!(r.snapshot(), vec!["line-2", "line-3", "line-4"]);
+        let s = r.stats();
+        assert_eq!((s.len, s.capacity, s.dropped), (3, 3, 2));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let r = Ring::new(0);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.snapshot(), vec!["b"]);
+    }
+}

@@ -96,6 +96,41 @@ impl ChainReport {
             0.0
         };
     }
+
+    /// Renders the report as a self-contained JSON object. Map entries are
+    /// emitted in address order so two equal reports serialize to the same
+    /// bytes; addresses are lowercase hex strings and the top senders and
+    /// proposers are capped at the 16 busiest of each.
+    pub fn to_json(&self) -> String {
+        fn top16(map: &HashMap<Address, u64>) -> String {
+            let mut entries: Vec<(&Address, &u64)> = map.iter().collect();
+            // Busiest first; ties broken by address so output is stable.
+            entries.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+            let fields: Vec<String> = entries
+                .iter()
+                .take(16)
+                .map(|(addr, n)| format!("\"{addr}\":{n}"))
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        }
+        format!(
+            concat!(
+                "{{\"blocks\":{},\"transactions\":{},\"value_transferred\":{},",
+                "\"fees_offered\":{},\"mean_block_utilization\":{:.6},",
+                "\"senders\":{},\"top_senders\":{},",
+                "\"proposers\":{},\"top_proposers\":{}}}"
+            ),
+            self.blocks,
+            self.transactions,
+            self.value_transferred,
+            self.fees_offered,
+            self.mean_block_utilization,
+            self.activity_by_sender.len(),
+            top16(&self.activity_by_sender),
+            self.blocks_by_proposer.len(),
+            top16(&self.blocks_by_proposer),
+        )
+    }
 }
 
 /// Scans the canonical chain and produces a [`ChainReport`]. O(chain);

@@ -25,6 +25,7 @@ pub mod identity;
 pub mod oracle;
 pub mod workflow;
 
+pub use analytics::{analyze, ChainReport, LiveAnalytics};
 pub use app::{AppAdapter, Application};
 pub use events::{EventBus, EventFilter, Subscription};
 pub use identity::{CertificateAuthority, MembershipCert, Registry};

@@ -330,13 +330,18 @@ where
     // Fold the shards back into the global simulation: queues, counters,
     // and any cross-shard deliveries past the deadline.
     let mut total = 0;
+    let mut per_shard = Vec::with_capacity(outs.len());
     for (queue, st, dispatched) in outs {
         sim.merge_from(queue);
         parts.stats.absorb(st);
         total += dispatched;
+        per_shard.push(dispatched);
     }
     for (t, k, ev) in leftovers.into_iter().flatten() {
         sim.schedule_at_keyed(t, k, ev);
+    }
+    for (slot, dispatched) in per_shard.into_iter().enumerate() {
+        runner.note_dispatched(slot, dispatched);
     }
     total
 }

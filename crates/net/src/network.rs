@@ -356,6 +356,19 @@ impl<M> Network<M> {
         self.sim.now()
     }
 
+    /// Number of events currently pending in the fabric queue.
+    ///
+    /// Observability only: the value depends on drive interleaving and
+    /// must never feed a digest or branch on the deterministic path.
+    pub fn queue_depth(&self) -> usize {
+        self.sim.pending()
+    }
+
+    /// High-water mark of the pending-event queue since construction.
+    pub fn queue_high_water(&self) -> usize {
+        self.sim.pending_high_water()
+    }
+
     /// Fabric statistics so far.
     pub fn stats(&self) -> NetStats {
         let mut s = self.stats;

@@ -150,6 +150,11 @@ pub struct Runner<P: Protocol> {
     started: bool,
     action_buf: Vec<Action<P::Msg>>,
     shards: usize,
+    /// Cumulative events dispatched per engine shard, observability only
+    /// (serve mirrors these into per-worker counters). Serial runs count
+    /// in slot 0; the slot layout depends on the worker count, so this
+    /// must never feed a digest.
+    pub(crate) shard_dispatched: Vec<u64>,
 }
 
 impl<P: Protocol> Runner<P> {
@@ -166,6 +171,7 @@ impl<P: Protocol> Runner<P> {
             started: false,
             action_buf: Vec::new(),
             shards: default_shards(n),
+            shard_dispatched: Vec::new(),
         }
     }
 
@@ -279,7 +285,23 @@ impl<P: Protocol> Runner<P> {
                 }
             }
         }
+        self.note_dispatched(0, processed);
         processed
+    }
+
+    /// Accumulates `count` dispatched events against shard `slot`.
+    pub(crate) fn note_dispatched(&mut self, slot: usize, count: u64) {
+        if self.shard_dispatched.len() <= slot {
+            self.shard_dispatched.resize(slot + 1, 0);
+        }
+        self.shard_dispatched[slot] += count;
+    }
+
+    /// Cumulative events dispatched per engine shard across this runner's
+    /// lifetime — the raw material for per-worker events/s metrics. Slot 0
+    /// absorbs serial-path dispatches; empty before the first drive.
+    pub fn shard_event_counts(&self) -> &[u64] {
+        &self.shard_dispatched
     }
 
     fn drive(&mut self, deadline: SimTime) -> u64

@@ -88,6 +88,7 @@ pub struct Simulation<E> {
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
     live: usize,
+    high_water: usize,
     now: SimTime,
     next_seq: u64,
     processed: u64,
@@ -109,6 +110,7 @@ impl<E> Simulation<E> {
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
+            high_water: 0,
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
@@ -148,6 +150,13 @@ impl<E> Simulation<E> {
     /// immediately, so there is no tombstone drift.
     pub fn pending(&self) -> usize {
         self.live
+    }
+
+    /// The deepest the pending queue has ever been. Observability only —
+    /// the value depends on how the queue was partitioned (the sharded
+    /// engine keeps per-shard queues), so it must never feed a digest.
+    pub fn pending_high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Number of schedules whose requested instant was in the past and was
@@ -209,6 +218,7 @@ impl<E> Simulation<E> {
             gen,
         });
         self.live += 1;
+        self.high_water = self.high_water.max(self.live);
         EventId { slot, gen }
     }
 
@@ -288,6 +298,7 @@ impl<E> Simulation<E> {
     pub fn merge_from(&mut self, mut child: Simulation<E>) {
         self.processed += child.processed;
         self.clamped += child.clamped;
+        self.high_water = self.high_water.max(child.high_water);
         let child_now = child.now;
         for (time, key, event) in child.drain() {
             self.schedule_at_keyed(time, key, event);

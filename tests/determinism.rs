@@ -301,6 +301,79 @@ fn pow_gossip_is_shard_count_invariant() {
     }
 }
 
+/// The same PoW-gossip run with live metrics installed: identical workload
+/// and deadline, plus a populated [`dcs_metrics::Registry`]. Metrics
+/// collection must be invisible to the deterministic execution.
+fn run_pow_gossip_metered(
+    seed: u64,
+    shards: usize,
+) -> (
+    Hash256,
+    [u64; 10],
+    BTreeMap<String, u64>,
+    dcs_metrics::Registry,
+) {
+    let mut runner = pow_gossip_runner(seed);
+    runner.set_shards(shards);
+    let registry = dcs_metrics::Registry::new();
+    dcs_ledger::install_metrics(&mut runner, &registry);
+    let submitted =
+        Workload::transfers(2.0, SimDuration::from_secs(150), 30).inject(runner.net_mut(), 99);
+    runner.run_until(at(200));
+    let result = collect(runner.nodes(), &submitted, SimDuration::from_secs(200));
+    assert_eq!(result.internal_errors, 0);
+    let traces = collect_traces(&runner);
+    (
+        network_digest(runner.nodes()),
+        fingerprint(&result),
+        traces.digests().clone(),
+        registry,
+    )
+}
+
+/// The observability contract (DESIGN.md §16): instrument updates are
+/// out-of-band relaxed atomics, so a run with the full metrics registry
+/// installed must be bit-identical to the same seeded run without it — at
+/// every engine shard count — while the registry itself ends up live.
+#[test]
+fn metrics_collection_never_perturbs_the_run() {
+    let (digest_plain, stats_plain, traces_plain) = run_pow_gossip(7, 1);
+    for shards in [1, 2, 8] {
+        let (digest_m, stats_m, traces_m, registry) = run_pow_gossip_metered(7, shards);
+        assert_eq!(
+            digest_plain, digest_m,
+            "metrics on ({shards} shards) must reproduce the unmetered canonical chains"
+        );
+        assert_eq!(
+            stats_plain, stats_m,
+            "metrics on ({shards} shards) must reproduce the unmetered statistics"
+        );
+        assert_trace_digests_match(&traces_plain, &traces_m, 8);
+
+        // And the registry must have actually observed the run.
+        let shape = registry.stats();
+        assert_eq!(shape.kind_conflicts, 0);
+        assert!(
+            shape.families >= 8 && shape.series >= 8 * 8,
+            "8 instrumented peers must register real series: {shape:?}"
+        );
+        let text = registry.render();
+        let height_live = text.lines().any(|l| {
+            l.starts_with("dcs_chain_height{")
+                && l.split(' ').next_back().and_then(|v| v.parse::<i64>().ok()) > Some(10)
+        });
+        assert!(height_live, "chain height gauges must track the run");
+        let admitted_live = text.lines().any(|l| {
+            l.starts_with("dcs_mempool_admitted_total{")
+                && l.split(' ').next_back().and_then(|v| v.parse::<u64>().ok()) > Some(0)
+        });
+        assert!(
+            admitted_live,
+            "mempool admission counters must track the run"
+        );
+    }
+}
+
 /// Shard-count invariance under the full fault repertoire: crash/restart,
 /// link flaps, partitions, duplication, and corruption all interact with
 /// the conservative windows (the fault driver clips them at each scripted
