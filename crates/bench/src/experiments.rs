@@ -13,7 +13,7 @@ use crate::Scale;
 /// All experiment ids, in presentation order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "f2",
+    "e16", "e17", "e18", "e19", "e22", "e23", "f2",
 ];
 
 /// Runs one experiment by id, printing its table(s).
@@ -42,6 +42,8 @@ pub fn run(id: &str, scale: Scale) {
         "e17" => observability::e17_latency_breakdown(scale),
         "e18" => churn::e18_churn(scale),
         "e19" => scaling::e19_sharded_engine(scale),
+        "e22" => scaling::e22_beacon_shards(scale),
+        "e23" => scaling::e23_light_sync(scale),
         "f2" => apps::f2_block_structure(),
         other => panic!("unknown experiment id {other:?}"),
     }

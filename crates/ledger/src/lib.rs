@@ -50,6 +50,7 @@ pub mod builders;
 pub mod faults;
 pub mod metrics;
 pub mod profile;
+pub mod scale;
 pub mod serve;
 pub mod trace;
 pub mod traits;
@@ -62,7 +63,11 @@ pub use builders::{
 pub use faults::install_faults;
 pub use metrics::{collect, SimResult, VerificationReport};
 pub use profile::Profile;
-pub use serve::{install_metrics, run_live, OpsServer, OpsState, RunnerGauges, ServeParams};
+pub use scale::{run_channel_workload, ChannelRunReport, ChannelWorkloadParams};
+pub use serve::{
+    install_metrics, run_live, OpsServer, OpsState, RunnerGauges, ScaleSidecar, ScaleStatus,
+    ServeParams,
+};
 pub use trace::{collect_traces, install_tracing};
 pub use traits::LedgerNode;
 pub use workload::Workload;

@@ -88,6 +88,10 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "crates/state/",
     "crates/trace/",
     "crates/faults/",
+    // PR 10: dcs-scale state (shard nonces, channel parties, peg replay
+    // sets) feeds block contents and replay digests, so it holds to the
+    // same bar as the consensus crates.
+    "crates/scale/",
 ];
 
 /// Consensus *decision* files for `float-consensus`. The PoW/PoET/NG solve

@@ -20,6 +20,7 @@
 
 pub mod analytics;
 pub mod app;
+pub mod channel_app;
 pub mod events;
 pub mod identity;
 pub mod oracle;
@@ -27,6 +28,7 @@ pub mod workflow;
 
 pub use analytics::{analyze, ChainReport, LiveAnalytics};
 pub use app::{AppAdapter, Application};
+pub use channel_app::{ChannelApp, ChannelAppStats, ChannelOp};
 pub use events::{EventBus, EventFilter, Subscription};
 pub use identity::{CertificateAuthority, MembershipCert, Registry};
 pub use oracle::{Oracle, Sensor, SensorConfig};

@@ -1,0 +1,1441 @@
+//! Beacon-coordinated sharding over the simulated network (§5.4, \[38\]).
+//!
+//! [`ShardedLedger`](crate::ShardedLedger) models sharding as a sequential
+//! accounting exercise; this module runs it for real: `k` shard *sequencer*
+//! nodes seal blocks on timers, a *beacon* node tracks every shard
+//! header-chain and arbitrates cross-shard transfers, and a *light* node
+//! syncs headers + SPV proofs against a pruned shard — all over
+//! [`dcs_net`]'s discrete-event network, so the sharded event engine (PR 6)
+//! schedules the whole system.
+//!
+//! Cross-shard transfers use a lock/receipt two-phase protocol carried in
+//! real blocks:
+//!
+//! 1. **Lock** — the source shard seals a transfer into the per-pair bridge
+//!    escrow and sends the beacon a [`LockReceipt`]: the lock transaction
+//!    id, its Merkle inclusion proof, and the block height.
+//! 2. **Grant** — the beacon verifies the proof against the shard header it
+//!    tracks (the same SPV check a pegged sidechain performs) and forwards
+//!    a `MintGrant` to the destination shard, which seals a mint for the
+//!    recipient and acks the source.
+//! 3. **Timeout-refund** — a lock unresolved past its timeout makes the
+//!    source shard query the beacon; a lock the beacon never granted is
+//!    *voided* (never granted later), and the source shard seals a refund
+//!    from the escrow back to the sender. Value is conserved either way:
+//!    at quiescence the sum of user balances equals the genesis allocation,
+//!    and bridge escrows hold exactly the minted amounts.
+//!
+//! Everything is deterministic under a seed: all protocol state lives in
+//! `BTreeMap`/`BTreeSet`, timestamps are simulated time, and the run digest
+//! is bit-identical across engine worker counts (the PR 10 gate).
+
+use crate::{LightClient, ShardedLedger, Transfer};
+use dcs_chain::{genesis_block, Chain, NullMachine, PrunedStore};
+use dcs_contracts::AccountMachine;
+use dcs_crypto::codec::Encode;
+use dcs_crypto::{sha256, Address, Hash256, MerkleProof, MerkleTree};
+use dcs_net::{Ctx, LatencyModel, NetConfig, NodeId, Protocol, Runner, Topology};
+use dcs_primitives::{
+    AccountTx, Amount, Block, BlockHeader, ChainConfig, GasSchedule, Seal, Transaction, TxPayload,
+};
+use dcs_sim::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Timer tags (per-role, so overlap across roles is fine).
+const TAG_SHARD_SEAL: u64 = 1;
+const TAG_BEACON_SEAL: u64 = 2;
+const TAG_LIGHT_SYNC: u64 = 3;
+
+/// Coinbase heights for cross-shard mints start here so they can never
+/// collide with a real block-reward coinbase (sequencer chains mint none,
+/// but the offset keeps the invariant explicit).
+const MINT_HEIGHT_BASE: u64 = 1 << 32;
+
+/// Cap on headers returned per [`ScaleMsg::HeadersResponse`].
+const HEADERS_PER_RESPONSE: usize = 256;
+
+/// A lock receipt: everything the beacon needs to verify that a cross-shard
+/// lock really sealed on its source shard.
+#[derive(Debug, Clone)]
+pub struct LockReceipt {
+    /// Transaction id of the lock (sender → bridge escrow).
+    pub lock_id: Hash256,
+    /// The transfer the lock backs.
+    pub transfer: Transfer,
+    /// Shard the lock sealed on.
+    pub src_shard: u32,
+    /// Shard that should mint.
+    pub dst_shard: u32,
+    /// Height of the source-shard block holding the lock.
+    pub height: u64,
+    /// Merkle inclusion proof of `lock_id` under that block's tx root.
+    pub proof: MerkleProof,
+}
+
+impl LockReceipt {
+    fn wire_size(&self) -> usize {
+        // lock_id + transfer + shard ids + height + proof.
+        32 + 48 + 8 + 8 + self.proof.encoded_len()
+    }
+}
+
+/// Messages of the beacon/shard/light protocol.
+#[derive(Debug, Clone)]
+pub enum ScaleMsg {
+    /// A client transfer, injected at its home (source) shard.
+    Submit(Transfer),
+    /// A shard anchors a sealed block header at the beacon.
+    Anchor {
+        /// The sealing shard.
+        shard: u32,
+        /// The sealed header.
+        header: BlockHeader,
+    },
+    /// A shard reports a sealed cross-shard lock to the beacon.
+    Lock(LockReceipt),
+    /// Beacon → destination shard: the lock verified; mint it.
+    MintGrant(LockReceipt),
+    /// Beacon → source shard: the lock is void; refund the sender.
+    MintDenied {
+        /// The voided lock.
+        lock_id: Hash256,
+    },
+    /// Destination → source shard: the mint is queued; release the lock.
+    MintAck {
+        /// The minted lock.
+        lock_id: Hash256,
+    },
+    /// Source shard → beacon: this lock is past its timeout — decide.
+    LockStatus {
+        /// The overdue lock.
+        lock_id: Hash256,
+        /// Its receipt, in case the beacon never saw the original.
+        receipt: LockReceipt,
+    },
+    /// Light client → shard: send a checkpoint and the headers above it.
+    SnapshotRequest,
+    /// Shard → light client: checkpoint header plus headers above it.
+    SnapshotResponse {
+        /// Trusted checkpoint header (finalized depth).
+        checkpoint: BlockHeader,
+        /// Consecutive headers from checkpoint+1 to the tip.
+        headers: Vec<BlockHeader>,
+    },
+    /// Light client → shard: headers from this height on.
+    HeadersRequest {
+        /// First wanted height.
+        from: u64,
+    },
+    /// Shard → light client: consecutive headers.
+    HeadersResponse {
+        /// The headers, oldest first.
+        headers: Vec<BlockHeader>,
+    },
+    /// Light client → shard: prove a transaction in this block.
+    ProofRequest {
+        /// The block height to prove from.
+        height: u64,
+    },
+    /// Shard → light client: an inclusion proof for `tx_id` at `height`.
+    ProofResponse {
+        /// The proven block height.
+        height: u64,
+        /// The proven transaction id.
+        tx_id: Hash256,
+        /// Its Merkle proof.
+        proof: MerkleProof,
+    },
+}
+
+impl ScaleMsg {
+    /// Approximate wire size, for the simulator's bandwidth accounting.
+    fn wire_size(&self) -> usize {
+        match self {
+            ScaleMsg::Submit(_) => 48,
+            ScaleMsg::Anchor { header, .. } => 4 + header.encoded().len(),
+            ScaleMsg::Lock(r) | ScaleMsg::MintGrant(r) => r.wire_size(),
+            ScaleMsg::MintDenied { .. } | ScaleMsg::MintAck { .. } => 32,
+            ScaleMsg::LockStatus { receipt, .. } => 32 + receipt.wire_size(),
+            ScaleMsg::SnapshotRequest => 8,
+            ScaleMsg::SnapshotResponse {
+                checkpoint,
+                headers,
+            } => {
+                checkpoint.encoded().len()
+                    + headers.iter().map(|h| h.encoded().len()).sum::<usize>()
+            }
+            ScaleMsg::HeadersRequest { .. } => 16,
+            ScaleMsg::HeadersResponse { headers } => {
+                headers.iter().map(|h| h.encoded().len()).sum::<usize>()
+            }
+            ScaleMsg::ProofRequest { .. } => 16,
+            ScaleMsg::ProofResponse { proof, .. } => 48 + proof.encoded_len(),
+        }
+    }
+}
+
+/// Tunables for a beacon-coordinated run.
+#[derive(Debug, Clone)]
+pub struct BeaconParams {
+    /// Worker shard count (`k`).
+    pub shards: usize,
+    /// Transactions per sealed block.
+    pub block_tx_limit: usize,
+    /// Shard seal cadence.
+    pub block_interval: SimDuration,
+    /// Beacon seal cadence (anchors per beacon block).
+    pub beacon_interval: SimDuration,
+    /// How long a source shard waits before querying an unresolved lock.
+    pub lock_timeout: SimDuration,
+    /// Body retention depth of each shard's [`PrunedStore`].
+    pub keep_depth: u64,
+    /// Confirmation depth driving automatic finalization/pruning.
+    pub confirmation_depth: u64,
+    /// Light-client poll cadence.
+    pub sync_interval: SimDuration,
+    /// How many blocks below the serving tip the snapshot checkpoint sits.
+    pub checkpoint_lag: u64,
+    /// Timers stop re-arming (absent pending work) after this instant.
+    pub horizon: SimTime,
+    /// Per-hop latency model. Must be strictly positive so the sharded
+    /// event engine has a conservative lookahead window.
+    pub latency: LatencyModel,
+    /// Shards whose inbound lock receipts the beacon silently drops — the
+    /// fault knob that forces the timeout-refund path deterministically.
+    pub silent_shards: Vec<u32>,
+}
+
+impl Default for BeaconParams {
+    fn default() -> Self {
+        BeaconParams {
+            shards: 2,
+            block_tx_limit: 64,
+            block_interval: SimDuration::from_millis(50),
+            beacon_interval: SimDuration::from_millis(100),
+            lock_timeout: SimDuration::from_millis(400),
+            keep_depth: 16,
+            confirmation_depth: 8,
+            sync_interval: SimDuration::from_millis(150),
+            checkpoint_lag: 8,
+            horizon: SimTime::from_micros(3_000_000),
+            latency: LatencyModel::Constant(SimDuration::from_millis(2)),
+            silent_shards: Vec::new(),
+        }
+    }
+}
+
+/// The chain config every shard sequencer (and the beacon's trackers) use.
+fn shard_config(shard: usize, params: &BeaconParams) -> ChainConfig {
+    let mut config = ChainConfig::hyperledger_like();
+    config.chain_id = 7_000 + shard as u32;
+    config.block_tx_limit = params.block_tx_limit;
+    config.confirmation_depth = params.confirmation_depth;
+    config
+}
+
+fn beacon_config() -> ChainConfig {
+    let mut config = ChainConfig::hyperledger_like();
+    config.chain_id = 6_999;
+    config
+}
+
+/// Counters a shard sequencer accumulates (E22 measurands).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardNodeStats {
+    /// Intra-shard transfers committed.
+    pub intra: u64,
+    /// Cross-shard locks sealed.
+    pub locks: u64,
+    /// Mints sealed on behalf of other shards' locks.
+    pub mints: u64,
+    /// Locks refunded after a beacon denial.
+    pub refunds: u64,
+    /// Locks acknowledged as minted by their destination shard.
+    pub acks: u64,
+    /// Submissions rejected at admission (insufficient effective balance).
+    pub rejected: u64,
+    /// Blocks sealed.
+    pub blocks: u64,
+}
+
+/// What a queued transaction is, so sealed locks can be located for proofs.
+#[derive(Debug)]
+enum PendingTx {
+    Plain(Transaction),
+    Lock {
+        tx: Transaction,
+        transfer: Transfer,
+        dst: u32,
+    },
+}
+
+impl PendingTx {
+    fn tx(&self) -> &Transaction {
+        match self {
+            PendingTx::Plain(tx) | PendingTx::Lock { tx, .. } => tx,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PendingLock {
+    receipt: LockReceipt,
+    deadline: SimTime,
+}
+
+/// A shard sequencer: the sole block producer of one shard chain, running
+/// over a pruned store so old bodies fall away beneath the finality horizon.
+#[derive(Debug)]
+pub struct ShardNode {
+    shard: u32,
+    k: u32,
+    chain: Chain<AccountMachine, PrunedStore>,
+    pending: Vec<PendingTx>,
+    // BTree everywhere: admission order + map iteration feed block contents,
+    // and block contents feed the cross-worker digest gate.
+    nonces: BTreeMap<Address, u64>,
+    pending_spend: BTreeMap<Address, Amount>,
+    pending_locks: BTreeMap<Hash256, PendingLock>,
+    minted: BTreeSet<Hash256>,
+    refunded: BTreeSet<Hash256>,
+    mint_seq: u64,
+    timer_armed: bool,
+    params: BeaconParams,
+    /// Run counters.
+    pub stats: ShardNodeStats,
+}
+
+impl ShardNode {
+    fn new(shard: usize, params: &BeaconParams, alloc: &[(Address, Amount)]) -> Self {
+        let config = shard_config(shard, params);
+        let genesis = genesis_block(&config);
+        let mut machine = AccountMachine::new();
+        machine.schedule = GasSchedule::free();
+        for (addr, amount) in alloc {
+            if ShardedLedger::home_shard(addr, params.shards) == shard {
+                machine.db.credit(addr, *amount);
+            }
+        }
+        machine.db.clear_journal();
+        let chain = Chain::with_store(
+            genesis,
+            config,
+            machine,
+            PrunedStore::new(params.keep_depth),
+        );
+        ShardNode {
+            shard: shard as u32,
+            k: params.shards as u32,
+            chain,
+            pending: Vec::new(),
+            nonces: BTreeMap::new(),
+            pending_spend: BTreeMap::new(),
+            pending_locks: BTreeMap::new(),
+            minted: BTreeSet::new(),
+            refunded: BTreeSet::new(),
+            mint_seq: 0,
+            timer_armed: false,
+            params: params.clone(),
+            stats: ShardNodeStats::default(),
+        }
+    }
+
+    /// The shard chain (tests and experiments read it).
+    pub fn chain(&self) -> &Chain<AccountMachine, PrunedStore> {
+        &self.chain
+    }
+
+    /// Locks still awaiting a grant or denial.
+    pub fn open_locks(&self) -> usize {
+        self.pending_locks.len()
+    }
+
+    fn next_tx(&mut self, from: Address, to: Address, value: Amount) -> Transaction {
+        let nonce = self.nonces.entry(from).or_insert(0);
+        let mut tx = AccountTx::transfer(from, to, value, *nonce);
+        *nonce += 1;
+        tx.gas_limit = 0;
+        tx.gas_price = 0;
+        Transaction::Account(tx)
+    }
+
+    /// Effective balance: on-chain minus what queued txs will spend.
+    fn effective_balance(&self, addr: &Address) -> Amount {
+        self.chain
+            .machine()
+            .db
+            .balance(addr)
+            .saturating_sub(self.pending_spend.get(addr).copied().unwrap_or(0))
+    }
+
+    fn admit(&mut self, t: Transfer) {
+        if self.effective_balance(&t.from) < t.value {
+            self.stats.rejected += 1;
+            return;
+        }
+        *self.pending_spend.entry(t.from).or_insert(0) += t.value;
+        let dst = ShardedLedger::home_shard(&t.to, self.k as usize) as u32;
+        if dst == self.shard {
+            self.stats.intra += 1;
+            let tx = self.next_tx(t.from, t.to, t.value);
+            self.pending.push(PendingTx::Plain(tx));
+        } else {
+            let bridge = ShardedLedger::bridge_address(self.shard as usize, dst as usize);
+            let tx = self.next_tx(t.from, bridge, t.value);
+            self.pending.push(PendingTx::Lock {
+                tx,
+                transfer: t,
+                dst,
+            });
+        }
+    }
+
+    fn header(&self, timestamp_us: u64) -> BlockHeader {
+        let height = self.chain.height() + 1;
+        BlockHeader::new(
+            self.chain.tip_hash(),
+            height,
+            timestamp_us,
+            Address::ZERO,
+            Seal::Authority {
+                view: 0,
+                sequence: height,
+                votes: 1,
+            },
+        )
+    }
+
+    /// Seals everything pending, anchoring each block at the beacon and
+    /// reporting lock receipts; then chases overdue locks.
+    fn seal(&mut self, ctx: &mut Ctx<'_, ScaleMsg>) {
+        let mut queue = std::mem::take(&mut self.pending);
+        self.pending_spend.clear();
+        while !queue.is_empty() {
+            let take = queue.len().min(self.params.block_tx_limit);
+            let batch: Vec<PendingTx> = queue.drain(..take).collect();
+            let txs: Vec<Transaction> = batch.iter().map(|p| p.tx().clone()).collect();
+            let header = self.header(ctx.now.as_micros());
+            let block = Block::new(header, txs);
+            let sealed_header = block.header.clone();
+            let height = sealed_header.height;
+            let leaves: Vec<Hash256> = block.txs.iter().map(Transaction::id).collect();
+            self.chain
+                .import(block)
+                .expect("sequencer blocks are valid by construction");
+            self.stats.blocks += 1;
+            let anchor = ScaleMsg::Anchor {
+                shard: self.shard,
+                header: sealed_header,
+            };
+            let size = anchor.wire_size();
+            ctx.send(NodeId(0), anchor, size);
+            // Receipts for the locks this block sealed.
+            let tree = MerkleTree::from_leaves(leaves.clone());
+            for (i, entry) in batch.iter().enumerate() {
+                if let PendingTx::Lock { transfer, dst, .. } = entry {
+                    let receipt = LockReceipt {
+                        lock_id: leaves[i],
+                        transfer: *transfer,
+                        src_shard: self.shard,
+                        dst_shard: *dst,
+                        height,
+                        proof: tree.prove(i).expect("leaf index in range"),
+                    };
+                    self.stats.locks += 1;
+                    self.pending_locks.insert(
+                        receipt.lock_id,
+                        PendingLock {
+                            receipt: receipt.clone(),
+                            deadline: ctx.now + self.params.lock_timeout,
+                        },
+                    );
+                    let msg = ScaleMsg::Lock(receipt);
+                    let size = msg.wire_size();
+                    ctx.send(NodeId(0), msg, size);
+                }
+            }
+        }
+        // Chase locks past their deadline; push the deadline forward so a
+        // lost answer is re-queried instead of spinning every tick.
+        let now = ctx.now;
+        let overdue: Vec<Hash256> = self
+            .pending_locks
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for lock_id in overdue {
+            let pending = self
+                .pending_locks
+                .get_mut(&lock_id)
+                .expect("collected from this map");
+            pending.deadline = now + self.params.lock_timeout;
+            let msg = ScaleMsg::LockStatus {
+                lock_id,
+                receipt: pending.receipt.clone(),
+            };
+            let size = msg.wire_size();
+            ctx.send(NodeId(0), msg, size);
+        }
+    }
+
+    fn grant(&mut self, receipt: LockReceipt, ctx: &mut Ctx<'_, ScaleMsg>) {
+        if !self.minted.insert(receipt.lock_id) {
+            return; // Duplicate grant (status re-query raced the first).
+        }
+        self.stats.mints += 1;
+        self.mint_seq += 1;
+        self.pending.push(PendingTx::Plain(Transaction::Coinbase {
+            to: receipt.transfer.to,
+            value: receipt.transfer.value,
+            height: MINT_HEIGHT_BASE + self.mint_seq,
+        }));
+        let ack = ScaleMsg::MintAck {
+            lock_id: receipt.lock_id,
+        };
+        let size = ack.wire_size();
+        ctx.send(NodeId(1 + receipt.src_shard as usize), ack, size);
+        self.arm(ctx);
+    }
+
+    fn deny(&mut self, lock_id: Hash256, ctx: &mut Ctx<'_, ScaleMsg>) {
+        let Some(pending) = self.pending_locks.remove(&lock_id) else {
+            return; // Already refunded or acked.
+        };
+        if !self.refunded.insert(lock_id) {
+            return;
+        }
+        self.stats.refunds += 1;
+        let t = pending.receipt.transfer;
+        let bridge =
+            ShardedLedger::bridge_address(self.shard as usize, pending.receipt.dst_shard as usize);
+        let refund = self.next_tx(bridge, t.from, t.value);
+        self.pending.push(PendingTx::Plain(refund));
+        self.arm(ctx);
+    }
+
+    fn ack(&mut self, lock_id: Hash256) {
+        if self.pending_locks.remove(&lock_id).is_some() {
+            self.stats.acks += 1;
+        }
+    }
+
+    fn header_at(&self, height: u64) -> Option<BlockHeader> {
+        let hash = self.chain.canonical_at(height)?;
+        Some(self.chain.tree().get(&hash)?.header().clone())
+    }
+
+    fn headers_range(&self, from: u64) -> Vec<BlockHeader> {
+        let tip = self.chain.height();
+        (from..=tip)
+            .take(HEADERS_PER_RESPONSE)
+            .filter_map(|h| self.header_at(h))
+            .collect()
+    }
+
+    fn serve_snapshot(&self, from: NodeId, ctx: &mut Ctx<'_, ScaleMsg>) {
+        let tip = self.chain.height();
+        let cp_height = tip.saturating_sub(self.params.checkpoint_lag);
+        let Some(checkpoint) = self.header_at(cp_height) else {
+            return;
+        };
+        let msg = ScaleMsg::SnapshotResponse {
+            checkpoint,
+            headers: self.headers_range(cp_height + 1),
+        };
+        let size = msg.wire_size();
+        ctx.send(from, msg, size);
+    }
+
+    fn serve_proof(&self, from: NodeId, height: u64, ctx: &mut Ctx<'_, ScaleMsg>) {
+        let Some(hash) = self.chain.canonical_at(height) else {
+            return;
+        };
+        let Some(stored) = self.chain.tree().get(&hash) else {
+            return;
+        };
+        // Pruned bodies cannot be proven from — the light client simply
+        // gets no answer for heights below the retention window.
+        let Some(body) = stored.body() else {
+            return;
+        };
+        if body.txs.is_empty() {
+            return;
+        }
+        let leaves: Vec<Hash256> = body.txs.iter().map(Transaction::id).collect();
+        let proof = MerkleTree::from_leaves(leaves.clone())
+            .prove(0)
+            .expect("non-empty body has leaf 0");
+        let msg = ScaleMsg::ProofResponse {
+            height,
+            tx_id: leaves[0],
+            proof,
+        };
+        let size = msg.wire_size();
+        ctx.send(from, msg, size);
+    }
+
+    fn has_work(&self) -> bool {
+        !self.pending.is_empty() || !self.pending_locks.is_empty()
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_, ScaleMsg>) {
+        if !self.timer_armed {
+            self.timer_armed = true;
+            ctx.set_timer(self.params.block_interval, TAG_SHARD_SEAL);
+        }
+    }
+}
+
+/// Counters the beacon accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BeaconStats {
+    /// Shard headers anchored (and tracked).
+    pub anchors: u64,
+    /// Lock receipts verified and granted.
+    pub grants: u64,
+    /// Locks voided by timeout queries.
+    pub timeout_denials: u64,
+    /// Receipts whose Merkle proof failed verification.
+    pub invalid_receipts: u64,
+    /// Receipts dropped by the `silent_shards` fault knob.
+    pub suppressed: u64,
+}
+
+/// The beacon: tracks every shard header-chain, arbitrates cross-shard
+/// locks, and seals anchor blocks of its own.
+#[derive(Debug)]
+pub struct BeaconNode {
+    chain: Chain<NullMachine>,
+    /// One header tracker per shard, fed by anchors — the same SPV stance a
+    /// pegged sidechain takes toward its mainchain.
+    trackers: Vec<LightClient>,
+    /// Anchors that arrived ahead of their predecessor (per-message latency
+    /// can reorder same-source sends under non-constant models).
+    anchor_buf: BTreeMap<(u32, u64), BlockHeader>,
+    /// Receipts waiting for the anchor covering their height.
+    receipt_buf: BTreeMap<(u32, u64), Vec<LockReceipt>>,
+    granted: BTreeMap<Hash256, LockReceipt>,
+    voided: BTreeSet<Hash256>,
+    pending_anchor_txs: Vec<Transaction>,
+    anchor_nonce: u64,
+    timer_armed: bool,
+    silent: BTreeSet<u32>,
+    params: BeaconParams,
+    /// Run counters.
+    pub stats: BeaconStats,
+}
+
+impl BeaconNode {
+    fn new(params: &BeaconParams) -> Self {
+        let config = beacon_config();
+        let genesis = genesis_block(&config);
+        let chain = Chain::new(genesis, config, NullMachine);
+        let trackers = (0..params.shards)
+            .map(|s| LightClient::new(genesis_block(&shard_config(s, params)).header.clone()))
+            .collect();
+        BeaconNode {
+            chain,
+            trackers,
+            anchor_buf: BTreeMap::new(),
+            receipt_buf: BTreeMap::new(),
+            granted: BTreeMap::new(),
+            voided: BTreeSet::new(),
+            pending_anchor_txs: Vec::new(),
+            anchor_nonce: 0,
+            timer_armed: false,
+            silent: params.silent_shards.iter().copied().collect(),
+            params: params.clone(),
+            stats: BeaconStats::default(),
+        }
+    }
+
+    /// The beacon chain of anchor blocks.
+    pub fn chain(&self) -> &Chain<NullMachine> {
+        &self.chain
+    }
+
+    /// The tracked tip height of a shard.
+    pub fn tracked_tip(&self, shard: usize) -> u64 {
+        self.trackers[shard].tip_height()
+    }
+
+    /// The well-known account beacon anchor transactions spend from.
+    pub fn anchor_authority() -> Address {
+        Address::from_hash(&sha256(b"beacon-anchor-authority"))
+    }
+
+    fn on_anchor(&mut self, shard: u32, header: BlockHeader, ctx: &mut Ctx<'_, ScaleMsg>) {
+        self.anchor_buf.insert((shard, header.height), header);
+        loop {
+            let next_height = self.trackers[shard as usize].tip_height() + 1;
+            let Some(next) = self.anchor_buf.remove(&(shard, next_height)) else {
+                break;
+            };
+            let mut payload = Vec::with_capacity(44);
+            payload.extend_from_slice(&shard.to_le_bytes());
+            payload.extend_from_slice(&next.height.to_le_bytes());
+            payload.extend_from_slice(next.hash().as_bytes());
+            self.trackers[shard as usize]
+                .sync(std::slice::from_ref(&next))
+                .expect("sequencer headers link by construction");
+            self.stats.anchors += 1;
+            let mut tx = AccountTx::transfer(
+                Self::anchor_authority(),
+                Address::ZERO,
+                0,
+                self.anchor_nonce,
+            );
+            self.anchor_nonce += 1;
+            tx.gas_limit = 0;
+            tx.gas_price = 0;
+            tx.payload = TxPayload::Data(payload);
+            self.pending_anchor_txs.push(Transaction::Account(tx));
+            let covered = self.trackers[shard as usize].tip_height();
+            if let Some(receipts) = self.receipt_buf.remove(&(shard, covered)) {
+                for receipt in receipts {
+                    self.decide(receipt, ctx);
+                }
+            }
+        }
+        self.arm(ctx);
+    }
+
+    fn on_lock(&mut self, receipt: LockReceipt, ctx: &mut Ctx<'_, ScaleMsg>) {
+        if self.silent.contains(&receipt.dst_shard) {
+            self.stats.suppressed += 1;
+            return;
+        }
+        if self.trackers[receipt.src_shard as usize].tip_height() >= receipt.height {
+            self.decide(receipt, ctx);
+        } else {
+            self.receipt_buf
+                .entry((receipt.src_shard, receipt.height))
+                .or_default()
+                .push(receipt);
+        }
+    }
+
+    /// Verifies a receipt against the tracked shard header and grants or
+    /// voids it. Only called once the covering anchor is tracked.
+    fn decide(&mut self, receipt: LockReceipt, ctx: &mut Ctx<'_, ScaleMsg>) {
+        if self.granted.contains_key(&receipt.lock_id) || self.voided.contains(&receipt.lock_id) {
+            return;
+        }
+        let header = self.trackers[receipt.src_shard as usize]
+            .header_at(receipt.height)
+            .expect("caller checked coverage");
+        if receipt.proof.verify(&receipt.lock_id, &header.tx_root) {
+            self.stats.grants += 1;
+            let dst = NodeId(1 + receipt.dst_shard as usize);
+            self.granted.insert(receipt.lock_id, receipt.clone());
+            let msg = ScaleMsg::MintGrant(receipt);
+            let size = msg.wire_size();
+            ctx.send(dst, msg, size);
+        } else {
+            self.stats.invalid_receipts += 1;
+            self.voided.insert(receipt.lock_id);
+            let src = NodeId(1 + receipt.src_shard as usize);
+            let msg = ScaleMsg::MintDenied {
+                lock_id: receipt.lock_id,
+            };
+            let size = msg.wire_size();
+            ctx.send(src, msg, size);
+        }
+    }
+
+    /// Timeout policy: a queried lock the beacon already granted is
+    /// re-granted (idempotent at the mint shard); anything else is voided
+    /// *permanently* — it can never be granted afterwards, so mint and
+    /// refund are mutually exclusive.
+    fn on_status(&mut self, lock_id: Hash256, receipt: LockReceipt, ctx: &mut Ctx<'_, ScaleMsg>) {
+        if let Some(granted) = self.granted.get(&lock_id) {
+            let dst = NodeId(1 + granted.dst_shard as usize);
+            let msg = ScaleMsg::MintGrant(granted.clone());
+            let size = msg.wire_size();
+            ctx.send(dst, msg, size);
+            return;
+        }
+        if self.voided.insert(lock_id) {
+            self.stats.timeout_denials += 1;
+        }
+        let src = NodeId(1 + receipt.src_shard as usize);
+        let msg = ScaleMsg::MintDenied { lock_id };
+        let size = msg.wire_size();
+        ctx.send(src, msg, size);
+    }
+
+    fn seal(&mut self, now: SimTime) {
+        while !self.pending_anchor_txs.is_empty() {
+            let limit = self.chain.config().block_tx_limit;
+            let take = self.pending_anchor_txs.len().min(limit);
+            let batch: Vec<Transaction> = self.pending_anchor_txs.drain(..take).collect();
+            let height = self.chain.height() + 1;
+            let header = BlockHeader::new(
+                self.chain.tip_hash(),
+                height,
+                now.as_micros(),
+                Address::ZERO,
+                Seal::Authority {
+                    view: 0,
+                    sequence: height,
+                    votes: 1,
+                },
+            );
+            self.chain
+                .import(Block::new(header, batch))
+                .expect("beacon blocks are valid by construction");
+        }
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_, ScaleMsg>) {
+        if !self.timer_armed {
+            self.timer_armed = true;
+            ctx.set_timer(self.params.beacon_interval, TAG_BEACON_SEAL);
+        }
+    }
+}
+
+/// A light client node: header-first snapshot sync from a shard, then
+/// incremental header pulls and periodic SPV spot-checks.
+#[derive(Debug)]
+pub struct LightNode {
+    /// The shard node this client syncs from.
+    target: NodeId,
+    /// The header chain, once the snapshot arrived.
+    client: Option<LightClient>,
+    sync_interval: SimDuration,
+    horizon: SimTime,
+    polls: u64,
+    /// SPV proofs requested.
+    pub proofs_requested: u64,
+    /// SPV proofs that verified.
+    pub proofs_verified: u64,
+}
+
+impl LightNode {
+    fn new(params: &BeaconParams) -> Self {
+        LightNode {
+            target: NodeId(1),
+            client: None,
+            sync_interval: params.sync_interval,
+            horizon: params.horizon,
+            polls: 0,
+            proofs_requested: 0,
+            proofs_verified: 0,
+        }
+    }
+
+    /// The synced header chain (None until the snapshot arrives).
+    pub fn client(&self) -> Option<&LightClient> {
+        self.client.as_ref()
+    }
+
+    fn poll(&mut self, ctx: &mut Ctx<'_, ScaleMsg>) {
+        self.polls += 1;
+        match &self.client {
+            None => {
+                let msg = ScaleMsg::SnapshotRequest;
+                let size = msg.wire_size();
+                ctx.send(self.target, msg, size);
+            }
+            Some(client) => {
+                let msg = ScaleMsg::HeadersRequest {
+                    from: client.tip_height() + 1,
+                };
+                let size = msg.wire_size();
+                ctx.send(self.target, msg, size);
+                // Spot-check inclusion every fourth poll.
+                if self.polls.is_multiple_of(4) {
+                    self.proofs_requested += 1;
+                    let msg = ScaleMsg::ProofRequest {
+                        height: client.tip_height(),
+                    };
+                    let size = msg.wire_size();
+                    ctx.send(self.target, msg, size);
+                }
+            }
+        }
+        if ctx.now < self.horizon {
+            ctx.set_timer(self.sync_interval, TAG_LIGHT_SYNC);
+        }
+    }
+
+    /// Adopts the first checkpoint offered; later snapshots are ignored.
+    fn bootstrap(&mut self, checkpoint: BlockHeader, headers: &[BlockHeader]) {
+        if self.client.is_none() {
+            self.client = Some(LightClient::from_checkpoint(checkpoint));
+            self.absorb(headers);
+        }
+    }
+
+    /// Appends only the headers that extend the current tip — responses to
+    /// overlapping requests may arrive out of order.
+    fn absorb(&mut self, headers: &[BlockHeader]) {
+        let Some(client) = self.client.as_mut() else {
+            return;
+        };
+        for header in headers {
+            if header.height == client.tip_height() + 1 {
+                client
+                    .sync(std::slice::from_ref(header))
+                    .expect("serving shard is honest");
+            }
+        }
+    }
+}
+
+/// One peer of the beacon-coordinated network. Node 0 is the beacon, nodes
+/// `1..=k` are the shard sequencers, node `k + 1` is the light client.
+///
+/// One value exists per simulated node, so the variant size skew does not
+/// matter for memory.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum ScalePeer {
+    /// The coordinator.
+    Beacon(BeaconNode),
+    /// One shard sequencer.
+    Shard(ShardNode),
+    /// The light client.
+    Light(LightNode),
+}
+
+impl Protocol for ScalePeer {
+    type Msg = ScaleMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        match self {
+            ScalePeer::Beacon(b) => b.arm(ctx),
+            ScalePeer::Shard(s) => s.arm(ctx),
+            ScalePeer::Light(l) => ctx.set_timer(l.sync_interval, TAG_LIGHT_SYNC),
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        match (self, msg) {
+            (ScalePeer::Shard(s), ScaleMsg::Submit(t)) => {
+                s.admit(t);
+                s.arm(ctx);
+            }
+            (ScalePeer::Shard(s), ScaleMsg::MintGrant(receipt)) => s.grant(receipt, ctx),
+            (ScalePeer::Shard(s), ScaleMsg::MintDenied { lock_id }) => s.deny(lock_id, ctx),
+            (ScalePeer::Shard(s), ScaleMsg::MintAck { lock_id }) => s.ack(lock_id),
+            (ScalePeer::Shard(s), ScaleMsg::SnapshotRequest) => s.serve_snapshot(from, ctx),
+            (ScalePeer::Shard(s), ScaleMsg::HeadersRequest { from: h }) => {
+                let headers = s.headers_range(h);
+                if !headers.is_empty() {
+                    let msg = ScaleMsg::HeadersResponse { headers };
+                    let size = msg.wire_size();
+                    ctx.send(from, msg, size);
+                }
+            }
+            (ScalePeer::Shard(s), ScaleMsg::ProofRequest { height }) => {
+                s.serve_proof(from, height, ctx)
+            }
+            (ScalePeer::Beacon(b), ScaleMsg::Anchor { shard, header }) => {
+                b.on_anchor(shard, header, ctx)
+            }
+            (ScalePeer::Beacon(b), ScaleMsg::Lock(receipt)) => b.on_lock(receipt, ctx),
+            (ScalePeer::Beacon(b), ScaleMsg::LockStatus { lock_id, receipt }) => {
+                b.on_status(lock_id, receipt, ctx)
+            }
+            (
+                ScalePeer::Light(l),
+                ScaleMsg::SnapshotResponse {
+                    checkpoint,
+                    headers,
+                },
+            ) => l.bootstrap(checkpoint, &headers),
+            (ScalePeer::Light(l), ScaleMsg::HeadersResponse { headers }) => l.absorb(&headers),
+            (
+                ScalePeer::Light(l),
+                ScaleMsg::ProofResponse {
+                    height,
+                    tx_id,
+                    proof,
+                },
+            ) => {
+                if let Some(client) = l.client.as_mut() {
+                    if client.verify_inclusion(&tx_id, height, &proof) == Ok(true) {
+                        l.proofs_verified += 1;
+                    }
+                }
+            }
+            // Anything else (e.g. a stale response after a role change in
+            // future extensions) is ignored.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg>) {
+        match (self, tag) {
+            (ScalePeer::Shard(s), TAG_SHARD_SEAL) => {
+                s.seal(ctx);
+                s.timer_armed = false;
+                if ctx.now < s.params.horizon || s.has_work() {
+                    s.arm(ctx);
+                }
+            }
+            (ScalePeer::Beacon(b), TAG_BEACON_SEAL) => {
+                b.seal(ctx.now);
+                b.timer_armed = false;
+                if ctx.now < b.params.horizon {
+                    b.arm(ctx);
+                }
+            }
+            (ScalePeer::Light(l), TAG_LIGHT_SYNC) => l.poll(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// Aggregate counters of a finished run (the E22 row).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BeaconRunStats {
+    /// Intra-shard transfers committed.
+    pub intra: u64,
+    /// Cross-shard transfers minted end-to-end.
+    pub minted: u64,
+    /// Cross-shard transfers refunded by timeout.
+    pub refunded: u64,
+    /// Submissions rejected at admission.
+    pub rejected: u64,
+    /// Blocks sealed across all shards.
+    pub shard_blocks: u64,
+    /// Beacon anchor blocks sealed.
+    pub beacon_blocks: u64,
+    /// Simulated events processed.
+    pub events: u64,
+}
+
+/// A fully wired beacon + shards + light-client network.
+pub struct BeaconNet {
+    runner: Runner<ScalePeer>,
+    params: BeaconParams,
+    events: u64,
+}
+
+impl BeaconNet {
+    /// Builds the network: beacon at node 0, `k` shard sequencers, one
+    /// light client. `alloc` funds user accounts on their home shards.
+    pub fn new(params: &BeaconParams, seed: u64, alloc: &[(Address, Amount)]) -> Self {
+        let cfg = NetConfig {
+            nodes: params.shards + 2,
+            topology: Topology::Complete,
+            latency: params.latency,
+            drop_probability: 0.0,
+            bandwidth_bytes_per_sec: None,
+        };
+        let runner = Runner::new(cfg, seed, |id: NodeId| {
+            if id.0 == 0 {
+                ScalePeer::Beacon(BeaconNode::new(params))
+            } else if id.0 <= params.shards {
+                ScalePeer::Shard(ShardNode::new(id.0 - 1, params, alloc))
+            } else {
+                ScalePeer::Light(LightNode::new(params))
+            }
+        });
+        BeaconNet {
+            runner,
+            params: params.clone(),
+            events: 0,
+        }
+    }
+
+    /// Overrides the event-engine worker count (the determinism sweep).
+    pub fn set_engine_workers(&mut self, workers: usize) {
+        self.runner.set_shards(workers);
+    }
+
+    /// Injects a transfer at its home shard at simulated time `at`.
+    pub fn submit_at(&mut self, at: SimTime, t: Transfer) {
+        let shard = ShardedLedger::home_shard(&t.from, self.params.shards);
+        let msg = ScaleMsg::Submit(t);
+        let size = msg.wire_size();
+        self.runner
+            .net_mut()
+            .inject(at, NodeId(1 + shard), msg, size);
+    }
+
+    /// Runs to quiescence (every timer expired, every message delivered).
+    pub fn run(&mut self) -> u64 {
+        let n = self.runner.run_to_quiescence();
+        self.events += n;
+        n
+    }
+
+    /// The beacon node.
+    pub fn beacon(&self) -> &BeaconNode {
+        match self.runner.node(NodeId(0)) {
+            ScalePeer::Beacon(b) => b,
+            _ => unreachable!("node 0 is the beacon"),
+        }
+    }
+
+    /// Shard sequencer `i`.
+    pub fn shard(&self, i: usize) -> &ShardNode {
+        match self.runner.node(NodeId(1 + i)) {
+            ScalePeer::Shard(s) => s,
+            _ => unreachable!("nodes 1..=k are shards"),
+        }
+    }
+
+    /// The light client node.
+    pub fn light(&self) -> &LightNode {
+        match self.runner.node(NodeId(1 + self.params.shards)) {
+            ScalePeer::Light(l) => l,
+            _ => unreachable!("last node is the light client"),
+        }
+    }
+
+    /// Balance of a user account, read from its home shard.
+    pub fn balance(&self, addr: &Address) -> Amount {
+        let shard = ShardedLedger::home_shard(addr, self.params.shards);
+        self.shard(shard).chain.machine().db.balance(addr)
+    }
+
+    /// Sum of the given accounts' balances — the conservation measurand:
+    /// at quiescence it equals the genesis allocation total.
+    pub fn user_total(&self, accounts: &[Address]) -> u128 {
+        accounts.iter().map(|a| u128::from(self.balance(a))).sum()
+    }
+
+    /// Total value held in bridge escrows across all shards. At quiescence
+    /// this equals the total value minted on destination shards.
+    pub fn escrow_total(&self) -> u128 {
+        let k = self.params.shards;
+        let mut total = 0u128;
+        for src in 0..k {
+            for dst in 0..k {
+                if src != dst {
+                    let bridge = ShardedLedger::bridge_address(src, dst);
+                    total += u128::from(self.shard(src).chain.machine().db.balance(&bridge));
+                }
+            }
+        }
+        total
+    }
+
+    /// Aggregate run counters.
+    pub fn stats(&self) -> BeaconRunStats {
+        let mut s = BeaconRunStats {
+            beacon_blocks: self.beacon().chain.height(),
+            events: self.events,
+            ..BeaconRunStats::default()
+        };
+        for i in 0..self.params.shards {
+            let shard = self.shard(i);
+            s.intra += shard.stats.intra;
+            s.minted += shard.stats.mints;
+            s.refunded += shard.stats.refunds;
+            s.rejected += shard.stats.rejected;
+            s.shard_blocks += shard.stats.blocks;
+        }
+        s
+    }
+
+    /// A digest over everything observable: shard tips, state roots, and
+    /// counters; the beacon chain; the light client's view. Bit-identical
+    /// across engine worker counts for the same seed and workload — the
+    /// cross-worker determinism gate.
+    pub fn digest(&self) -> Hash256 {
+        use dcs_chain::StateMachine;
+        let mut buf = Vec::new();
+        for i in 0..self.params.shards {
+            let shard = self.shard(i);
+            buf.extend_from_slice(shard.chain.tip_hash().as_bytes());
+            buf.extend_from_slice(&shard.chain.height().to_le_bytes());
+            buf.extend_from_slice(shard.chain.machine().state_root().as_bytes());
+            for c in [
+                shard.stats.intra,
+                shard.stats.locks,
+                shard.stats.mints,
+                shard.stats.refunds,
+                shard.stats.acks,
+                shard.stats.rejected,
+                shard.stats.blocks,
+                shard.pending_locks.len() as u64,
+            ] {
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        let beacon = self.beacon();
+        buf.extend_from_slice(beacon.chain.tip_hash().as_bytes());
+        for c in [
+            beacon.stats.anchors,
+            beacon.stats.grants,
+            beacon.stats.timeout_denials,
+            beacon.stats.invalid_receipts,
+            beacon.stats.suppressed,
+        ] {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        let light = self.light();
+        if let Some(client) = light.client() {
+            buf.extend_from_slice(&client.tip_height().to_le_bytes());
+            buf.extend_from_slice(&client.bytes_downloaded.to_le_bytes());
+        }
+        buf.extend_from_slice(&light.proofs_verified.to_le_bytes());
+        sha256(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accounts(n: u64) -> Vec<Address> {
+        (0..n).map(Address::from_index).collect()
+    }
+
+    fn funded(accounts: &[Address]) -> Vec<(Address, Amount)> {
+        accounts.iter().map(|a| (*a, 1_000_000)).collect()
+    }
+
+    fn cross_pair(k: usize, accounts: &[Address]) -> (Address, Address) {
+        let a = accounts[0];
+        let b = *accounts[1..]
+            .iter()
+            .find(|x| ShardedLedger::home_shard(x, k) != ShardedLedger::home_shard(&a, k))
+            .expect("some pair crosses shards");
+        (a, b)
+    }
+
+    #[test]
+    fn intra_shard_transfer_commits() {
+        let accts = accounts(16);
+        let k = 2;
+        let a = accts[0];
+        let b = *accts[1..]
+            .iter()
+            .find(|x| ShardedLedger::home_shard(x, k) == ShardedLedger::home_shard(&a, k))
+            .expect("some pair shares a shard");
+        let mut net = BeaconNet::new(&BeaconParams::default(), 11, &funded(&accts));
+        net.submit_at(
+            SimTime::from_micros(10_000),
+            Transfer {
+                from: a,
+                to: b,
+                value: 777,
+            },
+        );
+        net.run();
+        assert_eq!(net.balance(&a), 1_000_000 - 777);
+        assert_eq!(net.balance(&b), 1_000_000 + 777);
+        assert_eq!(net.stats().intra, 1);
+    }
+
+    #[test]
+    fn cross_shard_transfer_locks_and_mints() {
+        let accts = accounts(16);
+        let (a, b) = cross_pair(2, &accts);
+        let mut net = BeaconNet::new(&BeaconParams::default(), 12, &funded(&accts));
+        net.submit_at(
+            SimTime::from_micros(10_000),
+            Transfer {
+                from: a,
+                to: b,
+                value: 555,
+            },
+        );
+        net.run();
+        assert_eq!(net.balance(&a), 1_000_000 - 555);
+        assert_eq!(net.balance(&b), 1_000_000 + 555);
+        let stats = net.stats();
+        assert_eq!(stats.minted, 1);
+        assert_eq!(stats.refunded, 0);
+        // The lock sits in escrow, matched by the mint on the other side.
+        assert_eq!(net.escrow_total(), 555);
+        // No lock left open anywhere.
+        for i in 0..2 {
+            assert_eq!(net.shard(i).open_locks(), 0);
+        }
+        // Conservation: user balances still sum to the allocation.
+        assert_eq!(net.user_total(&accts), 16 * 1_000_000);
+    }
+
+    #[test]
+    fn silent_beacon_forces_timeout_refund() {
+        let accts = accounts(16);
+        let (a, b) = cross_pair(2, &accts);
+        let dst = ShardedLedger::home_shard(&b, 2) as u32;
+        let params = BeaconParams {
+            silent_shards: vec![dst],
+            ..BeaconParams::default()
+        };
+        let mut net = BeaconNet::new(&params, 13, &funded(&accts));
+        net.submit_at(
+            SimTime::from_micros(10_000),
+            Transfer {
+                from: a,
+                to: b,
+                value: 555,
+            },
+        );
+        net.run();
+        // The receipt was suppressed; the timeout query voided the lock and
+        // the sender got refunded on-chain. Nothing minted anywhere.
+        assert_eq!(net.balance(&a), 1_000_000, "sender made whole");
+        assert_eq!(net.balance(&b), 1_000_000, "recipient uncredited");
+        let stats = net.stats();
+        assert_eq!(stats.minted, 0);
+        assert_eq!(stats.refunded, 1);
+        assert_eq!(net.beacon().stats.suppressed, 1);
+        assert_eq!(net.beacon().stats.timeout_denials, 1);
+        assert_eq!(net.escrow_total(), 0, "escrow emptied by the refund");
+        assert_eq!(net.user_total(&accts), 16 * 1_000_000);
+    }
+
+    #[test]
+    fn light_client_tracks_shard_zero() {
+        let accts = accounts(24);
+        let mut net = BeaconNet::new(&BeaconParams::default(), 14, &funded(&accts));
+        // Enough traffic that shard 0 seals a stream of blocks.
+        for i in 0..40u64 {
+            net.submit_at(
+                SimTime::from_micros(20_000 * (i + 1)),
+                Transfer {
+                    from: accts[(i % 24) as usize],
+                    to: accts[((i + 1) % 24) as usize],
+                    value: 5,
+                },
+            );
+        }
+        net.run();
+        let served_tip = net.shard(0).chain().height();
+        assert!(served_tip > 0, "shard 0 sealed blocks");
+        let client = net.light().client().expect("snapshot sync completed");
+        assert_eq!(client.tip_height(), served_tip, "light client caught up");
+        assert!(
+            net.light().proofs_verified > 0,
+            "at least one SPV spot-check verified"
+        );
+        // Every byte the client pulled is accounted (the E23 measurand).
+        assert!(client.bytes_downloaded > 0);
+    }
+
+    #[test]
+    fn late_light_client_bootstraps_from_checkpoint() {
+        let accts = accounts(24);
+        let params = BeaconParams {
+            // First poll lands after the shard has outrun the checkpoint
+            // lag, so the snapshot must be a mid-chain checkpoint.
+            sync_interval: SimDuration::from_millis(2_000),
+            ..BeaconParams::default()
+        };
+        let mut net = BeaconNet::new(&params, 17, &funded(&accts));
+        for i in 0..40u64 {
+            net.submit_at(
+                SimTime::from_micros(20_000 * (i + 1)),
+                Transfer {
+                    from: accts[(i % 24) as usize],
+                    to: accts[((i + 1) % 24) as usize],
+                    value: 5,
+                },
+            );
+        }
+        net.run();
+        let client = net.light().client().expect("snapshot sync completed");
+        assert!(
+            client.header_at(0).is_none(),
+            "checkpoint bootstrap skips the genesis-side headers"
+        );
+        assert_eq!(client.tip_height(), net.shard(0).chain().height());
+    }
+
+    #[test]
+    fn mixed_workload_matches_single_chain() {
+        use dcs_sim::Rng;
+        let accts = accounts(32);
+        let mut rng = Rng::seed_from(99);
+        let transfers: Vec<Transfer> = (0..120)
+            .map(|_| Transfer {
+                from: accts[rng.below(32) as usize],
+                to: accts[rng.below(32) as usize],
+                value: 1 + rng.below(50),
+            })
+            .collect();
+        let mut net = BeaconNet::new(&BeaconParams::default(), 15, &funded(&accts));
+        for (i, t) in transfers.iter().enumerate() {
+            net.submit_at(SimTime::from_micros(5_000 * (i as u64 + 1)), *t);
+        }
+        net.run();
+        let stats = net.stats();
+        assert_eq!(stats.rejected, 0, "ample funding: nothing rejected");
+        assert_eq!(stats.refunded, 0, "healthy beacon: nothing refunded");
+        // Amply funded transfers commute, so the sharded outcome must match
+        // a sequential single-chain application of the same mix.
+        let expected = single_chain_balances(&funded(&accts), &transfers);
+        for a in &accts {
+            assert_eq!(net.balance(a), expected[a], "balance of {a:?}");
+        }
+        assert_eq!(net.user_total(&accts), 32 * 1_000_000);
+    }
+
+    /// Applies the same transfer mix to one unsharded chain and returns the
+    /// final balances (the equivalence oracle).
+    pub(crate) fn single_chain_balances(
+        alloc: &[(Address, Amount)],
+        transfers: &[Transfer],
+    ) -> BTreeMap<Address, Amount> {
+        let mut ledger = ShardedLedger::new(1, 64, alloc);
+        for t in transfers {
+            ledger.submit(*t).expect("single shard never crosses");
+        }
+        ledger.seal_all();
+        alloc.iter().map(|(a, _)| (*a, ledger.balance(a))).collect()
+    }
+
+    #[test]
+    fn digest_stable_across_engine_workers() {
+        let accts = accounts(24);
+        let run = |workers: usize| {
+            let mut net = BeaconNet::new(&BeaconParams::default(), 21, &funded(&accts));
+            net.set_engine_workers(workers);
+            for i in 0..60u64 {
+                net.submit_at(
+                    SimTime::from_micros(8_000 * (i + 1)),
+                    Transfer {
+                        from: accts[(i % 24) as usize],
+                        to: accts[((i * 7 + 3) % 24) as usize],
+                        value: 3,
+                    },
+                );
+            }
+            net.run();
+            net.digest()
+        };
+        let d1 = run(1);
+        assert_eq!(d1, run(2), "2 workers diverged from serial");
+        assert_eq!(d1, run(8), "8 workers diverged from serial");
+    }
+
+    #[test]
+    fn shard_store_prunes_old_bodies() {
+        let accts = accounts(8);
+        let params = BeaconParams {
+            keep_depth: 4,
+            confirmation_depth: 2,
+            ..BeaconParams::default()
+        };
+        let mut net = BeaconNet::new(&params, 31, &funded(&accts));
+        for i in 0..80u64 {
+            net.submit_at(
+                SimTime::from_micros(10_000 * (i + 1)),
+                Transfer {
+                    from: accts[(i % 8) as usize],
+                    to: accts[((i + 1) % 8) as usize],
+                    value: 1,
+                },
+            );
+        }
+        net.run();
+        let shard = net.shard(0);
+        let tip = shard.chain().height();
+        assert!(tip > 12, "enough blocks to prune");
+        let old = shard.chain().canonical_at(1).expect("height 1 exists");
+        let stored = shard.chain().tree().get(&old).expect("header retained");
+        assert!(stored.body().is_none(), "old body pruned");
+    }
+}

@@ -14,7 +14,7 @@ use dcs_crypto::codec::Encode;
 use dcs_crypto::{sha256, Address, Hash256, KeyPair, PublicKey, Signature};
 use dcs_primitives::Amount;
 use dcs_state::AccountDb;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A dual-signed channel state: the `seq`-th balance split of the channel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,9 +107,140 @@ pub struct PaymentChannel {
 }
 
 impl PaymentChannel {
+    /// A freshly opened channel between `a` and `b` with the given public
+    /// keys and funding split. Public so on-chain channel applications (the
+    /// middleware `ChannelApp`) can host channels without owning the
+    /// parties' signing keys the way [`ChannelNetwork`] does.
+    pub fn open(
+        id: u64,
+        a: Address,
+        b: Address,
+        key_a: PublicKey,
+        key_b: PublicKey,
+        fund_a: Amount,
+        fund_b: Amount,
+    ) -> Self {
+        PaymentChannel {
+            id,
+            a,
+            b,
+            key_a,
+            key_b,
+            state: ChannelState {
+                channel_id: id,
+                seq: 0,
+                balance_a: fund_a,
+                balance_b: fund_b,
+            },
+            phase: Phase::Open,
+        }
+    }
+
     /// Total locked capacity.
     pub fn capacity(&self) -> Amount {
         self.state.balance_a + self.state.balance_b
+    }
+
+    /// Verifies a dual-signed state against this channel's keys, id, and
+    /// capacity (shared by the close and challenge paths).
+    fn check_signed_state(
+        &self,
+        state: &ChannelState,
+        sig_a: &Signature,
+        sig_b: &Signature,
+    ) -> Result<(), ChannelError> {
+        let digest = state.digest();
+        if !self.key_a.verify(&digest, sig_a) || !self.key_b.verify(&digest, sig_b) {
+            return Err(ChannelError::BadSignature);
+        }
+        if state.channel_id != self.id || state.balance_a + state.balance_b != self.capacity() {
+            return Err(ChannelError::BadState("invalid published state".into()));
+        }
+        Ok(())
+    }
+
+    /// Cooperative close: settles the latest state. Returns the final
+    /// `(a, b)` payout.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::WrongPhase`] if not open.
+    pub fn settle_cooperative(&mut self) -> Result<(Amount, Amount), ChannelError> {
+        if self.phase != Phase::Open {
+            return Err(ChannelError::WrongPhase);
+        }
+        self.phase = Phase::Closed;
+        Ok((self.state.balance_a, self.state.balance_b))
+    }
+
+    /// Unilateral close: publishes a dual-signed state and opens the
+    /// dispute window until `deadline` (a ledger height).
+    ///
+    /// # Errors
+    ///
+    /// Signature, state, or phase errors.
+    pub fn publish_close(
+        &mut self,
+        state: ChannelState,
+        sig_a: &Signature,
+        sig_b: &Signature,
+        deadline: u64,
+    ) -> Result<(), ChannelError> {
+        if self.phase != Phase::Open {
+            return Err(ChannelError::WrongPhase);
+        }
+        self.check_signed_state(&state, sig_a, sig_b)?;
+        self.phase = Phase::Disputed { state, deadline };
+        Ok(())
+    }
+
+    /// Challenges a disputed close with a strictly newer dual-signed state,
+    /// at ledger height `height`.
+    ///
+    /// # Errors
+    ///
+    /// Not newer, window expired, or signature errors.
+    pub fn challenge_close(
+        &mut self,
+        newer: ChannelState,
+        sig_a: &Signature,
+        sig_b: &Signature,
+        height: u64,
+    ) -> Result<(), ChannelError> {
+        let Phase::Disputed { state, deadline } = &self.phase else {
+            return Err(ChannelError::WrongPhase);
+        };
+        if height > *deadline {
+            return Err(ChannelError::BadState("dispute window expired".into()));
+        }
+        if newer.seq <= state.seq {
+            return Err(ChannelError::BadState("challenge is not newer".into()));
+        }
+        let deadline = *deadline;
+        self.check_signed_state(&newer, sig_a, sig_b)?;
+        self.phase = Phase::Disputed {
+            state: newer,
+            deadline,
+        };
+        Ok(())
+    }
+
+    /// Finalizes a disputed close once its window has passed `height`.
+    /// Returns the winning `(a, b)` payout.
+    ///
+    /// # Errors
+    ///
+    /// Window still open or wrong phase.
+    pub fn finalize(&mut self, height: u64) -> Result<(Amount, Amount), ChannelError> {
+        let Phase::Disputed { state, deadline } = &self.phase else {
+            return Err(ChannelError::WrongPhase);
+        };
+        if height <= *deadline {
+            return Err(ChannelError::BadState("dispute window still open".into()));
+        }
+        let payout = (state.balance_a, state.balance_b);
+        self.phase = Phase::Closed;
+        Ok(payout)
     }
 
     /// Verifies and applies a dual-signed state update.
@@ -151,7 +282,9 @@ impl PaymentChannel {
 /// simulates all of them), channels, and the settlement ledger.
 #[derive(Debug)]
 pub struct ChannelNetwork {
-    parties: HashMap<Address, KeyPair>,
+    // BTreeMap, not HashMap: party iteration order feeds signing-key use
+    // and replay digests (the PR 3 determinism sweep).
+    parties: BTreeMap<Address, KeyPair>,
     channels: Vec<PaymentChannel>,
     ledger: AccountDb,
     height: u64,
@@ -169,7 +302,7 @@ impl ChannelNetwork {
     /// An empty network with the given dispute window (in ledger heights).
     pub fn new(dispute_window: u64) -> Self {
         ChannelNetwork {
-            parties: HashMap::new(),
+            parties: BTreeMap::new(),
             channels: Vec::new(),
             ledger: AccountDb::new(),
             height: 0,
@@ -228,20 +361,8 @@ impl ChannelNetwork {
             .map_err(|e| ChannelError::BadState(e.to_string()))?;
         let id = self.channels.len() as u64;
         self.onchain_txs += 1;
-        self.channels.push(PaymentChannel {
-            id,
-            a,
-            b,
-            key_a,
-            key_b,
-            state: ChannelState {
-                channel_id: id,
-                seq: 0,
-                balance_a: fund_a,
-                balance_b: fund_b,
-            },
-            phase: Phase::Open,
-        });
+        self.channels
+            .push(PaymentChannel::open(id, a, b, key_a, key_b, fund_a, fund_b));
         Ok(id)
     }
 
@@ -318,12 +439,10 @@ impl ChannelNetwork {
             .channels
             .get_mut(channel_id as usize)
             .ok_or(ChannelError::Unknown)?;
-        if ch.phase != Phase::Open {
-            return Err(ChannelError::WrongPhase);
-        }
-        self.ledger.credit(&ch.a, ch.state.balance_a);
-        self.ledger.credit(&ch.b, ch.state.balance_b);
-        ch.phase = Phase::Closed;
+        let (pa, pb) = ch.settle_cooperative()?;
+        let (a, b) = (ch.a, ch.b);
+        self.ledger.credit(&a, pa);
+        self.ledger.credit(&b, pb);
         self.onchain_txs += 1;
         Ok(())
     }
@@ -346,17 +465,7 @@ impl ChannelNetwork {
             .channels
             .get_mut(channel_id as usize)
             .ok_or(ChannelError::Unknown)?;
-        if ch.phase != Phase::Open {
-            return Err(ChannelError::WrongPhase);
-        }
-        let digest = state.digest();
-        if !ch.key_a.verify(&digest, sig_a) || !ch.key_b.verify(&digest, sig_b) {
-            return Err(ChannelError::BadSignature);
-        }
-        if state.channel_id != ch.id || state.balance_a + state.balance_b != ch.capacity() {
-            return Err(ChannelError::BadState("invalid published state".into()));
-        }
-        ch.phase = Phase::Disputed { state, deadline };
+        ch.publish_close(state, sig_a, sig_b, deadline)?;
         self.onchain_txs += 1;
         Ok(())
     }
@@ -379,27 +488,7 @@ impl ChannelNetwork {
             .channels
             .get_mut(channel_id as usize)
             .ok_or(ChannelError::Unknown)?;
-        let Phase::Disputed { state, deadline } = &ch.phase else {
-            return Err(ChannelError::WrongPhase);
-        };
-        if height > *deadline {
-            return Err(ChannelError::BadState("dispute window expired".into()));
-        }
-        if newer.seq <= state.seq {
-            return Err(ChannelError::BadState("challenge is not newer".into()));
-        }
-        let digest = newer.digest();
-        if !ch.key_a.verify(&digest, sig_a) || !ch.key_b.verify(&digest, sig_b) {
-            return Err(ChannelError::BadSignature);
-        }
-        if newer.balance_a + newer.balance_b != ch.capacity() {
-            return Err(ChannelError::BadState("capacity changed".into()));
-        }
-        let deadline = *deadline;
-        ch.phase = Phase::Disputed {
-            state: newer,
-            deadline,
-        };
+        ch.challenge_close(newer, sig_a, sig_b, height)?;
         self.onchain_txs += 1;
         Ok(())
     }
@@ -415,16 +504,10 @@ impl ChannelNetwork {
             .channels
             .get_mut(channel_id as usize)
             .ok_or(ChannelError::Unknown)?;
-        let Phase::Disputed { state, deadline } = &ch.phase else {
-            return Err(ChannelError::WrongPhase);
-        };
-        if height <= *deadline {
-            return Err(ChannelError::BadState("dispute window still open".into()));
-        }
-        let (pa, pb) = (state.balance_a, state.balance_b);
-        self.ledger.credit(&ch.a, pa);
-        self.ledger.credit(&ch.b, pb);
-        ch.phase = Phase::Closed;
+        let (pa, pb) = ch.finalize(height)?;
+        let (a, b) = (ch.a, ch.b);
+        self.ledger.credit(&a, pa);
+        self.ledger.credit(&b, pb);
         self.onchain_txs += 1;
         Ok(())
     }
@@ -432,7 +515,9 @@ impl ChannelNetwork {
     /// Finds a route of open channels from `from` to `to` with directional
     /// capacity ≥ `amount` on every hop (breadth-first, fewest hops).
     pub fn find_route(&self, from: Address, to: Address, amount: Amount) -> Option<Vec<u64>> {
-        let mut visited: HashMap<Address, (Address, u64)> = HashMap::new();
+        // BTreeMap keeps the search — and therefore the chosen route on
+        // ties — independent of hash order.
+        let mut visited: BTreeMap<Address, (Address, u64)> = BTreeMap::new();
         let mut queue = std::collections::VecDeque::from([from]);
         while let Some(cur) = queue.pop_front() {
             if cur == to {

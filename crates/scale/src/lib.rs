@@ -17,12 +17,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod beacon;
 pub mod channels;
 pub mod light;
 pub mod sharding;
 pub mod sidechain;
 
+pub use beacon::{BeaconNet, BeaconParams, BeaconRunStats, ScaleMsg, ScalePeer};
 pub use channels::{ChannelNetwork, PaymentChannel};
 pub use light::LightClient;
-pub use sharding::ShardedLedger;
+pub use sharding::{ShardedLedger, Transfer};
 pub use sidechain::PeggedSidechain;

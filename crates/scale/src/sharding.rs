@@ -13,7 +13,41 @@ use dcs_crypto::{sha256, Address};
 use dcs_primitives::{
     AccountTx, Amount, Block, BlockHeader, ChainConfig, GasSchedule, Seal, Transaction,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+/// Errors from sharded-ledger operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A cross-shard mint would overdraw the destination shard's mint pool:
+    /// committing it anyway would credit the recipient with value no lock
+    /// backs, silently inflating the destination shard. The transfer is
+    /// rejected whole — neither the lock nor the mint is queued.
+    MintPoolUnderfunded {
+        /// The destination shard whose pool is short.
+        shard: usize,
+        /// What the mint needed.
+        needed: Amount,
+        /// What the pool (minus already-queued mints) still covers.
+        available: Amount,
+    },
+}
+
+impl core::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShardError::MintPoolUnderfunded {
+                shard,
+                needed,
+                available,
+            } => write!(
+                f,
+                "mint pool of shard {shard} underfunded: need {needed}, have {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
 
 /// A transfer request routed through the sharded ledger.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +71,9 @@ pub struct ShardStats {
     pub parallel_slots: u64,
     /// Total block slots consumed across all shards ("total work").
     pub total_slots: u64,
+    /// Cross-shard transfers rejected because the destination mint pool
+    /// could not back the mint (fail-closed accounting).
+    pub mint_failures: u64,
 }
 
 /// An account ledger partitioned over `k` shard chains.
@@ -44,9 +81,16 @@ pub struct ShardStats {
 pub struct ShardedLedger {
     shards: Vec<Chain<AccountMachine>>,
     pending: Vec<Vec<Transaction>>,
-    nonces: HashMap<Address, u64>,
+    // BTreeMap, not HashMap: `submit` allocates nonces while iterating
+    // callers' transfer mixes, and any hash-order state here would leak
+    // into block contents and digests (the PR 3 determinism sweep).
+    nonces: BTreeMap<Address, u64>,
     block_tx_limit: usize,
     slots_used: Vec<u64>,
+    /// Mint-pool value already promised to queued (unsealed) mints, per
+    /// shard — what keeps back-to-back submits from overdrawing a pool
+    /// that looks full on-chain but is spoken for.
+    mint_reserved: Vec<Amount>,
     stats: ShardStats,
 }
 
@@ -79,9 +123,10 @@ impl ShardedLedger {
         ShardedLedger {
             shards,
             pending: vec![Vec::new(); k],
-            nonces: HashMap::new(),
+            nonces: BTreeMap::new(),
             block_tx_limit,
             slots_used: vec![0; k],
+            mint_reserved: vec![0; k],
             stats: ShardStats::default(),
         }
     }
@@ -114,7 +159,16 @@ impl ShardedLedger {
     /// Routes one transfer. Intra-shard transfers queue one transaction;
     /// cross-shard transfers queue the *lock* (burn) on the source shard
     /// and the *mint* on the destination shard — the two-phase pattern.
-    pub fn submit(&mut self, t: Transfer) {
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::MintPoolUnderfunded`] when the destination shard's
+    /// mint pool (minus mints already queued against it) cannot back the
+    /// mint. The transfer is rejected whole: without this check the lock
+    /// would seal, the mint would bounce at execution, and the sender's
+    /// funds would sit in the bridge with nothing minted — a silent skew
+    /// that only a total-supply audit would catch.
+    pub fn submit(&mut self, t: Transfer) -> Result<(), ShardError> {
         let k = self.shards.len();
         let src = Self::home_shard(&t.from, k);
         let dst = Self::home_shard(&t.to, k);
@@ -123,7 +177,18 @@ impl ShardedLedger {
             let tx = self.transfer_tx(t.from, t.to, t.value);
             self.pending[src].push(tx);
         } else {
+            let pool = self.shards[dst].machine().db.balance(&Self::mint_pool(dst));
+            let available = pool.saturating_sub(self.mint_reserved[dst]);
+            if available < t.value {
+                self.stats.mint_failures += 1;
+                return Err(ShardError::MintPoolUnderfunded {
+                    shard: dst,
+                    needed: t.value,
+                    available,
+                });
+            }
             self.stats.cross_shard += 1;
+            self.mint_reserved[dst] += t.value;
             // Phase 1: lock/burn on the source shard (send to the bridge).
             let bridge = Self::bridge_address(src, dst);
             let lock = self.transfer_tx(t.from, bridge, t.value);
@@ -133,6 +198,7 @@ impl ShardedLedger {
             let mint = self.transfer_tx(Self::mint_pool(dst), t.to, t.value);
             self.pending[dst].push(mint);
         }
+        Ok(())
     }
 
     /// The escrow address absorbing cross-shard locks between two shards.
@@ -185,6 +251,9 @@ impl ShardedLedger {
                     .expect("sequencer blocks are valid");
                 self.slots_used[shard] += 1;
             }
+            // Queued mints for this shard are now on-chain; the pool
+            // balance reflects them, so the reservation is spent.
+            self.mint_reserved[shard] = 0;
         }
         self.stats.parallel_slots = self.slots_used.iter().copied().max().unwrap_or(0);
         self.stats.total_slots = self.slots_used.iter().sum();
@@ -193,6 +262,28 @@ impl ShardedLedger {
     /// Processing statistics.
     pub fn stats(&self) -> ShardStats {
         self.stats
+    }
+
+    /// Total value visible across the sharded system: the given user
+    /// accounts plus every bridge escrow and mint pool on every shard.
+    /// Cross-shard transfers move value between these buckets but must
+    /// never change the sum — the conservation invariant the fail-closed
+    /// mint check protects.
+    pub fn audited_supply(&self, accounts: &[Address]) -> u128 {
+        let k = self.shards.len();
+        let mut total: u128 = accounts.iter().map(|a| u128::from(self.balance(a))).sum();
+        for (i, shard) in self.shards.iter().enumerate() {
+            total += u128::from(shard.machine().db.balance(&Self::mint_pool(i)));
+            for src in 0..k {
+                for dst in 0..k {
+                    if src != dst {
+                        total +=
+                            u128::from(shard.machine().db.balance(&Self::bridge_address(src, dst)));
+                    }
+                }
+            }
+        }
+        total
     }
 
     /// The speedup over a single chain with the same block size: sequential
@@ -254,7 +345,8 @@ mod tests {
             from: a,
             to: b,
             value: 500,
-        });
+        })
+        .unwrap();
         l.seal_all();
         assert_eq!(l.balance(&a), 1_000_000 - 500);
         assert_eq!(l.balance(&b), 1_000_000 + 500);
@@ -275,7 +367,8 @@ mod tests {
             from: a,
             to: b,
             value: 700,
-        });
+        })
+        .unwrap();
         l.seal_all();
         assert_eq!(l.balance(&a), 1_000_000 - 700);
         assert_eq!(l.balance(&b), 1_000_000 + 700);
@@ -302,7 +395,7 @@ mod tests {
         let run = |k: usize| {
             let mut l = ledger(k, &accounts);
             for t in &transfers {
-                l.submit(*t);
+                l.submit(*t).unwrap();
             }
             l.seal_all();
             l
@@ -346,21 +439,25 @@ mod tests {
 
         let mut all_intra = ledger(2, &accounts);
         for i in 0..200 {
-            all_intra.submit(Transfer {
-                from: intra[i % intra.len()],
-                to: intra[(i + 1) % intra.len()],
-                value: 1,
-            });
+            all_intra
+                .submit(Transfer {
+                    from: intra[i % intra.len()],
+                    to: intra[(i + 1) % intra.len()],
+                    value: 1,
+                })
+                .unwrap();
         }
         all_intra.seal_all();
 
         let mut all_cross = ledger(2, &accounts);
         for i in 0..200 {
-            all_cross.submit(Transfer {
-                from: intra[i % intra.len()],
-                to: cross[i % cross.len()],
-                value: 1,
-            });
+            all_cross
+                .submit(Transfer {
+                    from: intra[i % intra.len()],
+                    to: cross[i % cross.len()],
+                    value: 1,
+                })
+                .unwrap();
         }
         all_cross.seal_all();
 

@@ -11,7 +11,7 @@ use dcs_crypto::{sha256, Address, Hash256, MerkleTree};
 use dcs_primitives::{
     AccountTx, Amount, Block, BlockHeader, ChainConfig, GasSchedule, Seal, Transaction,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Errors from peg operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,10 +53,13 @@ pub struct PeggedSidechain {
     /// The side chain.
     pub side: Chain<AccountMachine>,
     bridge_client: LightClient,
-    pegged_in: HashSet<Hash256>,
-    pegged_out: HashSet<Hash256>,
-    main_nonces: HashMap<Address, u64>,
-    side_nonces: HashMap<Address, u64>,
+    // BTree collections, not hash ones: replay-protection sets and nonce
+    // maps are consensus state here, and iteration order must never vary
+    // between runs (the PR 3 determinism sweep).
+    pegged_in: BTreeSet<Hash256>,
+    pegged_out: BTreeSet<Hash256>,
+    main_nonces: BTreeMap<Address, u64>,
+    side_nonces: BTreeMap<Address, u64>,
     minted_total: Amount,
     burned_total: Amount,
 }
@@ -89,10 +92,10 @@ impl PeggedSidechain {
             main: Chain::new(main_genesis, main_cfg, main_machine),
             side: Chain::new(side_genesis, side_cfg, side_machine),
             bridge_client,
-            pegged_in: HashSet::new(),
-            pegged_out: HashSet::new(),
-            main_nonces: HashMap::new(),
-            side_nonces: HashMap::new(),
+            pegged_in: BTreeSet::new(),
+            pegged_out: BTreeSet::new(),
+            main_nonces: BTreeMap::new(),
+            side_nonces: BTreeMap::new(),
             minted_total: 0,
             burned_total: 0,
         }

@@ -501,6 +501,154 @@ fn commit_pipeline_is_batch_and_worker_invariant() {
     }
 }
 
+/// Builds the transfer mix used by the scale-stack replay tests: a fixed
+/// pseudorandom mix of intra- and cross-shard transfers over 24 accounts.
+fn scale_mix(accounts: u64, count: u64) -> Vec<dcs_scale::Transfer> {
+    let mut rng = dcs_sim::Rng::seed_from(0x000B_EAC0);
+    (0..count)
+        .map(|_| dcs_scale::Transfer {
+            from: dcs_crypto::Address::from_index(rng.below(accounts)),
+            to: dcs_crypto::Address::from_index(rng.below(accounts)),
+            value: 1 + rng.below(100),
+        })
+        .collect()
+}
+
+fn scale_alloc(accounts: u64) -> Vec<(dcs_crypto::Address, u64)> {
+    (0..accounts)
+        .map(|i| (dcs_crypto::Address::from_index(i), 1_000_000))
+        .collect()
+}
+
+/// The beacon-coordinated sharded stack (PR 10) under the sharded event
+/// engine: the same seeded run — beacon chain, worker shards with
+/// cross-shard lock/mint receipts, and the light client — must produce one
+/// digest at 1, 2, and 8 engine workers. The digest covers every shard's
+/// tip, height, state root, and counters, the beacon's chain and stats, and
+/// the light client's sync progress.
+#[test]
+fn beacon_sharded_stack_is_engine_worker_invariant() {
+    use dcs_scale::beacon::{BeaconNet, BeaconParams};
+
+    let params = BeaconParams {
+        shards: 3,
+        ..BeaconParams::default()
+    };
+    let alloc = scale_alloc(24);
+    let mix = scale_mix(24, 48);
+    let run = |workers: usize| {
+        let mut net = BeaconNet::new(&params, 11, &alloc);
+        net.set_engine_workers(workers);
+        for (i, t) in mix.iter().enumerate() {
+            net.submit_at(SimTime::from_micros(3_000 * (i as u64 + 1)), *t);
+        }
+        net.run();
+        (net.digest(), net.stats())
+    };
+    let (digest_1, stats_1) = run(1);
+    assert!(stats_1.shard_blocks > 0, "the run must seal real blocks");
+    assert!(stats_1.minted > 0, "the mix must cross shards");
+    for workers in [2, 8] {
+        let (digest_w, stats_w) = run(workers);
+        assert_eq!(
+            digest_1, digest_w,
+            "{workers} engine workers must reproduce the serial scale stack"
+        );
+        assert_eq!(stats_w.events, stats_1.events);
+    }
+}
+
+/// The payment-channel workload (PR 10): the same seeded schedule — opens,
+/// off-chain payments, cheating unilateral closes, watchtower challenges,
+/// and settlements through a real ordering network — must replay to
+/// bit-identical dispute outcomes and application state hashes, at every
+/// engine worker count.
+#[test]
+fn channel_workload_replays_bit_identically() {
+    use dcs_ledger::{run_channel_workload, ChannelWorkloadParams};
+
+    let base = ChannelWorkloadParams::default();
+    let golden = run_channel_workload(&base, 99);
+    assert!(golden.cheats_attempted > 0, "the schedule must cheat");
+    assert_eq!(
+        golden.cheats_punished, golden.cheats_attempted,
+        "the watchtower must answer every stale close"
+    );
+    for workers in [None, Some(2), Some(8)] {
+        let params = ChannelWorkloadParams {
+            engine_workers: workers,
+            ..base.clone()
+        };
+        let replay = run_channel_workload(&params, 99);
+        assert_eq!(
+            golden.state_hash, replay.state_hash,
+            "workers={workers:?}: application state must replay bit-identically"
+        );
+        assert_eq!(golden.app_stats, replay.app_stats);
+        assert_eq!(golden.height, replay.height);
+        assert_eq!(golden.cheats_punished, replay.cheats_punished);
+    }
+}
+
+/// The E23 gate: a light client tracking shard 0 over the live network must
+/// stay under 10% of the bytes a full node replays (headers + SPV proofs
+/// versus full block bodies), while having verified real inclusion proofs.
+#[test]
+fn light_client_downloads_under_a_tenth_of_full_replay() {
+    use dcs_crypto::codec::Encode;
+    use dcs_scale::beacon::{BeaconNet, BeaconParams};
+
+    let params = BeaconParams {
+        shards: 2,
+        // Retain every body so the full-replay baseline is measurable.
+        keep_depth: 100_000,
+        ..BeaconParams::default()
+    };
+    let accounts = 24;
+    let alloc = scale_alloc(accounts);
+    let mut net = BeaconNet::new(&params, 5, &alloc);
+    // A dense intra-shard mix keeps the bodies fat relative to headers.
+    let mut rng = dcs_sim::Rng::seed_from(0xE23);
+    for i in 0..600u64 {
+        let t = dcs_scale::Transfer {
+            from: dcs_crypto::Address::from_index(rng.below(accounts)),
+            to: dcs_crypto::Address::from_index(rng.below(accounts)),
+            value: 1 + rng.below(50),
+        };
+        net.submit_at(SimTime::from_micros(2_000 + i * 800), t);
+    }
+    net.run();
+
+    let shard = net.shard(0).chain();
+    let mut full_bytes = 0u64;
+    for h in 1..=shard.height() {
+        let hash = shard.canonical_at(h).expect("canonical chain is dense");
+        let stored = shard.tree().get(&hash).expect("retained");
+        let body = stored
+            .body()
+            .expect("keep_depth retains every body for the baseline");
+        full_bytes += body.encoded().len() as u64;
+    }
+    assert!(shard.height() > 5, "the run must build a real chain");
+
+    let light = net.light();
+    let client = light.client().expect("the light client must bootstrap");
+    assert!(
+        client.tip_height() > 0,
+        "the light client must sync real headers"
+    );
+    assert!(
+        light.proofs_verified > 0,
+        "the light client must verify real SPV inclusion proofs"
+    );
+    assert!(
+        client.bytes_downloaded * 10 < full_bytes,
+        "light sync must cost under 10% of full replay: {} vs {}",
+        client.bytes_downloaded,
+        full_bytes
+    );
+}
+
 #[test]
 fn reorg_trace_spans_match_chain_stats() {
     // A contentious PoW run — block interval close to gossip latency — forks
